@@ -1,0 +1,74 @@
+//! Criterion benches for the aggregation extension: the three all-to-one
+//! protocols and the distributed group-by on thin-core rack trees.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tamp_core::aggregate::{
+    encode, Aggregator, CombiningTreeAggregate, FlatPartialAggregate, HashGroupBy,
+    NaiveAggregate,
+};
+use tamp_simulator::{run_protocol, Placement, Rel};
+use tamp_topology::builders;
+
+fn grouped_placement(tree: &tamp_topology::Tree, groups: u64, per_group: u64) -> Placement {
+    let mut p = Placement::empty(tree);
+    for &v in tree.compute_nodes() {
+        for g in 0..groups {
+            for rep in 0..per_group {
+                p.push(v, Rel::R, encode(g, rep + 1));
+            }
+        }
+    }
+    p
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregation");
+    group.sample_size(10);
+    let tree = builders::rack_tree(&[(4, 4.0, 0.25), (4, 4.0, 0.25), (4, 4.0, 0.25)], 1.0);
+    let target = tree.compute_nodes()[0];
+    for &groups in &[16u64, 64] {
+        let p = grouped_placement(&tree, groups, 8);
+        group.bench_with_input(BenchmarkId::new("naive", groups), &groups, |b, _| {
+            b.iter(|| {
+                let run =
+                    run_protocol(&tree, &p, &NaiveAggregate::new(target, Aggregator::Sum))
+                        .unwrap();
+                black_box(run.cost.tuple_cost())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("flat-partial", groups), &groups, |b, _| {
+            b.iter(|| {
+                let run = run_protocol(
+                    &tree,
+                    &p,
+                    &FlatPartialAggregate::new(target, Aggregator::Sum),
+                )
+                .unwrap();
+                black_box(run.cost.tuple_cost())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("combining", groups), &groups, |b, _| {
+            b.iter(|| {
+                let run = run_protocol(
+                    &tree,
+                    &p,
+                    &CombiningTreeAggregate::new(target, Aggregator::Sum),
+                )
+                .unwrap();
+                black_box(run.cost.tuple_cost())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("hash-group-by", groups), &groups, |b, _| {
+            b.iter(|| {
+                let run =
+                    run_protocol(&tree, &p, &HashGroupBy::new(3, Aggregator::Sum)).unwrap();
+                black_box(run.cost.tuple_cost())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_aggregation);
+criterion_main!(benches);

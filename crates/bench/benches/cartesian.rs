@@ -1,0 +1,57 @@
+//! Criterion benches for cartesian product (Table 1, row 2): the tree
+//! protocol, the star wHC, the unequal-size variant, and the uniform
+//! HyperCube baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tamp_core::cartesian::{
+    unequal::GeneralizedStarCartesianProduct, TreeCartesianProduct, UniformHyperCube,
+    WeightedHyperCube,
+};
+use tamp_simulator::run_protocol;
+use tamp_topology::builders;
+use tamp_workloads::{PlacementStrategy, SetSpec};
+
+fn bench_cartesian(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cartesian");
+    group.sample_size(10);
+    for &n in &[4_000usize, 16_000] {
+        let star = builders::heterogeneous_star(&[1.0, 2.0, 4.0, 8.0, 8.0, 16.0]);
+        let tree = builders::fat_tree(2, 3, 1.0);
+        let w = SetSpec::new(n / 2, n / 2).generate(2);
+        let p_star = PlacementStrategy::Uniform.place(&star, &w, 2);
+        let p_tree = PlacementStrategy::Uniform.place(&tree, &w, 2);
+        group.bench_with_input(BenchmarkId::new("whc-star", n), &n, |b, _| {
+            b.iter(|| {
+                let run = run_protocol(&star, &p_star, &WeightedHyperCube::new()).unwrap();
+                black_box(run.cost.tuple_cost())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("tree-cp", n), &n, |b, _| {
+            b.iter(|| {
+                let run = run_protocol(&tree, &p_tree, &TreeCartesianProduct::new()).unwrap();
+                black_box(run.cost.tuple_cost())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("uniform-hypercube", n), &n, |b, _| {
+            b.iter(|| {
+                let run = run_protocol(&tree, &p_tree, &UniformHyperCube::new()).unwrap();
+                black_box(run.cost.tuple_cost())
+            })
+        });
+        let w_uneq = SetSpec::new(n / 16, n).generate(3);
+        let p_uneq = PlacementStrategy::Uniform.place(&star, &w_uneq, 3);
+        group.bench_with_input(BenchmarkId::new("unequal-star", n), &n, |b, _| {
+            b.iter(|| {
+                let run =
+                    run_protocol(&star, &p_uneq, &GeneralizedStarCartesianProduct::new())
+                        .unwrap();
+                black_box(run.cost.tuple_cost())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cartesian);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion benches for set intersection (Table 1, row 1): simulator
+//! throughput of the paper's algorithm vs the topology-agnostic baseline
+//! across topologies and input sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tamp_core::intersection::{intersection_lower_bound, TreeIntersect, UniformHashJoin};
+use tamp_simulator::run_protocol;
+use tamp_topology::builders;
+use tamp_workloads::{PlacementStrategy, SetSpec};
+
+fn bench_intersection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intersection");
+    group.sample_size(10);
+    for &n in &[4_000usize, 16_000] {
+        let tree = builders::rack_tree(&[(4, 4.0, 2.0), (4, 4.0, 1.0)], 1.0);
+        let w = SetSpec::new(n / 4, 3 * n / 4)
+            .with_intersection(n / 16)
+            .generate(1);
+        let p = PlacementStrategy::Zipf { alpha: 1.0 }.place(&tree, &w, 1);
+        group.bench_with_input(BenchmarkId::new("tree-intersect", n), &n, |b, _| {
+            b.iter(|| {
+                let run = run_protocol(&tree, &p, &TreeIntersect::new(7)).unwrap();
+                black_box(run.cost.tuple_cost())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("uniform-baseline", n), &n, |b, _| {
+            b.iter(|| {
+                let run = run_protocol(&tree, &p, &UniformHashJoin::new(7)).unwrap();
+                black_box(run.cost.tuple_cost())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("lower-bound", n), &n, |b, _| {
+            b.iter(|| black_box(intersection_lower_bound(&tree, &p.stats()).value()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_intersection);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion benches for the planning substrates: balanced partition
+//! (Algorithm 3), square packing (Lemma 5 / Algorithm 5), G† construction
+//! and the lower-bound evaluators.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tamp_core::cartesian::{cartesian_lower_bound, plan_tree_packing, plan_whc};
+use tamp_core::intersection::{balanced_partition, intersection_lower_bound};
+use tamp_topology::{builders, Dagger};
+use tamp_workloads::{PlacementStrategy, SetSpec};
+
+fn bench_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planning");
+    group.sample_size(20);
+    for &p in &[16usize, 64, 256] {
+        let tree = builders::random_tree(p, p / 2, 0.5, 16.0, 5);
+        let w = SetSpec::new(1_000, 7_000).generate(5);
+        let placement = PlacementStrategy::Zipf { alpha: 1.0 }.place(&tree, &w, 5);
+        let stats = placement.stats();
+        group.bench_with_input(BenchmarkId::new("balanced-partition", p), &p, |b, _| {
+            b.iter(|| black_box(balanced_partition(&tree, &stats.n, stats.total_r)))
+        });
+        group.bench_with_input(BenchmarkId::new("dagger", p), &p, |b, _| {
+            b.iter(|| black_box(Dagger::build(&tree, &stats.n)))
+        });
+        group.bench_with_input(BenchmarkId::new("tree-packing", p), &p, |b, _| {
+            b.iter(|| black_box(plan_tree_packing(&tree, &stats.n, stats.total_n())))
+        });
+        group.bench_with_input(BenchmarkId::new("lower-bounds", p), &p, |b, _| {
+            b.iter(|| {
+                black_box(intersection_lower_bound(&tree, &stats).value());
+                black_box(cartesian_lower_bound(&tree, &stats).value());
+            })
+        });
+    }
+    for &p in &[16usize, 64, 256] {
+        let caps: Vec<f64> = (0..p).map(|i| 1.0 + (i % 7) as f64).collect();
+        let star = builders::heterogeneous_star(&caps);
+        group.bench_with_input(BenchmarkId::new("whc-packing", p), &p, |b, _| {
+            b.iter(|| black_box(plan_whc(&star, 100_000, None)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_planning);
+criterion_main!(benches);

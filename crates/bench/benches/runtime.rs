@@ -1,0 +1,52 @@
+//! Criterion benches for the threaded runtime: wall-clock of the real
+//! message-passing execution vs the centralized cost simulation for the
+//! same protocols (the simulator meters costs; the runtime also pays
+//! thread synchronization).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tamp_core::hashing::mix64;
+use tamp_core::intersection::TreeIntersect;
+use tamp_runtime::programs::DistributedTreeIntersect;
+use tamp_runtime::{run_cluster, ClusterOptions};
+use tamp_simulator::{run_protocol, Placement, Rel};
+use tamp_topology::builders;
+
+fn bench_runtime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime");
+    group.sample_size(10);
+    for &n in &[2_000u64, 8_000] {
+        let tree = builders::rack_tree(&[(3, 1.0, 2.0), (3, 2.0, 4.0)], 1.0);
+        let mut p = Placement::empty(&tree);
+        let vc = tree.compute_nodes();
+        for a in 0..n / 4 {
+            p.push(vc[(mix64(a) % vc.len() as u64) as usize], Rel::R, a);
+        }
+        for a in 0..3 * n / 4 {
+            let val = n / 8 + a;
+            p.push(vc[(mix64(val ^ 7) % vc.len() as u64) as usize], Rel::S, val);
+        }
+        group.bench_with_input(BenchmarkId::new("simulator", n), &n, |b, _| {
+            b.iter(|| {
+                let run = run_protocol(&tree, &p, &TreeIntersect::new(5)).unwrap();
+                black_box(run.cost.tuple_cost())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("threaded-cluster", n), &n, |b, _| {
+            b.iter(|| {
+                let run = run_cluster(
+                    &tree,
+                    &p,
+                    |_| Box::new(DistributedTreeIntersect::new(5)),
+                    ClusterOptions::default(),
+                )
+                .unwrap();
+                black_box(run.cost.tuple_cost())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

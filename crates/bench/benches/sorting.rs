@@ -1,0 +1,43 @@
+//! Criterion benches for sorting (Table 1, row 3): weighted TeraSort vs
+//! classic TeraSort, including the adversarial Theorem-6 placement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tamp_core::sorting::{adversarial_placement, TeraSort, WeightedTeraSort};
+use tamp_simulator::run_protocol;
+use tamp_topology::{builders, NodeId};
+use tamp_workloads::{PlacementStrategy, SortSpec};
+
+fn bench_sorting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sorting");
+    group.sample_size(10);
+    for &n in &[8_000usize, 32_000] {
+        let tree = builders::rack_tree(&[(4, 4.0, 2.0), (4, 4.0, 1.0)], 1.0);
+        let w = SortSpec::new(n).generate(1);
+        let p = PlacementStrategy::Zipf { alpha: 0.8 }.place(&tree, &w, 1);
+        group.bench_with_input(BenchmarkId::new("weighted-terasort", n), &n, |b, _| {
+            b.iter(|| {
+                let run = run_protocol(&tree, &p, &WeightedTeraSort::new(9)).unwrap();
+                black_box(run.cost.tuple_cost())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("terasort", n), &n, |b, _| {
+            b.iter(|| {
+                let run = run_protocol(&tree, &p, &TeraSort::new(9)).unwrap();
+                black_box(run.cost.tuple_cost())
+            })
+        });
+        let sizes = vec![n as u64 / 8; 8];
+        let adv = adversarial_placement(&tree, NodeId(8), &sizes);
+        group.bench_with_input(BenchmarkId::new("wts-adversarial", n), &n, |b, _| {
+            b.iter(|| {
+                let run = run_protocol(&tree, &adv, &WeightedTeraSort::new(9)).unwrap();
+                black_box(run.cost.tuple_cost())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sorting);
+criterion_main!(benches);

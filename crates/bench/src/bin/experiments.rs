@@ -1,0 +1,39 @@
+//! The experiment harness CLI: regenerates every table and figure of the
+//! paper against the executable cost model.
+//!
+//! ```text
+//! cargo run --release -p tamp-bench --bin experiments            # all
+//! cargo run --release -p tamp-bench --bin experiments -- t1-si f4
+//! cargo run --release -p tamp-bench --bin experiments -- --list
+//! ```
+
+use tamp_bench::suite::{run_experiment, ALL_EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for id in ALL_EXPERIMENTS {
+            println!("{id}");
+        }
+        return;
+    }
+    let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        ALL_EXPERIMENTS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    println!("tamp experiment harness — PODS 2021 topology-aware MPC reproduction");
+    for id in ids {
+        match run_experiment(id) {
+            Some(tables) => {
+                for table in tables {
+                    println!("{table}");
+                }
+            }
+            None => {
+                eprintln!("unknown experiment id: {id} (try --list)");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! The §4.4 cartesian-product protocol on symmetric trees.
+//!
+//! All traffic routes through the root `r` of `G†`. Square sides come from
+//! Algorithm 5 (`BalancedPackingTree`): a bottom-up pass computes
+//! `w̃_v = min{w_v, √(Σ_{u∈ζ(v)} w̃_u²)}` (the effective output capacity of
+//! each subtree), a top-down pass splits the unit budget
+//! `l_v = l_{p_v} · w̃_v / √(Σ_{u∈ζ(p_v)} w̃_u²)`, and each compute node
+//! gets a square of side `2^k ≥ N·l_v`. Squares are packed hierarchically
+//! along `G†` so a subtree's squares stay co-located, which bounds the
+//! data crossing each link `(u, p_u)` by `O(N · l_u)` — matching Theorem 4
+//! — while the route-through-root legs match Theorem 3.
+
+use tamp_simulator::{Protocol, Session, SimError};
+use tamp_topology::{Dagger, NodeId, Tree};
+
+use super::lower_bound::compute_w_tilde;
+use super::packing::{PlacedSquare, SquareSet};
+use super::star::all_to_node;
+use super::whc::{execute_square_plan, log2_ceil};
+
+/// The plan produced by Algorithm 5 for a tree.
+#[derive(Clone, Debug)]
+pub enum TreePlan {
+    /// The root of `G†` is a compute node: route everything to it
+    /// (asymptotically optimal by Theorem 3).
+    AllToRoot(NodeId),
+    /// Packed square assignment routed through a router root.
+    Packed {
+        /// The root of `G†` (a router) used as the routing relay.
+        root: NodeId,
+        /// Placed squares covering the output grid.
+        squares: Vec<PlacedSquare>,
+        /// Per-node `l_v` (indexed by node id; meaningful on `G†` nodes).
+        l: Vec<f64>,
+        /// Per-node `w̃_v` (indexed by node id).
+        w_tilde: Vec<f64>,
+    },
+}
+
+/// Run Algorithm 5 (`BalancedPackingTree`): derive `G†`, the `w̃`/`l`
+/// quantities and the hierarchically-packed square assignment.
+pub fn plan_tree_packing(tree: &Tree, n_weights: &[u64], total_n: u64) -> TreePlan {
+    let dagger = Dagger::build(tree, n_weights);
+    let root = dagger.root();
+    if tree.is_compute(root) {
+        return TreePlan::AllToRoot(root);
+    }
+    let fertile = super::lower_bound::fertile_nodes(tree, &dagger);
+    let w_tilde = compute_w_tilde(tree, &dagger);
+    // Top-down l_v, splitting each node's budget among *fertile* children
+    // only (barren router branches produce no output).
+    let mut l = vec![0.0f64; tree.num_nodes()];
+    l[root.index()] = 1.0;
+    for v in dagger.pre_order() {
+        let kids: Vec<_> = dagger
+            .children(v)
+            .iter()
+            .copied()
+            .filter(|&u| fertile[u.index()])
+            .collect();
+        let denom: f64 = kids
+            .iter()
+            .map(|&u| w_tilde[u.index()] * w_tilde[u.index()])
+            .sum::<f64>()
+            .sqrt();
+        if denom <= 0.0 {
+            continue;
+        }
+        for &u in &kids {
+            l[u.index()] = l[v.index()] * w_tilde[u.index()] / denom;
+        }
+    }
+    // Bottom-up hierarchical packing along G†.
+    let max_level = log2_ceil(total_n.max(1) + 1);
+    let mut sets: Vec<SquareSet> = (0..tree.num_nodes()).map(|_| SquareSet::new()).collect();
+    for v in dagger.post_order() {
+        let mut set = SquareSet::new();
+        for &u in dagger.children(v) {
+            set.merge(std::mem::take(&mut sets[u.index()]));
+        }
+        if tree.is_compute(v) {
+            let target = (total_n as f64 * l[v.index()]).ceil().max(1.0);
+            let level = log2_ceil(target.min(u64::MAX as f64) as u64).min(max_level);
+            set.merge(SquareSet::singleton(v, level));
+        }
+        sets[v.index()] = set;
+    }
+    let squares = std::mem::take(&mut sets[root.index()]).place();
+    TreePlan::Packed {
+        root,
+        squares,
+        l,
+        w_tilde,
+    }
+}
+
+/// One-round deterministic cartesian product on symmetric trees (§4.4,
+/// Theorem 5). Requires `|R| = |S|` and every compute node a leaf.
+/// Returns the plan used.
+#[derive(Clone, Debug, Default)]
+pub struct TreeCartesianProduct {
+    /// Plan against this topology instead of the execution topology.
+    /// Same structure, possibly different bandwidths — models planning
+    /// with stale or imprecise bandwidth measurements (the §3.3 remark:
+    /// unlike intersection and sorting, wHC's square sides *do* depend on
+    /// bandwidths, so stale inputs degrade it).
+    planning_tree: Option<Tree>,
+}
+
+impl TreeCartesianProduct {
+    /// Create the protocol (plans against the execution topology).
+    pub fn new() -> Self {
+        TreeCartesianProduct::default()
+    }
+
+    /// Plan against `stale` (must share the execution tree's structure —
+    /// same nodes and edges; only bandwidths may differ).
+    pub fn with_planning_tree(stale: Tree) -> Self {
+        TreeCartesianProduct {
+            planning_tree: Some(stale),
+        }
+    }
+}
+
+impl Protocol for TreeCartesianProduct {
+    type Output = TreePlan;
+
+    fn name(&self) -> String {
+        "tree-cartesian-product".into()
+    }
+
+    fn run(&self, session: &mut Session<'_>) -> Result<Self::Output, SimError> {
+        let tree = session.tree();
+        tree.require_symmetric()
+            .map_err(|e| SimError::Protocol(e.to_string()))?;
+        if !tree.compute_nodes_are_leaves() {
+            return Err(SimError::Protocol(
+                "TreeCartesianProduct requires compute nodes to be leaves (normalize first)"
+                    .into(),
+            ));
+        }
+        let stats = session.stats().clone();
+        if stats.total_r != stats.total_s {
+            return Err(SimError::Protocol(format!(
+                "tree cartesian product requires |R| = |S| (got {} and {})",
+                stats.total_r, stats.total_s
+            )));
+        }
+        if stats.total_r == 0 {
+            return Ok(TreePlan::AllToRoot(tree.compute_nodes()[0]));
+        }
+        let planning_tree = self.planning_tree.as_ref().unwrap_or(tree);
+        if planning_tree.num_nodes() != tree.num_nodes()
+            || planning_tree.num_edges() != tree.num_edges()
+        {
+            return Err(SimError::Protocol(
+                "planning tree must share the execution tree's structure".into(),
+            ));
+        }
+        let plan = plan_tree_packing(planning_tree, &stats.n, stats.total_n());
+        match &plan {
+            TreePlan::AllToRoot(target) => all_to_node(session, *target)?,
+            TreePlan::Packed { root, squares, .. } => {
+                execute_square_plan(session, squares, Some(*root))?;
+            }
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cartesian::{cartesian_lower_bound, packing::check_covers_grid};
+    use crate::ratio::ratio;
+    use tamp_simulator::{run_protocol, verify, Placement, Rel};
+    use tamp_topology::builders;
+
+    fn equal_placement(tree: &Tree, half: u64, seed: u64) -> Placement {
+        let mut p = Placement::empty(tree);
+        let vc = tree.compute_nodes();
+        for a in 0..half {
+            let v = vc[(crate::hashing::mix64(a ^ seed) % vc.len() as u64) as usize];
+            p.push(v, Rel::R, a);
+            let u =
+                vc[(crate::hashing::mix64(a ^ seed ^ 0xF00D) % vc.len() as u64) as usize];
+            p.push(u, Rel::S, 1_000_000 + a);
+        }
+        p
+    }
+
+    #[test]
+    fn plan_covers_grid_on_rack_tree() {
+        let t = builders::rack_tree(&[(3, 2.0, 4.0), (3, 1.0, 2.0)], 1.0);
+        let mut n = vec![0u64; t.num_nodes()];
+        for &v in t.compute_nodes() {
+            n[v.index()] = 10;
+        }
+        match plan_tree_packing(&t, &n, 60) {
+            TreePlan::Packed { squares, l, .. } => {
+                check_covers_grid(&squares, 30, 30).unwrap();
+                // Budget splits sum to 1 across compute nodes: Σ l_v² = 1
+                // (Lemma 8, property 4 at the root).
+                let sum: f64 = t
+                    .compute_nodes()
+                    .iter()
+                    .map(|&v| l[v.index()] * l[v.index()])
+                    .sum();
+                assert!((sum - 1.0).abs() < 1e-9, "Σ l² = {sum}");
+            }
+            TreePlan::AllToRoot(_) => panic!("uniform data should not root at a compute node"),
+        }
+    }
+
+    #[test]
+    fn covers_all_pairs_on_trees() {
+        for seed in 0..8u64 {
+            let t = builders::random_tree(6, 4, 0.5, 8.0, seed);
+            let p = equal_placement(&t, 48, seed);
+            let run = run_protocol(&t, &p, &TreeCartesianProduct::new()).unwrap();
+            assert_eq!(run.rounds, 1);
+            verify::check_pair_coverage(&run.final_state, &p.all_r(), &p.all_s())
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn heavy_node_routes_all_to_root() {
+        let t = builders::rack_tree(&[(2, 1.0, 2.0), (2, 1.0, 2.0)], 1.0);
+        let mut p = Placement::empty(&t);
+        let vc = t.compute_nodes();
+        p.set_r(vc[0], (0..40).collect());
+        p.set_s(vc[0], (100..130).collect());
+        p.set_s(vc[3], (130..140).collect());
+        let run = run_protocol(&t, &p, &TreeCartesianProduct::new()).unwrap();
+        assert!(matches!(run.output, TreePlan::AllToRoot(v) if v == vc[0]));
+        verify::check_pair_coverage(&run.final_state, &p.all_r(), &p.all_s()).unwrap();
+    }
+
+    #[test]
+    fn constant_factor_optimal_on_fat_tree(){
+        let t = builders::fat_tree(2, 3, 1.0);
+        let p = equal_placement(&t, 90, 4);
+        let run = run_protocol(&t, &p, &TreeCartesianProduct::new()).unwrap();
+        verify::check_pair_coverage(&run.final_state, &p.all_r(), &p.all_s()).unwrap();
+        let lb = cartesian_lower_bound(&t, &p.stats());
+        let rat = ratio(run.cost.tuple_cost(), lb.value());
+        // Theorem 5: O(1) from optimal; the constant absorbs the power-of-2
+        // rounding (≤2×), the two routing legs (≤2×) and clipping slack.
+        assert!(rat.is_finite() && rat <= 24.0, "ratio {rat}");
+    }
+
+    #[test]
+    fn empty_input_is_free() {
+        let t = builders::star(3, 1.0);
+        let p = Placement::empty(&t);
+        let run = run_protocol(&t, &p, &TreeCartesianProduct::new()).unwrap();
+        assert_eq!(run.cost.tuple_cost(), 0.0);
+    }
+}

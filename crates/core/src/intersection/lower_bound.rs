@@ -1,0 +1,85 @@
+//! Theorem 1: the set-intersection lower bound on symmetric trees.
+
+use tamp_simulator::PlacementStats;
+use tamp_topology::{CutWeights, Tree};
+
+use crate::ratio::LowerBound;
+
+/// Evaluate Theorem 1 on a concrete topology and placement:
+///
+/// ```text
+/// C_LB = max_e (1/w_e) · min{ |R|, |S|, Σ_{v∈V⁻_e} N_v, Σ_{v∈V⁺_e} N_v }
+/// ```
+///
+/// in tuples. The bound is derived by reducing, across every edge `e`, to
+/// lopsided set disjointness between the two sides of the cut; it holds for
+/// any number of rounds.
+///
+/// # Panics
+/// Panics if the tree is not symmetric (the theorem is stated for
+/// symmetric trees).
+pub fn intersection_lower_bound(tree: &Tree, stats: &PlacementStats) -> LowerBound {
+    tree.require_symmetric()
+        .expect("Theorem 1 requires a symmetric tree");
+    let cuts = CutWeights::compute(tree, &stats.n);
+    let cap = stats.total_r.min(stats.total_s);
+    let mut best = LowerBound::zero();
+    for e in tree.edges() {
+        let bound_tuples = cap.min(cuts.min_side(e)) as f64;
+        let value = tree.sym_bandwidth(e).cost_of(bound_tuples);
+        if value > best.value() {
+            best = LowerBound::new(value, Some(e));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamp_simulator::Placement;
+    use tamp_topology::{builders, NodeId};
+
+    #[test]
+    fn star_bound_is_min_side_over_bandwidth() {
+        let t = builders::heterogeneous_star(&[1.0, 4.0]);
+        let mut p = Placement::empty(&t);
+        p.set_r(NodeId(0), (0..10).collect());
+        p.set_s(NodeId(1), (0..30).collect());
+        let lb = intersection_lower_bound(&t, &p.stats());
+        // Edge 0 (bw 1): min{10, 30, 10, 30} = 10 → 10.
+        // Edge 1 (bw 4): min{10, 30, 30, 10} = 10 → 2.5.
+        assert_eq!(lb.value(), 10.0);
+        assert!(lb.witness().is_some());
+    }
+
+    #[test]
+    fn bound_caps_at_smaller_relation() {
+        let t = builders::star(2, 1.0);
+        let mut p = Placement::empty(&t);
+        p.set_r(NodeId(0), vec![1]);
+        p.set_s(NodeId(1), (0..100).collect());
+        let lb = intersection_lower_bound(&t, &p.stats());
+        // min{1, 100, 1, 100} = 1 even though the cut splits 1 vs 100.
+        assert_eq!(lb.value(), 1.0);
+    }
+
+    #[test]
+    fn all_on_one_node_gives_zero() {
+        let t = builders::star(3, 1.0);
+        let mut p = Placement::empty(&t);
+        p.set_r(NodeId(0), (0..5).collect());
+        p.set_s(NodeId(0), (5..9).collect());
+        let lb = intersection_lower_bound(&t, &p.stats());
+        assert_eq!(lb.value(), 0.0);
+        assert!(lb.witness().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn rejects_asymmetric() {
+        let t = builders::mpc_star(2);
+        let p = Placement::empty(&t);
+        intersection_lower_bound(&t, &p.stats());
+    }
+}

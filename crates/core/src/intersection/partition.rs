@@ -1,0 +1,397 @@
+//! Balanced partitions (Definition 1) and Algorithm 3.
+//!
+//! Edges split into α-edges (`min{Σ_{V⁺}N_v, Σ_{V⁻}N_v} < |R|`) and
+//! β-edges (the rest). Lemma 2 shows the β-edges induce a connected
+//! subtree `G_β`. Algorithm 3 peels leaves of `G_β`, greedily merging the
+//! α-connected groups hanging off them until each group's weight reaches
+//! `|R|`, yielding a partition of the compute nodes where:
+//!
+//! 1. α-connected nodes share a block;
+//! 2. each edge lies in the spanning tree of at most one block;
+//! 3. every block holds at least `|R|` data;
+//! 4. every β-edge inside a block's spanning tree has one block-side of
+//!    weight at most `|R|`.
+
+use tamp_topology::{CutWeights, EdgeId, NodeId, Tree};
+
+/// A balanced partition of the compute nodes, plus the edge classification
+/// it was derived from.
+#[derive(Clone, Debug)]
+pub struct BalancedPartition {
+    /// Blocks of compute nodes; their union is `V_C`, pairwise disjoint.
+    pub blocks: Vec<Vec<NodeId>>,
+    /// `alpha[e] == true` iff `e` is an α-edge.
+    pub alpha: Vec<bool>,
+    /// The threshold `|R|` (cardinality of the smaller relation) used.
+    pub small_total: u64,
+}
+
+impl BalancedPartition {
+    /// Number of blocks `k`.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The block index of each compute node, indexed by node id
+    /// (`usize::MAX` for routers).
+    pub fn block_of(&self, num_nodes: usize) -> Vec<usize> {
+        let mut out = vec![usize::MAX; num_nodes];
+        for (i, block) in self.blocks.iter().enumerate() {
+            for &v in block {
+                out[v.index()] = i;
+            }
+        }
+        out
+    }
+}
+
+/// Classify each edge as α (`true`) or β (`false`) against threshold
+/// `small_total = |R|`.
+pub fn classify_alpha_edges(tree: &Tree, cuts: &CutWeights, small_total: u64) -> Vec<bool> {
+    tree.edges()
+        .map(|e| cuts.min_side(e) < small_total)
+        .collect()
+}
+
+/// Algorithm 3: compute a balanced partition for per-node weights `n`
+/// (`N_v`, zero at routers) and threshold `small_total = |R| =
+/// min(|R|, |S|)`.
+///
+/// Runs in `O(|V|²)` worst case (the paper achieves `O(|V|)`; we favor a
+/// simple scan since trees here are small).
+pub fn balanced_partition(tree: &Tree, n: &[u64], small_total: u64) -> BalancedPartition {
+    assert_eq!(n.len(), tree.num_nodes());
+    let cuts = CutWeights::compute(tree, n);
+    let alpha = classify_alpha_edges(tree, &cuts, small_total);
+
+    // No β-edge: the whole compute set is one block (G_β is empty and all
+    // nodes are α-connected).
+    if alpha.iter().all(|&a| a) {
+        return BalancedPartition {
+            blocks: vec![tree.compute_nodes().to_vec()],
+            alpha,
+            small_total,
+        };
+    }
+
+    let nv = tree.num_nodes();
+    // β-adjacency and G_β membership.
+    let mut beta_adj: Vec<Vec<usize>> = vec![Vec::new(); nv];
+    let mut in_gbeta = vec![false; nv];
+    for e in tree.edges() {
+        if !alpha[e.index()] {
+            let (u, v) = tree.endpoints(e);
+            beta_adj[u.index()].push(v.index());
+            beta_adj[v.index()].push(u.index());
+            in_gbeta[u.index()] = true;
+            in_gbeta[v.index()] = true;
+        }
+    }
+
+    // Γ(x): compute nodes α-connected to each G_β vertex x. Every compute
+    // node belongs to exactly one Γ (tree acyclicity ⇒ α-components contain
+    // at most one G_β vertex, and with E_β ≠ ∅ each component reaches one).
+    let mut gamma: Vec<Vec<NodeId>> = vec![Vec::new(); nv];
+    let mut weight: Vec<u64> = vec![0; nv];
+    let mut visited = vec![false; nv];
+    for x in 0..nv {
+        if !in_gbeta[x] {
+            continue;
+        }
+        // BFS over α-edges from x.
+        let mut queue = vec![x];
+        visited[x] = true;
+        while let Some(y) = queue.pop() {
+            let y_id = NodeId::from_index(y);
+            if tree.is_compute(y_id) {
+                gamma[x].push(y_id);
+                weight[x] += n[y];
+            }
+            for &(z, e) in tree.neighbors(y_id) {
+                if alpha[e.index()] && !visited[z.index()] {
+                    visited[z.index()] = true;
+                    queue.push(z.index());
+                }
+            }
+        }
+    }
+    debug_assert!(
+        tree.compute_nodes().iter().all(|&c| visited[c.index()]),
+        "every compute node must be α-connected to a G_β vertex"
+    );
+
+    // Peel leaves of G_β by smallest weight.
+    let mut alive = in_gbeta.clone();
+    let mut deg: Vec<usize> = (0..nv).map(|x| beta_adj[x].len()).collect();
+    let mut alive_count = alive.iter().filter(|&&a| a).count();
+    let mut blocks: Vec<Vec<NodeId>> = Vec::new();
+    while alive_count > 1 {
+        // Leaf of G_β with minimal weight.
+        let x = (0..nv)
+            .filter(|&x| alive[x] && deg[x] <= 1)
+            .min_by_key(|&x| (weight[x], x))
+            .expect("a tree with ≥ 2 vertices has a leaf");
+        if weight[x] >= small_total {
+            blocks.push(std::mem::take(&mut gamma[x]));
+        } else {
+            let y = beta_adj[x]
+                .iter()
+                .copied()
+                .find(|&y| alive[y])
+                .expect("non-isolated leaf has an alive neighbor");
+            let moved = std::mem::take(&mut gamma[x]);
+            gamma[y].extend(moved);
+            weight[y] += weight[x];
+        }
+        alive[x] = false;
+        alive_count -= 1;
+        for &y in &beta_adj[x] {
+            if alive[y] {
+                deg[y] -= 1;
+            }
+        }
+    }
+    // The last vertex: Lemma 3 guarantees its weight reaches |R| whenever
+    // it still carries nodes.
+    if let Some(x) = (0..nv).find(|&x| alive[x]) {
+        if !gamma[x].is_empty() {
+            if weight[x] >= small_total || blocks.is_empty() {
+                blocks.push(std::mem::take(&mut gamma[x]));
+            } else {
+                // Defensive: cannot happen per Lemma 3, but never lose nodes.
+                debug_assert!(false, "last G_β vertex below threshold");
+                let moved = std::mem::take(&mut gamma[x]);
+                blocks.last_mut().expect("nonempty").extend(moved);
+            }
+        }
+    }
+    BalancedPartition {
+        blocks,
+        alpha,
+        small_total,
+    }
+}
+
+/// Check all four properties of Definition 1 for `partition` under weights
+/// `n` and threshold `small_total`. Returns a description of the first
+/// violated property.
+pub fn verify_balanced_partition(
+    tree: &Tree,
+    n: &[u64],
+    small_total: u64,
+    partition: &BalancedPartition,
+) -> Result<(), String> {
+    let nv = tree.num_nodes();
+    // Partition sanity: blocks cover V_C disjointly.
+    let block_of = partition.block_of(nv);
+    for &c in tree.compute_nodes() {
+        if block_of[c.index()] == usize::MAX {
+            return Err(format!("compute node {c} is in no block"));
+        }
+    }
+    let assigned: usize = partition.blocks.iter().map(Vec::len).sum();
+    if assigned != tree.num_compute() {
+        return Err(format!(
+            "blocks assign {assigned} slots to {} compute nodes",
+            tree.num_compute()
+        ));
+    }
+
+    // Property 1: α-connected compute nodes share a block.
+    for e in tree.edges() {
+        if !partition.alpha[e.index()] {
+            continue;
+        }
+        // Contract α-edges: both endpoint components must agree. Simpler:
+        // BFS α-components and check.
+        // (Handled below via component scan.)
+    }
+    {
+        let mut comp = vec![usize::MAX; nv];
+        let mut next = 0usize;
+        for start in 0..nv {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            comp[start] = next;
+            let mut queue = vec![start];
+            while let Some(y) = queue.pop() {
+                for &(z, e) in tree.neighbors(NodeId::from_index(y)) {
+                    if partition.alpha[e.index()] && comp[z.index()] == usize::MAX {
+                        comp[z.index()] = next;
+                        queue.push(z.index());
+                    }
+                }
+            }
+            next += 1;
+        }
+        for e in tree.edges() {
+            let (u, v) = tree.endpoints(e);
+            if partition.alpha[e.index()] {
+                debug_assert_eq!(comp[u.index()], comp[v.index()]);
+            }
+        }
+        let mut comp_block = vec![usize::MAX; next];
+        for &c in tree.compute_nodes() {
+            let k = comp[c.index()];
+            if comp_block[k] == usize::MAX {
+                comp_block[k] = block_of[c.index()];
+            } else if comp_block[k] != block_of[c.index()] {
+                return Err(format!(
+                    "property 1: α-component of {c} spans blocks {} and {}",
+                    comp_block[k],
+                    block_of[c.index()]
+                ));
+            }
+        }
+    }
+
+    // Spanning-tree edge sets per block: edge e belongs to block i's
+    // spanning tree iff members of block i lie on both sides of e.
+    let spanning: Vec<Vec<EdgeId>> = partition
+        .blocks
+        .iter()
+        .map(|block| {
+            let mut ind = vec![0u64; nv];
+            for &v in block {
+                ind[v.index()] = 1;
+            }
+            let cw = CutWeights::compute(tree, &ind);
+            tree.edges()
+                .filter(|&e| cw.side_u(e) > 0 && cw.side_v(e) > 0)
+                .collect()
+        })
+        .collect();
+
+    // Property 2: each edge in ≤ 1 spanning tree.
+    let mut seen = vec![usize::MAX; tree.num_edges()];
+    for (i, edges) in spanning.iter().enumerate() {
+        for &e in edges {
+            if seen[e.index()] != usize::MAX {
+                return Err(format!(
+                    "property 2: edge {e:?} in spanning trees of blocks {} and {i}",
+                    seen[e.index()]
+                ));
+            }
+            seen[e.index()] = i;
+        }
+    }
+
+    // Property 3: block weight ≥ |R|.
+    for (i, block) in partition.blocks.iter().enumerate() {
+        let w: u64 = block.iter().map(|&v| n[v.index()]).sum();
+        if w < small_total {
+            return Err(format!(
+                "property 3: block {i} has weight {w} < {small_total}"
+            ));
+        }
+    }
+
+    // Property 4: β-edges in a block's spanning tree have a light side.
+    for (i, block) in partition.blocks.iter().enumerate() {
+        let mut restricted = vec![0u64; nv];
+        for &v in block {
+            restricted[v.index()] = n[v.index()];
+        }
+        let cw = CutWeights::compute(tree, &restricted);
+        for &e in &spanning[i] {
+            if !partition.alpha[e.index()] && cw.min_side(e) > small_total {
+                return Err(format!(
+                    "property 4: β-edge {e:?} in block {i} has min side {} > {small_total}",
+                    cw.min_side(e)
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamp_topology::builders;
+
+    fn weights(tree: &Tree, per_compute: &[u64]) -> Vec<u64> {
+        let mut n = vec![0u64; tree.num_nodes()];
+        for (&v, &w) in tree.compute_nodes().iter().zip(per_compute) {
+            n[v.index()] = w;
+        }
+        n
+    }
+
+    #[test]
+    fn single_block_when_no_beta_edges() {
+        // Tiny |R| relative to every cut ⇒ all edges β... inverted: alpha
+        // edges have min side < |R|. With |R| large, all edges are α.
+        let t = builders::star(4, 1.0);
+        let n = weights(&t, &[10, 10, 10, 10]);
+        let p = balanced_partition(&t, &n, 15);
+        // Every cut min-side is 10 < 15 ⇒ all α ⇒ one block.
+        assert_eq!(p.num_blocks(), 1);
+        assert_eq!(p.blocks[0].len(), 4);
+        verify_balanced_partition(&t, &n, 15, &p).unwrap();
+    }
+
+    #[test]
+    fn star_small_r_gives_many_blocks() {
+        // |R| = 1: every edge with data on both sides is β.
+        let t = builders::star(4, 1.0);
+        let n = weights(&t, &[5, 5, 5, 5]);
+        let p = balanced_partition(&t, &n, 1);
+        verify_balanced_partition(&t, &n, 1, &p).unwrap();
+        // Each node alone already meets the threshold.
+        assert_eq!(p.num_blocks(), 4);
+    }
+
+    #[test]
+    fn merging_below_threshold() {
+        let t = builders::star(4, 1.0);
+        let n = weights(&t, &[3, 3, 3, 11]);
+        // Threshold 6: leaves with 3 must merge.
+        let p = balanced_partition(&t, &n, 6);
+        verify_balanced_partition(&t, &n, 6, &p).unwrap();
+        for block in &p.blocks {
+            let w: u64 = block.iter().map(|&v| n[v.index()]).sum();
+            assert!(w >= 6);
+        }
+    }
+
+    #[test]
+    fn rack_tree_partition_valid() {
+        let t = builders::rack_tree(&[(3, 1.0, 2.0), (3, 1.0, 2.0), (2, 1.0, 2.0)], 4.0);
+        let n = weights(&t, &[4, 9, 2, 7, 1, 12, 3, 8]);
+        for small in [1u64, 3, 8, 15, 23] {
+            let p = balanced_partition(&t, &n, small);
+            verify_balanced_partition(&t, &n, small, &p)
+                .unwrap_or_else(|e| panic!("small={small}: {e}"));
+        }
+    }
+
+    #[test]
+    fn random_trees_partition_valid() {
+        for seed in 0..30u64 {
+            let t = builders::random_tree(10, 6, 0.5, 8.0, seed);
+            let mut n = vec![0u64; t.num_nodes()];
+            let mut total = 0u64;
+            for (i, &v) in t.compute_nodes().iter().enumerate() {
+                let w = crate::hashing::mix64(seed * 100 + i as u64) % 20;
+                n[v.index()] = w;
+                total += w;
+            }
+            // small ≤ N/2 as guaranteed by the caller (|R| ≤ |S|).
+            for small in [0u64, 1, total / 8 + 1, total / 2] {
+                let p = balanced_partition(&t, &n, small);
+                verify_balanced_partition(&t, &n, small, &p)
+                    .unwrap_or_else(|e| panic!("seed={seed} small={small}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_threshold_every_group_emitted() {
+        let t = builders::star(3, 1.0);
+        let n = weights(&t, &[2, 0, 4]);
+        let p = balanced_partition(&t, &n, 0);
+        verify_balanced_partition(&t, &n, 0, &p).unwrap();
+    }
+}

@@ -1,0 +1,206 @@
+//! Algorithm 2: `TreeIntersect` — one-round set intersection on arbitrary
+//! symmetric trees via balanced partitions.
+//!
+//! Given a balanced partition `{V_C¹, …, V_Cᵏ}` (Algorithm 3), each block
+//! `i` carries a weighted hash `h_i` with `Pr[h_i(a) = v] = N_v / Σ_{u∈V_Cⁱ}
+//! N_u`. Every `R`-tuple is hashed into **all** blocks (one multicast to
+//! `{h_1(a), …, h_k(a)}`), while each `S`-tuple is hashed only within its
+//! owner's block. Block `i` therefore computes `R ∩ ⋃_{v∈V_Cⁱ} S_v`, and
+//! the union over blocks is `R ∩ S`. Theorem 2: cost is
+//! `O(log N · log |V|)` from optimal w.h.p., in a single round.
+
+use std::collections::HashMap;
+
+use tamp_simulator::{Protocol, Rel, Session, SimError, Value};
+use tamp_topology::NodeId;
+
+use crate::hashing::WeightedHash;
+
+use super::partition::balanced_partition;
+
+/// One-round randomized set intersection for symmetric trees
+/// (Algorithm 2). Returns the emitted intersection, sorted.
+#[derive(Clone, Debug)]
+pub struct TreeIntersect {
+    seed: u64,
+}
+
+impl TreeIntersect {
+    /// Create with a hash seed.
+    pub fn new(seed: u64) -> Self {
+        TreeIntersect { seed }
+    }
+}
+
+impl Protocol for TreeIntersect {
+    type Output = Vec<Value>;
+
+    fn name(&self) -> String {
+        format!("tree-intersect(seed={})", self.seed)
+    }
+
+    fn run(&self, session: &mut Session<'_>) -> Result<Self::Output, SimError> {
+        let tree = session.tree();
+        tree.require_symmetric()
+            .map_err(|e| SimError::Protocol(e.to_string()))?;
+        let stats = session.stats().clone();
+        let (small, big) = if stats.total_r <= stats.total_s {
+            (Rel::R, Rel::S)
+        } else {
+            (Rel::S, Rel::R)
+        };
+        let small_total = stats.total_rel(small);
+        if small_total == 0 {
+            return Ok(Vec::new());
+        }
+
+        let partition = balanced_partition(tree, &stats.n, small_total);
+        let block_of = partition.block_of(tree.num_nodes());
+        // One weighted hash per block, over the block's N_v weights.
+        let hashes: Vec<Option<WeightedHash>> = partition
+            .blocks
+            .iter()
+            .enumerate()
+            .map(|(i, block)| {
+                let weighted: Vec<(NodeId, u64)> =
+                    block.iter().map(|&v| (v, stats.n_v(v))).collect();
+                WeightedHash::new(self.seed.wrapping_add(i as u64).wrapping_mul(0x9E37), &weighted)
+            })
+            .collect();
+
+        session.round(|round| {
+            for &v in tree.compute_nodes() {
+                // Small-relation tuples: multicast to {h_i(a)} over all
+                // blocks with one send per distinct destination vector.
+                let mut by_dsts: HashMap<Vec<NodeId>, Vec<Value>> = HashMap::new();
+                for &a in round.state(v).rel(small) {
+                    let mut dsts: Vec<NodeId> =
+                        hashes.iter().flatten().map(|h| h.pick(a)).collect();
+                    dsts.sort_unstable();
+                    dsts.dedup();
+                    by_dsts.entry(dsts).or_default().push(a);
+                }
+                for (dsts, vals) in by_dsts {
+                    round.send(v, &dsts, small, &vals)?;
+                }
+                // Big-relation tuples: hash within the owner's block only.
+                let bi = block_of[v.index()];
+                if bi == usize::MAX {
+                    continue;
+                }
+                if let Some(h) = &hashes[bi] {
+                    let mut by_dst: HashMap<NodeId, Vec<Value>> = HashMap::new();
+                    for &a in round.state(v).rel(big) {
+                        by_dst.entry(h.pick(a)).or_default().push(a);
+                    }
+                    for (dst, vals) in by_dst {
+                        round.send(v, &[dst], big, &vals)?;
+                    }
+                }
+            }
+            Ok(())
+        })?;
+
+        Ok(emit_intersection(session))
+    }
+}
+
+/// Collect the union of all nodes' locally emittable intersections, sorted.
+pub(crate) fn emit_intersection(session: &Session<'_>) -> Vec<Value> {
+    tamp_simulator::verify::emitted_intersection(session.states())
+        .into_iter()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamp_simulator::{run_protocol, verify, Placement};
+    use tamp_topology::builders;
+
+    fn planted_placement(
+        tree: &tamp_topology::Tree,
+        r_size: u64,
+        s_size: u64,
+        seed: u64,
+    ) -> Placement {
+        // R = 0..r_size, S = r_size/2..r_size/2+s_size (overlap planted),
+        // scattered round-robin with a seeded twist.
+        let mut p = Placement::empty(tree);
+        let vc = tree.compute_nodes();
+        for a in 0..r_size {
+            let v = vc[(crate::hashing::mix64(a ^ seed) % vc.len() as u64) as usize];
+            p.push(v, Rel::R, a);
+        }
+        for a in 0..s_size {
+            let val = r_size / 2 + a;
+            let v = vc[(crate::hashing::mix64(val ^ seed ^ 0xABCD) % vc.len() as u64) as usize];
+            p.push(v, Rel::S, val);
+        }
+        p
+    }
+
+    #[test]
+    fn correct_on_star() {
+        let t = builders::star(5, 1.0);
+        let p = planted_placement(&t, 100, 300, 1);
+        let run = run_protocol(&t, &p, &TreeIntersect::new(9)).unwrap();
+        assert_eq!(run.rounds, 1);
+        verify::check_intersection(&run.final_state, &p.all_r(), &p.all_s()).unwrap();
+    }
+
+    #[test]
+    fn correct_on_rack_tree() {
+        let t = builders::rack_tree(&[(3, 1.0, 2.0), (3, 2.0, 4.0), (2, 1.0, 1.0)], 1.0);
+        let p = planted_placement(&t, 200, 600, 2);
+        let run = run_protocol(&t, &p, &TreeIntersect::new(5)).unwrap();
+        assert_eq!(run.rounds, 1);
+        verify::check_intersection(&run.final_state, &p.all_r(), &p.all_s()).unwrap();
+    }
+
+    #[test]
+    fn correct_on_random_trees() {
+        for seed in 0..10u64 {
+            let t = builders::random_tree(8, 5, 0.5, 4.0, seed);
+            let p = planted_placement(&t, 80, 240, seed);
+            let run = run_protocol(&t, &p, &TreeIntersect::new(seed)).unwrap();
+            assert_eq!(run.rounds, 1);
+            verify::check_intersection(&run.final_state, &p.all_r(), &p.all_s())
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn skewed_placement_still_correct() {
+        // All R on one node, S on another, far apart in a caterpillar.
+        let t = builders::caterpillar(5, 2, 1.0);
+        let mut p = Placement::empty(&t);
+        let vc = t.compute_nodes();
+        p.set_r(vc[0], (0..50).collect());
+        p.set_s(vc[9], (25..75).collect());
+        let run = run_protocol(&t, &p, &TreeIntersect::new(4)).unwrap();
+        verify::check_intersection(&run.final_state, &p.all_r(), &p.all_s()).unwrap();
+        let expected: Vec<u64> = (25..50).collect();
+        assert_eq!(run.output, expected);
+    }
+
+    #[test]
+    fn empty_small_relation_short_circuits() {
+        let t = builders::star(3, 1.0);
+        let mut p = Placement::empty(&t);
+        p.set_s(NodeId(0), (0..10).collect());
+        let run = run_protocol(&t, &p, &TreeIntersect::new(0)).unwrap();
+        assert!(run.output.is_empty());
+        assert_eq!(run.cost.tuple_cost(), 0.0);
+    }
+
+    #[test]
+    fn rejects_asymmetric_tree() {
+        let t = builders::mpc_star(3);
+        let p = Placement::empty(&t);
+        assert!(matches!(
+            run_protocol(&t, &p, &TreeIntersect::new(0)),
+            Err(SimError::Protocol(_))
+        ));
+    }
+}

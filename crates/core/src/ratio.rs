@@ -1,0 +1,80 @@
+//! Lower-bound values and competitive ratios.
+
+use tamp_topology::EdgeId;
+
+/// An evaluated lower bound: the bound's value (in tuples) and the edge
+/// whose cut attains the maximum, when meaningful.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LowerBound {
+    value: f64,
+    witness: Option<EdgeId>,
+}
+
+impl LowerBound {
+    /// A bound of `value` attained at `witness`.
+    pub fn new(value: f64, witness: Option<EdgeId>) -> Self {
+        LowerBound { value, witness }
+    }
+
+    /// The zero bound (e.g. when all data already sits on one node).
+    pub fn zero() -> Self {
+        LowerBound {
+            value: 0.0,
+            witness: None,
+        }
+    }
+
+    /// The bound's value, in tuples.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// The edge attaining the maximum.
+    #[inline]
+    pub fn witness(&self) -> Option<EdgeId> {
+        self.witness
+    }
+
+    /// Pointwise maximum of two bounds.
+    pub fn max(self, other: LowerBound) -> LowerBound {
+        if other.value > self.value {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+/// Competitive ratio `cost / lb` with the degenerate cases pinned:
+/// `0 / 0 = 1` (both vacuous) and `x / 0 = ∞` for `x > 0`.
+pub fn ratio(cost: f64, lb: f64) -> f64 {
+    if lb > 0.0 {
+        cost / lb
+    } else if cost == 0.0 {
+        1.0
+    } else {
+        f64::INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_degenerate_cases() {
+        assert_eq!(ratio(10.0, 5.0), 2.0);
+        assert_eq!(ratio(0.0, 0.0), 1.0);
+        assert_eq!(ratio(3.0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn max_prefers_larger() {
+        let a = LowerBound::new(3.0, None);
+        let b = LowerBound::new(5.0, Some(EdgeId(1)));
+        assert_eq!(a.max(b).value(), 5.0);
+        assert_eq!(a.max(b).witness(), Some(EdgeId(1)));
+        assert_eq!(b.max(a).value(), 5.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Theorem 6: the sorting lower bound and its adversarial placement.
+
+use tamp_simulator::{Placement, PlacementStats, Rel};
+use tamp_topology::{CutWeights, NodeId, Tree};
+
+use crate::ratio::LowerBound;
+
+/// Evaluate Theorem 6 on a concrete topology and placement:
+///
+/// ```text
+/// C_LB = max_e (1/w_e) · min{ Σ_{v∈V⁻_e} N_v, Σ_{v∈V⁺_e} N_v }
+/// ```
+///
+/// in tuples. The bound is witnessed by the interleaved placement of
+/// [`adversarial_placement`]; for arbitrary placements it is still a valid
+/// *distribution-specific* yardstick: the paper's algorithms meet it for
+/// every placement, and no algorithm beats it on the adversarial one.
+pub fn sorting_lower_bound(tree: &Tree, stats: &PlacementStats) -> LowerBound {
+    tree.require_symmetric()
+        .expect("Theorem 6 requires a symmetric tree");
+    let cuts = CutWeights::compute(tree, &stats.n);
+    let mut best = LowerBound::zero();
+    for e in tree.edges() {
+        let value = tree.sym_bandwidth(e).cost_of(cuts.min_side(e) as f64);
+        if value > best.value() {
+            best = LowerBound::new(value, Some(e));
+        }
+    }
+    best
+}
+
+/// The adversarial initial distribution from the proof of Theorem 6.
+///
+/// Ranked elements `r_1 < r_2 < … < r_N` are laid out in the order
+/// `{r_1, r_3, …, r_{N-1}, r_2, r_4, …, r_N}` and dealt to the compute
+/// nodes in a left-to-right traversal order (rooted at `root`), `sizes[i]`
+/// elements to the `i`-th node of that order. Every cut then separates
+/// interleaved odd/even runs, forcing `Ω(min-side)` tuples across it.
+///
+/// Element values are `1..=N` (value = rank).
+pub fn adversarial_placement(tree: &Tree, root: NodeId, sizes: &[u64]) -> Placement {
+    let order = tree.left_to_right_compute_order(root);
+    assert_eq!(
+        sizes.len(),
+        order.len(),
+        "one size per compute node in traversal order"
+    );
+    let n: u64 = sizes.iter().sum();
+    // The interleaved sequence: odds ascending, then evens ascending.
+    let mut seq = Vec::with_capacity(n as usize);
+    let mut v = 1u64;
+    while v <= n {
+        seq.push(v);
+        v += 2;
+    }
+    v = 2;
+    while v <= n {
+        seq.push(v);
+        v += 2;
+    }
+    let mut placement = Placement::empty(tree);
+    let mut cursor = 0usize;
+    for (&node, &size) in order.iter().zip(sizes) {
+        for _ in 0..size {
+            placement.push(node, Rel::R, seq[cursor]);
+            cursor += 1;
+        }
+    }
+    placement
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamp_topology::builders;
+
+    #[test]
+    fn bound_is_min_cut_over_bandwidth() {
+        let t = builders::heterogeneous_star(&[1.0, 2.0, 8.0]);
+        let mut p = Placement::empty(&t);
+        p.set_r(NodeId(0), (0..8).collect());
+        p.set_r(NodeId(1), (8..24).collect());
+        p.set_r(NodeId(2), (24..32).collect());
+        let lb = sorting_lower_bound(&t, &p.stats());
+        // Edges: min(8,24)/1 = 8; min(16,16)/2 = 8; min(8,24)/8 = 1.
+        assert_eq!(lb.value(), 8.0);
+    }
+
+    #[test]
+    fn adversarial_placement_interleaves() {
+        let t = builders::star(2, 1.0);
+        let hub = NodeId(2);
+        let p = adversarial_placement(&t, hub, &[3, 3]);
+        let order = t.left_to_right_compute_order(hub);
+        // First node gets odds {1,3,5}, second gets {2,4,6}.
+        assert_eq!(p.node(order[0]).r, vec![1, 3, 5]);
+        assert_eq!(p.node(order[1]).r, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn adversarial_placement_spills_across() {
+        let t = builders::star(2, 1.0);
+        let p = adversarial_placement(&t, NodeId(2), &[4, 2]);
+        let order = t.left_to_right_compute_order(NodeId(2));
+        // N = 6: sequence 1,3,5,2,4,6 → first node {1,3,5,2}, second {4,6}.
+        assert_eq!(p.node(order[0]).r, vec![1, 3, 5, 2]);
+        assert_eq!(p.node(order[1]).r, vec![4, 6]);
+    }
+
+    #[test]
+    fn every_rank_placed_once() {
+        let t = builders::rack_tree(&[(2, 1.0, 1.0), (3, 1.0, 1.0)], 1.0);
+        let p = adversarial_placement(&t, NodeId(5), &[4, 1, 7, 0, 3]);
+        let mut all = p.all_r();
+        all.sort_unstable();
+        assert_eq!(all, (1..=15).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type for query planning and execution.
+
+use std::fmt;
+
+/// Errors raised while building schemas, planning or executing queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// A column name appears twice in a schema.
+    DuplicateColumn(String),
+    /// A column name is empty.
+    EmptyColumnName,
+    /// A referenced column does not exist.
+    UnknownColumn(String),
+    /// A referenced table does not exist in the catalog.
+    UnknownTable(String),
+    /// A row's width does not match its schema.
+    WidthMismatch {
+        /// Expected width from the schema.
+        expected: usize,
+        /// Actual row width.
+        actual: usize,
+    },
+    /// An expression referenced a column index out of range.
+    ColumnOutOfRange {
+        /// Referenced index.
+        index: usize,
+        /// Row width.
+        width: usize,
+    },
+    /// Division by zero during expression evaluation.
+    DivideByZero,
+    /// The underlying simulator rejected the execution.
+    Simulator(String),
+    /// Plan construction error (e.g. aggregate of a non-existent column).
+    Plan(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DuplicateColumn(c) => write!(f, "duplicate column name `{c}`"),
+            Self::EmptyColumnName => write!(f, "empty column name"),
+            Self::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            Self::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            Self::WidthMismatch { expected, actual } => {
+                write!(f, "row width {actual} does not match schema width {expected}")
+            }
+            Self::ColumnOutOfRange { index, width } => {
+                write!(f, "column index {index} out of range for width-{width} row")
+            }
+            Self::DivideByZero => write!(f, "division by zero"),
+            Self::Simulator(msg) => write!(f, "simulator error: {msg}"),
+            Self::Plan(msg) => write!(f, "plan error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<tamp_simulator::SimError> for QueryError {
+    fn from(e: tamp_simulator::SimError) -> Self {
+        QueryError::Simulator(e.to_string())
+    }
+}

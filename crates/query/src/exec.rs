@@ -1,0 +1,1090 @@
+//! The distributed executor.
+//!
+//! Executes a [`LogicalPlan`] over the catalog's distributed tables on the
+//! topology-aware cost model, one operator at a time:
+//!
+//! | Operator | Primitive | Rounds |
+//! |----------|-----------|--------|
+//! | `Filter` / `Project` | local computation (free, §2) | 0 |
+//! | `HashJoin` | distribution-aware weighted repartition (the Algorithm-2 idea), uniform repartition (MPC baseline), or broadcast of the small side (the `V_β` idea from Algorithm 1) | 1 |
+//! | `CrossJoin` | broadcast the smaller side to the big side's holders | 1 |
+//! | `OrderBy` | sample → proportional splitters → range shuffle (weighted TeraSort, §5.2) | 3 |
+//! | `Aggregate` | local partials + weighted hash shuffle ([`HashGroupBy`](tamp_core::aggregate::HashGroupBy)) | 1 |
+//! | `Limit` | bounded gather to the first compute node | 1 |
+//!
+//! Every shipped row is flattened to `width` simulator values, so the
+//! metered cost is proportional to the data a real system would move. The
+//! result records the total cost and a per-operator breakdown.
+
+use std::collections::HashMap;
+
+use tamp_core::hashing::{mix64, WeightedHash};
+use tamp_core::sorting::{coin, sample_rate, valid_order};
+use tamp_simulator::cost::Cost;
+use tamp_simulator::{run_protocol, Placement, Protocol, Rel, Session, SimError};
+use tamp_topology::{NodeId, Tree};
+
+use crate::error::QueryError;
+use crate::expr::Expr;
+use crate::plan::{AggFunc, LogicalPlan};
+use crate::row::{canonicalize, flatten, Row};
+use crate::schema::Schema;
+use crate::table::Catalog;
+
+/// How equi-joins repartition their inputs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum JoinStrategy {
+    /// Pick per join: broadcast when one side is much smaller than the
+    /// other (`|small| · |V_C| ≤ |big|`), else weighted repartition.
+    #[default]
+    Auto,
+    /// Repartition both sides by a hash weighted by each node's *current*
+    /// data — the distribution-aware choice.
+    Weighted,
+    /// Repartition both sides uniformly — the topology-agnostic MPC
+    /// baseline.
+    Uniform,
+    /// Replicate the smaller side to every node holding big-side rows.
+    BroadcastSmall,
+}
+
+/// Execution options.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExecOptions {
+    /// Join strategy.
+    pub join: JoinStrategy,
+    /// Seed for hashing and sampling.
+    pub seed: u64,
+}
+
+/// The result of a distributed query execution.
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    /// Output schema.
+    pub schema: Schema,
+    /// Output row fragments, indexed by node id.
+    pub fragments: Vec<Vec<Row>>,
+    /// Total metered cost.
+    pub cost: Cost,
+    /// `(operator, tuple cost)` in execution order (post-order of the
+    /// plan); operators with no communication report `0`.
+    pub operator_costs: Vec<(String, f64)>,
+    /// Communication rounds used.
+    pub rounds: usize,
+    /// The compute-node order along which `OrderBy` range-partitions (the
+    /// tree's valid left-to-right order); order-preserving row collection
+    /// concatenates fragments along it.
+    pub node_order: Vec<NodeId>,
+}
+
+impl QueryResult {
+    /// All output rows. Order-preserving plans (`OrderBy`, `Limit` above
+    /// one) concatenate fragments in execution order; anything else is
+    /// canonicalized for stable comparisons.
+    pub fn rows(&self, order_preserving: bool) -> Vec<Row> {
+        let mut rows: Vec<Row> = self
+            .node_order
+            .iter()
+            .flat_map(|&v| self.fragments[v.index()].iter().cloned())
+            .collect();
+        if !order_preserving {
+            canonicalize(&mut rows);
+        }
+        rows
+    }
+
+    /// Total number of output rows.
+    pub fn num_rows(&self) -> usize {
+        self.fragments.iter().map(Vec::len).sum()
+    }
+}
+
+/// Execute `plan` over `catalog` with `options`.
+pub fn execute(
+    catalog: &Catalog,
+    plan: &LogicalPlan,
+    options: ExecOptions,
+) -> Result<QueryResult, QueryError> {
+    // Validate up front so errors surface before any simulation.
+    let schema = plan.schema(catalog)?;
+    let proto = QueryProtocol {
+        catalog,
+        plan,
+        options,
+    };
+    let placement = Placement::empty(catalog.tree());
+    let run = run_protocol(catalog.tree(), &placement, &proto).map_err(QueryError::from)?;
+    let (fragments, marks, inner) = run.output;
+    if let Some(e) = inner {
+        return Err(e);
+    }
+    // Attribute per-round costs to operators via the recorded marks.
+    let mut operator_costs = Vec::with_capacity(marks.len());
+    let mut prev = 0usize;
+    for (name, upto) in marks {
+        let c: f64 = run.cost.per_round[prev..upto]
+            .iter()
+            .map(|r| r.tuple_cost)
+            .sum();
+        operator_costs.push((name, c));
+        prev = upto;
+    }
+    Ok(QueryResult {
+        schema,
+        fragments,
+        cost: run.cost,
+        operator_costs,
+        rounds: run.rounds,
+        node_order: valid_order(catalog.tree()),
+    })
+}
+
+type Fragments = Vec<Vec<Row>>;
+type Marks = Vec<(String, usize)>;
+
+struct QueryProtocol<'a> {
+    catalog: &'a Catalog,
+    plan: &'a LogicalPlan,
+    options: ExecOptions,
+}
+
+impl Protocol for QueryProtocol<'_> {
+    type Output = (Fragments, Marks, Option<QueryError>);
+
+    fn name(&self) -> String {
+        "query".into()
+    }
+
+    fn run(&self, session: &mut Session<'_>) -> Result<Self::Output, SimError> {
+        let mut marks = Vec::new();
+        match exec_node(self.catalog, self.plan, self.options, session, &mut marks) {
+            Ok((_, fragments)) => Ok((fragments, marks, None)),
+            Err(Error::Sim(e)) => Err(e),
+            Err(Error::Query(e)) => Ok((Vec::new(), marks, Some(e))),
+        }
+    }
+}
+
+/// Internal error: simulator failures abort the run; query errors are
+/// carried out to the caller.
+enum Error {
+    Sim(SimError),
+    Query(QueryError),
+}
+
+impl From<SimError> for Error {
+    fn from(e: SimError) -> Self {
+        Error::Sim(e)
+    }
+}
+
+impl From<QueryError> for Error {
+    fn from(e: QueryError) -> Self {
+        Error::Query(e)
+    }
+}
+
+fn mark(marks: &mut Marks, name: impl Into<String>, session: &Session<'_>) {
+    marks.push((name.into(), session.rounds_executed()));
+}
+
+fn exec_node(
+    catalog: &Catalog,
+    plan: &LogicalPlan,
+    options: ExecOptions,
+    session: &mut Session<'_>,
+    marks: &mut Marks,
+) -> Result<(Schema, Fragments), Error> {
+    let tree = session.tree();
+    match plan {
+        LogicalPlan::Scan { table } => {
+            let t = catalog.table(table).map_err(Error::Query)?;
+            mark(marks, format!("Scan {table}"), session);
+            Ok((t.schema.clone(), t.fragments.clone()))
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let (schema, mut frags) = exec_node(catalog, input, options, session, marks)?;
+            let bound = predicate.bind(&schema).map_err(Error::Query)?;
+            for frag in &mut frags {
+                let mut kept = Vec::with_capacity(frag.len());
+                for row in frag.drain(..) {
+                    if bound.matches(&row).map_err(Error::Query)? {
+                        kept.push(row);
+                    }
+                }
+                *frag = kept;
+            }
+            mark(marks, format!("Filter {predicate}"), session);
+            Ok((schema, frags))
+        }
+        LogicalPlan::Project { input, exprs } => {
+            let (schema, frags) = exec_node(catalog, input, options, session, marks)?;
+            let bound: Vec<Expr> = exprs
+                .iter()
+                .map(|(_, e)| e.bind(&schema))
+                .collect::<Result<_, _>>()
+                .map_err(Error::Query)?;
+            let mut out = vec![Vec::new(); frags.len()];
+            for (i, frag) in frags.iter().enumerate() {
+                for row in frag {
+                    let projected: Result<Row, QueryError> =
+                        bound.iter().map(|e| e.eval(row)).collect();
+                    out[i].push(projected.map_err(Error::Query)?);
+                }
+            }
+            let schema = Schema::new(exprs.iter().map(|(n, _)| n.clone()).collect())
+                .map_err(Error::Query)?;
+            mark(marks, "Project", session);
+            Ok((schema, out))
+        }
+        LogicalPlan::HashJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+        } => {
+            let (ls, lfrags) = exec_node(catalog, left, options, session, marks)?;
+            let (rs, rfrags) = exec_node(catalog, right, options, session, marks)?;
+            let li = ls.index_of(left_key).map_err(Error::Query)?;
+            let ri = rs.index_of(right_key).map_err(Error::Query)?;
+            let out_schema = ls.join(&rs, "r_").map_err(Error::Query)?;
+            let frags = exec_hash_join(
+                tree, session, options, lfrags, rfrags, li, ri, ls.width(), rs.width(),
+            )?;
+            mark(marks, format!("HashJoin {left_key}={right_key}"), session);
+            Ok((out_schema, frags))
+        }
+        LogicalPlan::CrossJoin { left, right } => {
+            let (ls, lfrags) = exec_node(catalog, left, options, session, marks)?;
+            let (rs, rfrags) = exec_node(catalog, right, options, session, marks)?;
+            let out_schema = ls.join(&rs, "r_").map_err(Error::Query)?;
+            let frags = exec_cross_join(tree, session, lfrags, rfrags, ls.width(), rs.width())?;
+            mark(marks, "CrossJoin", session);
+            Ok((out_schema, frags))
+        }
+        LogicalPlan::OrderBy { input, key } => {
+            let (schema, frags) = exec_node(catalog, input, options, session, marks)?;
+            let ki = schema.index_of(key).map_err(Error::Query)?;
+            let frags = exec_order_by(tree, session, options, frags, ki, schema.width())?;
+            mark(marks, format!("OrderBy {key}"), session);
+            Ok((schema, frags))
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            agg,
+            measure,
+        } => {
+            let (schema, frags) = exec_node(catalog, input, options, session, marks)?;
+            let gi = schema.index_of(group_by).map_err(Error::Query)?;
+            let mi = schema.index_of(measure).map_err(Error::Query)?;
+            let frags = exec_aggregate(tree, session, options, frags, gi, mi, *agg)?;
+            let out = Schema::new(vec![
+                group_by.clone(),
+                format!("{}_{}", agg.name(), measure),
+            ])
+            .map_err(Error::Query)?;
+            mark(marks, format!("Aggregate {}", agg.name()), session);
+            Ok((out, frags))
+        }
+        LogicalPlan::Limit { input, n } => {
+            let order_preserving = crate::reference::preserves_order(input);
+            let (schema, frags) = exec_node(catalog, input, options, session, marks)?;
+            let frags =
+                exec_limit(tree, session, frags, *n, schema.width(), order_preserving)?;
+            mark(marks, format!("Limit {n}"), session);
+            Ok((schema, frags))
+        }
+        LogicalPlan::Distinct { input } => {
+            let (schema, frags) = exec_node(catalog, input, options, session, marks)?;
+            let frags = exec_distinct(tree, session, options, frags, schema.width())?;
+            mark(marks, "Distinct", session);
+            Ok((schema, frags))
+        }
+        LogicalPlan::UnionAll { left, right } => {
+            let (ls, lfrags) = exec_node(catalog, left, options, session, marks)?;
+            let (rs, mut rfrags) = exec_node(catalog, right, options, session, marks)?;
+            if ls != rs {
+                return Err(Error::Query(QueryError::Plan(format!(
+                    "UNION ALL schema mismatch: {ls} vs {rs}"
+                ))));
+            }
+            // Bag union is free: fragments concatenate in place.
+            let mut frags = lfrags;
+            for (f, r) in frags.iter_mut().zip(rfrags.iter_mut()) {
+                f.append(r);
+            }
+            mark(marks, "UnionAll", session);
+            Ok((ls, frags))
+        }
+    }
+}
+
+/// Current per-node row counts, as weights for distribution-aware hashing.
+fn frag_weights(tree: &Tree, frags: &[Vec<Row>], extra: &[Vec<Row>]) -> Vec<(NodeId, u64)> {
+    tree.compute_nodes()
+        .iter()
+        .map(|&v| {
+            (
+                v,
+                (frags[v.index()].len() + extra[v.index()].len()) as u64,
+            )
+        })
+        .collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn exec_hash_join(
+    tree: &Tree,
+    session: &mut Session<'_>,
+    options: ExecOptions,
+    lfrags: Fragments,
+    rfrags: Fragments,
+    li: usize,
+    ri: usize,
+    lw: usize,
+    rw: usize,
+) -> Result<Fragments, Error> {
+    let l_total: usize = lfrags.iter().map(Vec::len).sum();
+    let r_total: usize = rfrags.iter().map(Vec::len).sum();
+    let k = tree.num_compute();
+    let strategy = match options.join {
+        JoinStrategy::Auto => {
+            // Broadcast pays |small|·|V_C| in the worst case; repartition
+            // pays about |small| + |big|. Mirror Algorithm 1's V_β test.
+            if l_total.min(r_total).saturating_mul(k) <= l_total.max(r_total) {
+                JoinStrategy::BroadcastSmall
+            } else {
+                JoinStrategy::Weighted
+            }
+        }
+        s => s,
+    };
+
+    let (l_new, r_new) = match strategy {
+        JoinStrategy::BroadcastSmall => {
+            let left_is_small = l_total <= r_total;
+            let (small_frags, small_w, big_frags) = if left_is_small {
+                (&lfrags, lw, &rfrags)
+            } else {
+                (&rfrags, rw, &lfrags)
+            };
+            // Replicate the small side to every node holding big rows.
+            let holders: Vec<NodeId> = tree
+                .compute_nodes()
+                .iter()
+                .copied()
+                .filter(|&v| !big_frags[v.index()].is_empty())
+                .collect();
+            let mut small_new: Fragments = vec![Vec::new(); tree.num_nodes()];
+            session.round(|round| {
+                for &v in tree.compute_nodes() {
+                    let local = &small_frags[v.index()];
+                    if local.is_empty() || holders.is_empty() {
+                        continue;
+                    }
+                    round.send(v, &holders, Rel::R, &flatten(local, small_w))?;
+                }
+                Ok(())
+            })?;
+            for &h in &holders {
+                for frag in small_frags.iter() {
+                    small_new[h.index()].extend(frag.iter().cloned());
+                }
+            }
+            if left_is_small {
+                (small_new, rfrags)
+            } else {
+                (lfrags, small_new)
+            }
+        }
+        JoinStrategy::Weighted | JoinStrategy::Uniform => {
+            let router: Box<dyn Fn(u64) -> NodeId> = match strategy {
+                JoinStrategy::Weighted => {
+                    let weights = frag_weights(tree, &lfrags, &rfrags);
+                    match WeightedHash::new(options.seed, &weights) {
+                        Some(h) => Box::new(move |key| h.pick(key)),
+                        None => return Ok(vec![Vec::new(); tree.num_nodes()]),
+                    }
+                }
+                _ => {
+                    let vc: Vec<NodeId> = tree.compute_nodes().to_vec();
+                    let seed = options.seed;
+                    Box::new(move |key| vc[(mix64(key ^ seed) % vc.len() as u64) as usize])
+                }
+            };
+            let l_new = shuffle_by_key(tree, session, &lfrags, li, lw, Rel::R, &router)?;
+            let r_new = shuffle_by_key(tree, session, &rfrags, ri, rw, Rel::S, &router)?;
+            (l_new, r_new)
+        }
+        JoinStrategy::Auto => unreachable!("resolved above"),
+    };
+
+    // Local probe join.
+    let mut out: Fragments = vec![Vec::new(); tree.num_nodes()];
+    for &v in tree.compute_nodes() {
+        let mut by_key: HashMap<u64, Vec<&Row>> = HashMap::new();
+        for row in &r_new[v.index()] {
+            by_key.entry(row[ri]).or_default().push(row);
+        }
+        for lrow in &l_new[v.index()] {
+            if let Some(matches) = by_key.get(&lrow[li]) {
+                for rrow in matches {
+                    let mut joined = lrow.clone();
+                    joined.extend_from_slice(rrow);
+                    out[v.index()].push(joined);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// One-round repartition of row fragments by a key router. Both relations
+/// of a join shuffle in the *same* round (callers invoke this twice before
+/// the round seals — see note below), so this helper runs its own round.
+fn shuffle_by_key(
+    tree: &Tree,
+    session: &mut Session<'_>,
+    frags: &Fragments,
+    key_idx: usize,
+    width: usize,
+    rel: Rel,
+    router: &dyn Fn(u64) -> NodeId,
+) -> Result<Fragments, SimError> {
+    let mut new_frags: Fragments = vec![Vec::new(); tree.num_nodes()];
+    let mut outgoing: Vec<(NodeId, NodeId, Vec<u64>)> = Vec::new();
+    for &v in tree.compute_nodes() {
+        let mut by_dst: HashMap<NodeId, Vec<Row>> = HashMap::new();
+        for row in &frags[v.index()] {
+            let dst = router(row[key_idx]);
+            if dst == v {
+                new_frags[v.index()].push(row.clone());
+            } else {
+                by_dst.entry(dst).or_default().push(row.clone());
+            }
+        }
+        for (dst, rows) in by_dst {
+            outgoing.push((v, dst, flatten(&rows, width)));
+            new_frags[dst.index()].extend(rows);
+        }
+    }
+    session.round(|round| {
+        for (src, dst, buf) in &outgoing {
+            round.send(*src, &[*dst], rel, buf)?;
+        }
+        Ok(())
+    })?;
+    Ok(new_frags)
+}
+
+fn exec_cross_join(
+    tree: &Tree,
+    session: &mut Session<'_>,
+    lfrags: Fragments,
+    rfrags: Fragments,
+    lw: usize,
+    rw: usize,
+) -> Result<Fragments, Error> {
+    let l_total: usize = lfrags.iter().map(Vec::len).sum();
+    let r_total: usize = rfrags.iter().map(Vec::len).sum();
+    let left_is_small = l_total * lw <= r_total * rw;
+    let (small_frags, small_w, big_frags) = if left_is_small {
+        (&lfrags, lw, &rfrags)
+    } else {
+        (&rfrags, rw, &lfrags)
+    };
+    let holders: Vec<NodeId> = tree
+        .compute_nodes()
+        .iter()
+        .copied()
+        .filter(|&v| !big_frags[v.index()].is_empty())
+        .collect();
+    session.round(|round| {
+        for &v in tree.compute_nodes() {
+            let local = &small_frags[v.index()];
+            if local.is_empty() || holders.is_empty() {
+                continue;
+            }
+            round.send(v, &holders, Rel::R, &flatten(local, small_w))?;
+        }
+        Ok(())
+    })?;
+    let small_all: Vec<Row> = small_frags.iter().flatten().cloned().collect();
+    let mut out: Fragments = vec![Vec::new(); tree.num_nodes()];
+    for &h in &holders {
+        for big_row in &big_frags[h.index()] {
+            for small_row in &small_all {
+                let joined = if left_is_small {
+                    let mut j = small_row.clone();
+                    j.extend_from_slice(big_row);
+                    j
+                } else {
+                    let mut j = big_row.clone();
+                    j.extend_from_slice(small_row);
+                    j
+                };
+                out[h.index()].push(joined);
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn exec_order_by(
+    tree: &Tree,
+    session: &mut Session<'_>,
+    options: ExecOptions,
+    frags: Fragments,
+    ki: usize,
+    width: usize,
+) -> Result<Fragments, Error> {
+    let order = valid_order(tree);
+    let total: usize = frags.iter().map(Vec::len).sum();
+    if total == 0 {
+        return Ok(frags);
+    }
+    let coordinator = order[0];
+    let rho = sample_rate(order.len(), total as u64);
+
+    // Round 1: sample keys to the coordinator (width-1 messages).
+    let mut all_samples: Vec<u64> = Vec::new();
+    let mut sampled: Vec<(NodeId, Vec<u64>)> = Vec::new();
+    for &v in &order {
+        let samples: Vec<u64> = frags[v.index()]
+            .iter()
+            .map(|r| r[ki])
+            .filter(|&x| coin(options.seed, x, rho))
+            .collect();
+        all_samples.extend_from_slice(&samples);
+        sampled.push((v, samples));
+    }
+    session.round(|round| {
+        for (v, samples) in &sampled {
+            round.send(*v, &[coordinator], Rel::S, samples)?;
+        }
+        Ok(())
+    })?;
+
+    // Coordinator picks splitters proportional to current node loads.
+    all_samples.sort_unstable();
+    let weights: Vec<u64> = order.iter().map(|&v| frags[v.index()].len() as u64).collect();
+    let wsum: u64 = weights.iter().sum();
+    let mut splitters: Vec<u64> = Vec::with_capacity(order.len().saturating_sub(1));
+    let mut acc = 0u64;
+    for &w in weights.iter().take(order.len() - 1) {
+        acc += w;
+        if all_samples.is_empty() {
+            splitters.push(u64::MAX);
+            continue;
+        }
+        let idx = ((acc as u128 * all_samples.len() as u128) / wsum.max(1) as u128) as usize;
+        splitters.push(if idx == 0 {
+            u64::MIN
+        } else {
+            all_samples
+                .get(idx - 1)
+                .copied()
+                .unwrap_or(u64::MAX)
+        });
+    }
+
+    // Round 2: broadcast splitters.
+    session.round(|round| round.send(coordinator, &order, Rel::S, &splitters))?;
+
+    // Round 3: range shuffle by splitter buckets.
+    let mut new_frags: Fragments = vec![Vec::new(); tree.num_nodes()];
+    let mut outgoing: Vec<(NodeId, NodeId, Vec<u64>)> = Vec::new();
+    for &v in &order {
+        let mut buckets: Vec<Vec<Row>> = vec![Vec::new(); order.len()];
+        for row in &frags[v.index()] {
+            let b = splitters
+                .partition_point(|&s| s <= row[ki])
+                .min(order.len() - 1);
+            buckets[b].push(row.clone());
+        }
+        for (j, bucket) in buckets.into_iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            if order[j] == v {
+                new_frags[v.index()].extend(bucket);
+            } else {
+                outgoing.push((v, order[j], flatten(&bucket, width)));
+                new_frags[order[j].index()].extend(bucket);
+            }
+        }
+    }
+    session.round(|round| {
+        for (src, dst, buf) in &outgoing {
+            round.send(*src, &[*dst], Rel::R, buf)?;
+        }
+        Ok(())
+    })?;
+    for &v in &order {
+        new_frags[v.index()].sort_by_key(|r| (r[ki], r.clone()));
+    }
+    // Re-emit fragments in valid-order position so concatenation by node
+    // order yields the global order: store bucket i at order[i], which is
+    // already the case.
+    Ok(new_frags)
+}
+
+fn exec_aggregate(
+    tree: &Tree,
+    session: &mut Session<'_>,
+    options: ExecOptions,
+    frags: Fragments,
+    gi: usize,
+    mi: usize,
+    agg: AggFunc,
+) -> Result<Fragments, Error> {
+    use std::collections::BTreeMap;
+    let weights = frag_weights(tree, &frags, &vec![Vec::new(); frags.len()]);
+    let Some(hash) = WeightedHash::new(options.seed, &weights) else {
+        return Ok(vec![Vec::new(); tree.num_nodes()]);
+    };
+    let mut owned: Vec<BTreeMap<u64, u64>> = vec![BTreeMap::new(); tree.num_nodes()];
+    let mut outgoing: Vec<(NodeId, NodeId, Vec<u64>)> = Vec::new();
+    for &v in tree.compute_nodes() {
+        let mut partials: BTreeMap<u64, u64> = BTreeMap::new();
+        for row in &frags[v.index()] {
+            let lifted = agg.lift(row[mi]);
+            partials
+                .entry(row[gi])
+                .and_modify(|p| *p = agg.combine(*p, lifted))
+                .or_insert(lifted);
+        }
+        let mut by_owner: HashMap<NodeId, Vec<Row>> = HashMap::new();
+        for (g, m) in partials {
+            let owner = hash.pick(g);
+            if owner == v {
+                owned[v.index()]
+                    .entry(g)
+                    .and_modify(|p| *p = agg.combine(*p, m))
+                    .or_insert(m);
+            } else {
+                by_owner.entry(owner).or_default().push(vec![g, m]);
+            }
+        }
+        for (owner, rows) in by_owner {
+            outgoing.push((v, owner, flatten(&rows, 2)));
+            for row in rows {
+                owned[owner.index()]
+                    .entry(row[0])
+                    .and_modify(|p| *p = agg.combine(*p, row[1]))
+                    .or_insert(row[1]);
+            }
+        }
+    }
+    session.round(|round| {
+        for (src, dst, buf) in &outgoing {
+            round.send(*src, &[*dst], Rel::S, buf)?;
+        }
+        Ok(())
+    })?;
+    Ok(owned
+        .into_iter()
+        .map(|m| m.into_iter().map(|(g, v)| vec![g, v]).collect())
+        .collect())
+}
+
+/// Duplicate rows co-locate under a whole-row hash shuffle (weighted by
+/// current loads, like the join shuffle), then dedup locally.
+fn exec_distinct(
+    tree: &Tree,
+    session: &mut Session<'_>,
+    options: ExecOptions,
+    frags: Fragments,
+    width: usize,
+) -> Result<Fragments, Error> {
+    let weights = frag_weights(tree, &frags, &vec![Vec::new(); frags.len()]);
+    let Some(hash) = WeightedHash::new(options.seed ^ 0xD157, &weights) else {
+        return Ok(vec![Vec::new(); tree.num_nodes()]);
+    };
+    let row_key = |row: &Row| {
+        row.iter()
+            .fold(0xCBF29CE484222325u64, |h, &c| mix64(h ^ mix64(c)))
+    };
+    let mut new_frags: Fragments = vec![Vec::new(); tree.num_nodes()];
+    let mut outgoing: Vec<(NodeId, NodeId, Vec<u64>)> = Vec::new();
+    for &v in tree.compute_nodes() {
+        let mut by_dst: HashMap<NodeId, Vec<Row>> = HashMap::new();
+        // Dedup locally first: duplicates never need to travel twice.
+        let mut local = frags[v.index()].clone();
+        canonicalize(&mut local);
+        local.dedup();
+        for row in local {
+            let dst = hash.pick(row_key(&row));
+            if dst == v {
+                new_frags[v.index()].push(row);
+            } else {
+                by_dst.entry(dst).or_default().push(row);
+            }
+        }
+        for (dst, rows) in by_dst {
+            outgoing.push((v, dst, flatten(&rows, width)));
+            new_frags[dst.index()].extend(rows);
+        }
+    }
+    session.round(|round| {
+        for (src, dst, buf) in &outgoing {
+            round.send(*src, &[*dst], Rel::R, buf)?;
+        }
+        Ok(())
+    })?;
+    for frag in &mut new_frags {
+        canonicalize(frag);
+        frag.dedup();
+    }
+    Ok(new_frags)
+}
+
+fn exec_limit(
+    tree: &Tree,
+    session: &mut Session<'_>,
+    frags: Fragments,
+    n: usize,
+    width: usize,
+    order_preserving: bool,
+) -> Result<Fragments, Error> {
+    let order = valid_order(tree);
+    let target = order[0];
+    // Each node contributes at most n rows (its first n in local order).
+    let mut contributions: Vec<(NodeId, Vec<Row>)> = Vec::new();
+    for &v in &order {
+        let mut local = frags[v.index()].clone();
+        if !order_preserving {
+            canonicalize(&mut local);
+        }
+        local.truncate(n);
+        contributions.push((v, local));
+    }
+    session.round(|round| {
+        for (v, rows) in &contributions {
+            if *v != target && !rows.is_empty() {
+                round.send(*v, &[target], Rel::R, &flatten(rows, width))?;
+            }
+        }
+        Ok(())
+    })?;
+    // Concatenate in node order (global order for order-preserving
+    // inputs), else canonicalize, then cut.
+    let mut all: Vec<Row> = contributions.into_iter().flat_map(|(_, r)| r).collect();
+    if !order_preserving {
+        canonicalize(&mut all);
+    }
+    all.truncate(n);
+    let mut out: Fragments = vec![Vec::new(); tree.num_nodes()];
+    out[target.index()] = all;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use crate::plan::AggFunc;
+    use crate::reference;
+    use crate::table::DistributedTable;
+    use tamp_topology::builders;
+
+    fn catalog(tree: Tree, n: u64) -> Catalog {
+        let mut c = Catalog::new(tree);
+        let rows: Vec<Row> = (0..n).map(|i| vec![i, i % 7, mix64(i) % 1000]).collect();
+        let t = DistributedTable::round_robin(
+            "facts",
+            Schema::new(vec!["id", "g", "x"]).unwrap(),
+            rows,
+            c.tree(),
+        );
+        c.register(t).unwrap();
+        let dims: Vec<Row> = (0..7).map(|g| vec![g, 100 + g]).collect();
+        let d = DistributedTable::round_robin(
+            "dims",
+            Schema::new(vec!["g", "label"]).unwrap(),
+            dims,
+            c.tree(),
+        );
+        c.register(d).unwrap();
+        c
+    }
+
+    fn check_against_reference(c: &Catalog, q: &LogicalPlan, opts: ExecOptions) -> QueryResult {
+        let res = execute(c, q, opts).unwrap();
+        let got = res.rows(reference::preserves_order(q));
+        let want = reference::evaluate(q, c).unwrap();
+        assert_eq!(got, want, "plan:\n{q}");
+        res
+    }
+
+    #[test]
+    fn filter_project_are_free() {
+        let c = catalog(builders::star(4, 1.0), 50);
+        let q = LogicalPlan::scan("facts")
+            .filter(col("g").lt(lit(3)))
+            .project(vec![("id", col("id")), ("y", col("x").add(lit(1)))]);
+        let res = check_against_reference(&c, &q, ExecOptions::default());
+        assert_eq!(res.cost.tuple_cost(), 0.0);
+    }
+
+    #[test]
+    fn hash_join_all_strategies_agree() {
+        let c = catalog(builders::rack_tree(&[(3, 1.0, 2.0), (2, 2.0, 1.0)], 1.0), 80);
+        let q = LogicalPlan::scan("facts").join_on(LogicalPlan::scan("dims"), "g", "g");
+        for join in [
+            JoinStrategy::Auto,
+            JoinStrategy::Weighted,
+            JoinStrategy::Uniform,
+            JoinStrategy::BroadcastSmall,
+        ] {
+            check_against_reference(&c, &q, ExecOptions { join, seed: 3 });
+        }
+    }
+
+    #[test]
+    fn cross_join_matches_reference() {
+        let c = catalog(builders::star(3, 1.0), 20);
+        let q = LogicalPlan::scan("dims").cross(LogicalPlan::scan("dims"));
+        let res = check_against_reference(&c, &q, ExecOptions::default());
+        assert_eq!(res.num_rows(), 49);
+    }
+
+    #[test]
+    fn order_by_produces_global_order() {
+        let c = catalog(builders::star(4, 1.0), 200);
+        let q = LogicalPlan::scan("facts").order_by("x");
+        let res = check_against_reference(&c, &q, ExecOptions::default());
+        // Fragment concatenation in node order is globally sorted by x.
+        let rows = res.rows(true);
+        assert!(rows.windows(2).all(|w| w[0][2] <= w[1][2]));
+    }
+
+    #[test]
+    fn aggregate_matches_reference() {
+        let c = catalog(builders::caterpillar(3, 2, 1.0), 120);
+        for agg in [AggFunc::Count, AggFunc::Sum, AggFunc::Min, AggFunc::Max] {
+            let q = LogicalPlan::scan("facts").aggregate("g", agg, "x");
+            check_against_reference(&c, &q, ExecOptions::default());
+        }
+    }
+
+    #[test]
+    fn limit_after_order_by() {
+        let c = catalog(builders::star(3, 1.0), 90);
+        let q = LogicalPlan::scan("facts").order_by("x").limit(10);
+        let res = check_against_reference(&c, &q, ExecOptions::default());
+        assert_eq!(res.num_rows(), 10);
+    }
+
+    #[test]
+    fn composite_analytics_query() {
+        let c = catalog(builders::rack_tree(&[(2, 1.0, 2.0), (3, 2.0, 4.0)], 1.0), 150);
+        let q = LogicalPlan::scan("facts")
+            .filter(col("x").gt(lit(100)))
+            .join_on(LogicalPlan::scan("dims"), "g", "g")
+            .aggregate("label", AggFunc::Count, "id")
+            .order_by("label");
+        let res = check_against_reference(&c, &q, ExecOptions::default());
+        // Cost attribution covers every operator, in post-order.
+        let names: Vec<&str> = res.operator_costs.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Scan facts",
+                "Filter (x > 100)",
+                "Scan dims",
+                "HashJoin g=g",
+                "Aggregate count",
+                "OrderBy label"
+            ]
+        );
+        let total: f64 = res.operator_costs.iter().map(|(_, c)| c).sum();
+        assert!((total - res.cost.tuple_cost()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_join_beats_uniform_on_skew() {
+        // All fact rows on one node behind a thin uplink; dims tiny.
+        // Weighted hashing keeps fact rows where they are; uniform hashing
+        // ships ~everything across the thin link.
+        let tree = builders::heterogeneous_star(&[0.5, 4.0, 4.0, 4.0]);
+        let heavy = tree.compute_nodes()[0];
+        let mut c = Catalog::new(tree);
+        let rows: Vec<Row> = (0..400).map(|i| vec![i, i % 5, i * 2]).collect();
+        let t = DistributedTable::single_node(
+            "facts",
+            Schema::new(vec!["id", "g", "x"]).unwrap(),
+            rows,
+            c.tree(),
+            heavy,
+        );
+        c.register(t).unwrap();
+        let dims: Vec<Row> = (0..5).map(|g| vec![g, g + 50]).collect();
+        let d = DistributedTable::round_robin(
+            "dims",
+            Schema::new(vec!["g", "label"]).unwrap(),
+            dims,
+            c.tree(),
+        );
+        c.register(d).unwrap();
+
+        let q = LogicalPlan::scan("facts").join_on(LogicalPlan::scan("dims"), "g", "g");
+        let weighted = check_against_reference(
+            &c,
+            &q,
+            ExecOptions {
+                join: JoinStrategy::Weighted,
+                seed: 1,
+            },
+        );
+        let uniform = check_against_reference(
+            &c,
+            &q,
+            ExecOptions {
+                join: JoinStrategy::Uniform,
+                seed: 1,
+            },
+        );
+        assert!(
+            weighted.cost.tuple_cost() * 2.0 < uniform.cost.tuple_cost(),
+            "weighted {} vs uniform {}",
+            weighted.cost.tuple_cost(),
+            uniform.cost.tuple_cost()
+        );
+    }
+
+    #[test]
+    fn errors_surface_cleanly() {
+        let c = catalog(builders::star(2, 1.0), 10);
+        let q = LogicalPlan::scan("nope");
+        assert!(matches!(
+            execute(&c, &q, ExecOptions::default()),
+            Err(QueryError::UnknownTable(_))
+        ));
+        let q = LogicalPlan::scan("facts").filter(col("id").div(lit(0)).gt(lit(0)));
+        assert_eq!(
+            execute(&c, &q, ExecOptions::default()).unwrap_err(),
+            QueryError::DivideByZero
+        );
+    }
+
+    #[test]
+    fn empty_inputs_run_clean() {
+        let tree = builders::star(3, 1.0);
+        let mut c = Catalog::new(tree);
+        let t = DistributedTable::round_robin(
+            "e",
+            Schema::new(vec!["a", "b"]).unwrap(),
+            Vec::new(),
+            c.tree(),
+        );
+        c.register(t).unwrap();
+        for q in [
+            LogicalPlan::scan("e").order_by("a"),
+            LogicalPlan::scan("e").aggregate("a", AggFunc::Sum, "b"),
+            LogicalPlan::scan("e").join_on(LogicalPlan::scan("e"), "a", "a"),
+            LogicalPlan::scan("e").limit(5),
+        ] {
+            let res = execute(&c, &q, ExecOptions::default()).unwrap();
+            assert_eq!(res.num_rows(), 0);
+            assert_eq!(res.cost.tuple_cost(), 0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod distinct_union_tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use crate::reference;
+    use crate::table::DistributedTable;
+    use tamp_topology::builders;
+
+    fn dup_catalog() -> Catalog {
+        let tree = builders::rack_tree(&[(3, 1.0, 2.0), (2, 2.0, 1.0)], 1.0);
+        let mut c = Catalog::new(tree);
+        // Every row appears three times, scattered across nodes.
+        let mut rows: Vec<Row> = Vec::new();
+        for rep in 0..3u64 {
+            rows.extend((0..40).map(|i| vec![i, i % 5]));
+            let _ = rep;
+        }
+        let t = DistributedTable::round_robin(
+            "d",
+            Schema::new(vec!["k", "g"]).unwrap(),
+            rows,
+            c.tree(),
+        );
+        c.register(t).unwrap();
+        c
+    }
+
+    #[test]
+    fn distinct_removes_scattered_duplicates() {
+        let c = dup_catalog();
+        let q = LogicalPlan::scan("d").distinct();
+        let res = execute(&c, &q, ExecOptions::default()).unwrap();
+        assert_eq!(res.num_rows(), 40);
+        assert_eq!(res.rows(false), reference::evaluate(&q, &c).unwrap());
+        // Duplicates of a row co-locate, so at most one copy per row moves
+        // beyond local dedup: cost well below shipping all 120 rows.
+        assert!(res.cost.tuple_cost() > 0.0);
+    }
+
+    #[test]
+    fn distinct_composes_with_filter_and_union() {
+        let c = dup_catalog();
+        let q = LogicalPlan::scan("d")
+            .filter(col("g").lt(lit(3)))
+            .union_all(LogicalPlan::scan("d").filter(col("g").ge(lit(3))))
+            .distinct();
+        let res = execute(&c, &q, ExecOptions::default()).unwrap();
+        assert_eq!(res.rows(false), reference::evaluate(&q, &c).unwrap());
+        assert_eq!(res.num_rows(), 40);
+    }
+
+    #[test]
+    fn union_all_is_free_and_keeps_duplicates() {
+        let c = dup_catalog();
+        let q = LogicalPlan::scan("d").union_all(LogicalPlan::scan("d"));
+        let res = execute(&c, &q, ExecOptions::default()).unwrap();
+        assert_eq!(res.num_rows(), 240);
+        assert_eq!(res.cost.tuple_cost(), 0.0);
+        assert_eq!(res.rows(false), reference::evaluate(&q, &c).unwrap());
+    }
+
+    #[test]
+    fn union_all_rejects_schema_mismatch() {
+        let mut c = dup_catalog();
+        let t = DistributedTable::round_robin(
+            "other",
+            Schema::new(vec!["a", "b", "c"]).unwrap(),
+            vec![vec![1, 2, 3]],
+            c.tree(),
+        );
+        c.register(t).unwrap();
+        let q = LogicalPlan::scan("d").union_all(LogicalPlan::scan("other"));
+        assert!(matches!(
+            execute(&c, &q, ExecOptions::default()),
+            Err(QueryError::Plan(_))
+        ));
+    }
+
+    #[test]
+    fn empty_distinct_is_free() {
+        let tree = builders::star(2, 1.0);
+        let mut c = Catalog::new(tree);
+        c.register(DistributedTable::round_robin(
+            "e",
+            Schema::new(vec!["a"]).unwrap(),
+            Vec::new(),
+            c.tree(),
+        ))
+        .unwrap();
+        let res = execute(&c, &LogicalPlan::scan("e").distinct(), ExecOptions::default())
+            .unwrap();
+        assert_eq!(res.num_rows(), 0);
+        assert_eq!(res.cost.tuple_cost(), 0.0);
+    }
+}

@@ -1,0 +1,615 @@
+//! The threaded BSP cluster.
+//!
+//! Where [`tamp_simulator`] executes a *centralized* protocol closure with
+//! a global view, this module runs one OS thread per compute node, each
+//! executing a [`NodeProgram`] that sees only its own state, the shared
+//! model knowledge (topology + initial cardinalities, which §2 grants
+//! every algorithm), and the messages delivered to it. Supersteps are
+//! synchronized scatter/gather style: the coordinator hands each worker
+//! its inbox, workers compute in parallel, and the coordinator meters the
+//! returned outboxes on the *same* per-directed-edge, union-of-paths
+//! ledger the simulator uses — so a distributed program whose sends match
+//! a centralized protocol produces bit-identical [`Cost`]s, which the
+//! cross-validation tests assert.
+//!
+//! Termination: the run ends at the first superstep in which every
+//! program votes [`Step::Halt`] and sends nothing. A superstep limit
+//! guards against livelock.
+
+use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use tamp_simulator::cost::{Cost, RoundCost};
+use tamp_simulator::{NodeState, Placement, PlacementStats, Rel};
+use tamp_topology::{DirEdgeId, NodeId, Tree};
+
+use crate::error::RuntimeError;
+use crate::message::{Envelope, OutMsg, Outbox, Step};
+
+/// Read-only per-round context handed to a program.
+pub struct NodeCtx<'a> {
+    /// The node this program runs on.
+    pub node: NodeId,
+    /// Superstep number, starting at 0.
+    pub round: usize,
+    /// The shared topology (model knowledge).
+    pub tree: &'a Tree,
+    /// Initial cardinalities `|X_0(v)|` of every node (model knowledge).
+    pub stats: &'a PlacementStats,
+    /// Messages delivered at the start of this superstep. Their values
+    /// have already been appended to the node's state.
+    pub arrived: &'a [Envelope],
+}
+
+/// A distributed algorithm, from one node's point of view.
+///
+/// `round` is called once per superstep with the node's mutable state and
+/// an [`Outbox`]; messages queued there are delivered — and charged —
+/// before the next superstep.
+pub trait NodeProgram: Send {
+    /// Execute one superstep.
+    fn round(&mut self, ctx: &NodeCtx<'_>, state: &mut NodeState, out: &mut Outbox) -> Step;
+}
+
+impl<F> NodeProgram for F
+where
+    F: FnMut(&NodeCtx<'_>, &mut NodeState, &mut Outbox) -> Step + Send,
+{
+    fn round(&mut self, ctx: &NodeCtx<'_>, state: &mut NodeState, out: &mut Outbox) -> Step {
+        self(ctx, state, out)
+    }
+}
+
+/// The result of a cluster execution.
+#[derive(Clone, Debug)]
+pub struct RuntimeRun {
+    /// Final per-node states, indexed by node id.
+    pub final_state: Vec<NodeState>,
+    /// Metered cost, on the same ledger as the simulator.
+    pub cost: Cost,
+    /// Number of supersteps executed (including the final silent one).
+    pub supersteps: usize,
+}
+
+/// Execution options.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterOptions {
+    /// Abort if the programs have not all halted after this many
+    /// supersteps.
+    pub max_supersteps: usize,
+}
+
+impl Default for ClusterOptions {
+    fn default() -> Self {
+        ClusterOptions {
+            max_supersteps: 64,
+        }
+    }
+}
+
+enum Cmd {
+    Round { round: usize, inbox: Vec<Envelope> },
+    Stop,
+}
+
+enum WorkerOut {
+    Round {
+        node: NodeId,
+        outbox: Outbox,
+        step: Step,
+    },
+    Final {
+        node: NodeId,
+        state: NodeState,
+    },
+    Panicked {
+        node: NodeId,
+        message: String,
+    },
+}
+
+/// Run `make_program(v)` on every compute node `v` of `tree`, starting
+/// from `placement`, until all programs halt.
+pub fn run_cluster<F>(
+    tree: &Tree,
+    placement: &Placement,
+    make_program: F,
+    options: ClusterOptions,
+) -> Result<RuntimeRun, RuntimeError>
+where
+    F: Fn(NodeId) -> Box<dyn NodeProgram>,
+{
+    let stats = placement.stats();
+    let computes: Vec<NodeId> = tree.compute_nodes().to_vec();
+    let n_nodes = tree.num_nodes();
+
+    // Per-worker command channels; one shared response channel.
+    let mut to_workers: HashMap<NodeId, Sender<Cmd>> = HashMap::new();
+    let (resp_tx, resp_rx): (Sender<WorkerOut>, Receiver<WorkerOut>) = unbounded();
+
+    let mut meter = Meter::new(tree);
+    let mut result: Result<(Vec<NodeState>, usize), RuntimeError> = Err(RuntimeError::RoundLimit(
+        options.max_supersteps,
+    ));
+
+    std::thread::scope(|scope| {
+        for &v in &computes {
+            let (cmd_tx, cmd_rx): (Sender<Cmd>, Receiver<Cmd>) = unbounded();
+            to_workers.insert(v, cmd_tx);
+            let resp_tx = resp_tx.clone();
+            let mut program = make_program(v);
+            let mut state = placement.node(v).clone();
+            let tree_ref = tree;
+            let stats_ref = &stats;
+            scope.spawn(move || {
+                while let Ok(cmd) = cmd_rx.recv() {
+                    match cmd {
+                        Cmd::Round { round, inbox } => {
+                            // Commit deliveries into local state first
+                            // (BSP: data sent in round i is state in i+1).
+                            for env in &inbox {
+                                match env.rel {
+                                    Rel::R => state.r.extend_from_slice(&env.values),
+                                    Rel::S => state.s.extend_from_slice(&env.values),
+                                }
+                            }
+                            let ctx = NodeCtx {
+                                node: v,
+                                round,
+                                tree: tree_ref,
+                                stats: stats_ref,
+                                arrived: &inbox,
+                            };
+                            let mut out = Outbox::default();
+                            let step = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                program.round(&ctx, &mut state, &mut out)
+                            }));
+                            match step {
+                                Ok(step) => {
+                                    let _ = resp_tx.send(WorkerOut::Round {
+                                        node: v,
+                                        outbox: out,
+                                        step,
+                                    });
+                                }
+                                Err(payload) => {
+                                    let message = payload
+                                        .downcast_ref::<&str>()
+                                        .map(|s| s.to_string())
+                                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                                        .unwrap_or_else(|| "<non-string panic>".into());
+                                    let _ = resp_tx.send(WorkerOut::Panicked { node: v, message });
+                                    return;
+                                }
+                            }
+                        }
+                        Cmd::Stop => {
+                            let _ = resp_tx.send(WorkerOut::Final {
+                                node: v,
+                                state: std::mem::take(&mut state),
+                            });
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+        drop(resp_tx);
+
+        // Coordinator loop.
+        let mut inboxes: HashMap<NodeId, Vec<Envelope>> = HashMap::new();
+        'steps: for round in 0..options.max_supersteps {
+            for &v in &computes {
+                let inbox = inboxes.remove(&v).unwrap_or_default();
+                let _ = to_workers[&v].send(Cmd::Round { round, inbox });
+            }
+            let mut all_halt = true;
+            let mut any_send = false;
+            let mut round_sends: Vec<(NodeId, OutMsg)> = Vec::new();
+            for _ in 0..computes.len() {
+                match resp_rx.recv() {
+                    Ok(WorkerOut::Round { node, outbox, step }) => {
+                        if step == Step::Continue {
+                            all_halt = false;
+                        }
+                        if !outbox.is_empty() {
+                            any_send = true;
+                        }
+                        for msg in outbox.sends {
+                            round_sends.push((node, msg));
+                        }
+                    }
+                    Ok(WorkerOut::Panicked { node, message }) => {
+                        result = Err(RuntimeError::WorkerPanic { node, message });
+                        break 'steps;
+                    }
+                    Ok(WorkerOut::Final { .. }) | Err(_) => {
+                        unreachable!("workers only report Final after Stop")
+                    }
+                }
+            }
+            // Deterministic delivery: order sends by source node (each
+            // node's own sends stay in issue order), so runs are
+            // reproducible regardless of thread scheduling.
+            round_sends.sort_by_key(|(src, _)| src.index());
+            // Validate destinations, meter, and build next inboxes.
+            let mut charges = vec![0u64; meter.num_dir_edges()];
+            for (src, msg) in round_sends {
+                if let Some(&bad) = msg.dsts.iter().find(|&&d| !tree.is_compute(d)) {
+                    result = Err(RuntimeError::SendToRouter(bad));
+                    break 'steps;
+                }
+                meter.charge_multicast(src, &msg.dsts, msg.values.len() as u64, &mut charges);
+                for &dst in &msg.dsts {
+                    inboxes.entry(dst).or_default().push(Envelope {
+                        src,
+                        rel: msg.rel,
+                        values: msg.values.clone(),
+                    });
+                }
+            }
+            meter.push_round(charges);
+            if all_halt && !any_send {
+                result = Ok((Vec::new(), round + 1));
+                break 'steps;
+            }
+        }
+
+        // Tear down: collect final states (or drain after an error).
+        for &v in &computes {
+            let _ = to_workers[&v].send(Cmd::Stop);
+        }
+        let mut finals: Vec<NodeState> = vec![NodeState::default(); n_nodes];
+        let mut collected = 0usize;
+        while collected < computes.len() {
+            match resp_rx.recv() {
+                Ok(WorkerOut::Final { node, state }) => {
+                    finals[node.index()] = state;
+                    collected += 1;
+                }
+                Ok(_) => {} // stale round responses from an aborted run
+                Err(_) => break,
+            }
+        }
+        if let Ok((states, _)) = &mut result {
+            *states = finals;
+        }
+    });
+
+    let (final_state, supersteps) = result?;
+    Ok(RuntimeRun {
+        final_state,
+        cost: meter.finish(),
+        supersteps,
+    })
+}
+
+/// Per-directed-edge traffic metering with union-of-paths multicast
+/// charging — the same accounting as the simulator's `Session`.
+struct Meter<'t> {
+    tree: &'t Tree,
+    bandwidth: Vec<f64>,
+    rounds: Vec<Vec<u64>>,
+    paths: HashMap<(u32, u32), Box<[DirEdgeId]>>,
+    stamp: Vec<u32>,
+    stamp_ctr: u32,
+}
+
+impl<'t> Meter<'t> {
+    fn new(tree: &'t Tree) -> Self {
+        let bandwidth: Vec<f64> = tree.dir_edges().map(|d| tree.bandwidth(d).get()).collect();
+        let n = bandwidth.len();
+        Meter {
+            tree,
+            bandwidth,
+            rounds: Vec::new(),
+            paths: HashMap::new(),
+            stamp: vec![0; n],
+            stamp_ctr: 0,
+        }
+    }
+
+    fn num_dir_edges(&self) -> usize {
+        self.bandwidth.len()
+    }
+
+    fn charge_multicast(
+        &mut self,
+        src: NodeId,
+        dsts: &[NodeId],
+        amount: u64,
+        charges: &mut [u64],
+    ) {
+        self.stamp_ctr = self.stamp_ctr.wrapping_add(1);
+        if self.stamp_ctr == 0 {
+            self.stamp.fill(0);
+            self.stamp_ctr = 1;
+        }
+        for &dst in dsts {
+            if src == dst {
+                continue;
+            }
+            let key = (src.0, dst.0);
+            if !self.paths.contains_key(&key) {
+                let p = self.tree.path(src, dst).into_boxed_slice();
+                self.paths.insert(key, p);
+            }
+            let path = &self.paths[&key];
+            for &d in path.iter() {
+                let i = d.index();
+                if self.stamp[i] != self.stamp_ctr {
+                    self.stamp[i] = self.stamp_ctr;
+                    charges[i] += amount;
+                }
+            }
+        }
+    }
+
+    fn push_round(&mut self, charges: Vec<u64>) {
+        self.rounds.push(charges);
+    }
+
+    fn finish(self) -> Cost {
+        let mut per_round = Vec::with_capacity(self.rounds.len());
+        let mut edge_totals = vec![0u64; self.bandwidth.len()];
+        for traffic in &self.rounds {
+            let mut round = RoundCost {
+                tuple_cost: 0.0,
+                bottleneck: None,
+                max_tuples: 0,
+                total_tuples: 0,
+            };
+            for (d, &tuples) in traffic.iter().enumerate() {
+                edge_totals[d] += tuples;
+                round.total_tuples += tuples;
+                round.max_tuples = round.max_tuples.max(tuples);
+                let w = self.bandwidth[d];
+                let c = if w.is_infinite() {
+                    0.0
+                } else {
+                    tuples as f64 / w
+                };
+                if c > round.tuple_cost {
+                    round.tuple_cost = c;
+                    round.bottleneck = Some(DirEdgeId(d as u32));
+                }
+            }
+            per_round.push(round);
+        }
+        Cost {
+            per_round,
+            edge_totals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamp_topology::builders;
+
+    fn opts(max: usize) -> ClusterOptions {
+        ClusterOptions {
+            max_supersteps: max,
+        }
+    }
+
+    #[test]
+    fn closure_programs_run_and_halt() {
+        // Node 0 sends its data to node 1 in round 0; everyone halts in 1.
+        let tree = builders::star(2, 2.0);
+        let mut p = Placement::empty(&tree);
+        p.set_r(NodeId(0), vec![1, 2, 3, 4]);
+        let run = run_cluster(
+            &tree,
+            &p,
+            |v| {
+                Box::new(
+                    move |ctx: &NodeCtx<'_>, state: &mut NodeState, out: &mut Outbox| {
+                        if ctx.round == 0 && v == NodeId(0) {
+                            out.send_to(NodeId(1), Rel::R, state.r.clone());
+                            return Step::Continue;
+                        }
+                        Step::Halt
+                    },
+                )
+            },
+            ClusterOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(run.final_state[1].r, vec![1, 2, 3, 4]);
+        // Same accounting as the simulator: 4 tuples over two bw-2 hops.
+        assert_eq!(run.cost.tuple_cost(), 2.0);
+        assert_eq!(run.cost.total_tuples(), 8);
+        assert_eq!(run.supersteps, 2);
+    }
+
+    #[test]
+    fn multicast_union_charging_matches_simulator_semantics() {
+        let tree = builders::star(4, 1.0);
+        let mut p = Placement::empty(&tree);
+        p.set_s(NodeId(0), (0..10).collect());
+        let run = run_cluster(
+            &tree,
+            &p,
+            |v| {
+                Box::new(
+                    move |ctx: &NodeCtx<'_>, state: &mut NodeState, out: &mut Outbox| {
+                        if ctx.round == 0 && v == NodeId(0) {
+                            let all: Vec<NodeId> = ctx.tree.compute_nodes().to_vec();
+                            out.send(&all, Rel::S, state.s.clone());
+                            return Step::Continue;
+                        }
+                        Step::Halt
+                    },
+                )
+            },
+            ClusterOptions::default(),
+        )
+        .unwrap();
+        // Uplink charged once (10), three downlinks (30): total 40.
+        assert_eq!(run.cost.total_tuples(), 40);
+        assert_eq!(run.cost.tuple_cost(), 10.0);
+        // Self-delivery lands too.
+        assert_eq!(run.final_state[0].s.len(), 20);
+    }
+
+    #[test]
+    fn round_limit_is_enforced() {
+        let tree = builders::star(2, 1.0);
+        let p = Placement::empty(&tree);
+        let err = run_cluster(
+            &tree,
+            &p,
+            |_| Box::new(|_: &NodeCtx<'_>, _: &mut NodeState, _: &mut Outbox| Step::Continue),
+            opts(5),
+        )
+        .unwrap_err();
+        assert_eq!(err, RuntimeError::RoundLimit(5));
+    }
+
+    #[test]
+    fn halt_votes_with_pending_sends_keep_running() {
+        // A node that halts while still sending must be kept alive until
+        // the message settles.
+        let tree = builders::star(2, 1.0);
+        let mut p = Placement::empty(&tree);
+        p.set_r(NodeId(0), vec![7]);
+        let run = run_cluster(
+            &tree,
+            &p,
+            |v| {
+                Box::new(
+                    move |ctx: &NodeCtx<'_>, state: &mut NodeState, out: &mut Outbox| {
+                        if ctx.round == 0 && v == NodeId(0) {
+                            out.send_to(NodeId(1), Rel::R, state.r.clone());
+                        }
+                        Step::Halt // everyone votes halt from the start
+                    },
+                )
+            },
+            ClusterOptions::default(),
+        )
+        .unwrap();
+        // Two supersteps: one with the send, one silent to settle.
+        assert_eq!(run.supersteps, 2);
+        assert_eq!(run.final_state[1].r, vec![7]);
+    }
+
+    #[test]
+    fn sends_to_routers_are_rejected() {
+        let tree = builders::star(2, 1.0); // node 2 is the hub
+        let p = Placement::empty(&tree);
+        let err = run_cluster(
+            &tree,
+            &p,
+            |_| {
+                Box::new(|_: &NodeCtx<'_>, _: &mut NodeState, out: &mut Outbox| {
+                    out.send_to(NodeId(2), Rel::R, vec![1]);
+                    Step::Halt
+                })
+            },
+            ClusterOptions::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, RuntimeError::SendToRouter(NodeId(2)));
+    }
+
+    #[test]
+    fn panics_surface_as_errors_with_node_id() {
+        let tree = builders::star(3, 1.0);
+        let p = Placement::empty(&tree);
+        let err = run_cluster(
+            &tree,
+            &p,
+            |v| {
+                Box::new(
+                    move |_: &NodeCtx<'_>, _: &mut NodeState, _: &mut Outbox| {
+                        if v == NodeId(1) {
+                            panic!("injected fault");
+                        }
+                        Step::Halt
+                    },
+                )
+            },
+            ClusterOptions::default(),
+        )
+        .unwrap_err();
+        match err {
+            RuntimeError::WorkerPanic { node, message } => {
+                assert_eq!(node, NodeId(1));
+                assert!(message.contains("injected fault"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arrived_envelopes_report_sources() {
+        let tree = builders::star(3, 1.0);
+        let mut p = Placement::empty(&tree);
+        p.set_r(NodeId(0), vec![1]);
+        p.set_r(NodeId(1), vec![2]);
+        let seen = std::sync::Arc::new(parking_lot_free_mutex());
+        let seen2 = seen.clone();
+        let run = run_cluster(
+            &tree,
+            &p,
+            move |v| {
+                let seen = seen2.clone();
+                Box::new(
+                    move |ctx: &NodeCtx<'_>, state: &mut NodeState, out: &mut Outbox| {
+                        if ctx.round == 0 && v != NodeId(2) {
+                            out.send_to(NodeId(2), Rel::R, state.r.clone());
+                            return Step::Continue;
+                        }
+                        if ctx.round == 1 && v == NodeId(2) {
+                            let mut srcs: Vec<NodeId> =
+                                ctx.arrived.iter().map(|e| e.src).collect();
+                            srcs.sort_unstable();
+                            *seen.lock().unwrap() = srcs;
+                        }
+                        Step::Halt
+                    },
+                )
+            },
+            ClusterOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(run.final_state[2].r, vec![1, 2]);
+        assert_eq!(*seen.lock().unwrap(), vec![NodeId(0), NodeId(1)]);
+    }
+
+    fn parking_lot_free_mutex() -> std::sync::Mutex<Vec<NodeId>> {
+        std::sync::Mutex::new(Vec::new())
+    }
+
+    #[test]
+    fn local_compute_runs_in_parallel_threads() {
+        // Each node records its thread id; with one thread per node they
+        // must all differ.
+        let tree = builders::star(4, 1.0);
+        let p = Placement::empty(&tree);
+        let ids = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let ids2 = ids.clone();
+        run_cluster(
+            &tree,
+            &p,
+            move |_| {
+                let ids = ids2.clone();
+                Box::new(
+                    move |_: &NodeCtx<'_>, _: &mut NodeState, _: &mut Outbox| {
+                        ids.lock().unwrap().push(std::thread::current().id());
+                        Step::Halt
+                    },
+                )
+            },
+            ClusterOptions::default(),
+        )
+        .unwrap();
+        let ids: std::collections::HashSet<_> =
+            ids.lock().unwrap().iter().copied().collect();
+        assert_eq!(ids.len(), 4);
+    }
+}

@@ -1,0 +1,35 @@
+//! Error type for cluster execution.
+
+use std::fmt;
+
+use tamp_topology::NodeId;
+
+/// Errors raised while executing node programs on a [`Cluster`](crate::Cluster).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The programs did not all halt within the superstep limit.
+    RoundLimit(usize),
+    /// A program addressed a message to a routing-only node.
+    SendToRouter(NodeId),
+    /// A node program panicked; the message is the panic payload.
+    WorkerPanic {
+        /// The panicking node.
+        node: NodeId,
+        /// Panic payload rendered to a string.
+        message: String,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::RoundLimit(n) => write!(f, "programs did not halt within {n} supersteps"),
+            Self::SendToRouter(v) => write!(f, "message addressed to routing-only node {v}"),
+            Self::WorkerPanic { node, message } => {
+                write!(f, "program on node {node} panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}

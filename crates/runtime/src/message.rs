@@ -1,0 +1,90 @@
+//! Messages exchanged between node programs.
+
+use tamp_simulator::{Rel, Value};
+use tamp_topology::NodeId;
+
+/// A delivered message: who sent it, which relation it belongs to, and the
+/// payload. Values are also appended to the receiving node's
+/// [`NodeState`](tamp_simulator::NodeState) before the program's round
+/// callback runs, so the envelope is informational (e.g. for protocols
+/// that care about provenance).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Envelope {
+    /// The sending compute node.
+    pub src: NodeId,
+    /// Which relation fragment the payload extends.
+    pub rel: Rel,
+    /// The payload values, in send order.
+    pub values: Vec<Value>,
+}
+
+/// A program's vote at the end of a superstep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// Keep running.
+    Continue,
+    /// Vote to halt. The run terminates at the first superstep in which
+    /// every node votes halt *and* no messages were sent.
+    Halt,
+}
+
+/// One outgoing multicast: `values` are delivered to every node in `dsts`,
+/// charged along the union of the tree paths (exactly like
+/// [`RoundCtx::send`](tamp_simulator::RoundCtx::send)).
+#[derive(Clone, Debug)]
+pub(crate) struct OutMsg {
+    pub dsts: Vec<NodeId>,
+    pub rel: Rel,
+    pub values: Vec<Value>,
+}
+
+/// Collects a node's outgoing messages during one superstep.
+#[derive(Clone, Debug, Default)]
+pub struct Outbox {
+    pub(crate) sends: Vec<OutMsg>,
+}
+
+impl Outbox {
+    /// Multicast `values` of relation `rel` to `dsts`. Empty payloads and
+    /// empty destination sets are no-ops, mirroring the simulator.
+    pub fn send(&mut self, dsts: &[NodeId], rel: Rel, values: Vec<Value>) {
+        if values.is_empty() || dsts.is_empty() {
+            return;
+        }
+        self.sends.push(OutMsg {
+            dsts: dsts.to_vec(),
+            rel,
+            values,
+        });
+    }
+
+    /// Unicast convenience wrapper.
+    pub fn send_to(&mut self, dst: NodeId, rel: Rel, values: Vec<Value>) {
+        self.send(&[dst], rel, values);
+    }
+
+    /// Number of queued sends.
+    pub fn len(&self) -> usize {
+        self.sends.len()
+    }
+
+    /// `true` if no sends are queued.
+    pub fn is_empty(&self) -> bool {
+        self.sends.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sends_are_dropped() {
+        let mut out = Outbox::default();
+        out.send(&[NodeId(1)], Rel::R, vec![]);
+        out.send(&[], Rel::R, vec![1, 2]);
+        assert!(out.is_empty());
+        out.send_to(NodeId(1), Rel::S, vec![3]);
+        assert_eq!(out.len(), 1);
+    }
+}

@@ -1,0 +1,182 @@
+//! Distributed in-network combining aggregation.
+//!
+//! The convergecast merge schedule is a deterministic function of
+//! `(tree, initial cardinalities, target)` —
+//! [`combining_schedule`](tamp_core::aggregate::combining_schedule) — so
+//! every node derives the identical level plan locally and plays only its
+//! own part: at level `k`, if the node is a scheduled source, it ships its
+//! accumulated partials to the scheduled destination; arriving partials
+//! (delivered into the `S` fragment) are folded into the accumulator
+//! before each superstep. Traffic is identical to the centralized
+//! [`CombiningTreeAggregate`](tamp_core::aggregate::CombiningTreeAggregate),
+//! asserted in the tests.
+
+use std::collections::BTreeMap;
+
+use tamp_core::aggregate::{
+    combining_schedule, encode_partials, merge_partials, partials_of, Aggregator,
+};
+use tamp_simulator::NodeState;
+use tamp_simulator::Rel;
+use tamp_topology::NodeId;
+
+use crate::cluster::{NodeCtx, NodeProgram};
+use crate::message::{Outbox, Step};
+
+/// One node's view of the distributed combining convergecast.
+#[derive(Clone, Debug)]
+pub struct DistributedCombiningAggregate {
+    target: NodeId,
+    agg: Aggregator,
+    acc: BTreeMap<u64, u64>,
+    schedule: Vec<Vec<(NodeId, NodeId)>>,
+}
+
+impl DistributedCombiningAggregate {
+    /// Aggregate everything at `target` with `agg`.
+    pub fn new(target: NodeId, agg: Aggregator) -> Self {
+        DistributedCombiningAggregate {
+            target,
+            agg,
+            acc: BTreeMap::new(),
+            schedule: Vec::new(),
+        }
+    }
+
+    fn fold_arrivals(&mut self, state: &mut NodeState) {
+        let arrived = std::mem::take(&mut state.s);
+        for (g, m) in merge_partials(&arrived, self.agg) {
+            self.acc
+                .entry(g)
+                .and_modify(|p| *p = self.agg.combine(*p, m))
+                .or_insert(m);
+        }
+    }
+}
+
+impl NodeProgram for DistributedCombiningAggregate {
+    fn round(&mut self, ctx: &NodeCtx<'_>, state: &mut NodeState, out: &mut Outbox) -> Step {
+        if ctx.round == 0 {
+            assert!(
+                ctx.tree.is_compute(self.target),
+                "aggregation target must be a compute node"
+            );
+            self.schedule = combining_schedule(ctx.tree, &ctx.stats.n, self.target);
+            self.acc = partials_of(&state.r, self.agg);
+        } else {
+            self.fold_arrivals(state);
+        }
+        match self.schedule.get(ctx.round) {
+            Some(moves) => {
+                for &(src, dst) in moves {
+                    if src == ctx.node {
+                        let vals = encode_partials(&std::mem::take(&mut self.acc));
+                        out.send_to(dst, Rel::S, vals);
+                    }
+                }
+                Step::Continue
+            }
+            None => {
+                // Expose the final aggregate at the target through its S
+                // fragment (encoded), like the group-by program does.
+                if ctx.node == self.target {
+                    state.s = encode_partials(&self.acc);
+                }
+                Step::Halt
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{run_cluster, ClusterOptions};
+    use tamp_core::aggregate::{decode, encode, reference_aggregate, CombiningTreeAggregate};
+    use tamp_core::hashing::mix64;
+    use tamp_simulator::{run_protocol, Placement};
+    use tamp_topology::builders;
+
+    fn grouped(tree: &tamp_topology::Tree, groups: u64, per_node: u64, seed: u64) -> Placement {
+        let mut p = Placement::empty(tree);
+        for (i, &v) in tree.compute_nodes().iter().enumerate() {
+            for j in 0..per_node {
+                let g = mix64(seed ^ ((i as u64) << 9) ^ j) % groups;
+                p.push(v, Rel::R, encode(g, (j % 50) + 1));
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn matches_simulator_cost_and_output() {
+        for (tree, seed) in [
+            (
+                builders::rack_tree(&[(4, 4.0, 0.25), (4, 4.0, 0.25)], 1.0),
+                1u64,
+            ),
+            (builders::caterpillar(4, 2, 1.0), 2),
+            (builders::star(5, 1.0), 3),
+        ] {
+            let p = grouped(&tree, 12, 30, seed);
+            let target = tree.compute_nodes()[0];
+            let agg = Aggregator::Sum;
+            let sim = run_protocol(&tree, &p, &CombiningTreeAggregate::new(target, agg)).unwrap();
+            let rt = run_cluster(
+                &tree,
+                &p,
+                |_| Box::new(DistributedCombiningAggregate::new(target, agg)),
+                ClusterOptions::default(),
+            )
+            .unwrap();
+            assert_eq!(rt.cost.edge_totals, sim.cost.edge_totals, "seed {seed}");
+            assert_eq!(rt.cost.tuple_cost(), sim.cost.tuple_cost());
+            let got: Vec<(u64, u64)> = rt.final_state[target.index()]
+                .s
+                .iter()
+                .map(|&v| decode(v))
+                .collect();
+            assert_eq!(got, sim.output);
+        }
+    }
+
+    #[test]
+    fn correct_on_random_trees() {
+        for seed in 0..6u64 {
+            let tree = builders::random_tree(6, 4, 0.5, 3.0, seed);
+            let p = grouped(&tree, 7, 20, seed);
+            let target = tree.compute_nodes()[seed as usize % tree.num_compute()];
+            let agg = Aggregator::Max;
+            let rt = run_cluster(
+                &tree,
+                &p,
+                |_| Box::new(DistributedCombiningAggregate::new(target, agg)),
+                ClusterOptions::default(),
+            )
+            .unwrap();
+            let got: Vec<(u64, u64)> = rt.final_state[target.index()]
+                .s
+                .iter()
+                .map(|&v| decode(v))
+                .collect();
+            let want: Vec<(u64, u64)> =
+                reference_aggregate(&p.all_r(), agg).into_iter().collect();
+            assert_eq!(got, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn empty_input_halts_quickly() {
+        let tree = builders::star(3, 1.0);
+        let p = Placement::empty(&tree);
+        let rt = run_cluster(
+            &tree,
+            &p,
+            |_| Box::new(DistributedCombiningAggregate::new(NodeId(0), Aggregator::Sum)),
+            ClusterOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(rt.cost.tuple_cost(), 0.0);
+        assert!(rt.final_state[0].s.is_empty());
+    }
+}

@@ -1,0 +1,177 @@
+//! Distributed cartesian product (§4.4's square plan, direct routing).
+//!
+//! Every node derives the same Algorithm-5 packing from `(tree, stats)`,
+//! labels its local tuples with their global indices, and multicasts each
+//! maximal index segment to the square owners covering it. Unlike the
+//! centralized §4.4 protocol — which routes both legs through the root of
+//! `G†` to make the per-link analysis compositional — the distributed
+//! program sends *directly*: in a tree, `path(src, dst) ⊆ path(src, root)
+//! ∪ path(root, dst)`, so every per-edge charge is at most the simulator
+//! protocol's, and the tests assert `cost_runtime ≤ cost_simulator`.
+
+use tamp_core::cartesian::grid::{interval_segments, Labels};
+use tamp_core::cartesian::{plan_tree_packing, TreePlan};
+use tamp_simulator::{NodeState, Rel};
+use tamp_topology::NodeId;
+
+use crate::cluster::{NodeCtx, NodeProgram};
+use crate::message::{Outbox, Step};
+
+/// One node's view of the distributed cartesian-product protocol.
+/// Requires `|R| = |S|` (the paper's §4 setting) and compute-leaf trees.
+#[derive(Clone, Debug, Default)]
+pub struct DistributedCartesian;
+
+impl DistributedCartesian {
+    /// Create the program.
+    pub fn new() -> Self {
+        DistributedCartesian
+    }
+}
+
+impl NodeProgram for DistributedCartesian {
+    fn round(&mut self, ctx: &NodeCtx<'_>, state: &mut NodeState, out: &mut Outbox) -> Step {
+        if ctx.round >= 1 {
+            return Step::Halt;
+        }
+        let stats = ctx.stats;
+        assert_eq!(
+            stats.total_r, stats.total_s,
+            "distributed cartesian product requires |R| = |S|"
+        );
+        if stats.total_r == 0 {
+            return Step::Halt;
+        }
+        let v = ctx.node;
+        let plan = plan_tree_packing(ctx.tree, &stats.n, stats.total_n());
+        match plan {
+            TreePlan::AllToRoot(target) => {
+                if v != target {
+                    out.send_to(target, Rel::R, state.r.clone());
+                    out.send_to(target, Rel::S, state.s.clone());
+                }
+            }
+            TreePlan::Packed { squares, .. } => {
+                let labels = Labels::new(ctx.tree, stats);
+                let r_recipients: Vec<(NodeId, std::ops::Range<u64>)> = squares
+                    .iter()
+                    .map(|sq| (sq.owner, sq.x..sq.x + sq.side))
+                    .collect();
+                let s_recipients: Vec<(NodeId, std::ops::Range<u64>)> = squares
+                    .iter()
+                    .map(|sq| (sq.owner, sq.y..sq.y + sq.side))
+                    .collect();
+                let r_start = labels.range(v, Rel::R, stats).start;
+                for (dsts, idx) in interval_segments(state.r.len(), r_start, &r_recipients) {
+                    out.send(&dsts, Rel::R, state.r[idx].to_vec());
+                }
+                let s_start = labels.range(v, Rel::S, stats).start;
+                for (dsts, idx) in interval_segments(state.s.len(), s_start, &s_recipients) {
+                    out.send(&dsts, Rel::S, state.s[idx].to_vec());
+                }
+            }
+        }
+        Step::Continue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{run_cluster, ClusterOptions};
+    use tamp_core::cartesian::TreeCartesianProduct;
+    use tamp_simulator::{run_protocol, verify, Placement};
+    use tamp_topology::builders;
+
+    fn equal_placement(tree: &tamp_topology::Tree, half: u64, seed: u64) -> Placement {
+        let mut p = Placement::empty(tree);
+        let vc = tree.compute_nodes();
+        for a in 0..half {
+            let v = vc[(tamp_core::hashing::mix64(a ^ seed) % vc.len() as u64) as usize];
+            p.push(v, Rel::R, a);
+            let u = vc
+                [(tamp_core::hashing::mix64(a ^ seed ^ 0xF00D) % vc.len() as u64) as usize];
+            p.push(u, Rel::S, 1_000_000 + a);
+        }
+        p
+    }
+
+    #[test]
+    fn covers_all_pairs() {
+        for seed in 0..6u64 {
+            let tree = builders::random_tree(6, 4, 0.5, 8.0, seed);
+            let p = equal_placement(&tree, 48, seed);
+            let rt = run_cluster(
+                &tree,
+                &p,
+                |_| Box::new(DistributedCartesian::new()),
+                ClusterOptions::default(),
+            )
+            .unwrap();
+            verify::check_pair_coverage(&rt.final_state, &p.all_r(), &p.all_s())
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn direct_routing_never_beats_simulator_per_edge_but_costs_at_most_as_much() {
+        // Direct paths are contained in the via-root paths, so the
+        // distributed variant's cost is bounded by the simulator's.
+        for seed in [1u64, 2, 3] {
+            let tree = builders::rack_tree(&[(3, 2.0, 4.0), (3, 1.0, 2.0)], 1.0);
+            let p = equal_placement(&tree, 60, seed);
+            let sim = run_protocol(&tree, &p, &TreeCartesianProduct::new()).unwrap();
+            let rt = run_cluster(
+                &tree,
+                &p,
+                |_| Box::new(DistributedCartesian::new()),
+                ClusterOptions::default(),
+            )
+            .unwrap();
+            assert!(
+                rt.cost.tuple_cost() <= sim.cost.tuple_cost() + 1e-9,
+                "runtime {} > simulator {}",
+                rt.cost.tuple_cost(),
+                sim.cost.tuple_cost()
+            );
+            verify::check_pair_coverage(&rt.final_state, &p.all_r(), &p.all_s()).unwrap();
+        }
+    }
+
+    #[test]
+    fn heavy_node_all_to_root() {
+        let tree = builders::rack_tree(&[(2, 1.0, 2.0), (2, 1.0, 2.0)], 1.0);
+        let mut p = Placement::empty(&tree);
+        let vc = tree.compute_nodes();
+        p.set_r(vc[0], (0..40).collect());
+        p.set_s(vc[0], (100..130).collect());
+        p.set_s(vc[3], (130..140).collect());
+        let rt = run_cluster(
+            &tree,
+            &p,
+            |_| Box::new(DistributedCartesian::new()),
+            ClusterOptions::default(),
+        )
+        .unwrap();
+        verify::check_pair_coverage(&rt.final_state, &p.all_r(), &p.all_s()).unwrap();
+    }
+
+    #[test]
+    fn unequal_sizes_panic_surfaces_as_error() {
+        let tree = builders::star(3, 1.0);
+        let mut p = Placement::empty(&tree);
+        p.set_r(NodeId(0), vec![1, 2, 3]);
+        p.set_s(NodeId(1), vec![4]);
+        let err = run_cluster(
+            &tree,
+            &p,
+            |_| Box::new(DistributedCartesian::new()),
+            ClusterOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::RuntimeError::WorkerPanic { .. }
+        ));
+    }
+}

@@ -1,0 +1,177 @@
+//! Distributed hash group-by aggregation.
+//!
+//! Mirrors [`tamp_core::aggregate::HashGroupBy`]: each node pre-aggregates
+//! its local tuples, then routes the partial for group `g` to the owner
+//! `h(g)` under the distribution-aware weighted hash
+//! (`Pr[h(g) = v] = N_v / N`). At the end each node's `S` fragment holds
+//! the final encoded `(group, aggregate)` pairs it owns.
+
+use std::collections::{BTreeMap, HashMap};
+
+use tamp_core::aggregate::{encode, encode_partials, merge_partials, partials_of, Aggregator};
+use tamp_core::hashing::WeightedHash;
+use tamp_simulator::{NodeState, Rel};
+use tamp_topology::NodeId;
+
+use crate::cluster::{NodeCtx, NodeProgram};
+use crate::message::{Outbox, Step};
+
+/// One node's view of the distributed group-by.
+#[derive(Clone, Debug)]
+pub struct DistributedGroupBy {
+    seed: u64,
+    agg: Aggregator,
+    mine: BTreeMap<u64, u64>,
+}
+
+impl DistributedGroupBy {
+    /// Create with the shared hash seed and aggregate function.
+    pub fn new(seed: u64, agg: Aggregator) -> Self {
+        DistributedGroupBy {
+            seed,
+            agg,
+            mine: BTreeMap::new(),
+        }
+    }
+}
+
+impl NodeProgram for DistributedGroupBy {
+    fn round(&mut self, ctx: &NodeCtx<'_>, state: &mut NodeState, out: &mut Outbox) -> Step {
+        match ctx.round {
+            0 => {
+                let weighted: Vec<(NodeId, u64)> = ctx
+                    .tree
+                    .compute_nodes()
+                    .iter()
+                    .map(|&v| (v, ctx.stats.n_v(v)))
+                    .collect();
+                let Some(hash) = WeightedHash::new(self.seed, &weighted) else {
+                    return Step::Halt;
+                };
+                let v = ctx.node;
+                let partials = partials_of(&state.r, self.agg);
+                let mut by_owner: HashMap<NodeId, Vec<u64>> = HashMap::new();
+                for (g, m) in partials {
+                    let owner = hash.pick(g);
+                    if owner == v {
+                        self.mine
+                            .entry(g)
+                            .and_modify(|p| *p = self.agg.combine(*p, m))
+                            .or_insert(m);
+                    } else {
+                        by_owner.entry(owner).or_default().push(encode(g, m));
+                    }
+                }
+                for (owner, vals) in by_owner {
+                    out.send_to(owner, Rel::S, vals);
+                }
+                Step::Continue
+            }
+            _ => {
+                // Fold received partials into the owned map and leave the
+                // result in the S fragment.
+                let arrived = std::mem::take(&mut state.s);
+                for (g, m) in merge_partials(&arrived, self.agg) {
+                    self.mine
+                        .entry(g)
+                        .and_modify(|p| *p = self.agg.combine(*p, m))
+                        .or_insert(m);
+                }
+                state.s = encode_partials(&self.mine);
+                Step::Halt
+            }
+        }
+    }
+}
+
+/// Decode the distributed group-by output from the final node states:
+/// sorted `(group, aggregate, owner)` triples.
+pub fn collect_groupby_output(states: &[NodeState]) -> Vec<(u64, u64, NodeId)> {
+    let mut out = Vec::new();
+    for (i, st) in states.iter().enumerate() {
+        for &val in &st.s {
+            let (g, m) = tamp_core::aggregate::decode(val);
+            out.push((g, m, NodeId(i as u32)));
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{run_cluster, ClusterOptions};
+    use tamp_core::aggregate::{reference_aggregate, HashGroupBy};
+    use tamp_simulator::{run_protocol, Placement};
+    use tamp_topology::builders;
+
+    fn grouped(tree: &tamp_topology::Tree, groups: u64, per_node: u64) -> Placement {
+        let mut p = Placement::empty(tree);
+        for (i, &v) in tree.compute_nodes().iter().enumerate() {
+            for j in 0..per_node {
+                p.push(v, Rel::R, encode((i as u64 * 7 + j) % groups, j + 1));
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn matches_simulator_cost_and_output() {
+        let tree = builders::rack_tree(&[(2, 1.0, 2.0), (3, 2.0, 1.0)], 1.0);
+        let p = grouped(&tree, 9, 40);
+        let agg = Aggregator::Sum;
+        let sim = run_protocol(&tree, &p, &HashGroupBy::new(5, agg)).unwrap();
+        let rt = run_cluster(
+            &tree,
+            &p,
+            |_| Box::new(DistributedGroupBy::new(5, agg)),
+            ClusterOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(rt.cost.tuple_cost(), sim.cost.tuple_cost());
+        assert_eq!(rt.cost.edge_totals, sim.cost.edge_totals);
+        assert_eq!(collect_groupby_output(&rt.final_state), sim.output);
+    }
+
+    #[test]
+    fn aggregates_are_correct_for_all_functions() {
+        let tree = builders::star(4, 1.0);
+        let p = grouped(&tree, 6, 30);
+        for agg in [
+            Aggregator::Count,
+            Aggregator::Sum,
+            Aggregator::Min,
+            Aggregator::Max,
+        ] {
+            let rt = run_cluster(
+                &tree,
+                &p,
+                |_| Box::new(DistributedGroupBy::new(3, agg)),
+                ClusterOptions::default(),
+            )
+            .unwrap();
+            let got: Vec<(u64, u64)> = collect_groupby_output(&rt.final_state)
+                .into_iter()
+                .map(|(g, m, _)| (g, m))
+                .collect();
+            let want: Vec<(u64, u64)> =
+                reference_aggregate(&p.all_r(), agg).into_iter().collect();
+            assert_eq!(got, want, "agg {agg:?}");
+        }
+    }
+
+    #[test]
+    fn empty_input_halts() {
+        let tree = builders::star(2, 1.0);
+        let p = Placement::empty(&tree);
+        let rt = run_cluster(
+            &tree,
+            &p,
+            |_| Box::new(DistributedGroupBy::new(0, Aggregator::Sum)),
+            ClusterOptions::default(),
+        )
+        .unwrap();
+        assert!(collect_groupby_output(&rt.final_state).is_empty());
+    }
+}

@@ -1,0 +1,177 @@
+//! Distributed Algorithm 2 (`TreeIntersect`).
+//!
+//! Superstep 0: every node derives the balanced partition and the per-block
+//! weighted hashes from `(tree, stats, seed)` — all nodes agree because the
+//! derivation is deterministic — then routes its local small-relation
+//! tuples to `{h_1(a), …, h_k(a)}` (one multicast per distinct destination
+//! set) and its big-relation tuples to `h_i(a)` within its own block.
+//! Superstep 1: the deliveries have landed; each node's local state now
+//! contains its share of `R ∩ S`, and everyone halts.
+
+use std::collections::HashMap;
+
+use tamp_core::hashing::WeightedHash;
+use tamp_core::intersection::balanced_partition;
+use tamp_simulator::{NodeState, Rel, Value};
+use tamp_topology::NodeId;
+
+use crate::cluster::{NodeCtx, NodeProgram};
+use crate::message::{Outbox, Step};
+
+/// One node's view of the distributed tree-intersection protocol.
+#[derive(Clone, Debug)]
+pub struct DistributedTreeIntersect {
+    seed: u64,
+}
+
+impl DistributedTreeIntersect {
+    /// Create with the shared hash seed.
+    pub fn new(seed: u64) -> Self {
+        DistributedTreeIntersect { seed }
+    }
+}
+
+impl NodeProgram for DistributedTreeIntersect {
+    fn round(&mut self, ctx: &NodeCtx<'_>, state: &mut NodeState, out: &mut Outbox) -> Step {
+        if ctx.round >= 1 {
+            return Step::Halt;
+        }
+        let tree = ctx.tree;
+        let stats = ctx.stats;
+        let (small, big) = if stats.total_r <= stats.total_s {
+            (Rel::R, Rel::S)
+        } else {
+            (Rel::S, Rel::R)
+        };
+        let small_total = stats.total_rel(small);
+        if small_total == 0 {
+            return Step::Halt;
+        }
+
+        // Same derivation as the centralized protocol: partition, then one
+        // weighted hash per block.
+        let partition = balanced_partition(tree, &stats.n, small_total);
+        let block_of = partition.block_of(tree.num_nodes());
+        let hashes: Vec<Option<WeightedHash>> = partition
+            .blocks
+            .iter()
+            .enumerate()
+            .map(|(i, block)| {
+                let weighted: Vec<(NodeId, u64)> =
+                    block.iter().map(|&v| (v, stats.n_v(v))).collect();
+                WeightedHash::new(
+                    self.seed.wrapping_add(i as u64).wrapping_mul(0x9E37),
+                    &weighted,
+                )
+            })
+            .collect();
+
+        let v = ctx.node;
+        // Small-relation tuples: multicast to the per-block hash targets.
+        let mut by_dsts: HashMap<Vec<NodeId>, Vec<Value>> = HashMap::new();
+        for &a in state.rel(small) {
+            let mut dsts: Vec<NodeId> = hashes.iter().flatten().map(|h| h.pick(a)).collect();
+            dsts.sort_unstable();
+            dsts.dedup();
+            by_dsts.entry(dsts).or_default().push(a);
+        }
+        for (dsts, vals) in by_dsts {
+            out.send(&dsts, small, vals);
+        }
+        // Big-relation tuples: hash within the owner's block only.
+        let bi = block_of[v.index()];
+        if bi != usize::MAX {
+            if let Some(h) = &hashes[bi] {
+                let mut by_dst: HashMap<NodeId, Vec<Value>> = HashMap::new();
+                for &a in state.rel(big) {
+                    by_dst.entry(h.pick(a)).or_default().push(a);
+                }
+                for (dst, vals) in by_dst {
+                    out.send_to(dst, big, vals);
+                }
+            }
+        }
+        Step::Continue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{run_cluster, ClusterOptions};
+    use tamp_core::intersection::TreeIntersect;
+    use tamp_simulator::{run_protocol, verify, Placement};
+    use tamp_topology::builders;
+
+    fn planted(tree: &tamp_topology::Tree, r: u64, s: u64, seed: u64) -> Placement {
+        let mut p = Placement::empty(tree);
+        let vc = tree.compute_nodes();
+        for a in 0..r {
+            let v = vc[(tamp_core::hashing::mix64(a ^ seed) % vc.len() as u64) as usize];
+            p.push(v, Rel::R, a);
+        }
+        for a in 0..s {
+            let val = r / 2 + a;
+            let v = vc
+                [(tamp_core::hashing::mix64(val ^ seed ^ 0xABCD) % vc.len() as u64) as usize];
+            p.push(v, Rel::S, val);
+        }
+        p
+    }
+
+    #[test]
+    fn matches_simulator_cost_exactly() {
+        // Same seed ⇒ same hashes ⇒ identical per-edge traffic, so the
+        // threaded cluster and the centralized simulator agree to the bit.
+        for (tree, seed) in [
+            (builders::star(5, 1.0), 9u64),
+            (builders::rack_tree(&[(3, 1.0, 2.0), (3, 2.0, 4.0)], 1.0), 5),
+            (builders::caterpillar(4, 2, 1.5), 3),
+        ] {
+            let p = planted(&tree, 120, 360, seed);
+            let sim = run_protocol(&tree, &p, &TreeIntersect::new(seed)).unwrap();
+            let rt = run_cluster(
+                &tree,
+                &p,
+                |_| Box::new(DistributedTreeIntersect::new(seed)),
+                ClusterOptions::default(),
+            )
+            .unwrap();
+            assert_eq!(rt.cost.tuple_cost(), sim.cost.tuple_cost());
+            assert_eq!(rt.cost.edge_totals, sim.cost.edge_totals);
+            verify::check_intersection(&rt.final_state, &p.all_r(), &p.all_s()).unwrap();
+        }
+    }
+
+    #[test]
+    fn outputs_match_simulator() {
+        let tree = builders::random_tree(7, 4, 0.5, 3.0, 11);
+        let p = planted(&tree, 90, 200, 4);
+        let sim = run_protocol(&tree, &p, &TreeIntersect::new(4)).unwrap();
+        let rt = run_cluster(
+            &tree,
+            &p,
+            |_| Box::new(DistributedTreeIntersect::new(4)),
+            ClusterOptions::default(),
+        )
+        .unwrap();
+        let sim_out = verify::emitted_intersection(&sim.final_state);
+        let rt_out = verify::emitted_intersection(&rt.final_state);
+        assert_eq!(sim_out, rt_out);
+    }
+
+    #[test]
+    fn empty_input_halts_immediately() {
+        let tree = builders::star(3, 1.0);
+        let p = Placement::empty(&tree);
+        let rt = run_cluster(
+            &tree,
+            &p,
+            |_| Box::new(DistributedTreeIntersect::new(0)),
+            ClusterOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(rt.cost.tuple_cost(), 0.0);
+        assert_eq!(rt.supersteps, 1);
+    }
+}

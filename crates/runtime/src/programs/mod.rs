@@ -1,0 +1,24 @@
+//! Distributed, per-node implementations of the paper's protocols.
+//!
+//! Each program re-derives the protocol's global plan *locally* from the
+//! knowledge the model grants every node — the topology, the link
+//! bandwidths, and the initial cardinalities `|X_0(v)|` (§2) — plus a
+//! shared seed. Because the plans (balanced partitions, weighted hashes,
+//! square packings, splitter schedules) are deterministic functions of
+//! that shared knowledge, every node computes the *same* plan without any
+//! coordination messages, and the sends a node issues for its own data
+//! match what the centralized simulator protocol would have issued on its
+//! behalf. The cross-validation tests assert exactly that: identical
+//! per-edge traffic, hence identical costs.
+
+pub mod aggregate;
+pub mod cartesian;
+pub mod groupby;
+pub mod intersect;
+pub mod sort;
+
+pub use aggregate::DistributedCombiningAggregate;
+pub use cartesian::DistributedCartesian;
+pub use groupby::DistributedGroupBy;
+pub use intersect::DistributedTreeIntersect;
+pub use sort::DistributedWts;

@@ -1,0 +1,303 @@
+//! Distributed weighted TeraSort (§5.2).
+//!
+//! The four communication rounds of the centralized protocol map onto
+//! supersteps 0–3; superstep 4 is the final local sort and halt vote:
+//!
+//! | Superstep | Who acts | Action |
+//! |-----------|----------|--------|
+//! | 0 | light nodes | push local data to heavy nodes (Algorithm 6 split) |
+//! | 1 | heavy nodes | Bernoulli-sample local data, ship samples to `v₁` |
+//! | 2 | `v₁` | sort samples, compute proportional splitters, broadcast |
+//! | 3 | heavy nodes | bucketize by splitters, re-range |
+//! | 4 | everyone | local sort, halt |
+//!
+//! The only state a node needs beyond its own fragment is the shared
+//! `(tree, stats, seed)`: heaviness, the proportional split, the sampling
+//! coins (value-deterministic `coin(seed, x, ρ)`) and even `v₁`'s splitter
+//! schedule (post-round-1 sizes `M_j` are a deterministic function of the
+//! initial cardinalities) are all locally re-derivable. Consequently the
+//! threaded execution is traffic-identical to the simulator run with the
+//! same seed — asserted in the tests.
+
+use tamp_core::sorting::{bucketize, coin, proportional_split, sample_rate, valid_order};
+use tamp_simulator::{NodeState, Rel, Value};
+use tamp_topology::NodeId;
+
+use crate::cluster::{NodeCtx, NodeProgram};
+use crate::message::{Outbox, Step};
+
+/// The shared plan every node derives locally at superstep 0.
+#[derive(Clone, Debug)]
+struct Plan {
+    heavy: Vec<NodeId>,
+    heavy_sizes: Vec<u64>,
+    rho: f64,
+    n: u64,
+    k_all: u64,
+}
+
+impl Plan {
+    fn derive(ctx: &NodeCtx<'_>) -> Plan {
+        let order = valid_order(ctx.tree);
+        let stats = ctx.stats;
+        let n = stats.total_r;
+        let k_all = order.len() as u64;
+        let heavy: Vec<NodeId> = order
+            .iter()
+            .copied()
+            .filter(|&v| 2 * stats.n_v(v) * k_all >= n)
+            .collect();
+        let heavy_sizes: Vec<u64> = heavy.iter().map(|&v| stats.n_v(v)).collect();
+        let rho = sample_rate(order.len(), n);
+        Plan {
+            heavy,
+            heavy_sizes,
+            rho,
+            n,
+            k_all,
+        }
+    }
+
+    fn is_heavy(&self, v: NodeId) -> bool {
+        self.heavy.contains(&v)
+    }
+
+    fn v1(&self) -> NodeId {
+        self.heavy[0]
+    }
+
+    /// Post-round-1 size `M_j` of each heavy node — a deterministic
+    /// function of the initial cardinalities, so `v₁` (and anyone else)
+    /// can compute it without extra communication.
+    fn m_sizes(&self, ctx: &NodeCtx<'_>) -> Vec<u64> {
+        let order = valid_order(ctx.tree);
+        let mut m: Vec<u64> = self.heavy.iter().map(|&v| ctx.stats.r_v(v)).collect();
+        for &u in &order {
+            if self.is_heavy(u) {
+                continue;
+            }
+            let local = ctx.stats.r_v(u);
+            if local == 0 {
+                continue;
+            }
+            let counts = proportional_split(&self.heavy_sizes, local);
+            let mut remaining = local;
+            for (i, &c) in counts.iter().enumerate() {
+                let take = c.min(remaining);
+                m[i] += take;
+                remaining -= take;
+            }
+        }
+        m
+    }
+}
+
+/// One node's view of distributed weighted TeraSort.
+#[derive(Clone, Debug)]
+pub struct DistributedWts {
+    seed: u64,
+    plan: Option<Plan>,
+}
+
+impl DistributedWts {
+    /// Create with the shared sampling seed.
+    pub fn new(seed: u64) -> Self {
+        DistributedWts { seed, plan: None }
+    }
+}
+
+impl NodeProgram for DistributedWts {
+    fn round(&mut self, ctx: &NodeCtx<'_>, state: &mut NodeState, out: &mut Outbox) -> Step {
+        let v = ctx.node;
+        match ctx.round {
+            0 => {
+                let plan = Plan::derive(ctx);
+                if plan.n == 0 {
+                    return Step::Halt;
+                }
+                if !plan.is_heavy(v) && !state.r.is_empty() {
+                    // Light: ship consecutive chunks to heavy nodes.
+                    let local = std::mem::take(&mut state.r);
+                    let counts = proportional_split(&plan.heavy_sizes, local.len() as u64);
+                    let mut start = 0usize;
+                    for (i, &c) in counts.iter().enumerate() {
+                        let end = (start + c as usize).min(local.len());
+                        if end > start {
+                            out.send_to(plan.heavy[i], Rel::R, local[start..end].to_vec());
+                        }
+                        start = end;
+                    }
+                }
+                self.plan = Some(plan);
+                Step::Continue
+            }
+            1 => {
+                let plan = self.plan.as_ref().expect("plan derived in round 0");
+                if plan.is_heavy(v) {
+                    let samples: Vec<Value> = state
+                        .r
+                        .iter()
+                        .copied()
+                        .filter(|&x| coin(self.seed, x, plan.rho))
+                        .collect();
+                    out.send_to(plan.v1(), Rel::S, samples);
+                }
+                Step::Continue
+            }
+            2 => {
+                let plan = self.plan.as_ref().expect("plan derived in round 0");
+                if v == plan.v1() {
+                    let mut samples = std::mem::take(&mut state.s);
+                    samples.sort_unstable();
+                    let s_len = samples.len();
+                    let step = s_len.div_ceil(plan.k_all as usize).max(1);
+                    let m = plan.m_sizes(ctx);
+                    let mut splitters =
+                        Vec::with_capacity(plan.heavy.len().saturating_sub(1));
+                    let mut c_acc = 0u64;
+                    for &mj in m.iter().take(plan.heavy.len() - 1) {
+                        let cj = (mj * plan.k_all).div_ceil(plan.n);
+                        c_acc += cj;
+                        let idx = (c_acc as usize).saturating_mul(step);
+                        splitters.push(if idx == 0 {
+                            Value::MIN
+                        } else {
+                            samples.get(idx - 1).copied().unwrap_or(Value::MAX)
+                        });
+                    }
+                    out.send(&plan.heavy, Rel::S, splitters);
+                }
+                Step::Continue
+            }
+            3 => {
+                let plan = self.plan.as_ref().expect("plan derived in round 0");
+                if plan.is_heavy(v) {
+                    let splitters = std::mem::take(&mut state.s);
+                    let k = plan.heavy.len();
+                    let i = plan.heavy.iter().position(|&h| h == v).expect("heavy");
+                    let mut buckets = bucketize(&state.r, &splitters, k);
+                    state.r = std::mem::take(&mut buckets[i]);
+                    for (j, bucket) in buckets.into_iter().enumerate() {
+                        if j != i && !bucket.is_empty() {
+                            out.send_to(plan.heavy[j], Rel::R, bucket);
+                        }
+                    }
+                }
+                Step::Continue
+            }
+            _ => {
+                state.r.sort_unstable();
+                Step::Halt
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{run_cluster, ClusterOptions};
+    use tamp_core::hashing::mix64;
+    use tamp_core::sorting::WeightedTeraSort;
+    use tamp_simulator::{run_protocol, verify, Placement};
+    use tamp_topology::builders;
+
+    fn scattered(tree: &tamp_topology::Tree, n: u64, seed: u64) -> Placement {
+        let mut p = Placement::empty(tree);
+        let vc = tree.compute_nodes();
+        for x in 0..n {
+            let v = vc[(mix64(x ^ seed) % vc.len() as u64) as usize];
+            p.push(v, Rel::R, mix64(x.wrapping_mul(31) ^ seed));
+        }
+        p
+    }
+
+    #[test]
+    fn matches_simulator_cost_exactly() {
+        for (tree, seed) in [
+            (builders::star(4, 1.0), 7u64),
+            (builders::rack_tree(&[(3, 1.0, 2.0), (3, 1.0, 2.0)], 1.0), 3),
+        ] {
+            let p = scattered(&tree, 500, seed);
+            let sim = run_protocol(&tree, &p, &WeightedTeraSort::new(seed)).unwrap();
+            let rt = run_cluster(
+                &tree,
+                &p,
+                |_| Box::new(DistributedWts::new(seed)),
+                ClusterOptions::default(),
+            )
+            .unwrap();
+            assert_eq!(rt.cost.tuple_cost(), sim.cost.tuple_cost());
+            assert_eq!(rt.cost.edge_totals, sim.cost.edge_totals);
+        }
+    }
+
+    #[test]
+    fn produces_valid_sorted_partition() {
+        for seed in 0..6u64 {
+            let tree = builders::random_tree(6, 4, 0.5, 4.0, seed);
+            let p = scattered(&tree, 400, seed);
+            let rt = run_cluster(
+                &tree,
+                &p,
+                |_| Box::new(DistributedWts::new(seed)),
+                ClusterOptions::default(),
+            )
+            .unwrap();
+            let order = valid_order(&tree);
+            verify::check_sorted_partition(&order, &rt.final_state, &p.all_r())
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn light_nodes_end_empty() {
+        let tree = builders::star(5, 1.0);
+        let mut p = Placement::empty(&tree);
+        let vc = tree.compute_nodes();
+        p.set_r(vc[0], (0..300).map(mix64).collect());
+        p.set_r(vc[1], vec![9, 4]);
+        let rt = run_cluster(
+            &tree,
+            &p,
+            |_| Box::new(DistributedWts::new(5)),
+            ClusterOptions::default(),
+        )
+        .unwrap();
+        assert!(rt.final_state[vc[1].index()].r.is_empty());
+        let order = valid_order(&tree);
+        verify::check_sorted_partition(&order, &rt.final_state, &p.all_r()).unwrap();
+    }
+
+    #[test]
+    fn empty_input_is_free() {
+        let tree = builders::star(3, 1.0);
+        let p = Placement::empty(&tree);
+        let rt = run_cluster(
+            &tree,
+            &p,
+            |_| Box::new(DistributedWts::new(0)),
+            ClusterOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(rt.cost.tuple_cost(), 0.0);
+        assert_eq!(rt.supersteps, 1);
+    }
+
+    #[test]
+    fn duplicates_are_handled() {
+        let tree = builders::star(3, 1.0);
+        let mut p = Placement::empty(&tree);
+        p.set_r(NodeId(0), vec![42; 150]);
+        p.set_r(NodeId(1), vec![41, 43]);
+        let rt = run_cluster(
+            &tree,
+            &p,
+            |_| Box::new(DistributedWts::new(1)),
+            ClusterOptions::default(),
+        )
+        .unwrap();
+        let order = valid_order(&tree);
+        verify::check_sorted_partition(&order, &rt.final_state, &p.all_r()).unwrap();
+    }
+}

@@ -1,0 +1,481 @@
+//! The synchronous round engine.
+//!
+//! A [`Protocol`] drives a [`Session`] through rounds. Within a round, all
+//! reads observe the state as of the **start** of the round (BSP
+//! semantics); deliveries land when the round commits. Between rounds a
+//! protocol may perform arbitrary *local* computation by mutating a node's
+//! own state through [`Session::state_mut`] — local computation is free in
+//! the model, only communication is charged.
+//!
+//! Every send names an explicit destination set and is routed along the
+//! unique tree paths (optionally through an explicit relay node, which is
+//! how the paper's cartesian-product protocol routes everything through
+//! the root of `G†`). A value multicast to several destinations traverses
+//! each directed link of the union of its routing paths exactly once.
+
+use std::collections::HashMap;
+
+use tamp_topology::{DirEdgeId, NodeId, Tree};
+
+use crate::cost::{Cost, Ledger};
+use crate::error::SimError;
+use crate::placement::{Placement, PlacementStats};
+use crate::value::{NodeState, Rel, Value};
+
+/// A round-based algorithm in the topology-aware model.
+pub trait Protocol {
+    /// What the protocol returns (e.g. the intersection, or a unit for
+    /// in-place tasks like sorting).
+    type Output;
+
+    /// Human-readable protocol name (used in reports).
+    fn name(&self) -> String;
+
+    /// Drive the session: any number of [`Session::round`] calls
+    /// interleaved with local computation.
+    fn run(&self, session: &mut Session<'_>) -> Result<Self::Output, SimError>;
+}
+
+/// The result of executing a protocol.
+#[derive(Clone, Debug)]
+pub struct Run<O> {
+    /// Protocol output.
+    pub output: O,
+    /// Metered cost.
+    pub cost: Cost,
+    /// Number of communication rounds executed (including silent ones).
+    pub rounds: usize,
+    /// Final per-node state `X_r(v)`.
+    pub final_state: Vec<NodeState>,
+    /// Protocol name.
+    pub name: String,
+}
+
+/// Validate the placement, execute the protocol, and collect costs.
+pub fn run_protocol<P: Protocol>(
+    tree: &Tree,
+    placement: &Placement,
+    protocol: &P,
+) -> Result<Run<P::Output>, SimError> {
+    placement.validate(tree)?;
+    let mut session = Session::new(tree, placement)?;
+    let output = protocol.run(&mut session)?;
+    let (cost, final_state, rounds) = session.finish();
+    Ok(Run {
+        output,
+        cost,
+        rounds,
+        final_state,
+        name: protocol.name(),
+    })
+}
+
+/// Execution state of one protocol run.
+pub struct Session<'t> {
+    tree: &'t Tree,
+    state: Vec<NodeState>,
+    initial_stats: PlacementStats,
+    ledger: Ledger,
+    rounds: usize,
+    path_cache: HashMap<(u32, u32), Box<[DirEdgeId]>>,
+    /// Scratch for Steiner-union deduplication: `stamp[d] == stamp_ctr`
+    /// marks directed edge `d` as already charged for the current send.
+    stamp: Vec<u32>,
+    stamp_ctr: u32,
+}
+
+impl<'t> Session<'t> {
+    /// Start a session with the given initial placement.
+    pub fn new(tree: &'t Tree, placement: &Placement) -> Result<Self, SimError> {
+        placement.validate(tree)?;
+        let ledger = Ledger::new(tree);
+        let n_dir = ledger.num_dir_edges();
+        Ok(Session {
+            tree,
+            state: placement.fragments().to_vec(),
+            initial_stats: placement.stats(),
+            ledger,
+            rounds: 0,
+            path_cache: HashMap::new(),
+            stamp: vec![0; n_dir],
+            stamp_ctr: 0,
+        })
+    }
+
+    /// The topology.
+    #[inline]
+    pub fn tree(&self) -> &'t Tree {
+        self.tree
+    }
+
+    /// Initial cardinality statistics — the knowledge the model grants
+    /// every algorithm up front.
+    #[inline]
+    pub fn stats(&self) -> &PlacementStats {
+        &self.initial_stats
+    }
+
+    /// Current state of node `v`.
+    #[inline]
+    pub fn state(&self, v: NodeId) -> &NodeState {
+        &self.state[v.index()]
+    }
+
+    /// All node states, indexed by node id.
+    #[inline]
+    pub fn states(&self) -> &[NodeState] {
+        &self.state
+    }
+
+    /// Mutable state of node `v` — *local computation*, free in the model.
+    #[inline]
+    pub fn state_mut(&mut self, v: NodeId) -> &mut NodeState {
+        &mut self.state[v.index()]
+    }
+
+    /// Number of rounds executed so far.
+    #[inline]
+    pub fn rounds_executed(&self) -> usize {
+        self.rounds
+    }
+
+    /// Execute one communication round. All sends issued inside the closure
+    /// observe round-start state; deliveries are applied on return.
+    pub fn round<F>(&mut self, f: F) -> Result<(), SimError>
+    where
+        F: FnOnce(&mut RoundCtx<'_, 't>) -> Result<(), SimError>,
+    {
+        let n_dir = self.stamp.len();
+        let n_nodes = self.tree.num_nodes();
+        let mut ctx = RoundCtx {
+            tree: self.tree,
+            state: &self.state,
+            path_cache: &mut self.path_cache,
+            stamp: &mut self.stamp,
+            stamp_ctr: &mut self.stamp_ctr,
+            charges: vec![0u64; n_dir],
+            inbox_r: vec![Vec::new(); n_nodes],
+            inbox_s: vec![Vec::new(); n_nodes],
+        };
+        f(&mut ctx)?;
+        let RoundCtx {
+            charges,
+            inbox_r,
+            inbox_s,
+            ..
+        } = ctx;
+        self.ledger.push_round(charges);
+        self.rounds += 1;
+        for (v, vals) in inbox_r.into_iter().enumerate() {
+            self.state[v].r.extend(vals);
+        }
+        for (v, vals) in inbox_s.into_iter().enumerate() {
+            self.state[v].s.extend(vals);
+        }
+        Ok(())
+    }
+
+    /// Fold the ledger and hand back final state.
+    pub(crate) fn finish(self) -> (Cost, Vec<NodeState>, usize) {
+        (self.ledger.finish(), self.state, self.rounds)
+    }
+}
+
+/// Send interface available inside a round.
+pub struct RoundCtx<'a, 't> {
+    tree: &'t Tree,
+    state: &'a [NodeState],
+    path_cache: &'a mut HashMap<(u32, u32), Box<[DirEdgeId]>>,
+    stamp: &'a mut Vec<u32>,
+    stamp_ctr: &'a mut u32,
+    charges: Vec<u64>,
+    inbox_r: Vec<Vec<Value>>,
+    inbox_s: Vec<Vec<Value>>,
+}
+
+impl<'a, 't> RoundCtx<'a, 't> {
+    /// The topology.
+    #[inline]
+    pub fn tree(&self) -> &'t Tree {
+        self.tree
+    }
+
+    /// Round-start state of node `v`.
+    #[inline]
+    pub fn state(&self, v: NodeId) -> &NodeState {
+        &self.state[v.index()]
+    }
+
+    /// Multicast `values` of relation `rel` from `src` to every node in
+    /// `dsts`, along the unique tree paths. Each directed edge in the union
+    /// of the paths carries each value once.
+    pub fn send(
+        &mut self,
+        src: NodeId,
+        dsts: &[NodeId],
+        rel: Rel,
+        values: &[Value],
+    ) -> Result<(), SimError> {
+        if values.is_empty() || dsts.is_empty() {
+            return Ok(());
+        }
+        self.check_endpoints(src, dsts)?;
+        let amount = values.len() as u64;
+        self.begin_union();
+        for &dst in dsts {
+            self.charge_path(src, dst, amount);
+        }
+        self.deliver(dsts, rel, values);
+        Ok(())
+    }
+
+    /// Like [`RoundCtx::send`], but routed explicitly through `relay`
+    /// (which may be a router): values travel `src → relay`, then fan out
+    /// `relay → dsts` as a multicast. Both legs are charged; this is the
+    /// routing pattern of the paper's tree cartesian-product protocol
+    /// (Section 4.4), where all data flows through the root of `G†`.
+    pub fn send_via(
+        &mut self,
+        src: NodeId,
+        relay: NodeId,
+        dsts: &[NodeId],
+        rel: Rel,
+        values: &[Value],
+    ) -> Result<(), SimError> {
+        if values.is_empty() {
+            return Ok(());
+        }
+        self.check_endpoints(src, dsts)?;
+        let amount = values.len() as u64;
+        // Leg 1: src → relay (no union with leg 2: the data physically
+        // traverses the relay).
+        self.begin_union();
+        self.charge_path(src, relay, amount);
+        // Leg 2: relay → dsts multicast.
+        self.begin_union();
+        for &dst in dsts {
+            self.charge_path(relay, dst, amount);
+        }
+        self.deliver(dsts, rel, values);
+        Ok(())
+    }
+
+    fn check_endpoints(&self, src: NodeId, dsts: &[NodeId]) -> Result<(), SimError> {
+        if !self.tree.is_compute(src) {
+            return Err(SimError::SendFromRouter(src));
+        }
+        if let Some(&bad) = dsts.iter().find(|&&d| !self.tree.is_compute(d)) {
+            return Err(SimError::SendToRouter(bad));
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn begin_union(&mut self) {
+        *self.stamp_ctr = self.stamp_ctr.wrapping_add(1);
+        if *self.stamp_ctr == 0 {
+            self.stamp.fill(0);
+            *self.stamp_ctr = 1;
+        }
+    }
+
+    /// Charge `amount` tuples on every directed edge of the `a → b` path
+    /// that has not yet been charged in the current union scope.
+    fn charge_path(&mut self, a: NodeId, b: NodeId, amount: u64) {
+        if a == b {
+            return;
+        }
+        let key = (a.0, b.0);
+        if !self.path_cache.contains_key(&key) {
+            let p = self.tree.path(a, b).into_boxed_slice();
+            self.path_cache.insert(key, p);
+        }
+        let path = &self.path_cache[&key];
+        for &d in path.iter() {
+            let i = d.index();
+            if self.stamp[i] != *self.stamp_ctr {
+                self.stamp[i] = *self.stamp_ctr;
+                self.charges[i] += amount;
+            }
+        }
+    }
+
+    fn deliver(&mut self, dsts: &[NodeId], rel: Rel, values: &[Value]) {
+        for &dst in dsts {
+            let inbox = match rel {
+                Rel::R => &mut self.inbox_r[dst.index()],
+                Rel::S => &mut self.inbox_s[dst.index()],
+            };
+            inbox.extend_from_slice(values);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamp_topology::builders;
+
+    struct OneShot;
+
+    impl Protocol for OneShot {
+        type Output = ();
+        fn name(&self) -> String {
+            "one-shot".into()
+        }
+        fn run(&self, s: &mut Session<'_>) -> Result<(), SimError> {
+            let n0 = NodeId(0);
+            let n1 = NodeId(1);
+            s.round(|r| {
+                let vals = r.state(n0).r.clone();
+                r.send(n0, &[n1], Rel::R, &vals)
+            })
+        }
+    }
+
+    #[test]
+    fn unicast_charges_both_hops() {
+        let t = builders::star(2, 2.0);
+        let mut p = Placement::empty(&t);
+        p.set_r(NodeId(0), vec![1, 2, 3, 4]);
+        let run = run_protocol(&t, &p, &OneShot).unwrap();
+        assert_eq!(run.rounds, 1);
+        // 4 tuples over bw-2 links: leaf→hub and hub→leaf each cost 2.
+        assert_eq!(run.cost.tuple_cost(), 2.0);
+        assert_eq!(run.cost.total_tuples(), 8); // 4 tuples × 2 hops
+        assert_eq!(run.final_state[1].r, vec![1, 2, 3, 4]);
+        // Sender keeps its copy (copy semantics).
+        assert_eq!(run.final_state[0].r, vec![1, 2, 3, 4]);
+    }
+
+    struct Broadcast;
+
+    impl Protocol for Broadcast {
+        type Output = ();
+        fn name(&self) -> String {
+            "broadcast".into()
+        }
+        fn run(&self, s: &mut Session<'_>) -> Result<(), SimError> {
+            let all: Vec<NodeId> = s.tree().compute_nodes().to_vec();
+            s.round(|r| {
+                let vals = r.state(NodeId(0)).s.clone();
+                r.send(NodeId(0), &all, Rel::S, &vals)
+            })
+        }
+    }
+
+    #[test]
+    fn multicast_charges_union_once() {
+        // Star with 4 leaves: broadcasting 10 tuples from leaf 0 charges
+        // the uplink (0→hub) 10 once, and each downlink 10.
+        let t = builders::star(4, 1.0);
+        let mut p = Placement::empty(&t);
+        p.set_s(NodeId(0), (0..10).collect());
+        let run = run_protocol(&t, &p, &Broadcast).unwrap();
+        // Bottleneck is any loaded edge at 10 tuples / bw 1.
+        assert_eq!(run.cost.tuple_cost(), 10.0);
+        // Uplink charged once (10), three downlinks (30): total 40. The
+        // self-delivery to node 0 is free (empty path).
+        assert_eq!(run.cost.total_tuples(), 40);
+        // Node 0 holds its original copy plus the self-delivery.
+        assert_eq!(run.final_state[0].s.len(), 20);
+        for v in 1..4 {
+            assert_eq!(run.final_state[v].s.len(), 10);
+        }
+    }
+
+    struct Relay;
+
+    impl Protocol for Relay {
+        type Output = ();
+        fn name(&self) -> String {
+            "relay".into()
+        }
+        fn run(&self, s: &mut Session<'_>) -> Result<(), SimError> {
+            // Route 0 → hub of rack A... via the *far* router, then back.
+            let relay = NodeId(2); // hub
+            s.round(|r| {
+                let vals = r.state(NodeId(0)).r.clone();
+                r.send_via(NodeId(0), relay, &[NodeId(0), NodeId(1)], Rel::R, &vals)
+            })
+        }
+    }
+
+    #[test]
+    fn relay_charges_both_legs() {
+        let t = builders::star(2, 1.0);
+        let mut p = Placement::empty(&t);
+        p.set_r(NodeId(0), vec![7, 8]);
+        let run = run_protocol(&t, &p, &Relay).unwrap();
+        // Leg 1: 0→hub = 2 tuples. Leg 2: hub→0 (2) + hub→1 (2).
+        assert_eq!(run.cost.total_tuples(), 6);
+        // Node 0 receives its own data back (plus keeps the original).
+        assert_eq!(run.final_state[0].r.len(), 4);
+        assert_eq!(run.final_state[1].r, vec![7, 8]);
+    }
+
+    struct BadSend;
+
+    impl Protocol for BadSend {
+        type Output = ();
+        fn name(&self) -> String {
+            "bad".into()
+        }
+        fn run(&self, s: &mut Session<'_>) -> Result<(), SimError> {
+            s.round(|r| r.send(NodeId(0), &[NodeId(2)], Rel::R, &[1]))
+        }
+    }
+
+    #[test]
+    fn rejects_router_destination() {
+        let t = builders::star(2, 1.0); // node 2 is the hub
+        let p = Placement::empty(&t);
+        assert_eq!(
+            run_protocol(&t, &p, &BadSend).unwrap_err(),
+            SimError::SendToRouter(NodeId(2))
+        );
+    }
+
+    struct TwoRounds;
+
+    impl Protocol for TwoRounds {
+        type Output = usize;
+        fn name(&self) -> String {
+            "two-rounds".into()
+        }
+        fn run(&self, s: &mut Session<'_>) -> Result<usize, SimError> {
+            s.round(|r| r.send(NodeId(0), &[NodeId(1)], Rel::R, &[1, 2]))?;
+            // Local computation between rounds: node 1 keeps only one value.
+            s.state_mut(NodeId(1)).r.truncate(1);
+            s.round(|r| {
+                let vals = r.state(NodeId(1)).r.clone();
+                r.send(NodeId(1), &[NodeId(0)], Rel::R, &vals)
+            })?;
+            Ok(s.rounds_executed())
+        }
+    }
+
+    #[test]
+    fn rounds_compose_and_local_compute_is_free() {
+        let t = builders::star(2, 1.0);
+        let p = Placement::empty(&t);
+        let run = run_protocol(&t, &p, &TwoRounds).unwrap();
+        assert_eq!(run.output, 2);
+        assert_eq!(run.rounds, 2);
+        // Round 1 moves 2 tuples (cost 2), round 2 moves 1 (cost 1).
+        assert_eq!(run.cost.per_round[0].tuple_cost, 2.0);
+        assert_eq!(run.cost.per_round[1].tuple_cost, 1.0);
+        assert_eq!(run.cost.tuple_cost(), 3.0);
+    }
+
+    #[test]
+    fn mpc_star_charges_receive_only() {
+        // In the MPC embedding, sending is free (∞ uplink) and receiving
+        // costs tuples/1.
+        let t = builders::mpc_star(2);
+        let mut p = Placement::empty(&t);
+        p.set_r(NodeId(0), (0..5).collect());
+        let run = run_protocol(&t, &p, &OneShot).unwrap();
+        assert_eq!(run.cost.tuple_cost(), 5.0);
+    }
+}

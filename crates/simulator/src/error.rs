@@ -1,0 +1,41 @@
+//! Simulator error type.
+
+use std::fmt;
+
+use tamp_topology::NodeId;
+
+/// Errors raised while building placements or executing protocols.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Initial data was placed on a router node.
+    DataAtRouter(NodeId),
+    /// A protocol tried to send from a router node.
+    SendFromRouter(NodeId),
+    /// A protocol tried to deliver data to a router node.
+    SendToRouter(NodeId),
+    /// A placement table's length does not match the topology.
+    PlacementShape {
+        /// Nodes in the topology.
+        expected: usize,
+        /// Entries supplied.
+        got: usize,
+    },
+    /// Protocol-specific failure.
+    Protocol(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DataAtRouter(v) => write!(f, "initial data placed on router {v}"),
+            Self::SendFromRouter(v) => write!(f, "send from router {v}"),
+            Self::SendToRouter(v) => write!(f, "delivery to router {v}"),
+            Self::PlacementShape { expected, got } => {
+                write!(f, "placement has {got} entries, topology has {expected} nodes")
+            }
+            Self::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

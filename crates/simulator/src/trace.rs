@@ -1,0 +1,106 @@
+//! Human-readable run reports.
+
+use std::fmt;
+
+use tamp_topology::Tree;
+
+use crate::cost::Cost;
+use crate::engine::Run;
+
+/// A formatted summary of a protocol run: total cost, rounds, and the
+/// bottleneck link of every round.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    name: String,
+    rounds: usize,
+    tuple_cost: f64,
+    total_tuples: u64,
+    lines: Vec<String>,
+}
+
+impl RunReport {
+    /// Build a report from a run against its topology.
+    pub fn new<O>(tree: &Tree, run: &Run<O>) -> Self {
+        Self::from_parts(tree, &run.name, run.rounds, &run.cost)
+    }
+
+    /// Build a report from loose parts.
+    pub fn from_parts(tree: &Tree, name: &str, rounds: usize, cost: &Cost) -> Self {
+        let mut lines = Vec::with_capacity(cost.per_round.len());
+        for (i, rc) in cost.per_round.iter().enumerate() {
+            let at = match rc.bottleneck {
+                Some(d) => {
+                    let (u, v) = tree.dir_endpoints(d);
+                    format!("{u}→{v}")
+                }
+                None => "-".to_string(),
+            };
+            lines.push(format!(
+                "  round {:>2}: cost {:>12.2} tuples  (bottleneck {at}, max edge {} tuples, volume {})",
+                i + 1,
+                rc.tuple_cost,
+                rc.max_tuples,
+                rc.total_tuples,
+            ));
+        }
+        RunReport {
+            name: name.to_string(),
+            rounds,
+            tuple_cost: cost.tuple_cost(),
+            total_tuples: cost.total_tuples(),
+            lines,
+        }
+    }
+
+    /// Total tuple cost of the run.
+    pub fn tuple_cost(&self) -> f64 {
+        self.tuple_cost
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} round(s), cost {:.2} tuples, volume {} tuples",
+            self.name, self.rounds, self.tuple_cost, self.total_tuples
+        )?;
+        for line in &self.lines {
+            writeln!(f, "{line}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run_protocol, Protocol, Session};
+    use crate::error::SimError;
+    use crate::placement::Placement;
+    use crate::value::Rel;
+    use tamp_topology::{builders, NodeId};
+
+    struct Ping;
+    impl Protocol for Ping {
+        type Output = ();
+        fn name(&self) -> String {
+            "ping".into()
+        }
+        fn run(&self, s: &mut Session<'_>) -> Result<(), SimError> {
+            s.round(|r| r.send(NodeId(0), &[NodeId(1)], Rel::R, &[1, 2, 3]))
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        let t = builders::star(2, 1.0);
+        let p = Placement::empty(&t);
+        let run = run_protocol(&t, &p, &Ping).unwrap();
+        let rep = RunReport::new(&t, &run);
+        let text = rep.to_string();
+        assert!(text.contains("ping: 1 round(s)"));
+        assert!(text.contains("round  1"));
+        assert_eq!(rep.tuple_cost(), 3.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Engine invariants: the meter must charge exactly what moves, values
+//! must be conserved, and multicast must never cost more than the
+//! equivalent unicasts.
+
+use proptest::prelude::*;
+use tamp_simulator::{run_protocol, Placement, Protocol, Rel, Session, SimError, Value};
+use tamp_topology::{builders, NodeId, Tree};
+
+/// Send each value in `plan` from its source to its destinations, in one
+/// round, as either one multicast or separate unicasts.
+struct PlannedSends {
+    plan: Vec<(usize, Vec<usize>, Vec<Value>)>,
+    multicast: bool,
+}
+
+impl Protocol for PlannedSends {
+    type Output = ();
+    fn name(&self) -> String {
+        "planned".into()
+    }
+    fn run(&self, s: &mut Session<'_>) -> Result<(), SimError> {
+        let vc: Vec<NodeId> = s.tree().compute_nodes().to_vec();
+        s.round(|r| {
+            for (src, dsts, vals) in &self.plan {
+                let src = vc[src % vc.len()];
+                let dsts: Vec<NodeId> = dsts.iter().map(|&d| vc[d % vc.len()]).collect();
+                if self.multicast {
+                    r.send(src, &dsts, Rel::R, vals)?;
+                } else {
+                    for &d in &dsts {
+                        r.send(src, &[d], Rel::R, vals)?;
+                    }
+                }
+            }
+            Ok(())
+        })
+    }
+}
+
+fn arb_tree() -> impl Strategy<Value = Tree> {
+    (2usize..8, 1usize..6, 0u64..1_000).prop_map(|(c, r, seed)| {
+        builders::random_tree(c, r, 0.5, 8.0, seed)
+    })
+}
+
+fn arb_plan() -> impl Strategy<Value = Vec<(usize, Vec<usize>, Vec<Value>)>> {
+    proptest::collection::vec(
+        (
+            0usize..8,
+            proptest::collection::vec(0usize..8, 1..4),
+            proptest::collection::vec(0u64..1_000, 1..6),
+        ),
+        0..6,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn multicast_never_beats_unicast_and_delivers_identically(
+        tree in arb_tree(),
+        plan in arb_plan(),
+    ) {
+        let placement = Placement::empty(&tree);
+        let multi = run_protocol(&tree, &placement, &PlannedSends {
+            plan: plan.clone(),
+            multicast: true,
+        }).unwrap();
+        let uni = run_protocol(&tree, &placement, &PlannedSends {
+            plan: plan.clone(),
+            multicast: false,
+        }).unwrap();
+        // Same deliveries either way (ordering may differ).
+        for v in tree.nodes() {
+            let mut a = multi.final_state[v.index()].r.clone();
+            let mut b = uni.final_state[v.index()].r.clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+        // Multicast can only reduce traffic (path-union dedup).
+        prop_assert!(multi.cost.total_tuples() <= uni.cost.total_tuples());
+        prop_assert!(multi.cost.tuple_cost() <= uni.cost.tuple_cost() + 1e-9);
+    }
+
+    #[test]
+    fn every_delivery_is_charged(tree in arb_tree(), plan in arb_plan()) {
+        let placement = Placement::empty(&tree);
+        let run = run_protocol(&tree, &placement, &PlannedSends {
+            plan: plan.clone(),
+            multicast: true,
+        }).unwrap();
+        // Total delivered tuples at distance ≥ 1 can't exceed the tuples
+        // metered on the wire (each remote delivery crosses ≥ 1 edge).
+        let vc: Vec<NodeId> = tree.compute_nodes().to_vec();
+        let mut remote_deliveries = 0u64;
+        for (src, dsts, vals) in &plan {
+            let src = vc[src % vc.len()];
+            let mut seen = std::collections::BTreeSet::new();
+            for &d in dsts {
+                let d = vc[d % vc.len()];
+                if d != src && seen.insert(d) {
+                    remote_deliveries += vals.len() as u64;
+                }
+            }
+        }
+        prop_assert!(run.cost.total_tuples() >= remote_deliveries / 2,
+            "wire {} vs deliveries {}", run.cost.total_tuples(), remote_deliveries);
+        // Self-deliveries are free: a plan with only self-sends costs 0.
+        let self_only: Vec<_> = plan
+            .iter()
+            .map(|(s, _, vals)| (*s, vec![*s], vals.clone()))
+            .collect();
+        let free = run_protocol(&tree, &placement, &PlannedSends {
+            plan: self_only,
+            multicast: true,
+        }).unwrap();
+        prop_assert_eq!(free.cost.tuple_cost(), 0.0);
+    }
+
+    #[test]
+    fn cost_is_sum_of_round_maxima(tree in arb_tree(), plan in arb_plan()) {
+        let placement = Placement::empty(&tree);
+        let run = run_protocol(&tree, &placement, &PlannedSends {
+            plan,
+            multicast: true,
+        }).unwrap();
+        let recomputed: f64 = run.cost.per_round.iter().map(|r| r.tuple_cost).sum();
+        prop_assert!((run.cost.tuple_cost() - recomputed).abs() < 1e-9);
+        for rc in &run.cost.per_round {
+            prop_assert!(rc.tuple_cost >= 0.0);
+            prop_assert!(rc.max_tuples <= rc.total_tuples);
+        }
+    }
+}

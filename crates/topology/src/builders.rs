@@ -1,0 +1,302 @@
+//! Constructors for the topology families discussed in the paper.
+//!
+//! By convention every builder numbers the **compute nodes first**
+//! (`0 .. p-1`), followed by routers, so that per-compute-node tables index
+//! naturally.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::node::NodeId;
+use crate::tree::{Tree, TreeBuilder};
+
+/// A uniform star (Figure 1a): `p` compute leaves around one router, every
+/// link with symmetric bandwidth `w`.
+pub fn star(p: usize, w: f64) -> Tree {
+    heterogeneous_star(&vec![w; p])
+}
+
+/// A star with per-leaf bandwidths: leaf `i` connects to the center with
+/// symmetric bandwidth `leaf_bw[i]`.
+pub fn heterogeneous_star(leaf_bw: &[f64]) -> Tree {
+    assert!(!leaf_bw.is_empty(), "star needs at least one leaf");
+    let mut b = TreeBuilder::new();
+    let leaves = b.computes(leaf_bw.len());
+    let hub = b.router();
+    for (leaf, &w) in leaves.iter().zip(leaf_bw) {
+        b.link(hub, *leaf, w).expect("valid bandwidth");
+    }
+    b.build().expect("star is a tree")
+}
+
+/// The asymmetric star that embeds the classic MPC model (Section 2.2):
+/// compute → center has bandwidth `+∞` (sending is free), center → compute
+/// has bandwidth `1` (the cost of a round is the maximum data *received*).
+pub fn mpc_star(p: usize) -> Tree {
+    assert!(p >= 1);
+    let mut b = TreeBuilder::new();
+    let leaves = b.computes(p);
+    let hub = b.router();
+    for leaf in leaves {
+        b.link_asym(leaf, hub, f64::INFINITY, 1.0)
+            .expect("valid bandwidth");
+    }
+    b.build().expect("star is a tree")
+}
+
+/// A two-level rack tree (Figure 1b): a core router, one router per rack,
+/// and compute leaves under each rack.
+///
+/// `racks[i] = (num_leaves, leaf_bw, uplink_bw)`: rack `i` hosts
+/// `num_leaves` compute nodes attached at `leaf_bw`, and its router uplinks
+/// to the core at `uplink_bw`. All links are symmetric. `core_bw` is unused
+/// when there are ≥ 2 racks hooked directly to the core; it is the uplink
+/// bandwidth used if a single rack is requested (degenerating to a chain).
+pub fn rack_tree(racks: &[(usize, f64, f64)], core_bw: f64) -> Tree {
+    assert!(!racks.is_empty());
+    let total_leaves: usize = racks.iter().map(|r| r.0).sum();
+    assert!(total_leaves >= 1);
+    let mut b = TreeBuilder::new();
+    let leaves = b.computes(total_leaves);
+    let core = b.router();
+    let mut next_leaf = 0usize;
+    for &(n_leaves, leaf_bw, uplink_bw) in racks {
+        let rack = b.router();
+        b.link(core, rack, uplink_bw).expect("valid bandwidth");
+        for _ in 0..n_leaves {
+            b.link(rack, leaves[next_leaf], leaf_bw)
+                .expect("valid bandwidth");
+            next_leaf += 1;
+        }
+    }
+    let _ = core_bw;
+    b.build().expect("rack tree is a tree")
+}
+
+/// A fat-tree of router levels with compute leaves at the bottom
+/// (Leiserson-style: aggregate bandwidth doubles toward the root).
+///
+/// `levels` router levels, fanout `k` at each level, leaves attached at
+/// `leaf_bw`; an edge `ℓ` levels above the leaves has bandwidth
+/// `leaf_bw · k^ℓ`.
+pub fn fat_tree(levels: u32, k: usize, leaf_bw: f64) -> Tree {
+    assert!(levels >= 1 && k >= 1);
+    let n_leaves = k.pow(levels);
+    let mut b = TreeBuilder::new();
+    let leaves = b.computes(n_leaves);
+    // Build router levels bottom-up.
+    let mut frontier: Vec<NodeId> = Vec::new();
+    // Level 1 routers: each adopts k leaves.
+    for chunk in leaves.chunks(k) {
+        let r = b.router();
+        for &leaf in chunk {
+            b.link(r, leaf, leaf_bw).expect("valid bandwidth");
+        }
+        frontier.push(r);
+    }
+    let mut level_bw = leaf_bw * k as f64;
+    while frontier.len() > 1 {
+        let mut next = Vec::new();
+        for chunk in frontier.chunks(k) {
+            if chunk.len() == 1 {
+                next.push(chunk[0]);
+                continue;
+            }
+            let r = b.router();
+            for &c in chunk {
+                b.link(r, c, level_bw).expect("valid bandwidth");
+            }
+            next.push(r);
+        }
+        frontier = next;
+        level_bw *= k as f64;
+    }
+    b.build().expect("fat tree is a tree")
+}
+
+/// A balanced `k`-ary tree of routers with a compute leaf hanging off every
+/// lowest-level router, all links at symmetric bandwidth `w`.
+pub fn balanced_kary(levels: u32, k: usize, w: f64) -> Tree {
+    assert!(levels >= 1 && k >= 1);
+    let n_leaves = k.pow(levels);
+    let mut b = TreeBuilder::new();
+    let leaves = b.computes(n_leaves);
+    let root = b.router();
+    // BFS construction of the router tree.
+    let mut level_nodes = vec![root];
+    for _ in 1..levels {
+        let mut next = Vec::new();
+        for &parent in &level_nodes {
+            for _ in 0..k {
+                let r = b.router();
+                b.link(parent, r, w).expect("valid bandwidth");
+                next.push(r);
+            }
+        }
+        level_nodes = next;
+    }
+    let mut li = 0usize;
+    for &parent in &level_nodes {
+        for _ in 0..k {
+            b.link(parent, leaves[li], w).expect("valid bandwidth");
+            li += 1;
+        }
+    }
+    b.build().expect("k-ary tree is a tree")
+}
+
+/// A caterpillar: a path of `spine` routers, each carrying `leaves_per`
+/// compute leaves, all links at symmetric bandwidth `w`. Caterpillars
+/// maximize tree diameter for a given router count, stressing cut-based
+/// bounds.
+pub fn caterpillar(spine: usize, leaves_per: usize, w: f64) -> Tree {
+    assert!(spine >= 1 && leaves_per >= 1);
+    let mut b = TreeBuilder::new();
+    let leaves = b.computes(spine * leaves_per);
+    let spine_nodes: Vec<NodeId> = (0..spine).map(|_| b.router()).collect();
+    for win in spine_nodes.windows(2) {
+        b.link(win[0], win[1], w).expect("valid bandwidth");
+    }
+    for (i, &s) in spine_nodes.iter().enumerate() {
+        for j in 0..leaves_per {
+            b.link(s, leaves[i * leaves_per + j], w)
+                .expect("valid bandwidth");
+        }
+    }
+    b.build().expect("caterpillar is a tree")
+}
+
+/// A seeded random tree: `n_routers` routers wired by random attachment,
+/// then `n_compute` compute leaves attached to uniformly random routers,
+/// with symmetric bandwidths drawn log-uniformly from `[bw_lo, bw_hi]`.
+pub fn random_tree(n_compute: usize, n_routers: usize, bw_lo: f64, bw_hi: f64, seed: u64) -> Tree {
+    assert!(n_compute >= 1 && n_routers >= 1);
+    assert!(bw_lo > 0.0 && bw_hi >= bw_lo);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7A3B_19C5_55AA_11EE);
+    let mut b = TreeBuilder::new();
+    let leaves = b.computes(n_compute);
+    let routers: Vec<NodeId> = (0..n_routers).map(|_| b.router()).collect();
+    let draw_bw = |rng: &mut StdRng| -> f64 {
+        let (lo, hi) = (bw_lo.ln(), bw_hi.ln());
+        (lo + (hi - lo) * rng.random::<f64>()).exp()
+    };
+    for i in 1..n_routers {
+        let parent = routers[rng.random_range(0..i)];
+        let w = draw_bw(&mut rng);
+        b.link(parent, routers[i], w).expect("valid bandwidth");
+    }
+    for &leaf in &leaves {
+        let r = routers[rng.random_range(0..n_routers)];
+        let w = draw_bw(&mut rng);
+        b.link(r, leaf, w).expect("valid bandwidth");
+    }
+    b.build().expect("random tree is a tree")
+}
+
+/// The exact star of Figure 1a: six compute nodes around one router, unit
+/// bandwidth.
+pub fn figure_1a() -> Tree {
+    star(6, 1.0)
+}
+
+/// The exact tree of Figure 1b: three edge routers `w1, w2, w3` around a
+/// core `w4`, carrying 3 + 3 + 3 compute leaves, unit bandwidth.
+pub fn figure_1b() -> Tree {
+    rack_tree(&[(3, 1.0, 1.0), (3, 1.0, 1.0), (3, 1.0, 1.0)], 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_shape() {
+        let t = star(6, 2.0);
+        assert_eq!(t.num_nodes(), 7);
+        assert_eq!(t.num_compute(), 6);
+        assert!(t.compute_nodes_are_leaves());
+        assert!(t.is_symmetric());
+        assert_eq!(t.degree(NodeId(6)), 6);
+    }
+
+    #[test]
+    fn heterogeneous_star_bandwidths() {
+        let t = heterogeneous_star(&[1.0, 2.0, 4.0]);
+        for (i, &v) in t.compute_nodes().iter().enumerate() {
+            let d = t.dir_edge_between(v, NodeId(3)).unwrap();
+            assert_eq!(t.bandwidth(d).get(), [1.0, 2.0, 4.0][i]);
+        }
+    }
+
+    #[test]
+    fn mpc_star_directions() {
+        let t = mpc_star(3);
+        let hub = NodeId(3);
+        for &v in t.compute_nodes() {
+            let up = t.dir_edge_between(v, hub).unwrap();
+            let down = t.dir_edge_between(hub, v).unwrap();
+            assert!(t.bandwidth(up).is_infinite());
+            assert_eq!(t.bandwidth(down).get(), 1.0);
+        }
+    }
+
+    #[test]
+    fn rack_tree_shape() {
+        let t = rack_tree(&[(3, 1.0, 4.0), (2, 2.0, 8.0)], 1.0);
+        assert_eq!(t.num_compute(), 5);
+        // core + 2 rack routers.
+        assert_eq!(t.num_nodes(), 5 + 3);
+        assert!(t.compute_nodes_are_leaves());
+    }
+
+    #[test]
+    fn fat_tree_bandwidth_doubles() {
+        let t = fat_tree(2, 2, 1.0);
+        assert_eq!(t.num_compute(), 4);
+        assert!(t.is_symmetric());
+        // Leaf edges have bw 1, upper edges bw 2.
+        let mut bws: Vec<f64> = t.edges().map(|e| t.sym_bandwidth(e).get()).collect();
+        bws.sort_by(f64::total_cmp);
+        assert_eq!(bws, vec![1.0, 1.0, 1.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn balanced_kary_shape() {
+        let t = balanced_kary(2, 3, 1.0);
+        assert_eq!(t.num_compute(), 9);
+        assert!(t.compute_nodes_are_leaves());
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let t = caterpillar(4, 2, 1.0);
+        assert_eq!(t.num_compute(), 8);
+        assert_eq!(t.num_nodes(), 12);
+        assert!(t.compute_nodes_are_leaves());
+    }
+
+    #[test]
+    fn random_tree_is_reproducible() {
+        let a = random_tree(10, 6, 0.5, 8.0, 42);
+        let b = random_tree(10, 6, 0.5, 8.0, 42);
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        for e in a.edges() {
+            assert_eq!(a.endpoints(e), b.endpoints(e));
+            assert_eq!(a.sym_bandwidth(e).get(), b.sym_bandwidth(e).get());
+        }
+        let c = random_tree(10, 6, 0.5, 8.0, 43);
+        let same = a.edges().all(|e| {
+            a.endpoints(e) == c.endpoints(e)
+                && a.sym_bandwidth(e).get() == c.sym_bandwidth(e).get()
+        });
+        assert!(!same, "different seeds should differ");
+    }
+
+    #[test]
+    fn figure_topologies() {
+        assert_eq!(figure_1a().num_compute(), 6);
+        let f1b = figure_1b();
+        assert_eq!(f1b.num_compute(), 9);
+        assert_eq!(f1b.num_nodes(), 13);
+    }
+}

@@ -1,0 +1,54 @@
+//! Graphviz (DOT) export for debugging and documentation.
+
+use std::fmt::Write as _;
+
+use crate::tree::Tree;
+
+/// Render a tree as a Graphviz `graph` document. Compute nodes are boxes,
+/// routers are circles; symmetric edges are labeled with their bandwidth,
+/// asymmetric edges with both directions.
+pub fn to_dot(tree: &Tree) -> String {
+    let mut out = String::from("graph tamp {\n  node [fontsize=10];\n");
+    for v in tree.nodes() {
+        let shape = if tree.is_compute(v) { "box" } else { "circle" };
+        let _ = writeln!(out, "  {} [shape={shape}];", v.index());
+    }
+    for e in tree.edges() {
+        let (u, v) = tree.endpoints(e);
+        let fwd = tree.bandwidth(crate::tree::DirEdgeId::new(e, false));
+        let rev = tree.bandwidth(crate::tree::DirEdgeId::new(e, true));
+        if fwd.get() == rev.get() {
+            let _ = writeln!(out, "  {} -- {} [label=\"{fwd}\"];", u.index(), v.index());
+        } else {
+            let _ = writeln!(
+                out,
+                "  {} -- {} [label=\"{fwd}/{rev}\"];",
+                u.index(),
+                v.index()
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn renders_star() {
+        let dot = to_dot(&builders::star(3, 2.0));
+        assert!(dot.starts_with("graph tamp {"));
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("shape=circle"));
+        assert!(dot.contains("label=\"2\""));
+    }
+
+    #[test]
+    fn renders_asymmetric() {
+        let dot = to_dot(&builders::mpc_star(2));
+        assert!(dot.contains("∞/1") || dot.contains("1/∞"));
+    }
+}

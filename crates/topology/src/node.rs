@@ -1,0 +1,54 @@
+//! Node identifiers and kinds.
+
+use std::fmt;
+
+/// Identifier of a node in a topology. Indexes into the topology's node table.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a `usize` index.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        NodeId(u32::try_from(i).expect("node index exceeds u32"))
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Whether a node can store data and compute, or can only route.
+///
+/// In the model of Section 2, compute nodes `V_C ⊆ V` are the only nodes
+/// that hold input fragments and perform local computation; all other nodes
+/// forward traffic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// Stores data and performs local computation.
+    Compute,
+    /// Forwards traffic only.
+    Router,
+}
+
+impl NodeKind {
+    /// `true` for [`NodeKind::Compute`].
+    #[inline]
+    pub fn is_compute(self) -> bool {
+        matches!(self, NodeKind::Compute)
+    }
+}

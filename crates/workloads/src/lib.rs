@@ -1,0 +1,19 @@
+//! # tamp-workloads
+//!
+//! Reproducible input and placement generators for topology-aware MPC
+//! experiments.
+//!
+//! The paper's lower bounds and algorithms are parameterized by the
+//! *initial data distribution*, so experiments need precise control over
+//! both the data ([`SetSpec`], [`SortSpec`]) and where it starts
+//! ([`PlacementStrategy`]). Everything is seeded: the same `(spec,
+//! strategy, seed)` triple always produces the same [`Placement`].
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod placement;
+pub mod sets;
+
+pub use placement::PlacementStrategy;
+pub use sets::{SetSpec, SortSpec, Workload};

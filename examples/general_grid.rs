@@ -1,0 +1,75 @@
+//! Beyond trees: the paper's algorithms on grids, tori and hypercubes.
+//!
+//! §7 leaves general topologies as future work because multiple routing
+//! paths exist. This example takes the pragmatic route the substrate
+//! enables today: extract a spanning tree (keeping the widest links), run
+//! the unmodified tree algorithms, and compare against per-*cut* lower
+//! bounds where the whole cut's bandwidth counts — the measured gap is
+//! the price of single-tree routing.
+//!
+//! ```text
+//! cargo run --release --example general_grid
+//! ```
+
+use tamp::core::general::{
+    graph_intersection_lower_bound, run_on_graph, TreeExtraction,
+};
+use tamp::core::hashing::mix64;
+use tamp::core::intersection::TreeIntersect;
+use tamp::core::ratio::ratio;
+use tamp::simulator::{verify, NodeState, Placement};
+use tamp::topology::graph::builders as gb;
+use tamp::topology::Graph;
+
+fn scatter(graph: &Graph, r: u64, s: u64) -> Placement {
+    let vc = graph.compute_nodes();
+    let mut frags = vec![NodeState::default(); graph.num_nodes()];
+    for a in 0..r {
+        frags[vc[(mix64(a) % vc.len() as u64) as usize].index()].r.push(a);
+    }
+    for a in 0..s {
+        let val = r / 2 + a;
+        frags[vc[(mix64(val ^ 3) % vc.len() as u64) as usize].index()]
+            .s
+            .push(val);
+    }
+    Placement::from_fragments(frags)
+}
+
+fn main() {
+    let graphs: Vec<(&str, Graph)> = vec![
+        ("5x5 grid", gb::grid(5, 5, 1.0)),
+        ("4x4 torus", gb::torus(4, 4, 1.0)),
+        ("4-dim hypercube", gb::hypercube(4, 1.0)),
+        ("ring of 16", gb::ring(16, 1.0)),
+    ];
+    println!("set intersection on non-tree topologies (2 000 R + 6 000 S tuples)\n");
+    println!(
+        "{:<16} {:>10} {:>12} {:>12} {:>9}",
+        "graph", "extraction", "cost", "cut LB", "ratio"
+    );
+    for (name, graph) in graphs {
+        let p = scatter(&graph, 2_000, 6_000);
+        for (how, how_name) in [
+            (TreeExtraction::MaxBandwidth, "max-bw"),
+            (TreeExtraction::BfsFromFirstCompute, "bfs"),
+        ] {
+            let (run, tree) = run_on_graph(&graph, &p, &TreeIntersect::new(9), how).unwrap();
+            verify::check_intersection(&run.final_state, &p.all_r(), &p.all_s()).unwrap();
+            let lb = graph_intersection_lower_bound(&graph, &tree, &p.stats()).value();
+            println!(
+                "{:<16} {:>10} {:>12.1} {:>12.1} {:>9.2}",
+                name,
+                how_name,
+                run.cost.tuple_cost(),
+                lb,
+                ratio(run.cost.tuple_cost(), lb)
+            );
+        }
+    }
+    println!(
+        "\nthe ratio is the price of routing on one tree while the lower bound\n\
+         may spread data across the whole cut — widest on expanders (hypercube),\n\
+         smallest on cut-dominated shapes; closing it is the paper's open problem"
+    );
+}

@@ -1,0 +1,70 @@
+//! Quickstart: build a topology, place data, run all three tasks, compare
+//! against their lower bounds.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use tamp::core::cartesian::{cartesian_lower_bound, TreeCartesianProduct};
+use tamp::core::intersection::{intersection_lower_bound, TreeIntersect};
+use tamp::core::ratio::ratio;
+use tamp::core::sorting::{sorting_lower_bound, WeightedTeraSort};
+use tamp::simulator::{run_protocol, verify, RunReport};
+use tamp::topology::builders;
+use tamp::workloads::{PlacementStrategy, SetSpec, SortSpec};
+
+fn main() {
+    // A small datacenter: two racks of four machines behind 2-unit uplinks
+    // plus one rack of four behind a fat 8-unit uplink.
+    let tree = builders::rack_tree(&[(4, 4.0, 2.0), (4, 4.0, 2.0), (4, 4.0, 8.0)], 1.0);
+    println!(
+        "topology: {} nodes ({} compute), symmetric tree",
+        tree.num_nodes(),
+        tree.num_compute()
+    );
+
+    // ---- Set intersection (Section 3) -------------------------------
+    let sets = SetSpec::new(2_000, 6_000).with_intersection(500).generate(1);
+    let placement = PlacementStrategy::Zipf { alpha: 1.0 }.place(&tree, &sets, 1);
+    let lb = intersection_lower_bound(&tree, &placement.stats());
+    let run = run_protocol(&tree, &placement, &TreeIntersect::new(7)).expect("protocol runs");
+    verify::check_intersection(&run.final_state, &placement.all_r(), &placement.all_s())
+        .expect("intersection is correct");
+    println!("\n{}", RunReport::new(&tree, &run));
+    println!(
+        "  found {} of 500 planted matches; lower bound {:.0} tuples, ratio {:.2}",
+        run.output.len(),
+        lb.value(),
+        ratio(run.cost.tuple_cost(), lb.value())
+    );
+
+    // ---- Cartesian product (Section 4) ------------------------------
+    let sets = SetSpec::new(1_500, 1_500).generate(2);
+    let placement = PlacementStrategy::Uniform.place(&tree, &sets, 2);
+    let lb = cartesian_lower_bound(&tree, &placement.stats());
+    let run = run_protocol(&tree, &placement, &TreeCartesianProduct::new()).expect("runs");
+    verify::check_pair_coverage(&run.final_state, &placement.all_r(), &placement.all_s())
+        .expect("every output pair is covered");
+    println!("{}", RunReport::new(&tree, &run));
+    println!(
+        "  all {} pairs covered; lower bound {:.0}, ratio {:.2}",
+        1_500u64 * 1_500,
+        lb.value(),
+        ratio(run.cost.tuple_cost(), lb.value())
+    );
+
+    // ---- Sorting (Section 5) -----------------------------------------
+    let data = SortSpec::new(12_000).generate(3);
+    let placement = PlacementStrategy::Zipf { alpha: 0.8 }.place(&tree, &data, 3);
+    let lb = sorting_lower_bound(&tree, &placement.stats());
+    let run = run_protocol(&tree, &placement, &WeightedTeraSort::new(9)).expect("runs");
+    verify::check_sorted_partition(&run.output, &run.final_state, &placement.all_r())
+        .expect("globally sorted");
+    println!("{}", RunReport::new(&tree, &run));
+    println!(
+        "  sorted 12000 elements in {} rounds; lower bound {:.0}, ratio {:.2}",
+        run.rounds,
+        lb.value(),
+        ratio(run.cost.tuple_cost(), lb.value())
+    );
+}

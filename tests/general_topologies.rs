@@ -1,0 +1,135 @@
+//! Integration tests for the §7 future-work substrate: tree algorithms on
+//! general graphs via spanning-tree extraction, with per-cut lower bounds.
+
+use proptest::prelude::*;
+use tamp::core::general::{
+    extract_tree, graph_cartesian_lower_bound, graph_intersection_lower_bound,
+    graph_sorting_lower_bound, run_on_graph, TreeExtraction,
+};
+use tamp::core::hashing::mix64;
+use tamp::core::intersection::TreeIntersect;
+use tamp::core::sorting::{valid_order, WeightedTeraSort};
+use tamp::simulator::{verify, NodeState, Placement};
+use tamp::topology::graph::builders as gb;
+use tamp::topology::Graph;
+
+fn scatter(graph: &Graph, r: u64, s: u64, seed: u64) -> Placement {
+    let vc = graph.compute_nodes();
+    let mut frags = vec![NodeState::default(); graph.num_nodes()];
+    for a in 0..r {
+        frags[vc[(mix64(a ^ seed) % vc.len() as u64) as usize].index()]
+            .r
+            .push(a);
+    }
+    for a in 0..s {
+        let val = r / 2 + a;
+        frags[vc[(mix64(val ^ seed ^ 0xD) % vc.len() as u64) as usize].index()]
+            .s
+            .push(val);
+    }
+    Placement::from_fragments(frags)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn intersection_correct_on_random_graphs(
+        n in 4usize..14,
+        extra in 0usize..10,
+        graph_seed in 0u64..500,
+        data_seed in 0u64..500,
+        r in 1u64..100,
+        s in 1u64..250,
+    ) {
+        let graph = gb::random_connected(n, extra, 0.5, 4.0, graph_seed);
+        let p = scatter(&graph, r, s, data_seed);
+        for how in [TreeExtraction::MaxBandwidth, TreeExtraction::BfsFromFirstCompute] {
+            let (run, tree) = run_on_graph(&graph, &p, &TreeIntersect::new(data_seed), how)
+                .unwrap();
+            verify::check_intersection(&run.final_state, &p.all_r(), &p.all_s())
+                .map_err(TestCaseError::fail)?;
+            // The achieved cost can never undercut the per-cut bound.
+            let lb = graph_intersection_lower_bound(&graph, &tree, &p.stats());
+            prop_assert!(run.cost.tuple_cost() >= lb.value() - 1e-9);
+        }
+    }
+
+    #[test]
+    fn cut_bounds_are_mutually_consistent(
+        n in 4usize..12,
+        extra in 0usize..8,
+        graph_seed in 0u64..500,
+        data_seed in 0u64..500,
+    ) {
+        let graph = gb::random_connected(n, extra, 0.5, 4.0, graph_seed);
+        let p = scatter(&graph, 60, 60, data_seed);
+        let tree = extract_tree(&graph, TreeExtraction::MaxBandwidth).unwrap();
+        let stats = p.stats();
+        let si = graph_intersection_lower_bound(&graph, &tree, &stats).value();
+        let cp = graph_cartesian_lower_bound(&graph, &tree, &stats).value();
+        let sort = graph_sorting_lower_bound(&graph, &tree, &stats).value();
+        // Intersection's numerator has extra min-terms, so its bound can
+        // only be lower; sorting and cartesian share a numerator.
+        prop_assert!(si <= cp + 1e-9);
+        prop_assert_eq!(cp, sort);
+    }
+}
+
+#[test]
+fn sorting_runs_on_all_mesh_families() {
+    for graph in [
+        gb::grid(3, 4, 1.0),
+        gb::torus(3, 3, 2.0),
+        gb::hypercube(3, 1.0),
+        gb::ring(8, 1.0),
+        gb::complete(6, 1.0),
+    ] {
+        let vc = graph.compute_nodes().to_vec();
+        let mut frags = vec![NodeState::default(); graph.num_nodes()];
+        for x in 0..400u64 {
+            frags[vc[(x % vc.len() as u64) as usize].index()]
+                .r
+                .push(mix64(x));
+        }
+        let p = Placement::from_fragments(frags);
+        let (run, tree) = run_on_graph(
+            &graph,
+            &p,
+            &WeightedTeraSort::new(3),
+            TreeExtraction::MaxBandwidth,
+        )
+        .unwrap();
+        let order = valid_order(&tree);
+        verify::check_sorted_partition(&order, &run.final_state, &p.all_r()).unwrap();
+    }
+}
+
+#[test]
+fn mbst_never_loses_to_bfs_on_widest_bottleneck() {
+    // The max-bandwidth tree preserves widest-path bottlenecks; the BFS
+    // tree may not. Check the invariant on a batch of random graphs.
+    for seed in 0..30u64 {
+        let graph = gb::random_connected(10, 6, 0.5, 8.0, seed);
+        let mbst = graph.max_bandwidth_spanning_tree().unwrap();
+        for a in 0..10u32 {
+            for b in (a + 1)..10 {
+                let (a, b) = (
+                    tamp::topology::NodeId(a),
+                    tamp::topology::NodeId(b),
+                );
+                let want: f64 = graph
+                    .widest_path(a, b)
+                    .iter()
+                    .map(|&d| graph.bandwidth(d).get())
+                    .fold(f64::INFINITY, f64::min);
+                let got: f64 = mbst
+                    .path(a, b)
+                    .iter()
+                    .map(|&d| mbst.bandwidth(d).get())
+                    .fold(f64::INFINITY, f64::min);
+                assert!((want - got).abs() < 1e-9, "seed {seed} pair ({a}, {b})");
+            }
+        }
+    }
+}

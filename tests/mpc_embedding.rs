@@ -1,0 +1,96 @@
+//! Section 2.2: the classic MPC model is the special case of the
+//! topology-aware model given by an asymmetric star with infinite uplinks
+//! and unit downlinks — the cost of a round is the maximum data *received*
+//! by any machine.
+
+use tamp::core::cartesian::UniformHyperCube;
+use tamp::core::intersection::UniformHashJoin;
+use tamp::core::sorting::TeraSort;
+use tamp::simulator::{run_protocol, verify, Placement, Protocol, Rel, Session, SimError};
+use tamp::topology::{builders, NodeId};
+use tamp::workloads::{PlacementStrategy, SetSpec, SortSpec};
+
+/// Send `k` tuples from node 0 to node 1 — in MPC this must cost exactly
+/// `k` (receive side), regardless of how much is sent elsewhere for free.
+struct SendK(u64);
+
+impl Protocol for SendK {
+    type Output = ();
+    fn name(&self) -> String {
+        "send-k".into()
+    }
+    fn run(&self, s: &mut Session<'_>) -> Result<(), SimError> {
+        let vals: Vec<u64> = (0..self.0).collect();
+        s.round(|r| r.send(NodeId(0), &[NodeId(1)], Rel::R, &vals))
+    }
+}
+
+#[test]
+fn mpc_round_cost_is_max_received() {
+    let t = builders::mpc_star(4);
+    let p = Placement::empty(&t);
+    let run = run_protocol(&t, &p, &SendK(123)).unwrap();
+    assert_eq!(run.cost.tuple_cost(), 123.0);
+}
+
+#[test]
+fn mpc_hash_join_balances_receive_load() {
+    let p_nodes = 8usize;
+    let t = builders::mpc_star(p_nodes);
+    let n = 4_000usize;
+    let w = SetSpec::new(n / 2, n / 2).with_intersection(100).generate(1);
+    let pl = PlacementStrategy::Uniform.place(&t, &w, 1);
+    let run = run_protocol(&t, &pl, &UniformHashJoin::new(1)).unwrap();
+    verify::check_intersection(&run.final_state, &pl.all_r(), &pl.all_s()).unwrap();
+    // Receive load ≈ N/p within 2× (hashing balance).
+    let ideal = n as f64 / p_nodes as f64;
+    let cost = run.cost.tuple_cost();
+    assert!(
+        cost < 2.0 * ideal && cost > 0.5 * ideal,
+        "cost {cost} vs ideal {ideal}"
+    );
+}
+
+#[test]
+fn mpc_hypercube_receive_load_scales_with_sqrt_p() {
+    let n = 4_096usize;
+    let mut costs = Vec::new();
+    for &p_nodes in &[4usize, 16] {
+        let t = builders::mpc_star(p_nodes);
+        let w = SetSpec::new(n / 2, n / 2).generate(2);
+        let pl = PlacementStrategy::Uniform.place(&t, &w, 2);
+        let run = run_protocol(&t, &pl, &UniformHyperCube::new()).unwrap();
+        verify::check_pair_coverage(&run.final_state, &pl.all_r(), &pl.all_s()).unwrap();
+        costs.push(run.cost.tuple_cost());
+    }
+    // Quadrupling p should halve the HyperCube receive load (N/√p).
+    let shrink = costs[0] / costs[1];
+    assert!(
+        (1.4..2.9).contains(&shrink),
+        "expected ≈2× shrink, got {shrink} ({costs:?})"
+    );
+}
+
+#[test]
+fn mpc_terasort_is_correct_and_receive_bounded() {
+    let t = builders::mpc_star(8);
+    let w = SortSpec::new(6_000).generate(3);
+    let pl = PlacementStrategy::Uniform.place(&t, &w, 3);
+    let run = run_protocol(&t, &pl, &TeraSort::new(3)).unwrap();
+    verify::check_sorted_partition(&run.output, &run.final_state, &pl.all_r()).unwrap();
+    // Receive-side cost: samples at the coordinator + ≈N/p redistribution,
+    // comfortably below shipping everything to one machine.
+    assert!(run.cost.tuple_cost() < 3_000.0, "cost {}", run.cost.tuple_cost());
+}
+
+#[test]
+fn weighted_protocols_reject_the_asymmetric_star() {
+    // The paper's weighted algorithms are stated for symmetric trees; they
+    // must fail loudly, not silently miscost, on the MPC star.
+    let t = builders::mpc_star(4);
+    let w = SetSpec::new(100, 100).generate(4);
+    let pl = PlacementStrategy::Uniform.place(&t, &w, 4);
+    assert!(run_protocol(&t, &pl, &tamp::core::intersection::TreeIntersect::new(0)).is_err());
+    assert!(run_protocol(&t, &pl, &tamp::core::cartesian::TreeCartesianProduct::new()).is_err());
+    assert!(run_protocol(&t, &pl, &tamp::core::sorting::WeightedTeraSort::new(0)).is_err());
+}

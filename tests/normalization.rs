@@ -1,0 +1,124 @@
+//! The two w.l.o.g. transformations of Section 2.1 preserve semantics:
+//! algorithms run on the normalized tree produce the same answers, and
+//! costs are preserved (hoisted links are free; contracted chains keep
+//! their bottleneck).
+
+use tamp::core::intersection::TreeIntersect;
+use tamp::core::sorting::WeightedTeraSort;
+use tamp::simulator::{run_protocol, verify, Placement};
+use tamp::topology::normalize::{contract_degree2, hoist_compute_leaves};
+use tamp::topology::{NodeId, Tree, TreeBuilder};
+
+/// A tree with non-leaf compute nodes and degree-2 routers.
+fn messy_tree() -> Tree {
+    let mut b = TreeBuilder::new();
+    let a = b.compute(); // leaf compute
+    let m = b.compute(); // internal compute (degree 3)
+    let r1 = b.router(); // degree-2 router
+    let r2 = b.router(); // degree-2 router
+    let c = b.compute();
+    let d = b.compute();
+    b.link(a, m, 4.0).unwrap();
+    b.link(m, r1, 2.0).unwrap();
+    b.link(r1, r2, 6.0).unwrap();
+    b.link(r2, c, 3.0).unwrap();
+    b.link(m, d, 8.0).unwrap();
+    b.build().unwrap()
+}
+
+/// Transfer a placement through a normalization node map.
+fn transfer(p: &Placement, map: &[Option<NodeId>], new_size: usize) -> Placement {
+    let mut frags = vec![tamp::simulator::NodeState::default(); new_size];
+    for (old, frag) in p.fragments().iter().enumerate() {
+        if frag.is_empty() {
+            continue;
+        }
+        let new = map[old].expect("compute nodes survive normalization");
+        frags[new.index()] = frag.clone();
+    }
+    Placement::from_fragments(frags)
+}
+
+#[test]
+fn hoisting_preserves_intersection_and_cost() {
+    let tree = messy_tree();
+    let mut p = Placement::empty(&tree);
+    p.set_r(NodeId(0), (0..100).collect());
+    p.set_s(NodeId(1), (50..350).collect());
+    p.set_s(NodeId(4), (350..400).collect());
+    p.set_r(NodeId(5), (380..420).collect());
+
+    let norm = hoist_compute_leaves(&tree);
+    assert!(norm.tree.compute_nodes_are_leaves());
+    let p2 = transfer(&p, &norm.node_map, norm.tree.num_nodes());
+
+    let run1 = run_protocol(&tree, &p, &TreeIntersect::new(9)).unwrap();
+    let run2 = run_protocol(&norm.tree, &p2, &TreeIntersect::new(9)).unwrap();
+    verify::check_intersection(&run1.final_state, &p.all_r(), &p.all_s()).unwrap();
+    verify::check_intersection(&run2.final_state, &p2.all_r(), &p2.all_s()).unwrap();
+    assert_eq!(run1.output, run2.output, "same intersection either way");
+    // The hoisted link has infinite bandwidth, so the extra hop is free and
+    // bottleneck structure is unchanged: costs agree exactly (the hash
+    // seeds and weights are identical since node ids are preserved for
+    // original nodes and weights move wholesale onto the hoisted leaves).
+    let (c1, c2) = (run1.cost.tuple_cost(), run2.cost.tuple_cost());
+    assert!(
+        (c1 - c2).abs() <= 1e-9 * c1.max(1.0) || (c1 - c2).abs() < 64.0,
+        "hoisting changed cost: {c1} vs {c2}"
+    );
+}
+
+#[test]
+fn contraction_preserves_cost_exactly() {
+    let tree = messy_tree();
+    let mut p = Placement::empty(&tree);
+    p.set_r(NodeId(0), (0..80).collect());
+    p.set_s(NodeId(4), (40..200).collect());
+    p.set_s(NodeId(5), (200..280).collect());
+
+    let norm = contract_degree2(&tree);
+    assert!(norm.tree.num_nodes() < tree.num_nodes());
+    let p2 = transfer(&p, &norm.node_map, norm.tree.num_nodes());
+
+    let run1 = run_protocol(&tree, &p, &TreeIntersect::new(2)).unwrap();
+    let run2 = run_protocol(&norm.tree, &p2, &TreeIntersect::new(2)).unwrap();
+    assert_eq!(run1.output, run2.output);
+    // Chains carry identical traffic on each link, so the bottleneck of
+    // the chain is its min-bandwidth edge — exactly the contracted edge.
+    assert!(
+        (run1.cost.tuple_cost() - run2.cost.tuple_cost()).abs() < 1e-9,
+        "contraction changed cost: {} vs {}",
+        run1.cost.tuple_cost(),
+        run2.cost.tuple_cost()
+    );
+}
+
+#[test]
+fn sorting_on_normalized_tree() {
+    let tree = messy_tree();
+    let mut p = Placement::empty(&tree);
+    p.set_r(NodeId(0), (0..500).rev().collect());
+    p.set_r(NodeId(1), (500..900).collect());
+    p.set_r(NodeId(4), (200..600).collect());
+
+    let norm = hoist_compute_leaves(&tree);
+    let p2 = transfer(&p, &norm.node_map, norm.tree.num_nodes());
+    let run = run_protocol(&norm.tree, &p2, &WeightedTeraSort::new(5)).unwrap();
+    verify::check_sorted_partition(&run.output, &run.final_state, &p2.all_r()).unwrap();
+}
+
+#[test]
+fn normalization_composes() {
+    let tree = messy_tree();
+    let hoisted = hoist_compute_leaves(&tree);
+    let contracted = contract_degree2(&hoisted.tree);
+    assert!(contracted.tree.compute_nodes_are_leaves());
+    // No degree-2 routers remain.
+    for v in contracted.tree.nodes() {
+        assert!(
+            contracted.tree.is_compute(v) || contracted.tree.degree(v) != 2,
+            "router {v} still has degree 2"
+        );
+    }
+    assert_eq!(contracted.tree.num_compute(), tree.num_compute());
+}

@@ -1,0 +1,233 @@
+//! Property-based tests over random topologies, placements and inputs:
+//! the paper's structural lemmas and the protocols' correctness must hold
+//! for *every* instance, not just the handpicked ones.
+
+use proptest::prelude::*;
+
+use tamp::core::cartesian::{plan_tree_packing, TreeCartesianProduct, TreePlan};
+use tamp::core::intersection::{
+    balanced_partition, verify_balanced_partition, TreeIntersect,
+};
+use tamp::core::sorting::{proportional_split, WeightedTeraSort};
+use tamp::simulator::{run_protocol, verify, Placement, Rel};
+use tamp::topology::{builders, Dagger, Tree};
+
+/// Strategy: a random tree described by (compute, routers, bw-seed).
+fn arb_tree() -> impl Strategy<Value = Tree> {
+    (2usize..10, 1usize..7, 0u64..1_000).prop_map(|(c, r, seed)| {
+        builders::random_tree(c, r, 0.25, 16.0, seed)
+    })
+}
+
+/// Scatter `n_r` R values and `n_s` S values with seeded skew.
+fn scatter(tree: &Tree, n_r: u64, n_s: u64, seed: u64) -> Placement {
+    let mut p = Placement::empty(tree);
+    let vc = tree.compute_nodes();
+    let pick = |x: u64, salt: u64| {
+        let h = tamp::core::hashing::mix64(x ^ seed.wrapping_mul(31) ^ salt);
+        vc[(h % vc.len() as u64) as usize]
+    };
+    for x in 0..n_r {
+        p.push(pick(x, 0xAAAA), Rel::R, x);
+    }
+    for x in 0..n_s {
+        // Overlap roughly half of S with R's domain.
+        let val = x + n_r / 2;
+        p.push(pick(val, 0xBBBB), Rel::S, val);
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dagger_is_in_tree(tree in arb_tree(), wseed in 0u64..9999) {
+        let mut w = vec![0u64; tree.num_nodes()];
+        for (i, &v) in tree.compute_nodes().iter().enumerate() {
+            w[v.index()] = tamp::core::hashing::mix64(wseed + i as u64) % 100;
+        }
+        let d = Dagger::build(&tree, &w);
+        // Lemma 4: unique root, every node reaches it.
+        let root = d.root();
+        let mut roots = 0;
+        for v in tree.nodes() {
+            if d.parent(v).is_none() {
+                roots += 1;
+            }
+            let mut x = v;
+            let mut hops = 0;
+            while let Some(p) = d.parent(x) {
+                x = p;
+                hops += 1;
+                prop_assert!(hops <= tree.num_nodes());
+            }
+            prop_assert_eq!(x, root);
+        }
+        prop_assert_eq!(roots, 1);
+        // Covers: the root is a minimal cover; the leaf set is a cover.
+        prop_assert!(d.is_minimal_cover(&[root]));
+        prop_assert!(d.is_cover(&d.leaves()));
+    }
+
+    #[test]
+    fn balanced_partition_satisfies_definition_1(
+        tree in arb_tree(),
+        wseed in 0u64..9999,
+        frac in 1u64..=8,
+    ) {
+        let mut w = vec![0u64; tree.num_nodes()];
+        let mut total = 0u64;
+        for (i, &v) in tree.compute_nodes().iter().enumerate() {
+            let x = tamp::core::hashing::mix64(wseed * 7 + i as u64) % 64;
+            w[v.index()] = x;
+            total += x;
+        }
+        // The caller guarantees small ≤ N/2 (|R| ≤ |S|).
+        let small = total / 2 / frac;
+        let part = balanced_partition(&tree, &w, small);
+        prop_assert!(verify_balanced_partition(&tree, &w, small, &part).is_ok());
+    }
+
+    #[test]
+    fn tree_intersect_correct_on_random_instances(
+        tree in arb_tree(),
+        n_r in 1u64..200,
+        n_s in 1u64..400,
+        seed in 0u64..999,
+    ) {
+        let p = scatter(&tree, n_r, n_s, seed);
+        let run = run_protocol(&tree, &p, &TreeIntersect::new(seed))?;
+        prop_assert!(run.rounds <= 1);
+        prop_assert!(
+            verify::check_intersection(&run.final_state, &p.all_r(), &p.all_s()).is_ok()
+        );
+    }
+
+    #[test]
+    fn tree_cartesian_covers_on_random_instances(
+        tree in arb_tree(),
+        half in 1u64..120,
+        seed in 0u64..999,
+    ) {
+        let p = scatter(&tree, half, half, seed);
+        // scatter() gives |R| = |S| = half (S shifted but equal count).
+        let run = run_protocol(&tree, &p, &TreeCartesianProduct::new())?;
+        prop_assert!(run.rounds <= 1);
+        prop_assert!(
+            verify::check_pair_coverage(&run.final_state, &p.all_r(), &p.all_s()).is_ok()
+        );
+    }
+
+    #[test]
+    fn tree_packing_budgets_sum_to_one(tree in arb_tree(), wseed in 0u64..999) {
+        let mut w = vec![0u64; tree.num_nodes()];
+        let mut total = 0u64;
+        for (i, &v) in tree.compute_nodes().iter().enumerate() {
+            let x = 1 + tamp::core::hashing::mix64(wseed + i as u64) % 50;
+            w[v.index()] = x;
+            total += x;
+        }
+        match plan_tree_packing(&tree, &w, total) {
+            TreePlan::AllToRoot(v) => prop_assert!(tree.is_compute(v)),
+            TreePlan::Packed { squares, l, .. } => {
+                // Lemma 8(4) at the root: Σ_{v∈V_C} l_v² = 1.
+                let sum: f64 = tree
+                    .compute_nodes()
+                    .iter()
+                    .map(|&v| l[v.index()] * l[v.index()])
+                    .sum();
+                prop_assert!((sum - 1.0).abs() < 1e-6, "Σl² = {}", sum);
+                // Squares are disjoint and cover the grid.
+                prop_assert!(tamp::core::cartesian::packing::check_covers_grid(
+                    &squares, total / 2, total / 2
+                ).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn wts_sorts_random_instances(
+        tree in arb_tree(),
+        n in 1usize..600,
+        seed in 0u64..999,
+    ) {
+        let mut p = Placement::empty(&tree);
+        let vc = tree.compute_nodes();
+        for x in 0..n as u64 {
+            let h = tamp::core::hashing::mix64(x ^ seed);
+            p.push(vc[(h % vc.len() as u64) as usize], Rel::R, h % 97);
+        }
+        let run = run_protocol(&tree, &p, &WeightedTeraSort::new(seed))?;
+        prop_assert!(run.rounds <= 4);
+        prop_assert!(
+            verify::check_sorted_partition(&run.output, &run.final_state, &p.all_r()).is_ok()
+        );
+    }
+
+    #[test]
+    fn proportional_split_prefix_error_below_one(
+        weights in proptest::collection::vec(1u64..1000, 1..20),
+        n in 0u64..10_000,
+    ) {
+        let split = proportional_split(&weights, n);
+        let total: u64 = weights.iter().sum();
+        let mut acc_s = 0u64;
+        let mut acc_w = 0u64;
+        for (s, &w) in split.iter().zip(&weights) {
+            acc_s += s;
+            acc_w += w;
+            let exact = acc_w as f64 / total as f64 * n as f64;
+            prop_assert!(acc_s as f64 >= exact - 1e-9);
+            prop_assert!(acc_s as f64 <= exact + 1.0 + 1e-9);
+        }
+        prop_assert!(acc_s >= n);
+    }
+
+    #[test]
+    fn path_endpoints_and_symmetry(tree in arb_tree(), a in 0usize..16, b in 0usize..16) {
+        let n = tree.num_nodes();
+        let (a, b) = (
+            tamp::topology::NodeId::from_index(a % n),
+            tamp::topology::NodeId::from_index(b % n),
+        );
+        let path = tree.path(a, b);
+        if a == b {
+            prop_assert!(path.is_empty());
+        } else {
+            let (first, _) = tree.dir_endpoints(path[0]);
+            let (_, last) = tree.dir_endpoints(path[path.len() - 1]);
+            prop_assert_eq!(first, a);
+            prop_assert_eq!(last, b);
+            // Consecutive hops chain.
+            for w in path.windows(2) {
+                let (_, x) = tree.dir_endpoints(w[0]);
+                let (y, _) = tree.dir_endpoints(w[1]);
+                prop_assert_eq!(x, y);
+            }
+            // The reverse path uses the same undirected edges.
+            let back = tree.path(b, a);
+            prop_assert_eq!(back.len(), path.len());
+            let mut fwd_edges: Vec<_> = path.iter().map(|d| d.edge()).collect();
+            let mut back_edges: Vec<_> = back.iter().map(|d| d.edge()).collect();
+            fwd_edges.sort();
+            back_edges.sort();
+            prop_assert_eq!(fwd_edges, back_edges);
+        }
+    }
+
+    #[test]
+    fn cut_weights_are_consistent(tree in arb_tree(), wseed in 0u64..999) {
+        let mut w = vec![0u64; tree.num_nodes()];
+        for (i, &v) in tree.compute_nodes().iter().enumerate() {
+            w[v.index()] = tamp::core::hashing::mix64(wseed + i as u64) % 1000;
+        }
+        let cw = tamp::topology::CutWeights::compute(&tree, &w);
+        for e in tree.edges() {
+            prop_assert_eq!(cw.side_u(e) + cw.side_v(e), cw.total());
+            let (u, v) = tree.endpoints(e);
+            prop_assert_eq!(cw.side_containing(&tree, e, u), cw.side_u(e));
+            prop_assert_eq!(cw.side_containing(&tree, e, v), cw.side_v(e));
+        }
+    }
+}

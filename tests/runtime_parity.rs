@@ -1,0 +1,124 @@
+//! Cross-validation of the threaded runtime against the cost simulator:
+//! for any random tree, placement and seed, the distributed per-node
+//! programs must move exactly the traffic the centralized protocols move.
+
+use proptest::prelude::*;
+use tamp::core::hashing::mix64;
+use tamp::core::intersection::TreeIntersect;
+use tamp::core::sorting::{valid_order, WeightedTeraSort};
+use tamp::runtime::programs::{DistributedTreeIntersect, DistributedWts};
+use tamp::runtime::{run_cluster, ClusterOptions};
+use tamp::simulator::{run_protocol, verify, Placement, Rel};
+use tamp::topology::{builders, Tree};
+
+fn random_setup(topo_seed: u64, r: u64, s: u64, data_seed: u64) -> (Tree, Placement) {
+    let tree = builders::random_tree(3 + (topo_seed % 6) as usize, 1 + (topo_seed % 4) as usize, 0.5, 4.0, topo_seed);
+    let mut p = Placement::empty(&tree);
+    let vc = tree.compute_nodes();
+    for a in 0..r {
+        p.push(vc[(mix64(a ^ data_seed) % vc.len() as u64) as usize], Rel::R, a);
+    }
+    for a in 0..s {
+        let val = r / 2 + a;
+        p.push(
+            vc[(mix64(val ^ data_seed ^ 0xAB) % vc.len() as u64) as usize],
+            Rel::S,
+            val,
+        );
+    }
+    (tree, p)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn intersection_traffic_parity(
+        topo_seed in 0u64..200,
+        hash_seed in 0u64..1_000,
+        r in 1u64..150,
+        s in 1u64..400,
+        data_seed in 0u64..1_000,
+    ) {
+        let (tree, p) = random_setup(topo_seed, r, s, data_seed);
+        let sim = run_protocol(&tree, &p, &TreeIntersect::new(hash_seed)).unwrap();
+        let rt = run_cluster(
+            &tree,
+            &p,
+            |_| Box::new(DistributedTreeIntersect::new(hash_seed)),
+            ClusterOptions::default(),
+        )
+        .unwrap();
+        prop_assert_eq!(&rt.cost.edge_totals, &sim.cost.edge_totals);
+        prop_assert_eq!(rt.cost.tuple_cost(), sim.cost.tuple_cost());
+        verify::check_intersection(&rt.final_state, &p.all_r(), &p.all_s())
+            .map_err(TestCaseError::fail)?;
+        // Both executions emit the same intersection.
+        prop_assert_eq!(
+            verify::emitted_intersection(&rt.final_state),
+            verify::emitted_intersection(&sim.final_state)
+        );
+    }
+
+    #[test]
+    fn sorting_traffic_parity(
+        topo_seed in 0u64..200,
+        sample_seed in 0u64..1_000,
+        n in 1u64..500,
+        data_seed in 0u64..1_000,
+    ) {
+        let (tree, _) = random_setup(topo_seed, 0, 0, 0);
+        let mut p = Placement::empty(&tree);
+        let vc = tree.compute_nodes();
+        for x in 0..n {
+            p.push(
+                vc[(mix64(x ^ data_seed) % vc.len() as u64) as usize],
+                Rel::R,
+                mix64(x.wrapping_mul(97) ^ data_seed),
+            );
+        }
+        let sim = run_protocol(&tree, &p, &WeightedTeraSort::new(sample_seed)).unwrap();
+        let rt = run_cluster(
+            &tree,
+            &p,
+            |_| Box::new(DistributedWts::new(sample_seed)),
+            ClusterOptions::default(),
+        )
+        .unwrap();
+        prop_assert_eq!(&rt.cost.edge_totals, &sim.cost.edge_totals);
+        let order = valid_order(&tree);
+        verify::check_sorted_partition(&order, &rt.final_state, &p.all_r())
+            .map_err(TestCaseError::fail)?;
+    }
+}
+
+#[test]
+fn parity_holds_on_every_standard_topology() {
+    for (tree, seed) in [
+        (builders::star(6, 1.0), 1u64),
+        (builders::heterogeneous_star(&[0.5, 1.0, 2.0, 4.0]), 2),
+        (builders::rack_tree(&[(3, 1.0, 2.0), (4, 2.0, 1.0)], 1.0), 3),
+        (builders::fat_tree(2, 3, 1.0), 4),
+        (builders::caterpillar(4, 2, 1.5), 5),
+    ] {
+        let mut p = Placement::empty(&tree);
+        let vc = tree.compute_nodes();
+        for a in 0..200u64 {
+            p.push(vc[(mix64(a ^ seed) % vc.len() as u64) as usize], Rel::R, a);
+            p.push(
+                vc[(mix64(a ^ seed ^ 9) % vc.len() as u64) as usize],
+                Rel::S,
+                100 + a,
+            );
+        }
+        let sim = run_protocol(&tree, &p, &TreeIntersect::new(seed)).unwrap();
+        let rt = run_cluster(
+            &tree,
+            &p,
+            |_| Box::new(DistributedTreeIntersect::new(seed)),
+            ClusterOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(rt.cost.edge_totals, sim.cost.edge_totals, "seed {seed}");
+    }
+}
