@@ -4,8 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use tamp_core::aggregate::{
-    encode, Aggregator, CombiningTreeAggregate, FlatPartialAggregate, HashGroupBy,
-    NaiveAggregate,
+    encode, Aggregator, CombiningTreeAggregate, FlatPartialAggregate, HashGroupBy, NaiveAggregate,
 };
 use tamp_simulator::{run_protocol, Placement, Rel};
 use tamp_topology::builders;
@@ -32,8 +31,7 @@ fn bench_aggregation(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("naive", groups), &groups, |b, _| {
             b.iter(|| {
                 let run =
-                    run_protocol(&tree, &p, &NaiveAggregate::new(target, Aggregator::Sum))
-                        .unwrap();
+                    run_protocol(&tree, &p, &NaiveAggregate::new(target, Aggregator::Sum)).unwrap();
                 black_box(run.cost.tuple_cost())
             })
         });
@@ -59,13 +57,17 @@ fn bench_aggregation(c: &mut Criterion) {
                 black_box(run.cost.tuple_cost())
             })
         });
-        group.bench_with_input(BenchmarkId::new("hash-group-by", groups), &groups, |b, _| {
-            b.iter(|| {
-                let run =
-                    run_protocol(&tree, &p, &HashGroupBy::new(3, Aggregator::Sum)).unwrap();
-                black_box(run.cost.tuple_cost())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("hash-group-by", groups),
+            &groups,
+            |b, _| {
+                b.iter(|| {
+                    let run =
+                        run_protocol(&tree, &p, &HashGroupBy::new(3, Aggregator::Sum)).unwrap();
+                    black_box(run.cost.tuple_cost())
+                })
+            },
+        );
     }
     group.finish();
 }

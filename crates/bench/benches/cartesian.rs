@@ -44,8 +44,7 @@ fn bench_cartesian(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("unequal-star", n), &n, |b, _| {
             b.iter(|| {
                 let run =
-                    run_protocol(&star, &p_uneq, &GeneralizedStarCartesianProduct::new())
-                        .unwrap();
+                    run_protocol(&star, &p_uneq, &GeneralizedStarCartesianProduct::new()).unwrap();
                 black_box(run.cost.tuple_cost())
             })
         });

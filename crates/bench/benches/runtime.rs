@@ -1,15 +1,13 @@
-//! Criterion benches for the threaded runtime: wall-clock of the real
-//! message-passing execution vs the centralized cost simulation for the
-//! same protocols (the simulator meters costs; the runtime also pays
-//! thread synchronization).
+//! Wall-clock benches for the execution backends: the centralized cost
+//! simulator vs the pooled message-passing cluster running the same
+//! paired job through the one `ExecBackend` API (the simulator only
+//! meters costs; the cluster also pays pool synchronization).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use tamp_core::hashing::mix64;
-use tamp_core::intersection::TreeIntersect;
-use tamp_runtime::programs::DistributedTreeIntersect;
-use tamp_runtime::{run_cluster, ClusterOptions};
-use tamp_simulator::{run_protocol, Placement, Rel};
+use tamp_runtime::{jobs, ExecBackend, PooledClusterBackend, SimulatorBackend};
+use tamp_simulator::{Placement, Rel};
 use tamp_topology::builders;
 
 fn bench_runtime(c: &mut Criterion) {
@@ -26,24 +24,19 @@ fn bench_runtime(c: &mut Criterion) {
             let val = n / 8 + a;
             p.push(vc[(mix64(val ^ 7) % vc.len() as u64) as usize], Rel::S, val);
         }
-        group.bench_with_input(BenchmarkId::new("simulator", n), &n, |b, _| {
-            b.iter(|| {
-                let run = run_protocol(&tree, &p, &TreeIntersect::new(5)).unwrap();
-                black_box(run.cost.tuple_cost())
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("threaded-cluster", n), &n, |b, _| {
-            b.iter(|| {
-                let run = run_cluster(
-                    &tree,
-                    &p,
-                    |_| Box::new(DistributedTreeIntersect::new(5)),
-                    ClusterOptions::default(),
-                )
-                .unwrap();
-                black_box(run.cost.tuple_cost())
-            })
-        });
+        let job = jobs::tree_intersect(5);
+        let backends: [(&str, Box<dyn ExecBackend>); 2] = [
+            ("simulator", Box::new(SimulatorBackend)),
+            ("pooled-cluster", Box::new(PooledClusterBackend::default())),
+        ];
+        for (name, backend) in &backends {
+            group.bench_with_input(BenchmarkId::new(*name, n), &n, |b, _| {
+                b.iter(|| {
+                    let run = backend.execute(&tree, &p, &job).unwrap();
+                    black_box(run.cost.tuple_cost())
+                })
+            });
+        }
     }
     group.finish();
 }

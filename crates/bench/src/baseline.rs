@@ -1,0 +1,162 @@
+//! Machine-readable experiment baselines.
+//!
+//! The experiment harness prints human-oriented tables; this module
+//! distills each suite into a few stable numbers — row counts, the
+//! median of the numeric cells (dominated by the metered costs, which
+//! are deterministic per seed), and the wall-clock time of the suite —
+//! and serializes them as JSON. Committing the emitted
+//! `BENCH_baseline.json` starts the performance trajectory: future PRs
+//! diff their run against the checked-in baseline to spot cost
+//! regressions (deterministic) and large timing shifts (indicative).
+
+/// Summary of one experiment suite.
+#[derive(Clone, Debug)]
+pub struct SuiteBaseline {
+    /// Experiment id (e.g. `t1-si`).
+    pub id: String,
+    /// Number of tables the suite produced.
+    pub tables: usize,
+    /// Total data rows across those tables.
+    pub rows: usize,
+    /// Count of numeric cells feeding the median.
+    pub numeric_cells: usize,
+    /// Median of the numeric cells in cost-like columns (headers
+    /// mentioning cost/ratio/bound/envelope/LB), falling back to all
+    /// numeric cells for tables without such columns. Deterministic per
+    /// seed, so a drift here is a real cost change.
+    pub median_numeric: f64,
+    /// Wall-clock milliseconds for the suite (machine-dependent).
+    pub wall_ms: f64,
+}
+
+/// `true` for column headers that carry metered costs or cost ratios
+/// (as opposed to seeds, sizes and trial counts).
+fn is_cost_header(h: &str) -> bool {
+    let h = h.to_ascii_lowercase();
+    ["cost", "ratio", "bound", "envelope", "lb"]
+        .iter()
+        .any(|k| h.contains(k))
+}
+
+/// Distill one finished suite (its tables plus measured wall time) into
+/// a baseline entry.
+pub fn summarize(id: &str, tables: &[crate::table::Table], wall_ms: f64) -> SuiteBaseline {
+    let mut rows = 0usize;
+    let mut cost_cells: Vec<f64> = Vec::new();
+    let mut all_cells: Vec<f64> = Vec::new();
+    for t in tables {
+        rows += t.num_rows();
+        cost_cells.extend(t.numeric_cells_in_columns(is_cost_header));
+        all_cells.extend(t.numeric_cells());
+    }
+    // Median over the cost-like columns keeps the regression signal
+    // undiluted; tables with no such column fall back to all numbers.
+    let mut cells = if cost_cells.is_empty() {
+        all_cells
+    } else {
+        cost_cells
+    };
+    SuiteBaseline {
+        id: id.to_string(),
+        tables: tables.len(),
+        rows,
+        numeric_cells: cells.len(),
+        median_numeric: median(&mut cells),
+        wall_ms,
+    }
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+fn json_f64(x: f64) -> String {
+    // JSON has no NaN/Infinity; encode them as null.
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".into()
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialize baselines as a stable, dependency-free JSON document.
+pub fn to_json(suites: &[SuiteBaseline]) -> String {
+    let mut out = String::from("{\n  \"schema_version\": 1,\n  \"suites\": [\n");
+    for (i, s) in suites.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"tables\": {}, \"rows\": {}, \"numeric_cells\": {}, \
+             \"median_numeric\": {}, \"wall_ms\": {}}}{}\n",
+            json_escape(&s.id),
+            s.tables,
+            s.rows,
+            s.numeric_cells,
+            json_f64(s.median_numeric),
+            json_f64(s.wall_ms),
+            if i + 1 < suites.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_robust() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert!(median(&mut []).is_nan());
+    }
+
+    #[test]
+    fn json_shape_is_valid() {
+        let suites = vec![SuiteBaseline {
+            id: "t1-si".into(),
+            tables: 1,
+            rows: 24,
+            numeric_cells: 96,
+            median_numeric: 5.5,
+            wall_ms: 12.0,
+        }];
+        let j = to_json(&suites);
+        assert!(j.contains("\"schema_version\": 1"));
+        assert!(j.contains("\"id\": \"t1-si\""));
+        assert!(j.contains("\"median_numeric\": 5.500000"));
+        // No trailing comma before the closing bracket.
+        assert!(!j.contains(",\n  ]"));
+    }
+
+    #[test]
+    fn summarize_distills_a_real_suite() {
+        let tables = crate::suite::run_experiment("abl-partition").unwrap();
+        let s = summarize("abl-partition", &tables, 1.0);
+        assert_eq!(s.id, "abl-partition");
+        assert!(s.tables >= 1 && s.rows >= 1 && s.numeric_cells >= 1);
+        assert!(s.median_numeric.is_finite());
+        assert_eq!(s.wall_ms, 1.0);
+    }
+}

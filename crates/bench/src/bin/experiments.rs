@@ -5,8 +5,19 @@
 //! cargo run --release -p tamp-bench --bin experiments            # all
 //! cargo run --release -p tamp-bench --bin experiments -- t1-si f4
 //! cargo run --release -p tamp-bench --bin experiments -- --list
+//! cargo run --release -p tamp-bench --bin experiments -- all --json
+//! cargo run --release -p tamp-bench --bin experiments -- all --json=out.json
 //! ```
+//!
+//! With `--json` (or `--json=PATH`), a machine-readable per-suite
+//! summary (median costs and wall-clock timings) is written to `PATH`
+//! (default `BENCH_baseline.json`) in addition to the printed tables.
+//! The `=` form is deliberate: a free-standing operand after `--json`
+//! would be ambiguous with a (possibly typo'd) experiment id.
 
+use std::time::Instant;
+
+use tamp_bench::baseline;
 use tamp_bench::suite::{run_experiment, ALL_EXPERIMENTS};
 
 fn main() {
@@ -17,23 +28,52 @@ fn main() {
         }
         return;
     }
-    let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+    let mut json_path: Option<String> = None;
+    let mut ids: Vec<&str> = Vec::new();
+    for arg in &args {
+        if arg == "--json" {
+            json_path = Some("BENCH_baseline.json".to_string());
+        } else if let Some(path) = arg.strip_prefix("--json=") {
+            if path.is_empty() {
+                eprintln!("--json= requires a path");
+                std::process::exit(2);
+            }
+            json_path = Some(path.to_string());
+        } else if arg.starts_with("--") && arg != "--list" {
+            eprintln!("unknown flag: {arg}");
+            std::process::exit(2);
+        } else {
+            ids.push(arg.as_str());
+        }
+    }
+    let ids: Vec<&str> = if ids.is_empty() || ids.contains(&"all") {
         ALL_EXPERIMENTS.to_vec()
     } else {
-        args.iter().map(String::as_str).collect()
+        ids
     };
     println!("tamp experiment harness — PODS 2021 topology-aware MPC reproduction");
+    let mut suites = Vec::new();
     for id in ids {
+        let start = Instant::now();
         match run_experiment(id) {
             Some(tables) => {
-                for table in tables {
+                let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+                for table in &tables {
                     println!("{table}");
                 }
+                suites.push(baseline::summarize(id, &tables, wall_ms));
             }
             None => {
                 eprintln!("unknown experiment id: {id} (try --list)");
                 std::process::exit(2);
             }
         }
+    }
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, baseline::to_json(&suites)) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote per-suite baseline to {path}");
     }
 }

@@ -15,8 +15,7 @@ use tamp_core::ratio::ratio;
 use tamp_core::robustness::{perturb_bandwidths, BroadcastStatistics};
 use tamp_core::sorting::WeightedTeraSort;
 use tamp_query::prelude::*;
-use tamp_runtime::programs::{DistributedCartesian, DistributedTreeIntersect, DistributedWts};
-use tamp_runtime::{run_cluster, ClusterOptions};
+use tamp_runtime::{jobs, ExecBackend, PooledClusterBackend, SimulatorBackend};
 use tamp_simulator::{run_protocol, Placement, Rel};
 use tamp_topology::graph::builders as gb;
 use tamp_topology::{builders, Tree};
@@ -69,10 +68,14 @@ pub fn x_agg() -> Vec<Table> {
             .unwrap()
             .cost
             .tuple_cost();
-        let flat = run_protocol(&tree, &p, &FlatPartialAggregate::new(target, Aggregator::Sum))
-            .unwrap()
-            .cost
-            .tuple_cost();
+        let flat = run_protocol(
+            &tree,
+            &p,
+            &FlatPartialAggregate::new(target, Aggregator::Sum),
+        )
+        .unwrap()
+        .cost
+        .tuple_cost();
         let comb = run_protocol(
             &tree,
             &p,
@@ -173,31 +176,37 @@ pub fn x_general() -> Vec<Table> {
     vec![t]
 }
 
-/// X-RUNTIME — the threaded message-passing cluster against the
-/// centralized cost simulator: identical traffic for the deterministic
-/// plans, never-worse traffic for direct-routed cartesian products.
+/// X-RUNTIME — the pooled message-passing cluster against the
+/// centralized cost simulator, both selected through the one
+/// `ExecBackend` API: identical traffic for the deterministic plans,
+/// never-worse traffic for direct-routed cartesian products.
 pub fn x_runtime() -> Vec<Table> {
     let mut t = Table::new(
-        "X-RUNTIME: threaded cluster vs cost simulator (same seeds)",
-        &["task", "topology", "sim cost", "runtime cost", "relation"],
+        "X-RUNTIME: pooled cluster vs cost simulator (same seeds, one ExecBackend API)",
+        &[
+            "task",
+            "topology",
+            "sim cost",
+            "runtime cost",
+            "supersteps",
+            "relation",
+        ],
     );
     let topo = builders::rack_tree(&[(3, 1.0, 2.0), (3, 2.0, 4.0)], 1.0);
+    let sim_backend = SimulatorBackend;
+    let rt_backend = PooledClusterBackend::default();
 
     let p = scatter(&topo, 200, 600, 5);
-    let sim = run_protocol(&topo, &p, &TreeIntersect::new(5)).unwrap();
-    let rt = run_cluster(
-        &topo,
-        &p,
-        |_| Box::new(DistributedTreeIntersect::new(5)),
-        ClusterOptions::default(),
-    )
-    .unwrap();
+    let job = jobs::tree_intersect(5);
+    let sim = sim_backend.execute(&topo, &p, &job).unwrap();
+    let rt = rt_backend.execute(&topo, &p, &job).unwrap();
     t.row(vec![
         "intersection".into(),
         "rack-2x3".into(),
         fnum(sim.cost.tuple_cost()),
         fnum(rt.cost.tuple_cost()),
-        if rt.cost.edge_totals == sim.cost.edge_totals {
+        format!("{}+1", rt.rounds),
+        if rt.cost.edge_totals == sim.cost.edge_totals && rt.rounds == sim.rounds {
             "identical traffic".into()
         } else {
             "MISMATCH".into()
@@ -209,20 +218,16 @@ pub fn x_runtime() -> Vec<Table> {
     for x in 0..600u64 {
         p.push(vc[(x % vc.len() as u64) as usize], Rel::R, mix64(x));
     }
-    let sim = run_protocol(&topo, &p, &WeightedTeraSort::new(3)).unwrap();
-    let rt = run_cluster(
-        &topo,
-        &p,
-        |_| Box::new(DistributedWts::new(3)),
-        ClusterOptions::default(),
-    )
-    .unwrap();
+    let job = jobs::weighted_terasort(3);
+    let sim = sim_backend.execute(&topo, &p, &job).unwrap();
+    let rt = rt_backend.execute(&topo, &p, &job).unwrap();
     t.row(vec![
         "sorting".into(),
         "rack-2x3".into(),
         fnum(sim.cost.tuple_cost()),
         fnum(rt.cost.tuple_cost()),
-        if rt.cost.edge_totals == sim.cost.edge_totals {
+        format!("{}+1", rt.rounds),
+        if rt.cost.edge_totals == sim.cost.edge_totals && rt.rounds == sim.rounds {
             "identical traffic".into()
         } else {
             "MISMATCH".into()
@@ -230,19 +235,15 @@ pub fn x_runtime() -> Vec<Table> {
     ]);
 
     let p = scatter(&topo, 120, 120, 2);
-    let sim = run_protocol(&topo, &p, &TreeCartesianProduct::new()).unwrap();
-    let rt = run_cluster(
-        &topo,
-        &p,
-        |_| Box::new(DistributedCartesian::new()),
-        ClusterOptions::default(),
-    )
-    .unwrap();
+    let job = jobs::tree_cartesian();
+    let sim = sim_backend.execute(&topo, &p, &job).unwrap();
+    let rt = rt_backend.execute(&topo, &p, &job).unwrap();
     t.row(vec![
         "cartesian".into(),
         "rack-2x3".into(),
         fnum(sim.cost.tuple_cost()),
         fnum(rt.cost.tuple_cost()),
+        format!("{}+1", rt.rounds),
         if rt.cost.tuple_cost() <= sim.cost.tuple_cost() + 1e-9 {
             "runtime ≤ sim (direct routing)".into()
         } else {
@@ -251,7 +252,8 @@ pub fn x_runtime() -> Vec<Table> {
     ]);
     t.note(
         "Expected shape: distributed per-node plan derivation reproduces the \
-         centralized sends exactly; no hidden coordination is required.",
+         centralized sends exactly; no hidden coordination is required. \
+         Supersteps are the metered rounds plus the silent termination step.",
     );
     vec![t]
 }
@@ -270,9 +272,7 @@ pub fn x_query() -> Vec<Table> {
     );
     {
         let mut c = Catalog::new(tree.clone());
-        let rows: Vec<Vec<u64>> = (0..600)
-            .map(|i| vec![i, i % 8, (i * 13) % 1000])
-            .collect();
+        let rows: Vec<Vec<u64>> = (0..600).map(|i| vec![i, i % 8, (i * 13) % 1000]).collect();
         c.register(DistributedTable::round_robin(
             "facts",
             Schema::new(vec!["id", "g", "x"]).unwrap(),
@@ -423,10 +423,7 @@ pub fn abl_drift() -> Vec<Table> {
             sort_delta.to_string(),
             fnum(cp_fresh.cost.tuple_cost()),
             fnum(stale.cost.tuple_cost()),
-            fnum(ratio(
-                stale.cost.tuple_cost(),
-                cp_fresh.cost.tuple_cost(),
-            )),
+            fnum(ratio(stale.cost.tuple_cost(), cp_fresh.cost.tuple_cost())),
         ]);
     }
     t.note(
@@ -483,7 +480,13 @@ pub fn x_unequal_tree() -> Vec<Table> {
         ],
     );
     let tree = builders::rack_tree(&[(3, 2.0, 4.0), (3, 1.0, 2.0)], 1.0);
-    for &(r, s) in &[(8u64, 512u64), (32, 512), (128, 512), (256, 512), (512, 512)] {
+    for &(r, s) in &[
+        (8u64, 512u64),
+        (32, 512),
+        (128, 512),
+        (256, 512),
+        (512, 512),
+    ] {
         let p = scatter(&tree, r, s, 13);
         let stats = p.stats();
         let lb = unequal_tree_lower_bound(&tree, &stats).value();

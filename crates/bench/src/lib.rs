@@ -19,6 +19,7 @@
 #![warn(clippy::all)]
 
 pub mod ablation;
+pub mod baseline;
 pub mod extensions;
 pub mod suite;
 pub mod table;

@@ -7,17 +7,15 @@
 //! paper's.
 
 use tamp_core::cartesian::{
-    cartesian_lower_bound, packing::check_covers_grid, plan_whc, unequal,
-    TreeCartesianProduct, TreePlan, UniformHyperCube,
+    cartesian_lower_bound, packing::check_covers_grid, plan_whc, unequal, TreeCartesianProduct,
+    TreePlan, UniformHyperCube,
 };
 use tamp_core::intersection::{
     balanced_partition, intersection_lower_bound, verify_balanced_partition, TreeIntersect,
     UniformHashJoin,
 };
 use tamp_core::ratio::ratio;
-use tamp_core::sorting::{
-    adversarial_placement, sorting_lower_bound, TeraSort, WeightedTeraSort,
-};
+use tamp_core::sorting::{adversarial_placement, sorting_lower_bound, TeraSort, WeightedTeraSort};
 use tamp_simulator::{run_protocol, Placement, Rel};
 use tamp_topology::{builders, Dagger, NodeId, Tree};
 use tamp_workloads::{PlacementStrategy, SetSpec, SortSpec};
@@ -39,7 +37,10 @@ pub fn standard_topologies() -> Vec<(String, Tree)> {
         ),
         ("fat-tree-2x3".into(), builders::fat_tree(2, 3, 1.0)),
         ("caterpillar-4x2".into(), builders::caterpillar(4, 2, 2.0)),
-        ("random-17".into(), builders::random_tree(10, 7, 0.5, 16.0, 42)),
+        (
+            "random-17".into(),
+            builders::random_tree(10, 7, 0.5, 16.0, 42),
+        ),
     ]
 }
 
@@ -60,8 +61,14 @@ pub fn t1_si() -> Vec<Table> {
     let mut t = Table::new(
         "T1-SI  set intersection: 1 round, ratio ≤ O(log N · log |V|) w.h.p. (Thm 2)",
         &[
-            "topology", "N", "placement", "rounds", "ratio(mean)", "ratio(max)",
-            "envelope", "baseline(max)",
+            "topology",
+            "N",
+            "placement",
+            "rounds",
+            "ratio(mean)",
+            "ratio(max)",
+            "envelope",
+            "baseline(max)",
         ],
     );
     for (name, tree) in standard_topologies() {
@@ -78,8 +85,7 @@ pub fn t1_si() -> Vec<Table> {
                     let w = spec.generate(seed);
                     let placement = strat.place(&tree, &w, seed);
                     let lb = intersection_lower_bound(&tree, &placement.stats());
-                    let run =
-                        run_protocol(&tree, &placement, &TreeIntersect::new(seed)).unwrap();
+                    let run = run_protocol(&tree, &placement, &TreeIntersect::new(seed)).unwrap();
                     rounds = rounds.max(run.rounds);
                     ratios.push(ratio(run.cost.tuple_cost(), lb.value()));
                     let base =
@@ -112,7 +118,12 @@ pub fn t1_cp() -> Vec<Table> {
     let mut t = Table::new(
         "T1-CP  cartesian product: 1 round, deterministic, ratio = O(1) (Thm 5)",
         &[
-            "topology", "N", "placement", "rounds", "ratio", "deterministic",
+            "topology",
+            "N",
+            "placement",
+            "rounds",
+            "ratio",
+            "deterministic",
             "baseline-ratio",
         ],
     );
@@ -126,10 +137,8 @@ pub fn t1_cp() -> Vec<Table> {
                 let w = spec.generate(7);
                 let placement = strat.place(&tree, &w, 7);
                 let lb = cartesian_lower_bound(&tree, &placement.stats());
-                let run1 =
-                    run_protocol(&tree, &placement, &TreeCartesianProduct::new()).unwrap();
-                let run2 =
-                    run_protocol(&tree, &placement, &TreeCartesianProduct::new()).unwrap();
+                let run1 = run_protocol(&tree, &placement, &TreeCartesianProduct::new()).unwrap();
+                let run2 = run_protocol(&tree, &placement, &TreeCartesianProduct::new()).unwrap();
                 let det = (run1.cost.tuple_cost() - run2.cost.tuple_cost()).abs() < 1e-12;
                 let base = run_protocol(&tree, &placement, &UniformHyperCube::new()).unwrap();
                 t.row(vec![
@@ -155,7 +164,12 @@ pub fn t1_sort() -> Vec<Table> {
     let mut t = Table::new(
         "T1-SORT  sorting: O(1) rounds, ratio = O(1) w.h.p. (Thm 7)",
         &[
-            "topology", "N", "placement", "rounds", "ratio(mean)", "ratio(max)",
+            "topology",
+            "N",
+            "placement",
+            "rounds",
+            "ratio(mean)",
+            "ratio(max)",
             "terasort(max)",
         ],
     );
@@ -207,7 +221,14 @@ pub fn t1_sort() -> Vec<Table> {
 pub fn f1() -> Vec<Table> {
     let mut t = Table::new(
         "F1  Figure-1 topologies: weighted vs topology-agnostic cost (tuples)",
-        &["topology", "task", "N", "weighted", "baseline", "lower-bound"],
+        &[
+            "topology",
+            "task",
+            "N",
+            "weighted",
+            "baseline",
+            "lower-bound",
+        ],
     );
     let topos = vec![
         ("fig-1a-star".to_string(), builders::figure_1a()),
@@ -276,7 +297,13 @@ pub fn f2() -> Vec<Table> {
     let mut t = Table::new(
         "F2  balanced partition (Alg 3 / Def 1) on random trees",
         &[
-            "seed", "|V|", "|V_C|", "|R|", "blocks", "min-block/|R|", "def1",
+            "seed",
+            "|V|",
+            "|V_C|",
+            "|R|",
+            "blocks",
+            "min-block/|R|",
+            "def1",
         ],
     );
     for seed in 0..12u64 {
@@ -315,7 +342,11 @@ pub fn f3() -> Vec<Table> {
     let mut t = Table::new(
         "F3  G† structure (Lemma 4) across placement skews",
         &[
-            "placement", "trials", "root=compute", "root=router", "lemma4",
+            "placement",
+            "trials",
+            "root=compute",
+            "root=router",
+            "lemma4",
             "all-to-root ratio(max)",
         ],
     );
@@ -344,8 +375,7 @@ pub fn f3() -> Vec<Table> {
                 compute_root += 1;
                 // The paper: routing all data to the compute root is
                 // asymptotically optimal (matches Thm 3).
-                let run =
-                    run_protocol(&tree, &p, &TreeCartesianProduct::new()).unwrap();
+                let run = run_protocol(&tree, &p, &TreeCartesianProduct::new()).unwrap();
                 if matches!(run.output, TreePlan::AllToRoot(_)) {
                     let lb = cartesian_lower_bound(&tree, &stats);
                     all_to_root_ratios.push(ratio(run.cost.tuple_cost(), lb.value()));
@@ -360,7 +390,11 @@ pub fn f3() -> Vec<Table> {
             trials.to_string(),
             compute_root.to_string(),
             router_root.to_string(),
-            if lemma4_ok { "PASS".into() } else { "FAIL".into() },
+            if lemma4_ok {
+                "PASS".into()
+            } else {
+                "FAIL".into()
+            },
             if all_to_root_ratios.is_empty() {
                 "-".into()
             } else {
@@ -377,7 +411,13 @@ pub fn f3() -> Vec<Table> {
 pub fn f4() -> Vec<Table> {
     let mut t = Table::new(
         "F4  square packing (Lemma 5): coverage and rounding waste",
-        &["p", "trials", "coverage", "min covered/(½√Σd²)", "max Σd²/N²"],
+        &[
+            "p",
+            "trials",
+            "coverage",
+            "min covered/(½√Σd²)",
+            "max Σd²/N²",
+        ],
     );
     for &p in &[5usize, 16, 40] {
         let mut min_margin = f64::INFINITY;
@@ -387,8 +427,7 @@ pub fn f4() -> Vec<Table> {
         for seed in 0..trials {
             let mut caps = Vec::with_capacity(p);
             for i in 0..p {
-                let u = tamp_core::hashing::mix64(seed * 97 + i as u64) as f64
-                    / u64::MAX as f64;
+                let u = tamp_core::hashing::mix64(seed * 97 + i as u64) as f64 / u64::MAX as f64;
                 caps.push((16.0f64).powf(u)); // log-uniform in [1, 16]
             }
             let tree = builders::heterogeneous_star(&caps);
@@ -399,8 +438,7 @@ pub fn f4() -> Vec<Table> {
             // Lemma 5 guarantee: a fully covered origin square of side
             // 2^{i*} ≥ ½√(Σd²). Find the largest covered power of two.
             let mut covered_side = 1u64;
-            while check_covers_grid(&plan.squares, covered_side * 2, covered_side * 2).is_ok()
-            {
+            while check_covers_grid(&plan.squares, covered_side * 2, covered_side * 2).is_ok() {
                 covered_side *= 2;
             }
             min_margin = min_margin.min(covered_side as f64 / (0.5 * (area as f64).sqrt()));
@@ -409,7 +447,11 @@ pub fn f4() -> Vec<Table> {
         t.row(vec![
             p.to_string(),
             trials.to_string(),
-            if all_covered { "PASS".into() } else { "FAIL".into() },
+            if all_covered {
+                "PASS".into()
+            } else {
+                "FAIL".into()
+            },
             fnum(min_margin),
             fnum(max_waste),
         ]);
@@ -425,7 +467,12 @@ pub fn f5() -> Vec<Table> {
     let mut t = Table::new(
         "F5  adversarial interleaved placement (Thm 6): cut traffic vs bound",
         &[
-            "topology", "N", "LB(tuples)", "wTS cost", "ratio", "witness-traffic/min-side",
+            "topology",
+            "N",
+            "LB(tuples)",
+            "wTS cost",
+            "ratio",
+            "witness-traffic/min-side",
         ],
     );
     let topos: Vec<(String, Tree)> = vec![
@@ -482,12 +529,8 @@ pub fn a1() -> Vec<Table> {
     for &(r, s) in &[(512usize, 1024usize), (128, 1024), (16, 1024), (1024, 1024)] {
         let w = SetSpec::new(r, s).generate(1);
         let p = PlacementStrategy::Uniform.place(&tree, &w, 1);
-        let run = run_protocol(
-            &tree,
-            &p,
-            &unequal::GeneralizedStarCartesianProduct::new(),
-        )
-        .unwrap();
+        let run =
+            run_protocol(&tree, &p, &unequal::GeneralizedStarCartesianProduct::new()).unwrap();
         let lb = unequal::unequal_lower_bound(&tree, &p.stats());
         t.row(vec![
             r.to_string(),
@@ -568,7 +611,9 @@ pub fn x_cross() -> Vec<Table> {
         caps[7] = 4.0 / f;
         let tree = builders::heterogeneous_star(&caps);
         // Data lives on the seven fast nodes only.
-        let w = SetSpec::new(1_000, 3_000).with_intersection(128).generate(3);
+        let w = SetSpec::new(1_000, 3_000)
+            .with_intersection(128)
+            .generate(3);
         let mut placement = Placement::empty(&tree);
         let vc = tree.compute_nodes();
         for (i, &x) in w.r.iter().enumerate() {
@@ -651,7 +696,11 @@ pub fn abl_pow2() -> Vec<Table> {
             name.into(),
             fnum(max),
             fnum(mean),
-            if covered { "PASS".into() } else { "FAIL".into() },
+            if covered {
+                "PASS".into()
+            } else {
+                "FAIL".into()
+            },
         ]);
     }
     t.note("expected: max < 2 (each side is the next power of two above w·L)");
@@ -713,7 +762,9 @@ pub fn abl_treepack() -> Vec<Table> {
         let mut worst: f64 = 0.0;
         let mut checked = 0usize;
         for v in tree.nodes() {
-            let Some(_e) = dagger.parent_edge(v) else { continue };
+            let Some(_e) = dagger.parent_edge(v) else {
+                continue;
+            };
             let budget = stats.total_n() as f64 * l[v.index()];
             if budget <= 0.0 {
                 continue;

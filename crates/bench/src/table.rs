@@ -42,6 +42,46 @@ impl Table {
     pub fn cell(&self, row: usize, col: usize) -> &str {
         &self.rows[row][col]
     }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Every cell that parses as a finite number, in row-major order —
+    /// the raw material for machine-readable baselines.
+    pub fn numeric_cells(&self) -> Vec<f64> {
+        self.rows
+            .iter()
+            .flatten()
+            .filter_map(|c| c.parse::<f64>().ok())
+            .filter(|x| x.is_finite())
+            .collect()
+    }
+
+    /// Finite numeric cells restricted to the columns selected by
+    /// `keep(header)` — lets baselines target cost-like columns instead
+    /// of diluting medians with seeds and size parameters.
+    pub fn numeric_cells_in_columns(&self, keep: impl Fn(&str) -> bool) -> Vec<f64> {
+        let cols: Vec<usize> = self
+            .headers
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| keep(h))
+            .map(|(i, _)| i)
+            .collect();
+        self.rows
+            .iter()
+            .flat_map(|row| cols.iter().map(move |&c| &row[c]))
+            .filter_map(|c| c.parse::<f64>().ok())
+            .filter(|x| x.is_finite())
+            .collect()
+    }
 }
 
 impl fmt::Display for Table {

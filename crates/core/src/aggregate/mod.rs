@@ -65,7 +65,10 @@ pub const MEASURE_MAX: u64 = (1 << MEASURE_BITS) - 1;
 /// Panics if `group > GROUP_MAX` or `measure > MEASURE_MAX`.
 #[inline]
 pub fn encode(group: u64, measure: u64) -> Value {
-    assert!(group <= GROUP_MAX, "group {group} exceeds {GROUP_BITS} bits");
+    assert!(
+        group <= GROUP_MAX,
+        "group {group} exceeds {GROUP_BITS} bits"
+    );
     assert!(
         measure <= MEASURE_MAX,
         "measure {measure} exceeds {MEASURE_BITS} bits"

@@ -422,10 +422,7 @@ mod tests {
         // same 20 groups. In-network combining crosses each thin uplink with
         // one partial per group; flat crosses it with one partial per
         // (node, group) pair — a factor-4 difference on the bottleneck.
-        let t = builders::rack_tree(
-            &[(4, 4.0, 0.25), (4, 4.0, 0.25), (4, 4.0, 0.25)],
-            1.0,
-        );
+        let t = builders::rack_tree(&[(4, 4.0, 0.25), (4, 4.0, 0.25), (4, 4.0, 0.25)], 1.0);
         let mut p = Placement::empty(&t);
         for &v in t.compute_nodes() {
             for g in 0..20 {
@@ -434,8 +431,12 @@ mod tests {
         }
         let target = t.compute_nodes()[0];
         let lb = aggregation_lower_bound(&t, &p, target);
-        let comb =
-            run_protocol(&t, &p, &CombiningTreeAggregate::new(target, Aggregator::Sum)).unwrap();
+        let comb = run_protocol(
+            &t,
+            &p,
+            &CombiningTreeAggregate::new(target, Aggregator::Sum),
+        )
+        .unwrap();
         let flat =
             run_protocol(&t, &p, &FlatPartialAggregate::new(target, Aggregator::Sum)).unwrap();
         // Flat pays the full per-node duplication on a thin uplink.
@@ -464,8 +465,12 @@ mod tests {
             }
         }
         let target = NodeId(0);
-        let comb =
-            run_protocol(&t, &p, &CombiningTreeAggregate::new(target, Aggregator::Sum)).unwrap();
+        let comb = run_protocol(
+            &t,
+            &p,
+            &CombiningTreeAggregate::new(target, Aggregator::Sum),
+        )
+        .unwrap();
         let flat =
             run_protocol(&t, &p, &FlatPartialAggregate::new(target, Aggregator::Sum)).unwrap();
         assert_eq!(comb.output, flat.output);
@@ -489,7 +494,12 @@ mod tests {
         let p = Placement::empty(&t);
         for proto in [
             run_protocol(&t, &p, &NaiveAggregate::new(NodeId(3), Aggregator::Sum)).err(),
-            run_protocol(&t, &p, &FlatPartialAggregate::new(NodeId(3), Aggregator::Sum)).err(),
+            run_protocol(
+                &t,
+                &p,
+                &FlatPartialAggregate::new(NodeId(3), Aggregator::Sum),
+            )
+            .err(),
             run_protocol(
                 &t,
                 &p,
@@ -513,9 +523,13 @@ mod tests {
             run_protocol(&t, &p, &FlatPartialAggregate::new(target, Aggregator::Sum))
                 .unwrap()
                 .output,
-            run_protocol(&t, &p, &CombiningTreeAggregate::new(target, Aggregator::Sum))
-                .unwrap()
-                .output,
+            run_protocol(
+                &t,
+                &p,
+                &CombiningTreeAggregate::new(target, Aggregator::Sum),
+            )
+            .unwrap()
+            .output,
         ] {
             assert!(out.is_empty());
         }
@@ -526,8 +540,12 @@ mod tests {
         let t = builders::balanced_kary(3, 2, 1.0);
         let p = grouped_placement(&t, 4, 10, 1);
         let target = t.compute_nodes()[0];
-        let run =
-            run_protocol(&t, &p, &CombiningTreeAggregate::new(target, Aggregator::Max)).unwrap();
+        let run = run_protocol(
+            &t,
+            &p,
+            &CombiningTreeAggregate::new(target, Aggregator::Max),
+        )
+        .unwrap();
         // At most one round per level of the tree rooted at the target
         // (leaf-rooting roughly doubles the router depth).
         assert!(run.rounds <= 8, "rounds = {}", run.rounds);

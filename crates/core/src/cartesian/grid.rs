@@ -163,7 +163,7 @@ mod tests {
         let t = builders::star(3, 1.0);
         let mut p = Placement::empty(&t);
         p.set_r(NodeId(0), (100..110).collect()); // global indices 0..10
-        // Node 1 wants [0, 6), node 2 wants [4, 10): overlap [4, 6).
+                                                  // Node 1 wants [0, 6), node 2 wants [4, 10): overlap [4, 6).
         let proto = Distribute {
             recipients: vec![(NodeId(1), 0..6), (NodeId(2), 4..10)],
         };

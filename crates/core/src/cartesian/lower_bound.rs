@@ -67,8 +67,8 @@ pub fn cartesian_lower_bound(tree: &Tree, stats: &PlacementStats) -> LowerBound 
 pub(crate) fn fertile_nodes(tree: &Tree, dagger: &Dagger) -> Vec<bool> {
     let mut fertile = vec![false; tree.num_nodes()];
     for v in dagger.post_order() {
-        fertile[v.index()] = tree.is_compute(v)
-            || dagger.children(v).iter().any(|&u| fertile[u.index()]);
+        fertile[v.index()] =
+            tree.is_compute(v) || dagger.children(v).iter().any(|&u| fertile[u.index()]);
     }
     fertile
 }
@@ -89,9 +89,7 @@ pub(crate) fn compute_w_tilde(tree: &Tree, dagger: &Dagger) -> Vec<f64> {
             .filter(|&u| fertile[u.index()])
             .collect();
         if kids.is_empty() {
-            w_tilde[v.index()] = dagger
-                .out_bandwidth(tree, v)
-                .map_or(0.0, |b| b.get());
+            w_tilde[v.index()] = dagger.out_bandwidth(tree, v).map_or(0.0, |b| b.get());
         } else {
             let sub: f64 = kids
                 .iter()
@@ -167,10 +165,7 @@ mod tests {
         // uplink, so the best cover uses the uplinks, not the leaves.
         // (Three racks so that every rack side is strictly light and the
         // core router is the root of G†.)
-        let t = builders::rack_tree(
-            &[(4, 10.0, 1.0), (4, 10.0, 1.0), (4, 10.0, 1.0)],
-            1.0,
-        );
+        let t = builders::rack_tree(&[(4, 10.0, 1.0), (4, 10.0, 1.0), (4, 10.0, 1.0)], 1.0);
         let mut pl = Placement::empty(&t);
         for &v in t.compute_nodes() {
             pl.set_r(v, vec![v.index() as u64]);

@@ -112,12 +112,7 @@ impl SquareSet {
                 continue;
             }
             // Advance to the next present level above.
-            match self
-                .by_level
-                .range(level + 1..)
-                .next()
-                .map(|(&l, _)| l)
-            {
+            match self.by_level.range(level + 1..).next().map(|(&l, _)| l) {
                 Some(next) => level = next,
                 None => break,
             }
@@ -147,7 +142,9 @@ impl SquareSet {
         ) {
             // Take up to 3 items of level log-1 for three quadrants,
             // recurse the rest into the fourth.
-            let Some(level) = log.checked_sub(1) else { return };
+            let Some(level) = log.checked_sub(1) else {
+                return;
+            };
             let half = 1u64 << level;
             let quadrants = [(0, 0), (half, 0), (0, half)];
             let mut used = 0;
@@ -254,7 +251,15 @@ mod tests {
     #[test]
     fn single_square_lands_at_origin() {
         let placed = SquareSet::singleton(n(0), 5).place();
-        assert_eq!(placed, vec![PlacedSquare { owner: n(0), x: 0, y: 0, side: 32 }]);
+        assert_eq!(
+            placed,
+            vec![PlacedSquare {
+                owner: n(0),
+                x: 0,
+                y: 0,
+                side: 32
+            }]
+        );
     }
 
     #[test]
@@ -334,10 +339,25 @@ mod tests {
 
     #[test]
     fn overlap_checker_detects() {
-        let a = PlacedSquare { owner: n(0), x: 0, y: 0, side: 4 };
-        let b = PlacedSquare { owner: n(1), x: 2, y: 2, side: 4 };
+        let a = PlacedSquare {
+            owner: n(0),
+            x: 0,
+            y: 0,
+            side: 4,
+        };
+        let b = PlacedSquare {
+            owner: n(1),
+            x: 2,
+            y: 2,
+            side: 4,
+        };
         assert!(check_no_overlap(&[a, b]).is_err());
-        let c = PlacedSquare { owner: n(1), x: 4, y: 0, side: 4 };
+        let c = PlacedSquare {
+            owner: n(1),
+            x: 4,
+            y: 0,
+            side: 4,
+        };
         assert!(check_no_overlap(&[a, c]).is_ok());
     }
 }

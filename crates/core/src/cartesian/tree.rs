@@ -135,8 +135,7 @@ impl Protocol for TreeCartesianProduct {
             .map_err(|e| SimError::Protocol(e.to_string()))?;
         if !tree.compute_nodes_are_leaves() {
             return Err(SimError::Protocol(
-                "TreeCartesianProduct requires compute nodes to be leaves (normalize first)"
-                    .into(),
+                "TreeCartesianProduct requires compute nodes to be leaves (normalize first)".into(),
             ));
         }
         let stats = session.stats().clone();
@@ -182,8 +181,7 @@ mod tests {
         for a in 0..half {
             let v = vc[(crate::hashing::mix64(a ^ seed) % vc.len() as u64) as usize];
             p.push(v, Rel::R, a);
-            let u =
-                vc[(crate::hashing::mix64(a ^ seed ^ 0xF00D) % vc.len() as u64) as usize];
+            let u = vc[(crate::hashing::mix64(a ^ seed ^ 0xF00D) % vc.len() as u64) as usize];
             p.push(u, Rel::S, 1_000_000 + a);
         }
         p
@@ -238,7 +236,7 @@ mod tests {
     }
 
     #[test]
-    fn constant_factor_optimal_on_fat_tree(){
+    fn constant_factor_optimal_on_fat_tree() {
         let t = builders::fat_tree(2, 3, 1.0);
         let p = equal_placement(&t, 90, 4);
         let run = run_protocol(&t, &p, &TreeCartesianProduct::new()).unwrap();

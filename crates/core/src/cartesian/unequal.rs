@@ -182,12 +182,7 @@ pub fn plan_unequal(r_total: u64, s_total: u64, caps: &[(NodeId, f64)]) -> Unequ
     unreachable!("a scale with one node spanning the whole grid always packs");
 }
 
-fn try_pack(
-    r_total: u64,
-    s_total: u64,
-    sorted: &[(NodeId, f64)],
-    c: f64,
-) -> Option<Vec<Rect>> {
+fn try_pack(r_total: u64, s_total: u64, sorted: &[(NodeId, f64)], c: f64) -> Option<Vec<Rect>> {
     let side_cap = 1u64 << log2_ceil(r_total.max(s_total).max(1) + 1).min(62);
     let h_panel = 1u64 << log2_ceil(r_total);
     let mut rects = Vec::new();
@@ -232,7 +227,9 @@ fn try_pack(
         }
         if !placed && frontier < s_total {
             let mut cell = Cell::Free;
-            let (dc, dr) = cell.alloc(h_panel, side).expect("fresh panel fits any side");
+            let (dc, dr) = cell
+                .alloc(h_panel, side)
+                .expect("fresh panel fits any side");
             rects.push(Rect {
                 owner,
                 row: dr,
@@ -337,10 +334,7 @@ pub fn unequal_lower_bound_thm9(
 }
 
 /// `max(Theorem 8, Theorem 9)`.
-pub fn unequal_lower_bound(
-    tree: &Tree,
-    stats: &tamp_simulator::PlacementStats,
-) -> LowerBound {
+pub fn unequal_lower_bound(tree: &Tree, stats: &tamp_simulator::PlacementStats) -> LowerBound {
     let t8 = unequal_lower_bound_thm8(tree, stats);
     match unequal_lower_bound_thm9(tree, stats) {
         Some(t9) => t8.max(t9),
@@ -424,9 +418,8 @@ impl Protocol for GeneralizedStarCartesianProduct {
                 }
             }
         }
-        let (_, strat) = best.ok_or_else(|| {
-            SimError::Protocol("no unequal-CP strategy applies".into())
-        })?;
+        let (_, strat) =
+            best.ok_or_else(|| SimError::Protocol("no unequal-CP strategy applies".into()))?;
         FixedStrategy(strat).run(session)?;
         Ok(strat)
     }
@@ -526,15 +519,12 @@ impl Protocol for FixedStrategy {
                     offsets[v.index()] = s_alpha;
                     s_alpha += stats.rel(big)[v.index()];
                 }
-                let caps: Vec<(NodeId, f64)> =
-                    v_alpha.iter().map(|&v| (v, w_of(v))).collect();
+                let caps: Vec<(NodeId, f64)> = v_alpha.iter().map(|&v| (v, w_of(v))).collect();
                 let plan = plan_unequal(r_total, s_alpha, &caps);
                 // Row (small-relation) recipients: V_β wants everything;
                 // each rect owner wants its rows.
-                let mut small_recipients: Vec<(NodeId, Range<u64>)> = v_beta
-                    .iter()
-                    .map(|&u| (u, 0..r_total))
-                    .collect();
+                let mut small_recipients: Vec<(NodeId, Range<u64>)> =
+                    v_beta.iter().map(|&u| (u, 0..r_total)).collect();
                 for rect in &plan.rects {
                     small_recipients.push((rect.owner, rect.row..(rect.row + rect.h).min(r_total)));
                 }
@@ -675,8 +665,7 @@ mod tests {
         for (r, s) in [(20u64, 200u64), (8, 512)] {
             let t = builders::heterogeneous_star(&[8.0, 4.0, 2.0, 1.0, 1.0]);
             let p = skewed_placement(&t, r, s);
-            let run =
-                run_protocol(&t, &p, &GeneralizedStarCartesianProduct::new()).unwrap();
+            let run = run_protocol(&t, &p, &GeneralizedStarCartesianProduct::new()).unwrap();
             verify::check_pair_coverage(&run.final_state, &p.all_r(), &p.all_s()).unwrap();
             let lb = unequal_lower_bound(&t, &p.stats());
             let rat = ratio(run.cost.tuple_cost(), lb.value());

@@ -389,7 +389,10 @@ mod tests {
         .unwrap()
         .cost
         .tuple_cost();
-        assert!((predicted - measured).abs() < 1e-9, "{predicted} vs {measured}");
+        assert!(
+            (predicted - measured).abs() < 1e-9,
+            "{predicted} vs {measured}"
+        );
 
         let predicted = cost_broadcast_small(&tree, &stats);
         let measured = run_protocol(
@@ -400,7 +403,10 @@ mod tests {
         .unwrap()
         .cost
         .tuple_cost();
-        assert!((predicted - measured).abs() < 1e-9, "{predicted} vs {measured}");
+        assert!(
+            (predicted - measured).abs() < 1e-9,
+            "{predicted} vs {measured}"
+        );
     }
 
     #[test]

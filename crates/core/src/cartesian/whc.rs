@@ -153,8 +153,8 @@ pub(crate) fn execute_square_plan(
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use super::super::packing::check_covers_grid;
+    use super::*;
     use tamp_simulator::{run_protocol, verify, Placement};
     use tamp_topology::builders;
 
@@ -166,8 +166,7 @@ mod tests {
             p.push(v, Rel::R, a);
         }
         for a in 0..half {
-            let v =
-                vc[(crate::hashing::mix64(a ^ seed ^ 0x5555) % vc.len() as u64) as usize];
+            let v = vc[(crate::hashing::mix64(a ^ seed ^ 0x5555) % vc.len() as u64) as usize];
             p.push(v, Rel::S, 1_000_000 + a);
         }
         p

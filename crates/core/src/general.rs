@@ -122,11 +122,7 @@ pub fn graph_cartesian_lower_bound(
 
 /// Per-cut analogue of Theorem 6 for sorting:
 /// `max_cut min{N⁻, N⁺} / cut_capacity`.
-pub fn graph_sorting_lower_bound(
-    graph: &Graph,
-    tree: &Tree,
-    stats: &PlacementStats,
-) -> LowerBound {
+pub fn graph_sorting_lower_bound(graph: &Graph, tree: &Tree, stats: &PlacementStats) -> LowerBound {
     graph_cartesian_lower_bound(graph, tree, stats)
 }
 
@@ -172,8 +168,7 @@ mod tests {
         for g in [gb::torus(3, 3, 1.0), gb::hypercube(3, 1.0)] {
             let p = scatter(&g, 40, 80, 2);
             let (run, _) =
-                run_on_graph(&g, &p, &TreeIntersect::new(7), TreeExtraction::MaxBandwidth)
-                    .unwrap();
+                run_on_graph(&g, &p, &TreeIntersect::new(7), TreeExtraction::MaxBandwidth).unwrap();
             verify::check_intersection(&run.final_state, &p.all_r(), &p.all_s()).unwrap();
         }
     }

@@ -76,11 +76,7 @@ mod tests {
 
     #[test]
     fn respects_weights() {
-        let nodes = [
-            (NodeId(0), 1u64),
-            (NodeId(1), 0),
-            (NodeId(2), 3),
-        ];
+        let nodes = [(NodeId(0), 1u64), (NodeId(1), 0), (NodeId(2), 3)];
         let h = WeightedHash::new(7, &nodes).unwrap();
         let mut counts = [0usize; 3];
         let trials = 40_000u64;

@@ -38,10 +38,8 @@ impl Protocol for UniformHashJoin {
 
     fn run(&self, session: &mut Session<'_>) -> Result<Self::Output, SimError> {
         let tree = session.tree();
-        let weighted: Vec<(NodeId, u64)> =
-            tree.compute_nodes().iter().map(|&v| (v, 1)).collect();
-        let hash = WeightedHash::new(self.seed, &weighted)
-            .expect("at least one compute node");
+        let weighted: Vec<(NodeId, u64)> = tree.compute_nodes().iter().map(|&v| (v, 1)).collect();
+        let hash = WeightedHash::new(self.seed, &weighted).expect("at least one compute node");
         session.round(|round| {
             for &v in tree.compute_nodes() {
                 for rel in [Rel::R, Rel::S] {
@@ -89,8 +87,7 @@ mod tests {
         p.set_r(NodeId(0), (0..500).collect());
         p.set_s(NodeId(1), (0..500).collect());
         let uniform = run_protocol(&t, &p, &UniformHashJoin::new(3)).unwrap();
-        let weighted =
-            run_protocol(&t, &p, &crate::intersection::TreeIntersect::new(3)).unwrap();
+        let weighted = run_protocol(&t, &p, &crate::intersection::TreeIntersect::new(3)).unwrap();
         assert!(
             uniform.cost.tuple_cost() > 10.0 * weighted.cost.tuple_cost(),
             "uniform {} vs weighted {}",

@@ -50,7 +50,10 @@ impl Protocol for KeyedEquiJoin {
     type Output = Vec<(Value, Value)>;
 
     fn name(&self) -> String {
-        format!("keyed-equi-join(seed={}, payload_bits={})", self.seed, self.payload_bits)
+        format!(
+            "keyed-equi-join(seed={}, payload_bits={})",
+            self.seed, self.payload_bits
+        )
     }
 
     fn run(&self, session: &mut Session<'_>) -> Result<Self::Output, SimError> {
@@ -76,7 +79,10 @@ impl Protocol for KeyedEquiJoin {
             .map(|(i, block)| {
                 let weighted: Vec<(NodeId, u64)> =
                     block.iter().map(|&v| (v, stats.n_v(v))).collect();
-                WeightedHash::new(self.seed.wrapping_add(i as u64).wrapping_mul(0x9E37), &weighted)
+                WeightedHash::new(
+                    self.seed.wrapping_add(i as u64).wrapping_mul(0x9E37),
+                    &weighted,
+                )
             })
             .collect();
         let bits = self.payload_bits;
@@ -223,9 +229,11 @@ mod tests {
             p.push(vc[((i + 1) % 4) as usize], Rel::S, kv(i + 200, 0));
         }
         let join = run_protocol(&t, &p, &KeyedEquiJoin::new(5, 8)).unwrap();
-        let inter =
-            run_protocol(&t, &p, &crate::intersection::TreeIntersect::new(5)).unwrap();
+        let inter = run_protocol(&t, &p, &crate::intersection::TreeIntersect::new(5)).unwrap();
         let (a, b) = (join.cost.tuple_cost(), inter.cost.tuple_cost());
-        assert!((a - b).abs() < 0.5 * b.max(1.0), "join {a} vs intersect {b}");
+        assert!(
+            (a - b).abs() < 0.5 * b.max(1.0),
+            "join {a} vs intersect {b}"
+        );
     }
 }

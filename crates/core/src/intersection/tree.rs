@@ -64,7 +64,10 @@ impl Protocol for TreeIntersect {
             .map(|(i, block)| {
                 let weighted: Vec<(NodeId, u64)> =
                     block.iter().map(|&v| (v, stats.n_v(v))).collect();
-                WeightedHash::new(self.seed.wrapping_add(i as u64).wrapping_mul(0x9E37), &weighted)
+                WeightedHash::new(
+                    self.seed.wrapping_add(i as u64).wrapping_mul(0x9E37),
+                    &weighted,
+                )
             })
             .collect();
 

@@ -40,8 +40,8 @@ pub fn perturb_bandwidths(tree: &Tree, spread: f64, seed: u64) -> Tree {
         .map(|e| {
             let (u, v) = tree.endpoints(e);
             // Log-uniform factor in [1/spread, spread].
-            let r = crate::hashing::mix64(seed ^ (0xE1 + e.index() as u64)) as f64
-                / u64::MAX as f64;
+            let r =
+                crate::hashing::mix64(seed ^ (0xE1 + e.index() as u64)) as f64 / u64::MAX as f64;
             let factor = ((2.0 * r - 1.0) * ln_spread).exp();
             let scale = |w: f64| if w.is_infinite() { w } else { w * factor };
             let fwd = tree.bandwidth(DirEdgeId::new(e, false)).get();
@@ -190,12 +190,8 @@ mod tests {
         let drifted = perturb_bandwidths(&t, 8.0, 2);
         let p = scatter(&t, 60, 60, 1);
         let fresh = run_protocol(&t, &p, &TreeCartesianProduct::new()).unwrap();
-        let stale = run_protocol(
-            &t,
-            &p,
-            &TreeCartesianProduct::with_planning_tree(drifted),
-        )
-        .unwrap();
+        let stale =
+            run_protocol(&t, &p, &TreeCartesianProduct::with_planning_tree(drifted)).unwrap();
         verify::check_pair_coverage(&stale.final_state, &p.all_r(), &p.all_s()).unwrap();
         assert_ne!(
             fresh.cost.edge_totals, stale.cost.edge_totals,

@@ -138,18 +138,11 @@ impl Protocol for TeraSort {
         let k = order.len();
         let step = samples.len().div_ceil(k).max(1);
         let splitters: Vec<Value> = (1..k)
-            .map(|i| {
-                samples
-                    .get(i * step - 1)
-                    .copied()
-                    .unwrap_or(Value::MAX)
-            })
+            .map(|i| samples.get(i * step - 1).copied().unwrap_or(Value::MAX))
             .collect();
         session.state_mut(coordinator).s.clear();
         let order_clone = order.clone();
-        session.round(|round| {
-            round.send(coordinator, &order_clone, Rel::S, &splitters)
-        })?;
+        session.round(|round| round.send(coordinator, &order_clone, Rel::S, &splitters))?;
         // Every node now "knows" the splitters (they sit in its S inbox);
         // use them directly. Round 3: redistribute and sort locally.
         redistribute_and_sort(session, &order, &splitters)?;

@@ -122,7 +122,10 @@ impl Protocol for WeightedTeraSort {
         let step = s_len.div_ceil(order.len()).max(1);
         // c_j = ⌈(|V_C|/N)·M_j⌉ sample intervals per heavy node, where M_j
         // is the node's size after round 1.
-        let m: Vec<u64> = heavy.iter().map(|&v| session.state(v).r.len() as u64).collect();
+        let m: Vec<u64> = heavy
+            .iter()
+            .map(|&v| session.state(v).r.len() as u64)
+            .collect();
         let mut splitters = Vec::with_capacity(heavy.len().saturating_sub(1));
         let mut c_acc = 0u64;
         for &mj in m.iter().take(heavy.len() - 1) {

@@ -6,8 +6,8 @@ use proptest::prelude::*;
 use tamp_core::aggregate::combining_schedule;
 use tamp_core::cartesian::grid::interval_segments;
 use tamp_core::cartesian::{
-    cost_all_to_node, cost_broadcast_small, unequal_tree_lower_bound,
-    UnequalTreeCartesianProduct, UnequalTreeStrategy,
+    cost_all_to_node, cost_broadcast_small, unequal_tree_lower_bound, UnequalTreeCartesianProduct,
+    UnequalTreeStrategy,
 };
 use tamp_core::hashing::mix64;
 use tamp_core::robustness::perturb_bandwidths;

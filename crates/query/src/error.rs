@@ -31,6 +31,8 @@ pub enum QueryError {
     DivideByZero,
     /// The underlying simulator rejected the execution.
     Simulator(String),
+    /// The selected execution backend failed or cannot run queries.
+    Backend(String),
     /// Plan construction error (e.g. aggregate of a non-existent column).
     Plan(String),
 }
@@ -43,13 +45,17 @@ impl fmt::Display for QueryError {
             Self::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
             Self::UnknownTable(t) => write!(f, "unknown table `{t}`"),
             Self::WidthMismatch { expected, actual } => {
-                write!(f, "row width {actual} does not match schema width {expected}")
+                write!(
+                    f,
+                    "row width {actual} does not match schema width {expected}"
+                )
             }
             Self::ColumnOutOfRange { index, width } => {
                 write!(f, "column index {index} out of range for width-{width} row")
             }
             Self::DivideByZero => write!(f, "division by zero"),
             Self::Simulator(msg) => write!(f, "simulator error: {msg}"),
+            Self::Backend(msg) => write!(f, "execution backend error: {msg}"),
             Self::Plan(msg) => write!(f, "plan error: {msg}"),
         }
     }
@@ -60,5 +66,14 @@ impl std::error::Error for QueryError {}
 impl From<tamp_simulator::SimError> for QueryError {
     fn from(e: tamp_simulator::SimError) -> Self {
         QueryError::Simulator(e.to_string())
+    }
+}
+
+impl From<tamp_runtime::ExecError> for QueryError {
+    fn from(e: tamp_runtime::ExecError) -> Self {
+        match e {
+            tamp_runtime::ExecError::Sim(e) => QueryError::from(e),
+            other => QueryError::Backend(other.to_string()),
+        }
     }
 }

@@ -16,12 +16,14 @@
 //! metered cost is proportional to the data a real system would move. The
 //! result records the total cost and a per-operator breakdown.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 use tamp_core::hashing::{mix64, WeightedHash};
 use tamp_core::sorting::{coin, sample_rate, valid_order};
+use tamp_runtime::backend::{CentralizedView, ExecBackend, ExecJob, SimulatorBackend};
 use tamp_simulator::cost::Cost;
-use tamp_simulator::{run_protocol, Placement, Protocol, Rel, Session, SimError};
+use tamp_simulator::{Placement, Protocol, Rel, Session, SimError};
 use tamp_topology::{NodeId, Tree};
 
 use crate::error::QueryError;
@@ -99,22 +101,49 @@ impl QueryResult {
     }
 }
 
-/// Execute `plan` over `catalog` with `options`.
+/// Execute `plan` over `catalog` with `options` on the default engine
+/// (the centralized simulator backend).
 pub fn execute(
     catalog: &Catalog,
     plan: &LogicalPlan,
     options: ExecOptions,
 ) -> Result<QueryResult, QueryError> {
+    execute_on(catalog, plan, options, &SimulatorBackend)
+}
+
+/// Execute `plan` over `catalog` with `options` on an explicit
+/// [`ExecBackend`].
+///
+/// The query executor provides a centralized view (it drives a
+/// [`Session`]), so any backend supporting centralized jobs — in
+/// particular [`SimulatorBackend`] — can run it; engine selection goes
+/// through the one `ExecBackend` API rather than a hand-rolled call path.
+pub fn execute_on(
+    catalog: &Catalog,
+    plan: &LogicalPlan,
+    options: ExecOptions,
+    backend: &dyn ExecBackend,
+) -> Result<QueryResult, QueryError> {
     // Validate up front so errors surface before any simulation.
     let schema = plan.schema(catalog)?;
-    let proto = QueryProtocol {
-        catalog,
-        plan,
-        options,
+    let job = QueryJob {
+        proto: QueryProtocol {
+            catalog,
+            plan,
+            options,
+        },
+        captured: RefCell::new(None),
     };
     let placement = Placement::empty(catalog.tree());
-    let run = run_protocol(catalog.tree(), &placement, &proto).map_err(QueryError::from)?;
-    let (fragments, marks, inner) = run.output;
+    let outcome = backend
+        .execute(catalog.tree(), &placement, &job)
+        .map_err(QueryError::from)?;
+    let (fragments, marks, inner) = job.captured.into_inner().ok_or_else(|| {
+        QueryError::Backend(format!(
+            "backend `{}` produced no query output",
+            backend.name()
+        ))
+    })?;
     if let Some(e) = inner {
         return Err(e);
     }
@@ -122,7 +151,7 @@ pub fn execute(
     let mut operator_costs = Vec::with_capacity(marks.len());
     let mut prev = 0usize;
     for (name, upto) in marks {
-        let c: f64 = run.cost.per_round[prev..upto]
+        let c: f64 = outcome.cost.per_round[prev..upto]
             .iter()
             .map(|r| r.tuple_cost)
             .sum();
@@ -132,15 +161,42 @@ pub fn execute(
     Ok(QueryResult {
         schema,
         fragments,
-        cost: run.cost,
+        cost: outcome.cost,
         operator_costs,
-        rounds: run.rounds,
+        rounds: outcome.rounds,
         node_order: valid_order(catalog.tree()),
     })
 }
 
 type Fragments = Vec<Vec<Row>>;
 type Marks = Vec<(String, usize)>;
+
+/// [`ExecJob`] wrapper: the query protocol plus a cell capturing its
+/// output (fragments and operator marks) across the erased backend call.
+struct QueryJob<'a> {
+    proto: QueryProtocol<'a>,
+    captured: RefCell<Option<(Fragments, Marks, Option<QueryError>)>>,
+}
+
+impl ExecJob for QueryJob<'_> {
+    fn name(&self) -> String {
+        "query".into()
+    }
+
+    fn centralized(&self) -> Option<Box<dyn CentralizedView + '_>> {
+        Some(Box::new(QueryView(self)))
+    }
+}
+
+struct QueryView<'j, 'a>(&'j QueryJob<'a>);
+
+impl CentralizedView for QueryView<'_, '_> {
+    fn run(&self, session: &mut Session<'_>) -> Result<(), SimError> {
+        let out = self.0.proto.run(session)?;
+        *self.0.captured.borrow_mut() = Some(out);
+        Ok(())
+    }
+}
 
 struct QueryProtocol<'a> {
     catalog: &'a Catalog,
@@ -249,7 +305,15 @@ fn exec_node(
             let ri = rs.index_of(right_key).map_err(Error::Query)?;
             let out_schema = ls.join(&rs, "r_").map_err(Error::Query)?;
             let frags = exec_hash_join(
-                tree, session, options, lfrags, rfrags, li, ri, ls.width(), rs.width(),
+                tree,
+                session,
+                options,
+                lfrags,
+                rfrags,
+                li,
+                ri,
+                ls.width(),
+                rs.width(),
             )?;
             mark(marks, format!("HashJoin {left_key}={right_key}"), session);
             Ok((out_schema, frags))
@@ -290,8 +354,7 @@ fn exec_node(
         LogicalPlan::Limit { input, n } => {
             let order_preserving = crate::reference::preserves_order(input);
             let (schema, frags) = exec_node(catalog, input, options, session, marks)?;
-            let frags =
-                exec_limit(tree, session, frags, *n, schema.width(), order_preserving)?;
+            let frags = exec_limit(tree, session, frags, *n, schema.width(), order_preserving)?;
             mark(marks, format!("Limit {n}"), session);
             Ok((schema, frags))
         }
@@ -324,12 +387,7 @@ fn exec_node(
 fn frag_weights(tree: &Tree, frags: &[Vec<Row>], extra: &[Vec<Row>]) -> Vec<(NodeId, u64)> {
     tree.compute_nodes()
         .iter()
-        .map(|&v| {
-            (
-                v,
-                (frags[v.index()].len() + extra[v.index()].len()) as u64,
-            )
-        })
+        .map(|&v| (v, (frags[v.index()].len() + extra[v.index()].len()) as u64))
         .collect()
 }
 
@@ -568,7 +626,10 @@ fn exec_order_by(
 
     // Coordinator picks splitters proportional to current node loads.
     all_samples.sort_unstable();
-    let weights: Vec<u64> = order.iter().map(|&v| frags[v.index()].len() as u64).collect();
+    let weights: Vec<u64> = order
+        .iter()
+        .map(|&v| frags[v.index()].len() as u64)
+        .collect();
     let wsum: u64 = weights.iter().sum();
     let mut splitters: Vec<u64> = Vec::with_capacity(order.len().saturating_sub(1));
     let mut acc = 0u64;
@@ -582,10 +643,7 @@ fn exec_order_by(
         splitters.push(if idx == 0 {
             u64::MIN
         } else {
-            all_samples
-                .get(idx - 1)
-                .copied()
-                .unwrap_or(u64::MAX)
+            all_samples.get(idx - 1).copied().unwrap_or(u64::MAX)
         });
     }
 
@@ -830,7 +888,10 @@ mod tests {
 
     #[test]
     fn hash_join_all_strategies_agree() {
-        let c = catalog(builders::rack_tree(&[(3, 1.0, 2.0), (2, 2.0, 1.0)], 1.0), 80);
+        let c = catalog(
+            builders::rack_tree(&[(3, 1.0, 2.0), (2, 2.0, 1.0)], 1.0),
+            80,
+        );
         let q = LogicalPlan::scan("facts").join_on(LogicalPlan::scan("dims"), "g", "g");
         for join in [
             JoinStrategy::Auto,
@@ -879,7 +940,10 @@ mod tests {
 
     #[test]
     fn composite_analytics_query() {
-        let c = catalog(builders::rack_tree(&[(2, 1.0, 2.0), (3, 2.0, 4.0)], 1.0), 150);
+        let c = catalog(
+            builders::rack_tree(&[(2, 1.0, 2.0), (3, 2.0, 4.0)], 1.0),
+            150,
+        );
         let q = LogicalPlan::scan("facts")
             .filter(col("x").gt(lit(100)))
             .join_on(LogicalPlan::scan("dims"), "g", "g")
@@ -967,6 +1031,37 @@ mod tests {
             execute(&c, &q, ExecOptions::default()).unwrap_err(),
             QueryError::DivideByZero
         );
+    }
+
+    #[test]
+    fn backend_selection_goes_through_one_api() {
+        let c = catalog(builders::star(3, 1.0), 60);
+        let q = LogicalPlan::scan("facts")
+            .filter(col("g").lt(lit(5)))
+            .aggregate("g", AggFunc::Count, "x");
+        // The default engine and an explicitly selected simulator backend
+        // are the same path.
+        let a = execute(&c, &q, ExecOptions::default()).unwrap();
+        let b = execute_on(
+            &c,
+            &q,
+            ExecOptions::default(),
+            &tamp_runtime::SimulatorBackend,
+        )
+        .unwrap();
+        assert_eq!(a.rows(false), b.rows(false));
+        assert_eq!(a.cost.edge_totals, b.cost.edge_totals);
+        assert_eq!(a.rounds, b.rounds);
+        // A backend without a centralized view rejects the job with a
+        // typed error instead of silently running a different path.
+        let err = execute_on(
+            &c,
+            &q,
+            ExecOptions::default(),
+            &tamp_runtime::PooledClusterBackend::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, QueryError::Backend(_)), "got {err:?}");
     }
 
     #[test]
@@ -1082,8 +1177,12 @@ mod distinct_union_tests {
             c.tree(),
         ))
         .unwrap();
-        let res = execute(&c, &LogicalPlan::scan("e").distinct(), ExecOptions::default())
-            .unwrap();
+        let res = execute(
+            &c,
+            &LogicalPlan::scan("e").distinct(),
+            ExecOptions::default(),
+        )
+        .unwrap();
         assert_eq!(res.num_rows(), 0);
         assert_eq!(res.cost.tuple_cost(), 0.0);
     }

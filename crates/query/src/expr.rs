@@ -328,7 +328,11 @@ mod tests {
         assert!(p.matches(&[1, 8]).unwrap());
         assert!(!p.matches(&[1, 7]).unwrap());
         assert!(!p.matches(&[0, 8]).unwrap());
-        let q = col("a").eq(lit(1)).or(col("b").eq(lit(1))).bind(&s).unwrap();
+        let q = col("a")
+            .eq(lit(1))
+            .or(col("b").eq(lit(1)))
+            .bind(&s)
+            .unwrap();
         assert!(q.matches(&[0, 1]).unwrap());
     }
 
@@ -359,7 +363,10 @@ mod tests {
     fn constant_folding() {
         let e = lit(2).add(lit(3)).mul(col("a"));
         let folded = e.fold();
-        assert_eq!(folded, Expr::Mul(Box::new(Expr::Lit(5)), Box::new(col("a"))));
+        assert_eq!(
+            folded,
+            Expr::Mul(Box::new(Expr::Lit(5)), Box::new(col("a")))
+        );
         // Division by zero is preserved, not folded into a panic.
         let bad = lit(1).div(lit(0));
         assert_eq!(bad.fold(), lit(1).div(lit(0)));

@@ -70,7 +70,7 @@ pub mod prelude {
 }
 
 pub use error::QueryError;
-pub use exec::{execute, ExecOptions, JoinStrategy, QueryResult};
+pub use exec::{execute, execute_on, ExecOptions, JoinStrategy, QueryResult};
 pub use plan::{AggFunc, LogicalPlan};
 pub use schema::Schema;
 pub use table::{Catalog, DistributedTable};

@@ -276,9 +276,7 @@ mod tests {
     fn catalog() -> Catalog {
         let tree = builders::rack_tree(&[(3, 1.0, 2.0), (2, 2.0, 1.0)], 1.0);
         let mut c = Catalog::new(tree);
-        let rows: Vec<Row> = (0..120)
-            .map(|i| vec![i, i % 6, (i * 37) % 500])
-            .collect();
+        let rows: Vec<Row> = (0..120).map(|i| vec![i, i % 6, (i * 37) % 500]).collect();
         let t = DistributedTable::round_robin(
             "facts",
             Schema::new(vec!["id", "g", "x"]).unwrap(),
@@ -297,20 +295,13 @@ mod tests {
         c
     }
 
-    fn assert_equivalent_with(
-        q: &LogicalPlan,
-        c: &Catalog,
-        opts: ExecOptions,
-    ) -> (f64, f64) {
+    fn assert_equivalent_with(q: &LogicalPlan, c: &Catalog, opts: ExecOptions) -> (f64, f64) {
         let opt = optimize(q.clone(), c).unwrap();
         let before = execute(c, q, opts).unwrap();
         let after = execute(c, &opt, opts).unwrap();
         let ord = reference::preserves_order(q);
         assert_eq!(before.rows(ord), after.rows(ord), "optimized:\n{opt}");
-        assert_eq!(
-            after.rows(ord),
-            reference::evaluate(q, c).unwrap()
-        );
+        assert_eq!(after.rows(ord), reference::evaluate(q, c).unwrap());
         (before.cost.tuple_cost(), after.cost.tuple_cost())
     }
 
@@ -342,7 +333,10 @@ mod tests {
             seed: 0,
         };
         let (before, after) = assert_equivalent_with(&q, &c, opts);
-        assert!(after < before, "pushdown saved nothing: {after} vs {before}");
+        assert!(
+            after < before,
+            "pushdown saved nothing: {after} vs {before}"
+        );
     }
 
     #[test]

@@ -176,10 +176,7 @@ impl LogicalPlan {
     pub fn project(self, exprs: Vec<(&str, Expr)>) -> LogicalPlan {
         LogicalPlan::Project {
             input: Box::new(self),
-            exprs: exprs
-                .into_iter()
-                .map(|(n, e)| (n.to_string(), e))
-                .collect(),
+            exprs: exprs.into_iter().map(|(n, e)| (n.to_string(), e)).collect(),
         }
     }
 
@@ -319,8 +316,7 @@ impl LogicalPlan {
                 input.fmt_indented(f, indent + 1)
             }
             LogicalPlan::Project { input, exprs } => {
-                let cols: Vec<String> =
-                    exprs.iter().map(|(n, e)| format!("{n}={e}")).collect();
+                let cols: Vec<String> = exprs.iter().map(|(n, e)| format!("{n}={e}")).collect();
                 writeln!(f, "{pad}Project [{}]", cols.join(", "))?;
                 input.fmt_indented(f, indent + 1)
             }
@@ -349,7 +345,11 @@ impl LogicalPlan {
                 agg,
                 measure,
             } => {
-                writeln!(f, "{pad}Aggregate {}({measure}) group by {group_by}", agg.name())?;
+                writeln!(
+                    f,
+                    "{pad}Aggregate {}({measure}) group by {group_by}",
+                    agg.name()
+                )?;
                 input.fmt_indented(f, indent + 1)
             }
             LogicalPlan::Limit { input, n } => {
@@ -416,7 +416,8 @@ mod tests {
     #[test]
     fn join_schema_prefixes_duplicates() {
         let c = catalog();
-        let q = LogicalPlan::scan("orders").join_on(LogicalPlan::scan("customers"), "cust_id", "id");
+        let q =
+            LogicalPlan::scan("orders").join_on(LogicalPlan::scan("customers"), "cust_id", "id");
         let s = q.schema(&c).unwrap();
         assert_eq!(s.columns(), &["id", "cust_id", "amount", "r_id", "region"]);
     }

@@ -29,11 +29,7 @@ impl DistributedTable {
         vec![Vec::new(); tree.num_nodes()]
     }
 
-    fn validated(
-        name: &str,
-        schema: Schema,
-        rows: &[Row],
-    ) -> Result<(String, Schema), QueryError> {
+    fn validated(name: &str, schema: Schema, rows: &[Row]) -> Result<(String, Schema), QueryError> {
         for row in rows {
             if row.len() != schema.width() {
                 return Err(QueryError::WidthMismatch {
@@ -228,8 +224,7 @@ mod tests {
         let tree = builders::star(3, 1.0);
         let mut dup = rows(20);
         dup.extend(rows(20)); // every key twice
-        let t =
-            DistributedTable::hash_partitioned("t", schema(), dup, "k", &tree, 7).unwrap();
+        let t = DistributedTable::hash_partitioned("t", schema(), dup, "k", &tree, 7).unwrap();
         // Equal keys land on equal nodes.
         for frag_a in &t.fragments {
             for row in frag_a {

@@ -1,0 +1,415 @@
+//! The engine-agnostic execution layer.
+//!
+//! The repository ships two executors for the same cost model: the
+//! centralized [`Session`] simulator (a protocol closure with a global
+//! view) and the pooled BSP cluster (per-node programs on a bounded
+//! worker pool). [`ExecBackend`] puts one API in front of both, so
+//! protocol drivers, the query layer, the experiment harness and the
+//! cross-validation tests *select* an engine instead of hand-rolling two
+//! call paths.
+//!
+//! An [`ExecJob`] is the unit of work. A job exposes up to two views of
+//! the same algorithm:
+//!
+//! - a **centralized** view ([`ExecJob::centralized`]): a
+//!   [`Protocol`]-style closure driving a [`Session`] — what
+//!   [`SimulatorBackend`] runs;
+//! - a **distributed** view ([`ExecJob::distributed`]): one
+//!   [`NodeProgram`] per compute node — what [`PooledClusterBackend`]
+//!   runs.
+//!
+//! Jobs with both views (see [`PairedJob`] and the constructors in
+//! [`jobs`](crate::jobs)) can run on either backend, and because both
+//! engines meter on the shared
+//! [`TrafficMeter`](tamp_simulator::TrafficMeter), the resulting
+//! [`Cost`] ledgers are bit-identical — the cross-validation tests
+//! assert exactly that through this API.
+//!
+//! # Adding a new protocol against `ExecBackend`
+//!
+//! 1. Implement the centralized algorithm as a
+//!    [`Protocol`](tamp_simulator::Protocol) (drive a `Session`).
+//! 2. Implement the distributed counterpart as a
+//!    [`NodeProgram`](crate::NodeProgram) that derives the *same plan*
+//!    from shared knowledge (topology, cardinalities, seed) so its sends
+//!    match the centralized ones.
+//! 3. Bundle them: `PairedJob::new(name, protocol, make_program)` — or
+//!    `ProtocolJob` / `ProgramJob` if only one view exists.
+//! 4. Cross-validate: run the job on [`SimulatorBackend`] and
+//!    [`PooledClusterBackend`] and assert equal `cost.edge_totals` (and
+//!    round counts), like `tests/runtime_parity.rs` does.
+
+use tamp_simulator::cost::Cost;
+use tamp_simulator::{NodeState, Placement, Protocol, Session, SimError};
+use tamp_topology::{NodeId, Tree};
+
+use crate::cluster::{run_programs, ClusterOptions, NodeProgram};
+use crate::error::RuntimeError;
+
+/// Errors from engine-agnostic execution: either engine's failure mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The centralized engine failed.
+    Sim(SimError),
+    /// The cluster engine failed.
+    Runtime(RuntimeError),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Sim(e) => write!(f, "simulator backend: {e}"),
+            ExecError::Runtime(e) => write!(f, "cluster backend: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<SimError> for ExecError {
+    fn from(e: SimError) -> Self {
+        ExecError::Sim(e)
+    }
+}
+
+impl From<RuntimeError> for ExecError {
+    fn from(e: RuntimeError) -> Self {
+        ExecError::Runtime(e)
+    }
+}
+
+/// The result of executing a job on some backend.
+#[derive(Clone, Debug)]
+pub struct ExecOutcome {
+    /// Job name (for reports).
+    pub job: String,
+    /// Backend name (for reports).
+    pub backend: String,
+    /// Metered cost, on the shared union-of-paths ledger.
+    pub cost: Cost,
+    /// Metered communication rounds (`cost.per_round.len()`).
+    pub rounds: usize,
+    /// BSP supersteps executed. For the simulator this equals `rounds`;
+    /// the cluster adds the terminal silent superstep in which
+    /// termination was detected.
+    pub supersteps: usize,
+    /// Final per-node states, indexed by node id.
+    pub final_state: Vec<NodeState>,
+}
+
+/// Output-erased centralized view: a protocol whose output is dropped (or
+/// captured internally by the job).
+pub trait CentralizedView {
+    /// Drive the session to completion.
+    fn run(&self, session: &mut Session<'_>) -> Result<(), SimError>;
+}
+
+/// A unit of work executable by any [`ExecBackend`] that supports at
+/// least one of its views.
+pub trait ExecJob {
+    /// Human-readable job name.
+    fn name(&self) -> String;
+
+    /// The centralized view, if the job has one.
+    fn centralized(&self) -> Option<Box<dyn CentralizedView + '_>> {
+        None
+    }
+
+    /// The distributed view: the program for compute node `v`, if the job
+    /// has one. Implementations must be all-or-nothing across nodes.
+    fn distributed(&self, _v: NodeId) -> Option<Box<dyn NodeProgram>> {
+        None
+    }
+}
+
+/// An execution engine for [`ExecJob`]s.
+pub trait ExecBackend {
+    /// Backend name (for reports).
+    fn name(&self) -> String;
+
+    /// Execute `job` from `placement` on `tree`.
+    fn execute(
+        &self,
+        tree: &Tree,
+        placement: &Placement,
+        job: &dyn ExecJob,
+    ) -> Result<ExecOutcome, ExecError>;
+}
+
+fn unsupported(backend: &dyn ExecBackend, job: &dyn ExecJob) -> ExecError {
+    ExecError::Runtime(RuntimeError::UnsupportedJob {
+        backend: backend.name(),
+        job: job.name(),
+    })
+}
+
+/// The centralized engine: runs a job's [`CentralizedView`] on a
+/// [`Session`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimulatorBackend;
+
+impl ExecBackend for SimulatorBackend {
+    fn name(&self) -> String {
+        "simulator".into()
+    }
+
+    fn execute(
+        &self,
+        tree: &Tree,
+        placement: &Placement,
+        job: &dyn ExecJob,
+    ) -> Result<ExecOutcome, ExecError> {
+        let view = job.centralized().ok_or_else(|| unsupported(self, job))?;
+        // Session::new validates the placement.
+        let mut session = Session::new(tree, placement)?;
+        view.run(&mut session)?;
+        let (cost, final_state, rounds) = session.into_parts();
+        Ok(ExecOutcome {
+            job: job.name(),
+            backend: self.name(),
+            rounds,
+            supersteps: rounds,
+            cost,
+            final_state,
+        })
+    }
+}
+
+/// The pooled cluster engine: runs a job's distributed view on a bounded
+/// worker pool (see [`crate::cluster`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PooledClusterBackend {
+    /// Pool and superstep options.
+    pub options: ClusterOptions,
+}
+
+impl PooledClusterBackend {
+    /// A pooled backend with explicit options.
+    pub fn new(options: ClusterOptions) -> Self {
+        PooledClusterBackend { options }
+    }
+
+    /// A pooled backend with a fixed worker count.
+    pub fn with_workers(workers: usize) -> Self {
+        PooledClusterBackend {
+            options: ClusterOptions::with_workers(workers),
+        }
+    }
+}
+
+impl ExecBackend for PooledClusterBackend {
+    fn name(&self) -> String {
+        match self.options.workers {
+            Some(w) => format!("pooled-cluster({w})"),
+            None => "pooled-cluster".into(),
+        }
+    }
+
+    fn execute(
+        &self,
+        tree: &Tree,
+        placement: &Placement,
+        job: &dyn ExecJob,
+    ) -> Result<ExecOutcome, ExecError> {
+        let programs: Option<Vec<Box<dyn NodeProgram>>> = tree
+            .compute_nodes()
+            .iter()
+            .map(|&v| job.distributed(v))
+            .collect();
+        let programs = programs.ok_or_else(|| unsupported(self, job))?;
+        let run = run_programs(tree, placement, programs, self.options)?;
+        Ok(ExecOutcome {
+            job: job.name(),
+            backend: self.name(),
+            rounds: run.cost.per_round.len(),
+            supersteps: run.supersteps,
+            cost: run.cost,
+            final_state: run.final_state,
+        })
+    }
+}
+
+/// The standard engine pair for cross-validation: the simulator and the
+/// default pooled cluster.
+pub fn standard_backends() -> Vec<Box<dyn ExecBackend>> {
+    vec![
+        Box::new(SimulatorBackend),
+        Box::new(PooledClusterBackend::default()),
+    ]
+}
+
+struct ErasedProtocol<'p, P>(&'p P);
+
+impl<'p, P: Protocol> CentralizedView for ErasedProtocol<'p, P> {
+    fn run(&self, session: &mut Session<'_>) -> Result<(), SimError> {
+        self.0.run(session).map(|_output| ())
+    }
+}
+
+/// A centralized-only job wrapping a [`Protocol`].
+pub struct ProtocolJob<P>(pub P);
+
+impl<P: Protocol> ExecJob for ProtocolJob<P> {
+    fn name(&self) -> String {
+        self.0.name()
+    }
+
+    fn centralized(&self) -> Option<Box<dyn CentralizedView + '_>> {
+        Some(Box::new(ErasedProtocol(&self.0)))
+    }
+}
+
+/// A distributed-only job wrapping a program factory.
+pub struct ProgramJob<F> {
+    name: String,
+    make: F,
+}
+
+impl<F: Fn(NodeId) -> Box<dyn NodeProgram>> ProgramJob<F> {
+    /// A job named `name` whose node `v` runs `make(v)`.
+    pub fn new(name: impl Into<String>, make: F) -> Self {
+        ProgramJob {
+            name: name.into(),
+            make,
+        }
+    }
+}
+
+impl<F: Fn(NodeId) -> Box<dyn NodeProgram>> ExecJob for ProgramJob<F> {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn distributed(&self, v: NodeId) -> Option<Box<dyn NodeProgram>> {
+        Some((self.make)(v))
+    }
+}
+
+/// A job with both views: the centralized protocol and its distributed
+/// per-node counterpart. Runs on every backend; the cross-validation
+/// tests assert the two views move bit-identical traffic.
+pub struct PairedJob<P, F> {
+    name: String,
+    protocol: P,
+    make: F,
+}
+
+impl<P, F> PairedJob<P, F>
+where
+    P: Protocol,
+    F: Fn(NodeId) -> Box<dyn NodeProgram>,
+{
+    /// Pair `protocol` with the program factory `make` under `name`.
+    pub fn new(name: impl Into<String>, protocol: P, make: F) -> Self {
+        PairedJob {
+            name: name.into(),
+            protocol,
+            make,
+        }
+    }
+}
+
+impl<P, F> ExecJob for PairedJob<P, F>
+where
+    P: Protocol,
+    F: Fn(NodeId) -> Box<dyn NodeProgram>,
+{
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn centralized(&self) -> Option<Box<dyn CentralizedView + '_>> {
+        Some(Box::new(ErasedProtocol(&self.protocol)))
+    }
+
+    fn distributed(&self, v: NodeId) -> Option<Box<dyn NodeProgram>> {
+        Some((self.make)(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{Outbox, Step};
+    use crate::NodeCtx;
+    use tamp_simulator::Rel;
+    use tamp_topology::builders;
+
+    fn broadcast_job() -> PairedJob<Broadcast, impl Fn(NodeId) -> Box<dyn NodeProgram>> {
+        PairedJob::new("broadcast", Broadcast, |v| {
+            Box::new(
+                move |ctx: &NodeCtx<'_>, state: &mut NodeState, out: &mut Outbox| {
+                    if ctx.round == 0 && v == NodeId(0) {
+                        out.send(ctx.tree.compute_nodes(), Rel::R, state.r.clone());
+                        return Step::Continue;
+                    }
+                    Step::Halt
+                },
+            )
+        })
+    }
+
+    struct Broadcast;
+
+    impl Protocol for Broadcast {
+        type Output = ();
+        fn name(&self) -> String {
+            "broadcast".into()
+        }
+        fn run(&self, s: &mut Session<'_>) -> Result<(), SimError> {
+            let all: Vec<NodeId> = s.tree().compute_nodes().to_vec();
+            s.round(|r| {
+                let vals = r.state(NodeId(0)).r.clone();
+                r.send(NodeId(0), &all, Rel::R, &vals)
+            })
+        }
+    }
+
+    #[test]
+    fn paired_job_is_bit_identical_across_backends() {
+        let tree = builders::star(5, 1.0);
+        let mut p = Placement::empty(&tree);
+        p.set_r(NodeId(0), (0..12).collect());
+        let job = broadcast_job();
+        let mut outcomes = Vec::new();
+        for backend in standard_backends() {
+            outcomes.push(backend.execute(&tree, &p, &job).unwrap());
+        }
+        let (sim, rt) = (&outcomes[0], &outcomes[1]);
+        assert_eq!(sim.cost.edge_totals, rt.cost.edge_totals);
+        assert_eq!(sim.rounds, rt.rounds);
+        assert_eq!(rt.supersteps, rt.rounds + 1);
+        for v in tree.nodes() {
+            assert_eq!(
+                sim.final_state[v.index()].r,
+                rt.final_state[v.index()].r,
+                "node {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_views_are_typed_errors() {
+        let tree = builders::star(2, 1.0);
+        let p = Placement::empty(&tree);
+        let central_only = ProtocolJob(Broadcast);
+        let err = PooledClusterBackend::default()
+            .execute(&tree, &p, &central_only)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ExecError::Runtime(RuntimeError::UnsupportedJob { .. })
+        ));
+        let distributed_only = ProgramJob::new("halt", |_| {
+            Box::new(|_: &NodeCtx<'_>, _: &mut NodeState, _: &mut Outbox| Step::Halt)
+                as Box<dyn NodeProgram>
+        });
+        let err = SimulatorBackend
+            .execute(&tree, &p, &distributed_only)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ExecError::Runtime(RuntimeError::UnsupportedJob { .. })
+        ));
+    }
+}

@@ -1,28 +1,44 @@
-//! The threaded BSP cluster.
+//! The pooled BSP cluster.
 //!
 //! Where [`tamp_simulator`] executes a *centralized* protocol closure with
-//! a global view, this module runs one OS thread per compute node, each
-//! executing a [`NodeProgram`] that sees only its own state, the shared
-//! model knowledge (topology + initial cardinalities, which §2 grants
-//! every algorithm), and the messages delivered to it. Supersteps are
-//! synchronized scatter/gather style: the coordinator hands each worker
-//! its inbox, workers compute in parallel, and the coordinator meters the
-//! returned outboxes on the *same* per-directed-edge, union-of-paths
-//! ledger the simulator uses — so a distributed program whose sends match
-//! a centralized protocol produces bit-identical [`Cost`]s, which the
-//! cross-validation tests assert.
+//! a global view, this module runs a [`NodeProgram`] per compute node,
+//! each seeing only its own state, the shared model knowledge (topology +
+//! initial cardinalities, which §2 grants every algorithm), and the
+//! messages delivered to it.
+//!
+//! Execution is a **bounded worker pool**, not a thread per node: a fixed
+//! crew of OS threads (default: available parallelism) claims per-node
+//! programs from a shared queue each superstep, so a 2048-node — or
+//! 100k-node — topology runs on a laptop without 2048 stacks. Logical
+//! nodes are decoupled from OS-level resources; only the superstep
+//! barrier is global.
+//!
+//! Supersteps are synchronized scatter/gather style: the coordinator
+//! publishes each node's inbox, workers execute claimed programs in
+//! parallel, and the coordinator meters the returned outboxes on the
+//! *same* per-directed-edge, union-of-paths [`TrafficMeter`] the
+//! simulator uses — so a distributed program whose sends match a
+//! centralized protocol produces bit-identical [`Cost`]s, which the
+//! cross-validation tests assert. Because metering and delivery order are
+//! functions of the (deterministically sorted) send set alone, results
+//! are bit-identical for *any* worker count.
 //!
 //! Termination: the run ends at the first superstep in which every
-//! program votes [`Step::Halt`] and sends nothing. A superstep limit
+//! program votes [`Step::Halt`] and sends nothing. That final silent
+//! superstep is counted in [`RuntimeRun::supersteps`] but adds no round
+//! to the cost ledger (it moves no data), keeping the metered round count
+//! aligned with the equivalent centralized protocol. A superstep limit
 //! guards against livelock.
 
-use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Condvar, Mutex};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use tamp_simulator::cost::{Cost, RoundCost};
+use tamp_simulator::cost::Cost;
+use tamp_simulator::metering::TrafficMeter;
 use tamp_simulator::{NodeState, Placement, PlacementStats, Rel};
-use tamp_topology::{DirEdgeId, NodeId, Tree};
+use tamp_topology::{NodeId, Tree};
 
 use crate::error::RuntimeError;
 use crate::message::{Envelope, OutMsg, Outbox, Step};
@@ -66,7 +82,9 @@ where
 pub struct RuntimeRun {
     /// Final per-node states, indexed by node id.
     pub final_state: Vec<NodeState>,
-    /// Metered cost, on the same ledger as the simulator.
+    /// Metered cost, on the same ledger as the simulator. One round per
+    /// superstep that was given the chance to move data; the terminal
+    /// all-silent superstep is not metered.
     pub cost: Cost,
     /// Number of supersteps executed (including the final silent one).
     pub supersteps: usize,
@@ -78,39 +96,86 @@ pub struct ClusterOptions {
     /// Abort if the programs have not all halted after this many
     /// supersteps.
     pub max_supersteps: usize,
+    /// Worker threads in the pool. `None` (the default) uses the
+    /// machine's available parallelism. The pool never exceeds the number
+    /// of compute nodes.
+    pub workers: Option<usize>,
 }
 
 impl Default for ClusterOptions {
     fn default() -> Self {
         ClusterOptions {
             max_supersteps: 64,
+            workers: None,
         }
     }
 }
 
-enum Cmd {
-    Round { round: usize, inbox: Vec<Envelope> },
-    Stop,
+impl ClusterOptions {
+    /// Like `default()`, but with an explicit worker-pool size.
+    pub fn with_workers(workers: usize) -> Self {
+        ClusterOptions {
+            workers: Some(workers),
+            ..ClusterOptions::default()
+        }
+    }
+
+    /// The pool size this configuration resolves to for `n_nodes` compute
+    /// nodes: `workers` (or available parallelism), capped at `n_nodes`,
+    /// floored at 1.
+    pub fn resolved_workers(&self, n_nodes: usize) -> usize {
+        let hw = || {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        self.workers.unwrap_or_else(hw).clamp(1, n_nodes.max(1))
+    }
 }
 
+/// One compute node's slot in the pool: its program, state and pending
+/// inbox. Workers claim slots by index; each slot is touched by exactly
+/// one worker per superstep.
+struct Slot {
+    node: NodeId,
+    program: Box<dyn NodeProgram>,
+    state: NodeState,
+    inbox: Vec<Envelope>,
+}
+
+/// What a worker reports back during a superstep.
 enum WorkerOut {
+    /// One executed node-superstep.
     Round {
         node: NodeId,
         outbox: Outbox,
         step: Step,
     },
-    Final {
-        node: NodeId,
-        state: NodeState,
-    },
-    Panicked {
-        node: NodeId,
-        message: String,
-    },
+    /// A node program panicked.
+    Panicked { node: NodeId, message: String },
+    /// This worker observed the claim queue exhausted and went back to
+    /// the gate. The coordinator must collect one per worker before
+    /// reopening the queue for the next superstep — otherwise a straggler
+    /// could re-claim nodes from the fresh queue under a stale round.
+    Drained,
+}
+
+/// The superstep gate: workers sleep on it between rounds.
+struct Gate {
+    /// Bumped once per superstep; workers run when they see a fresh value.
+    generation: u64,
+    /// Current superstep number.
+    round: usize,
+    /// Set when the run is over and workers should exit.
+    stop: bool,
 }
 
 /// Run `make_program(v)` on every compute node `v` of `tree`, starting
 /// from `placement`, until all programs halt.
+///
+/// This is the pooled engine: see the module docs. The closure-based
+/// signature is kept for convenience; [`ExecBackend`](crate::backend::ExecBackend)
+/// is the engine-agnostic entry point.
 pub fn run_cluster<F>(
     tree: &Tree,
     placement: &Placement,
@@ -120,268 +185,248 @@ pub fn run_cluster<F>(
 where
     F: Fn(NodeId) -> Box<dyn NodeProgram>,
 {
+    let computes: Vec<NodeId> = tree.compute_nodes().to_vec();
+    let programs: Vec<Box<dyn NodeProgram>> = computes.iter().map(|&v| make_program(v)).collect();
+    run_programs(tree, placement, programs, options)
+}
+
+/// Run pre-instantiated per-node programs (aligned with
+/// `tree.compute_nodes()`) on the pool.
+pub(crate) fn run_programs(
+    tree: &Tree,
+    placement: &Placement,
+    programs: Vec<Box<dyn NodeProgram>>,
+    options: ClusterOptions,
+) -> Result<RuntimeRun, RuntimeError> {
     let stats = placement.stats();
     let computes: Vec<NodeId> = tree.compute_nodes().to_vec();
-    let n_nodes = tree.num_nodes();
+    let n = computes.len();
+    assert_eq!(programs.len(), n, "one program per compute node");
 
-    // Per-worker command channels; one shared response channel.
-    let mut to_workers: HashMap<NodeId, Sender<Cmd>> = HashMap::new();
-    let (resp_tx, resp_rx): (Sender<WorkerOut>, Receiver<WorkerOut>) = unbounded();
+    // node id → slot index, for inbox delivery.
+    let mut slot_of = vec![usize::MAX; tree.num_nodes()];
+    for (i, &v) in computes.iter().enumerate() {
+        slot_of[v.index()] = i;
+    }
 
-    let mut meter = Meter::new(tree);
-    let mut result: Result<(Vec<NodeState>, usize), RuntimeError> = Err(RuntimeError::RoundLimit(
-        options.max_supersteps,
-    ));
+    let slots: Vec<Mutex<Slot>> = computes
+        .iter()
+        .zip(programs)
+        .map(|(&v, program)| {
+            Mutex::new(Slot {
+                node: v,
+                program,
+                state: placement.node(v).clone(),
+                inbox: Vec::new(),
+            })
+        })
+        .collect();
+
+    let workers = options.resolved_workers(n);
+    // Claim granularity: coarse enough to keep cursor contention low on
+    // big topologies, fine enough to balance skewed per-node work.
+    let chunk = (n / (workers * 8)).clamp(1, 64);
+
+    let cursor = AtomicUsize::new(n); // exhausted until the first round opens
+    let gate = Mutex::new(Gate {
+        generation: 0,
+        round: 0,
+        stop: false,
+    });
+    let gate_cv = Condvar::new();
+    let (out_tx, out_rx): (Sender<WorkerOut>, Receiver<WorkerOut>) = channel();
+
+    let mut meter = TrafficMeter::new(tree);
+    let mut supersteps_done = 0usize;
+    let mut outcome: Result<usize, RuntimeError> = Err(RuntimeError::SuperstepLimit {
+        limit: options.max_supersteps,
+        round: options.max_supersteps.saturating_sub(1),
+    });
 
     std::thread::scope(|scope| {
-        for &v in &computes {
-            let (cmd_tx, cmd_rx): (Sender<Cmd>, Receiver<Cmd>) = unbounded();
-            to_workers.insert(v, cmd_tx);
-            let resp_tx = resp_tx.clone();
-            let mut program = make_program(v);
-            let mut state = placement.node(v).clone();
-            let tree_ref = tree;
-            let stats_ref = &stats;
+        for _ in 0..workers {
+            let out_tx = out_tx.clone();
+            let slots = &slots;
+            let cursor = &cursor;
+            let gate = &gate;
+            let gate_cv = &gate_cv;
+            let stats = &stats;
             scope.spawn(move || {
-                while let Ok(cmd) = cmd_rx.recv() {
-                    match cmd {
-                        Cmd::Round { round, inbox } => {
+                let mut seen_generation = 0u64;
+                loop {
+                    // Sleep until the coordinator opens a new superstep.
+                    let round = {
+                        let mut g = gate.lock().unwrap();
+                        while g.generation == seen_generation && !g.stop {
+                            g = gate_cv.wait(g).unwrap();
+                        }
+                        if g.stop {
+                            return;
+                        }
+                        seen_generation = g.generation;
+                        g.round
+                    };
+                    // Claim and run node programs until the queue drains.
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        for claimed in &slots[start..(start + chunk).min(n)] {
+                            let mut slot = claimed.lock().unwrap();
+                            let Slot {
+                                node,
+                                program,
+                                state,
+                                inbox,
+                            } = &mut *slot;
                             // Commit deliveries into local state first
                             // (BSP: data sent in round i is state in i+1).
-                            for env in &inbox {
+                            let arrived = std::mem::take(inbox);
+                            for env in &arrived {
                                 match env.rel {
                                     Rel::R => state.r.extend_from_slice(&env.values),
                                     Rel::S => state.s.extend_from_slice(&env.values),
                                 }
                             }
                             let ctx = NodeCtx {
-                                node: v,
+                                node: *node,
                                 round,
-                                tree: tree_ref,
-                                stats: stats_ref,
-                                arrived: &inbox,
+                                tree,
+                                stats,
+                                arrived: &arrived,
                             };
                             let mut out = Outbox::default();
                             let step = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                                program.round(&ctx, &mut state, &mut out)
+                                program.round(&ctx, state, &mut out)
                             }));
-                            match step {
-                                Ok(step) => {
-                                    let _ = resp_tx.send(WorkerOut::Round {
-                                        node: v,
-                                        outbox: out,
-                                        step,
-                                    });
-                                }
+                            let report = match step {
+                                Ok(step) => WorkerOut::Round {
+                                    node: *node,
+                                    outbox: out,
+                                    step,
+                                },
                                 Err(payload) => {
                                     let message = payload
                                         .downcast_ref::<&str>()
                                         .map(|s| s.to_string())
                                         .or_else(|| payload.downcast_ref::<String>().cloned())
                                         .unwrap_or_else(|| "<non-string panic>".into());
-                                    let _ = resp_tx.send(WorkerOut::Panicked { node: v, message });
-                                    return;
+                                    WorkerOut::Panicked {
+                                        node: *node,
+                                        message,
+                                    }
                                 }
-                            }
-                        }
-                        Cmd::Stop => {
-                            let _ = resp_tx.send(WorkerOut::Final {
-                                node: v,
-                                state: std::mem::take(&mut state),
-                            });
-                            return;
+                            };
+                            let _ = out_tx.send(report);
                         }
                     }
+                    let _ = out_tx.send(WorkerOut::Drained);
                 }
             });
         }
-        drop(resp_tx);
 
         // Coordinator loop.
-        let mut inboxes: HashMap<NodeId, Vec<Envelope>> = HashMap::new();
         'steps: for round in 0..options.max_supersteps {
-            for &v in &computes {
-                let inbox = inboxes.remove(&v).unwrap_or_default();
-                let _ = to_workers[&v].send(Cmd::Round { round, inbox });
+            // Open the superstep: reset the claim queue, then wake the
+            // pool. The store is ordered before the wake by the gate lock.
+            cursor.store(0, Ordering::Relaxed);
+            {
+                let mut g = gate.lock().unwrap();
+                g.generation += 1;
+                g.round = round;
             }
+            gate_cv.notify_all();
+
+            // Gather: one report per compute node, plus one Drained per
+            // worker (the barrier that makes reopening the queue safe).
             let mut all_halt = true;
-            let mut any_send = false;
             let mut round_sends: Vec<(NodeId, OutMsg)> = Vec::new();
-            for _ in 0..computes.len() {
-                match resp_rx.recv() {
+            let mut panic_err: Option<RuntimeError> = None;
+            let mut reported = 0usize;
+            let mut drained = 0usize;
+            while reported < n || drained < workers {
+                match out_rx.recv() {
                     Ok(WorkerOut::Round { node, outbox, step }) => {
+                        reported += 1;
                         if step == Step::Continue {
                             all_halt = false;
-                        }
-                        if !outbox.is_empty() {
-                            any_send = true;
                         }
                         for msg in outbox.sends {
                             round_sends.push((node, msg));
                         }
                     }
                     Ok(WorkerOut::Panicked { node, message }) => {
-                        result = Err(RuntimeError::WorkerPanic { node, message });
-                        break 'steps;
+                        reported += 1;
+                        panic_err = Some(RuntimeError::WorkerPanic { node, message });
                     }
-                    Ok(WorkerOut::Final { .. }) | Err(_) => {
-                        unreachable!("workers only report Final after Stop")
-                    }
+                    Ok(WorkerOut::Drained) => drained += 1,
+                    Err(_) => unreachable!("workers outlive the coordinator loop"),
                 }
             }
-            // Deterministic delivery: order sends by source node (each
-            // node's own sends stay in issue order), so runs are
-            // reproducible regardless of thread scheduling.
-            round_sends.sort_by_key(|(src, _)| src.index());
-            // Validate destinations, meter, and build next inboxes.
-            let mut charges = vec![0u64; meter.num_dir_edges()];
-            for (src, msg) in round_sends {
-                if let Some(&bad) = msg.dsts.iter().find(|&&d| !tree.is_compute(d)) {
-                    result = Err(RuntimeError::SendToRouter(bad));
-                    break 'steps;
-                }
-                meter.charge_multicast(src, &msg.dsts, msg.values.len() as u64, &mut charges);
-                for &dst in &msg.dsts {
-                    inboxes.entry(dst).or_default().push(Envelope {
-                        src,
-                        rel: msg.rel,
-                        values: msg.values.clone(),
-                    });
-                }
-            }
-            meter.push_round(charges);
-            if all_halt && !any_send {
-                result = Ok((Vec::new(), round + 1));
+            supersteps_done = round + 1;
+            if let Some(e) = panic_err {
+                outcome = Err(e);
                 break 'steps;
             }
+
+            let any_send = !round_sends.is_empty();
+            if all_halt && !any_send {
+                // Quiesced: the terminal silent superstep is counted but
+                // not metered (it moves no data).
+                outcome = Ok(supersteps_done);
+                break 'steps;
+            }
+
+            // Deterministic delivery: order sends by source node (each
+            // node's own sends stay in issue order), so metering and
+            // state are reproducible for any worker count or schedule.
+            round_sends.sort_by_key(|(src, _)| src.index());
+            for (src, msg) in round_sends {
+                if let Some(&bad) = msg.dsts.iter().find(|&&d| !tree.is_compute(d)) {
+                    outcome = Err(RuntimeError::SendToRouter(bad));
+                    break 'steps;
+                }
+                meter.charge_multicast(tree, src, &msg.dsts, msg.values.len() as u64);
+                // One allocation per multicast; destinations share it.
+                let values: std::sync::Arc<[tamp_simulator::Value]> = msg.values.into();
+                for &dst in &msg.dsts {
+                    slots[slot_of[dst.index()]]
+                        .lock()
+                        .unwrap()
+                        .inbox
+                        .push(Envelope {
+                            src,
+                            rel: msg.rel,
+                            values: values.clone(),
+                        });
+                }
+            }
+            meter.commit_round();
         }
 
-        // Tear down: collect final states (or drain after an error).
-        for &v in &computes {
-            let _ = to_workers[&v].send(Cmd::Stop);
+        // Tear down the pool.
+        {
+            let mut g = gate.lock().unwrap();
+            g.stop = true;
         }
-        let mut finals: Vec<NodeState> = vec![NodeState::default(); n_nodes];
-        let mut collected = 0usize;
-        while collected < computes.len() {
-            match resp_rx.recv() {
-                Ok(WorkerOut::Final { node, state }) => {
-                    finals[node.index()] = state;
-                    collected += 1;
-                }
-                Ok(_) => {} // stale round responses from an aborted run
-                Err(_) => break,
-            }
-        }
-        if let Ok((states, _)) = &mut result {
-            *states = finals;
-        }
+        gate_cv.notify_all();
     });
 
-    let (final_state, supersteps) = result?;
+    let supersteps = outcome?;
+    let final_state = {
+        let mut finals: Vec<NodeState> = vec![NodeState::default(); tree.num_nodes()];
+        for slot in slots {
+            let slot = slot.into_inner().unwrap();
+            finals[slot.node.index()] = slot.state;
+        }
+        finals
+    };
     Ok(RuntimeRun {
         final_state,
         cost: meter.finish(),
         supersteps,
     })
-}
-
-/// Per-directed-edge traffic metering with union-of-paths multicast
-/// charging — the same accounting as the simulator's `Session`.
-struct Meter<'t> {
-    tree: &'t Tree,
-    bandwidth: Vec<f64>,
-    rounds: Vec<Vec<u64>>,
-    paths: HashMap<(u32, u32), Box<[DirEdgeId]>>,
-    stamp: Vec<u32>,
-    stamp_ctr: u32,
-}
-
-impl<'t> Meter<'t> {
-    fn new(tree: &'t Tree) -> Self {
-        let bandwidth: Vec<f64> = tree.dir_edges().map(|d| tree.bandwidth(d).get()).collect();
-        let n = bandwidth.len();
-        Meter {
-            tree,
-            bandwidth,
-            rounds: Vec::new(),
-            paths: HashMap::new(),
-            stamp: vec![0; n],
-            stamp_ctr: 0,
-        }
-    }
-
-    fn num_dir_edges(&self) -> usize {
-        self.bandwidth.len()
-    }
-
-    fn charge_multicast(
-        &mut self,
-        src: NodeId,
-        dsts: &[NodeId],
-        amount: u64,
-        charges: &mut [u64],
-    ) {
-        self.stamp_ctr = self.stamp_ctr.wrapping_add(1);
-        if self.stamp_ctr == 0 {
-            self.stamp.fill(0);
-            self.stamp_ctr = 1;
-        }
-        for &dst in dsts {
-            if src == dst {
-                continue;
-            }
-            let key = (src.0, dst.0);
-            if !self.paths.contains_key(&key) {
-                let p = self.tree.path(src, dst).into_boxed_slice();
-                self.paths.insert(key, p);
-            }
-            let path = &self.paths[&key];
-            for &d in path.iter() {
-                let i = d.index();
-                if self.stamp[i] != self.stamp_ctr {
-                    self.stamp[i] = self.stamp_ctr;
-                    charges[i] += amount;
-                }
-            }
-        }
-    }
-
-    fn push_round(&mut self, charges: Vec<u64>) {
-        self.rounds.push(charges);
-    }
-
-    fn finish(self) -> Cost {
-        let mut per_round = Vec::with_capacity(self.rounds.len());
-        let mut edge_totals = vec![0u64; self.bandwidth.len()];
-        for traffic in &self.rounds {
-            let mut round = RoundCost {
-                tuple_cost: 0.0,
-                bottleneck: None,
-                max_tuples: 0,
-                total_tuples: 0,
-            };
-            for (d, &tuples) in traffic.iter().enumerate() {
-                edge_totals[d] += tuples;
-                round.total_tuples += tuples;
-                round.max_tuples = round.max_tuples.max(tuples);
-                let w = self.bandwidth[d];
-                let c = if w.is_infinite() {
-                    0.0
-                } else {
-                    tuples as f64 / w
-                };
-                if c > round.tuple_cost {
-                    round.tuple_cost = c;
-                    round.bottleneck = Some(DirEdgeId(d as u32));
-                }
-            }
-            per_round.push(round);
-        }
-        Cost {
-            per_round,
-            edge_totals,
-        }
-    }
 }
 
 #[cfg(test)]
@@ -392,6 +437,7 @@ mod tests {
     fn opts(max: usize) -> ClusterOptions {
         ClusterOptions {
             max_supersteps: max,
+            ..ClusterOptions::default()
         }
     }
 
@@ -423,6 +469,9 @@ mod tests {
         assert_eq!(run.cost.tuple_cost(), 2.0);
         assert_eq!(run.cost.total_tuples(), 8);
         assert_eq!(run.supersteps, 2);
+        // The terminal silent superstep is not metered: one cost round,
+        // exactly like the equivalent centralized protocol.
+        assert_eq!(run.cost.per_round.len(), 1);
     }
 
     #[test]
@@ -456,7 +505,7 @@ mod tests {
     }
 
     #[test]
-    fn round_limit_is_enforced() {
+    fn round_limit_is_enforced_with_offending_round() {
         let tree = builders::star(2, 1.0);
         let p = Placement::empty(&tree);
         let err = run_cluster(
@@ -466,7 +515,7 @@ mod tests {
             opts(5),
         )
         .unwrap_err();
-        assert_eq!(err, RuntimeError::RoundLimit(5));
+        assert_eq!(err, RuntimeError::SuperstepLimit { limit: 5, round: 4 });
     }
 
     #[test]
@@ -524,14 +573,12 @@ mod tests {
             &tree,
             &p,
             |v| {
-                Box::new(
-                    move |_: &NodeCtx<'_>, _: &mut NodeState, _: &mut Outbox| {
-                        if v == NodeId(1) {
-                            panic!("injected fault");
-                        }
-                        Step::Halt
-                    },
-                )
+                Box::new(move |_: &NodeCtx<'_>, _: &mut NodeState, _: &mut Outbox| {
+                    if v == NodeId(1) {
+                        panic!("injected fault");
+                    }
+                    Step::Halt
+                })
             },
             ClusterOptions::default(),
         )
@@ -551,7 +598,7 @@ mod tests {
         let mut p = Placement::empty(&tree);
         p.set_r(NodeId(0), vec![1]);
         p.set_r(NodeId(1), vec![2]);
-        let seen = std::sync::Arc::new(parking_lot_free_mutex());
+        let seen = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
         let seen2 = seen.clone();
         let run = run_cluster(
             &tree,
@@ -565,8 +612,7 @@ mod tests {
                             return Step::Continue;
                         }
                         if ctx.round == 1 && v == NodeId(2) {
-                            let mut srcs: Vec<NodeId> =
-                                ctx.arrived.iter().map(|e| e.src).collect();
+                            let mut srcs: Vec<NodeId> = ctx.arrived.iter().map(|e| e.src).collect();
                             srcs.sort_unstable();
                             *seen.lock().unwrap() = srcs;
                         }
@@ -581,35 +627,37 @@ mod tests {
         assert_eq!(*seen.lock().unwrap(), vec![NodeId(0), NodeId(1)]);
     }
 
-    fn parking_lot_free_mutex() -> std::sync::Mutex<Vec<NodeId>> {
-        std::sync::Mutex::new(Vec::new())
-    }
-
     #[test]
-    fn local_compute_runs_in_parallel_threads() {
-        // Each node records its thread id; with one thread per node they
-        // must all differ.
-        let tree = builders::star(4, 1.0);
-        let p = Placement::empty(&tree);
-        let ids = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+    fn pool_is_bounded_and_results_are_worker_count_invariant() {
+        // 64 nodes, 2-worker pool: at most 2 distinct program threads,
+        // and the run is bit-identical to a wide pool's.
+        let tree = builders::star(64, 1.0);
+        let mut p = Placement::empty(&tree);
+        for v in tree.compute_nodes() {
+            p.set_r(*v, vec![v.0 as u64]);
+        }
+        let ids = std::sync::Arc::new(std::sync::Mutex::new(std::collections::HashSet::new()));
         let ids2 = ids.clone();
-        run_cluster(
-            &tree,
-            &p,
-            move |_| {
-                let ids = ids2.clone();
-                Box::new(
-                    move |_: &NodeCtx<'_>, _: &mut NodeState, _: &mut Outbox| {
-                        ids.lock().unwrap().push(std::thread::current().id());
-                        Step::Halt
-                    },
-                )
-            },
-            ClusterOptions::default(),
-        )
-        .unwrap();
-        let ids: std::collections::HashSet<_> =
-            ids.lock().unwrap().iter().copied().collect();
-        assert_eq!(ids.len(), 4);
+        let make = move |v: NodeId| -> Box<dyn NodeProgram> {
+            let ids = ids2.clone();
+            Box::new(
+                move |ctx: &NodeCtx<'_>, state: &mut NodeState, out: &mut Outbox| {
+                    ids.lock().unwrap().insert(std::thread::current().id());
+                    if ctx.round == 0 {
+                        out.send_to(NodeId((v.0 + 1) % 64), Rel::R, state.r.clone());
+                        return Step::Continue;
+                    }
+                    Step::Halt
+                },
+            )
+        };
+        let narrow = run_cluster(&tree, &p, &make, ClusterOptions::with_workers(2)).unwrap();
+        assert!(ids.lock().unwrap().len() <= 2, "pool exceeded 2 threads");
+        let wide = run_cluster(&tree, &p, &make, ClusterOptions::with_workers(8)).unwrap();
+        assert_eq!(narrow.cost.edge_totals, wide.cost.edge_totals);
+        assert_eq!(narrow.supersteps, wide.supersteps);
+        for v in tree.nodes() {
+            assert_eq!(narrow.final_state[v.index()], wide.final_state[v.index()]);
+        }
     }
 }

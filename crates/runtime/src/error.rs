@@ -4,11 +4,16 @@ use std::fmt;
 
 use tamp_topology::NodeId;
 
-/// Errors raised while executing node programs on a [`Cluster`](crate::Cluster).
+/// Errors raised while executing node programs on the cluster.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RuntimeError {
-    /// The programs did not all halt within the superstep limit.
-    RoundLimit(usize),
+    /// The programs did not all quiesce within the superstep limit.
+    SuperstepLimit {
+        /// The configured `ClusterOptions::max_supersteps`.
+        limit: usize,
+        /// The last superstep that executed before the run was abandoned.
+        round: usize,
+    },
     /// A program addressed a message to a routing-only node.
     SendToRouter(NodeId),
     /// A node program panicked; the message is the panic payload.
@@ -18,15 +23,29 @@ pub enum RuntimeError {
         /// Panic payload rendered to a string.
         message: String,
     },
+    /// The selected backend cannot execute the given job (e.g. a
+    /// centralized-only job handed to the cluster backend).
+    UnsupportedJob {
+        /// The backend that rejected the job.
+        backend: String,
+        /// The rejected job.
+        job: String,
+    },
 }
 
 impl fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::RoundLimit(n) => write!(f, "programs did not halt within {n} supersteps"),
+            Self::SuperstepLimit { limit, round } => write!(
+                f,
+                "programs did not halt within {limit} supersteps (abandoned after superstep {round})"
+            ),
             Self::SendToRouter(v) => write!(f, "message addressed to routing-only node {v}"),
             Self::WorkerPanic { node, message } => {
                 write!(f, "program on node {node} panicked: {message}")
+            }
+            Self::UnsupportedJob { backend, job } => {
+                write!(f, "backend `{backend}` cannot execute job `{job}`")
             }
         }
     }

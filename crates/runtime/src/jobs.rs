@@ -1,0 +1,120 @@
+//! Paired [`ExecJob`]s for the protocols this repository ships in both
+//! centralized and distributed form.
+//!
+//! Each constructor bundles a `tamp-core` protocol with its
+//! [`programs`](crate::programs) counterpart under one name, so drivers
+//! (tests, benches, the experiment harness) run them on any
+//! [`ExecBackend`](crate::backend::ExecBackend) through a single API.
+//! The pairs are plan-deterministic: both views derive the same plan from
+//! shared knowledge plus the seed, so their traffic — and therefore their
+//! metered [`Cost`](tamp_simulator::cost::Cost) — is bit-identical.
+
+use tamp_core::aggregate::{Aggregator, CombiningTreeAggregate, HashGroupBy};
+use tamp_core::cartesian::TreeCartesianProduct;
+use tamp_core::intersection::TreeIntersect;
+use tamp_core::sorting::WeightedTeraSort;
+use tamp_topology::NodeId;
+
+use crate::backend::PairedJob;
+use crate::cluster::NodeProgram;
+use crate::programs::{
+    DistributedCartesian, DistributedCombiningAggregate, DistributedGroupBy,
+    DistributedTreeIntersect, DistributedWts,
+};
+
+/// The seeded one-round set-intersection pair (Theorem 2).
+pub fn tree_intersect(
+    seed: u64,
+) -> PairedJob<TreeIntersect, impl Fn(NodeId) -> Box<dyn NodeProgram>> {
+    PairedJob::new("tree-intersect", TreeIntersect::new(seed), move |_| {
+        Box::new(DistributedTreeIntersect::new(seed)) as Box<dyn NodeProgram>
+    })
+}
+
+/// The weighted TeraSort pair (§5.2).
+pub fn weighted_terasort(
+    seed: u64,
+) -> PairedJob<WeightedTeraSort, impl Fn(NodeId) -> Box<dyn NodeProgram>> {
+    PairedJob::new(
+        "weighted-terasort",
+        WeightedTeraSort::new(seed),
+        move |_| Box::new(DistributedWts::new(seed)) as Box<dyn NodeProgram>,
+    )
+}
+
+/// The deterministic tree cartesian-product pair (§4.4).
+pub fn tree_cartesian() -> PairedJob<TreeCartesianProduct, impl Fn(NodeId) -> Box<dyn NodeProgram>>
+{
+    PairedJob::new("tree-cartesian", TreeCartesianProduct::new(), move |_| {
+        Box::new(DistributedCartesian::new()) as Box<dyn NodeProgram>
+    })
+}
+
+/// The combining tree-aggregation pair.
+pub fn combining_aggregate(
+    target: NodeId,
+    agg: Aggregator,
+) -> PairedJob<CombiningTreeAggregate, impl Fn(NodeId) -> Box<dyn NodeProgram>> {
+    PairedJob::new(
+        "combining-aggregate",
+        CombiningTreeAggregate::new(target, agg),
+        move |_| Box::new(DistributedCombiningAggregate::new(target, agg)) as Box<dyn NodeProgram>,
+    )
+}
+
+/// The weighted hash group-by pair.
+pub fn hash_groupby(
+    seed: u64,
+    agg: Aggregator,
+) -> PairedJob<HashGroupBy, impl Fn(NodeId) -> Box<dyn NodeProgram>> {
+    PairedJob::new("hash-groupby", HashGroupBy::new(seed, agg), move |_| {
+        Box::new(DistributedGroupBy::new(seed, agg)) as Box<dyn NodeProgram>
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{standard_backends, ExecOutcome};
+    use tamp_simulator::{Placement, Rel};
+    use tamp_topology::builders;
+
+    fn check_parity(tree: &tamp_topology::Tree, p: &Placement, job: &dyn crate::backend::ExecJob) {
+        let outcomes: Vec<ExecOutcome> = standard_backends()
+            .iter()
+            .map(|b| b.execute(tree, p, job).unwrap())
+            .collect();
+        assert_eq!(
+            outcomes[0].cost.edge_totals,
+            outcomes[1].cost.edge_totals,
+            "job {}",
+            job.name()
+        );
+        assert_eq!(outcomes[0].rounds, outcomes[1].rounds, "job {}", job.name());
+    }
+
+    #[test]
+    fn shipped_pairs_agree_on_every_backend() {
+        let tree = builders::rack_tree(&[(2, 1.0, 2.0), (3, 2.0, 1.0)], 1.0);
+        let vc = tree.compute_nodes().to_vec();
+
+        // Intersection: two relations, values distinct within each.
+        let mut p = Placement::empty(&tree);
+        for x in 0..120u64 {
+            p.push(vc[(x % vc.len() as u64) as usize], Rel::R, x);
+            p.push(vc[(x % 3) as usize], Rel::S, 60 + x);
+        }
+        check_parity(&tree, &p, &tree_intersect(7));
+
+        // Sorting: one relation of distinct keys.
+        let mut p = Placement::empty(&tree);
+        for x in 0..200u64 {
+            p.push(
+                vc[(x % vc.len() as u64) as usize],
+                Rel::R,
+                tamp_core::hashing::mix64(x),
+            );
+        }
+        check_parity(&tree, &p, &weighted_terasort(7));
+    }
+}

@@ -1,17 +1,27 @@
 //! # tamp-runtime
 //!
-//! A threaded, message-passing BSP executor for the topology-aware MPC
+//! A pooled, message-passing BSP executor for the topology-aware MPC
 //! model — the "could this actually run on a cluster?" counterpart to the
 //! centralized cost simulator in [`tamp_simulator`].
 //!
-//! Every compute node of a [`Tree`](tamp_topology::Tree) runs its own OS
-//! thread executing a [`NodeProgram`]: a state machine that sees only its
-//! local fragment, the shared model knowledge (topology, bandwidths,
-//! initial cardinalities — exactly what §2 of the paper grants every
-//! algorithm), and the messages delivered to it. The coordinator
+//! Every compute node of a [`Tree`](tamp_topology::Tree) logically runs a
+//! [`NodeProgram`]: a state machine that sees only its local fragment,
+//! the shared model knowledge (topology, bandwidths, initial
+//! cardinalities — exactly what §2 of the paper grants every algorithm),
+//! and the messages delivered to it. Physically, a **bounded worker
+//! pool** (default: available parallelism) claims per-node programs from
+//! a shared queue each superstep, so topologies with thousands of compute
+//! nodes execute with a handful of OS threads. The coordinator
 //! synchronizes supersteps, routes messages along the unique tree paths,
 //! and meters per-directed-edge traffic on the *same* union-of-paths
 //! ledger as the simulator.
+//!
+//! The [`backend`] module is the engine-agnostic entry point: the
+//! [`ExecBackend`](backend::ExecBackend) trait fronts both this cluster
+//! and the centralized simulator, and [`jobs`] bundles the shipped
+//! protocol pairs so drivers select an engine instead of hand-rolling two
+//! call paths. See the `backend` module docs for the recipe for adding a
+//! new protocol against `ExecBackend`.
 //!
 //! The [`programs`] module ships distributed implementations of the
 //! paper's protocols. Because their plans are deterministic functions of
@@ -57,11 +67,17 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod backend;
 pub mod cluster;
 pub mod error;
+pub mod jobs;
 pub mod message;
 pub mod programs;
 
+pub use backend::{
+    standard_backends, ExecBackend, ExecError, ExecJob, ExecOutcome, PairedJob,
+    PooledClusterBackend, ProgramJob, ProtocolJob, SimulatorBackend,
+};
 pub use cluster::{run_cluster, ClusterOptions, NodeCtx, NodeProgram, RuntimeRun};
 pub use error::RuntimeError;
 pub use message::{Envelope, Outbox, Step};

@@ -1,5 +1,7 @@
 //! Messages exchanged between node programs.
 
+use std::sync::Arc;
+
 use tamp_simulator::{Rel, Value};
 use tamp_topology::NodeId;
 
@@ -14,8 +16,10 @@ pub struct Envelope {
     pub src: NodeId,
     /// Which relation fragment the payload extends.
     pub rel: Rel,
-    /// The payload values, in send order.
-    pub values: Vec<Value>,
+    /// The payload values, in send order. Shared (`Arc`) so a multicast
+    /// to thousands of destinations costs one allocation, not one per
+    /// destination.
+    pub values: Arc<[Value]>,
 }
 
 /// A program's vote at the end of a superstep.

@@ -159,8 +159,7 @@ mod tests {
                 .iter()
                 .map(|&v| decode(v))
                 .collect();
-            let want: Vec<(u64, u64)> =
-                reference_aggregate(&p.all_r(), agg).into_iter().collect();
+            let want: Vec<(u64, u64)> = reference_aggregate(&p.all_r(), agg).into_iter().collect();
             assert_eq!(got, want, "seed {seed}");
         }
     }
@@ -172,7 +171,12 @@ mod tests {
         let rt = run_cluster(
             &tree,
             &p,
-            |_| Box::new(DistributedCombiningAggregate::new(NodeId(0), Aggregator::Sum)),
+            |_| {
+                Box::new(DistributedCombiningAggregate::new(
+                    NodeId(0),
+                    Aggregator::Sum,
+                ))
+            },
             ClusterOptions::default(),
         )
         .unwrap();

@@ -89,8 +89,7 @@ mod tests {
         for a in 0..half {
             let v = vc[(tamp_core::hashing::mix64(a ^ seed) % vc.len() as u64) as usize];
             p.push(v, Rel::R, a);
-            let u = vc
-                [(tamp_core::hashing::mix64(a ^ seed ^ 0xF00D) % vc.len() as u64) as usize];
+            let u = vc[(tamp_core::hashing::mix64(a ^ seed ^ 0xF00D) % vc.len() as u64) as usize];
             p.push(u, Rel::S, 1_000_000 + a);
         }
         p

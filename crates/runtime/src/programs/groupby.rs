@@ -6,7 +6,7 @@
 //! (`Pr[h(g) = v] = N_v / N`). At the end each node's `S` fragment holds
 //! the final encoded `(group, aggregate)` pairs it owns.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use tamp_core::aggregate::{encode, encode_partials, merge_partials, partials_of, Aggregator};
 use tamp_core::hashing::WeightedHash;
@@ -50,7 +50,8 @@ impl NodeProgram for DistributedGroupBy {
                 };
                 let v = ctx.node;
                 let partials = partials_of(&state.r, self.agg);
-                let mut by_owner: HashMap<NodeId, Vec<u64>> = HashMap::new();
+                // Deterministic outbox order (see the intersect program).
+                let mut by_owner: BTreeMap<NodeId, Vec<u64>> = BTreeMap::new();
                 for (g, m) in partials {
                     let owner = hash.pick(g);
                     if owner == v {
@@ -155,8 +156,7 @@ mod tests {
                 .into_iter()
                 .map(|(g, m, _)| (g, m))
                 .collect();
-            let want: Vec<(u64, u64)> =
-                reference_aggregate(&p.all_r(), agg).into_iter().collect();
+            let want: Vec<(u64, u64)> = reference_aggregate(&p.all_r(), agg).into_iter().collect();
             assert_eq!(got, want, "agg {agg:?}");
         }
     }

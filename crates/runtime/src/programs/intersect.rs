@@ -8,7 +8,7 @@
 //! Superstep 1: the deliveries have landed; each node's local state now
 //! contains its share of `R ∩ S`, and everyone halts.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use tamp_core::hashing::WeightedHash;
 use tamp_core::intersection::balanced_partition;
@@ -68,7 +68,10 @@ impl NodeProgram for DistributedTreeIntersect {
 
         let v = ctx.node;
         // Small-relation tuples: multicast to the per-block hash targets.
-        let mut by_dsts: HashMap<Vec<NodeId>, Vec<Value>> = HashMap::new();
+        // BTreeMaps keep the outbox issue order a deterministic function
+        // of the data, so whole runs — not just their cost ledgers — are
+        // reproducible across processes and pool widths.
+        let mut by_dsts: BTreeMap<Vec<NodeId>, Vec<Value>> = BTreeMap::new();
         for &a in state.rel(small) {
             let mut dsts: Vec<NodeId> = hashes.iter().flatten().map(|h| h.pick(a)).collect();
             dsts.sort_unstable();
@@ -82,7 +85,7 @@ impl NodeProgram for DistributedTreeIntersect {
         let bi = block_of[v.index()];
         if bi != usize::MAX {
             if let Some(h) = &hashes[bi] {
-                let mut by_dst: HashMap<NodeId, Vec<Value>> = HashMap::new();
+                let mut by_dst: BTreeMap<NodeId, Vec<Value>> = BTreeMap::new();
                 for &a in state.rel(big) {
                     by_dst.entry(h.pick(a)).or_default().push(a);
                 }
@@ -112,8 +115,7 @@ mod tests {
         }
         for a in 0..s {
             let val = r / 2 + a;
-            let v = vc
-                [(tamp_core::hashing::mix64(val ^ seed ^ 0xABCD) % vc.len() as u64) as usize];
+            let v = vc[(tamp_core::hashing::mix64(val ^ seed ^ 0xABCD) % vc.len() as u64) as usize];
             p.push(v, Rel::S, val);
         }
         p

@@ -152,8 +152,7 @@ impl NodeProgram for DistributedWts {
                     let s_len = samples.len();
                     let step = s_len.div_ceil(plan.k_all as usize).max(1);
                     let m = plan.m_sizes(ctx);
-                    let mut splitters =
-                        Vec::with_capacity(plan.heavy.len().saturating_sub(1));
+                    let mut splitters = Vec::with_capacity(plan.heavy.len().saturating_sub(1));
                     let mut c_acc = 0u64;
                     for &mj in m.iter().take(plan.heavy.len() - 1) {
                         let cj = (mj * plan.k_all).div_ceil(plan.n);

@@ -45,6 +45,10 @@ impl Ledger {
         self.bandwidth.len()
     }
 
+    pub(crate) fn num_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
     pub(crate) fn finish(self) -> Cost {
         let mut per_round = Vec::with_capacity(self.rounds.len());
         let mut edge_totals = vec![0u64; self.bandwidth.len()];
@@ -60,7 +64,11 @@ impl Ledger {
                 round.total_tuples += tuples;
                 round.max_tuples = round.max_tuples.max(tuples);
                 let w = self.bandwidth[d];
-                let c = if w.is_infinite() { 0.0 } else { tuples as f64 / w };
+                let c = if w.is_infinite() {
+                    0.0
+                } else {
+                    tuples as f64 / w
+                };
                 if c > round.tuple_cost {
                     round.tuple_cost = c;
                     round.bottleneck = Some(DirEdgeId(d as u32));

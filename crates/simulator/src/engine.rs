@@ -13,12 +13,11 @@
 //! the root of `G†`). A value multicast to several destinations traverses
 //! each directed link of the union of its routing paths exactly once.
 
-use std::collections::HashMap;
+use tamp_topology::{NodeId, Tree};
 
-use tamp_topology::{DirEdgeId, NodeId, Tree};
-
-use crate::cost::{Cost, Ledger};
+use crate::cost::Cost;
 use crate::error::SimError;
+use crate::metering::TrafficMeter;
 use crate::placement::{Placement, PlacementStats};
 use crate::value::{NodeState, Rel, Value};
 
@@ -75,30 +74,20 @@ pub struct Session<'t> {
     tree: &'t Tree,
     state: Vec<NodeState>,
     initial_stats: PlacementStats,
-    ledger: Ledger,
-    rounds: usize,
-    path_cache: HashMap<(u32, u32), Box<[DirEdgeId]>>,
-    /// Scratch for Steiner-union deduplication: `stamp[d] == stamp_ctr`
-    /// marks directed edge `d` as already charged for the current send.
-    stamp: Vec<u32>,
-    stamp_ctr: u32,
+    /// The shared union-of-paths accounting, identical to the runtime's.
+    /// Also the single source of truth for the round count.
+    meter: TrafficMeter,
 }
 
 impl<'t> Session<'t> {
     /// Start a session with the given initial placement.
     pub fn new(tree: &'t Tree, placement: &Placement) -> Result<Self, SimError> {
         placement.validate(tree)?;
-        let ledger = Ledger::new(tree);
-        let n_dir = ledger.num_dir_edges();
         Ok(Session {
             tree,
             state: placement.fragments().to_vec(),
             initial_stats: placement.stats(),
-            ledger,
-            rounds: 0,
-            path_cache: HashMap::new(),
-            stamp: vec![0; n_dir],
-            stamp_ctr: 0,
+            meter: TrafficMeter::new(tree),
         })
     }
 
@@ -136,7 +125,7 @@ impl<'t> Session<'t> {
     /// Number of rounds executed so far.
     #[inline]
     pub fn rounds_executed(&self) -> usize {
-        self.rounds
+        self.meter.rounds_committed()
     }
 
     /// Execute one communication round. All sends issued inside the closure
@@ -145,27 +134,25 @@ impl<'t> Session<'t> {
     where
         F: FnOnce(&mut RoundCtx<'_, 't>) -> Result<(), SimError>,
     {
-        let n_dir = self.stamp.len();
         let n_nodes = self.tree.num_nodes();
         let mut ctx = RoundCtx {
             tree: self.tree,
             state: &self.state,
-            path_cache: &mut self.path_cache,
-            stamp: &mut self.stamp,
-            stamp_ctr: &mut self.stamp_ctr,
-            charges: vec![0u64; n_dir],
+            meter: &mut self.meter,
             inbox_r: vec![Vec::new(); n_nodes],
             inbox_s: vec![Vec::new(); n_nodes],
         };
-        f(&mut ctx)?;
+        let result = f(&mut ctx);
         let RoundCtx {
-            charges,
-            inbox_r,
-            inbox_s,
-            ..
+            inbox_r, inbox_s, ..
         } = ctx;
-        self.ledger.push_round(charges);
-        self.rounds += 1;
+        if let Err(e) = result {
+            // Abandon the failed round entirely: neither its partial
+            // charges nor its deliveries may leak into later rounds.
+            self.meter.abort_round();
+            return Err(e);
+        }
+        self.meter.commit_round();
         for (v, vals) in inbox_r.into_iter().enumerate() {
             self.state[v].r.extend(vals);
         }
@@ -175,9 +162,19 @@ impl<'t> Session<'t> {
         Ok(())
     }
 
+    /// Fold the ledger and hand back `(cost, final_state, rounds)`.
+    ///
+    /// This is how engine-agnostic drivers (the `ExecBackend` layer in
+    /// `tamp-runtime`) finish a session they ran outside
+    /// [`run_protocol`].
+    pub fn into_parts(self) -> (Cost, Vec<NodeState>, usize) {
+        let rounds = self.meter.rounds_committed();
+        (self.meter.finish(), self.state, rounds)
+    }
+
     /// Fold the ledger and hand back final state.
     pub(crate) fn finish(self) -> (Cost, Vec<NodeState>, usize) {
-        (self.ledger.finish(), self.state, self.rounds)
+        self.into_parts()
     }
 }
 
@@ -185,10 +182,7 @@ impl<'t> Session<'t> {
 pub struct RoundCtx<'a, 't> {
     tree: &'t Tree,
     state: &'a [NodeState],
-    path_cache: &'a mut HashMap<(u32, u32), Box<[DirEdgeId]>>,
-    stamp: &'a mut Vec<u32>,
-    stamp_ctr: &'a mut u32,
-    charges: Vec<u64>,
+    meter: &'a mut TrafficMeter,
     inbox_r: Vec<Vec<Value>>,
     inbox_s: Vec<Vec<Value>>,
 }
@@ -220,11 +214,8 @@ impl<'a, 't> RoundCtx<'a, 't> {
             return Ok(());
         }
         self.check_endpoints(src, dsts)?;
-        let amount = values.len() as u64;
-        self.begin_union();
-        for &dst in dsts {
-            self.charge_path(src, dst, amount);
-        }
+        self.meter
+            .charge_multicast(self.tree, src, dsts, values.len() as u64);
         self.deliver(dsts, rel, values);
         Ok(())
     }
@@ -249,12 +240,12 @@ impl<'a, 't> RoundCtx<'a, 't> {
         let amount = values.len() as u64;
         // Leg 1: src → relay (no union with leg 2: the data physically
         // traverses the relay).
-        self.begin_union();
-        self.charge_path(src, relay, amount);
+        self.meter.begin_union();
+        self.meter.charge_path(self.tree, src, relay, amount);
         // Leg 2: relay → dsts multicast.
-        self.begin_union();
+        self.meter.begin_union();
         for &dst in dsts {
-            self.charge_path(relay, dst, amount);
+            self.meter.charge_path(self.tree, relay, dst, amount);
         }
         self.deliver(dsts, rel, values);
         Ok(())
@@ -268,36 +259,6 @@ impl<'a, 't> RoundCtx<'a, 't> {
             return Err(SimError::SendToRouter(bad));
         }
         Ok(())
-    }
-
-    #[inline]
-    fn begin_union(&mut self) {
-        *self.stamp_ctr = self.stamp_ctr.wrapping_add(1);
-        if *self.stamp_ctr == 0 {
-            self.stamp.fill(0);
-            *self.stamp_ctr = 1;
-        }
-    }
-
-    /// Charge `amount` tuples on every directed edge of the `a → b` path
-    /// that has not yet been charged in the current union scope.
-    fn charge_path(&mut self, a: NodeId, b: NodeId, amount: u64) {
-        if a == b {
-            return;
-        }
-        let key = (a.0, b.0);
-        if !self.path_cache.contains_key(&key) {
-            let p = self.tree.path(a, b).into_boxed_slice();
-            self.path_cache.insert(key, p);
-        }
-        let path = &self.path_cache[&key];
-        for &d in path.iter() {
-            let i = d.index();
-            if self.stamp[i] != *self.stamp_ctr {
-                self.stamp[i] = *self.stamp_ctr;
-                self.charges[i] += amount;
-            }
-        }
     }
 
     fn deliver(&mut self, dsts: &[NodeId], rel: Rel, values: &[Value]) {
@@ -477,5 +438,32 @@ mod tests {
         p.set_r(NodeId(0), (0..5).collect());
         let run = run_protocol(&t, &p, &OneShot).unwrap();
         assert_eq!(run.cost.tuple_cost(), 5.0);
+    }
+
+    #[test]
+    fn failed_rounds_leave_no_partial_charges_or_deliveries() {
+        // A round that charges a valid send and then errors must be
+        // abandoned wholesale: a session that continues afterwards sees
+        // neither the aborted charges nor the aborted deliveries.
+        let t = builders::star(2, 1.0);
+        let mut p = Placement::empty(&t);
+        p.set_r(NodeId(0), vec![1, 2, 3]);
+        let mut s = Session::new(&t, &p).unwrap();
+        let err = s.round(|r| {
+            let vals = r.state(NodeId(0)).r.clone();
+            r.send(NodeId(0), &[NodeId(1)], Rel::R, &vals)?; // charges 3 tuples
+            r.send(NodeId(0), &[NodeId(2)], Rel::R, &[9]) // hub: errors
+        });
+        assert_eq!(err.unwrap_err(), SimError::SendToRouter(NodeId(2)));
+        assert_eq!(s.rounds_executed(), 0);
+        s.round(|r| r.send(NodeId(0), &[NodeId(1)], Rel::R, &[7]))
+            .unwrap();
+        let (cost, state, rounds) = s.into_parts();
+        assert_eq!(rounds, 1);
+        // Only the second round's single tuple is metered (2 hops).
+        assert_eq!(cost.total_tuples(), 2);
+        assert_eq!(cost.per_round[0].tuple_cost, 1.0);
+        // The aborted round's delivery never landed.
+        assert_eq!(state[1].r, vec![7]);
     }
 }

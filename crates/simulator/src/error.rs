@@ -31,7 +31,10 @@ impl fmt::Display for SimError {
             Self::SendFromRouter(v) => write!(f, "send from router {v}"),
             Self::SendToRouter(v) => write!(f, "delivery to router {v}"),
             Self::PlacementShape { expected, got } => {
-                write!(f, "placement has {got} entries, topology has {expected} nodes")
+                write!(
+                    f,
+                    "placement has {got} entries, topology has {expected} nodes"
+                )
             }
             Self::Protocol(msg) => write!(f, "protocol error: {msg}"),
         }

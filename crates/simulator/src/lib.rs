@@ -30,6 +30,7 @@
 pub mod cost;
 pub mod engine;
 pub mod error;
+pub mod metering;
 pub mod placement;
 pub mod trace;
 pub mod value;
@@ -38,6 +39,7 @@ pub mod verify;
 pub use cost::{Cost, RoundCost};
 pub use engine::{run_protocol, Protocol, RoundCtx, Run, Session};
 pub use error::SimError;
+pub use metering::TrafficMeter;
 pub use placement::{Placement, PlacementStats};
 pub use trace::RunReport;
 pub use value::{NodeState, Rel, Value};

@@ -1,0 +1,165 @@
+//! Shared traffic metering.
+//!
+//! Both execution engines — the centralized [`Session`](crate::Session)
+//! and the pooled BSP runtime in `tamp-runtime` — charge communication on
+//! the same ledger: per round and per *directed* edge, a value multicast
+//! to several destinations traverses each edge of the union of its
+//! routing paths exactly once. [`TrafficMeter`] is that accounting,
+//! extracted so the two engines cannot drift: identical sends produce
+//! bit-identical [`Cost`]s no matter which engine executed them.
+
+use tamp_topology::{NodeId, PathCache, Tree};
+
+use crate::cost::{Cost, Ledger};
+
+/// Union-of-paths, per-directed-edge traffic metering over a sequence of
+/// rounds.
+///
+/// Usage per round: any number of [`TrafficMeter::charge_multicast`] /
+/// [`TrafficMeter::begin_union`] + [`TrafficMeter::charge_path`] calls,
+/// then one [`TrafficMeter::commit_round`]. [`TrafficMeter::finish`]
+/// folds the ledger into a [`Cost`].
+#[derive(Clone, Debug)]
+pub struct TrafficMeter {
+    ledger: Ledger,
+    paths: PathCache,
+    /// Charges of the round currently being accumulated.
+    current: Vec<u64>,
+    /// Steiner-union deduplication scratch: `stamp[d] == stamp_ctr` marks
+    /// directed edge `d` as already charged in the current union scope.
+    stamp: Vec<u32>,
+    stamp_ctr: u32,
+}
+
+impl TrafficMeter {
+    /// A meter over `tree`'s directed edges with an empty ledger.
+    pub fn new(tree: &Tree) -> Self {
+        let ledger = Ledger::new(tree);
+        let n = ledger.num_dir_edges();
+        TrafficMeter {
+            ledger,
+            paths: PathCache::new(),
+            current: vec![0; n],
+            stamp: vec![0; n],
+            stamp_ctr: 0,
+        }
+    }
+
+    /// Number of directed edges being metered.
+    pub fn num_dir_edges(&self) -> usize {
+        self.stamp.len()
+    }
+
+    /// Number of committed rounds.
+    pub fn rounds_committed(&self) -> usize {
+        self.ledger.num_rounds()
+    }
+
+    /// Open a new union scope: subsequent [`TrafficMeter::charge_path`]
+    /// calls charge each directed edge at most once until the next
+    /// `begin_union`.
+    pub fn begin_union(&mut self) {
+        self.stamp_ctr = self.stamp_ctr.wrapping_add(1);
+        if self.stamp_ctr == 0 {
+            self.stamp.fill(0);
+            self.stamp_ctr = 1;
+        }
+    }
+
+    /// Charge `amount` tuples on every directed edge of the `a → b` path
+    /// not yet charged in the current union scope.
+    pub fn charge_path(&mut self, tree: &Tree, a: NodeId, b: NodeId, amount: u64) {
+        if a == b {
+            return;
+        }
+        for &d in self.paths.path(tree, a, b) {
+            let i = d.index();
+            if self.stamp[i] != self.stamp_ctr {
+                self.stamp[i] = self.stamp_ctr;
+                self.current[i] += amount;
+            }
+        }
+    }
+
+    /// Charge one multicast: `amount` tuples from `src` to every node of
+    /// `dsts`, each directed edge of the union of the paths charged once.
+    pub fn charge_multicast(&mut self, tree: &Tree, src: NodeId, dsts: &[NodeId], amount: u64) {
+        self.begin_union();
+        for &dst in dsts {
+            self.charge_path(tree, src, dst, amount);
+        }
+    }
+
+    /// Commit the accumulated charges as one finished round.
+    pub fn commit_round(&mut self) {
+        let n = self.current.len();
+        let charges = std::mem::replace(&mut self.current, vec![0; n]);
+        self.ledger.push_round(charges);
+    }
+
+    /// Discard the accumulated charges of the round in progress — for
+    /// callers abandoning a failed round so its partial sends don't leak
+    /// into the next committed round.
+    pub fn abort_round(&mut self) {
+        self.current.fill(0);
+    }
+
+    /// Fold the committed rounds into a [`Cost`]. Uncommitted charges of a
+    /// round in progress are dropped.
+    pub fn finish(self) -> Cost {
+        self.ledger.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamp_topology::builders;
+
+    #[test]
+    fn multicast_unions_paths() {
+        // Star with 4 leaves: a broadcast from leaf 0 charges the uplink
+        // once and each downlink once.
+        let t = builders::star(4, 1.0);
+        let mut m = TrafficMeter::new(&t);
+        let vc = t.compute_nodes().to_vec();
+        m.charge_multicast(&t, vc[0], &vc, 10);
+        m.commit_round();
+        let cost = m.finish();
+        assert_eq!(cost.total_tuples(), 40);
+        assert_eq!(cost.tuple_cost(), 10.0);
+    }
+
+    #[test]
+    fn union_scopes_are_independent() {
+        let t = builders::star(2, 1.0);
+        let mut m = TrafficMeter::new(&t);
+        let vc = t.compute_nodes().to_vec();
+        // Two separate unicasts of the same path charge it twice…
+        m.charge_multicast(&t, vc[0], &[vc[1]], 3);
+        m.charge_multicast(&t, vc[0], &[vc[1]], 3);
+        m.commit_round();
+        // …while one multicast with a duplicated destination charges once.
+        m.charge_multicast(&t, vc[0], &[vc[1], vc[1]], 3);
+        m.commit_round();
+        let cost = m.finish();
+        assert_eq!(cost.per_round[0].total_tuples, 12);
+        assert_eq!(cost.per_round[1].total_tuples, 6);
+    }
+
+    #[test]
+    fn rounds_are_separated() {
+        let t = builders::star(2, 2.0);
+        let mut m = TrafficMeter::new(&t);
+        let vc = t.compute_nodes().to_vec();
+        m.charge_multicast(&t, vc[0], &[vc[1]], 4);
+        m.commit_round();
+        m.charge_multicast(&t, vc[1], &[vc[0]], 2);
+        m.commit_round();
+        assert_eq!(m.rounds_committed(), 2);
+        let cost = m.finish();
+        assert_eq!(cost.per_round.len(), 2);
+        assert_eq!(cost.per_round[0].tuple_cost, 2.0);
+        assert_eq!(cost.per_round[1].tuple_cost, 1.0);
+    }
+}

@@ -106,12 +106,18 @@ impl Placement {
 
     /// All `R` values across nodes (for verification).
     pub fn all_r(&self) -> Vec<Value> {
-        self.fragments.iter().flat_map(|f| f.r.iter().copied()).collect()
+        self.fragments
+            .iter()
+            .flat_map(|f| f.r.iter().copied())
+            .collect()
     }
 
     /// All `S` values across nodes (for verification).
     pub fn all_s(&self) -> Vec<Value> {
-        self.fragments.iter().flat_map(|f| f.s.iter().copied()).collect()
+        self.fragments
+            .iter()
+            .flat_map(|f| f.s.iter().copied())
+            .collect()
     }
 }
 
@@ -212,7 +218,10 @@ mod tests {
         let p = Placement::from_fragments(vec![NodeState::default(); 2]);
         assert!(matches!(
             p.validate(&t),
-            Err(SimError::PlacementShape { expected: 3, got: 2 })
+            Err(SimError::PlacementShape {
+                expected: 3,
+                got: 2
+            })
         ));
     }
 }

@@ -14,12 +14,7 @@ use crate::value::{NodeState, Value};
 /// `set(R_known) ∩ set(S_known)`.
 pub fn local_intersection(state: &NodeState) -> BTreeSet<Value> {
     let r: BTreeSet<Value> = state.r.iter().copied().collect();
-    state
-        .s
-        .iter()
-        .copied()
-        .filter(|v| r.contains(v))
-        .collect()
+    state.s.iter().copied().filter(|v| r.contains(v)).collect()
 }
 
 /// Union of all nodes' locally emittable intersections.
@@ -38,11 +33,7 @@ pub fn true_intersection(r: &[Value], s: &[Value]) -> BTreeSet<Value> {
 }
 
 /// Verify that the final states collectively emit exactly `R ∩ S`.
-pub fn check_intersection(
-    states: &[NodeState],
-    r: &[Value],
-    s: &[Value],
-) -> Result<(), String> {
+pub fn check_intersection(states: &[NodeState], r: &[Value], s: &[Value]) -> Result<(), String> {
     let got = emitted_intersection(states);
     let want = true_intersection(r, s);
     if got == want {
@@ -63,11 +54,7 @@ pub fn check_intersection(
 ///
 /// Values may repeat in `r` or `s`; a node holding a value covers all of
 /// its occurrences. Runs in `O(|R| · |V_C| · |S|/64)` using bitsets.
-pub fn check_pair_coverage(
-    states: &[NodeState],
-    r: &[Value],
-    s: &[Value],
-) -> Result<(), String> {
+pub fn check_pair_coverage(states: &[NodeState], r: &[Value], s: &[Value]) -> Result<(), String> {
     if r.is_empty() || s.is_empty() {
         return Ok(());
     }
@@ -115,8 +102,8 @@ pub fn check_pair_coverage(
                 }
             }
         }
-        let covered = row[..words - 1].iter().all(|&w| w == u64::MAX)
-            && row[words - 1] == full_last;
+        let covered =
+            row[..words - 1].iter().all(|&w| w == u64::MAX) && row[words - 1] == full_last;
         if !covered {
             let j = (0..s.len())
                 .find(|&j| row[j / 64] & (1 << (j % 64)) == 0)
@@ -182,10 +169,7 @@ mod tests {
     #[test]
     fn intersection_checks() {
         let states = vec![st(vec![1, 2], vec![2, 9]), st(vec![5], vec![5])];
-        assert_eq!(
-            emitted_intersection(&states),
-            BTreeSet::from([2, 5])
-        );
+        assert_eq!(emitted_intersection(&states), BTreeSet::from([2, 5]));
         assert!(check_intersection(&states, &[1, 2, 5], &[2, 5, 9]).is_ok());
         // Missing 5 coverage.
         let bad = vec![st(vec![1, 2], vec![2, 9]), st(vec![5], vec![])];

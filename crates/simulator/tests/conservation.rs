@@ -38,9 +38,8 @@ impl Protocol for PlannedSends {
 }
 
 fn arb_tree() -> impl Strategy<Value = Tree> {
-    (2usize..8, 1usize..6, 0u64..1_000).prop_map(|(c, r, seed)| {
-        builders::random_tree(c, r, 0.5, 8.0, seed)
-    })
+    (2usize..8, 1usize..6, 0u64..1_000)
+        .prop_map(|(c, r, seed)| builders::random_tree(c, r, 0.5, 8.0, seed))
 }
 
 fn arb_plan() -> impl Strategy<Value = Vec<(usize, Vec<usize>, Vec<Value>)>> {

@@ -286,8 +286,7 @@ mod tests {
         }
         let c = random_tree(10, 6, 0.5, 8.0, 43);
         let same = a.edges().all(|e| {
-            a.endpoints(e) == c.endpoints(e)
-                && a.sym_bandwidth(e).get() == c.sym_bandwidth(e).get()
+            a.endpoints(e) == c.endpoints(e) && a.sym_bandwidth(e).get() == c.sym_bandwidth(e).get()
         });
         assert!(!same, "different seeds should differ");
     }

@@ -130,7 +130,10 @@ mod tests {
             assert_eq!(cw.side_u(e) + cw.side_v(e), cw.total());
         }
         // Cut on edge r-r2 separates {v0, v1} from {v2}.
-        let e = t.dir_edge_between(crate::NodeId(1), crate::NodeId(3)).unwrap().edge();
+        let e = t
+            .dir_edge_between(crate::NodeId(1), crate::NodeId(3))
+            .unwrap()
+            .edge();
         assert_eq!(cw.min_side(e), 9);
     }
 }

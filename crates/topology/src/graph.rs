@@ -371,12 +371,7 @@ impl Graph {
                 if !seen[y.index()] {
                     seen[y.index()] = true;
                     let ed = &self.edges[e.index()];
-                    chosen.push((
-                        ed.u.index(),
-                        ed.v.index(),
-                        ed.w_uv.get(),
-                        ed.w_vu.get(),
-                    ));
+                    chosen.push((ed.u.index(), ed.v.index(), ed.w_uv.get(), ed.w_vu.get()));
                     queue.push_back(y);
                 }
             }
@@ -507,8 +502,10 @@ pub mod builders {
         let id = |r: usize, c: usize| nodes[r * cols + c];
         for r in 0..rows {
             for c in 0..cols {
-                b.link(id(r, c), id(r, (c + 1) % cols), w).expect("valid bw");
-                b.link(id(r, c), id((r + 1) % rows, c), w).expect("valid bw");
+                b.link(id(r, c), id(r, (c + 1) % cols), w)
+                    .expect("valid bw");
+                b.link(id(r, c), id((r + 1) % rows, c), w)
+                    .expect("valid bw");
             }
         }
         b.build().expect("torus is connected")

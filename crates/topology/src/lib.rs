@@ -38,12 +38,14 @@ pub mod error;
 pub mod graph;
 pub mod node;
 pub mod normalize;
+pub mod paths;
 pub mod tree;
 
 pub use bandwidth::Bandwidth;
 pub use cut::CutWeights;
-pub use graph::{Graph, GraphBuilder};
 pub use dagger::Dagger;
 pub use error::TopologyError;
+pub use graph::{Graph, GraphBuilder};
 pub use node::{NodeId, NodeKind};
+pub use paths::PathCache;
 pub use tree::{DirEdgeId, EdgeId, Tree, TreeBuilder};

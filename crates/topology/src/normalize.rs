@@ -53,9 +53,7 @@ pub fn hoist_compute_leaves(tree: &Tree) -> Normalized {
     }
     for e in tree.edges() {
         let (u, v) = tree.endpoints(e);
-        let fwd = tree
-            .bandwidth(crate::tree::DirEdgeId::new(e, false))
-            .get();
+        let fwd = tree.bandwidth(crate::tree::DirEdgeId::new(e, false)).get();
         let rev = tree.bandwidth(crate::tree::DirEdgeId::new(e, true)).get();
         b.link_asym(u, v, fwd, rev).expect("valid edge");
     }
@@ -102,9 +100,8 @@ pub fn contract_degree2(tree: &Tree) -> Normalized {
     }
     let mut removed = vec![false; n];
     loop {
-        let candidate = (0..n).find(|&i| {
-            !removed[i] && !tree.is_compute(NodeId::from_index(i)) && adj[i].len() == 2
-        });
+        let candidate = (0..n)
+            .find(|&i| !removed[i] && !tree.is_compute(NodeId::from_index(i)) && adj[i].len() == 2);
         let Some(mid) = candidate else { break };
         let (a, bx) = (adj[mid][0].clone(), adj[mid][1].clone());
         removed[mid] = true;

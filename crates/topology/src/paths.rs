@@ -1,0 +1,83 @@
+//! Memoized unique-path routing.
+//!
+//! Every execution layer that routes messages — the centralized cost
+//! simulator and the pooled BSP runtime — needs the directed-edge path
+//! between arbitrary node pairs, and needs it repeatedly: a protocol that
+//! shuffles data keeps routing between the same `(src, dst)` pairs round
+//! after round. [`PathCache`] memoizes [`Tree::path`] so each pair is
+//! walked once per run instead of once per send.
+
+use std::collections::HashMap;
+
+use crate::node::NodeId;
+use crate::tree::{DirEdgeId, Tree};
+
+/// A memo table over [`Tree::path`].
+///
+/// The cache is keyed by `(a, b)` node-id pairs and stores the directed
+/// edges of the unique tree path from `a` to `b`. One cache serves an
+/// entire run — every round, every send — so a pair routed in round 0 is
+/// never re-walked in round 40. It is not tied to a `Tree` borrow;
+/// callers are responsible for not mixing trees (debug builds assert the
+/// node ids are in range).
+#[derive(Clone, Debug, Default)]
+pub struct PathCache {
+    paths: HashMap<(u32, u32), Box<[DirEdgeId]>>,
+}
+
+impl PathCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PathCache::default()
+    }
+
+    /// The directed-edge path `a → b`, computing and memoizing it on first
+    /// use. The empty path is returned for `a == b`.
+    pub fn path(&mut self, tree: &Tree, a: NodeId, b: NodeId) -> &[DirEdgeId] {
+        debug_assert!(a.index() < tree.num_nodes() && b.index() < tree.num_nodes());
+        self.paths
+            .entry((a.0, b.0))
+            .or_insert_with(|| tree.path(a, b).into_boxed_slice())
+    }
+
+    /// Number of memoized pairs.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// `true` if nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn memoizes_and_matches_tree_path() {
+        let t = builders::rack_tree(&[(2, 1.0, 2.0), (3, 2.0, 1.0)], 1.0);
+        let mut cache = PathCache::new();
+        let vc = t.compute_nodes().to_vec();
+        assert!(cache.is_empty());
+        for &a in &vc {
+            for &b in &vc {
+                let direct = t.path(a, b);
+                assert_eq!(cache.path(&t, a, b), &direct[..]);
+                // Second lookup hits the memo and still agrees.
+                assert_eq!(cache.path(&t, a, b), &direct[..]);
+            }
+        }
+        assert_eq!(cache.len(), vc.len() * vc.len());
+    }
+
+    #[test]
+    fn self_path_is_empty() {
+        let t = builders::star(3, 1.0);
+        let mut cache = PathCache::new();
+        let v = t.compute_nodes()[0];
+        assert!(cache.path(&t, v, v).is_empty());
+    }
+}

@@ -375,10 +375,13 @@ impl Tree {
 
     /// The directed edge from `a` to `b`, which must be adjacent.
     pub fn dir_edge_between(&self, a: NodeId, b: NodeId) -> Option<DirEdgeId> {
-        self.adj[a.index()].iter().find(|&&(y, _)| y == b).map(|&(_, e)| {
-            let ed = &self.edges[e.index()];
-            DirEdgeId::new(e, ed.u != a)
-        })
+        self.adj[a.index()]
+            .iter()
+            .find(|&&(y, _)| y == b)
+            .map(|&(_, e)| {
+                let ed = &self.edges[e.index()];
+                DirEdgeId::new(e, ed.u != a)
+            })
     }
 
     /// `true` if every edge has equal bandwidth in both directions.

@@ -7,9 +7,8 @@ use tamp_topology::normalize::{contract_degree2, hoist_compute_leaves};
 use tamp_topology::{builders, CutWeights, NodeId, Tree};
 
 fn arb_tree() -> impl Strategy<Value = Tree> {
-    (1usize..12, 1usize..8, 0u64..10_000).prop_map(|(c, r, seed)| {
-        builders::random_tree(c, r, 0.1, 32.0, seed)
-    })
+    (1usize..12, 1usize..8, 0u64..10_000)
+        .prop_map(|(c, r, seed)| builders::random_tree(c, r, 0.1, 32.0, seed))
 }
 
 proptest! {

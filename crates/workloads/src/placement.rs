@@ -53,8 +53,22 @@ impl PlacementStrategy {
                 placement.set_s(last, workload.s.clone());
             }
             _ => {
-                scatter(&mut placement, &workload.r, Rel::R, tree, &weights, &mut rng);
-                scatter(&mut placement, &workload.s, Rel::S, tree, &weights, &mut rng);
+                scatter(
+                    &mut placement,
+                    &workload.r,
+                    Rel::R,
+                    tree,
+                    &weights,
+                    &mut rng,
+                );
+                scatter(
+                    &mut placement,
+                    &workload.s,
+                    Rel::S,
+                    tree,
+                    &weights,
+                    &mut rng,
+                );
             }
         }
         placement
@@ -74,10 +88,9 @@ impl PlacementStrategy {
                 w[k.min(vc.len() - 1)] = 1.0;
                 w
             }
-            PlacementStrategy::ProportionalToBandwidth => vc
-                .iter()
-                .map(|&v| leaf_bandwidth(tree, v))
-                .collect(),
+            PlacementStrategy::ProportionalToBandwidth => {
+                vc.iter().map(|&v| leaf_bandwidth(tree, v)).collect()
+            }
             PlacementStrategy::InverseBandwidth => vc
                 .iter()
                 .map(|&v| 1.0 / leaf_bandwidth(tree, v).max(1e-12))
@@ -91,7 +104,9 @@ fn leaf_bandwidth(tree: &Tree, v: NodeId) -> f64 {
     tree.neighbors(v)
         .iter()
         .map(|&(_, e)| {
-            let fwd = tree.bandwidth(tamp_topology::DirEdgeId::new(e, false)).get();
+            let fwd = tree
+                .bandwidth(tamp_topology::DirEdgeId::new(e, false))
+                .get();
             let rev = tree.bandwidth(tamp_topology::DirEdgeId::new(e, true)).get();
             fwd.min(rev)
         })

@@ -41,7 +41,11 @@ fn main() {
     let mut p_cp = Placement::empty(&tree);
     for a in 0..300u64 {
         p_cp.push(vc[(mix64(a) % vc.len() as u64) as usize], Rel::R, a);
-        p_cp.push(vc[(mix64(a ^ 0xCC) % vc.len() as u64) as usize], Rel::S, 9_000 + a);
+        p_cp.push(
+            vc[(mix64(a ^ 0xCC) % vc.len() as u64) as usize],
+            Rel::S,
+            9_000 + a,
+        );
     }
 
     let si_base = run_protocol(&tree, &p_si, &TreeIntersect::new(4)).unwrap();
@@ -60,9 +64,8 @@ fn main() {
         // the actual per-edge traffic vectors.
         let si = run_protocol(&drifted, &p_si, &TreeIntersect::new(4)).unwrap();
         let sort = run_protocol(&drifted, &p_sort, &WeightedTeraSort::new(4)).unwrap();
-        let diff = |a: &[u64], b: &[u64]| -> u64 {
-            a.iter().zip(b).map(|(x, y)| x.abs_diff(*y)).sum()
-        };
+        let diff =
+            |a: &[u64], b: &[u64]| -> u64 { a.iter().zip(b).map(|(x, y)| x.abs_diff(*y)).sum() };
         let si_delta = diff(&si.cost.edge_totals, &si_base.cost.edge_totals);
         let sort_delta = diff(&sort.cost.edge_totals, &sort_base.cost.edge_totals);
 

@@ -38,7 +38,9 @@ fn main() {
         // Dimension table (small R): 1k keys on rack A. Fact table (big S):
         // 24k keys spread over racks A and B only — rack C holds *nothing*,
         // so an ideal plan never touches its uplink.
-        let sets = SetSpec::new(1_000, 24_000).with_intersection(400).generate(11);
+        let sets = SetSpec::new(1_000, 24_000)
+            .with_intersection(400)
+            .generate(11);
         let mut placement = Placement::empty(&tree);
         for (i, &x) in sets.r.iter().enumerate() {
             placement.push(vc[i % 4], Rel::R, x);

@@ -11,9 +11,7 @@
 //! cargo run --release --example general_grid
 //! ```
 
-use tamp::core::general::{
-    graph_intersection_lower_bound, run_on_graph, TreeExtraction,
-};
+use tamp::core::general::{graph_intersection_lower_bound, run_on_graph, TreeExtraction};
 use tamp::core::hashing::mix64;
 use tamp::core::intersection::TreeIntersect;
 use tamp::core::ratio::ratio;
@@ -25,7 +23,9 @@ fn scatter(graph: &Graph, r: u64, s: u64) -> Placement {
     let vc = graph.compute_nodes();
     let mut frags = vec![NodeState::default(); graph.num_nodes()];
     for a in 0..r {
-        frags[vc[(mix64(a) % vc.len() as u64) as usize].index()].r.push(a);
+        frags[vc[(mix64(a) % vc.len() as u64) as usize].index()]
+            .r
+            .push(a);
     }
     for a in 0..s {
         let val = r / 2 + a;

@@ -13,9 +13,7 @@
 //! cargo run --release --example heterogeneous_cartesian
 //! ```
 
-use tamp::core::cartesian::{
-    cartesian_lower_bound, unequal, TreeCartesianProduct, TreePlan,
-};
+use tamp::core::cartesian::{cartesian_lower_bound, unequal, TreeCartesianProduct, TreePlan};
 use tamp::core::ratio::ratio;
 use tamp::simulator::{run_protocol, verify};
 use tamp::topology::builders;
@@ -40,7 +38,10 @@ fn main() {
         ratio(run.cost.tuple_cost(), lb.value())
     );
     if let TreePlan::Packed { squares, .. } = &run.output {
-        println!("{:>8}  {:>10}  {:>12}  {:>14}", "machine", "link bw", "square side", "output share");
+        println!(
+            "{:>8}  {:>10}  {:>12}  {:>14}",
+            "machine", "link bw", "square side", "output share"
+        );
         let grid = (half * half) as f64;
         for &v in tree.compute_nodes() {
             let sq = squares.iter().find(|s| s.owner == v);

@@ -12,9 +12,7 @@
 //! cargo run --release --example multirack_sort
 //! ```
 
-use tamp::core::sorting::{
-    adversarial_placement, sorting_lower_bound, TeraSort, WeightedTeraSort,
-};
+use tamp::core::sorting::{adversarial_placement, sorting_lower_bound, TeraSort, WeightedTeraSort};
 use tamp::simulator::{run_protocol, verify};
 use tamp::topology::builders;
 use tamp::workloads::{PlacementStrategy, SortSpec};
@@ -31,7 +29,10 @@ fn main() {
     for (name, strategy) in [
         ("uniform", PlacementStrategy::Uniform),
         ("zipf(1.0) skew", PlacementStrategy::Zipf { alpha: 1.0 }),
-        ("one machine has all", PlacementStrategy::SingleNode { k: 0 }),
+        (
+            "one machine has all",
+            PlacementStrategy::SingleNode { k: 0 },
+        ),
     ] {
         let data = SortSpec::new(n).with_duplicates(0.1).generate(21);
         let placement = strategy.place(&tree, &data, 21);

@@ -24,7 +24,9 @@ fn main() {
     );
 
     // ---- Set intersection (Section 3) -------------------------------
-    let sets = SetSpec::new(2_000, 6_000).with_intersection(500).generate(1);
+    let sets = SetSpec::new(2_000, 6_000)
+        .with_intersection(500)
+        .generate(1);
     let placement = PlacementStrategy::Zipf { alpha: 1.0 }.place(&tree, &sets, 1);
     let lb = intersection_lower_bound(&tree, &placement.stats());
     let run = run_protocol(&tree, &placement, &TreeIntersect::new(7)).expect("protocol runs");

@@ -23,7 +23,12 @@ fn main() {
     // Four clusters of four sensors each, behind 0.25-unit uplinks — the
     // base station is sensor 0.
     let tree = builders::rack_tree(
-        &[(4, 2.0, 0.25), (4, 2.0, 0.25), (4, 2.0, 0.25), (4, 2.0, 0.25)],
+        &[
+            (4, 2.0, 0.25),
+            (4, 2.0, 0.25),
+            (4, 2.0, 0.25),
+            (4, 2.0, 0.25),
+        ],
         1.0,
     );
     let base_station = tree.compute_nodes()[0];
@@ -38,9 +43,7 @@ fn main() {
         }
     }
     let lb = aggregation_lower_bound(&tree, &placement, base_station);
-    println!(
-        "16 sensors × 200 readings × 25 metrics → MAX per metric at the base station"
-    );
+    println!("16 sensors × 200 readings × 25 metrics → MAX per metric at the base station");
     println!("per-edge lower bound: {:.0} tuple-cost\n", lb.value());
 
     let want = reference_aggregate(&placement.all_r(), Aggregator::Max);
@@ -73,8 +76,7 @@ fn main() {
             .unwrap(),
         ),
     ] {
-        let got: std::collections::BTreeMap<u64, u64> =
-            run.output.iter().copied().collect();
+        let got: std::collections::BTreeMap<u64, u64> = run.output.iter().copied().collect();
         assert_eq!(got, want, "{label} produced a wrong aggregate");
         println!(
             "{label} cost {:>8.1}  rounds {}  ratio-to-LB {:>6.2}",

@@ -1,10 +1,13 @@
 //! The paper's protocols as *real* distributed programs.
 //!
-//! Every compute node runs on its own OS thread, sees only its local
-//! fragment plus the §2 model knowledge, and re-derives the shared plan
-//! locally — no coordinator hands it the answer. The traffic each node
-//! generates is metered on the same ledger as the centralized simulator,
-//! and for the same seed the two agree to the bit.
+//! Every compute node logically runs its own program — it sees only its
+//! local fragment plus the §2 model knowledge and re-derives the shared
+//! plan locally; no coordinator hands it the answer. Physically, a
+//! bounded worker pool (default: available parallelism) executes the
+//! node programs, so the same code scales to thousands of nodes. The
+//! traffic each node generates is metered on the same ledger as the
+//! centralized simulator, and for the same seed the two agree to the
+//! bit.
 //!
 //! ```text
 //! cargo run --release --example threaded_cluster
@@ -21,7 +24,7 @@ use tamp::topology::builders;
 fn main() {
     let tree = builders::rack_tree(&[(4, 4.0, 2.0), (4, 4.0, 1.0), (4, 4.0, 8.0)], 1.0);
     println!(
-        "cluster: {} compute nodes on 3 racks — one thread per node\n",
+        "cluster: {} compute nodes on 3 racks — pooled worker execution\n",
         tree.num_compute()
     );
 
@@ -46,8 +49,14 @@ fn main() {
     .unwrap();
     verify::check_intersection(&rt.final_state, &p.all_r(), &p.all_s()).unwrap();
     println!("set intersection (seed {seed}):");
-    println!("  simulator cost        {:>10.1} tuples", sim.cost.tuple_cost());
-    println!("  threaded cluster cost {:>10.1} tuples", rt.cost.tuple_cost());
+    println!(
+        "  simulator cost        {:>10.1} tuples",
+        sim.cost.tuple_cost()
+    );
+    println!(
+        "  threaded cluster cost {:>10.1} tuples",
+        rt.cost.tuple_cost()
+    );
     assert_eq!(sim.cost.edge_totals, rt.cost.edge_totals);
     println!("  per-edge traffic: IDENTICAL — the distributed per-node plan");
     println!("  derivation reproduces the centralized sends exactly\n");
@@ -72,8 +81,14 @@ fn main() {
     let order = valid_order(&tree);
     verify::check_sorted_partition(&order, &rt.final_state, &p.all_r()).unwrap();
     println!("weighted TeraSort (seed {seed}):");
-    println!("  simulator cost        {:>10.1} tuples", sim.cost.tuple_cost());
-    println!("  threaded cluster cost {:>10.1} tuples", rt.cost.tuple_cost());
+    println!(
+        "  simulator cost        {:>10.1} tuples",
+        sim.cost.tuple_cost()
+    );
+    println!(
+        "  threaded cluster cost {:>10.1} tuples",
+        rt.cost.tuple_cost()
+    );
     assert_eq!(sim.cost.edge_totals, rt.cost.edge_totals);
     println!("  per-edge traffic: IDENTICAL across all 4 communication rounds");
     println!(

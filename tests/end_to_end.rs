@@ -5,9 +5,7 @@
 use tamp::core::cartesian::{
     cartesian_lower_bound, AllToOne, TreeCartesianProduct, UniformHyperCube,
 };
-use tamp::core::intersection::{
-    intersection_lower_bound, TreeIntersect, UniformHashJoin,
-};
+use tamp::core::intersection::{intersection_lower_bound, TreeIntersect, UniformHashJoin};
 use tamp::core::ratio::ratio;
 use tamp::core::sorting::{sorting_lower_bound, TeraSort, WeightedTeraSort};
 use tamp::simulator::{run_protocol, verify};

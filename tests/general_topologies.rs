@@ -114,10 +114,7 @@ fn mbst_never_loses_to_bfs_on_widest_bottleneck() {
         let mbst = graph.max_bandwidth_spanning_tree().unwrap();
         for a in 0..10u32 {
             for b in (a + 1)..10 {
-                let (a, b) = (
-                    tamp::topology::NodeId(a),
-                    tamp::topology::NodeId(b),
-                );
+                let (a, b) = (tamp::topology::NodeId(a), tamp::topology::NodeId(b));
                 let want: f64 = graph
                     .widest_path(a, b)
                     .iter()

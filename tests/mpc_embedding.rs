@@ -38,7 +38,9 @@ fn mpc_hash_join_balances_receive_load() {
     let p_nodes = 8usize;
     let t = builders::mpc_star(p_nodes);
     let n = 4_000usize;
-    let w = SetSpec::new(n / 2, n / 2).with_intersection(100).generate(1);
+    let w = SetSpec::new(n / 2, n / 2)
+        .with_intersection(100)
+        .generate(1);
     let pl = PlacementStrategy::Uniform.place(&t, &w, 1);
     let run = run_protocol(&t, &pl, &UniformHashJoin::new(1)).unwrap();
     verify::check_intersection(&run.final_state, &pl.all_r(), &pl.all_s()).unwrap();
@@ -80,7 +82,11 @@ fn mpc_terasort_is_correct_and_receive_bounded() {
     verify::check_sorted_partition(&run.output, &run.final_state, &pl.all_r()).unwrap();
     // Receive-side cost: samples at the coordinator + ≈N/p redistribution,
     // comfortably below shipping everything to one machine.
-    assert!(run.cost.tuple_cost() < 3_000.0, "cost {}", run.cost.tuple_cost());
+    assert!(
+        run.cost.tuple_cost() < 3_000.0,
+        "cost {}",
+        run.cost.tuple_cost()
+    );
 }
 
 #[test]

@@ -5,18 +5,15 @@
 use proptest::prelude::*;
 
 use tamp::core::cartesian::{plan_tree_packing, TreeCartesianProduct, TreePlan};
-use tamp::core::intersection::{
-    balanced_partition, verify_balanced_partition, TreeIntersect,
-};
+use tamp::core::intersection::{balanced_partition, verify_balanced_partition, TreeIntersect};
 use tamp::core::sorting::{proportional_split, WeightedTeraSort};
 use tamp::simulator::{run_protocol, verify, Placement, Rel};
 use tamp::topology::{builders, Dagger, Tree};
 
 /// Strategy: a random tree described by (compute, routers, bw-seed).
 fn arb_tree() -> impl Strategy<Value = Tree> {
-    (2usize..10, 1usize..7, 0u64..1_000).prop_map(|(c, r, seed)| {
-        builders::random_tree(c, r, 0.25, 16.0, seed)
-    })
+    (2usize..10, 1usize..7, 0u64..1_000)
+        .prop_map(|(c, r, seed)| builders::random_tree(c, r, 0.25, 16.0, seed))
 }
 
 /// Scatter `n_r` R values and `n_s` S values with seeded skew.

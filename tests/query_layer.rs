@@ -8,12 +8,7 @@ use tamp::query::prelude::*;
 use tamp::query::reference;
 use tamp::topology::builders;
 
-fn make_catalog(
-    tree_pick: u8,
-    fact_rows: u64,
-    groups: u64,
-    skew_percent: u8,
-) -> Catalog {
+fn make_catalog(tree_pick: u8, fact_rows: u64, groups: u64, skew_percent: u8) -> Catalog {
     let tree = match tree_pick % 4 {
         0 => builders::star(4, 1.0),
         1 => builders::heterogeneous_star(&[0.5, 2.0, 4.0, 4.0, 8.0]),

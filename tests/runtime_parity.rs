@@ -1,22 +1,35 @@
-//! Cross-validation of the threaded runtime against the cost simulator:
-//! for any random tree, placement and seed, the distributed per-node
-//! programs must move exactly the traffic the centralized protocols move.
+//! Cross-validation of the pooled runtime against the cost simulator,
+//! through the engine-agnostic `ExecBackend` API: for any random tree,
+//! placement and seed, the distributed per-node programs must move
+//! exactly the traffic the centralized protocols move — bit-identical
+//! `Cost` ledgers, equal metered round counts, and (for the cluster)
+//! exactly one extra silent superstep in which termination is detected.
 
 use proptest::prelude::*;
 use tamp::core::hashing::mix64;
-use tamp::core::intersection::TreeIntersect;
-use tamp::core::sorting::{valid_order, WeightedTeraSort};
-use tamp::runtime::programs::{DistributedTreeIntersect, DistributedWts};
-use tamp::runtime::{run_cluster, ClusterOptions};
-use tamp::simulator::{run_protocol, verify, Placement, Rel};
+use tamp::core::sorting::valid_order;
+use tamp::runtime::{
+    jobs, ClusterOptions, ExecBackend, ExecOutcome, PooledClusterBackend, SimulatorBackend,
+};
+use tamp::simulator::{verify, Placement, Rel};
 use tamp::topology::{builders, Tree};
 
 fn random_setup(topo_seed: u64, r: u64, s: u64, data_seed: u64) -> (Tree, Placement) {
-    let tree = builders::random_tree(3 + (topo_seed % 6) as usize, 1 + (topo_seed % 4) as usize, 0.5, 4.0, topo_seed);
+    let tree = builders::random_tree(
+        3 + (topo_seed % 6) as usize,
+        1 + (topo_seed % 4) as usize,
+        0.5,
+        4.0,
+        topo_seed,
+    );
     let mut p = Placement::empty(&tree);
     let vc = tree.compute_nodes();
     for a in 0..r {
-        p.push(vc[(mix64(a ^ data_seed) % vc.len() as u64) as usize], Rel::R, a);
+        p.push(
+            vc[(mix64(a ^ data_seed) % vc.len() as u64) as usize],
+            Rel::R,
+            a,
+        );
     }
     for a in 0..s {
         let val = r / 2 + a;
@@ -27,6 +40,43 @@ fn random_setup(topo_seed: u64, r: u64, s: u64, data_seed: u64) -> (Tree, Placem
         );
     }
     (tree, p)
+}
+
+/// Run `job` on the simulator and the pooled cluster and assert the
+/// backend-independent invariants: bit-identical ledgers (full per-edge
+/// totals *and* per-round costs), equal metered rounds, and the cluster's
+/// supersteps being rounds + 1 (the silent termination step).
+fn assert_parity(
+    tree: &Tree,
+    p: &Placement,
+    job: &dyn tamp::runtime::ExecJob,
+) -> Result<(ExecOutcome, ExecOutcome), TestCaseError> {
+    let sim = SimulatorBackend
+        .execute(tree, p, job)
+        .map_err(TestCaseError::fail)?;
+    let rt = PooledClusterBackend::default()
+        .execute(tree, p, job)
+        .map_err(TestCaseError::fail)?;
+    prop_assert_eq!(&rt.cost.edge_totals, &sim.cost.edge_totals);
+    prop_assert_eq!(rt.cost.tuple_cost(), sim.cost.tuple_cost());
+    prop_assert_eq!(rt.rounds, sim.rounds, "metered rounds must agree");
+    prop_assert_eq!(sim.supersteps, sim.rounds);
+    prop_assert_eq!(
+        rt.supersteps,
+        rt.rounds + 1,
+        "cluster detects termination in exactly one silent superstep"
+    );
+    for (i, (a, b)) in rt
+        .cost
+        .per_round
+        .iter()
+        .zip(sim.cost.per_round.iter())
+        .enumerate()
+    {
+        prop_assert_eq!(a.tuple_cost, b.tuple_cost, "round {} cost", i);
+        prop_assert_eq!(a.total_tuples, b.total_tuples, "round {} volume", i);
+    }
+    Ok((sim, rt))
 }
 
 proptest! {
@@ -41,16 +91,7 @@ proptest! {
         data_seed in 0u64..1_000,
     ) {
         let (tree, p) = random_setup(topo_seed, r, s, data_seed);
-        let sim = run_protocol(&tree, &p, &TreeIntersect::new(hash_seed)).unwrap();
-        let rt = run_cluster(
-            &tree,
-            &p,
-            |_| Box::new(DistributedTreeIntersect::new(hash_seed)),
-            ClusterOptions::default(),
-        )
-        .unwrap();
-        prop_assert_eq!(&rt.cost.edge_totals, &sim.cost.edge_totals);
-        prop_assert_eq!(rt.cost.tuple_cost(), sim.cost.tuple_cost());
+        let (sim, rt) = assert_parity(&tree, &p, &jobs::tree_intersect(hash_seed))?;
         verify::check_intersection(&rt.final_state, &p.all_r(), &p.all_s())
             .map_err(TestCaseError::fail)?;
         // Both executions emit the same intersection.
@@ -77,18 +118,38 @@ proptest! {
                 mix64(x.wrapping_mul(97) ^ data_seed),
             );
         }
-        let sim = run_protocol(&tree, &p, &WeightedTeraSort::new(sample_seed)).unwrap();
-        let rt = run_cluster(
-            &tree,
-            &p,
-            |_| Box::new(DistributedWts::new(sample_seed)),
-            ClusterOptions::default(),
-        )
-        .unwrap();
-        prop_assert_eq!(&rt.cost.edge_totals, &sim.cost.edge_totals);
+        let (_, rt) = assert_parity(&tree, &p, &jobs::weighted_terasort(sample_seed))?;
         let order = valid_order(&tree);
         verify::check_sorted_partition(&order, &rt.final_state, &p.all_r())
             .map_err(TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn pool_width_never_changes_results(
+        topo_seed in 0u64..100,
+        hash_seed in 0u64..500,
+        r in 1u64..120,
+        s in 1u64..200,
+    ) {
+        // The same job on a 1-worker pool and a wide pool: supersteps,
+        // ledgers and final states must be bit-identical — scheduling is
+        // not allowed to leak into results.
+        let (tree, p) = random_setup(topo_seed, r, s, topo_seed ^ 0x5A);
+        let job = jobs::tree_intersect(hash_seed);
+        let narrow = PooledClusterBackend::new(ClusterOptions::with_workers(1))
+            .execute(&tree, &p, &job)
+            .map_err(TestCaseError::fail)?;
+        let wide = PooledClusterBackend::new(ClusterOptions::with_workers(8))
+            .execute(&tree, &p, &job)
+            .map_err(TestCaseError::fail)?;
+        prop_assert_eq!(narrow.supersteps, wide.supersteps);
+        prop_assert_eq!(&narrow.cost.edge_totals, &wide.cost.edge_totals);
+        for v in tree.nodes() {
+            prop_assert_eq!(
+                &narrow.final_state[v.index()],
+                &wide.final_state[v.index()]
+            );
+        }
     }
 }
 
@@ -111,14 +172,13 @@ fn parity_holds_on_every_standard_topology() {
                 100 + a,
             );
         }
-        let sim = run_protocol(&tree, &p, &TreeIntersect::new(seed)).unwrap();
-        let rt = run_cluster(
-            &tree,
-            &p,
-            |_| Box::new(DistributedTreeIntersect::new(seed)),
-            ClusterOptions::default(),
-        )
-        .unwrap();
+        let job = jobs::tree_intersect(seed);
+        let sim = SimulatorBackend.execute(&tree, &p, &job).unwrap();
+        let rt = PooledClusterBackend::default()
+            .execute(&tree, &p, &job)
+            .unwrap();
         assert_eq!(rt.cost.edge_totals, sim.cost.edge_totals, "seed {seed}");
+        assert_eq!(rt.rounds, sim.rounds, "seed {seed}");
+        assert_eq!(rt.supersteps, rt.rounds + 1, "seed {seed}");
     }
 }
