@@ -121,9 +121,175 @@ pub fn to_json(suites: &[SuiteBaseline]) -> String {
     out
 }
 
+/// Parse a baseline document produced by [`to_json`].
+///
+/// This is *not* a general JSON parser — the document is ours (flat
+/// objects, no nested braces, no commas inside strings), so a split-based
+/// reader is enough and keeps the crate dependency-free.
+pub fn from_json(text: &str) -> Result<Vec<SuiteBaseline>, String> {
+    let body = text
+        .split("\"suites\"")
+        .nth(1)
+        .ok_or("missing \"suites\" key")?;
+    let mut suites = Vec::new();
+    for obj in body.split('{').skip(1) {
+        let obj = obj.split('}').next().ok_or("unterminated suite object")?;
+        let mut id: Option<String> = None;
+        let (mut tables, mut rows, mut numeric_cells) = (0usize, 0usize, 0usize);
+        let (mut median_numeric, mut wall_ms) = (f64::NAN, f64::NAN);
+        for field in obj.split(',') {
+            let mut kv = field.splitn(2, ':');
+            let k = kv.next().unwrap_or("").trim().trim_matches('"').to_string();
+            let v = kv
+                .next()
+                .ok_or_else(|| format!("malformed field `{field}`"))?
+                .trim();
+            let num = |v: &str| -> Result<f64, String> {
+                if v == "null" {
+                    Ok(f64::NAN)
+                } else {
+                    v.parse().map_err(|e| format!("bad number `{v}`: {e}"))
+                }
+            };
+            match k.as_str() {
+                "id" => id = Some(v.trim_matches('"').to_string()),
+                "tables" => tables = num(v)? as usize,
+                "rows" => rows = num(v)? as usize,
+                "numeric_cells" => numeric_cells = num(v)? as usize,
+                "median_numeric" => median_numeric = num(v)?,
+                "wall_ms" => wall_ms = num(v)?,
+                _ => {} // forward-compatible: ignore unknown keys
+            }
+        }
+        suites.push(SuiteBaseline {
+            id: id.ok_or("suite object without id")?,
+            tables,
+            rows,
+            numeric_cells,
+            median_numeric,
+            wall_ms,
+        });
+    }
+    Ok(suites)
+}
+
+/// The outcome of diffing a run against a committed baseline.
+#[derive(Clone, Debug, Default)]
+pub struct RegressionReport {
+    /// Informational lines (new suites, baseline-only suites).
+    pub notes: Vec<String>,
+    /// Hard failures: suites whose cost signal worsened beyond tolerance.
+    pub failures: Vec<String>,
+}
+
+/// Diff `current` against `baseline`: a suite **fails** when its
+/// `median_numeric` — the deterministic cost signal — worsens (grows) by
+/// more than `tolerance` (`0.10` = 10%). Suites only present on one side
+/// and wall-clock drift are reported as notes, never failures (timings
+/// are machine-dependent).
+pub fn check_regressions(
+    current: &[SuiteBaseline],
+    baseline: &[SuiteBaseline],
+    tolerance: f64,
+) -> RegressionReport {
+    let mut report = RegressionReport::default();
+    for cur in current {
+        let Some(base) = baseline.iter().find(|b| b.id == cur.id) else {
+            report
+                .notes
+                .push(format!("{}: new suite (no baseline entry)", cur.id));
+            continue;
+        };
+        if base.median_numeric.is_nan() {
+            // No baseline signal to compare against.
+            continue;
+        }
+        if cur.median_numeric.is_nan() {
+            // The suite used to have a cost signal and now has none —
+            // that is a regression of the gate itself, not a free pass.
+            report.failures.push(format!(
+                "{}: median_numeric vanished (NaN) but baseline has {:.6}",
+                cur.id, base.median_numeric,
+            ));
+            continue;
+        }
+        let allowed = base.median_numeric * (1.0 + tolerance) + 1e-9;
+        if cur.median_numeric > allowed {
+            report.failures.push(format!(
+                "{}: median_numeric {:.6} worsened >{:.0}% over baseline {:.6}",
+                cur.id,
+                cur.median_numeric,
+                tolerance * 100.0,
+                base.median_numeric,
+            ));
+        }
+    }
+    for base in baseline {
+        if !current.iter().any(|c| c.id == base.id) {
+            report
+                .notes
+                .push(format!("{}: in baseline but not in this run", base.id));
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn suite(id: &str, median: f64) -> SuiteBaseline {
+        SuiteBaseline {
+            id: id.into(),
+            tables: 1,
+            rows: 2,
+            numeric_cells: 4,
+            median_numeric: median,
+            wall_ms: 1.0,
+        }
+    }
+
+    #[test]
+    fn json_roundtrips() {
+        let suites = vec![suite("t1-si", 0.9), suite("x-plan", 123.456)];
+        let parsed = from_json(&to_json(&suites)).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].id, "t1-si");
+        assert!((parsed[0].median_numeric - 0.9).abs() < 1e-9);
+        assert_eq!(parsed[1].id, "x-plan");
+        assert!((parsed[1].median_numeric - 123.456).abs() < 1e-9);
+        assert_eq!(parsed[1].rows, 2);
+    }
+
+    #[test]
+    fn regression_check_flags_only_worsening() {
+        let baseline = vec![suite("a", 100.0), suite("gone", 5.0)];
+        let current = vec![
+            suite("a", 109.9),  // +9.9% — within the 10% envelope
+            suite("new", 50.0), // no baseline — note only
+        ];
+        let report = check_regressions(&current, &baseline, 0.10);
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        assert_eq!(report.notes.len(), 2);
+
+        let worse = vec![suite("a", 111.0)];
+        let report = check_regressions(&worse, &baseline, 0.10);
+        assert_eq!(report.failures.len(), 1, "{:?}", report.failures);
+
+        // Improvements never fail.
+        let better = vec![suite("a", 20.0)];
+        assert!(check_regressions(&better, &baseline, 0.10)
+            .failures
+            .is_empty());
+
+        // A cost signal that vanishes (NaN vs finite baseline) fails —
+        // otherwise a suite degenerating to zero numeric cells would
+        // bypass the gate entirely.
+        let vanished = vec![suite("a", f64::NAN)];
+        let report = check_regressions(&vanished, &baseline, 0.10);
+        assert_eq!(report.failures.len(), 1, "{:?}", report.failures);
+        assert!(report.failures[0].contains("vanished"));
+    }
 
     #[test]
     fn median_is_robust() {

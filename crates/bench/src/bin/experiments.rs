@@ -14,6 +14,11 @@
 //! (default `BENCH_baseline.json`) in addition to the printed tables.
 //! The `=` form is deliberate: a free-standing operand after `--json`
 //! would be ambiguous with a (possibly typo'd) experiment id.
+//!
+//! With `--check=PATH`, the run is additionally diffed against the
+//! committed baseline at `PATH`: the process exits non-zero if any
+//! suite's `median_numeric` (the deterministic cost signal) worsened by
+//! more than 10% — the CI bench-regression gate.
 
 use std::time::Instant;
 
@@ -29,6 +34,7 @@ fn main() {
         return;
     }
     let mut json_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
     let mut ids: Vec<&str> = Vec::new();
     for arg in &args {
         if arg == "--json" {
@@ -39,6 +45,12 @@ fn main() {
                 std::process::exit(2);
             }
             json_path = Some(path.to_string());
+        } else if let Some(path) = arg.strip_prefix("--check=") {
+            if path.is_empty() {
+                eprintln!("--check= requires a baseline path");
+                std::process::exit(2);
+            }
+            check_path = Some(path.to_string());
         } else if arg.starts_with("--") && arg != "--list" {
             eprintln!("unknown flag: {arg}");
             std::process::exit(2);
@@ -75,5 +87,36 @@ fn main() {
             std::process::exit(1);
         }
         println!("wrote per-suite baseline to {path}");
+    }
+    if let Some(path) = check_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("failed to read baseline {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let committed = match baseline::from_json(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("failed to parse baseline {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let report = baseline::check_regressions(&suites, &committed, 0.10);
+        for note in &report.notes {
+            println!("baseline note: {note}");
+        }
+        if report.failures.is_empty() {
+            println!(
+                "bench-regression check passed against {path} ({} suites compared)",
+                suites.len()
+            );
+        } else {
+            for failure in &report.failures {
+                eprintln!("bench REGRESSION: {failure}");
+            }
+            std::process::exit(1);
+        }
     }
 }

@@ -804,6 +804,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "x-general",
     "x-runtime",
     "x-query",
+    "x-plan",
     "abl-drift",
     "x-uneq-tree",
 ];
@@ -831,6 +832,7 @@ pub fn run_experiment(id: &str) -> Option<Vec<Table>> {
         "x-general" => crate::extensions::x_general(),
         "x-runtime" => crate::extensions::x_runtime(),
         "x-query" => crate::extensions::x_query(),
+        "x-plan" => crate::extensions::x_plan(),
         "abl-drift" => crate::extensions::abl_drift(),
         "x-uneq-tree" => crate::extensions::x_unequal_tree(),
         _ => return None,

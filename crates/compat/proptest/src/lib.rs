@@ -2,8 +2,8 @@
 //!
 //! The build environment has no access to crates.io, so this crate
 //! implements the property-testing API surface the workspace uses: the
-//! [`proptest!`] macro, [`Strategy`] over ranges / tuples /
-//! [`collection::vec`] / [`Strategy::prop_map`], `prop_assert!` /
+//! [`proptest!`] macro, [`Strategy`](strategy::Strategy) over ranges / tuples /
+//! [`collection::vec`] / [`prop_map`](strategy::Strategy::prop_map), `prop_assert!` /
 //! `prop_assert_eq!`, [`test_runner::TestCaseError`] and
 //! [`test_runner::ProptestConfig`].
 //!

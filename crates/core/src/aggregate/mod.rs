@@ -1,8 +1,8 @@
 //! Topology-aware aggregation on symmetric trees.
 //!
 //! The paper's related-work section singles out aggregation as the one task
-//! the topology-aware model had already been applied to (Liu et al. [37],
-//! star topologies only; TAG [38] and LOOM [16, 17] as systems that are
+//! the topology-aware model had already been applied to (Liu et al. \[37\],
+//! star topologies only; TAG \[38\] and LOOM \[16, 17\] as systems that are
 //! "cognizant of the network topology, but agnostic to the distribution of
 //! the input data" and "lack any theoretical guarantees"). This module
 //! extends the repository beyond the paper's three tasks with

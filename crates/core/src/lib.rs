@@ -17,7 +17,7 @@
 //! algorithm generalizes (uniform hash join, the classic HyperCube, classic
 //! TeraSort), so that the paper's "who wins" claims can be measured, and a
 //! `*_lower_bound` function evaluating the task's per-edge lower bound on a
-//! concrete topology and placement. [`ratio`] computes
+//! concrete topology and placement. [`ratio`](ratio::ratio) computes
 //! `cost(algorithm) / lower bound` — the quantity Table 1 bounds.
 
 #![deny(missing_docs)]

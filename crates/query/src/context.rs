@@ -1,0 +1,419 @@
+//! The `QueryContext` session API.
+//!
+//! A [`QueryContext`] bundles a topology-bound [`Catalog`] with session
+//! [`ExecOptions`] and exposes the prepare/explain/run pipeline:
+//!
+//! ```
+//! use tamp_query::prelude::*;
+//! use tamp_topology::builders;
+//!
+//! let mut ctx = QueryContext::new(builders::star(4, 1.0)).with_seed(7);
+//! let rows: Vec<Vec<u64>> = (0..100).map(|i| vec![i, i % 3, i * 2]).collect();
+//! ctx.register(DistributedTable::round_robin(
+//!     "t",
+//!     Schema::new(vec!["id", "g", "x"]).unwrap(),
+//!     rows,
+//!     ctx.tree(),
+//! ))
+//! .unwrap();
+//!
+//! // DataFrame-style chaining…
+//! let result = ctx
+//!     .table("t")
+//!     .filter(col("x").gt(lit(50)))
+//!     .aggregate("g", AggFunc::Count, "id")
+//!     .collect()
+//!     .unwrap();
+//! assert_eq!(result.schema.columns(), &["g", "count_id"]);
+//!
+//! // …or explicit prepare → explain → run.
+//! let prepared = ctx
+//!     .prepare(&LogicalPlan::scan("t").order_by("x"))
+//!     .unwrap();
+//! assert!(prepared.explain().contains("range-shuffle"));
+//! let result = prepared.run().unwrap();
+//! assert_eq!(result.num_rows(), 100);
+//! ```
+//!
+//! [`PreparedQuery::run_on`] executes the same prepared plan on any
+//! [`ExecBackend`] — the centralized simulator or the pooled BSP cluster
+//! — with bit-identical cost ledgers (see [`crate::exec`]).
+
+use tamp_runtime::backend::{ExecBackend, SimulatorBackend};
+use tamp_topology::Tree;
+
+use crate::error::QueryError;
+use crate::exec::{self, ExecOptions, JoinStrategy, QueryResult};
+use crate::expr::Expr;
+use crate::physical::{lower_full, PhysicalPlan};
+use crate::plan::{AggFunc, LogicalPlan};
+use crate::reference;
+use crate::schema::Schema;
+use crate::table::{Catalog, DistributedTable};
+
+/// A query session: a catalog of distributed tables plus session
+/// options, the entry point of the relational layer.
+#[derive(Clone, Debug)]
+pub struct QueryContext {
+    catalog: Catalog,
+    options: ExecOptions,
+}
+
+impl QueryContext {
+    /// A fresh session over `tree` with an empty catalog and default
+    /// options.
+    pub fn new(tree: Tree) -> Self {
+        QueryContext {
+            catalog: Catalog::new(tree),
+            options: ExecOptions::default(),
+        }
+    }
+
+    /// Wrap an existing catalog.
+    pub fn with_catalog(catalog: Catalog) -> Self {
+        QueryContext {
+            catalog,
+            options: ExecOptions::default(),
+        }
+    }
+
+    /// Builder-style: set the hashing/sampling seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.options.seed = seed;
+        self
+    }
+
+    /// Builder-style: set the session's join strategy (default
+    /// [`JoinStrategy::Auto`], the cost-based choice).
+    pub fn with_join_strategy(mut self, join: JoinStrategy) -> Self {
+        self.options.join = join;
+        self
+    }
+
+    /// The session's execution options.
+    pub fn options(&self) -> ExecOptions {
+        self.options
+    }
+
+    /// Register a table; replaces any table with the same name. Returns
+    /// `&mut self` for chained registration.
+    pub fn register(&mut self, table: DistributedTable) -> Result<&mut Self, QueryError> {
+        self.catalog.register(table)?;
+        Ok(self)
+    }
+
+    /// The catalog backing this session.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The topology the session's tables live on.
+    pub fn tree(&self) -> &Tree {
+        self.catalog.tree()
+    }
+
+    /// Start a DataFrame-style chain from a named table. Name resolution
+    /// is lazy: unknown tables surface as errors at
+    /// [`DataFrame::prepare`]/[`DataFrame::collect`] time.
+    pub fn table(&self, name: &str) -> DataFrame<'_> {
+        DataFrame {
+            ctx: self,
+            plan: LogicalPlan::scan(name),
+        }
+    }
+
+    /// Plan `plan` into a [`PreparedQuery`]: validate, lower to a
+    /// [`PhysicalPlan`], price every exchange and resolve
+    /// [`JoinStrategy::Auto`] cost-based.
+    pub fn prepare(&self, plan: &LogicalPlan) -> Result<PreparedQuery<'_>, QueryError> {
+        prepare_with(&self.catalog, plan.clone(), self.options)
+    }
+
+    /// Prepare and run `plan` on the default (simulator) backend.
+    pub fn execute(&self, plan: &LogicalPlan) -> Result<QueryResult, QueryError> {
+        self.prepare(plan)?.run()
+    }
+}
+
+/// Prepare a plan against a borrowed catalog — the shared pipeline under
+/// [`QueryContext::prepare`] and the legacy
+/// [`execute`](crate::exec::execute) shim.
+pub(crate) fn prepare_with(
+    catalog: &Catalog,
+    plan: LogicalPlan,
+    options: ExecOptions,
+) -> Result<PreparedQuery<'_>, QueryError> {
+    let (physical, schema) = lower_full(&plan, catalog, options)?;
+    Ok(PreparedQuery {
+        catalog,
+        options,
+        logical: plan,
+        physical,
+        schema,
+    })
+}
+
+/// A planned, cost-estimated, backend-generic query: inspect it with
+/// [`explain`](PreparedQuery::explain), execute it with
+/// [`run`](PreparedQuery::run) / [`run_on`](PreparedQuery::run_on).
+#[derive(Clone, Debug)]
+pub struct PreparedQuery<'c> {
+    catalog: &'c Catalog,
+    options: ExecOptions,
+    logical: LogicalPlan,
+    physical: PhysicalPlan,
+    schema: Schema,
+}
+
+impl PreparedQuery<'_> {
+    /// The output schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The logical plan this query was prepared from.
+    pub fn logical_plan(&self) -> &LogicalPlan {
+        &self.logical
+    }
+
+    /// The lowered physical plan with its exchanges and estimates.
+    pub fn physical_plan(&self) -> &PhysicalPlan {
+        &self.physical
+    }
+
+    /// The planner's total estimated §2 cost.
+    pub fn estimated_cost(&self) -> f64 {
+        self.physical.estimated_cost()
+    }
+
+    /// Render the physical plan with per-exchange estimated costs — the
+    /// `EXPLAIN` of this layer. Works identically on every backend (the
+    /// plan, not the engine, decides the exchanges).
+    pub fn explain(&self) -> String {
+        format!(
+            "physical plan (seed {}, est cost {:.1} over {} exchange round{}):\n{}",
+            self.options.seed,
+            self.physical.estimated_cost(),
+            self.physical.estimated_rounds(),
+            if self.physical.estimated_rounds() == 1 {
+                ""
+            } else {
+                "s"
+            },
+            self.physical
+        )
+    }
+
+    /// Whether fragment concatenation in node order is globally
+    /// meaningful for this query (downstream of a sort).
+    pub fn preserves_order(&self) -> bool {
+        reference::preserves_order(&self.logical)
+    }
+
+    /// Run on the default engine (the centralized simulator backend).
+    pub fn run(&self) -> Result<QueryResult, QueryError> {
+        self.run_on(&SimulatorBackend)
+    }
+
+    /// Run on an explicit [`ExecBackend`]. The exchange schedule is
+    /// derived once from the plan and replayed through the backend, so
+    /// every engine moves — and meters — bit-identical traffic.
+    pub fn run_on(&self, backend: &dyn ExecBackend) -> Result<QueryResult, QueryError> {
+        exec::run_physical(self.catalog, &self.physical, self.options.seed, backend)
+    }
+}
+
+/// A lazily-built logical plan bound to a [`QueryContext`] — the
+/// DataFrame-style face of the API.
+#[derive(Clone, Debug)]
+pub struct DataFrame<'c> {
+    ctx: &'c QueryContext,
+    plan: LogicalPlan,
+}
+
+impl<'c> DataFrame<'c> {
+    /// The logical plan built so far.
+    pub fn logical_plan(&self) -> &LogicalPlan {
+        &self.plan
+    }
+
+    fn map(self, f: impl FnOnce(LogicalPlan) -> LogicalPlan) -> Self {
+        DataFrame {
+            ctx: self.ctx,
+            plan: f(self.plan),
+        }
+    }
+
+    /// Keep rows where `predicate` is nonzero.
+    pub fn filter(self, predicate: Expr) -> Self {
+        self.map(|p| p.filter(predicate))
+    }
+
+    /// Compute named expressions.
+    pub fn project(self, exprs: Vec<(&str, Expr)>) -> Self {
+        self.map(|p| p.project(exprs))
+    }
+
+    /// Equi-join with `right` on `left_key = right_key`.
+    pub fn join_on(self, right: impl Into<LogicalPlan>, left_key: &str, right_key: &str) -> Self {
+        let right = right.into();
+        self.map(|p| p.join_on(right, left_key, right_key))
+    }
+
+    /// Cartesian product with `right`.
+    pub fn cross(self, right: impl Into<LogicalPlan>) -> Self {
+        let right = right.into();
+        self.map(|p| p.cross(right))
+    }
+
+    /// Globally sort by `key`.
+    pub fn order_by(self, key: &str) -> Self {
+        self.map(|p| p.order_by(key))
+    }
+
+    /// Group by `group_by` and aggregate `measure` with `agg`.
+    pub fn aggregate(self, group_by: &str, agg: AggFunc, measure: &str) -> Self {
+        self.map(|p| p.aggregate(group_by, agg, measure))
+    }
+
+    /// Keep at most `n` rows.
+    pub fn limit(self, n: usize) -> Self {
+        self.map(|p| p.limit(n))
+    }
+
+    /// Remove duplicate rows.
+    pub fn distinct(self) -> Self {
+        self.map(LogicalPlan::distinct)
+    }
+
+    /// Bag union with `right` (schemas must match exactly).
+    pub fn union_all(self, right: impl Into<LogicalPlan>) -> Self {
+        let right = right.into();
+        self.map(|p| p.union_all(right))
+    }
+
+    /// Plan the chain into a [`PreparedQuery`].
+    pub fn prepare(&self) -> Result<PreparedQuery<'c>, QueryError> {
+        prepare_with(self.ctx.catalog(), self.plan.clone(), self.ctx.options())
+    }
+
+    /// Render the plan's `EXPLAIN` (prepare + explain).
+    pub fn explain(&self) -> Result<String, QueryError> {
+        Ok(self.prepare()?.explain())
+    }
+
+    /// Prepare and run on the default (simulator) backend.
+    pub fn collect(&self) -> Result<QueryResult, QueryError> {
+        self.prepare()?.run()
+    }
+
+    /// Prepare and run on an explicit backend.
+    pub fn collect_on(&self, backend: &dyn ExecBackend) -> Result<QueryResult, QueryError> {
+        self.prepare()?.run_on(backend)
+    }
+}
+
+impl From<DataFrame<'_>> for LogicalPlan {
+    fn from(df: DataFrame<'_>) -> LogicalPlan {
+        df.plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use crate::reference;
+    use tamp_runtime::PooledClusterBackend;
+    use tamp_topology::builders;
+
+    fn ctx() -> QueryContext {
+        let tree = builders::rack_tree(&[(3, 1.0, 2.0), (2, 2.0, 1.0)], 1.0);
+        let mut ctx = QueryContext::new(tree.clone()).with_seed(11);
+        let rows: Vec<Vec<u64>> = (0..150).map(|i| vec![i, i % 6, (i * 37) % 500]).collect();
+        let facts = DistributedTable::round_robin(
+            "facts",
+            Schema::new(vec!["id", "g", "x"]).unwrap(),
+            rows,
+            &tree,
+        );
+        let dims = DistributedTable::round_robin(
+            "dims",
+            Schema::new(vec!["g", "tier"]).unwrap(),
+            (0..6).map(|g| vec![g, g + 10]).collect(),
+            &tree,
+        );
+        ctx.register(facts).unwrap().register(dims).unwrap();
+        ctx
+    }
+
+    #[test]
+    fn dataframe_chain_matches_reference() {
+        let ctx = ctx();
+        let df = ctx
+            .table("facts")
+            .filter(col("x").lt(lit(250)))
+            .join_on(ctx.table("dims"), "g", "g")
+            .aggregate("tier", AggFunc::Sum, "x")
+            .order_by("tier");
+        let res = df.collect().unwrap();
+        let want = reference::evaluate(df.logical_plan(), ctx.catalog()).unwrap();
+        assert_eq!(res.rows(true), want);
+    }
+
+    #[test]
+    fn explain_shows_exchanges_and_costs() {
+        let ctx = ctx();
+        let prepared = ctx
+            .prepare(
+                &LogicalPlan::scan("facts")
+                    .join_on(LogicalPlan::scan("dims"), "g", "g")
+                    .order_by("x"),
+            )
+            .unwrap();
+        let text = prepared.explain();
+        assert!(text.contains("HashJoin"), "{text}");
+        assert!(text.contains("est cost"), "{text}");
+        assert!(text.contains("candidates"), "{text}");
+        assert!(text.contains("range-shuffle"), "{text}");
+        assert!(prepared.estimated_cost() > 0.0);
+    }
+
+    #[test]
+    fn prepared_query_runs_on_both_backends_bit_identically() {
+        let ctx = ctx();
+        let prepared = ctx
+            .prepare(
+                &LogicalPlan::scan("facts")
+                    .join_on(LogicalPlan::scan("dims"), "g", "g")
+                    .aggregate("tier", AggFunc::Count, "id"),
+            )
+            .unwrap();
+        let sim = prepared.run().unwrap();
+        let cluster = prepared.run_on(&PooledClusterBackend::default()).unwrap();
+        assert_eq!(sim.cost.edge_totals, cluster.cost.edge_totals);
+        assert_eq!(sim.rounds, cluster.rounds);
+        assert_eq!(sim.rows(false), cluster.rows(false));
+    }
+
+    #[test]
+    fn unknown_tables_surface_at_prepare_time() {
+        let ctx = ctx();
+        let err = ctx.table("nope").collect().unwrap_err();
+        assert!(matches!(err, QueryError::UnknownTable(_)));
+    }
+
+    #[test]
+    fn session_options_flow_into_planning() {
+        let base = ctx();
+        let forced = QueryContext::with_catalog(base.catalog().clone())
+            .with_join_strategy(JoinStrategy::Uniform);
+        let q = LogicalPlan::scan("facts").join_on(LogicalPlan::scan("dims"), "g", "g");
+        let p = forced.prepare(&q).unwrap();
+        assert!(
+            p.explain().contains("via uniform-repartition"),
+            "{}",
+            p.explain()
+        );
+    }
+}

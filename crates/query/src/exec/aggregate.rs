@@ -1,0 +1,73 @@
+//! Grouped aggregation: local partials plus a weighted hash shuffle.
+//!
+//! Each node pre-aggregates its fragment (one partial per group), then
+//! ships `(group, partial)` pairs to the group's owner under the
+//! distribution-aware weighted hash — the
+//! [`HashGroupBy`](tamp_core::aggregate::HashGroupBy) idea at the row
+//! level.
+
+use std::collections::{BTreeMap, HashMap};
+
+use tamp_core::hashing::WeightedHash;
+use tamp_simulator::Rel;
+use tamp_topology::NodeId;
+
+use crate::exec::{frag_weights, ExecCtx, Fragments};
+use crate::plan::AggFunc;
+use crate::row::{flatten, Row};
+
+pub(crate) fn aggregate(
+    ctx: &mut ExecCtx<'_>,
+    frags: Fragments,
+    gi: usize,
+    mi: usize,
+    agg: AggFunc,
+) -> Fragments {
+    let tree = ctx.tree;
+    let weights = frag_weights(tree, &frags, &vec![Vec::new(); frags.len()]);
+    let Some(hash) = WeightedHash::new(ctx.seed, &weights) else {
+        return vec![Vec::new(); tree.num_nodes()];
+    };
+    let mut owned: Vec<BTreeMap<u64, u64>> = vec![BTreeMap::new(); tree.num_nodes()];
+    let mut outgoing: Vec<(NodeId, NodeId, Vec<u64>)> = Vec::new();
+    for &v in tree.compute_nodes() {
+        let mut partials: BTreeMap<u64, u64> = BTreeMap::new();
+        for row in &frags[v.index()] {
+            let lifted = agg.lift(row[mi]);
+            partials
+                .entry(row[gi])
+                .and_modify(|p| *p = agg.combine(*p, lifted))
+                .or_insert(lifted);
+        }
+        let mut by_owner: HashMap<NodeId, Vec<Row>> = HashMap::new();
+        for (g, m) in partials {
+            let owner = hash.pick(g);
+            if owner == v {
+                owned[v.index()]
+                    .entry(g)
+                    .and_modify(|p| *p = agg.combine(*p, m))
+                    .or_insert(m);
+            } else {
+                by_owner.entry(owner).or_default().push(vec![g, m]);
+            }
+        }
+        for (owner, rows) in by_owner {
+            outgoing.push((v, owner, flatten(&rows, 2)));
+            for row in rows {
+                owned[owner.index()]
+                    .entry(row[0])
+                    .and_modify(|p| *p = agg.combine(*p, row[1]))
+                    .or_insert(row[1]);
+            }
+        }
+    }
+    ctx.trace.round(|round| {
+        for (src, dst, buf) in &outgoing {
+            round.send(*src, &[*dst], Rel::S, buf);
+        }
+    });
+    owned
+        .into_iter()
+        .map(|m| m.into_iter().map(|(g, v)| vec![g, v]).collect())
+        .collect()
+}

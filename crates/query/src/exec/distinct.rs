@@ -1,0 +1,57 @@
+//! Duplicate elimination: co-locate equal rows, dedup locally.
+//!
+//! Rows dedup locally first (a duplicate never travels twice), then
+//! shuffle under a whole-row hash weighted by current loads, and dedup
+//! again at the destination.
+
+use std::collections::HashMap;
+
+use tamp_core::hashing::{mix64, WeightedHash};
+use tamp_simulator::Rel;
+use tamp_topology::NodeId;
+
+use crate::exec::{frag_weights, ExecCtx, Fragments};
+use crate::row::{canonicalize, flatten, Row};
+
+pub(crate) fn distinct(ctx: &mut ExecCtx<'_>, frags: Fragments, width: usize) -> Fragments {
+    let tree = ctx.tree;
+    let weights = frag_weights(tree, &frags, &vec![Vec::new(); frags.len()]);
+    let Some(hash) = WeightedHash::new(ctx.seed ^ 0xD157, &weights) else {
+        return vec![Vec::new(); tree.num_nodes()];
+    };
+    let row_key = |row: &Row| {
+        row.iter()
+            .fold(0xCBF29CE484222325u64, |h, &c| mix64(h ^ mix64(c)))
+    };
+    let mut new_frags: Fragments = vec![Vec::new(); tree.num_nodes()];
+    let mut outgoing: Vec<(NodeId, NodeId, Vec<u64>)> = Vec::new();
+    for &v in tree.compute_nodes() {
+        let mut by_dst: HashMap<NodeId, Vec<Row>> = HashMap::new();
+        // Dedup locally first: duplicates never need to travel twice.
+        let mut local = frags[v.index()].clone();
+        canonicalize(&mut local);
+        local.dedup();
+        for row in local {
+            let dst = hash.pick(row_key(&row));
+            if dst == v {
+                new_frags[v.index()].push(row);
+            } else {
+                by_dst.entry(dst).or_default().push(row);
+            }
+        }
+        for (dst, rows) in by_dst {
+            outgoing.push((v, dst, flatten(&rows, width)));
+            new_frags[dst.index()].extend(rows);
+        }
+    }
+    ctx.trace.round(|round| {
+        for (src, dst, buf) in &outgoing {
+            round.send(*src, &[*dst], Rel::R, buf);
+        }
+    });
+    for frag in &mut new_frags {
+        canonicalize(frag);
+        frag.dedup();
+    }
+    new_frags
+}

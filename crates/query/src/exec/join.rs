@@ -1,0 +1,206 @@
+//! Join operators: the exchange chosen at plan time, then a local probe.
+//!
+//! The equi-join executes whichever exchange the planner selected —
+//! weighted repartition (Algorithm 2), uniform repartition (the MPC
+//! baseline) or small-side broadcast (the `V_β` idea) — and the cross
+//! join always broadcasts the smaller side to the big side's holders
+//! (the star-case strategy of §4.5).
+
+use std::collections::HashMap;
+
+use tamp_core::hashing::{mix64, WeightedHash};
+use tamp_simulator::Rel;
+use tamp_topology::NodeId;
+
+use crate::exec::{frag_weights, ExecCtx, Fragments};
+use crate::physical::ExchangeKind;
+use crate::row::{flatten, Row};
+
+/// The nodes holding rows of `frags` — the broadcast destinations.
+fn holders_of(ctx: &ExecCtx<'_>, frags: &Fragments) -> Vec<NodeId> {
+    ctx.tree
+        .compute_nodes()
+        .iter()
+        .copied()
+        .filter(|&v| !frags[v.index()].is_empty())
+        .collect()
+}
+
+/// One-round replication of `small_frags` (rows of `small_w` values) to
+/// every holder: records the multicast round and returns the replicated
+/// fragments (every holder ends up with the full small side).
+fn broadcast_small(
+    ctx: &mut ExecCtx<'_>,
+    small_frags: &Fragments,
+    small_w: usize,
+    holders: &[NodeId],
+) -> Fragments {
+    let tree = ctx.tree;
+    ctx.trace.round(|round| {
+        for &v in tree.compute_nodes() {
+            let local = &small_frags[v.index()];
+            if local.is_empty() || holders.is_empty() {
+                continue;
+            }
+            round.send(v, holders, Rel::R, &flatten(local, small_w));
+        }
+    });
+    let mut small_new: Fragments = vec![Vec::new(); tree.num_nodes()];
+    for &h in holders {
+        for frag in small_frags.iter() {
+            small_new[h.index()].extend(frag.iter().cloned());
+        }
+    }
+    small_new
+}
+
+/// Execute a hash join: exchange both sides per `kind`, then probe
+/// locally.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn hash_join(
+    ctx: &mut ExecCtx<'_>,
+    kind: ExchangeKind,
+    lfrags: Fragments,
+    rfrags: Fragments,
+    li: usize,
+    ri: usize,
+    lw: usize,
+    rw: usize,
+) -> Fragments {
+    let tree = ctx.tree;
+    let (l_new, r_new) = match kind {
+        ExchangeKind::BroadcastSmall => {
+            let l_total: usize = lfrags.iter().map(Vec::len).sum();
+            let r_total: usize = rfrags.iter().map(Vec::len).sum();
+            let left_is_small = l_total <= r_total;
+            let (small_frags, small_w, big_frags) = if left_is_small {
+                (&lfrags, lw, &rfrags)
+            } else {
+                (&rfrags, rw, &lfrags)
+            };
+            // Replicate the small side to every node holding big rows.
+            let holders = holders_of(ctx, big_frags);
+            let small_new = broadcast_small(ctx, small_frags, small_w, &holders);
+            if left_is_small {
+                (small_new, rfrags)
+            } else {
+                (lfrags, small_new)
+            }
+        }
+        ExchangeKind::WeightedRepartition | ExchangeKind::UniformRepartition => {
+            let router: Box<dyn Fn(u64) -> NodeId> = match kind {
+                ExchangeKind::WeightedRepartition => {
+                    let weights = frag_weights(tree, &lfrags, &rfrags);
+                    match WeightedHash::new(ctx.seed, &weights) {
+                        Some(h) => Box::new(move |key| h.pick(key)),
+                        // No rows anywhere: the join output is empty.
+                        None => return vec![Vec::new(); tree.num_nodes()],
+                    }
+                }
+                _ => {
+                    let vc: Vec<NodeId> = tree.compute_nodes().to_vec();
+                    let seed = ctx.seed;
+                    Box::new(move |key| vc[(mix64(key ^ seed) % vc.len() as u64) as usize])
+                }
+            };
+            let l_new = shuffle_by_key(ctx, &lfrags, li, lw, Rel::R, &router);
+            let r_new = shuffle_by_key(ctx, &rfrags, ri, rw, Rel::S, &router);
+            (l_new, r_new)
+        }
+        other => unreachable!("{other} is not a join exchange"),
+    };
+
+    // Local probe join.
+    let mut out: Fragments = vec![Vec::new(); tree.num_nodes()];
+    for &v in tree.compute_nodes() {
+        let mut by_key: HashMap<u64, Vec<&Row>> = HashMap::new();
+        for row in &r_new[v.index()] {
+            by_key.entry(row[ri]).or_default().push(row);
+        }
+        for lrow in &l_new[v.index()] {
+            if let Some(matches) = by_key.get(&lrow[li]) {
+                for rrow in matches {
+                    let mut joined = lrow.clone();
+                    joined.extend_from_slice(rrow);
+                    out[v.index()].push(joined);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// One-round repartition of row fragments by a key router.
+pub(crate) fn shuffle_by_key(
+    ctx: &mut ExecCtx<'_>,
+    frags: &Fragments,
+    key_idx: usize,
+    width: usize,
+    rel: Rel,
+    router: &dyn Fn(u64) -> NodeId,
+) -> Fragments {
+    let tree = ctx.tree;
+    let mut new_frags: Fragments = vec![Vec::new(); tree.num_nodes()];
+    let mut outgoing: Vec<(NodeId, NodeId, Vec<u64>)> = Vec::new();
+    for &v in tree.compute_nodes() {
+        let mut by_dst: HashMap<NodeId, Vec<Row>> = HashMap::new();
+        for row in &frags[v.index()] {
+            let dst = router(row[key_idx]);
+            if dst == v {
+                new_frags[v.index()].push(row.clone());
+            } else {
+                by_dst.entry(dst).or_default().push(row.clone());
+            }
+        }
+        for (dst, rows) in by_dst {
+            outgoing.push((v, dst, flatten(&rows, width)));
+            new_frags[dst.index()].extend(rows);
+        }
+    }
+    ctx.trace.round(|round| {
+        for (src, dst, buf) in &outgoing {
+            round.send(*src, &[*dst], rel, buf);
+        }
+    });
+    new_frags
+}
+
+/// Execute a cross join: broadcast the smaller side to the nodes holding
+/// rows of the larger side, then pair locally.
+pub(crate) fn cross_join(
+    ctx: &mut ExecCtx<'_>,
+    lfrags: Fragments,
+    rfrags: Fragments,
+    lw: usize,
+    rw: usize,
+) -> Fragments {
+    let tree = ctx.tree;
+    let l_total: usize = lfrags.iter().map(Vec::len).sum();
+    let r_total: usize = rfrags.iter().map(Vec::len).sum();
+    let left_is_small = l_total * lw <= r_total * rw;
+    let (small_frags, small_w, big_frags) = if left_is_small {
+        (&lfrags, lw, &rfrags)
+    } else {
+        (&rfrags, rw, &lfrags)
+    };
+    let holders = holders_of(ctx, big_frags);
+    let small_new = broadcast_small(ctx, small_frags, small_w, &holders);
+    let mut out: Fragments = vec![Vec::new(); tree.num_nodes()];
+    for &h in &holders {
+        for big_row in &big_frags[h.index()] {
+            for small_row in &small_new[h.index()] {
+                let joined = if left_is_small {
+                    let mut j = small_row.clone();
+                    j.extend_from_slice(big_row);
+                    j
+                } else {
+                    let mut j = big_row.clone();
+                    j.extend_from_slice(small_row);
+                    j
+                };
+                out[h.index()].push(joined);
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,51 @@
+//! Limit: a bounded gather to the first compute node.
+//!
+//! Each node contributes at most `n` rows (its first `n` in local order —
+//! canonicalized unless the input preserves a global order), so the
+//! gather ships `O(n·|V_C|)` rows regardless of input size.
+
+use tamp_core::sorting::valid_order;
+use tamp_simulator::Rel;
+use tamp_topology::NodeId;
+
+use crate::exec::{ExecCtx, Fragments};
+use crate::row::{canonicalize, flatten, Row};
+
+pub(crate) fn limit(
+    ctx: &mut ExecCtx<'_>,
+    frags: Fragments,
+    n: usize,
+    width: usize,
+    order_preserving: bool,
+) -> Fragments {
+    let tree = ctx.tree;
+    let order = valid_order(tree);
+    let target = order[0];
+    // Each node contributes at most n rows (its first n in local order).
+    let mut contributions: Vec<(NodeId, Vec<Row>)> = Vec::new();
+    for &v in &order {
+        let mut local = frags[v.index()].clone();
+        if !order_preserving {
+            canonicalize(&mut local);
+        }
+        local.truncate(n);
+        contributions.push((v, local));
+    }
+    ctx.trace.round(|round| {
+        for (v, rows) in &contributions {
+            if *v != target && !rows.is_empty() {
+                round.send(*v, &[target], Rel::R, &flatten(rows, width));
+            }
+        }
+    });
+    // Concatenate in node order (global order for order-preserving
+    // inputs), else canonicalize, then cut.
+    let mut all: Vec<Row> = contributions.into_iter().flat_map(|(_, r)| r).collect();
+    if !order_preserving {
+        canonicalize(&mut all);
+    }
+    all.truncate(n);
+    let mut out: Fragments = vec![Vec::new(); tree.num_nodes()];
+    out[target.index()] = all;
+    out
+}

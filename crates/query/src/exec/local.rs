@@ -1,0 +1,71 @@
+//! Communication-free operators: filter, project, union-all.
+//!
+//! Local computation is free under the §2 cost functional, so these
+//! operators rewrite fragments in place and record no rounds.
+
+use crate::error::QueryError;
+use crate::exec::Fragments;
+use crate::expr::Expr;
+use crate::row::Row;
+use crate::schema::Schema;
+
+/// Keep rows matching `predicate` (bound against `schema`).
+pub(crate) fn filter(
+    schema: &Schema,
+    mut frags: Fragments,
+    predicate: &Expr,
+) -> Result<Fragments, QueryError> {
+    let bound = predicate.bind(schema)?;
+    for frag in &mut frags {
+        let mut kept = Vec::with_capacity(frag.len());
+        for row in frag.drain(..) {
+            if bound.matches(&row)? {
+                kept.push(row);
+            }
+        }
+        *frag = kept;
+    }
+    Ok(frags)
+}
+
+/// Evaluate named expressions per row.
+pub(crate) fn project(
+    schema: &Schema,
+    frags: &Fragments,
+    exprs: &[(String, Expr)],
+) -> Result<(Schema, Fragments), QueryError> {
+    let bound: Vec<Expr> = exprs
+        .iter()
+        .map(|(_, e)| e.bind(schema))
+        .collect::<Result<_, _>>()?;
+    let mut out = vec![Vec::new(); frags.len()];
+    for (i, frag) in frags.iter().enumerate() {
+        for row in frag {
+            let projected: Row = bound
+                .iter()
+                .map(|e| e.eval(row))
+                .collect::<Result<_, _>>()?;
+            out[i].push(projected);
+        }
+    }
+    let out_schema = Schema::new(exprs.iter().map(|(n, _)| n.clone()).collect())?;
+    Ok((out_schema, out))
+}
+
+/// Bag union: fragments concatenate in place (free).
+pub(crate) fn union_all(
+    ls: &Schema,
+    rs: &Schema,
+    mut lfrags: Fragments,
+    mut rfrags: Fragments,
+) -> Result<Fragments, QueryError> {
+    if ls != rs {
+        return Err(QueryError::Plan(format!(
+            "UNION ALL schema mismatch: {ls} vs {rs}"
+        )));
+    }
+    for (f, r) in lfrags.iter_mut().zip(rfrags.iter_mut()) {
+        f.append(r);
+    }
+    Ok(lfrags)
+}

@@ -1,0 +1,717 @@
+//! The backend-generic distributed executor.
+//!
+//! Execution happens in two stages. First the executor walks a
+//! [`PhysicalPlan`] over the catalog's fragments, computing every
+//! operator's output *and* recording the communication schedule as an
+//! exchange trace (the `trace` submodule) — per round, the exact
+//! `(src, dsts, rel, payload)` sends each exchange performs:
+//!
+//! | Operator | Exchange | Rounds |
+//! |----------|----------|--------|
+//! | `Filter` / `Project` / `UnionAll` | none (local, free under §2) | 0 |
+//! | `HashJoin` | weighted repartition (Algorithm 2), uniform repartition (MPC baseline), or small-side broadcast (`V_β`, Algorithm 1) — chosen at plan time | 2 / 2 / 1 |
+//! | `CrossJoin` | broadcast of the smaller side | 1 |
+//! | `Sort` | sample → proportional splitters → range shuffle (§5.2) | 3 |
+//! | `HashAggregate` | local partials + weighted hash shuffle | 1 |
+//! | `Limit` | bounded gather | 1 |
+//! | `Distinct` | whole-row weighted hash shuffle | 1 |
+//!
+//! Then the trace replays through any [`ExecBackend`] — the centralized
+//! simulator or the pooled BSP cluster — which meters it on the shared
+//! per-directed-edge ledger. Because the schedule is derived once from
+//! shared model knowledge, both engines move bit-identical traffic; the
+//! parity tests assert equal `edge_totals` across backends.
+//!
+//! The operator implementations live in per-operator modules (`join`,
+//! `sort`, `aggregate`, `limit`, `distinct`, `local`); this module drives
+//! the walk, attributes per-round costs to operators, and keeps the
+//! legacy free-function API ([`execute`], [`execute_on`]) as a thin shim
+//! over [`QueryContext`](crate::context::QueryContext).
+
+mod aggregate;
+mod distinct;
+mod join;
+mod limit;
+mod local;
+mod sort;
+pub(crate) mod trace;
+
+use tamp_core::sorting::valid_order;
+use tamp_runtime::backend::{ExecBackend, SimulatorBackend};
+use tamp_simulator::cost::Cost;
+use tamp_simulator::Placement;
+use tamp_topology::{NodeId, Tree};
+
+use crate::context::prepare_with;
+use crate::error::QueryError;
+use crate::physical::{PhysicalOp, PhysicalPlan};
+use crate::row::{canonicalize, Row};
+use crate::schema::Schema;
+use crate::table::Catalog;
+use trace::{TraceJob, TraceRecorder};
+
+/// How equi-joins repartition their inputs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum JoinStrategy {
+    /// Let the planner price weighted repartition, uniform repartition
+    /// and small-side broadcast on the §2 cost model and keep the
+    /// cheapest (see [`crate::physical::lower`]).
+    #[default]
+    Auto,
+    /// Repartition both sides by a hash weighted by each node's *current*
+    /// data — the distribution-aware choice.
+    Weighted,
+    /// Repartition both sides uniformly — the topology-agnostic MPC
+    /// baseline.
+    Uniform,
+    /// Replicate the smaller side to every node holding big-side rows.
+    BroadcastSmall,
+}
+
+/// Execution options.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExecOptions {
+    /// Join strategy.
+    pub join: JoinStrategy,
+    /// Seed for hashing and sampling.
+    pub seed: u64,
+}
+
+/// Estimated-vs-metered cost of one operator, in plan post-order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OperatorCost {
+    /// Operator label (e.g. `HashJoin g=g`).
+    pub op: String,
+    /// The planner's §2 estimate for the operator's exchange (0 for
+    /// local operators).
+    pub estimated: f64,
+    /// The metered tuple cost actually charged to the operator's rounds.
+    pub actual: f64,
+    /// Communication rounds the operator used.
+    pub rounds: usize,
+}
+
+/// The result of a distributed query execution.
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    /// Output schema.
+    pub schema: Schema,
+    /// Output row fragments, indexed by node id.
+    pub fragments: Vec<Vec<Row>>,
+    /// Total metered cost.
+    pub cost: Cost,
+    /// Per-operator estimated-vs-actual cost, in execution order
+    /// (post-order of the plan); operators with no communication report
+    /// `0`.
+    pub operator_costs: Vec<OperatorCost>,
+    /// The planner's total estimated §2 cost for the plan.
+    pub estimated_cost: f64,
+    /// Communication rounds used.
+    pub rounds: usize,
+    /// The compute-node order along which `OrderBy` range-partitions (the
+    /// tree's valid left-to-right order); order-preserving row collection
+    /// concatenates fragments along it.
+    pub node_order: Vec<NodeId>,
+}
+
+impl QueryResult {
+    /// All output rows. Order-preserving plans (`OrderBy`, `Limit` above
+    /// one) concatenate fragments in execution order; anything else is
+    /// canonicalized for stable comparisons.
+    pub fn rows(&self, order_preserving: bool) -> Vec<Row> {
+        let mut rows: Vec<Row> = self
+            .node_order
+            .iter()
+            .flat_map(|&v| self.fragments[v.index()].iter().cloned())
+            .collect();
+        if !order_preserving {
+            canonicalize(&mut rows);
+        }
+        rows
+    }
+
+    /// Total number of output rows.
+    pub fn num_rows(&self) -> usize {
+        self.fragments.iter().map(Vec::len).sum()
+    }
+}
+
+/// Execute `plan` over `catalog` with `options` on the default engine
+/// (the centralized simulator backend).
+///
+/// Thin shim over the [`QueryContext`](crate::context::QueryContext)
+/// pipeline: the plan is lowered to a [`PhysicalPlan`] (resolving
+/// [`JoinStrategy::Auto`] cost-based) and run.
+pub fn execute(
+    catalog: &Catalog,
+    plan: &crate::plan::LogicalPlan,
+    options: ExecOptions,
+) -> Result<QueryResult, QueryError> {
+    execute_on(catalog, plan, options, &SimulatorBackend)
+}
+
+/// Execute `plan` over `catalog` with `options` on an explicit
+/// [`ExecBackend`].
+///
+/// Prepared queries replay their exchange trace through the backend, so
+/// both the centralized simulator and the pooled cluster run the same
+/// schedule and meter bit-identical ledgers.
+pub fn execute_on(
+    catalog: &Catalog,
+    plan: &crate::plan::LogicalPlan,
+    options: ExecOptions,
+    backend: &dyn ExecBackend,
+) -> Result<QueryResult, QueryError> {
+    prepare_with(catalog, plan.clone(), options)?.run_on(backend)
+}
+
+pub(crate) type Fragments = Vec<Vec<Row>>;
+
+/// Current per-node row counts, as weights for distribution-aware
+/// hashing.
+pub(crate) fn frag_weights(
+    tree: &Tree,
+    frags: &[Vec<Row>],
+    extra: &[Vec<Row>],
+) -> Vec<(NodeId, u64)> {
+    tree.compute_nodes()
+        .iter()
+        .map(|&v| (v, (frags[v.index()].len() + extra[v.index()].len()) as u64))
+        .collect()
+}
+
+/// Shared state of one plan walk: the catalog, the seed, the trace being
+/// recorded, and the operator marks for cost attribution.
+pub(crate) struct ExecCtx<'a> {
+    pub catalog: &'a Catalog,
+    pub tree: &'a Tree,
+    pub seed: u64,
+    pub trace: TraceRecorder,
+    marks: Vec<Mark>,
+}
+
+struct Mark {
+    op: String,
+    estimated: f64,
+    upto: usize,
+}
+
+impl ExecCtx<'_> {
+    /// Record that `plan`'s operator finished at the current round count.
+    fn mark(&mut self, plan: &PhysicalPlan) {
+        self.marks.push(Mark {
+            op: plan.label(),
+            estimated: plan.exchange().map_or(0.0, |x| x.estimate.tuple_cost),
+            upto: self.trace.rounds_len(),
+        });
+    }
+}
+
+/// Execute a physical plan: compute fragments, record the trace, then
+/// replay it through `backend` for metering.
+pub(crate) fn run_physical(
+    catalog: &Catalog,
+    physical: &PhysicalPlan,
+    seed: u64,
+    backend: &dyn ExecBackend,
+) -> Result<QueryResult, QueryError> {
+    let mut ctx = ExecCtx {
+        catalog,
+        tree: catalog.tree(),
+        seed,
+        trace: TraceRecorder::default(),
+        marks: Vec::new(),
+    };
+    let (schema, fragments) = exec_physical(&mut ctx, physical)?;
+    let job = TraceJob::new("query", catalog.tree().num_nodes(), ctx.trace.into_trace());
+    let placement = Placement::empty(catalog.tree());
+    let outcome = backend
+        .execute(catalog.tree(), &placement, &job)
+        .map_err(QueryError::from)?;
+    // Attribute per-round costs to operators via the recorded marks.
+    let mut operator_costs = Vec::with_capacity(ctx.marks.len());
+    let mut prev = 0usize;
+    for m in ctx.marks {
+        let actual: f64 = outcome.cost.per_round[prev..m.upto]
+            .iter()
+            .map(|r| r.tuple_cost)
+            .sum();
+        operator_costs.push(OperatorCost {
+            op: m.op,
+            estimated: m.estimated,
+            actual,
+            rounds: m.upto - prev,
+        });
+        prev = m.upto;
+    }
+    Ok(QueryResult {
+        schema,
+        fragments,
+        cost: outcome.cost,
+        operator_costs,
+        estimated_cost: physical.estimated_cost(),
+        rounds: outcome.rounds,
+        node_order: valid_order(catalog.tree()),
+    })
+}
+
+/// Execute one physical operator (post-order), recording its rounds and
+/// mark.
+fn exec_physical(
+    ctx: &mut ExecCtx<'_>,
+    plan: &PhysicalPlan,
+) -> Result<(Schema, Fragments), QueryError> {
+    let result = match &plan.op {
+        PhysicalOp::TableScan { table } => {
+            let t = ctx.catalog.table(table)?;
+            (t.schema.clone(), t.fragments.clone())
+        }
+        PhysicalOp::Filter { input, predicate } => {
+            let (schema, frags) = exec_physical(ctx, input)?;
+            let frags = local::filter(&schema, frags, predicate)?;
+            (schema, frags)
+        }
+        PhysicalOp::Project { input, exprs } => {
+            let (schema, frags) = exec_physical(ctx, input)?;
+            local::project(&schema, &frags, exprs)?
+        }
+        PhysicalOp::HashJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+            exchange,
+        } => {
+            let (ls, lfrags) = exec_physical(ctx, left)?;
+            let (rs, rfrags) = exec_physical(ctx, right)?;
+            let li = ls.index_of(left_key)?;
+            let ri = rs.index_of(right_key)?;
+            let out_schema = ls.join(&rs, "r_")?;
+            let frags = join::hash_join(
+                ctx,
+                exchange.kind,
+                lfrags,
+                rfrags,
+                li,
+                ri,
+                ls.width(),
+                rs.width(),
+            );
+            (out_schema, frags)
+        }
+        PhysicalOp::CrossJoin { left, right, .. } => {
+            let (ls, lfrags) = exec_physical(ctx, left)?;
+            let (rs, rfrags) = exec_physical(ctx, right)?;
+            let out_schema = ls.join(&rs, "r_")?;
+            let frags = join::cross_join(ctx, lfrags, rfrags, ls.width(), rs.width());
+            (out_schema, frags)
+        }
+        PhysicalOp::Sort { input, key, .. } => {
+            let (schema, frags) = exec_physical(ctx, input)?;
+            let ki = schema.index_of(key)?;
+            let frags = sort::order_by(ctx, frags, ki, schema.width());
+            (schema, frags)
+        }
+        PhysicalOp::HashAggregate {
+            input,
+            group_by,
+            agg,
+            measure,
+            ..
+        } => {
+            let (schema, frags) = exec_physical(ctx, input)?;
+            let gi = schema.index_of(group_by)?;
+            let mi = schema.index_of(measure)?;
+            let frags = aggregate::aggregate(ctx, frags, gi, mi, *agg);
+            let out = Schema::new(vec![
+                group_by.clone(),
+                format!("{}_{}", agg.name(), measure),
+            ])?;
+            (out, frags)
+        }
+        PhysicalOp::Limit {
+            input,
+            n,
+            order_preserving,
+            ..
+        } => {
+            let (schema, frags) = exec_physical(ctx, input)?;
+            let frags = limit::limit(ctx, frags, *n, schema.width(), *order_preserving);
+            (schema, frags)
+        }
+        PhysicalOp::Distinct { input, .. } => {
+            let (schema, frags) = exec_physical(ctx, input)?;
+            let frags = distinct::distinct(ctx, frags, schema.width());
+            (schema, frags)
+        }
+        PhysicalOp::UnionAll { left, right } => {
+            let (ls, lfrags) = exec_physical(ctx, left)?;
+            let (rs, rfrags) = exec_physical(ctx, right)?;
+            let frags = local::union_all(&ls, &rs, lfrags, rfrags)?;
+            (ls, frags)
+        }
+    };
+    ctx.mark(plan);
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use crate::plan::{AggFunc, LogicalPlan};
+    use crate::reference;
+    use crate::table::DistributedTable;
+    use tamp_core::hashing::mix64;
+    use tamp_topology::builders;
+
+    fn catalog(tree: Tree, n: u64) -> Catalog {
+        let mut c = Catalog::new(tree);
+        let rows: Vec<Row> = (0..n).map(|i| vec![i, i % 7, mix64(i) % 1000]).collect();
+        let t = DistributedTable::round_robin(
+            "facts",
+            Schema::new(vec!["id", "g", "x"]).unwrap(),
+            rows,
+            c.tree(),
+        );
+        c.register(t).unwrap();
+        let dims: Vec<Row> = (0..7).map(|g| vec![g, 100 + g]).collect();
+        let d = DistributedTable::round_robin(
+            "dims",
+            Schema::new(vec!["g", "label"]).unwrap(),
+            dims,
+            c.tree(),
+        );
+        c.register(d).unwrap();
+        c
+    }
+
+    fn check_against_reference(c: &Catalog, q: &LogicalPlan, opts: ExecOptions) -> QueryResult {
+        let res = execute(c, q, opts).unwrap();
+        let got = res.rows(reference::preserves_order(q));
+        let want = reference::evaluate(q, c).unwrap();
+        assert_eq!(got, want, "plan:\n{q}");
+        res
+    }
+
+    #[test]
+    fn filter_project_are_free() {
+        let c = catalog(builders::star(4, 1.0), 50);
+        let q = LogicalPlan::scan("facts")
+            .filter(col("g").lt(lit(3)))
+            .project(vec![("id", col("id")), ("y", col("x").add(lit(1)))]);
+        let res = check_against_reference(&c, &q, ExecOptions::default());
+        assert_eq!(res.cost.tuple_cost(), 0.0);
+        assert_eq!(res.estimated_cost, 0.0);
+    }
+
+    #[test]
+    fn hash_join_all_strategies_agree() {
+        let c = catalog(
+            builders::rack_tree(&[(3, 1.0, 2.0), (2, 2.0, 1.0)], 1.0),
+            80,
+        );
+        let q = LogicalPlan::scan("facts").join_on(LogicalPlan::scan("dims"), "g", "g");
+        for join in [
+            JoinStrategy::Auto,
+            JoinStrategy::Weighted,
+            JoinStrategy::Uniform,
+            JoinStrategy::BroadcastSmall,
+        ] {
+            check_against_reference(&c, &q, ExecOptions { join, seed: 3 });
+        }
+    }
+
+    #[test]
+    fn cross_join_matches_reference() {
+        let c = catalog(builders::star(3, 1.0), 20);
+        let q = LogicalPlan::scan("dims").cross(LogicalPlan::scan("dims"));
+        let res = check_against_reference(&c, &q, ExecOptions::default());
+        assert_eq!(res.num_rows(), 49);
+    }
+
+    #[test]
+    fn order_by_produces_global_order() {
+        let c = catalog(builders::star(4, 1.0), 200);
+        let q = LogicalPlan::scan("facts").order_by("x");
+        let res = check_against_reference(&c, &q, ExecOptions::default());
+        // Fragment concatenation in node order is globally sorted by x.
+        let rows = res.rows(true);
+        assert!(rows.windows(2).all(|w| w[0][2] <= w[1][2]));
+    }
+
+    #[test]
+    fn aggregate_matches_reference() {
+        let c = catalog(builders::caterpillar(3, 2, 1.0), 120);
+        for agg in [AggFunc::Count, AggFunc::Sum, AggFunc::Min, AggFunc::Max] {
+            let q = LogicalPlan::scan("facts").aggregate("g", agg, "x");
+            check_against_reference(&c, &q, ExecOptions::default());
+        }
+    }
+
+    #[test]
+    fn limit_after_order_by() {
+        let c = catalog(builders::star(3, 1.0), 90);
+        let q = LogicalPlan::scan("facts").order_by("x").limit(10);
+        let res = check_against_reference(&c, &q, ExecOptions::default());
+        assert_eq!(res.num_rows(), 10);
+    }
+
+    #[test]
+    fn composite_analytics_query() {
+        let c = catalog(
+            builders::rack_tree(&[(2, 1.0, 2.0), (3, 2.0, 4.0)], 1.0),
+            150,
+        );
+        let q = LogicalPlan::scan("facts")
+            .filter(col("x").gt(lit(100)))
+            .join_on(LogicalPlan::scan("dims"), "g", "g")
+            .aggregate("label", AggFunc::Count, "id")
+            .order_by("label");
+        let res = check_against_reference(&c, &q, ExecOptions::default());
+        // Cost attribution covers every operator, in post-order.
+        let names: Vec<&str> = res.operator_costs.iter().map(|c| c.op.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Scan facts",
+                "Filter (x > 100)",
+                "Scan dims",
+                "HashJoin g=g",
+                "Aggregate count",
+                "OrderBy label"
+            ]
+        );
+        let total: f64 = res.operator_costs.iter().map(|c| c.actual).sum();
+        assert!((total - res.cost.tuple_cost()).abs() < 1e-9);
+        // Every communicating operator carries a positive estimate.
+        for oc in &res.operator_costs {
+            if oc.actual > 0.0 {
+                assert!(oc.estimated > 0.0, "{} estimated 0", oc.op);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_join_beats_uniform_on_skew() {
+        // All fact rows on one node behind a thin uplink; dims tiny.
+        // Weighted hashing keeps fact rows where they are; uniform hashing
+        // ships ~everything across the thin link.
+        let tree = builders::heterogeneous_star(&[0.5, 4.0, 4.0, 4.0]);
+        let heavy = tree.compute_nodes()[0];
+        let mut c = Catalog::new(tree);
+        let rows: Vec<Row> = (0..400).map(|i| vec![i, i % 5, i * 2]).collect();
+        let t = DistributedTable::single_node(
+            "facts",
+            Schema::new(vec!["id", "g", "x"]).unwrap(),
+            rows,
+            c.tree(),
+            heavy,
+        );
+        c.register(t).unwrap();
+        let dims: Vec<Row> = (0..5).map(|g| vec![g, g + 50]).collect();
+        let d = DistributedTable::round_robin(
+            "dims",
+            Schema::new(vec!["g", "label"]).unwrap(),
+            dims,
+            c.tree(),
+        );
+        c.register(d).unwrap();
+
+        let q = LogicalPlan::scan("facts").join_on(LogicalPlan::scan("dims"), "g", "g");
+        let weighted = check_against_reference(
+            &c,
+            &q,
+            ExecOptions {
+                join: JoinStrategy::Weighted,
+                seed: 1,
+            },
+        );
+        let uniform = check_against_reference(
+            &c,
+            &q,
+            ExecOptions {
+                join: JoinStrategy::Uniform,
+                seed: 1,
+            },
+        );
+        assert!(
+            weighted.cost.tuple_cost() * 2.0 < uniform.cost.tuple_cost(),
+            "weighted {} vs uniform {}",
+            weighted.cost.tuple_cost(),
+            uniform.cost.tuple_cost()
+        );
+    }
+
+    #[test]
+    fn errors_surface_cleanly() {
+        let c = catalog(builders::star(2, 1.0), 10);
+        let q = LogicalPlan::scan("nope");
+        assert!(matches!(
+            execute(&c, &q, ExecOptions::default()),
+            Err(QueryError::UnknownTable(_))
+        ));
+        let q = LogicalPlan::scan("facts").filter(col("id").div(lit(0)).gt(lit(0)));
+        assert_eq!(
+            execute(&c, &q, ExecOptions::default()).unwrap_err(),
+            QueryError::DivideByZero
+        );
+    }
+
+    #[test]
+    fn all_backends_run_the_same_prepared_query() {
+        let c = catalog(builders::star(3, 1.0), 60);
+        let q = LogicalPlan::scan("facts")
+            .filter(col("g").lt(lit(5)))
+            .aggregate("g", AggFunc::Count, "x");
+        // The default engine and an explicitly selected simulator backend
+        // are the same path.
+        let a = execute(&c, &q, ExecOptions::default()).unwrap();
+        let b = execute_on(
+            &c,
+            &q,
+            ExecOptions::default(),
+            &tamp_runtime::SimulatorBackend,
+        )
+        .unwrap();
+        assert_eq!(a.rows(false), b.rows(false));
+        assert_eq!(a.cost.edge_totals, b.cost.edge_totals);
+        assert_eq!(a.rounds, b.rounds);
+        // The pooled cluster replays the same exchange trace and meters a
+        // bit-identical ledger — queries are no longer simulator-only.
+        let d = execute_on(
+            &c,
+            &q,
+            ExecOptions::default(),
+            &tamp_runtime::PooledClusterBackend::default(),
+        )
+        .unwrap();
+        assert_eq!(a.rows(false), d.rows(false));
+        assert_eq!(a.cost.edge_totals, d.cost.edge_totals);
+        assert_eq!(a.rounds, d.rounds);
+    }
+
+    #[test]
+    fn empty_inputs_run_clean() {
+        let tree = builders::star(3, 1.0);
+        let mut c = Catalog::new(tree);
+        let t = DistributedTable::round_robin(
+            "e",
+            Schema::new(vec!["a", "b"]).unwrap(),
+            Vec::new(),
+            c.tree(),
+        );
+        c.register(t).unwrap();
+        for q in [
+            LogicalPlan::scan("e").order_by("a"),
+            LogicalPlan::scan("e").aggregate("a", AggFunc::Sum, "b"),
+            LogicalPlan::scan("e").join_on(LogicalPlan::scan("e"), "a", "a"),
+            LogicalPlan::scan("e").limit(5),
+        ] {
+            let res = execute(&c, &q, ExecOptions::default()).unwrap();
+            assert_eq!(res.num_rows(), 0);
+            assert_eq!(res.cost.tuple_cost(), 0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod distinct_union_tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use crate::plan::LogicalPlan;
+    use crate::reference;
+    use crate::table::DistributedTable;
+    use tamp_topology::builders;
+
+    fn dup_catalog() -> Catalog {
+        let tree = builders::rack_tree(&[(3, 1.0, 2.0), (2, 2.0, 1.0)], 1.0);
+        let mut c = Catalog::new(tree);
+        // Every row appears three times, scattered across nodes.
+        let mut rows: Vec<Row> = Vec::new();
+        for rep in 0..3u64 {
+            rows.extend((0..40).map(|i| vec![i, i % 5]));
+            let _ = rep;
+        }
+        let t = DistributedTable::round_robin(
+            "d",
+            Schema::new(vec!["k", "g"]).unwrap(),
+            rows,
+            c.tree(),
+        );
+        c.register(t).unwrap();
+        c
+    }
+
+    #[test]
+    fn distinct_removes_scattered_duplicates() {
+        let c = dup_catalog();
+        let q = LogicalPlan::scan("d").distinct();
+        let res = execute(&c, &q, ExecOptions::default()).unwrap();
+        assert_eq!(res.num_rows(), 40);
+        assert_eq!(res.rows(false), reference::evaluate(&q, &c).unwrap());
+        // Duplicates of a row co-locate, so at most one copy per row moves
+        // beyond local dedup: cost well below shipping all 120 rows.
+        assert!(res.cost.tuple_cost() > 0.0);
+    }
+
+    #[test]
+    fn distinct_composes_with_filter_and_union() {
+        let c = dup_catalog();
+        let q = LogicalPlan::scan("d")
+            .filter(col("g").lt(lit(3)))
+            .union_all(LogicalPlan::scan("d").filter(col("g").ge(lit(3))))
+            .distinct();
+        let res = execute(&c, &q, ExecOptions::default()).unwrap();
+        assert_eq!(res.rows(false), reference::evaluate(&q, &c).unwrap());
+        assert_eq!(res.num_rows(), 40);
+    }
+
+    #[test]
+    fn union_all_is_free_and_keeps_duplicates() {
+        let c = dup_catalog();
+        let q = LogicalPlan::scan("d").union_all(LogicalPlan::scan("d"));
+        let res = execute(&c, &q, ExecOptions::default()).unwrap();
+        assert_eq!(res.num_rows(), 240);
+        assert_eq!(res.cost.tuple_cost(), 0.0);
+        assert_eq!(res.rows(false), reference::evaluate(&q, &c).unwrap());
+    }
+
+    #[test]
+    fn union_all_rejects_schema_mismatch() {
+        let mut c = dup_catalog();
+        let t = DistributedTable::round_robin(
+            "other",
+            Schema::new(vec!["a", "b", "c"]).unwrap(),
+            vec![vec![1, 2, 3]],
+            c.tree(),
+        );
+        c.register(t).unwrap();
+        let q = LogicalPlan::scan("d").union_all(LogicalPlan::scan("other"));
+        assert!(matches!(
+            execute(&c, &q, ExecOptions::default()),
+            Err(QueryError::Plan(_))
+        ));
+    }
+
+    #[test]
+    fn empty_distinct_is_free() {
+        let tree = builders::star(2, 1.0);
+        let mut c = Catalog::new(tree);
+        c.register(DistributedTable::round_robin(
+            "e",
+            Schema::new(vec!["a"]).unwrap(),
+            Vec::new(),
+            c.tree(),
+        ))
+        .unwrap();
+        let res = execute(
+            &c,
+            &LogicalPlan::scan("e").distinct(),
+            ExecOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(res.num_rows(), 0);
+        assert_eq!(res.cost.tuple_cost(), 0.0);
+    }
+}

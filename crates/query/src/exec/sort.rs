@@ -1,0 +1,109 @@
+//! Global sort: the weighted-TeraSort range shuffle (§5.2).
+//!
+//! Three rounds: sample keys to a coordinator, broadcast splitters chosen
+//! proportional to current node loads, then range-shuffle rows into the
+//! tree's valid left-to-right compute order so fragment concatenation
+//! yields the global order.
+
+use tamp_core::sorting::{coin, sample_rate, valid_order};
+use tamp_simulator::Rel;
+use tamp_topology::NodeId;
+
+use crate::exec::{ExecCtx, Fragments};
+use crate::row::Row;
+
+pub(crate) fn order_by(
+    ctx: &mut ExecCtx<'_>,
+    frags: Fragments,
+    ki: usize,
+    width: usize,
+) -> Fragments {
+    let tree = ctx.tree;
+    let order = valid_order(tree);
+    let total: usize = frags.iter().map(Vec::len).sum();
+    if total == 0 {
+        return frags;
+    }
+    let coordinator = order[0];
+    let rho = sample_rate(order.len(), total as u64);
+
+    // Round 1: sample keys to the coordinator (width-1 messages).
+    let mut all_samples: Vec<u64> = Vec::new();
+    let mut sampled: Vec<(NodeId, Vec<u64>)> = Vec::new();
+    for &v in &order {
+        let samples: Vec<u64> = frags[v.index()]
+            .iter()
+            .map(|r| r[ki])
+            .filter(|&x| coin(ctx.seed, x, rho))
+            .collect();
+        all_samples.extend_from_slice(&samples);
+        sampled.push((v, samples));
+    }
+    ctx.trace.round(|round| {
+        for (v, samples) in &sampled {
+            round.send(*v, &[coordinator], Rel::S, samples);
+        }
+    });
+
+    // Coordinator picks splitters proportional to current node loads.
+    all_samples.sort_unstable();
+    let weights: Vec<u64> = order
+        .iter()
+        .map(|&v| frags[v.index()].len() as u64)
+        .collect();
+    let wsum: u64 = weights.iter().sum();
+    let mut splitters: Vec<u64> = Vec::with_capacity(order.len().saturating_sub(1));
+    let mut acc = 0u64;
+    for &w in weights.iter().take(order.len() - 1) {
+        acc += w;
+        if all_samples.is_empty() {
+            splitters.push(u64::MAX);
+            continue;
+        }
+        let idx = ((acc as u128 * all_samples.len() as u128) / wsum.max(1) as u128) as usize;
+        splitters.push(if idx == 0 {
+            u64::MIN
+        } else {
+            all_samples.get(idx - 1).copied().unwrap_or(u64::MAX)
+        });
+    }
+
+    // Round 2: broadcast splitters.
+    ctx.trace
+        .round(|round| round.send(coordinator, &order, Rel::S, &splitters));
+
+    // Round 3: range shuffle by splitter buckets.
+    let mut new_frags: Fragments = vec![Vec::new(); tree.num_nodes()];
+    let mut outgoing: Vec<(NodeId, NodeId, Vec<u64>)> = Vec::new();
+    for &v in &order {
+        let mut buckets: Vec<Vec<Row>> = vec![Vec::new(); order.len()];
+        for row in &frags[v.index()] {
+            let b = splitters
+                .partition_point(|&s| s <= row[ki])
+                .min(order.len() - 1);
+            buckets[b].push(row.clone());
+        }
+        for (j, bucket) in buckets.into_iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            if order[j] == v {
+                new_frags[v.index()].extend(bucket);
+            } else {
+                outgoing.push((v, order[j], crate::row::flatten(&bucket, width)));
+                new_frags[order[j].index()].extend(bucket);
+            }
+        }
+    }
+    ctx.trace.round(|round| {
+        for (src, dst, buf) in &outgoing {
+            round.send(*src, &[*dst], Rel::R, buf);
+        }
+    });
+    for &v in &order {
+        new_frags[v.index()].sort_by_key(|r| (r[ki], r.clone()));
+    }
+    // Bucket i already lives at order[i], so concatenation by node order
+    // yields the global order.
+    new_frags
+}

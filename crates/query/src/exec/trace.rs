@@ -1,0 +1,181 @@
+//! The exchange trace: the bridge from plan execution to any backend.
+//!
+//! Executing a [`PhysicalPlan`](crate::physical::PhysicalPlan) is a
+//! deterministic function of the catalog, the plan and the seed — §2
+//! grants every node the model knowledge (topology, cardinalities) the
+//! planner used, so *every* engine can derive the same exchange schedule.
+//! The executor exploits that: it first computes the full run as an
+//! [`ExecTrace`] — per round, the multiset of `(src, dsts, rel, payload)`
+//! sends — and then replays that trace through an
+//! [`ExecBackend`](tamp_runtime::backend::ExecBackend):
+//!
+//! - the **centralized** view drives a simulator [`Session`], one
+//!   metered round per trace round;
+//! - the **distributed** view hands each compute node a replay
+//!   [`NodeProgram`] that emits exactly the trace sends originating at
+//!   that node, superstep by superstep.
+//!
+//! Both engines meter on the shared per-directed-edge ledger, so the two
+//! views produce bit-identical [`Cost`](tamp_simulator::cost::Cost)s —
+//! the query parity tests assert exactly that.
+
+use std::sync::Arc;
+
+use tamp_runtime::backend::{CentralizedView, ExecJob};
+use tamp_runtime::{NodeCtx, NodeProgram, Outbox, Step};
+use tamp_simulator::{NodeState, Rel, Session, SimError, Value};
+use tamp_topology::NodeId;
+
+/// One multicast recorded by the executor.
+#[derive(Clone, Debug)]
+pub(crate) struct TraceSend {
+    /// Sending compute node.
+    pub src: NodeId,
+    /// Destination compute nodes (charged along the union of paths).
+    pub dsts: Vec<NodeId>,
+    /// Relation tag.
+    pub rel: Rel,
+    /// Payload values.
+    pub values: Vec<Value>,
+}
+
+/// The complete, backend-independent communication schedule of one query
+/// execution: every send of every round, in order.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct ExecTrace {
+    /// Rounds in execution order; a round may be empty (silent rounds are
+    /// still metered, matching the engines).
+    pub rounds: Vec<Vec<TraceSend>>,
+}
+
+/// Records rounds while the executor walks the physical plan.
+#[derive(Debug, Default)]
+pub(crate) struct TraceRecorder {
+    rounds: Vec<Vec<TraceSend>>,
+}
+
+impl TraceRecorder {
+    /// Record one communication round; `f` queues the round's sends.
+    pub fn round<F: FnOnce(&mut RoundRec)>(&mut self, f: F) {
+        let mut rec = RoundRec { sends: Vec::new() };
+        f(&mut rec);
+        self.rounds.push(rec.sends);
+    }
+
+    /// Rounds recorded so far (used for operator cost attribution).
+    pub fn rounds_len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Finish recording.
+    pub fn into_trace(self) -> ExecTrace {
+        ExecTrace {
+            rounds: self.rounds,
+        }
+    }
+}
+
+/// Collects the sends of one round.
+pub(crate) struct RoundRec {
+    sends: Vec<TraceSend>,
+}
+
+impl RoundRec {
+    /// Queue a multicast. Empty payloads and destination sets are
+    /// dropped, mirroring both engines.
+    pub fn send(&mut self, src: NodeId, dsts: &[NodeId], rel: Rel, values: &[Value]) {
+        if dsts.is_empty() || values.is_empty() {
+            return;
+        }
+        self.sends.push(TraceSend {
+            src,
+            dsts: dsts.to_vec(),
+            rel,
+            values: values.to_vec(),
+        });
+    }
+}
+
+/// An [`ExecJob`] replaying an [`ExecTrace`] on either engine.
+pub(crate) struct TraceJob {
+    name: String,
+    trace: Arc<ExecTrace>,
+    /// `by_src[node][round]` = indices into `trace.rounds[round]` of the
+    /// sends originating at `node`, precomputed once so each replay
+    /// program touches only its own sends instead of scanning the whole
+    /// round every superstep.
+    by_src: Arc<Vec<Vec<Vec<u32>>>>,
+}
+
+impl TraceJob {
+    pub fn new(name: impl Into<String>, num_nodes: usize, trace: ExecTrace) -> Self {
+        let mut by_src = vec![vec![Vec::new(); trace.rounds.len()]; num_nodes];
+        for (r, round) in trace.rounds.iter().enumerate() {
+            for (i, send) in round.iter().enumerate() {
+                by_src[send.src.index()][r].push(i as u32);
+            }
+        }
+        TraceJob {
+            name: name.into(),
+            trace: Arc::new(trace),
+            by_src: Arc::new(by_src),
+        }
+    }
+}
+
+impl ExecJob for TraceJob {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn centralized(&self) -> Option<Box<dyn CentralizedView + '_>> {
+        Some(Box::new(CentralReplay(&self.trace)))
+    }
+
+    fn distributed(&self, v: NodeId) -> Option<Box<dyn NodeProgram>> {
+        Some(Box::new(NodeReplay {
+            trace: Arc::clone(&self.trace),
+            by_src: Arc::clone(&self.by_src),
+            node: v,
+        }))
+    }
+}
+
+/// Centralized replay: one [`Session`] round per trace round.
+struct CentralReplay<'t>(&'t ExecTrace);
+
+impl CentralizedView for CentralReplay<'_> {
+    fn run(&self, session: &mut Session<'_>) -> Result<(), SimError> {
+        for round in &self.0.rounds {
+            session.round(|r| {
+                for s in round {
+                    r.send(s.src, &s.dsts, s.rel, &s.values)?;
+                }
+                Ok(())
+            })?;
+        }
+        Ok(())
+    }
+}
+
+/// Distributed replay: node `node` emits its own sends each superstep and
+/// halts once the trace is exhausted.
+struct NodeReplay {
+    trace: Arc<ExecTrace>,
+    by_src: Arc<Vec<Vec<Vec<u32>>>>,
+    node: NodeId,
+}
+
+impl NodeProgram for NodeReplay {
+    fn round(&mut self, ctx: &NodeCtx<'_>, _state: &mut NodeState, out: &mut Outbox) -> Step {
+        if ctx.round < self.trace.rounds.len() {
+            for &i in &self.by_src[self.node.index()][ctx.round] {
+                let s = &self.trace.rounds[ctx.round][i as usize];
+                out.send(&s.dsts, s.rel, s.values.clone());
+            }
+            Step::Continue
+        } else {
+            Step::Halt
+        }
+    }
+}

@@ -6,53 +6,79 @@
 //!
 //! The paper motivates its three tasks — set intersection, cartesian
 //! product, sorting — as "the essential building blocks for evaluating any
-//! complex analytical query". This crate closes the loop: it provides
-//! named distributed tables, scalar expressions, a logical plan algebra
-//! (filter / project / equi-join / cross join / order-by / group-by /
-//! limit / distinct / union-all), a cost-oriented optimizer, and an
-//! executor that maps each
-//! operator onto the paper's topology-aware primitives with every shipped
-//! row metered on the §2 cost functional:
+//! complex analytical query", and its central claim is that the
+//! *communication strategy* should be chosen from the topology and the
+//! data distribution. This crate makes that choice a first-class planning
+//! decision. Queries flow through three layers:
 //!
-//! - equi-joins repartition with the *distribution-aware weighted hash* of
-//!   Algorithm 2 (with the uniform MPC hash and small-side broadcast as
-//!   selectable baselines);
-//! - `ORDER BY` runs the weighted-TeraSort sample/split/shuffle of §5.2;
-//! - `GROUP BY` shuffles pre-aggregated partials under the same weighted
-//!   hash;
-//! - cross joins broadcast the smaller side, the star-case strategy of
-//!   §4.5.
+//! 1. **[`LogicalPlan`]** ([`plan`]) — the relational algebra (filter /
+//!    project / equi-join / cross join / order-by / group-by / limit /
+//!    distinct / union-all) over named [`DistributedTable`]s, with
+//!    schema inference and a rewrite [`optimizer`] (constant folding,
+//!    conjunction splitting, filter pushdown).
+//! 2. **[`PhysicalPlan`]** ([`physical`]) — the same operators with
+//!    every exchange *explicit and priced*: lowering estimates each
+//!    exchange's §2 cost from catalog cardinalities and the tree's
+//!    bandwidths, and resolves [`JoinStrategy::Auto`] by comparing the
+//!    weighted repartition (Algorithm 2), the uniform MPC baseline and
+//!    the small-side broadcast (`V_β`, Algorithm 1) — at plan time, not
+//!    mid-execution.
+//! 3. **Backend-generic execution** ([`exec`]) — the executor computes
+//!    the plan's exchange schedule once and replays it through any
+//!    [`ExecBackend`](tamp_runtime::backend::ExecBackend): the
+//!    centralized simulator and the pooled BSP cluster move — and meter —
+//!    bit-identical traffic.
+//!
+//! The session API ([`context`]) ties the layers together:
 //!
 //! ```
 //! use tamp_query::prelude::*;
 //! use tamp_topology::builders;
 //!
-//! let tree = builders::star(4, 1.0);
-//! let mut catalog = Catalog::new(tree);
+//! let mut ctx = QueryContext::new(builders::star(4, 1.0));
 //! let rows: Vec<Vec<u64>> = (0..100).map(|i| vec![i, i % 3, i * 2]).collect();
-//! catalog
-//!     .register(DistributedTable::round_robin(
-//!         "t",
-//!         Schema::new(vec!["id", "g", "x"]).unwrap(),
-//!         rows,
-//!         catalog.tree(),
-//!     ))
-//!     .unwrap();
+//! ctx.register(DistributedTable::round_robin(
+//!     "t",
+//!     Schema::new(vec!["id", "g", "x"]).unwrap(),
+//!     rows,
+//!     ctx.tree(),
+//! ))
+//! .unwrap();
 //!
-//! let query = LogicalPlan::scan("t")
+//! // DataFrame-style chaining, collected on the default engine:
+//! let result = ctx
+//!     .table("t")
 //!     .filter(col("x").gt(lit(50)))
-//!     .aggregate("g", AggFunc::Count, "id");
-//! let result = execute(&catalog, &query, ExecOptions::default()).unwrap();
+//!     .aggregate("g", AggFunc::Count, "id")
+//!     .collect()
+//!     .unwrap();
 //! assert_eq!(result.schema.columns(), &["g", "count_id"]);
+//!
+//! // Or prepare once, inspect the EXPLAIN, run anywhere:
+//! let q = LogicalPlan::scan("t").join_on(LogicalPlan::scan("t"), "g", "g");
+//! let prepared = ctx.prepare(&q).unwrap();
+//! println!("{}", prepared.explain()); // per-exchange estimated costs
+//! let on_cluster = prepared
+//!     .run_on(&tamp_runtime::PooledClusterBackend::default())
+//!     .unwrap();
+//! let on_sim = prepared.run().unwrap();
+//! assert_eq!(on_sim.cost.edge_totals, on_cluster.cost.edge_totals);
 //! ```
+//!
+//! Results carry per-operator *estimated vs. metered* cost pairs
+//! ([`QueryResult::operator_costs`]), so planning quality is observable
+//! on every run; the `x-plan` experiment suite tracks it across
+//! topologies.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod context;
 pub mod error;
 pub mod exec;
 pub mod expr;
 pub mod optimizer;
+pub mod physical;
 pub mod plan;
 pub mod reference;
 pub mod row;
@@ -61,16 +87,22 @@ pub mod table;
 
 /// Everything needed to build and run queries.
 pub mod prelude {
-    pub use crate::exec::{execute, ExecOptions, JoinStrategy, QueryResult};
+    pub use crate::context::{DataFrame, PreparedQuery, QueryContext};
+    pub use crate::exec::{
+        execute, execute_on, ExecOptions, JoinStrategy, OperatorCost, QueryResult,
+    };
     pub use crate::expr::{col, lit, Expr};
     pub use crate::optimizer::optimize;
+    pub use crate::physical::{lower, Exchange, ExchangeKind, PhysicalPlan};
     pub use crate::plan::{AggFunc, LogicalPlan};
     pub use crate::schema::Schema;
     pub use crate::table::{Catalog, DistributedTable};
 }
 
+pub use context::{DataFrame, PreparedQuery, QueryContext};
 pub use error::QueryError;
-pub use exec::{execute, execute_on, ExecOptions, JoinStrategy, QueryResult};
+pub use exec::{execute, execute_on, ExecOptions, JoinStrategy, OperatorCost, QueryResult};
+pub use physical::{Exchange, ExchangeKind, PhysicalPlan};
 pub use plan::{AggFunc, LogicalPlan};
 pub use schema::Schema;
 pub use table::{Catalog, DistributedTable};

@@ -14,36 +14,66 @@
 //!
 //! All rewrites are semantics-preserving; the tests execute optimized and
 //! unoptimized plans side by side and compare both results and costs.
+//!
+//! The optimizer's second stage — lowering the rewritten logical plan
+//! into a cost-estimated [`PhysicalPlan`](crate::physical::PhysicalPlan)
+//! with explicit exchanges — lives in [`crate::physical`] and is
+//! re-exported here as [`lower`].
+
+use std::cell::Cell;
 
 use crate::error::QueryError;
 use crate::expr::Expr;
 use crate::plan::LogicalPlan;
 use crate::table::Catalog;
 
+pub use crate::physical::lower;
+
 /// Apply all rewrites until a fixpoint (bounded, defensively).
+///
+/// Each pass reports whether it rewrote anything, so the loop stops as
+/// soon as a pass comes back unchanged — no clone-and-compare of the
+/// whole plan per iteration.
 pub fn optimize(plan: LogicalPlan, catalog: &Catalog) -> Result<LogicalPlan, QueryError> {
     // Validate once; rewrites preserve validity.
     plan.schema(catalog)?;
     let mut plan = plan;
     for _ in 0..64 {
-        let next = pass(plan.clone(), catalog)?;
-        if next == plan {
-            return Ok(plan);
-        }
+        let (next, changed) = pass(plan, catalog)?;
         plan = next;
+        if !changed {
+            break;
+        }
     }
     Ok(plan)
 }
 
-fn pass(plan: LogicalPlan, catalog: &Catalog) -> Result<LogicalPlan, QueryError> {
+/// One rewrite pass. Returns the rewritten plan and whether any rewrite
+/// fired (`false` means `plan` is already a fixpoint).
+fn pass(plan: LogicalPlan, catalog: &Catalog) -> Result<(LogicalPlan, bool), QueryError> {
+    let changed = Cell::new(false);
+    let plan = pass_inner(plan, catalog, &changed)?;
+    Ok((plan, changed.get()))
+}
+
+fn pass_inner(
+    plan: LogicalPlan,
+    catalog: &Catalog,
+    changed: &Cell<bool>,
+) -> Result<LogicalPlan, QueryError> {
     use LogicalPlan::*;
-    let plan = map_children(plan, &|p| pass(p, catalog))?;
+    let plan = map_children(plan, &|p| pass_inner(p, catalog, changed))?;
     Ok(match plan {
         Filter { input, predicate } => {
-            let predicate = predicate.fold();
+            let folded = predicate.fold();
+            if folded != predicate {
+                changed.set(true);
+            }
+            let predicate = folded;
             // Split conjunctions so each conjunct moves independently.
             if let Expr::And(a, b) = predicate {
-                return pass(
+                changed.set(true);
+                return pass_inner(
                     Filter {
                         input: Box::new(Filter {
                             input,
@@ -52,27 +82,40 @@ fn pass(plan: LogicalPlan, catalog: &Catalog) -> Result<LogicalPlan, QueryError>
                         predicate: *a,
                     },
                     catalog,
+                    changed,
                 );
             }
             // Constant-true filters disappear.
             if predicate == Expr::Lit(1) {
+                changed.set(true);
                 return Ok(*input);
             }
-            push_filter(*input, predicate, catalog)?
+            push_filter(*input, predicate, catalog, changed)?
         }
         Project { input, exprs } => Project {
             input,
-            exprs: exprs.into_iter().map(|(n, e)| (n, e.fold())).collect(),
+            exprs: exprs
+                .into_iter()
+                .map(|(n, e)| {
+                    let folded = e.fold();
+                    if folded != e {
+                        changed.set(true);
+                    }
+                    (n, folded)
+                })
+                .collect(),
         },
         other => other,
     })
 }
 
-/// Push `Filter(predicate)` one level below `input` where provably safe.
+/// Push `Filter(predicate)` one level below `input` where provably safe,
+/// flagging `changed` whenever the filter actually moves.
 fn push_filter(
     input: LogicalPlan,
     predicate: Expr,
     catalog: &Catalog,
+    changed: &Cell<bool>,
 ) -> Result<LogicalPlan, QueryError> {
     use LogicalPlan::*;
     let refs: Vec<String> = {
@@ -87,10 +130,13 @@ fn push_filter(
     };
     Ok(match input {
         // Below OrderBy: filtering commutes with sorting.
-        OrderBy { input, key } => OrderBy {
-            input: Box::new(push_filter(*input, predicate, catalog)?),
-            key,
-        },
+        OrderBy { input, key } => {
+            changed.set(true);
+            OrderBy {
+                input: Box::new(push_filter(*input, predicate, catalog, changed)?),
+                key,
+            }
+        }
         // Into the join side that defines every referenced column.
         // Left columns keep their names in the join output; a right
         // column keeps its name only when it does not clash with a left
@@ -107,6 +153,7 @@ fn push_filter(
             let on_left = |c: &String| ls.index_of(c).is_ok();
             let on_right_only = |c: &String| rs.index_of(c).is_ok() && ls.index_of(c).is_err();
             if !refs.is_empty() && refs.iter().all(on_left) {
+                changed.set(true);
                 HashJoin {
                     left: Box::new(Filter {
                         input: left,
@@ -117,6 +164,7 @@ fn push_filter(
                     right_key,
                 }
             } else if !refs.is_empty() && refs.iter().all(on_right_only) {
+                changed.set(true);
                 HashJoin {
                     left,
                     right: Box::new(Filter {
@@ -152,9 +200,10 @@ fn push_filter(
                 .collect();
             match passthrough {
                 Some(subs) if !refs.is_empty() => {
+                    changed.set(true);
                     let rewritten = substitute(&predicate, &subs);
                     Project {
-                        input: Box::new(push_filter(*input, rewritten, catalog)?),
+                        input: Box::new(push_filter(*input, rewritten, catalog, changed)?),
                         exprs,
                     }
                 }
@@ -433,6 +482,21 @@ mod tests {
         assert!(text.contains("100"), "not folded:\n{text}");
         assert!(text.contains("(x + 3)"), "not folded:\n{text}");
         assert_equivalent(&q, &c);
+    }
+
+    #[test]
+    fn pass_reports_fixpoint_without_comparing_plans() {
+        let c = catalog();
+        let q = LogicalPlan::scan("facts")
+            .join_on(LogicalPlan::scan("dims"), "g", "g")
+            .filter(col("x").lt(lit(100)).and(col("tier").ge(lit(11))));
+        let (opt, changed) = pass(q, &c).unwrap();
+        assert!(changed, "rewrites should fire on the first pass");
+        // Drive to the fixpoint, then one more pass reports no change.
+        let opt = optimize(opt, &c).unwrap();
+        let (same, changed) = pass(opt.clone(), &c).unwrap();
+        assert!(!changed, "fixpoint must report unchanged");
+        assert_eq!(same, opt);
     }
 
     #[test]

@@ -1,0 +1,1019 @@
+//! The physical plan: operators with explicit, cost-estimated exchanges.
+//!
+//! Lowering ([`lower`]) turns a [`LogicalPlan`] into a [`PhysicalPlan`]
+//! in which every communicating operator carries an explicit [`Exchange`]
+//! — *which* topology-aware primitive will move the data, and *what it is
+//! expected to cost* on the §2 functional. The estimate is computed from
+//! catalog cardinalities and the tree's bandwidths by routing estimated
+//! traffic along the same unique tree paths the executor will use:
+//!
+//! ```text
+//! est(exchange) = Σ_rounds max_e load(e) / w_e
+//! ```
+//!
+//! This is where the paper's strategy question becomes a *planning*
+//! decision: under [`JoinStrategy::Auto`] the planner prices the weighted
+//! repartition (Algorithm 2), the uniform MPC repartition, and the
+//! small-side broadcast against each other and keeps the cheapest — the
+//! choice is inspectable in
+//! [`PreparedQuery::explain`](crate::context::PreparedQuery::explain)
+//! before anything runs.
+//!
+//! Cardinality estimation is deliberately simple and documented:
+//! base-table counts are exact (`|X_0(v)|` is model knowledge granted by
+//! §2), filters apply standard selectivity heuristics (equality 0.15,
+//! range ⅓, conjunction multiplies), equi-joins assume a key/foreign-key
+//! shape (`|L ⋈ R| ≈ max(|L|, |R|)`), and group-bys assume `√n` distinct
+//! groups. Estimated and metered cost are juxtaposed per operator in
+//! [`QueryResult::operator_costs`](crate::exec::QueryResult) and in the
+//! `x-plan` experiment suite.
+
+use std::fmt;
+
+use tamp_core::sorting::{sample_rate, valid_order};
+use tamp_topology::{Bandwidth, NodeId, PathCache, Tree};
+
+use crate::error::QueryError;
+use crate::exec::{ExecOptions, JoinStrategy};
+use crate::expr::Expr;
+use crate::plan::{AggFunc, LogicalPlan};
+use crate::reference;
+use crate::schema::Schema;
+use crate::table::Catalog;
+
+/// How an exchange moves rows between compute nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExchangeKind {
+    /// Repartition by a hash weighted by each node's current data — the
+    /// distribution-aware choice (Algorithm 2).
+    WeightedRepartition,
+    /// Repartition by a uniform hash — the topology-agnostic MPC
+    /// baseline.
+    UniformRepartition,
+    /// Replicate the smaller side to every node holding rows of the
+    /// larger side (the `V_β` idea of Algorithm 1).
+    BroadcastSmall,
+    /// Sample → proportional splitters → range shuffle (weighted
+    /// TeraSort, §5.2).
+    RangeShuffle,
+    /// Bounded collection to a single compute node.
+    Gather,
+}
+
+impl ExchangeKind {
+    /// Short lower-case name used in `EXPLAIN` output.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExchangeKind::WeightedRepartition => "weighted-repartition",
+            ExchangeKind::UniformRepartition => "uniform-repartition",
+            ExchangeKind::BroadcastSmall => "broadcast-small",
+            ExchangeKind::RangeShuffle => "range-shuffle",
+            ExchangeKind::Gather => "gather",
+        }
+    }
+}
+
+impl fmt::Display for ExchangeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The planner's §2 cost estimate for one exchange.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CostEstimate {
+    /// Estimated `Σ_rounds max_e load(e)/w_e`, in tuples.
+    pub tuple_cost: f64,
+    /// Communication rounds the exchange will use.
+    pub rounds: usize,
+    /// Every candidate the planner priced (`(kind, estimated cost)`),
+    /// including the chosen one — rendered by `EXPLAIN` so rejected
+    /// strategies stay visible.
+    pub candidates: Vec<(ExchangeKind, f64)>,
+}
+
+/// An explicit data movement step attached to a physical operator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Exchange {
+    /// The primitive that will move the rows.
+    pub kind: ExchangeKind,
+    /// What the planner expects it to cost.
+    pub estimate: CostEstimate,
+}
+
+/// A physical operator tree: the logical algebra with every exchange made
+/// explicit and priced.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhysicalPlan {
+    /// The operator.
+    pub op: PhysicalOp,
+    /// Estimated output rows (cardinality estimate, not a guarantee).
+    pub rows_est: f64,
+}
+
+/// Physical operators. Local operators (`TableScan`, `Filter`,
+/// `Project`, `UnionAll`) move no data; every other operator names the
+/// [`Exchange`] it executes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PhysicalOp {
+    /// Read a base table's fragments in place.
+    TableScan {
+        /// Catalog table name.
+        table: String,
+    },
+    /// Local predicate evaluation (free under §2).
+    Filter {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Predicate (nonzero ⇒ keep).
+        predicate: Expr,
+    },
+    /// Local expression evaluation (free under §2).
+    Project {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// `(output name, expression)` pairs.
+        exprs: Vec<(String, Expr)>,
+    },
+    /// Equi-join: exchange both sides, then probe locally.
+    HashJoin {
+        /// Left input.
+        left: Box<PhysicalPlan>,
+        /// Right input.
+        right: Box<PhysicalPlan>,
+        /// Join column on the left schema.
+        left_key: String,
+        /// Join column on the right schema.
+        right_key: String,
+        /// The repartition or broadcast moving the two sides.
+        exchange: Exchange,
+    },
+    /// Cartesian product: broadcast the smaller side.
+    CrossJoin {
+        /// Left input.
+        left: Box<PhysicalPlan>,
+        /// Right input.
+        right: Box<PhysicalPlan>,
+        /// The broadcast of the smaller side.
+        exchange: Exchange,
+    },
+    /// Global sort: range shuffle along the valid compute-node order.
+    Sort {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Sort column.
+        key: String,
+        /// The sample/splitter/shuffle exchange.
+        exchange: Exchange,
+    },
+    /// Grouped aggregation: local partials, then a weighted hash shuffle.
+    HashAggregate {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Grouping column.
+        group_by: String,
+        /// Aggregate function.
+        agg: AggFunc,
+        /// Measured column.
+        measure: String,
+        /// The partial-shuffling exchange.
+        exchange: Exchange,
+    },
+    /// Keep the first `n` rows via a bounded gather.
+    Limit {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Row budget.
+        n: usize,
+        /// Whether the input's fragment order is globally meaningful
+        /// (downstream of a `Sort`), decided at plan time.
+        order_preserving: bool,
+        /// The gather to the first compute node.
+        exchange: Exchange,
+    },
+    /// Duplicate elimination: co-locate equal rows, dedup locally.
+    Distinct {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// The whole-row hash shuffle.
+        exchange: Exchange,
+    },
+    /// Bag union (free: fragments concatenate in place).
+    UnionAll {
+        /// Left input.
+        left: Box<PhysicalPlan>,
+        /// Right input.
+        right: Box<PhysicalPlan>,
+    },
+}
+
+impl PhysicalPlan {
+    /// The operator label used for per-operator cost attribution; stable
+    /// across the logical and physical layers.
+    pub fn label(&self) -> String {
+        match &self.op {
+            PhysicalOp::TableScan { table } => format!("Scan {table}"),
+            PhysicalOp::Filter { predicate, .. } => format!("Filter {predicate}"),
+            PhysicalOp::Project { .. } => "Project".into(),
+            PhysicalOp::HashJoin {
+                left_key,
+                right_key,
+                ..
+            } => format!("HashJoin {left_key}={right_key}"),
+            PhysicalOp::CrossJoin { .. } => "CrossJoin".into(),
+            PhysicalOp::Sort { key, .. } => format!("OrderBy {key}"),
+            PhysicalOp::HashAggregate { agg, .. } => format!("Aggregate {}", agg.name()),
+            PhysicalOp::Limit { n, .. } => format!("Limit {n}"),
+            PhysicalOp::Distinct { .. } => "Distinct".into(),
+            PhysicalOp::UnionAll { .. } => "UnionAll".into(),
+        }
+    }
+
+    /// The operator's exchange, if it has one.
+    pub fn exchange(&self) -> Option<&Exchange> {
+        match &self.op {
+            PhysicalOp::HashJoin { exchange, .. }
+            | PhysicalOp::CrossJoin { exchange, .. }
+            | PhysicalOp::Sort { exchange, .. }
+            | PhysicalOp::HashAggregate { exchange, .. }
+            | PhysicalOp::Limit { exchange, .. }
+            | PhysicalOp::Distinct { exchange, .. } => Some(exchange),
+            _ => None,
+        }
+    }
+
+    /// Child plans, left to right.
+    pub fn children(&self) -> Vec<&PhysicalPlan> {
+        match &self.op {
+            PhysicalOp::TableScan { .. } => vec![],
+            PhysicalOp::Filter { input, .. }
+            | PhysicalOp::Project { input, .. }
+            | PhysicalOp::Sort { input, .. }
+            | PhysicalOp::HashAggregate { input, .. }
+            | PhysicalOp::Limit { input, .. }
+            | PhysicalOp::Distinct { input, .. } => vec![input],
+            PhysicalOp::HashJoin { left, right, .. }
+            | PhysicalOp::CrossJoin { left, right, .. }
+            | PhysicalOp::UnionAll { left, right } => vec![left, right],
+        }
+    }
+
+    /// Total estimated §2 cost: the sum over every exchange in the plan.
+    pub fn estimated_cost(&self) -> f64 {
+        let own = self.exchange().map_or(0.0, |x| x.estimate.tuple_cost);
+        own + self
+            .children()
+            .iter()
+            .map(|c| c.estimated_cost())
+            .sum::<f64>()
+    }
+
+    /// Total estimated communication rounds.
+    pub fn estimated_rounds(&self) -> usize {
+        let own = self.exchange().map_or(0, |x| x.estimate.rounds);
+        own + self
+            .children()
+            .iter()
+            .map(|c| c.estimated_rounds())
+            .sum::<usize>()
+    }
+
+    fn fmt_indented(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        let pad = "  ".repeat(indent);
+        write!(f, "{pad}{}", self.label())?;
+        if let Some(x) = self.exchange() {
+            write!(
+                f,
+                " via {} [est cost {:.1}, {} round{}]",
+                x.kind,
+                x.estimate.tuple_cost,
+                x.estimate.rounds,
+                if x.estimate.rounds == 1 { "" } else { "s" },
+            )?;
+            if x.estimate.candidates.len() > 1 {
+                let alts: Vec<String> = x
+                    .estimate
+                    .candidates
+                    .iter()
+                    .map(|(k, c)| format!("{k} {c:.1}"))
+                    .collect();
+                write!(f, " (candidates: {})", alts.join(", "))?;
+            }
+        }
+        writeln!(f, "  ~{:.0} rows", self.rows_est)?;
+        for child in self.children() {
+            child.fmt_indented(f, indent + 1)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for PhysicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_indented(f, 0)
+    }
+}
+
+/// Lower a [`LogicalPlan`] into a [`PhysicalPlan`], pricing every
+/// exchange on the §2 cost model and resolving
+/// [`JoinStrategy::Auto`] into the cheapest estimated join exchange.
+///
+/// Lowering validates the plan (schema inference runs as part of the
+/// walk), so a lowered plan is known to execute without name errors.
+pub fn lower(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    options: ExecOptions,
+) -> Result<PhysicalPlan, QueryError> {
+    lower_full(plan, catalog, options).map(|(plan, _)| plan)
+}
+
+/// [`lower`], also returning the inferred output [`Schema`] so callers
+/// that need both do one walk.
+pub(crate) fn lower_full(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    options: ExecOptions,
+) -> Result<(PhysicalPlan, Schema), QueryError> {
+    // Validate up front (expression binding included) so lowering can
+    // assume well-formed inputs.
+    plan.schema(catalog)?;
+    let mut planner = Planner::new(catalog, options);
+    let (plan, _, schema) = planner.lower_node(plan)?;
+    Ok((plan, schema))
+}
+
+/// Filter selectivity heuristics (standard textbook constants; see the
+/// module docs).
+fn selectivity(e: &Expr) -> f64 {
+    match e {
+        Expr::Eq(..) => 0.15,
+        Expr::Ne(..) => 0.85,
+        Expr::Lt(..) | Expr::Le(..) | Expr::Gt(..) | Expr::Ge(..) => 1.0 / 3.0,
+        Expr::And(a, b) => selectivity(a) * selectivity(b),
+        Expr::Or(a, b) => (selectivity(a) + selectivity(b)).min(1.0),
+        Expr::Not(a) => 1.0 - selectivity(a),
+        Expr::Lit(0) => 0.0,
+        Expr::Lit(_) => 1.0,
+        // A bare column / arithmetic predicate keeps a row when nonzero;
+        // assume most values are.
+        _ => 0.9,
+    }
+}
+
+/// The lowering planner: walks the logical tree bottom-up carrying
+/// per-node cardinality estimates, and prices exchanges by routing the
+/// estimated traffic along the real tree paths.
+struct Planner<'c> {
+    catalog: &'c Catalog,
+    tree: &'c Tree,
+    options: ExecOptions,
+    paths: PathCache,
+    /// Per-directed-edge bandwidth, indexed like the cost ledger.
+    bandwidth: Vec<Bandwidth>,
+}
+
+/// Estimated per-node row counts, indexed by node id (routers stay 0).
+type NodeCounts = Vec<f64>;
+
+impl<'c> Planner<'c> {
+    fn new(catalog: &'c Catalog, options: ExecOptions) -> Self {
+        let tree = catalog.tree();
+        Planner {
+            catalog,
+            tree,
+            options,
+            paths: PathCache::new(),
+            bandwidth: tree.dir_edges().map(|d| tree.bandwidth(d)).collect(),
+        }
+    }
+
+    fn zero_counts(&self) -> NodeCounts {
+        vec![0.0; self.tree.num_nodes()]
+    }
+
+    /// `max_e load(e)/w_e` for one estimated round, on the same
+    /// [`Bandwidth::cost_of`] rule the engines charge.
+    fn round_cost(&self, load: &[f64]) -> f64 {
+        load.iter()
+            .enumerate()
+            .map(|(d, &l)| self.bandwidth[d].cost_of(l))
+            .fold(0.0, f64::max)
+    }
+
+    /// One-round cost of repartitioning `counts` (rows of `width` values)
+    /// so destination `u` receives a `shares[u]` fraction; rows already at
+    /// their destination do not travel.
+    fn repartition_cost(&mut self, counts: &[f64], width: usize, shares: &[f64]) -> f64 {
+        let mut load = vec![0.0; self.bandwidth.len()];
+        for &v in self.tree.compute_nodes() {
+            let n = counts[v.index()] * width as f64;
+            if n <= 0.0 {
+                continue;
+            }
+            for &u in self.tree.compute_nodes() {
+                let s = shares[u.index()];
+                if u == v || s <= 0.0 {
+                    continue;
+                }
+                for d in self.paths.path(self.tree, v, u) {
+                    load[d.index()] += n * s;
+                }
+            }
+        }
+        self.round_cost(&load)
+    }
+
+    /// One-round cost of every node multicasting its `counts` rows to all
+    /// of `dsts`, charged along the union of tree paths (like the
+    /// engines' multicast metering).
+    fn multicast_cost(&mut self, counts: &[f64], width: usize, dsts: &[NodeId]) -> f64 {
+        let mut load = vec![0.0; self.bandwidth.len()];
+        let mut seen = vec![false; self.bandwidth.len()];
+        for &v in self.tree.compute_nodes() {
+            let n = counts[v.index()] * width as f64;
+            if n <= 0.0 || dsts.is_empty() {
+                continue;
+            }
+            seen.iter_mut().for_each(|s| *s = false);
+            for &u in dsts {
+                for d in self.paths.path(self.tree, v, u) {
+                    if !seen[d.index()] {
+                        seen[d.index()] = true;
+                        load[d.index()] += n;
+                    }
+                }
+            }
+        }
+        self.round_cost(&load)
+    }
+
+    /// One-round cost of each node unicasting `counts[v]` rows to
+    /// `target`.
+    fn gather_cost(&mut self, counts: &[f64], width: usize, target: NodeId) -> f64 {
+        let mut load = vec![0.0; self.bandwidth.len()];
+        for &v in self.tree.compute_nodes() {
+            let n = counts[v.index()] * width as f64;
+            if n <= 0.0 || v == target {
+                continue;
+            }
+            for d in self.paths.path(self.tree, v, target) {
+                load[d.index()] += n;
+            }
+        }
+        self.round_cost(&load)
+    }
+
+    /// Destination shares proportional to `weights` over compute nodes
+    /// (the weighted hash's expected routing).
+    fn proportional_shares(&self, weights: &[f64]) -> NodeCounts {
+        let total: f64 = self
+            .tree
+            .compute_nodes()
+            .iter()
+            .map(|&v| weights[v.index()])
+            .sum();
+        let mut shares = self.zero_counts();
+        if total <= 0.0 {
+            return shares;
+        }
+        for &v in self.tree.compute_nodes() {
+            shares[v.index()] = weights[v.index()] / total;
+        }
+        shares
+    }
+
+    /// Uniform destination shares (the MPC hash's expected routing).
+    fn uniform_shares(&self) -> NodeCounts {
+        let k = self.tree.num_compute().max(1) as f64;
+        let mut shares = self.zero_counts();
+        for &v in self.tree.compute_nodes() {
+            shares[v.index()] = 1.0 / k;
+        }
+        shares
+    }
+
+    /// Redistribute `total` rows according to `shares`.
+    fn distributed(&self, total: f64, shares: &[f64]) -> NodeCounts {
+        let mut counts = self.zero_counts();
+        for &v in self.tree.compute_nodes() {
+            counts[v.index()] = total * shares[v.index()];
+        }
+        counts
+    }
+
+    fn lower_node(
+        &mut self,
+        plan: &LogicalPlan,
+    ) -> Result<(PhysicalPlan, NodeCounts, Schema), QueryError> {
+        match plan {
+            LogicalPlan::Scan { table } => {
+                let t = self.catalog.table(table)?;
+                let counts: NodeCounts = t.row_counts().iter().map(|&n| n as f64).collect();
+                let rows_est: f64 = counts.iter().sum();
+                Ok((
+                    PhysicalPlan {
+                        op: PhysicalOp::TableScan {
+                            table: table.clone(),
+                        },
+                        rows_est,
+                    },
+                    counts,
+                    t.schema.clone(),
+                ))
+            }
+            LogicalPlan::Filter { input, predicate } => {
+                let (child, counts, schema) = self.lower_node(input)?;
+                let s = selectivity(predicate).clamp(0.0, 1.0);
+                let counts: NodeCounts = counts.iter().map(|n| n * s).collect();
+                let rows_est: f64 = counts.iter().sum();
+                Ok((
+                    PhysicalPlan {
+                        op: PhysicalOp::Filter {
+                            input: Box::new(child),
+                            predicate: predicate.clone(),
+                        },
+                        rows_est,
+                    },
+                    counts,
+                    schema,
+                ))
+            }
+            LogicalPlan::Project { input, exprs } => {
+                let (child, counts, _) = self.lower_node(input)?;
+                let rows_est: f64 = counts.iter().sum();
+                let schema = Schema::new(exprs.iter().map(|(n, _)| n.clone()).collect())?;
+                Ok((
+                    PhysicalPlan {
+                        op: PhysicalOp::Project {
+                            input: Box::new(child),
+                            exprs: exprs.clone(),
+                        },
+                        rows_est,
+                    },
+                    counts,
+                    schema,
+                ))
+            }
+            LogicalPlan::HashJoin {
+                left,
+                right,
+                left_key,
+                right_key,
+            } => {
+                let (lp, lc, ls) = self.lower_node(left)?;
+                let (rp, rc, rs) = self.lower_node(right)?;
+                let (lw, rw) = (ls.width(), rs.width());
+                let (exchange, out_counts) = self.plan_join_exchange(&lc, lw, &rc, rw);
+                let rows_est: f64 = out_counts.iter().sum();
+                let schema = ls.join(&rs, "r_")?;
+                Ok((
+                    PhysicalPlan {
+                        op: PhysicalOp::HashJoin {
+                            left: Box::new(lp),
+                            right: Box::new(rp),
+                            left_key: left_key.clone(),
+                            right_key: right_key.clone(),
+                            exchange,
+                        },
+                        rows_est,
+                    },
+                    out_counts,
+                    schema,
+                ))
+            }
+            LogicalPlan::CrossJoin { left, right } => {
+                let (lp, lc, ls) = self.lower_node(left)?;
+                let (rp, rc, rs) = self.lower_node(right)?;
+                let (lw, rw) = (ls.width(), rs.width());
+                let l_tot: f64 = lc.iter().sum();
+                let r_tot: f64 = rc.iter().sum();
+                // The executor broadcasts the side with fewer values.
+                let left_is_small = l_tot * lw as f64 <= r_tot * rw as f64;
+                let (small, small_w, big) = if left_is_small {
+                    (&lc, lw, &rc)
+                } else {
+                    (&rc, rw, &lc)
+                };
+                let holders: Vec<NodeId> = self
+                    .tree
+                    .compute_nodes()
+                    .iter()
+                    .copied()
+                    .filter(|&v| big[v.index()] > 0.0)
+                    .collect();
+                let cost = self.multicast_cost(small, small_w, &holders);
+                let out_total = l_tot * r_tot;
+                let big_shares = self.proportional_shares(big);
+                let out_counts = self.distributed(out_total, &big_shares);
+                Ok((
+                    PhysicalPlan {
+                        op: PhysicalOp::CrossJoin {
+                            left: Box::new(lp),
+                            right: Box::new(rp),
+                            exchange: Exchange {
+                                kind: ExchangeKind::BroadcastSmall,
+                                estimate: CostEstimate {
+                                    tuple_cost: cost,
+                                    rounds: 1,
+                                    candidates: vec![(ExchangeKind::BroadcastSmall, cost)],
+                                },
+                            },
+                        },
+                        rows_est: out_total,
+                    },
+                    out_counts,
+                    ls.join(&rs, "r_")?,
+                ))
+            }
+            LogicalPlan::OrderBy { input, key } => {
+                let (child, counts, schema) = self.lower_node(input)?;
+                let width = schema.width();
+                let total: f64 = counts.iter().sum();
+                let order = valid_order(self.tree);
+                let coordinator = order[0];
+                // Sample round: ~ρ·n_v keys (width 1) to the coordinator.
+                let rho = sample_rate(order.len(), total.round() as u64);
+                let samples: NodeCounts = counts.iter().map(|n| n * rho).collect();
+                let sample_cost = self.gather_cost(&samples, 1, coordinator);
+                // Splitter broadcast: k−1 values from the coordinator.
+                let mut splitters = self.zero_counts();
+                splitters[coordinator.index()] = order.len().saturating_sub(1) as f64;
+                let split_cost = self.multicast_cost(&splitters, 1, &order);
+                // Shuffle: proportional splitters mean each node keeps
+                // roughly its current share; rows move like a repartition
+                // with shares ∝ current loads.
+                let shares = self.proportional_shares(&counts);
+                let shuffle_cost = self.repartition_cost(&counts, width, &shares);
+                let cost = sample_cost + split_cost + shuffle_cost;
+                let out_counts = counts.clone();
+                Ok((
+                    PhysicalPlan {
+                        op: PhysicalOp::Sort {
+                            input: Box::new(child),
+                            key: key.clone(),
+                            exchange: Exchange {
+                                kind: ExchangeKind::RangeShuffle,
+                                estimate: CostEstimate {
+                                    tuple_cost: cost,
+                                    rounds: 3,
+                                    candidates: vec![(ExchangeKind::RangeShuffle, cost)],
+                                },
+                            },
+                        },
+                        rows_est: total,
+                    },
+                    out_counts,
+                    schema,
+                ))
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                agg,
+                measure,
+            } => {
+                let (child, counts, _) = self.lower_node(input)?;
+                let total: f64 = counts.iter().sum();
+                // Distinct-group heuristic: √n groups (module docs).
+                let groups = total.sqrt().ceil().max(if total > 0.0 { 1.0 } else { 0.0 });
+                // Each node ships at most min(n_v, G) partials of width 2
+                // under the weighted hash.
+                let partials: NodeCounts = counts.iter().map(|&n| n.min(groups)).collect();
+                let shares = self.proportional_shares(&counts);
+                let cost = self.repartition_cost(&partials, 2, &shares);
+                let out_counts = self.distributed(groups, &shares);
+                Ok((
+                    PhysicalPlan {
+                        op: PhysicalOp::HashAggregate {
+                            input: Box::new(child),
+                            group_by: group_by.clone(),
+                            agg: *agg,
+                            measure: measure.clone(),
+                            exchange: Exchange {
+                                kind: ExchangeKind::WeightedRepartition,
+                                estimate: CostEstimate {
+                                    tuple_cost: cost,
+                                    rounds: 1,
+                                    candidates: vec![(ExchangeKind::WeightedRepartition, cost)],
+                                },
+                            },
+                        },
+                        rows_est: groups,
+                    },
+                    out_counts,
+                    Schema::new(vec![
+                        group_by.clone(),
+                        format!("{}_{}", agg.name(), measure),
+                    ])?,
+                ))
+            }
+            LogicalPlan::Limit { input, n } => {
+                let order_preserving = reference::preserves_order(input);
+                let (child, counts, schema) = self.lower_node(input)?;
+                let width = schema.width();
+                let target = valid_order(self.tree)[0];
+                let contributions: NodeCounts = counts.iter().map(|&c| c.min(*n as f64)).collect();
+                let cost = self.gather_cost(&contributions, width, target);
+                let total: f64 = counts.iter().sum();
+                let out_total = total.min(*n as f64);
+                let mut out_counts = self.zero_counts();
+                out_counts[target.index()] = out_total;
+                Ok((
+                    PhysicalPlan {
+                        op: PhysicalOp::Limit {
+                            input: Box::new(child),
+                            n: *n,
+                            order_preserving,
+                            exchange: Exchange {
+                                kind: ExchangeKind::Gather,
+                                estimate: CostEstimate {
+                                    tuple_cost: cost,
+                                    rounds: 1,
+                                    candidates: vec![(ExchangeKind::Gather, cost)],
+                                },
+                            },
+                        },
+                        rows_est: out_total,
+                    },
+                    out_counts,
+                    schema,
+                ))
+            }
+            LogicalPlan::Distinct { input } => {
+                let (child, counts, schema) = self.lower_node(input)?;
+                let width = schema.width();
+                let total: f64 = counts.iter().sum();
+                // Assume rows are mostly distinct already (upper bound on
+                // traffic): everything shuffles under the weighted hash.
+                let shares = self.proportional_shares(&counts);
+                let cost = self.repartition_cost(&counts, width, &shares);
+                let out_counts = self.distributed(total, &shares);
+                Ok((
+                    PhysicalPlan {
+                        op: PhysicalOp::Distinct {
+                            input: Box::new(child),
+                            exchange: Exchange {
+                                kind: ExchangeKind::WeightedRepartition,
+                                estimate: CostEstimate {
+                                    tuple_cost: cost,
+                                    rounds: 1,
+                                    candidates: vec![(ExchangeKind::WeightedRepartition, cost)],
+                                },
+                            },
+                        },
+                        rows_est: total,
+                    },
+                    out_counts,
+                    schema,
+                ))
+            }
+            LogicalPlan::UnionAll { left, right } => {
+                let (lp, lc, ls) = self.lower_node(left)?;
+                let (rp, rc, _) = self.lower_node(right)?;
+                let counts: NodeCounts = lc.iter().zip(&rc).map(|(a, b)| a + b).collect();
+                let rows_est: f64 = counts.iter().sum();
+                Ok((
+                    PhysicalPlan {
+                        op: PhysicalOp::UnionAll {
+                            left: Box::new(lp),
+                            right: Box::new(rp),
+                        },
+                        rows_est,
+                    },
+                    counts,
+                    ls,
+                ))
+            }
+        }
+    }
+
+    /// Price the three join exchanges and resolve the strategy: a forced
+    /// [`JoinStrategy`] maps directly; `Auto` keeps the cheapest estimate
+    /// (ties prefer the distribution-aware weighted repartition, then the
+    /// broadcast, mirroring the paper's preference for topology-aware
+    /// plans).
+    fn plan_join_exchange(
+        &mut self,
+        lc: &NodeCounts,
+        lw: usize,
+        rc: &NodeCounts,
+        rw: usize,
+    ) -> (Exchange, NodeCounts) {
+        let l_tot: f64 = lc.iter().sum();
+        let r_tot: f64 = rc.iter().sum();
+        let combined: NodeCounts = lc.iter().zip(rc).map(|(a, b)| a + b).collect();
+        let weighted_shares = self.proportional_shares(&combined);
+        let uniform_shares = self.uniform_shares();
+        let weighted_cost = self.repartition_cost(lc, lw, &weighted_shares)
+            + self.repartition_cost(rc, rw, &weighted_shares);
+        let uniform_cost = self.repartition_cost(lc, lw, &uniform_shares)
+            + self.repartition_cost(rc, rw, &uniform_shares);
+        // The executor broadcasts the side with fewer rows to every node
+        // holding rows of the other side.
+        let (small, small_w, big) = if l_tot <= r_tot {
+            (lc, lw, rc)
+        } else {
+            (rc, rw, lc)
+        };
+        let holders: Vec<NodeId> = self
+            .tree
+            .compute_nodes()
+            .iter()
+            .copied()
+            .filter(|&v| big[v.index()] > 0.0)
+            .collect();
+        let broadcast_cost = self.multicast_cost(small, small_w, &holders);
+
+        let candidates = vec![
+            (ExchangeKind::WeightedRepartition, weighted_cost),
+            (ExchangeKind::BroadcastSmall, broadcast_cost),
+            (ExchangeKind::UniformRepartition, uniform_cost),
+        ];
+        let kind = match self.options.join {
+            JoinStrategy::Weighted => ExchangeKind::WeightedRepartition,
+            JoinStrategy::Uniform => ExchangeKind::UniformRepartition,
+            JoinStrategy::BroadcastSmall => ExchangeKind::BroadcastSmall,
+            // Cheapest estimate wins; candidate order is the tie-break.
+            JoinStrategy::Auto => {
+                candidates
+                    .iter()
+                    .copied()
+                    .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("estimates are finite"))
+                    .expect("three candidates")
+                    .0
+            }
+        };
+        let (tuple_cost, rounds) = match kind {
+            ExchangeKind::WeightedRepartition => (weighted_cost, 2),
+            ExchangeKind::UniformRepartition => (uniform_cost, 2),
+            ExchangeKind::BroadcastSmall => (broadcast_cost, 1),
+            _ => unreachable!("join exchanges are repartition or broadcast"),
+        };
+
+        // Output estimate: key/foreign-key shape, placed by the exchange.
+        let out_total = if l_tot == 0.0 || r_tot == 0.0 {
+            0.0
+        } else {
+            l_tot.max(r_tot)
+        };
+        let out_counts = match kind {
+            ExchangeKind::BroadcastSmall => {
+                let big_shares = self.proportional_shares(big);
+                self.distributed(out_total, &big_shares)
+            }
+            ExchangeKind::UniformRepartition => self.distributed(out_total, &uniform_shares),
+            _ => self.distributed(out_total, &weighted_shares),
+        };
+        (
+            Exchange {
+                kind,
+                estimate: CostEstimate {
+                    tuple_cost,
+                    rounds,
+                    candidates,
+                },
+            },
+            out_counts,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use crate::row::Row;
+    use crate::table::DistributedTable;
+    use tamp_topology::builders;
+
+    fn star_catalog(facts: u64, dims: u64) -> Catalog {
+        let tree = builders::star(4, 1.0);
+        let mut c = Catalog::new(tree);
+        let rows: Vec<Row> = (0..facts).map(|i| vec![i, i % 7, i * 3]).collect();
+        c.register(DistributedTable::round_robin(
+            "facts",
+            Schema::new(vec!["id", "g", "x"]).unwrap(),
+            rows,
+            c.tree(),
+        ))
+        .unwrap();
+        let d: Vec<Row> = (0..dims).map(|g| vec![g, g + 100]).collect();
+        c.register(DistributedTable::round_robin(
+            "dims",
+            Schema::new(vec!["g", "label"]).unwrap(),
+            d,
+            c.tree(),
+        ))
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn auto_broadcasts_tiny_dimension_tables() {
+        let c = star_catalog(600, 7);
+        let q = LogicalPlan::scan("facts").join_on(LogicalPlan::scan("dims"), "g", "g");
+        let p = lower(&q, &c, ExecOptions::default()).unwrap();
+        match &p.op {
+            PhysicalOp::HashJoin { exchange, .. } => {
+                assert_eq!(exchange.kind, ExchangeKind::BroadcastSmall);
+                assert_eq!(exchange.estimate.candidates.len(), 3);
+                assert!(exchange.estimate.tuple_cost > 0.0);
+            }
+            other => panic!("expected join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn auto_keeps_colocated_skew_in_place() {
+        // Both sides parked on one node: the weighted repartition moves
+        // (almost) nothing, so Auto must not pick the uniform shuffle.
+        let tree = builders::heterogeneous_star(&[0.5, 4.0, 4.0, 4.0]);
+        let heavy = tree.compute_nodes()[0];
+        let mut c = Catalog::new(tree);
+        let rows: Vec<Row> = (0..300).map(|i| vec![i, i % 5, i]).collect();
+        c.register(DistributedTable::single_node(
+            "a",
+            Schema::new(vec!["id", "g", "x"]).unwrap(),
+            rows.clone(),
+            c.tree(),
+            heavy,
+        ))
+        .unwrap();
+        c.register(DistributedTable::single_node(
+            "b",
+            Schema::new(vec!["g", "y", "z"]).unwrap(),
+            rows,
+            c.tree(),
+            heavy,
+        ))
+        .unwrap();
+        let q = LogicalPlan::scan("a").join_on(LogicalPlan::scan("b"), "g", "g");
+        let p = lower(&q, &c, ExecOptions::default()).unwrap();
+        let x = p.exchange().unwrap();
+        assert_ne!(x.kind, ExchangeKind::UniformRepartition);
+        // Everything is already in place: the estimate is (near) zero
+        // while the uniform candidate is expensive.
+        let uniform = x
+            .estimate
+            .candidates
+            .iter()
+            .find(|(k, _)| *k == ExchangeKind::UniformRepartition)
+            .unwrap()
+            .1;
+        assert!(x.estimate.tuple_cost < 1e-9, "{}", x.estimate.tuple_cost);
+        assert!(uniform > 100.0, "{uniform}");
+    }
+
+    #[test]
+    fn forced_strategies_map_directly() {
+        let c = star_catalog(100, 100);
+        let q = LogicalPlan::scan("facts").join_on(LogicalPlan::scan("dims"), "g", "g");
+        for (strategy, kind) in [
+            (JoinStrategy::Weighted, ExchangeKind::WeightedRepartition),
+            (JoinStrategy::Uniform, ExchangeKind::UniformRepartition),
+            (JoinStrategy::BroadcastSmall, ExchangeKind::BroadcastSmall),
+        ] {
+            let p = lower(
+                &q,
+                &c,
+                ExecOptions {
+                    join: strategy,
+                    seed: 0,
+                },
+            )
+            .unwrap();
+            assert_eq!(p.exchange().unwrap().kind, kind);
+        }
+    }
+
+    #[test]
+    fn every_operator_lowers_with_estimates() {
+        let c = star_catalog(200, 7);
+        let q = LogicalPlan::scan("facts")
+            .filter(col("x").gt(lit(10)))
+            .join_on(LogicalPlan::scan("dims"), "g", "g")
+            .aggregate("label", AggFunc::Sum, "x")
+            .order_by("label")
+            .limit(5);
+        let p = lower(&q, &c, ExecOptions::default()).unwrap();
+        assert!(p.estimated_cost() > 0.0);
+        assert!(p.estimated_rounds() >= 6, "{}", p.estimated_rounds());
+        let text = p.to_string();
+        assert!(text.contains("est cost"), "{text}");
+        assert!(text.contains("via"), "{text}");
+        assert!(text.contains("candidates"), "{text}");
+    }
+
+    #[test]
+    fn lowering_validates_names() {
+        let c = star_catalog(10, 3);
+        assert!(lower(&LogicalPlan::scan("nope"), &c, ExecOptions::default()).is_err());
+        assert!(lower(
+            &LogicalPlan::scan("facts").order_by("zzz"),
+            &c,
+            ExecOptions::default()
+        )
+        .is_err());
+    }
+}

@@ -16,7 +16,7 @@
 //! ```
 //!
 //! Schema inference ([`LogicalPlan::schema`]) resolves column names
-//! against a [`Catalog`](crate::table::Catalog); execution maps each
+//! against a [`Catalog`]; execution maps each
 //! operator onto the paper's topology-aware primitives (see
 //! [`exec`](crate::exec)).
 

@@ -28,9 +28,9 @@
 //! # Adding a new protocol against `ExecBackend`
 //!
 //! 1. Implement the centralized algorithm as a
-//!    [`Protocol`](tamp_simulator::Protocol) (drive a `Session`).
+//!    [`Protocol`] (drive a `Session`).
 //! 2. Implement the distributed counterpart as a
-//!    [`NodeProgram`](crate::NodeProgram) that derives the *same plan*
+//!    [`NodeProgram`] that derives the *same plan*
 //!    from shared knowledge (topology, cardinalities, seed) so its sends
 //!    match the centralized ones.
 //! 3. Bundle them: `PairedJob::new(name, protocol, make_program)` — or
@@ -238,6 +238,34 @@ pub fn standard_backends() -> Vec<Box<dyn ExecBackend>> {
     ]
 }
 
+/// Backend selection hook: resolve a backend from a spec string, so
+/// drivers (examples, benches, env-var switches) can let callers pick an
+/// engine without hard-wiring one.
+///
+/// Recognized specs:
+///
+/// - `"simulator"` (or `"sim"`) — the centralized [`SimulatorBackend`];
+/// - `"pooled-cluster"` (or `"cluster"`) — the default
+///   [`PooledClusterBackend`];
+/// - `"pooled-cluster:<N>"` / `"cluster:<N>"` — a pooled cluster with an
+///   explicit worker count.
+///
+/// Returns `None` for anything else, letting callers surface their own
+/// error (with the spec in hand).
+pub fn backend_from_spec(spec: &str) -> Option<Box<dyn ExecBackend>> {
+    match spec.trim() {
+        "simulator" | "sim" => Some(Box::new(SimulatorBackend)),
+        "pooled-cluster" | "cluster" => Some(Box::new(PooledClusterBackend::default())),
+        other => {
+            let workers = other
+                .strip_prefix("pooled-cluster:")
+                .or_else(|| other.strip_prefix("cluster:"))?;
+            let workers: usize = workers.parse().ok().filter(|&w| w > 0)?;
+            Some(Box::new(PooledClusterBackend::with_workers(workers)))
+        }
+    }
+}
+
 struct ErasedProtocol<'p, P>(&'p P);
 
 impl<'p, P: Protocol> CentralizedView for ErasedProtocol<'p, P> {
@@ -385,6 +413,27 @@ mod tests {
                 rt.final_state[v.index()].r,
                 "node {v}"
             );
+        }
+    }
+
+    #[test]
+    fn backend_specs_resolve() {
+        assert_eq!(backend_from_spec("simulator").unwrap().name(), "simulator");
+        assert_eq!(backend_from_spec("sim").unwrap().name(), "simulator");
+        assert_eq!(
+            backend_from_spec("pooled-cluster").unwrap().name(),
+            "pooled-cluster"
+        );
+        assert_eq!(
+            backend_from_spec("cluster:3").unwrap().name(),
+            "pooled-cluster(3)"
+        );
+        assert_eq!(
+            backend_from_spec("pooled-cluster:8").unwrap().name(),
+            "pooled-cluster(8)"
+        );
+        for bad in ["", "gpu", "cluster:0", "cluster:x", "pooled-cluster:"] {
+            assert!(backend_from_spec(bad).is_none(), "{bad:?}");
         }
     }
 

@@ -1,4 +1,4 @@
-//! Paired [`ExecJob`]s for the protocols this repository ships in both
+//! Paired [`ExecJob`](crate::backend::ExecJob)s for the protocols this repository ships in both
 //! centralized and distributed form.
 //!
 //! Each constructor bundles a `tamp-core` protocol with its

@@ -17,7 +17,7 @@
 //! ledger as the simulator.
 //!
 //! The [`backend`] module is the engine-agnostic entry point: the
-//! [`ExecBackend`](backend::ExecBackend) trait fronts both this cluster
+//! [`ExecBackend`] trait fronts both this cluster
 //! and the centralized simulator, and [`jobs`] bundles the shipped
 //! protocol pairs so drivers select an engine instead of hand-rolling two
 //! call paths. See the `backend` module docs for the recipe for adding a
@@ -75,7 +75,7 @@ pub mod message;
 pub mod programs;
 
 pub use backend::{
-    standard_backends, ExecBackend, ExecError, ExecJob, ExecOutcome, PairedJob,
+    backend_from_spec, standard_backends, ExecBackend, ExecError, ExecJob, ExecOutcome, PairedJob,
     PooledClusterBackend, ProgramJob, ProtocolJob, SimulatorBackend,
 };
 pub use cluster::{run_cluster, ClusterOptions, NodeCtx, NodeProgram, RuntimeRun};

@@ -2,7 +2,7 @@
 //!
 //! The convergecast merge schedule is a deterministic function of
 //! `(tree, initial cardinalities, target)` —
-//! [`combining_schedule`](tamp_core::aggregate::combining_schedule) — so
+//! [`combining_schedule`] — so
 //! every node derives the identical level plan locally and plays only its
 //! own part: at level `k`, if the node is a scheduled source, it ships its
 //! accumulated partials to the scheduled destination; arriving partials

@@ -7,7 +7,8 @@
 //! *initial data distribution*, so experiments need precise control over
 //! both the data ([`SetSpec`], [`SortSpec`]) and where it starts
 //! ([`PlacementStrategy`]). Everything is seeded: the same `(spec,
-//! strategy, seed)` triple always produces the same [`Placement`].
+//! strategy, seed)` triple always produces the same
+//! [`Placement`](tamp_simulator::Placement).
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]

@@ -59,27 +59,42 @@ fn main() {
     let optimized = optimize(query.clone(), &catalog).unwrap();
     println!("optimized plan:\n{optimized}");
 
+    // Engine selection goes through the runtime's spec hook: run with
+    // e.g. `TAMP_BACKEND=pooled-cluster` (or `cluster:4`) to execute the
+    // very same plans on the pooled BSP cluster — the metered ledgers are
+    // bit-identical to the simulator's.
+    let spec = std::env::var("TAMP_BACKEND").unwrap_or_else(|_| "simulator".into());
+    let backend = tamp::runtime::backend_from_spec(&spec)
+        .unwrap_or_else(|| panic!("unknown TAMP_BACKEND spec `{spec}`"));
+    println!("backend: {}", backend.name());
+
     for (label, strategy) in [
         ("distribution-aware (weighted) join", JoinStrategy::Weighted),
         ("topology-agnostic (uniform) join", JoinStrategy::Uniform),
-        ("auto", JoinStrategy::Auto),
+        ("auto (cost-based at plan time)", JoinStrategy::Auto),
     ] {
-        let result = execute(
+        let result = execute_on(
             &catalog,
             &optimized,
             ExecOptions {
                 join: strategy,
                 seed: 7,
             },
+            backend.as_ref(),
         )
         .unwrap();
         println!(
-            "\n== {label}: total cost {:.1} tuples over {} rounds",
+            "\n== {label}: total cost {:.1} tuples over {} rounds (planner estimate {:.1})",
             result.cost.tuple_cost(),
-            result.rounds
+            result.rounds,
+            result.estimated_cost,
         );
-        for (op, cost) in &result.operator_costs {
-            println!("   {op:<28} {cost:>10.1}");
+        println!("   {:<28} {:>10} {:>10}", "operator", "estimated", "actual");
+        for oc in &result.operator_costs {
+            println!(
+                "   {:<28} {:>10.1} {:>10.1}",
+                oc.op, oc.estimated, oc.actual
+            );
         }
         // The distributed answer matches the single-node oracle.
         let want = reference::evaluate(&query, &catalog).unwrap();

@@ -1,0 +1,134 @@
+//! Planner correctness across execution paths.
+//!
+//! A prepared query's exchange schedule is derived once from the plan, so
+//! the legacy `execute` shim, `QueryContext` on the simulator backend and
+//! `QueryContext` on the pooled cluster backend must produce **identical
+//! results and bit-identical metered costs** — same `edge_totals`, same
+//! rounds, same rows — for random tables, topologies, plans and join
+//! strategies.
+
+use proptest::prelude::*;
+use tamp::query::prelude::*;
+use tamp::query::reference;
+use tamp::runtime::{backend_from_spec, PooledClusterBackend};
+use tamp::topology::builders;
+
+fn make_context(tree_pick: u8, fact_rows: u64, groups: u64, skew_percent: u8) -> QueryContext {
+    let tree = match tree_pick % 4 {
+        0 => builders::star(4, 1.0),
+        1 => builders::heterogeneous_star(&[0.5, 2.0, 4.0, 4.0, 8.0]),
+        2 => builders::rack_tree(&[(3, 1.0, 2.0), (2, 2.0, 1.0)], 1.0),
+        _ => builders::caterpillar(3, 2, 1.5),
+    };
+    let heavy = tree.compute_nodes()[0];
+    let facts = DistributedTable::skewed(
+        "facts",
+        Schema::new(vec!["id", "g", "x"]).unwrap(),
+        (0..fact_rows)
+            .map(|i| vec![i, i % groups.max(1), (i * 31) % 255])
+            .collect(),
+        &tree,
+        heavy,
+        f64::from(skew_percent % 101) / 100.0,
+    );
+    let dims = DistributedTable::round_robin(
+        "dims",
+        Schema::new(vec!["g", "tier"]).unwrap(),
+        (0..groups.max(1)).map(|g| vec![g, g % 5]).collect(),
+        &tree,
+    );
+    let mut ctx = QueryContext::new(tree);
+    ctx.register(facts).unwrap().register(dims).unwrap();
+    ctx
+}
+
+fn plans(threshold: u64, limit: usize) -> Vec<LogicalPlan> {
+    vec![
+        LogicalPlan::scan("facts").filter(col("x").gt(lit(threshold))),
+        LogicalPlan::scan("facts").join_on(LogicalPlan::scan("dims"), "g", "g"),
+        LogicalPlan::scan("facts")
+            .filter(col("x").gt(lit(threshold)))
+            .join_on(LogicalPlan::scan("dims"), "g", "g")
+            .aggregate("tier", AggFunc::Sum, "x"),
+        LogicalPlan::scan("facts").order_by("x").limit(limit),
+        LogicalPlan::scan("facts")
+            .project(vec![("g", col("g")), ("x", col("x"))])
+            .distinct(),
+        LogicalPlan::scan("dims").cross(LogicalPlan::scan("dims")),
+        LogicalPlan::scan("facts")
+            .aggregate("g", AggFunc::Max, "x")
+            .order_by("g"),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random plans produce identical rows and bit-identical ledgers on
+    /// every execution path.
+    #[test]
+    fn execution_paths_agree_bit_identically(
+        tree_pick in 0u8..4,
+        fact_rows in 1u64..120,
+        groups in 1u64..10,
+        skew in 0u8..101,
+        threshold in 0u64..255,
+        limit in 1usize..20,
+        seed in 0u64..100,
+        strat_pick in 0u8..4,
+    ) {
+        let join = match strat_pick % 4 {
+            0 => JoinStrategy::Auto,
+            1 => JoinStrategy::Weighted,
+            2 => JoinStrategy::Uniform,
+            _ => JoinStrategy::BroadcastSmall,
+        };
+        let ctx = make_context(tree_pick, fact_rows, groups, skew)
+            .with_seed(seed)
+            .with_join_strategy(join);
+        for q in plans(threshold, limit) {
+            let ord = reference::preserves_order(&q);
+            let want = reference::evaluate(&q, ctx.catalog()).unwrap();
+
+            // Path 1: the legacy free-function shim.
+            let legacy = execute(ctx.catalog(), &q, ctx.options()).unwrap();
+            // Path 2: prepared query on the simulator backend.
+            let prepared = ctx.prepare(&q).unwrap();
+            let sim = prepared.run().unwrap();
+            // Path 3: the same prepared query on the pooled cluster.
+            let cluster = prepared.run_on(&PooledClusterBackend::default()).unwrap();
+
+            prop_assert_eq!(&legacy.rows(ord), &want, "legacy vs reference, plan:\n{}", q);
+            prop_assert_eq!(&sim.rows(ord), &want, "sim vs reference, plan:\n{}", q);
+            prop_assert_eq!(&cluster.rows(ord), &want, "cluster vs reference, plan:\n{}", q);
+
+            prop_assert_eq!(&legacy.cost.edge_totals, &sim.cost.edge_totals, "plan:\n{}", q);
+            prop_assert_eq!(&sim.cost.edge_totals, &cluster.cost.edge_totals, "plan:\n{}", q);
+            prop_assert_eq!(legacy.rounds, sim.rounds, "plan:\n{}", q);
+            prop_assert_eq!(sim.rounds, cluster.rounds, "plan:\n{}", q);
+            let eps = 1e-9;
+            prop_assert!((legacy.cost.tuple_cost() - cluster.cost.tuple_cost()).abs() < eps);
+        }
+    }
+}
+
+/// The spec-based backend selection hook resolves engines that execute
+/// prepared queries interchangeably.
+#[test]
+fn spec_selected_backends_agree() {
+    let ctx = make_context(2, 90, 6, 60).with_seed(3);
+    let q = LogicalPlan::scan("facts")
+        .join_on(LogicalPlan::scan("dims"), "g", "g")
+        .aggregate("tier", AggFunc::Count, "id");
+    let prepared = ctx.prepare(&q).unwrap();
+    let mut ledgers = Vec::new();
+    for spec in ["simulator", "pooled-cluster", "cluster:2"] {
+        let backend = backend_from_spec(spec).unwrap();
+        let res = prepared.run_on(backend.as_ref()).unwrap();
+        ledgers.push((spec, res.cost.edge_totals.clone(), res.rows(false)));
+    }
+    for pair in ledgers.windows(2) {
+        assert_eq!(pair[0].1, pair[1].1, "{} vs {}", pair[0].0, pair[1].0);
+        assert_eq!(pair[0].2, pair[1].2, "{} vs {}", pair[0].0, pair[1].0);
+    }
+}

@@ -118,13 +118,14 @@ fn query_costs_respect_primitive_bounds() {
         .join_on(LogicalPlan::scan("dims"), "g", "g")
         .order_by("x");
     let res = execute(&c, &q, ExecOptions::default()).unwrap();
-    let total: f64 = res.operator_costs.iter().map(|(_, c)| c).sum();
+    let total: f64 = res.operator_costs.iter().map(|c| c.actual).sum();
     assert!((total - res.cost.tuple_cost()).abs() < 1e-9);
-    let order_by_cost = res
+    let order_by = res
         .operator_costs
         .iter()
-        .find(|(n, _)| n.starts_with("OrderBy"))
-        .unwrap()
-        .1;
-    assert!(order_by_cost > 0.0);
+        .find(|c| c.op.starts_with("OrderBy"))
+        .unwrap();
+    assert!(order_by.actual > 0.0);
+    // The planner priced the sort's exchange too.
+    assert!(order_by.estimated > 0.0);
 }
