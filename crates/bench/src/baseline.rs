@@ -182,17 +182,57 @@ pub struct RegressionReport {
     pub failures: Vec<String>,
 }
 
-/// Diff `current` against `baseline`: a suite **fails** when its
-/// `median_numeric` — the deterministic cost signal — worsens (grows) by
-/// more than `tolerance` (`0.10` = 10%). Suites only present on one side
-/// and wall-clock drift are reported as notes, never failures (timings
-/// are machine-dependent).
+/// Ignore wall-clock drift on suites faster than this: timer noise and
+/// scheduling jitter dominate millisecond-scale runs.
+const WALL_FLOOR_MS: f64 = 50.0;
+
+/// The run-to-baseline machine-speed factor: the **median** of the
+/// per-suite `current / baseline` wall ratios over the suites the gate
+/// itself judges (baseline wall at or above [`WALL_FLOOR_MS`] —
+/// sub-floor suites are timer noise and would drown the signal). A
+/// uniformly slower machine (CI runner vs the laptop that committed the
+/// baseline) shifts every ratio, and the median with it; one suite
+/// regressing — or *improving*, the expected change in a perf-focused
+/// repo — moves only its own ratio, which the median ignores, so
+/// neither fails the gate for the unchanged suites. The deliberate
+/// trade-off: if a majority of the qualifying suites regress for one
+/// shared cause, the median reads it as a slower machine — that band of
+/// regression is left to the deterministic cost gate.
+fn machine_speed(current: &[SuiteBaseline], baseline: &[SuiteBaseline]) -> f64 {
+    let mut ratios: Vec<f64> = current
+        .iter()
+        .filter_map(|cur| {
+            let base = baseline.iter().find(|b| b.id == cur.id)?;
+            (base.wall_ms.is_finite() && base.wall_ms >= WALL_FLOOR_MS && cur.wall_ms.is_finite())
+                .then(|| cur.wall_ms / base.wall_ms)
+        })
+        .collect();
+    if ratios.is_empty() {
+        return 1.0; // no qualifying suites (the per-suite gate skips them all too)
+    }
+    median(&mut ratios)
+}
+
+/// Diff `current` against `baseline`. A suite **fails** when
+///
+/// - its `median_numeric` — the deterministic cost signal — worsens
+///   (grows) by more than `tolerance` (`0.10` = 10%), or
+/// - its `wall_ms` worsens by more than `wall_tolerance` (`0.50` = 50%)
+///   after normalizing by the overall machine-speed factor (the median
+///   of qualifying per-suite wall ratios, so neither a uniformly slower
+///   machine nor a single-suite speedup produces false failures);
+///   suites under 50 ms in the baseline are exempt (pure timer noise).
+///
+/// Suites only present on one side are reported as notes, never
+/// failures.
 pub fn check_regressions(
     current: &[SuiteBaseline],
     baseline: &[SuiteBaseline],
     tolerance: f64,
+    wall_tolerance: f64,
 ) -> RegressionReport {
     let mut report = RegressionReport::default();
+    let speed = machine_speed(current, baseline);
     for cur in current {
         let Some(base) = baseline.iter().find(|b| b.id == cur.id) else {
             report
@@ -200,28 +240,41 @@ pub fn check_regressions(
                 .push(format!("{}: new suite (no baseline entry)", cur.id));
             continue;
         };
-        if base.median_numeric.is_nan() {
-            // No baseline signal to compare against.
-            continue;
+        if !base.median_numeric.is_nan() {
+            if cur.median_numeric.is_nan() {
+                // The suite used to have a cost signal and now has none —
+                // that is a regression of the gate itself, not a free pass.
+                report.failures.push(format!(
+                    "{}: median_numeric vanished (NaN) but baseline has {:.6}",
+                    cur.id, base.median_numeric,
+                ));
+            } else {
+                let allowed = base.median_numeric * (1.0 + tolerance) + 1e-9;
+                if cur.median_numeric > allowed {
+                    report.failures.push(format!(
+                        "{}: median_numeric {:.6} worsened >{:.0}% over baseline {:.6}",
+                        cur.id,
+                        cur.median_numeric,
+                        tolerance * 100.0,
+                        base.median_numeric,
+                    ));
+                }
+            }
         }
-        if cur.median_numeric.is_nan() {
-            // The suite used to have a cost signal and now has none —
-            // that is a regression of the gate itself, not a free pass.
-            report.failures.push(format!(
-                "{}: median_numeric vanished (NaN) but baseline has {:.6}",
-                cur.id, base.median_numeric,
-            ));
-            continue;
-        }
-        let allowed = base.median_numeric * (1.0 + tolerance) + 1e-9;
-        if cur.median_numeric > allowed {
-            report.failures.push(format!(
-                "{}: median_numeric {:.6} worsened >{:.0}% over baseline {:.6}",
-                cur.id,
-                cur.median_numeric,
-                tolerance * 100.0,
-                base.median_numeric,
-            ));
+        // Wall-clock gate: speed-normalized, floored, generous.
+        if base.wall_ms.is_finite() && base.wall_ms >= WALL_FLOOR_MS && cur.wall_ms.is_finite() {
+            let allowed = base.wall_ms * speed * (1.0 + wall_tolerance) + WALL_FLOOR_MS;
+            if cur.wall_ms > allowed {
+                report.failures.push(format!(
+                    "{}: wall_ms {:.1} worsened >{:.0}% over baseline {:.1} \
+                     (machine-speed factor {:.2})",
+                    cur.id,
+                    cur.wall_ms,
+                    wall_tolerance * 100.0,
+                    base.wall_ms,
+                    speed,
+                ));
+            }
         }
     }
     for base in baseline {
@@ -268,17 +321,17 @@ mod tests {
             suite("a", 109.9),  // +9.9% — within the 10% envelope
             suite("new", 50.0), // no baseline — note only
         ];
-        let report = check_regressions(&current, &baseline, 0.10);
+        let report = check_regressions(&current, &baseline, 0.10, 0.50);
         assert!(report.failures.is_empty(), "{:?}", report.failures);
         assert_eq!(report.notes.len(), 2);
 
         let worse = vec![suite("a", 111.0)];
-        let report = check_regressions(&worse, &baseline, 0.10);
+        let report = check_regressions(&worse, &baseline, 0.10, 0.50);
         assert_eq!(report.failures.len(), 1, "{:?}", report.failures);
 
         // Improvements never fail.
         let better = vec![suite("a", 20.0)];
-        assert!(check_regressions(&better, &baseline, 0.10)
+        assert!(check_regressions(&better, &baseline, 0.10, 0.50)
             .failures
             .is_empty());
 
@@ -286,9 +339,68 @@ mod tests {
         // otherwise a suite degenerating to zero numeric cells would
         // bypass the gate entirely.
         let vanished = vec![suite("a", f64::NAN)];
-        let report = check_regressions(&vanished, &baseline, 0.10);
+        let report = check_regressions(&vanished, &baseline, 0.10, 0.50);
         assert_eq!(report.failures.len(), 1, "{:?}", report.failures);
         assert!(report.failures[0].contains("vanished"));
+    }
+
+    fn timed(id: &str, wall: f64) -> SuiteBaseline {
+        SuiteBaseline {
+            wall_ms: wall,
+            ..suite(id, 1.0)
+        }
+    }
+
+    #[test]
+    fn wall_gate_flags_relative_regressions_only() {
+        let baseline = vec![
+            timed("a", 200.0),
+            timed("b", 400.0),
+            timed("c", 800.0),
+            timed("tiny", 2.0),
+        ];
+        // A uniformly 3× slower machine: every ratio shifts together, the
+        // speed factor absorbs it, nothing fails.
+        let slower: Vec<SuiteBaseline> = baseline
+            .iter()
+            .map(|s| timed(&s.id, s.wall_ms * 3.0))
+            .collect();
+        let report = check_regressions(&slower, &baseline, 0.10, 0.50);
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+
+        // One suite blowing up 5× on an otherwise steady machine fails.
+        let blowup = vec![
+            timed("a", 200.0),
+            timed("b", 2000.0),
+            timed("c", 800.0),
+            timed("tiny", 2.0),
+        ];
+        let report = check_regressions(&blowup, &baseline, 0.10, 0.50);
+        assert_eq!(report.failures.len(), 1, "{:?}", report.failures);
+        assert!(report.failures[0].contains("b: wall_ms"));
+
+        // A genuine speedup in one suite must not fail the gate for the
+        // unchanged suites (perf improvements are the expected change
+        // here): the median speed factor ignores the improved outlier.
+        let one_faster = vec![
+            timed("a", 200.0),
+            timed("b", 400.0),
+            timed("c", 80.0), // 10× faster, others unchanged
+            timed("tiny", 2.0),
+        ];
+        let report = check_regressions(&one_faster, &baseline, 0.10, 0.50);
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+
+        // Sub-floor suites never fail on wall time, however noisy —
+        // and their jitter never skews the speed factor.
+        let noisy_tiny = vec![
+            timed("a", 200.0),
+            timed("b", 400.0),
+            timed("c", 800.0),
+            timed("tiny", 40.0),
+        ];
+        let report = check_regressions(&noisy_tiny, &baseline, 0.10, 0.50);
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
     }
 
     #[test]

@@ -18,7 +18,8 @@
 //! With `--check=PATH`, the run is additionally diffed against the
 //! committed baseline at `PATH`: the process exits non-zero if any
 //! suite's `median_numeric` (the deterministic cost signal) worsened by
-//! more than 10% — the CI bench-regression gate.
+//! more than 10%, or any suite's `wall_ms` worsened by more than 50%
+//! after machine-speed normalization — the CI bench-regression gate.
 
 use std::time::Instant;
 
@@ -103,7 +104,7 @@ fn main() {
                 std::process::exit(1);
             }
         };
-        let report = baseline::check_regressions(&suites, &committed, 0.10);
+        let report = baseline::check_regressions(&suites, &committed, 0.10, 0.50);
         for note in &report.notes {
             println!("baseline note: {note}");
         }

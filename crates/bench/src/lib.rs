@@ -12,7 +12,7 @@
 //!
 //! or a single experiment by id (`t1-si`, `t1-cp`, `t1-sort`, `f1`–`f5`,
 //! `a1`, `x-mpc`, `x-cross`, `x-agg`, `x-groupby`, `x-general`,
-//! `x-runtime`, `x-query`, `x-uneq-tree`, `abl-partition`, `abl-pow2`,
+//! `x-runtime`, `x-query`, `x-scale`, `x-uneq-tree`, `abl-partition`, `abl-pow2`,
 //! `abl-splitters`, `abl-treepack`, `abl-drift`).
 
 #![deny(missing_docs)]
@@ -23,5 +23,6 @@ pub mod baseline;
 pub mod extensions;
 pub mod suite;
 pub mod table;
+pub mod xscale;
 
 pub use table::Table;

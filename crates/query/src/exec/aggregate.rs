@@ -62,8 +62,8 @@ pub(crate) fn aggregate(
         }
     }
     ctx.trace.round(|round| {
-        for (src, dst, buf) in &outgoing {
-            round.send(*src, &[*dst], Rel::S, buf);
+        for (src, dst, buf) in outgoing {
+            round.send(src, &[dst], Rel::S, buf);
         }
     });
     owned

@@ -45,8 +45,8 @@ pub(crate) fn distinct(ctx: &mut ExecCtx<'_>, frags: Fragments, width: usize) ->
         }
     }
     ctx.trace.round(|round| {
-        for (src, dst, buf) in &outgoing {
-            round.send(*src, &[*dst], Rel::R, buf);
+        for (src, dst, buf) in outgoing {
+            round.send(src, &[dst], Rel::R, buf);
         }
     });
     for frag in &mut new_frags {

@@ -42,7 +42,7 @@ fn broadcast_small(
             if local.is_empty() || holders.is_empty() {
                 continue;
             }
-            round.send(v, holders, Rel::R, &flatten(local, small_w));
+            round.send(v, holders, Rel::R, flatten(local, small_w));
         }
     });
     let mut small_new: Fragments = vec![Vec::new(); tree.num_nodes()];
@@ -158,8 +158,8 @@ pub(crate) fn shuffle_by_key(
         }
     }
     ctx.trace.round(|round| {
-        for (src, dst, buf) in &outgoing {
-            round.send(*src, &[*dst], rel, buf);
+        for (src, dst, buf) in outgoing {
+            round.send(src, &[dst], rel, buf);
         }
     });
     new_frags

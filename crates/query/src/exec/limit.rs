@@ -34,7 +34,7 @@ pub(crate) fn limit(
     ctx.trace.round(|round| {
         for (v, rows) in &contributions {
             if *v != target && !rows.is_empty() {
-                round.send(*v, &[target], Rel::R, &flatten(rows, width));
+                round.send(*v, &[target], Rel::R, flatten(rows, width));
             }
         }
     });

@@ -40,8 +40,8 @@ pub(crate) fn order_by(
         sampled.push((v, samples));
     }
     ctx.trace.round(|round| {
-        for (v, samples) in &sampled {
-            round.send(*v, &[coordinator], Rel::S, samples);
+        for (v, samples) in sampled {
+            round.send(v, &[coordinator], Rel::S, samples);
         }
     });
 
@@ -70,7 +70,7 @@ pub(crate) fn order_by(
 
     // Round 2: broadcast splitters.
     ctx.trace
-        .round(|round| round.send(coordinator, &order, Rel::S, &splitters));
+        .round(|round| round.send(coordinator, &order, Rel::S, splitters.clone()));
 
     // Round 3: range shuffle by splitter buckets.
     let mut new_frags: Fragments = vec![Vec::new(); tree.num_nodes()];
@@ -96,8 +96,8 @@ pub(crate) fn order_by(
         }
     }
     ctx.trace.round(|round| {
-        for (src, dst, buf) in &outgoing {
-            round.send(*src, &[*dst], Rel::R, buf);
+        for (src, dst, buf) in outgoing {
+            round.send(src, &[dst], Rel::R, buf);
         }
     });
     for &v in &order {

@@ -15,6 +15,13 @@
 //!   [`NodeProgram`] that emits exactly the trace sends originating at
 //!   that node, superstep by superstep.
 //!
+//! Payloads are recorded once as shared `Arc<[Value]>` slices and flow
+//! through both engines without another copy: the centralized replay
+//! delivers `Arc` clones per destination
+//! ([`RoundCtx::send_shared`](tamp_simulator::RoundCtx::send_shared)),
+//! and the distributed replay queues `Arc` clones into each
+//! [`Outbox`] — a broadcast to 4096 nodes is one allocation, not 4096.
+//!
 //! Both engines meter on the shared per-directed-edge ledger, so the two
 //! views produce bit-identical [`Cost`](tamp_simulator::cost::Cost)s —
 //! the query parity tests assert exactly that.
@@ -35,8 +42,9 @@ pub(crate) struct TraceSend {
     pub dsts: Vec<NodeId>,
     /// Relation tag.
     pub rel: Rel,
-    /// Payload values.
-    pub values: Vec<Value>,
+    /// Shared payload values; every replay and delivery clones the `Arc`,
+    /// never the data.
+    pub values: Arc<[Value]>,
 }
 
 /// The complete, backend-independent communication schedule of one query
@@ -81,9 +89,10 @@ pub(crate) struct RoundRec {
 }
 
 impl RoundRec {
-    /// Queue a multicast. Empty payloads and destination sets are
-    /// dropped, mirroring both engines.
-    pub fn send(&mut self, src: NodeId, dsts: &[NodeId], rel: Rel, values: &[Value]) {
+    /// Queue a multicast; the payload is captured as one shared
+    /// allocation. Empty payloads and destination sets are dropped,
+    /// mirroring both engines.
+    pub fn send(&mut self, src: NodeId, dsts: &[NodeId], rel: Rel, values: Vec<Value>) {
         if dsts.is_empty() || values.is_empty() {
             return;
         }
@@ -91,8 +100,62 @@ impl RoundRec {
             src,
             dsts: dsts.to_vec(),
             rel,
-            values: values.to_vec(),
+            values: values.into(),
         });
+    }
+}
+
+/// Flat CSR index over a trace: for `(node, round)`, the indices of the
+/// sends originating at `node` in that round. Replaces the previous
+/// `Vec<Vec<Vec<u32>>>` — O(nodes × rounds) heap `Vec`s even when almost
+/// every cell was empty — with two flat arrays and a single pass to
+/// build.
+#[derive(Debug)]
+struct SrcIndex {
+    n_rounds: usize,
+    /// `offsets[node * n_rounds + round] .. offsets[.. + 1]` bounds the
+    /// cell's slice in `items`.
+    offsets: Vec<u32>,
+    /// Send indices into `trace.rounds[round]`, grouped by cell.
+    items: Vec<u32>,
+}
+
+impl SrcIndex {
+    fn build(num_nodes: usize, trace: &ExecTrace) -> Self {
+        let n_rounds = trace.rounds.len();
+        let cells = num_nodes * n_rounds;
+        // Counting sort: sizes, prefix sums, then fill.
+        let mut offsets = vec![0u32; cells + 1];
+        for (r, round) in trace.rounds.iter().enumerate() {
+            for send in round {
+                offsets[send.src.index() * n_rounds + r + 1] += 1;
+            }
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut items = vec![0u32; *offsets.last().unwrap() as usize];
+        let mut cursor = offsets.clone();
+        for (r, round) in trace.rounds.iter().enumerate() {
+            for (i, send) in round.iter().enumerate() {
+                let cell = send.src.index() * n_rounds + r;
+                items[cursor[cell] as usize] = i as u32;
+                cursor[cell] += 1;
+            }
+        }
+        SrcIndex {
+            n_rounds,
+            offsets,
+            items,
+        }
+    }
+
+    /// The sends of `node` in `round` (indices into the round's send
+    /// list, in issue order).
+    fn sends_of(&self, node: NodeId, round: usize) -> &[u32] {
+        let cell = node.index() * self.n_rounds + round;
+        let (lo, hi) = (self.offsets[cell] as usize, self.offsets[cell + 1] as usize);
+        &self.items[lo..hi]
     }
 }
 
@@ -100,21 +163,15 @@ impl RoundRec {
 pub(crate) struct TraceJob {
     name: String,
     trace: Arc<ExecTrace>,
-    /// `by_src[node][round]` = indices into `trace.rounds[round]` of the
-    /// sends originating at `node`, precomputed once so each replay
+    /// Per-`(node, round)` send index, precomputed once so each replay
     /// program touches only its own sends instead of scanning the whole
     /// round every superstep.
-    by_src: Arc<Vec<Vec<Vec<u32>>>>,
+    by_src: Arc<SrcIndex>,
 }
 
 impl TraceJob {
     pub fn new(name: impl Into<String>, num_nodes: usize, trace: ExecTrace) -> Self {
-        let mut by_src = vec![vec![Vec::new(); trace.rounds.len()]; num_nodes];
-        for (r, round) in trace.rounds.iter().enumerate() {
-            for (i, send) in round.iter().enumerate() {
-                by_src[send.src.index()][r].push(i as u32);
-            }
-        }
+        let by_src = SrcIndex::build(num_nodes, &trace);
         TraceJob {
             name: name.into(),
             trace: Arc::new(trace),
@@ -149,7 +206,7 @@ impl CentralizedView for CentralReplay<'_> {
         for round in &self.0.rounds {
             session.round(|r| {
                 for s in round {
-                    r.send(s.src, &s.dsts, s.rel, &s.values)?;
+                    r.send_shared(s.src, &s.dsts, s.rel, Arc::clone(&s.values))?;
                 }
                 Ok(())
             })?;
@@ -162,20 +219,44 @@ impl CentralizedView for CentralReplay<'_> {
 /// halts once the trace is exhausted.
 struct NodeReplay {
     trace: Arc<ExecTrace>,
-    by_src: Arc<Vec<Vec<Vec<u32>>>>,
+    by_src: Arc<SrcIndex>,
     node: NodeId,
 }
 
 impl NodeProgram for NodeReplay {
     fn round(&mut self, ctx: &NodeCtx<'_>, _state: &mut NodeState, out: &mut Outbox) -> Step {
         if ctx.round < self.trace.rounds.len() {
-            for &i in &self.by_src[self.node.index()][ctx.round] {
+            for &i in self.by_src.sends_of(self.node, ctx.round) {
                 let s = &self.trace.rounds[ctx.round][i as usize];
-                out.send(&s.dsts, s.rel, s.values.clone());
+                out.send(&s.dsts, s.rel, Arc::clone(&s.values));
             }
             Step::Continue
         } else {
             Step::Halt
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn src_index_groups_by_node_and_round() {
+        let mk = |src: u32, n: usize| TraceSend {
+            src: NodeId(src),
+            dsts: vec![NodeId(0)],
+            rel: Rel::R,
+            values: vec![n as u64].into(),
+        };
+        let trace = ExecTrace {
+            rounds: vec![vec![mk(2, 0), mk(0, 1), mk(2, 2)], vec![], vec![mk(1, 3)]],
+        };
+        let idx = SrcIndex::build(3, &trace);
+        assert_eq!(idx.sends_of(NodeId(2), 0), &[0, 2]);
+        assert_eq!(idx.sends_of(NodeId(0), 0), &[1]);
+        assert_eq!(idx.sends_of(NodeId(1), 0), &[] as &[u32]);
+        assert_eq!(idx.sends_of(NodeId(0), 1), &[] as &[u32]);
+        assert_eq!(idx.sends_of(NodeId(1), 2), &[0]);
     }
 }

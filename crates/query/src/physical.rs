@@ -31,7 +31,7 @@
 use std::fmt;
 
 use tamp_core::sorting::{sample_rate, valid_order};
-use tamp_topology::{Bandwidth, NodeId, PathCache, Tree};
+use tamp_topology::{Bandwidth, LcaIndex, NodeId, Tree};
 
 use crate::error::QueryError;
 use crate::exec::{ExecOptions, JoinStrategy};
@@ -363,12 +363,15 @@ fn selectivity(e: &Expr) -> f64 {
 
 /// The lowering planner: walks the logical tree bottom-up carrying
 /// per-node cardinality estimates, and prices exchanges by routing the
-/// estimated traffic along the real tree paths.
+/// estimated traffic along the real tree paths (decomposed through the
+/// O(1)-LCA index, so pricing allocates no per-pair path memos).
 struct Planner<'c> {
     catalog: &'c Catalog,
     tree: &'c Tree,
     options: ExecOptions,
-    paths: PathCache,
+    /// O(1)-LCA path decomposition for routing estimated traffic — no
+    /// memo table, no hashing (see `topology::lca`).
+    lca: LcaIndex,
     /// Per-directed-edge bandwidth, indexed like the cost ledger.
     bandwidth: Vec<Bandwidth>,
 }
@@ -383,7 +386,7 @@ impl<'c> Planner<'c> {
             catalog,
             tree,
             options,
-            paths: PathCache::new(),
+            lca: LcaIndex::new(tree),
             bandwidth: tree.dir_edges().map(|d| tree.bandwidth(d)).collect(),
         }
     }
@@ -416,9 +419,8 @@ impl<'c> Planner<'c> {
                 if u == v || s <= 0.0 {
                     continue;
                 }
-                for d in self.paths.path(self.tree, v, u) {
-                    load[d.index()] += n * s;
-                }
+                self.lca
+                    .for_each_path_edge(v, u, |d| load[d.index()] += n * s);
             }
         }
         self.round_cost(&load)
@@ -437,12 +439,12 @@ impl<'c> Planner<'c> {
             }
             seen.iter_mut().for_each(|s| *s = false);
             for &u in dsts {
-                for d in self.paths.path(self.tree, v, u) {
+                self.lca.for_each_path_edge(v, u, |d| {
                     if !seen[d.index()] {
                         seen[d.index()] = true;
                         load[d.index()] += n;
                     }
-                }
+                });
             }
         }
         self.round_cost(&load)
@@ -457,9 +459,8 @@ impl<'c> Planner<'c> {
             if n <= 0.0 || v == target {
                 continue;
             }
-            for d in self.paths.path(self.tree, v, target) {
-                load[d.index()] += n;
-            }
+            self.lca
+                .for_each_path_edge(v, target, |d| load[d.index()] += n);
         }
         self.round_cost(&load)
     }

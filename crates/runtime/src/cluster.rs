@@ -387,9 +387,9 @@ pub(crate) fn run_programs(
                     outcome = Err(RuntimeError::SendToRouter(bad));
                     break 'steps;
                 }
-                meter.charge_multicast(tree, src, &msg.dsts, msg.values.len() as u64);
-                // One allocation per multicast; destinations share it.
-                let values: std::sync::Arc<[tamp_simulator::Value]> = msg.values.into();
+                meter.charge_multicast(src, &msg.dsts, msg.values.len() as u64);
+                // The payload is already shared: destinations get `Arc`
+                // clones of the sender's single allocation.
                 for &dst in &msg.dsts {
                     slots[slot_of[dst.index()]]
                         .lock()
@@ -398,7 +398,7 @@ pub(crate) fn run_programs(
                         .push(Envelope {
                             src,
                             rel: msg.rel,
-                            values: values.clone(),
+                            values: msg.values.clone(),
                         });
                 }
             }

@@ -39,7 +39,9 @@ pub enum Step {
 pub(crate) struct OutMsg {
     pub dsts: Vec<NodeId>,
     pub rel: Rel,
-    pub values: Vec<Value>,
+    /// Shared payload: queued once, delivered to every destination's
+    /// envelope as an `Arc` clone — the zero-copy fabric end to end.
+    pub values: Arc<[Value]>,
 }
 
 /// Collects a node's outgoing messages during one superstep.
@@ -51,7 +53,12 @@ pub struct Outbox {
 impl Outbox {
     /// Multicast `values` of relation `rel` to `dsts`. Empty payloads and
     /// empty destination sets are no-ops, mirroring the simulator.
-    pub fn send(&mut self, dsts: &[NodeId], rel: Rel, values: Vec<Value>) {
+    ///
+    /// Accepts anything convertible into a shared `Arc<[Value]>` payload:
+    /// a `Vec<Value>` moves its allocation in; an `Arc<[Value]>` (e.g. a
+    /// replayed trace payload) is queued without copying at all.
+    pub fn send(&mut self, dsts: &[NodeId], rel: Rel, values: impl Into<Arc<[Value]>>) {
+        let values = values.into();
         if values.is_empty() || dsts.is_empty() {
             return;
         }
@@ -63,7 +70,7 @@ impl Outbox {
     }
 
     /// Unicast convenience wrapper.
-    pub fn send_to(&mut self, dst: NodeId, rel: Rel, values: Vec<Value>) {
+    pub fn send_to(&mut self, dst: NodeId, rel: Rel, values: impl Into<Arc<[Value]>>) {
         self.send(&[dst], rel, values);
     }
 

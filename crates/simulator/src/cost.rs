@@ -17,13 +17,19 @@ use tamp_topology::{DirEdgeId, Tree};
 /// to the machine representation.
 pub const DEFAULT_BITS_PER_TUPLE: u64 = 64;
 
-/// Per-round, per-directed-edge traffic ledger.
+/// Per-round traffic ledger, stored **sparsely**: each round keeps only
+/// the `(directed edge, tuples)` pairs it actually touched, sorted by
+/// edge id. A 4096-node repartition round on a 5461-node fat-tree
+/// touches a few thousand edges; a dense `Vec<u64>` per round would
+/// carry all ~11k directed edges for every round of every run. Memory
+/// and [`Ledger::finish`] are O(touched), not O(edges × rounds).
 #[derive(Clone, Debug)]
 pub(crate) struct Ledger {
     /// Bandwidth of each directed edge (`f64::INFINITY` allowed).
     bandwidth: Vec<f64>,
-    /// `rounds[i][d]` = tuples through directed edge `d` in round `i`.
-    rounds: Vec<Vec<u64>>,
+    /// `rounds[i]` = nonzero `(dir-edge index, tuples)` pairs of round
+    /// `i`, ascending by edge index.
+    rounds: Vec<Vec<(u32, u64)>>,
 }
 
 impl Ledger {
@@ -35,9 +41,13 @@ impl Ledger {
         }
     }
 
-    /// Append the per-edge traffic vector of a finished round.
-    pub(crate) fn push_round(&mut self, traffic: Vec<u64>) {
-        debug_assert_eq!(traffic.len(), self.bandwidth.len());
+    /// Append the touched-edge pairs of a finished round (ascending by
+    /// edge index, zero-tuple entries omitted).
+    pub(crate) fn push_round(&mut self, traffic: Vec<(u32, u64)>) {
+        debug_assert!(traffic.windows(2).all(|w| w[0].0 < w[1].0));
+        debug_assert!(traffic
+            .iter()
+            .all(|&(d, t)| (d as usize) < self.bandwidth.len() && t > 0));
         self.rounds.push(traffic);
     }
 
@@ -59,11 +69,13 @@ impl Ledger {
                 max_tuples: 0,
                 total_tuples: 0,
             };
-            for (d, &tuples) in traffic.iter().enumerate() {
-                edge_totals[d] += tuples;
+            // Ascending edge order keeps the bottleneck tie-break (first
+            // edge attaining the max) identical to the old dense scan.
+            for &(d, tuples) in traffic {
+                edge_totals[d as usize] += tuples;
                 round.total_tuples += tuples;
                 round.max_tuples = round.max_tuples.max(tuples);
-                let w = self.bandwidth[d];
+                let w = self.bandwidth[d as usize];
                 let c = if w.is_infinite() {
                     0.0
                 } else {
@@ -71,7 +83,7 @@ impl Ledger {
                 };
                 if c > round.tuple_cost {
                     round.tuple_cost = c;
-                    round.bottleneck = Some(DirEdgeId(d as u32));
+                    round.bottleneck = Some(DirEdgeId(d));
                 }
             }
             per_round.push(round);
@@ -141,16 +153,10 @@ mod tests {
     fn cost_is_round_max_sum() {
         let t = builders::heterogeneous_star(&[1.0, 2.0]);
         let mut ledger = Ledger::new(&t);
-        let n = ledger.num_dir_edges();
         // Round 1: 10 tuples on edge 0 (bw 1), 10 on edge 2 (bw 2).
-        let mut r1 = vec![0u64; n];
-        r1[0] = 10;
-        r1[2] = 10;
-        ledger.push_round(r1);
+        ledger.push_round(vec![(0, 10), (2, 10)]);
         // Round 2: 6 tuples on edge 2 (bw 2) only.
-        let mut r2 = vec![0u64; n];
-        r2[2] = 6;
-        ledger.push_round(r2);
+        ledger.push_round(vec![(2, 6)]);
         let cost = ledger.finish();
         assert_eq!(cost.per_round[0].tuple_cost, 10.0); // max(10/1, 10/2)
         assert_eq!(cost.per_round[1].tuple_cost, 3.0);
@@ -166,13 +172,9 @@ mod tests {
     fn infinite_bandwidth_is_free() {
         let t = builders::mpc_star(2);
         let mut ledger = Ledger::new(&t);
-        let n = ledger.num_dir_edges();
-        let mut r1 = vec![0u64; n];
         // Load every edge; only finite (hub→leaf) directions should cost.
-        for x in r1.iter_mut() {
-            *x = 8;
-        }
-        ledger.push_round(r1);
+        let n = ledger.num_dir_edges();
+        ledger.push_round((0..n as u32).map(|d| (d, 8)).collect());
         let cost = ledger.finish();
         assert_eq!(cost.per_round[0].tuple_cost, 8.0);
     }

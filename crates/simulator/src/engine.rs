@@ -13,6 +13,8 @@
 //! the root of `G†`). A value multicast to several destinations traverses
 //! each directed link of the union of its routing paths exactly once.
 
+use std::sync::Arc;
+
 use tamp_topology::{NodeId, Tree};
 
 use crate::cost::Cost;
@@ -77,17 +79,26 @@ pub struct Session<'t> {
     /// The shared union-of-paths accounting, identical to the runtime's.
     /// Also the single source of truth for the round count.
     meter: TrafficMeter,
+    /// Per-node in-flight delivery chunks, reused across rounds so a
+    /// 4096-node session does not reallocate two `Vec`s per node per
+    /// round. Each chunk is a shared payload: a multicast pushes one
+    /// `Arc` clone per destination instead of copying the values.
+    inbox_r: Vec<Vec<Arc<[Value]>>>,
+    inbox_s: Vec<Vec<Arc<[Value]>>>,
 }
 
 impl<'t> Session<'t> {
     /// Start a session with the given initial placement.
     pub fn new(tree: &'t Tree, placement: &Placement) -> Result<Self, SimError> {
         placement.validate(tree)?;
+        let n_nodes = tree.num_nodes();
         Ok(Session {
             tree,
             state: placement.fragments().to_vec(),
             initial_stats: placement.stats(),
             meter: TrafficMeter::new(tree),
+            inbox_r: vec![Vec::new(); n_nodes],
+            inbox_s: vec![Vec::new(); n_nodes],
         })
     }
 
@@ -134,30 +145,35 @@ impl<'t> Session<'t> {
     where
         F: FnOnce(&mut RoundCtx<'_, 't>) -> Result<(), SimError>,
     {
-        let n_nodes = self.tree.num_nodes();
         let mut ctx = RoundCtx {
             tree: self.tree,
             state: &self.state,
             meter: &mut self.meter,
-            inbox_r: vec![Vec::new(); n_nodes],
-            inbox_s: vec![Vec::new(); n_nodes],
+            inbox_r: &mut self.inbox_r,
+            inbox_s: &mut self.inbox_s,
         };
         let result = f(&mut ctx);
-        let RoundCtx {
-            inbox_r, inbox_s, ..
-        } = ctx;
         if let Err(e) = result {
             // Abandon the failed round entirely: neither its partial
             // charges nor its deliveries may leak into later rounds.
             self.meter.abort_round();
+            for inbox in self.inbox_r.iter_mut().chain(self.inbox_s.iter_mut()) {
+                inbox.clear();
+            }
             return Err(e);
         }
         self.meter.commit_round();
-        for (v, vals) in inbox_r.into_iter().enumerate() {
-            self.state[v].r.extend(vals);
+        // Materialize the shared chunks into node state; `clear` keeps
+        // the per-node buffers (and their capacity) for the next round.
+        for (v, chunks) in self.inbox_r.iter_mut().enumerate() {
+            for chunk in chunks.drain(..) {
+                self.state[v].r.extend_from_slice(&chunk);
+            }
         }
-        for (v, vals) in inbox_s.into_iter().enumerate() {
-            self.state[v].s.extend(vals);
+        for (v, chunks) in self.inbox_s.iter_mut().enumerate() {
+            for chunk in chunks.drain(..) {
+                self.state[v].s.extend_from_slice(&chunk);
+            }
         }
         Ok(())
     }
@@ -183,8 +199,8 @@ pub struct RoundCtx<'a, 't> {
     tree: &'t Tree,
     state: &'a [NodeState],
     meter: &'a mut TrafficMeter,
-    inbox_r: Vec<Vec<Value>>,
-    inbox_s: Vec<Vec<Value>>,
+    inbox_r: &'a mut Vec<Vec<Arc<[Value]>>>,
+    inbox_s: &'a mut Vec<Vec<Arc<[Value]>>>,
 }
 
 impl<'a, 't> RoundCtx<'a, 't> {
@@ -213,9 +229,26 @@ impl<'a, 't> RoundCtx<'a, 't> {
         if values.is_empty() || dsts.is_empty() {
             return Ok(());
         }
+        self.send_shared(src, dsts, rel, values.into())
+    }
+
+    /// Zero-copy variant of [`RoundCtx::send`]: the shared payload is
+    /// delivered as one `Arc` clone per destination, so a broadcast costs
+    /// one allocation total — callers that already hold their payload in
+    /// an `Arc` (e.g. the query layer's exchange-trace replay) never copy
+    /// it at all.
+    pub fn send_shared(
+        &mut self,
+        src: NodeId,
+        dsts: &[NodeId],
+        rel: Rel,
+        values: Arc<[Value]>,
+    ) -> Result<(), SimError> {
+        if values.is_empty() || dsts.is_empty() {
+            return Ok(());
+        }
         self.check_endpoints(src, dsts)?;
-        self.meter
-            .charge_multicast(self.tree, src, dsts, values.len() as u64);
+        self.meter.charge_multicast(src, dsts, values.len() as u64);
         self.deliver(dsts, rel, values);
         Ok(())
     }
@@ -237,17 +270,12 @@ impl<'a, 't> RoundCtx<'a, 't> {
             return Ok(());
         }
         self.check_endpoints(src, dsts)?;
-        let amount = values.len() as u64;
-        // Leg 1: src → relay (no union with leg 2: the data physically
-        // traverses the relay).
-        self.meter.begin_union();
-        self.meter.charge_path(self.tree, src, relay, amount);
-        // Leg 2: relay → dsts multicast.
-        self.meter.begin_union();
-        for &dst in dsts {
-            self.meter.charge_path(self.tree, relay, dst, amount);
+        // Both legs are charged in full: the data physically traverses
+        // the relay, so they do not union with each other.
+        self.meter.charge_via(src, relay, dsts, values.len() as u64);
+        if !dsts.is_empty() {
+            self.deliver(dsts, rel, values.into());
         }
-        self.deliver(dsts, rel, values);
         Ok(())
     }
 
@@ -261,13 +289,13 @@ impl<'a, 't> RoundCtx<'a, 't> {
         Ok(())
     }
 
-    fn deliver(&mut self, dsts: &[NodeId], rel: Rel, values: &[Value]) {
+    fn deliver(&mut self, dsts: &[NodeId], rel: Rel, values: Arc<[Value]>) {
         for &dst in dsts {
             let inbox = match rel {
                 Rel::R => &mut self.inbox_r[dst.index()],
                 Rel::S => &mut self.inbox_s[dst.index()],
             };
-            inbox.extend_from_slice(values);
+            inbox.push(Arc::clone(&values));
         }
     }
 }

@@ -11,6 +11,9 @@
 //!
 //! - [`Tree`] — a validated tree topology with per-direction bandwidths,
 //!   unique-path routing, rootings, traversal orders and edge cuts;
+//! - [`lca`] — Euler-tour + sparse-table O(1) lowest-common-ancestor
+//!   queries with flat path-decomposition arrays, the routing substrate
+//!   of the aggregate traffic meter;
 //! - [`cut`] — O(|V|) computation of the `(V⁻_e, V⁺_e)` side-weights for
 //!   *every* edge at once, the quantity all of the paper's lower bounds are
 //!   expressed in;
@@ -36,9 +39,9 @@ pub mod dagger;
 pub mod dot;
 pub mod error;
 pub mod graph;
+pub mod lca;
 pub mod node;
 pub mod normalize;
-pub mod paths;
 pub mod tree;
 
 pub use bandwidth::Bandwidth;
@@ -46,6 +49,6 @@ pub use cut::CutWeights;
 pub use dagger::Dagger;
 pub use error::TopologyError;
 pub use graph::{Graph, GraphBuilder};
+pub use lca::LcaIndex;
 pub use node::{NodeId, NodeKind};
-pub use paths::PathCache;
 pub use tree::{DirEdgeId, EdgeId, Tree, TreeBuilder};
