@@ -60,6 +60,7 @@ fn bench_query(c: &mut Criterion) {
                         ExecOptions {
                             join: strat,
                             seed: 1,
+                            ..ExecOptions::default()
                         },
                     )
                     .unwrap();

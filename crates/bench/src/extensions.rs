@@ -336,6 +336,7 @@ pub fn x_query() -> Vec<Table> {
             ExecOptions {
                 join: JoinStrategy::Uniform,
                 seed: 1,
+                ..ExecOptions::default()
             },
         )
         .unwrap()
@@ -347,6 +348,7 @@ pub fn x_query() -> Vec<Table> {
             ExecOptions {
                 join: JoinStrategy::Weighted,
                 seed: 1,
+                ..ExecOptions::default()
             },
         )
         .unwrap()
@@ -459,15 +461,15 @@ pub fn abl_drift() -> Vec<Table> {
     vec![t, t2]
 }
 
-/// The physical plan's join exchange kind (post-order walk).
-fn join_exchange_kind(plan: &PhysicalPlan) -> Option<ExchangeKind> {
+/// The physical plan's join strategy name (post-order walk).
+fn join_strategy_name(plan: &PhysicalPlan) -> Option<&'static str> {
     for child in plan.children() {
-        if let Some(k) = join_exchange_kind(child) {
+        if let Some(k) = join_strategy_name(child) {
             return Some(k);
         }
     }
     if plan.label().starts_with("HashJoin") {
-        return plan.exchange().map(|x| x.kind);
+        return plan.exchange().map(|x| x.name());
     }
     None
 }
@@ -517,16 +519,16 @@ pub fn x_plan() -> Vec<Table> {
         let res = prepared.run().unwrap();
         // Label each operator with its planned exchange kind, matched by
         // the shared operator label (stable across planner and executor).
-        fn kinds_by_label(plan: &PhysicalPlan, out: &mut Vec<(String, ExchangeKind)>) {
+        fn strategies_by_label(plan: &PhysicalPlan, out: &mut Vec<(String, &'static str)>) {
             for child in plan.children() {
-                kinds_by_label(child, out);
+                strategies_by_label(child, out);
             }
             if let Some(x) = plan.exchange() {
-                out.push((plan.label(), x.kind));
+                out.push((plan.label(), x.name()));
             }
         }
         let mut exchange_kinds = Vec::new();
-        kinds_by_label(prepared.physical_plan(), &mut exchange_kinds);
+        strategies_by_label(prepared.physical_plan(), &mut exchange_kinds);
         for oc in &res.operator_costs {
             if oc.estimated == 0.0 && oc.actual == 0.0 {
                 continue; // local operators are free on both ledgers
@@ -575,7 +577,7 @@ pub fn x_plan() -> Vec<Table> {
                 .tuple_cost()
         };
         let auto_ctx = QueryContext::with_catalog(catalog.clone()).with_seed(5);
-        let picked = join_exchange_kind(auto_ctx.prepare(&q).unwrap().physical_plan()).unwrap();
+        let picked = join_strategy_name(auto_ctx.prepare(&q).unwrap().physical_plan()).unwrap();
         let auto = run(JoinStrategy::Auto);
         let weighted = run(JoinStrategy::Weighted);
         let uniform = run(JoinStrategy::Uniform);

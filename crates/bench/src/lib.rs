@@ -21,6 +21,7 @@
 pub mod ablation;
 pub mod baseline;
 pub mod extensions;
+pub mod strategies;
 pub mod suite;
 pub mod table;
 pub mod xscale;

@@ -805,6 +805,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "x-runtime",
     "x-query",
     "x-plan",
+    "x-strategy",
     "x-scale",
     "abl-drift",
     "x-uneq-tree",
@@ -834,6 +835,7 @@ pub fn run_experiment(id: &str) -> Option<Vec<Table>> {
         "x-runtime" => crate::extensions::x_runtime(),
         "x-query" => crate::extensions::x_query(),
         "x-plan" => crate::extensions::x_plan(),
+        "x-strategy" => crate::strategies::x_strategy(),
         "x-scale" => crate::xscale::x_scale(),
         "abl-drift" => crate::extensions::abl_drift(),
         "x-uneq-tree" => crate::extensions::x_unequal_tree(),

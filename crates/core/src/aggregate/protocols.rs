@@ -28,7 +28,6 @@ use super::{encode_partials, merge_partials, partials_of, Aggregator};
 #[derive(Clone, Debug)]
 pub(crate) struct Rooted {
     /// Parent of each node (`None` for the root).
-    #[allow(dead_code)] // structural companion to `children`; used in tests
     pub parent: Vec<Option<NodeId>>,
     /// Hop distance from the root.
     pub depth: Vec<usize>,
@@ -263,8 +262,10 @@ pub fn combining_schedule(
     }
     combiner[target.index()] = Some(target);
 
-    // Merge levels: at level d (deepest first), every node `u` at depth d
-    // pulls its children's combiners into combiner(u).
+    // Merge levels, deepest parents first: every node pushes its
+    // combiner up to its parent's combiner, at the level indexed by the
+    // parent's depth. (BFS order visits a parent's children contiguously,
+    // so this enumerates the same moves as walking children lists.)
     let max_depth = rooted
         .order
         .iter()
@@ -274,18 +275,16 @@ pub fn combining_schedule(
     let mut levels = Vec::new();
     for d in (0..max_depth).rev() {
         let mut moves: Vec<(NodeId, NodeId)> = Vec::new();
-        for &u in &rooted.order {
+        for &c in &rooted.order {
+            let Some(u) = rooted.parent[c.index()] else {
+                continue; // the root has nowhere to push
+            };
             if rooted.depth[u.index()] != d {
                 continue;
             }
-            let Some(dst) = combiner[u.index()] else {
-                continue;
-            };
-            for &c in &rooted.children[u.index()] {
-                if let Some(src) = combiner[c.index()] {
-                    if src != dst {
-                        moves.push((src, dst));
-                    }
+            if let (Some(src), Some(dst)) = (combiner[c.index()], combiner[u.index()]) {
+                if src != dst {
+                    moves.push((src, dst));
                 }
             }
         }

@@ -19,9 +19,7 @@ use std::collections::HashMap;
 use tamp_simulator::{NodeState, Protocol, Rel, Session, SimError, Value};
 use tamp_topology::NodeId;
 
-use crate::hashing::WeightedHash;
-
-use super::partition::balanced_partition;
+use super::partition::partition_hashes;
 
 /// One-round distribution-aware equi-join on symmetric trees: the
 /// Algorithm 2 routing, hashed by key. Output: the joined
@@ -70,21 +68,8 @@ impl Protocol for KeyedEquiJoin {
         if small_total == 0 {
             return Ok(Vec::new());
         }
-        let partition = balanced_partition(tree, &stats.n, small_total);
+        let (partition, hashes) = partition_hashes(tree, &stats.n, small_total, self.seed);
         let block_of = partition.block_of(tree.num_nodes());
-        let hashes: Vec<Option<WeightedHash>> = partition
-            .blocks
-            .iter()
-            .enumerate()
-            .map(|(i, block)| {
-                let weighted: Vec<(NodeId, u64)> =
-                    block.iter().map(|&v| (v, stats.n_v(v))).collect();
-                WeightedHash::new(
-                    self.seed.wrapping_add(i as u64).wrapping_mul(0x9E37),
-                    &weighted,
-                )
-            })
-            .collect();
         let bits = self.payload_bits;
         session.round(|round| {
             for &v in tree.compute_nodes() {

@@ -172,6 +172,36 @@ pub fn balanced_partition(tree: &Tree, n: &[u64], small_total: u64) -> BalancedP
     }
 }
 
+/// The Algorithm-2 routing plan: the balanced partition plus one
+/// distribution-weighted hash per block (`Pr[h_i(a) = v] = N_v / Σ_{u ∈
+/// V_Cⁱ} N_u`), seeded per block. This is the exact plan
+/// [`TreeIntersect`](super::TreeIntersect) and
+/// [`KeyedEquiJoin`](super::KeyedEquiJoin) derive internally; it is
+/// exposed so other layers (the query planner's tree-partition join
+/// strategy) can route — and therefore meter — identically. A block's
+/// hash is `None` only when the block holds no data.
+pub fn partition_hashes(
+    tree: &Tree,
+    n: &[u64],
+    small_total: u64,
+    seed: u64,
+) -> (BalancedPartition, Vec<Option<crate::hashing::WeightedHash>>) {
+    let partition = balanced_partition(tree, n, small_total);
+    let hashes = partition
+        .blocks
+        .iter()
+        .enumerate()
+        .map(|(i, block)| {
+            let weighted: Vec<(NodeId, u64)> = block.iter().map(|&v| (v, n[v.index()])).collect();
+            crate::hashing::WeightedHash::new(
+                seed.wrapping_add(i as u64).wrapping_mul(0x9E37),
+                &weighted,
+            )
+        })
+        .collect();
+    (partition, hashes)
+}
+
 /// Check all four properties of Definition 1 for `partition` under weights
 /// `n` and threshold `small_total`. Returns a description of the first
 /// violated property.

@@ -14,9 +14,7 @@ use std::collections::HashMap;
 use tamp_simulator::{Protocol, Rel, Session, SimError, Value};
 use tamp_topology::NodeId;
 
-use crate::hashing::WeightedHash;
-
-use super::partition::balanced_partition;
+use super::partition::partition_hashes;
 
 /// One-round randomized set intersection for symmetric trees
 /// (Algorithm 2). Returns the emitted intersection, sorted.
@@ -54,22 +52,9 @@ impl Protocol for TreeIntersect {
             return Ok(Vec::new());
         }
 
-        let partition = balanced_partition(tree, &stats.n, small_total);
-        let block_of = partition.block_of(tree.num_nodes());
         // One weighted hash per block, over the block's N_v weights.
-        let hashes: Vec<Option<WeightedHash>> = partition
-            .blocks
-            .iter()
-            .enumerate()
-            .map(|(i, block)| {
-                let weighted: Vec<(NodeId, u64)> =
-                    block.iter().map(|&v| (v, stats.n_v(v))).collect();
-                WeightedHash::new(
-                    self.seed.wrapping_add(i as u64).wrapping_mul(0x9E37),
-                    &weighted,
-                )
-            })
-            .collect();
+        let (partition, hashes) = partition_hashes(tree, &stats.n, small_total, self.seed);
+        let block_of = partition.block_of(tree.num_nodes());
 
         session.round(|round| {
             for &v in tree.compute_nodes() {

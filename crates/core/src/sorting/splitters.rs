@@ -1,0 +1,87 @@
+//! Splitter selection policies, factored out of the sorting protocols so
+//! other layers (the query planner's range-shuffle strategies, the
+//! distributed node programs) can derive the *same* splitters from the
+//! same shared knowledge.
+//!
+//! Both policies take the coordinator's sorted sample vector and return
+//! `k − 1` splitters for `k` destination nodes (bucket `i` holds the keys
+//! `x` with `splitter[i-1] ≤ x < splitter[i]`):
+//!
+//! - [`proportional_splitters`] — the weighted-TeraSort rule (§5.2):
+//!   node `j`'s bucket receives a share of the sampled key space
+//!   proportional to its *current* load, so data that is already placed
+//!   mostly stays put;
+//! - [`uniform_splitters`] — the classic TeraSort rule: equally spaced
+//!   sample quantiles, ignoring both the topology and the initial
+//!   distribution.
+
+use tamp_simulator::Value;
+
+/// Proportional splitters: node `j` (of `weights.len()` nodes, in valid
+/// order) gets a sample share proportional to `weights[j]`. Empty sample
+/// vectors degrade to `Value::MAX` splitters (everything lands in the
+/// first non-empty bucket), matching the protocols' behavior on tiny
+/// inputs.
+pub fn proportional_splitters(sorted_samples: &[Value], weights: &[u64]) -> Vec<Value> {
+    let k = weights.len();
+    let wsum: u64 = weights.iter().sum();
+    let mut splitters = Vec::with_capacity(k.saturating_sub(1));
+    let mut acc = 0u64;
+    for &w in weights.iter().take(k.saturating_sub(1)) {
+        acc += w;
+        if sorted_samples.is_empty() {
+            splitters.push(Value::MAX);
+            continue;
+        }
+        let idx = ((acc as u128 * sorted_samples.len() as u128) / wsum.max(1) as u128) as usize;
+        splitters.push(if idx == 0 {
+            Value::MIN
+        } else {
+            sorted_samples.get(idx - 1).copied().unwrap_or(Value::MAX)
+        });
+    }
+    splitters
+}
+
+/// Uniform splitters: `k − 1` equally spaced sample quantiles — the
+/// topology-agnostic TeraSort policy.
+pub fn uniform_splitters(sorted_samples: &[Value], k: usize) -> Vec<Value> {
+    let uniform = vec![1u64; k];
+    proportional_splitters(sorted_samples, &uniform)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proportional_tracks_weights() {
+        let samples: Vec<Value> = (0..100).collect();
+        // Node 0 holds 90% of the data: its bucket should span ~90% of
+        // the sampled key space.
+        let s = proportional_splitters(&samples, &[90, 5, 5]);
+        assert_eq!(s.len(), 2);
+        assert!(s[0] >= 85, "{s:?}");
+        assert!(s[1] > s[0]);
+    }
+
+    #[test]
+    fn uniform_is_equally_spaced() {
+        let samples: Vec<Value> = (0..100).collect();
+        let s = uniform_splitters(&samples, 4);
+        assert_eq!(s, vec![24, 49, 74]);
+    }
+
+    #[test]
+    fn empty_samples_degrade_to_max() {
+        assert_eq!(proportional_splitters(&[], &[1, 1]), vec![Value::MAX]);
+        assert_eq!(uniform_splitters(&[], 3), vec![Value::MAX, Value::MAX]);
+    }
+
+    #[test]
+    fn zero_weights_do_not_panic() {
+        let samples: Vec<Value> = (0..10).collect();
+        let s = proportional_splitters(&samples, &[0, 0, 0]);
+        assert_eq!(s.len(), 2);
+    }
+}

@@ -39,12 +39,17 @@
 //! [`ExecBackend`] — the centralized simulator or the pooled BSP cluster
 //! — with bit-identical cost ledgers (see [`crate::exec`]).
 
+use std::sync::Arc;
+
 use tamp_runtime::backend::{ExecBackend, SimulatorBackend};
 use tamp_topology::Tree;
 
 use crate::error::QueryError;
 use crate::exec::{self, ExecOptions, JoinStrategy, QueryResult};
 use crate::expr::Expr;
+use crate::physical::strategy::{
+    default_registry, OperatorKind, PhysicalStrategy, StrategyRegistry,
+};
 use crate::physical::{lower_full, PhysicalPlan};
 use crate::plan::{AggFunc, LogicalPlan};
 use crate::reference;
@@ -57,6 +62,7 @@ use crate::table::{Catalog, DistributedTable};
 pub struct QueryContext {
     catalog: Catalog,
     options: ExecOptions,
+    registry: StrategyRegistry,
 }
 
 impl QueryContext {
@@ -66,6 +72,7 @@ impl QueryContext {
         QueryContext {
             catalog: Catalog::new(tree),
             options: ExecOptions::default(),
+            registry: StrategyRegistry::with_defaults(),
         }
     }
 
@@ -74,6 +81,7 @@ impl QueryContext {
         QueryContext {
             catalog,
             options: ExecOptions::default(),
+            registry: StrategyRegistry::with_defaults(),
         }
     }
 
@@ -88,6 +96,42 @@ impl QueryContext {
     pub fn with_join_strategy(mut self, join: JoinStrategy) -> Self {
         self.options.join = join;
         self
+    }
+
+    /// Builder-style: force a named strategy for one operator. The name
+    /// resolves against the session's registry at plan time; unknown
+    /// names surface as
+    /// [`QueryError::UnknownStrategy`](crate::error::QueryError) from
+    /// [`prepare`](Self::prepare).
+    ///
+    /// # Panics
+    /// Panics for [`OperatorKind::Distinct`] / [`OperatorKind::Limit`],
+    /// whose exchanges have a single built-in strategy.
+    pub fn with_strategy(mut self, op: OperatorKind, name: &'static str) -> Self {
+        match op {
+            OperatorKind::Join => self.options.force.join = Some(name),
+            OperatorKind::CrossJoin => self.options.force.cross = Some(name),
+            OperatorKind::Sort => self.options.force.sort = Some(name),
+            OperatorKind::Aggregate => self.options.force.aggregate = Some(name),
+            OperatorKind::Distinct | OperatorKind::Limit => {
+                panic!("{op} has a single built-in strategy and cannot be forced")
+            }
+        }
+        self
+    }
+
+    /// Register a custom [`PhysicalStrategy`] with this session: the
+    /// planner prices it against the built-ins on every subsequent
+    /// `prepare` (see [`crate::physical::strategy`] for a worked
+    /// example). Returns `&mut self` for chained registration.
+    pub fn register_strategy(&mut self, strategy: Arc<dyn PhysicalStrategy>) -> &mut Self {
+        self.registry.register(strategy);
+        self
+    }
+
+    /// The session's strategy registry.
+    pub fn strategies(&self) -> &StrategyRegistry {
+        &self.registry
     }
 
     /// The session's execution options.
@@ -126,7 +170,7 @@ impl QueryContext {
     /// [`PhysicalPlan`], price every exchange and resolve
     /// [`JoinStrategy::Auto`] cost-based.
     pub fn prepare(&self, plan: &LogicalPlan) -> Result<PreparedQuery<'_>, QueryError> {
-        prepare_with(&self.catalog, plan.clone(), self.options)
+        prepare_with_registry(&self.catalog, plan.clone(), self.options, &self.registry)
     }
 
     /// Prepare and run `plan` on the default (simulator) backend.
@@ -143,7 +187,19 @@ pub(crate) fn prepare_with(
     plan: LogicalPlan,
     options: ExecOptions,
 ) -> Result<PreparedQuery<'_>, QueryError> {
-    let (physical, schema) = lower_full(&plan, catalog, options)?;
+    prepare_with_registry(catalog, plan, options, default_registry())
+}
+
+/// [`prepare_with`] against an explicit strategy registry (the
+/// [`QueryContext`] path, where sessions may have registered custom
+/// strategies).
+pub(crate) fn prepare_with_registry<'c>(
+    catalog: &'c Catalog,
+    plan: LogicalPlan,
+    options: ExecOptions,
+    registry: &StrategyRegistry,
+) -> Result<PreparedQuery<'c>, QueryError> {
+    let (physical, schema) = lower_full(&plan, catalog, options, registry)?;
     Ok(PreparedQuery {
         catalog,
         options,
@@ -294,7 +350,12 @@ impl<'c> DataFrame<'c> {
 
     /// Plan the chain into a [`PreparedQuery`].
     pub fn prepare(&self) -> Result<PreparedQuery<'c>, QueryError> {
-        prepare_with(self.ctx.catalog(), self.plan.clone(), self.ctx.options())
+        prepare_with_registry(
+            self.ctx.catalog(),
+            self.plan.clone(),
+            self.ctx.options(),
+            self.ctx.strategies(),
+        )
     }
 
     /// Render the plan's `EXPLAIN` (prepare + explain).

@@ -35,6 +35,16 @@ pub enum QueryError {
     Backend(String),
     /// Plan construction error (e.g. aggregate of a non-existent column).
     Plan(String),
+    /// A forced physical strategy name is not registered for the
+    /// operator (or the registry has no strategies for it at all).
+    UnknownStrategy {
+        /// The operator being planned (`join`, `cross-join`, …).
+        operator: &'static str,
+        /// The requested strategy name.
+        name: String,
+        /// The names that *are* registered for the operator.
+        available: Vec<String>,
+    },
 }
 
 impl fmt::Display for QueryError {
@@ -57,6 +67,21 @@ impl fmt::Display for QueryError {
             Self::Simulator(msg) => write!(f, "simulator error: {msg}"),
             Self::Backend(msg) => write!(f, "execution backend error: {msg}"),
             Self::Plan(msg) => write!(f, "plan error: {msg}"),
+            Self::UnknownStrategy {
+                operator,
+                name,
+                available,
+            } => {
+                write!(
+                    f,
+                    "no `{name}` strategy registered for {operator} (available: {})",
+                    if available.is_empty() {
+                        "none".to_string()
+                    } else {
+                        available.join(", ")
+                    }
+                )
+            }
         }
     }
 }

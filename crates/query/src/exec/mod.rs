@@ -1,80 +1,101 @@
 //! The backend-generic distributed executor.
 //!
 //! Execution happens in two stages. First the executor walks a
-//! [`PhysicalPlan`] over the catalog's fragments, computing every
-//! operator's output *and* recording the communication schedule as an
-//! exchange trace (the `trace` submodule) — per round, the exact
-//! `(src, dsts, rel, payload)` sends each exchange performs:
+//! [`PhysicalPlan`] over the catalog's fragments; every communicating
+//! operator is executed by the [`PhysicalStrategy`] its exchange chose at
+//! plan time, which computes the operator's output *and* emits its
+//! communication schedule — per round, the exact `(src, dsts, rel,
+//! payload)` sends (see [`crate::physical::strategy`]). Local operators
+//! (`Filter` / `Project` / `UnionAll`, the `local` submodule) move no
+//! data and record no rounds.
 //!
-//! | Operator | Exchange | Rounds |
-//! |----------|----------|--------|
-//! | `Filter` / `Project` / `UnionAll` | none (local, free under §2) | 0 |
-//! | `HashJoin` | weighted repartition (Algorithm 2), uniform repartition (MPC baseline), or small-side broadcast (`V_β`, Algorithm 1) — chosen at plan time | 2 / 2 / 1 |
-//! | `CrossJoin` | broadcast of the smaller side | 1 |
-//! | `Sort` | sample → proportional splitters → range shuffle (§5.2) | 3 |
-//! | `HashAggregate` | local partials + weighted hash shuffle | 1 |
-//! | `Limit` | bounded gather | 1 |
-//! | `Distinct` | whole-row weighted hash shuffle | 1 |
-//!
-//! Then the trace replays through any [`ExecBackend`] — the centralized
+//! Then the concatenated schedule replays through any
+//! [`ExecBackend`] as a [`tamp_runtime::ScheduleJob`] — the centralized
 //! simulator or the pooled BSP cluster — which meters it on the shared
 //! per-directed-edge ledger. Because the schedule is derived once from
 //! shared model knowledge, both engines move bit-identical traffic; the
 //! parity tests assert equal `edge_totals` across backends.
 //!
-//! The operator implementations live in per-operator modules (`join`,
-//! `sort`, `aggregate`, `limit`, `distinct`, `local`); this module drives
-//! the walk, attributes per-round costs to operators, and keeps the
-//! legacy free-function API ([`execute`], [`execute_on`]) as a thin shim
-//! over [`QueryContext`](crate::context::QueryContext).
+//! This module drives the walk, attributes per-round costs to operators,
+//! and keeps the legacy free-function API ([`execute`], [`execute_on`])
+//! as a thin shim over [`QueryContext`](crate::context::QueryContext).
+//!
+//! [`PhysicalStrategy`]: crate::physical::strategy::PhysicalStrategy
 
-mod aggregate;
-mod distinct;
-mod join;
-mod limit;
-mod local;
-mod sort;
-pub(crate) mod trace;
+pub(crate) mod local;
 
 use tamp_core::sorting::valid_order;
 use tamp_runtime::backend::{ExecBackend, SimulatorBackend};
+use tamp_runtime::jobs::{Schedule, ScheduleJob, ScheduleSend};
 use tamp_simulator::cost::Cost;
 use tamp_simulator::Placement;
 use tamp_topology::{NodeId, Tree};
 
 use crate::context::prepare_with;
 use crate::error::QueryError;
-use crate::physical::{PhysicalOp, PhysicalPlan};
+use crate::physical::strategy::{ExecArgs, OpInput};
+use crate::physical::{Exchange, PhysicalOp, PhysicalPlan};
 use crate::row::{canonicalize, Row};
 use crate::schema::Schema;
 use crate::table::Catalog;
-use trace::{TraceJob, TraceRecorder};
 
-/// How equi-joins repartition their inputs.
+/// How equi-joins repartition their inputs — the legacy strategy knob,
+/// kept as a shorthand for the common forced choices. Forcing *any*
+/// registered strategy by name (including third-party ones) goes through
+/// [`StrategyForce`] /
+/// [`QueryContext::with_strategy`](crate::context::QueryContext::with_strategy).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum JoinStrategy {
-    /// Let the planner price weighted repartition, uniform repartition
-    /// and small-side broadcast on the §2 cost model and keep the
-    /// cheapest (see [`crate::physical::lower`]).
+    /// Let the planner price every registered join strategy on the §2
+    /// cost model and keep the cheapest (see [`crate::physical::lower`]).
     #[default]
     Auto,
-    /// Repartition both sides by a hash weighted by each node's *current*
-    /// data — the distribution-aware choice.
+    /// Force `weighted-repartition` (the distribution-aware choice).
     Weighted,
-    /// Repartition both sides uniformly — the topology-agnostic MPC
-    /// baseline.
+    /// Force `uniform-repartition` (the topology-agnostic MPC baseline).
     Uniform,
-    /// Replicate the smaller side to every node holding big-side rows.
+    /// Force `broadcast-small` (replicate the smaller side).
     BroadcastSmall,
+}
+
+/// Per-operator forced strategy names (`None` = cost-based choice). The
+/// names resolve against the session's registry at plan time; unknown
+/// names surface as
+/// [`QueryError::UnknownStrategy`](crate::error::QueryError).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StrategyForce {
+    /// Force the equi-join strategy (overrides [`JoinStrategy`]).
+    pub join: Option<&'static str>,
+    /// Force the cross-join strategy.
+    pub cross: Option<&'static str>,
+    /// Force the sort strategy.
+    pub sort: Option<&'static str>,
+    /// Force the aggregate strategy.
+    pub aggregate: Option<&'static str>,
 }
 
 /// Execution options.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ExecOptions {
-    /// Join strategy.
+    /// Join strategy shorthand.
     pub join: JoinStrategy,
     /// Seed for hashing and sampling.
     pub seed: u64,
+    /// Per-operator forced strategies (by registry name).
+    pub force: StrategyForce,
+}
+
+impl ExecOptions {
+    /// The effective forced join-strategy name: an explicit
+    /// [`StrategyForce::join`] wins over the [`JoinStrategy`] shorthand.
+    pub(crate) fn forced_join(&self) -> Option<&'static str> {
+        self.force.join.or(match self.join {
+            JoinStrategy::Auto => None,
+            JoinStrategy::Weighted => Some("weighted-repartition"),
+            JoinStrategy::Uniform => Some("uniform-repartition"),
+            JoinStrategy::BroadcastSmall => Some("broadcast-small"),
+        })
+    }
 }
 
 /// Estimated-vs-metered cost of one operator, in plan post-order.
@@ -82,11 +103,17 @@ pub struct ExecOptions {
 pub struct OperatorCost {
     /// Operator label (e.g. `HashJoin g=g`).
     pub op: String,
+    /// The strategy that executed the operator's exchange (`None` for
+    /// local operators).
+    pub strategy: Option<&'static str>,
     /// The planner's §2 estimate for the operator's exchange (0 for
     /// local operators).
     pub estimated: f64,
     /// The metered tuple cost actually charged to the operator's rounds.
     pub actual: f64,
+    /// The task's per-edge lower bound on the estimated placement, when
+    /// evaluated.
+    pub lower_bound: Option<f64>,
     /// Communication rounds the operator used.
     pub rounds: usize,
 }
@@ -140,8 +167,9 @@ impl QueryResult {
 /// (the centralized simulator backend).
 ///
 /// Thin shim over the [`QueryContext`](crate::context::QueryContext)
-/// pipeline: the plan is lowered to a [`PhysicalPlan`] (resolving
-/// [`JoinStrategy::Auto`] cost-based) and run.
+/// pipeline: the plan is lowered to a [`PhysicalPlan`] against the
+/// default strategy registry (resolving every exchange cost-based) and
+/// run.
 pub fn execute(
     catalog: &Catalog,
     plan: &crate::plan::LogicalPlan,
@@ -153,9 +181,9 @@ pub fn execute(
 /// Execute `plan` over `catalog` with `options` on an explicit
 /// [`ExecBackend`].
 ///
-/// Prepared queries replay their exchange trace through the backend, so
-/// both the centralized simulator and the pooled cluster run the same
-/// schedule and meter bit-identical ledgers.
+/// Prepared queries replay their exchange schedule through the backend,
+/// so both the centralized simulator and the pooled cluster run the same
+/// sends and meter bit-identical ledgers.
 pub fn execute_on(
     catalog: &Catalog,
     plan: &crate::plan::LogicalPlan,
@@ -165,50 +193,59 @@ pub fn execute_on(
     prepare_with(catalog, plan.clone(), options)?.run_on(backend)
 }
 
-pub(crate) type Fragments = Vec<Vec<Row>>;
+pub(crate) use crate::physical::strategy::Fragments;
 
-/// Current per-node row counts, as weights for distribution-aware
-/// hashing.
-pub(crate) fn frag_weights(
-    tree: &Tree,
-    frags: &[Vec<Row>],
-    extra: &[Vec<Row>],
-) -> Vec<(NodeId, u64)> {
-    tree.compute_nodes()
-        .iter()
-        .map(|&v| (v, (frags[v.index()].len() + extra[v.index()].len()) as u64))
-        .collect()
-}
-
-/// Shared state of one plan walk: the catalog, the seed, the trace being
-/// recorded, and the operator marks for cost attribution.
+/// Shared state of one plan walk: the catalog, the seed, the schedule
+/// being accumulated, and the operator marks for cost attribution.
 pub(crate) struct ExecCtx<'a> {
     pub catalog: &'a Catalog,
     pub tree: &'a Tree,
     pub seed: u64,
-    pub trace: TraceRecorder,
+    rounds: Vec<Vec<ScheduleSend>>,
     marks: Vec<Mark>,
 }
 
 struct Mark {
     op: String,
+    strategy: Option<&'static str>,
     estimated: f64,
+    lower_bound: Option<f64>,
     upto: usize,
 }
 
 impl ExecCtx<'_> {
+    /// Run `exchange`'s strategy on `input`, appending its rounds to the
+    /// query's schedule.
+    fn run_strategy(
+        &mut self,
+        exchange: &Exchange,
+        input: OpInput,
+    ) -> Result<Fragments, QueryError> {
+        let args = ExecArgs {
+            tree: self.tree,
+            seed: self.seed,
+        };
+        let traced = exchange.strategy.trace(&args, input)?;
+        self.rounds.extend(traced.rounds);
+        Ok(traced.output)
+    }
+
     /// Record that `plan`'s operator finished at the current round count.
     fn mark(&mut self, plan: &PhysicalPlan) {
         self.marks.push(Mark {
             op: plan.label(),
+            strategy: plan.exchange().map(|x| x.name()),
             estimated: plan.exchange().map_or(0.0, |x| x.estimate.tuple_cost),
-            upto: self.trace.rounds_len(),
+            lower_bound: plan
+                .exchange()
+                .and_then(|x| x.lower_bound.map(|b| b.value())),
+            upto: self.rounds.len(),
         });
     }
 }
 
-/// Execute a physical plan: compute fragments, record the trace, then
-/// replay it through `backend` for metering.
+/// Execute a physical plan: compute fragments and the exchange schedule,
+/// then replay the schedule through `backend` for metering.
 pub(crate) fn run_physical(
     catalog: &Catalog,
     physical: &PhysicalPlan,
@@ -219,11 +256,15 @@ pub(crate) fn run_physical(
         catalog,
         tree: catalog.tree(),
         seed,
-        trace: TraceRecorder::default(),
+        rounds: Vec::new(),
         marks: Vec::new(),
     };
     let (schema, fragments) = exec_physical(&mut ctx, physical)?;
-    let job = TraceJob::new("query", catalog.tree().num_nodes(), ctx.trace.into_trace());
+    let job = ScheduleJob::new(
+        "query",
+        catalog.tree().num_nodes(),
+        Schedule { rounds: ctx.rounds },
+    );
     let placement = Placement::empty(catalog.tree());
     let outcome = backend
         .execute(catalog.tree(), &placement, &job)
@@ -238,8 +279,10 @@ pub(crate) fn run_physical(
             .sum();
         operator_costs.push(OperatorCost {
             op: m.op,
+            strategy: m.strategy,
             estimated: m.estimated,
             actual,
+            lower_bound: m.lower_bound,
             rounds: m.upto - prev,
         });
         prev = m.upto;
@@ -287,29 +330,53 @@ fn exec_physical(
             let li = ls.index_of(left_key)?;
             let ri = rs.index_of(right_key)?;
             let out_schema = ls.join(&rs, "r_")?;
-            let frags = join::hash_join(
-                ctx,
-                exchange.kind,
-                lfrags,
-                rfrags,
-                li,
-                ri,
-                ls.width(),
-                rs.width(),
-            );
+            let frags = ctx.run_strategy(
+                exchange,
+                OpInput::Join {
+                    left: lfrags,
+                    right: rfrags,
+                    left_key: li,
+                    right_key: ri,
+                    left_width: ls.width(),
+                    right_width: rs.width(),
+                },
+            )?;
             (out_schema, frags)
         }
-        PhysicalOp::CrossJoin { left, right, .. } => {
+        PhysicalOp::CrossJoin {
+            left,
+            right,
+            exchange,
+        } => {
             let (ls, lfrags) = exec_physical(ctx, left)?;
             let (rs, rfrags) = exec_physical(ctx, right)?;
             let out_schema = ls.join(&rs, "r_")?;
-            let frags = join::cross_join(ctx, lfrags, rfrags, ls.width(), rs.width());
+            let frags = ctx.run_strategy(
+                exchange,
+                OpInput::CrossJoin {
+                    left: lfrags,
+                    right: rfrags,
+                    left_width: ls.width(),
+                    right_width: rs.width(),
+                },
+            )?;
             (out_schema, frags)
         }
-        PhysicalOp::Sort { input, key, .. } => {
+        PhysicalOp::Sort {
+            input,
+            key,
+            exchange,
+        } => {
             let (schema, frags) = exec_physical(ctx, input)?;
             let ki = schema.index_of(key)?;
-            let frags = sort::order_by(ctx, frags, ki, schema.width());
+            let frags = ctx.run_strategy(
+                exchange,
+                OpInput::Sort {
+                    input: frags,
+                    key: ki,
+                    width: schema.width(),
+                },
+            )?;
             (schema, frags)
         }
         PhysicalOp::HashAggregate {
@@ -317,12 +384,20 @@ fn exec_physical(
             group_by,
             agg,
             measure,
-            ..
+            exchange,
         } => {
             let (schema, frags) = exec_physical(ctx, input)?;
             let gi = schema.index_of(group_by)?;
             let mi = schema.index_of(measure)?;
-            let frags = aggregate::aggregate(ctx, frags, gi, mi, *agg);
+            let frags = ctx.run_strategy(
+                exchange,
+                OpInput::Aggregate {
+                    input: frags,
+                    group: gi,
+                    measure: mi,
+                    agg: *agg,
+                },
+            )?;
             let out = Schema::new(vec![
                 group_by.clone(),
                 format!("{}_{}", agg.name(), measure),
@@ -333,15 +408,29 @@ fn exec_physical(
             input,
             n,
             order_preserving,
-            ..
+            exchange,
         } => {
             let (schema, frags) = exec_physical(ctx, input)?;
-            let frags = limit::limit(ctx, frags, *n, schema.width(), *order_preserving);
+            let frags = ctx.run_strategy(
+                exchange,
+                OpInput::Limit {
+                    input: frags,
+                    n: *n,
+                    width: schema.width(),
+                    order_preserving: *order_preserving,
+                },
+            )?;
             (schema, frags)
         }
-        PhysicalOp::Distinct { input, .. } => {
+        PhysicalOp::Distinct { input, exchange } => {
             let (schema, frags) = exec_physical(ctx, input)?;
-            let frags = distinct::distinct(ctx, frags, schema.width());
+            let frags = ctx.run_strategy(
+                exchange,
+                OpInput::Distinct {
+                    input: frags,
+                    width: schema.width(),
+                },
+            )?;
             (schema, frags)
         }
         PhysicalOp::UnionAll { left, right } => {
@@ -418,34 +507,121 @@ mod tests {
             JoinStrategy::Uniform,
             JoinStrategy::BroadcastSmall,
         ] {
-            check_against_reference(&c, &q, ExecOptions { join, seed: 3 });
+            check_against_reference(
+                &c,
+                &q,
+                ExecOptions {
+                    join,
+                    seed: 3,
+                    ..ExecOptions::default()
+                },
+            );
+        }
+        // Every registered join strategy — including the §3 TreeIntersect
+        // routing — produces the same rows.
+        for name in [
+            "weighted-repartition",
+            "tree-partition",
+            "broadcast-small",
+            "uniform-repartition",
+        ] {
+            check_against_reference(
+                &c,
+                &q,
+                ExecOptions {
+                    seed: 3,
+                    force: StrategyForce {
+                        join: Some(name),
+                        ..StrategyForce::default()
+                    },
+                    ..ExecOptions::default()
+                },
+            );
         }
     }
 
     #[test]
-    fn cross_join_matches_reference() {
+    fn cross_join_matches_reference_under_every_strategy() {
         let c = catalog(builders::star(3, 1.0), 20);
         let q = LogicalPlan::scan("dims").cross(LogicalPlan::scan("dims"));
         let res = check_against_reference(&c, &q, ExecOptions::default());
         assert_eq!(res.num_rows(), 49);
+        for name in ["whc-grid", "broadcast-small", "uniform-hypercube"] {
+            let res = check_against_reference(
+                &c,
+                &q,
+                ExecOptions {
+                    force: StrategyForce {
+                        cross: Some(name),
+                        ..StrategyForce::default()
+                    },
+                    ..ExecOptions::default()
+                },
+            );
+            assert_eq!(res.num_rows(), 49, "{name}");
+        }
+        // Unequal sides exercise the A.1 rectangle packing.
+        let q = LogicalPlan::scan("facts").cross(LogicalPlan::scan("dims"));
+        for name in ["whc-grid", "uniform-hypercube"] {
+            check_against_reference(
+                &c,
+                &q,
+                ExecOptions {
+                    force: StrategyForce {
+                        cross: Some(name),
+                        ..StrategyForce::default()
+                    },
+                    ..ExecOptions::default()
+                },
+            );
+        }
     }
 
     #[test]
-    fn order_by_produces_global_order() {
+    fn order_by_produces_global_order_under_both_policies() {
         let c = catalog(builders::star(4, 1.0), 200);
         let q = LogicalPlan::scan("facts").order_by("x");
-        let res = check_against_reference(&c, &q, ExecOptions::default());
-        // Fragment concatenation in node order is globally sorted by x.
-        let rows = res.rows(true);
-        assert!(rows.windows(2).all(|w| w[0][2] <= w[1][2]));
+        for name in ["weighted-range-shuffle", "uniform-range-shuffle"] {
+            let res = check_against_reference(
+                &c,
+                &q,
+                ExecOptions {
+                    force: StrategyForce {
+                        sort: Some(name),
+                        ..StrategyForce::default()
+                    },
+                    ..ExecOptions::default()
+                },
+            );
+            // Fragment concatenation in node order is globally sorted.
+            let rows = res.rows(true);
+            assert!(rows.windows(2).all(|w| w[0][2] <= w[1][2]), "{name}");
+        }
     }
 
     #[test]
-    fn aggregate_matches_reference() {
+    fn aggregate_matches_reference_under_every_strategy() {
         let c = catalog(builders::caterpillar(3, 2, 1.0), 120);
         for agg in [AggFunc::Count, AggFunc::Sum, AggFunc::Min, AggFunc::Max] {
             let q = LogicalPlan::scan("facts").aggregate("g", agg, "x");
             check_against_reference(&c, &q, ExecOptions::default());
+            for name in [
+                "weighted-repartition",
+                "combining-tree",
+                "uniform-repartition",
+            ] {
+                check_against_reference(
+                    &c,
+                    &q,
+                    ExecOptions {
+                        force: StrategyForce {
+                            aggregate: Some(name),
+                            ..StrategyForce::default()
+                        },
+                        ..ExecOptions::default()
+                    },
+                );
+            }
         }
     }
 
@@ -484,10 +660,12 @@ mod tests {
         );
         let total: f64 = res.operator_costs.iter().map(|c| c.actual).sum();
         assert!((total - res.cost.tuple_cost()).abs() < 1e-9);
-        // Every communicating operator carries a positive estimate.
+        // Every communicating operator carries a positive estimate and
+        // names the strategy that executed it.
         for oc in &res.operator_costs {
             if oc.actual > 0.0 {
                 assert!(oc.estimated > 0.0, "{} estimated 0", oc.op);
+                assert!(oc.strategy.is_some(), "{} has no strategy", oc.op);
             }
         }
     }
@@ -525,6 +703,7 @@ mod tests {
             ExecOptions {
                 join: JoinStrategy::Weighted,
                 seed: 1,
+                ..ExecOptions::default()
             },
         );
         let uniform = check_against_reference(
@@ -533,6 +712,7 @@ mod tests {
             ExecOptions {
                 join: JoinStrategy::Uniform,
                 seed: 1,
+                ..ExecOptions::default()
             },
         );
         assert!(
@@ -577,8 +757,8 @@ mod tests {
         assert_eq!(a.rows(false), b.rows(false));
         assert_eq!(a.cost.edge_totals, b.cost.edge_totals);
         assert_eq!(a.rounds, b.rounds);
-        // The pooled cluster replays the same exchange trace and meters a
-        // bit-identical ledger — queries are no longer simulator-only.
+        // The pooled cluster replays the same exchange schedule and
+        // meters a bit-identical ledger — queries are not simulator-only.
         let d = execute_on(
             &c,
             &q,
@@ -607,6 +787,7 @@ mod tests {
             LogicalPlan::scan("e").aggregate("a", AggFunc::Sum, "b"),
             LogicalPlan::scan("e").join_on(LogicalPlan::scan("e"), "a", "a"),
             LogicalPlan::scan("e").limit(5),
+            LogicalPlan::scan("e").cross(LogicalPlan::scan("e")),
         ] {
             let res = execute(&c, &q, ExecOptions::default()).unwrap();
             assert_eq!(res.num_rows(), 0);

@@ -17,14 +17,21 @@
 //!    schema inference and a rewrite [`optimizer`] (constant folding,
 //!    conjunction splitting, filter pushdown).
 //! 2. **[`PhysicalPlan`]** ([`physical`]) — the same operators with
-//!    every exchange *explicit and priced*: lowering estimates each
-//!    exchange's §2 cost from catalog cardinalities and the tree's
-//!    bandwidths, and resolves [`JoinStrategy::Auto`] by comparing the
-//!    weighted repartition (Algorithm 2), the uniform MPC baseline and
-//!    the small-side broadcast (`V_β`, Algorithm 1) — at plan time, not
-//!    mid-execution.
-//! 3. **Backend-generic execution** ([`exec`]) — the executor computes
-//!    the plan's exchange schedule once and replays it through any
+//!    every exchange *explicit, strategy-chosen and priced*: each
+//!    operator asks the session's
+//!    [`StrategyRegistry`](physical::strategy::StrategyRegistry) for all
+//!    registered [`PhysicalStrategy`](physical::strategy::PhysicalStrategy)
+//!    candidates — the paper's algorithms (Alg-2 weighted hash, §3
+//!    `TreeIntersect` routing, §4/A.1 wHC rectangles, §5.2
+//!    weighted-TeraSort splitters, in-network combining) next to their
+//!    topology-agnostic baselines — prices them on the §2 functional and
+//!    against the task's per-edge **lower bound**, and keeps the
+//!    cheapest; `EXPLAIN` shows every candidate's estimate and Table-1
+//!    ratio. Third-party strategies plug in via
+//!    [`QueryContext::register_strategy`](context::QueryContext::register_strategy).
+//! 3. **Backend-generic execution** ([`exec`]) — each winning strategy
+//!    emits its exchange schedule once, and the whole plan's schedule
+//!    replays through any
 //!    [`ExecBackend`](tamp_runtime::backend::ExecBackend): the
 //!    centralized simulator and the pooled BSP cluster move — and meter —
 //!    bit-identical traffic.
@@ -89,11 +96,14 @@ pub mod table;
 pub mod prelude {
     pub use crate::context::{DataFrame, PreparedQuery, QueryContext};
     pub use crate::exec::{
-        execute, execute_on, ExecOptions, JoinStrategy, OperatorCost, QueryResult,
+        execute, execute_on, ExecOptions, JoinStrategy, OperatorCost, QueryResult, StrategyForce,
     };
     pub use crate::expr::{col, lit, Expr};
     pub use crate::optimizer::optimize;
-    pub use crate::physical::{lower, Exchange, ExchangeKind, PhysicalPlan};
+    pub use crate::physical::strategy::{
+        Candidate, CostEstimate, OperatorKind, PhysicalStrategy, StrategyRegistry,
+    };
+    pub use crate::physical::{lower, Exchange, PhysicalPlan};
     pub use crate::plan::{AggFunc, LogicalPlan};
     pub use crate::schema::Schema;
     pub use crate::table::{Catalog, DistributedTable};
@@ -101,8 +111,11 @@ pub mod prelude {
 
 pub use context::{DataFrame, PreparedQuery, QueryContext};
 pub use error::QueryError;
-pub use exec::{execute, execute_on, ExecOptions, JoinStrategy, OperatorCost, QueryResult};
-pub use physical::{Exchange, ExchangeKind, PhysicalPlan};
+pub use exec::{
+    execute, execute_on, ExecOptions, JoinStrategy, OperatorCost, QueryResult, StrategyForce,
+};
+pub use physical::strategy::{OperatorKind, PhysicalStrategy, StrategyRegistry};
+pub use physical::{Exchange, PhysicalPlan};
 pub use plan::{AggFunc, LogicalPlan};
 pub use schema::Schema;
 pub use table::{Catalog, DistributedTable};

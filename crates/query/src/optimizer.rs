@@ -379,7 +379,7 @@ mod tests {
         // repartition — a strategy change, not a pushdown regression.)
         let opts = ExecOptions {
             join: crate::exec::JoinStrategy::Weighted,
-            seed: 0,
+            ..ExecOptions::default()
         };
         let (before, after) = assert_equivalent_with(&q, &c, opts);
         assert!(

@@ -1,0 +1,185 @@
+//! The shared exchange cost model: §2 pricing of estimated traffic.
+//!
+//! [`CostModel`] owns everything a [`PhysicalStrategy`] needs to price an
+//! exchange on a concrete tree: the O(1)-LCA path decomposition, the
+//! per-directed-edge bandwidths, and the pricing primitives
+//! (repartition / multicast / gather / raw per-edge loads). Every method
+//! charges on the exact rule the engines meter —
+//!
+//! ```text
+//! cost(round) = max_e load(e) / w_e
+//! ```
+//!
+//! with traffic routed along the unique tree paths — so an estimate and
+//! its metered counterpart differ only by cardinality estimation, never
+//! by the cost functional.
+//!
+//! [`PhysicalStrategy`]: crate::physical::strategy::PhysicalStrategy
+
+use tamp_topology::{Bandwidth, LcaIndex, NodeId, Tree};
+
+/// Estimated per-node row counts, indexed by node id (routers stay 0).
+pub type NodeCounts = Vec<f64>;
+
+/// The pricing context handed to every strategy's
+/// [`estimate`](crate::physical::strategy::PhysicalStrategy::estimate).
+#[derive(Debug)]
+pub struct CostModel<'t> {
+    tree: &'t Tree,
+    /// O(1)-LCA path decomposition for routing estimated traffic — no
+    /// memo table, no hashing (see `tamp_topology::lca`).
+    lca: LcaIndex,
+    /// Per-directed-edge bandwidth, indexed like the cost ledger.
+    bandwidth: Vec<Bandwidth>,
+}
+
+impl<'t> CostModel<'t> {
+    /// Build the model for `tree` (one Euler tour + sparse table).
+    pub fn new(tree: &'t Tree) -> Self {
+        CostModel {
+            tree,
+            lca: LcaIndex::new(tree),
+            bandwidth: tree.dir_edges().map(|d| tree.bandwidth(d)).collect(),
+        }
+    }
+
+    /// The tree being priced.
+    pub fn tree(&self) -> &'t Tree {
+        self.tree
+    }
+
+    /// The model's LCA index (for strategies that route custom loads).
+    pub fn lca(&self) -> &LcaIndex {
+        &self.lca
+    }
+
+    /// A zeroed per-node count vector.
+    pub fn zero_counts(&self) -> NodeCounts {
+        vec![0.0; self.tree.num_nodes()]
+    }
+
+    /// A zeroed per-directed-edge load vector, for accumulating custom
+    /// traffic with [`add_path`](Self::add_path) /
+    /// [`add_multicast`](Self::add_multicast).
+    pub fn zero_load(&self) -> Vec<f64> {
+        vec![0.0; self.bandwidth.len()]
+    }
+
+    /// Accumulate `amount` units along the unique `src → dst` tree path.
+    pub fn add_path(&self, load: &mut [f64], src: NodeId, dst: NodeId, amount: f64) {
+        if src == dst || amount <= 0.0 {
+            return;
+        }
+        self.lca
+            .for_each_path_edge(src, dst, |d| load[d.index()] += amount);
+    }
+
+    /// Accumulate `amount` units along the *union* of the `src → dst`
+    /// paths (each edge charged once — the engines' multicast rule).
+    pub fn add_multicast(&self, load: &mut [f64], src: NodeId, dsts: &[NodeId], amount: f64) {
+        if dsts.is_empty() || amount <= 0.0 {
+            return;
+        }
+        let mut seen = vec![false; self.bandwidth.len()];
+        for &u in dsts {
+            self.lca.for_each_path_edge(src, u, |d| {
+                if !seen[d.index()] {
+                    seen[d.index()] = true;
+                    load[d.index()] += amount;
+                }
+            });
+        }
+    }
+
+    /// `max_e load(e)/w_e` for one estimated round, on the same
+    /// [`Bandwidth::cost_of`] rule the engines charge.
+    pub fn round_cost(&self, load: &[f64]) -> f64 {
+        load.iter()
+            .enumerate()
+            .map(|(d, &l)| self.bandwidth[d].cost_of(l))
+            .fold(0.0, f64::max)
+    }
+
+    /// One-round cost of repartitioning `counts` (rows of `width` values)
+    /// so destination `u` receives a `shares[u]` fraction; rows already at
+    /// their destination do not travel.
+    pub fn repartition_cost(&self, counts: &[f64], width: usize, shares: &[f64]) -> f64 {
+        let mut load = self.zero_load();
+        for &v in self.tree.compute_nodes() {
+            let n = counts[v.index()] * width as f64;
+            if n <= 0.0 {
+                continue;
+            }
+            for &u in self.tree.compute_nodes() {
+                let s = shares[u.index()];
+                if u == v || s <= 0.0 {
+                    continue;
+                }
+                self.lca
+                    .for_each_path_edge(v, u, |d| load[d.index()] += n * s);
+            }
+        }
+        self.round_cost(&load)
+    }
+
+    /// One-round cost of every node multicasting its `counts` rows to all
+    /// of `dsts`, charged along the union of tree paths (like the
+    /// engines' multicast metering).
+    pub fn multicast_cost(&self, counts: &[f64], width: usize, dsts: &[NodeId]) -> f64 {
+        let mut load = self.zero_load();
+        for &v in self.tree.compute_nodes() {
+            let n = counts[v.index()] * width as f64;
+            self.add_multicast(&mut load, v, dsts, n);
+        }
+        self.round_cost(&load)
+    }
+
+    /// One-round cost of each node unicasting `counts[v]` rows to
+    /// `target`.
+    pub fn gather_cost(&self, counts: &[f64], width: usize, target: NodeId) -> f64 {
+        let mut load = self.zero_load();
+        for &v in self.tree.compute_nodes() {
+            let n = counts[v.index()] * width as f64;
+            self.add_path(&mut load, v, target, n);
+        }
+        self.round_cost(&load)
+    }
+
+    /// Destination shares proportional to `weights` over compute nodes
+    /// (the weighted hash's expected routing).
+    pub fn proportional_shares(&self, weights: &[f64]) -> NodeCounts {
+        let total: f64 = self
+            .tree
+            .compute_nodes()
+            .iter()
+            .map(|&v| weights[v.index()])
+            .sum();
+        let mut shares = self.zero_counts();
+        if total <= 0.0 {
+            return shares;
+        }
+        for &v in self.tree.compute_nodes() {
+            shares[v.index()] = weights[v.index()] / total;
+        }
+        shares
+    }
+
+    /// Uniform destination shares (the MPC hash's expected routing).
+    pub fn uniform_shares(&self) -> NodeCounts {
+        let k = self.tree.num_compute().max(1) as f64;
+        let mut shares = self.zero_counts();
+        for &v in self.tree.compute_nodes() {
+            shares[v.index()] = 1.0 / k;
+        }
+        shares
+    }
+
+    /// Redistribute `total` rows according to `shares`.
+    pub fn distributed(&self, total: f64, shares: &[f64]) -> NodeCounts {
+        let mut counts = self.zero_counts();
+        for &v in self.tree.compute_nodes() {
+            counts[v.index()] = total * shares[v.index()];
+        }
+        counts
+    }
+}

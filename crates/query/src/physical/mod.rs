@@ -1,23 +1,25 @@
-//! The physical plan: operators with explicit, cost-estimated exchanges.
+//! The physical plan: operators with explicit, strategy-chosen,
+//! cost-estimated exchanges.
 //!
 //! Lowering ([`lower`]) turns a [`LogicalPlan`] into a [`PhysicalPlan`]
 //! in which every communicating operator carries an explicit [`Exchange`]
-//! — *which* topology-aware primitive will move the data, and *what it is
-//! expected to cost* on the §2 functional. The estimate is computed from
-//! catalog cardinalities and the tree's bandwidths by routing estimated
-//! traffic along the same unique tree paths the executor will use:
+//! — *which* [`PhysicalStrategy`] will move the data, what it is
+//! expected to cost on the §2 functional, and how that estimate compares
+//! to the task's **per-edge lower bound** (the paper's Table-1 ratio).
+//! The planner does not hard-wire exchanges: each operator asks the
+//! session's [`StrategyRegistry`] for every registered candidate — paper
+//! algorithm and topology-agnostic baseline alike — prices them all by
+//! routing estimated traffic along the real tree paths,
 //!
 //! ```text
 //! est(exchange) = Σ_rounds max_e load(e) / w_e
 //! ```
 //!
-//! This is where the paper's strategy question becomes a *planning*
-//! decision: under [`JoinStrategy::Auto`] the planner prices the weighted
-//! repartition (Algorithm 2), the uniform MPC repartition, and the
-//! small-side broadcast against each other and keeps the cheapest — the
-//! choice is inspectable in
+//! and keeps the cheapest (or the one the session forces). Every
+//! candidate stays in the plan, so
 //! [`PreparedQuery::explain`](crate::context::PreparedQuery::explain)
-//! before anything runs.
+//! shows the winner *and* the rejected alternatives, each with its
+//! estimate and its ratio to the lower bound.
 //!
 //! Cardinality estimation is deliberately simple and documented:
 //! base-table counts are exact (`|X_0(v)|` is model knowledge granted by
@@ -26,79 +28,74 @@
 //! shape (`|L ⋈ R| ≈ max(|L|, |R|)`), and group-bys assume `√n` distinct
 //! groups. Estimated and metered cost are juxtaposed per operator in
 //! [`QueryResult::operator_costs`](crate::exec::QueryResult) and in the
-//! `x-plan` experiment suite.
+//! `x-plan` / `x-strategy` experiment suites.
+//!
+//! [`PhysicalStrategy`]: strategy::PhysicalStrategy
+//! [`StrategyRegistry`]: strategy::StrategyRegistry
+
+pub mod cost;
+pub(crate) mod strategies;
+pub mod strategy;
 
 use std::fmt;
+use std::sync::Arc;
 
-use tamp_core::sorting::{sample_rate, valid_order};
-use tamp_topology::{Bandwidth, LcaIndex, NodeId, Tree};
+use tamp_core::ratio::LowerBound;
+use tamp_topology::Tree;
 
 use crate::error::QueryError;
-use crate::exec::{ExecOptions, JoinStrategy};
+use crate::exec::ExecOptions;
 use crate::expr::Expr;
 use crate::plan::{AggFunc, LogicalPlan};
 use crate::reference;
 use crate::schema::Schema;
 use crate::table::Catalog;
 
-/// How an exchange moves rows between compute nodes.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum ExchangeKind {
-    /// Repartition by a hash weighted by each node's current data — the
-    /// distribution-aware choice (Algorithm 2).
-    WeightedRepartition,
-    /// Repartition by a uniform hash — the topology-agnostic MPC
-    /// baseline.
-    UniformRepartition,
-    /// Replicate the smaller side to every node holding rows of the
-    /// larger side (the `V_β` idea of Algorithm 1).
-    BroadcastSmall,
-    /// Sample → proportional splitters → range shuffle (weighted
-    /// TeraSort, §5.2).
-    RangeShuffle,
-    /// Bounded collection to a single compute node.
-    Gather,
-}
+use cost::{CostModel, NodeCounts};
+use strategy::{
+    default_registry, Candidate, CostEstimate, OperatorKind, PhysicalStrategy, PlanArgs, PlanSide,
+    StrategyRegistry,
+};
 
-impl ExchangeKind {
-    /// Short lower-case name used in `EXPLAIN` output.
-    pub fn name(self) -> &'static str {
-        match self {
-            ExchangeKind::WeightedRepartition => "weighted-repartition",
-            ExchangeKind::UniformRepartition => "uniform-repartition",
-            ExchangeKind::BroadcastSmall => "broadcast-small",
-            ExchangeKind::RangeShuffle => "range-shuffle",
-            ExchangeKind::Gather => "gather",
-        }
-    }
-}
-
-impl fmt::Display for ExchangeKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.name())
-    }
-}
-
-/// The planner's §2 cost estimate for one exchange.
-#[derive(Clone, Debug, PartialEq)]
-pub struct CostEstimate {
-    /// Estimated `Σ_rounds max_e load(e)/w_e`, in tuples.
-    pub tuple_cost: f64,
-    /// Communication rounds the exchange will use.
-    pub rounds: usize,
-    /// Every candidate the planner priced (`(kind, estimated cost)`),
-    /// including the chosen one — rendered by `EXPLAIN` so rejected
-    /// strategies stay visible.
-    pub candidates: Vec<(ExchangeKind, f64)>,
-}
-
-/// An explicit data movement step attached to a physical operator.
-#[derive(Clone, Debug, PartialEq)]
+/// An explicit data movement step attached to a physical operator: the
+/// chosen strategy, its estimate, the task's lower bound, and every
+/// candidate the planner priced.
+#[derive(Clone, Debug)]
 pub struct Exchange {
-    /// The primitive that will move the rows.
-    pub kind: ExchangeKind,
+    /// The strategy that will move the rows.
+    pub strategy: Arc<dyn PhysicalStrategy>,
     /// What the planner expects it to cost.
     pub estimate: CostEstimate,
+    /// The task's per-edge lower bound on the estimated placement (in
+    /// values), when the task has one on this tree.
+    pub lower_bound: Option<LowerBound>,
+    /// Every candidate the planner priced, including the chosen one —
+    /// rendered by `EXPLAIN` so rejected strategies stay visible.
+    pub candidates: Vec<Candidate>,
+}
+
+impl Exchange {
+    /// The chosen strategy's name.
+    pub fn name(&self) -> &'static str {
+        self.strategy.name()
+    }
+
+    /// The chosen strategy's `estimate / lower bound` ratio — the
+    /// paper's Table-1 quantity — or `NaN` when no bound applies.
+    pub fn ratio(&self) -> f64 {
+        self.lower_bound.map_or(f64::NAN, |lb| {
+            tamp_core::ratio::ratio(self.estimate.tuple_cost, lb.value())
+        })
+    }
+}
+
+impl PartialEq for Exchange {
+    fn eq(&self, other: &Self) -> bool {
+        self.strategy.name() == other.strategy.name()
+            && self.estimate == other.estimate
+            && self.lower_bound.map(|b| b.value()) == other.lower_bound.map(|b| b.value())
+            && self.candidates == other.candidates
+    }
 }
 
 /// A physical operator tree: the logical algebra with every exchange made
@@ -145,16 +142,16 @@ pub enum PhysicalOp {
         left_key: String,
         /// Join column on the right schema.
         right_key: String,
-        /// The repartition or broadcast moving the two sides.
+        /// The strategy-chosen exchange moving the two sides.
         exchange: Exchange,
     },
-    /// Cartesian product: broadcast the smaller side.
+    /// Cartesian product.
     CrossJoin {
         /// Left input.
         left: Box<PhysicalPlan>,
         /// Right input.
         right: Box<PhysicalPlan>,
-        /// The broadcast of the smaller side.
+        /// The strategy-chosen exchange (broadcast or grid rectangles).
         exchange: Exchange,
     },
     /// Global sort: range shuffle along the valid compute-node order.
@@ -166,7 +163,7 @@ pub enum PhysicalOp {
         /// The sample/splitter/shuffle exchange.
         exchange: Exchange,
     },
-    /// Grouped aggregation: local partials, then a weighted hash shuffle.
+    /// Grouped aggregation: local partials, then the chosen exchange.
     HashAggregate {
         /// Input plan.
         input: Box<PhysicalPlan>,
@@ -176,7 +173,7 @@ pub enum PhysicalOp {
         agg: AggFunc,
         /// Measured column.
         measure: String,
-        /// The partial-shuffling exchange.
+        /// The partial-moving exchange.
         exchange: Exchange,
     },
     /// Keep the first `n` rows via a bounded gather.
@@ -284,18 +281,24 @@ impl PhysicalPlan {
         if let Some(x) = self.exchange() {
             write!(
                 f,
-                " via {} [est cost {:.1}, {} round{}]",
-                x.kind,
+                " via {} [est cost {:.1}, {} round{}",
+                x.name(),
                 x.estimate.tuple_cost,
                 x.estimate.rounds,
                 if x.estimate.rounds == 1 { "" } else { "s" },
             )?;
-            if x.estimate.candidates.len() > 1 {
+            if let Some(lb) = x.lower_bound {
+                write!(f, ", lb {:.1}, ratio {}", lb.value(), fmt_ratio(x.ratio()))?;
+            }
+            write!(f, "]")?;
+            if x.candidates.len() > 1 {
                 let alts: Vec<String> = x
-                    .estimate
                     .candidates
                     .iter()
-                    .map(|(k, c)| format!("{k} {c:.1}"))
+                    .map(|c| {
+                        let alg = c.algorithm.map(|a| format!(" ({a})")).unwrap_or_default();
+                        format!("{}{alg} {:.1} ×{}", c.name, c.cost, fmt_ratio(c.ratio))
+                    })
                     .collect();
                 write!(f, " (candidates: {})", alts.join(", "))?;
             }
@@ -308,15 +311,27 @@ impl PhysicalPlan {
     }
 }
 
+/// Render a lower-bound ratio: two decimals, `-` when no bound applies.
+fn fmt_ratio(r: f64) -> String {
+    if r.is_nan() {
+        "-".into()
+    } else if r.is_infinite() {
+        "inf".into()
+    } else {
+        format!("{r:.2}")
+    }
+}
+
 impl fmt::Display for PhysicalPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         self.fmt_indented(f, 0)
     }
 }
 
-/// Lower a [`LogicalPlan`] into a [`PhysicalPlan`], pricing every
-/// exchange on the §2 cost model and resolving
-/// [`JoinStrategy::Auto`] into the cheapest estimated join exchange.
+/// Lower a [`LogicalPlan`] into a [`PhysicalPlan`] against the default
+/// strategy registry, pricing every registered candidate on the §2 cost
+/// model and resolving each operator's exchange cost-based (or as forced
+/// by [`ExecOptions`]).
 ///
 /// Lowering validates the plan (schema inference runs as part of the
 /// walk), so a lowered plan is known to execute without name errors.
@@ -325,20 +340,21 @@ pub fn lower(
     catalog: &Catalog,
     options: ExecOptions,
 ) -> Result<PhysicalPlan, QueryError> {
-    lower_full(plan, catalog, options).map(|(plan, _)| plan)
+    lower_full(plan, catalog, options, default_registry()).map(|(plan, _)| plan)
 }
 
-/// [`lower`], also returning the inferred output [`Schema`] so callers
-/// that need both do one walk.
+/// [`lower`] against an explicit [`StrategyRegistry`], also returning the
+/// inferred output [`Schema`] so callers that need both do one walk.
 pub(crate) fn lower_full(
     plan: &LogicalPlan,
     catalog: &Catalog,
     options: ExecOptions,
+    registry: &StrategyRegistry,
 ) -> Result<(PhysicalPlan, Schema), QueryError> {
     // Validate up front (expression binding included) so lowering can
     // assume well-formed inputs.
     plan.schema(catalog)?;
-    let mut planner = Planner::new(catalog, options);
+    let mut planner = Planner::new(catalog, options, registry);
     let (plan, _, schema) = planner.lower_node(plan)?;
     Ok((plan, schema))
 }
@@ -362,145 +378,40 @@ fn selectivity(e: &Expr) -> f64 {
 }
 
 /// The lowering planner: walks the logical tree bottom-up carrying
-/// per-node cardinality estimates, and prices exchanges by routing the
-/// estimated traffic along the real tree paths (decomposed through the
-/// O(1)-LCA index, so pricing allocates no per-pair path memos).
+/// per-node cardinality estimates, and resolves each operator's exchange
+/// through the strategy registry.
 struct Planner<'c> {
     catalog: &'c Catalog,
-    tree: &'c Tree,
     options: ExecOptions,
-    /// O(1)-LCA path decomposition for routing estimated traffic — no
-    /// memo table, no hashing (see `topology::lca`).
-    lca: LcaIndex,
-    /// Per-directed-edge bandwidth, indexed like the cost ledger.
-    bandwidth: Vec<Bandwidth>,
+    registry: &'c StrategyRegistry,
+    /// Shared pricing model (O(1)-LCA routing, per-edge bandwidths).
+    model: CostModel<'c>,
 }
 
-/// Estimated per-node row counts, indexed by node id (routers stay 0).
-type NodeCounts = Vec<f64>;
-
 impl<'c> Planner<'c> {
-    fn new(catalog: &'c Catalog, options: ExecOptions) -> Self {
-        let tree = catalog.tree();
+    fn new(catalog: &'c Catalog, options: ExecOptions, registry: &'c StrategyRegistry) -> Self {
+        let tree: &'c Tree = catalog.tree();
         Planner {
             catalog,
-            tree,
             options,
-            lca: LcaIndex::new(tree),
-            bandwidth: tree.dir_edges().map(|d| tree.bandwidth(d)).collect(),
+            registry,
+            model: CostModel::new(tree),
         }
     }
 
-    fn zero_counts(&self) -> NodeCounts {
-        vec![0.0; self.tree.num_nodes()]
-    }
-
-    /// `max_e load(e)/w_e` for one estimated round, on the same
-    /// [`Bandwidth::cost_of`] rule the engines charge.
-    fn round_cost(&self, load: &[f64]) -> f64 {
-        load.iter()
-            .enumerate()
-            .map(|(d, &l)| self.bandwidth[d].cost_of(l))
-            .fold(0.0, f64::max)
-    }
-
-    /// One-round cost of repartitioning `counts` (rows of `width` values)
-    /// so destination `u` receives a `shares[u]` fraction; rows already at
-    /// their destination do not travel.
-    fn repartition_cost(&mut self, counts: &[f64], width: usize, shares: &[f64]) -> f64 {
-        let mut load = vec![0.0; self.bandwidth.len()];
-        for &v in self.tree.compute_nodes() {
-            let n = counts[v.index()] * width as f64;
-            if n <= 0.0 {
-                continue;
-            }
-            for &u in self.tree.compute_nodes() {
-                let s = shares[u.index()];
-                if u == v || s <= 0.0 {
-                    continue;
-                }
-                self.lca
-                    .for_each_path_edge(v, u, |d| load[d.index()] += n * s);
-            }
+    /// Assemble the plan-time view of one operator's inputs.
+    fn args(&self, left: (NodeCounts, usize), right: Option<(NodeCounts, usize)>) -> PlanArgs<'_> {
+        PlanArgs {
+            model: &self.model,
+            seed: self.options.seed,
+            left: PlanSide {
+                counts: left.0,
+                width: left.1,
+            },
+            right: right.map(|(counts, width)| PlanSide { counts, width }),
+            groups: 0.0,
+            limit: 0,
         }
-        self.round_cost(&load)
-    }
-
-    /// One-round cost of every node multicasting its `counts` rows to all
-    /// of `dsts`, charged along the union of tree paths (like the
-    /// engines' multicast metering).
-    fn multicast_cost(&mut self, counts: &[f64], width: usize, dsts: &[NodeId]) -> f64 {
-        let mut load = vec![0.0; self.bandwidth.len()];
-        let mut seen = vec![false; self.bandwidth.len()];
-        for &v in self.tree.compute_nodes() {
-            let n = counts[v.index()] * width as f64;
-            if n <= 0.0 || dsts.is_empty() {
-                continue;
-            }
-            seen.iter_mut().for_each(|s| *s = false);
-            for &u in dsts {
-                self.lca.for_each_path_edge(v, u, |d| {
-                    if !seen[d.index()] {
-                        seen[d.index()] = true;
-                        load[d.index()] += n;
-                    }
-                });
-            }
-        }
-        self.round_cost(&load)
-    }
-
-    /// One-round cost of each node unicasting `counts[v]` rows to
-    /// `target`.
-    fn gather_cost(&mut self, counts: &[f64], width: usize, target: NodeId) -> f64 {
-        let mut load = vec![0.0; self.bandwidth.len()];
-        for &v in self.tree.compute_nodes() {
-            let n = counts[v.index()] * width as f64;
-            if n <= 0.0 || v == target {
-                continue;
-            }
-            self.lca
-                .for_each_path_edge(v, target, |d| load[d.index()] += n);
-        }
-        self.round_cost(&load)
-    }
-
-    /// Destination shares proportional to `weights` over compute nodes
-    /// (the weighted hash's expected routing).
-    fn proportional_shares(&self, weights: &[f64]) -> NodeCounts {
-        let total: f64 = self
-            .tree
-            .compute_nodes()
-            .iter()
-            .map(|&v| weights[v.index()])
-            .sum();
-        let mut shares = self.zero_counts();
-        if total <= 0.0 {
-            return shares;
-        }
-        for &v in self.tree.compute_nodes() {
-            shares[v.index()] = weights[v.index()] / total;
-        }
-        shares
-    }
-
-    /// Uniform destination shares (the MPC hash's expected routing).
-    fn uniform_shares(&self) -> NodeCounts {
-        let k = self.tree.num_compute().max(1) as f64;
-        let mut shares = self.zero_counts();
-        for &v in self.tree.compute_nodes() {
-            shares[v.index()] = 1.0 / k;
-        }
-        shares
-    }
-
-    /// Redistribute `total` rows according to `shares`.
-    fn distributed(&self, total: f64, shares: &[f64]) -> NodeCounts {
-        let mut counts = self.zero_counts();
-        for &v in self.tree.compute_nodes() {
-            counts[v.index()] = total * shares[v.index()];
-        }
-        counts
     }
 
     fn lower_node(
@@ -564,9 +475,23 @@ impl<'c> Planner<'c> {
             } => {
                 let (lp, lc, ls) = self.lower_node(left)?;
                 let (rp, rc, rs) = self.lower_node(right)?;
-                let (lw, rw) = (ls.width(), rs.width());
-                let (exchange, out_counts) = self.plan_join_exchange(&lc, lw, &rc, rw);
-                let rows_est: f64 = out_counts.iter().sum();
+                let args = self.args((lc, ls.width()), Some((rc, rs.width())));
+                let exchange =
+                    self.registry
+                        .plan(OperatorKind::Join, self.options.forced_join(), &args)?;
+                // Output estimate: key/foreign-key shape, placed by the
+                // winning strategy.
+                let (l_tot, r_tot) = (
+                    args.left.total(),
+                    args.right.as_ref().expect("two inputs").total(),
+                );
+                let out_total = if l_tot == 0.0 || r_tot == 0.0 {
+                    0.0
+                } else {
+                    l_tot.max(r_tot)
+                };
+                let shares = exchange.strategy.output_shares(&args);
+                let out_counts = self.model.distributed(out_total, &shares);
                 let schema = ls.join(&rs, "r_")?;
                 Ok((
                     PhysicalPlan {
@@ -577,7 +502,7 @@ impl<'c> Planner<'c> {
                             right_key: right_key.clone(),
                             exchange,
                         },
-                        rows_est,
+                        rows_est: out_total,
                     },
                     out_counts,
                     schema,
@@ -586,40 +511,20 @@ impl<'c> Planner<'c> {
             LogicalPlan::CrossJoin { left, right } => {
                 let (lp, lc, ls) = self.lower_node(left)?;
                 let (rp, rc, rs) = self.lower_node(right)?;
-                let (lw, rw) = (ls.width(), rs.width());
-                let l_tot: f64 = lc.iter().sum();
-                let r_tot: f64 = rc.iter().sum();
-                // The executor broadcasts the side with fewer values.
-                let left_is_small = l_tot * lw as f64 <= r_tot * rw as f64;
-                let (small, small_w, big) = if left_is_small {
-                    (&lc, lw, &rc)
-                } else {
-                    (&rc, rw, &lc)
-                };
-                let holders: Vec<NodeId> = self
-                    .tree
-                    .compute_nodes()
-                    .iter()
-                    .copied()
-                    .filter(|&v| big[v.index()] > 0.0)
-                    .collect();
-                let cost = self.multicast_cost(small, small_w, &holders);
-                let out_total = l_tot * r_tot;
-                let big_shares = self.proportional_shares(big);
-                let out_counts = self.distributed(out_total, &big_shares);
+                let args = self.args((lc, ls.width()), Some((rc, rs.width())));
+                let exchange =
+                    self.registry
+                        .plan(OperatorKind::CrossJoin, self.options.force.cross, &args)?;
+                let out_total =
+                    args.left.total() * args.right.as_ref().expect("two inputs").total();
+                let shares = exchange.strategy.output_shares(&args);
+                let out_counts = self.model.distributed(out_total, &shares);
                 Ok((
                     PhysicalPlan {
                         op: PhysicalOp::CrossJoin {
                             left: Box::new(lp),
                             right: Box::new(rp),
-                            exchange: Exchange {
-                                kind: ExchangeKind::BroadcastSmall,
-                                estimate: CostEstimate {
-                                    tuple_cost: cost,
-                                    rounds: 1,
-                                    candidates: vec![(ExchangeKind::BroadcastSmall, cost)],
-                                },
-                            },
+                            exchange,
                         },
                         rows_est: out_total,
                     },
@@ -629,38 +534,19 @@ impl<'c> Planner<'c> {
             }
             LogicalPlan::OrderBy { input, key } => {
                 let (child, counts, schema) = self.lower_node(input)?;
-                let width = schema.width();
                 let total: f64 = counts.iter().sum();
-                let order = valid_order(self.tree);
-                let coordinator = order[0];
-                // Sample round: ~ρ·n_v keys (width 1) to the coordinator.
-                let rho = sample_rate(order.len(), total.round() as u64);
-                let samples: NodeCounts = counts.iter().map(|n| n * rho).collect();
-                let sample_cost = self.gather_cost(&samples, 1, coordinator);
-                // Splitter broadcast: k−1 values from the coordinator.
-                let mut splitters = self.zero_counts();
-                splitters[coordinator.index()] = order.len().saturating_sub(1) as f64;
-                let split_cost = self.multicast_cost(&splitters, 1, &order);
-                // Shuffle: proportional splitters mean each node keeps
-                // roughly its current share; rows move like a repartition
-                // with shares ∝ current loads.
-                let shares = self.proportional_shares(&counts);
-                let shuffle_cost = self.repartition_cost(&counts, width, &shares);
-                let cost = sample_cost + split_cost + shuffle_cost;
-                let out_counts = counts.clone();
+                let args = self.args((counts, schema.width()), None);
+                let exchange =
+                    self.registry
+                        .plan(OperatorKind::Sort, self.options.force.sort, &args)?;
+                let shares = exchange.strategy.output_shares(&args);
+                let out_counts = self.model.distributed(total, &shares);
                 Ok((
                     PhysicalPlan {
                         op: PhysicalOp::Sort {
                             input: Box::new(child),
                             key: key.clone(),
-                            exchange: Exchange {
-                                kind: ExchangeKind::RangeShuffle,
-                                estimate: CostEstimate {
-                                    tuple_cost: cost,
-                                    rounds: 3,
-                                    candidates: vec![(ExchangeKind::RangeShuffle, cost)],
-                                },
-                            },
+                            exchange,
                         },
                         rows_est: total,
                     },
@@ -678,12 +564,15 @@ impl<'c> Planner<'c> {
                 let total: f64 = counts.iter().sum();
                 // Distinct-group heuristic: √n groups (module docs).
                 let groups = total.sqrt().ceil().max(if total > 0.0 { 1.0 } else { 0.0 });
-                // Each node ships at most min(n_v, G) partials of width 2
-                // under the weighted hash.
-                let partials: NodeCounts = counts.iter().map(|&n| n.min(groups)).collect();
-                let shares = self.proportional_shares(&counts);
-                let cost = self.repartition_cost(&partials, 2, &shares);
-                let out_counts = self.distributed(groups, &shares);
+                let mut args = self.args((counts, 2), None);
+                args.groups = groups;
+                let exchange = self.registry.plan(
+                    OperatorKind::Aggregate,
+                    self.options.force.aggregate,
+                    &args,
+                )?;
+                let shares = exchange.strategy.output_shares(&args);
+                let out_counts = self.model.distributed(groups, &shares);
                 Ok((
                     PhysicalPlan {
                         op: PhysicalOp::HashAggregate {
@@ -691,14 +580,7 @@ impl<'c> Planner<'c> {
                             group_by: group_by.clone(),
                             agg: *agg,
                             measure: measure.clone(),
-                            exchange: Exchange {
-                                kind: ExchangeKind::WeightedRepartition,
-                                estimate: CostEstimate {
-                                    tuple_cost: cost,
-                                    rounds: 1,
-                                    candidates: vec![(ExchangeKind::WeightedRepartition, cost)],
-                                },
-                            },
+                            exchange,
                         },
                         rows_est: groups,
                     },
@@ -712,28 +594,20 @@ impl<'c> Planner<'c> {
             LogicalPlan::Limit { input, n } => {
                 let order_preserving = reference::preserves_order(input);
                 let (child, counts, schema) = self.lower_node(input)?;
-                let width = schema.width();
-                let target = valid_order(self.tree)[0];
-                let contributions: NodeCounts = counts.iter().map(|&c| c.min(*n as f64)).collect();
-                let cost = self.gather_cost(&contributions, width, target);
                 let total: f64 = counts.iter().sum();
+                let mut args = self.args((counts, schema.width()), None);
+                args.limit = *n;
+                let exchange = self.registry.plan(OperatorKind::Limit, None, &args)?;
                 let out_total = total.min(*n as f64);
-                let mut out_counts = self.zero_counts();
-                out_counts[target.index()] = out_total;
+                let shares = exchange.strategy.output_shares(&args);
+                let out_counts = self.model.distributed(out_total, &shares);
                 Ok((
                     PhysicalPlan {
                         op: PhysicalOp::Limit {
                             input: Box::new(child),
                             n: *n,
                             order_preserving,
-                            exchange: Exchange {
-                                kind: ExchangeKind::Gather,
-                                estimate: CostEstimate {
-                                    tuple_cost: cost,
-                                    rounds: 1,
-                                    candidates: vec![(ExchangeKind::Gather, cost)],
-                                },
-                            },
+                            exchange,
                         },
                         rows_est: out_total,
                     },
@@ -743,25 +617,16 @@ impl<'c> Planner<'c> {
             }
             LogicalPlan::Distinct { input } => {
                 let (child, counts, schema) = self.lower_node(input)?;
-                let width = schema.width();
                 let total: f64 = counts.iter().sum();
-                // Assume rows are mostly distinct already (upper bound on
-                // traffic): everything shuffles under the weighted hash.
-                let shares = self.proportional_shares(&counts);
-                let cost = self.repartition_cost(&counts, width, &shares);
-                let out_counts = self.distributed(total, &shares);
+                let args = self.args((counts, schema.width()), None);
+                let exchange = self.registry.plan(OperatorKind::Distinct, None, &args)?;
+                let shares = exchange.strategy.output_shares(&args);
+                let out_counts = self.model.distributed(total, &shares);
                 Ok((
                     PhysicalPlan {
                         op: PhysicalOp::Distinct {
                             input: Box::new(child),
-                            exchange: Exchange {
-                                kind: ExchangeKind::WeightedRepartition,
-                                estimate: CostEstimate {
-                                    tuple_cost: cost,
-                                    rounds: 1,
-                                    candidates: vec![(ExchangeKind::WeightedRepartition, cost)],
-                                },
-                            },
+                            exchange,
                         },
                         rows_est: total,
                     },
@@ -788,101 +653,12 @@ impl<'c> Planner<'c> {
             }
         }
     }
-
-    /// Price the three join exchanges and resolve the strategy: a forced
-    /// [`JoinStrategy`] maps directly; `Auto` keeps the cheapest estimate
-    /// (ties prefer the distribution-aware weighted repartition, then the
-    /// broadcast, mirroring the paper's preference for topology-aware
-    /// plans).
-    fn plan_join_exchange(
-        &mut self,
-        lc: &NodeCounts,
-        lw: usize,
-        rc: &NodeCounts,
-        rw: usize,
-    ) -> (Exchange, NodeCounts) {
-        let l_tot: f64 = lc.iter().sum();
-        let r_tot: f64 = rc.iter().sum();
-        let combined: NodeCounts = lc.iter().zip(rc).map(|(a, b)| a + b).collect();
-        let weighted_shares = self.proportional_shares(&combined);
-        let uniform_shares = self.uniform_shares();
-        let weighted_cost = self.repartition_cost(lc, lw, &weighted_shares)
-            + self.repartition_cost(rc, rw, &weighted_shares);
-        let uniform_cost = self.repartition_cost(lc, lw, &uniform_shares)
-            + self.repartition_cost(rc, rw, &uniform_shares);
-        // The executor broadcasts the side with fewer rows to every node
-        // holding rows of the other side.
-        let (small, small_w, big) = if l_tot <= r_tot {
-            (lc, lw, rc)
-        } else {
-            (rc, rw, lc)
-        };
-        let holders: Vec<NodeId> = self
-            .tree
-            .compute_nodes()
-            .iter()
-            .copied()
-            .filter(|&v| big[v.index()] > 0.0)
-            .collect();
-        let broadcast_cost = self.multicast_cost(small, small_w, &holders);
-
-        let candidates = vec![
-            (ExchangeKind::WeightedRepartition, weighted_cost),
-            (ExchangeKind::BroadcastSmall, broadcast_cost),
-            (ExchangeKind::UniformRepartition, uniform_cost),
-        ];
-        let kind = match self.options.join {
-            JoinStrategy::Weighted => ExchangeKind::WeightedRepartition,
-            JoinStrategy::Uniform => ExchangeKind::UniformRepartition,
-            JoinStrategy::BroadcastSmall => ExchangeKind::BroadcastSmall,
-            // Cheapest estimate wins; candidate order is the tie-break.
-            JoinStrategy::Auto => {
-                candidates
-                    .iter()
-                    .copied()
-                    .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("estimates are finite"))
-                    .expect("three candidates")
-                    .0
-            }
-        };
-        let (tuple_cost, rounds) = match kind {
-            ExchangeKind::WeightedRepartition => (weighted_cost, 2),
-            ExchangeKind::UniformRepartition => (uniform_cost, 2),
-            ExchangeKind::BroadcastSmall => (broadcast_cost, 1),
-            _ => unreachable!("join exchanges are repartition or broadcast"),
-        };
-
-        // Output estimate: key/foreign-key shape, placed by the exchange.
-        let out_total = if l_tot == 0.0 || r_tot == 0.0 {
-            0.0
-        } else {
-            l_tot.max(r_tot)
-        };
-        let out_counts = match kind {
-            ExchangeKind::BroadcastSmall => {
-                let big_shares = self.proportional_shares(big);
-                self.distributed(out_total, &big_shares)
-            }
-            ExchangeKind::UniformRepartition => self.distributed(out_total, &uniform_shares),
-            _ => self.distributed(out_total, &weighted_shares),
-        };
-        (
-            Exchange {
-                kind,
-                estimate: CostEstimate {
-                    tuple_cost,
-                    rounds,
-                    candidates,
-                },
-            },
-            out_counts,
-        )
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::{JoinStrategy, StrategyForce};
     use crate::expr::{col, lit};
     use crate::row::Row;
     use crate::table::DistributedTable;
@@ -917,9 +693,15 @@ mod tests {
         let p = lower(&q, &c, ExecOptions::default()).unwrap();
         match &p.op {
             PhysicalOp::HashJoin { exchange, .. } => {
-                assert_eq!(exchange.kind, ExchangeKind::BroadcastSmall);
-                assert_eq!(exchange.estimate.candidates.len(), 3);
+                assert_eq!(exchange.name(), "broadcast-small");
+                assert_eq!(exchange.candidates.len(), 4);
                 assert!(exchange.estimate.tuple_cost > 0.0);
+                // The join carries the Theorem-1 lower bound and a ratio
+                // per candidate.
+                assert!(exchange.lower_bound.is_some());
+                for cand in &exchange.candidates {
+                    assert!(cand.ratio.is_finite(), "{cand:?}");
+                }
             }
             other => panic!("expected join, got {other:?}"),
         }
@@ -952,16 +734,15 @@ mod tests {
         let q = LogicalPlan::scan("a").join_on(LogicalPlan::scan("b"), "g", "g");
         let p = lower(&q, &c, ExecOptions::default()).unwrap();
         let x = p.exchange().unwrap();
-        assert_ne!(x.kind, ExchangeKind::UniformRepartition);
+        assert_ne!(x.name(), "uniform-repartition");
         // Everything is already in place: the estimate is (near) zero
         // while the uniform candidate is expensive.
         let uniform = x
-            .estimate
             .candidates
             .iter()
-            .find(|(k, _)| *k == ExchangeKind::UniformRepartition)
+            .find(|c| c.name == "uniform-repartition")
             .unwrap()
-            .1;
+            .cost;
         assert!(x.estimate.tuple_cost < 1e-9, "{}", x.estimate.tuple_cost);
         assert!(uniform > 100.0, "{uniform}");
     }
@@ -970,21 +751,63 @@ mod tests {
     fn forced_strategies_map_directly() {
         let c = star_catalog(100, 100);
         let q = LogicalPlan::scan("facts").join_on(LogicalPlan::scan("dims"), "g", "g");
-        for (strategy, kind) in [
-            (JoinStrategy::Weighted, ExchangeKind::WeightedRepartition),
-            (JoinStrategy::Uniform, ExchangeKind::UniformRepartition),
-            (JoinStrategy::BroadcastSmall, ExchangeKind::BroadcastSmall),
+        for (strategy, name) in [
+            (JoinStrategy::Weighted, "weighted-repartition"),
+            (JoinStrategy::Uniform, "uniform-repartition"),
+            (JoinStrategy::BroadcastSmall, "broadcast-small"),
         ] {
             let p = lower(
                 &q,
                 &c,
                 ExecOptions {
                     join: strategy,
-                    seed: 0,
+                    ..ExecOptions::default()
                 },
             )
             .unwrap();
-            assert_eq!(p.exchange().unwrap().kind, kind);
+            assert_eq!(p.exchange().unwrap().name(), name);
+        }
+    }
+
+    #[test]
+    fn forcing_by_name_covers_every_registered_join_strategy() {
+        let c = star_catalog(120, 30);
+        let q = LogicalPlan::scan("facts").join_on(LogicalPlan::scan("dims"), "g", "g");
+        for name in [
+            "weighted-repartition",
+            "tree-partition",
+            "broadcast-small",
+            "uniform-repartition",
+        ] {
+            let opts = ExecOptions {
+                force: StrategyForce {
+                    join: Some(name),
+                    ..StrategyForce::default()
+                },
+                ..ExecOptions::default()
+            };
+            let p = lower(&q, &c, opts).unwrap();
+            assert_eq!(p.exchange().unwrap().name(), name);
+        }
+        // An unknown name is a typed error listing the alternatives.
+        let opts = ExecOptions {
+            force: StrategyForce {
+                join: Some("nope"),
+                ..StrategyForce::default()
+            },
+            ..ExecOptions::default()
+        };
+        match lower(&q, &c, opts) {
+            Err(QueryError::UnknownStrategy {
+                operator,
+                name,
+                available,
+            }) => {
+                assert_eq!(operator, "join");
+                assert_eq!(name, "nope");
+                assert!(available.contains(&"tree-partition".to_string()));
+            }
+            other => panic!("expected UnknownStrategy, got {other:?}"),
         }
     }
 
@@ -999,11 +822,54 @@ mod tests {
             .limit(5);
         let p = lower(&q, &c, ExecOptions::default()).unwrap();
         assert!(p.estimated_cost() > 0.0);
-        assert!(p.estimated_rounds() >= 6, "{}", p.estimated_rounds());
+        assert!(p.estimated_rounds() >= 5, "{}", p.estimated_rounds());
         let text = p.to_string();
         assert!(text.contains("est cost"), "{text}");
         assert!(text.contains("via"), "{text}");
         assert!(text.contains("candidates"), "{text}");
+        assert!(text.contains("ratio"), "{text}");
+    }
+
+    #[test]
+    fn explain_lists_paper_and_baseline_candidates_per_operator() {
+        let c = star_catalog(300, 40);
+        let q = LogicalPlan::scan("facts")
+            .join_on(LogicalPlan::scan("dims"), "g", "g")
+            .order_by("x");
+        let p = lower(&q, &c, ExecOptions::default()).unwrap();
+        let text = p.to_string();
+        // Join candidates (Alg-2 weighted hash, §3 TreeIntersect routing,
+        // V_β broadcast, uniform baseline) and both sort policies.
+        for name in [
+            "weighted-repartition",
+            "tree-partition",
+            "broadcast-small",
+            "uniform-repartition",
+            "weighted-range-shuffle",
+            "uniform-range-shuffle",
+        ] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+        // Cross-join candidates surface too.
+        let q = LogicalPlan::scan("dims").cross(LogicalPlan::scan("dims"));
+        let text = lower(&q, &c, ExecOptions::default()).unwrap().to_string();
+        for name in ["whc-grid", "broadcast-small", "uniform-hypercube"] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn registering_a_taken_name_replaces_in_place() {
+        let mut r = StrategyRegistry::with_defaults();
+        let before = r.candidates(OperatorKind::Join).len();
+        let dup = Arc::clone(r.get(OperatorKind::Join, "broadcast-small").unwrap());
+        r.register(dup);
+        assert_eq!(r.candidates(OperatorKind::Join).len(), before);
+        // Position (the tie-break order) is kept too.
+        assert_eq!(
+            r.candidates(OperatorKind::Join)[1].name(),
+            "broadcast-small"
+        );
     }
 
     #[test]

@@ -1,0 +1,313 @@
+//! Grouped-aggregation strategies.
+//!
+//! Every strategy pre-aggregates locally (one `(group, partial)` pair per
+//! local group — a duplicate never ships raw) and then differs in where
+//! partials meet:
+//!
+//! - [`HashAggregate::weighted`] — partials ship to a group owner under
+//!   the distribution-weighted hash (the `HashGroupBy` idea): owners sit
+//!   where the data already is;
+//! - [`HashAggregate::uniform`] — owners are uniform-hashed, the
+//!   topology-agnostic baseline;
+//! - [`CombiningTreeAggregate`] — the in-network convergecast of
+//!   `tamp_core::aggregate::protocols`: one *combiner* per subtree, one
+//!   round per tree level, so a thin uplink carries one partial per
+//!   distinct group below it instead of one per `(node, group)` pair.
+//!
+//! Lower bound: the per-edge distributed group-by bound
+//! ([`tamp_core::aggregate::groupby_lower_bound`]) evaluated on a
+//! synthetic placement spreading the estimated per-node group counts,
+//! scaled by the width-2 partial rows the query layer ships.
+
+use std::collections::{BTreeMap, HashMap};
+
+use tamp_core::aggregate::protocols::combining_schedule;
+use tamp_core::aggregate::{encode, groupby_lower_bound};
+use tamp_core::hashing::{mix64, WeightedHash};
+use tamp_core::ratio::LowerBound;
+use tamp_core::sorting::valid_order;
+use tamp_simulator::{Placement, Rel};
+use tamp_topology::NodeId;
+
+use crate::error::QueryError;
+use crate::physical::strategy::{
+    CostEstimate, ExecArgs, Fragments, OpInput, OpTrace, OperatorKind, PhysicalStrategy, PlanArgs,
+    TraceBuilder,
+};
+use crate::plan::AggFunc;
+use crate::row::{flatten, Row};
+
+use super::{empty_frags, frag_weights, unicast_round};
+
+fn agg_input(input: OpInput) -> (Fragments, usize, usize, AggFunc) {
+    let OpInput::Aggregate {
+        input,
+        group,
+        measure,
+        agg,
+    } = input
+    else {
+        unreachable!("registered for Aggregate");
+    };
+    (input, group, measure, agg)
+}
+
+/// Estimated distinct groups at each node: `min(n_v, G)`.
+fn groups_per_node(a: &PlanArgs<'_>) -> Vec<f64> {
+    a.left.counts.iter().map(|&n| n.min(a.groups)).collect()
+}
+
+/// The shared aggregate lower bound: Theorem-style per-edge counting on a
+/// synthetic placement spreading `min(n_v, G)` groups per node (nested
+/// prefixes, so an edge's "groups on both sides" is the min of the two
+/// side maxima — the natural estimate when group placement is unknown).
+/// Scaled ×2 because the query layer ships width-2 `(group, partial)`
+/// rows.
+fn agg_lower_bound(a: &PlanArgs<'_>) -> Option<LowerBound> {
+    if !a.symmetric() {
+        return None;
+    }
+    let tree = a.model.tree();
+    let mut placement = Placement::empty(tree);
+    for &v in tree.compute_nodes() {
+        let g_v = a.left.counts[v.index()].min(a.groups).round() as u64;
+        for g in 0..g_v {
+            placement.push(v, Rel::R, encode(g, 1));
+        }
+    }
+    let lb = groupby_lower_bound(tree, &placement);
+    Some(LowerBound::new(lb.value() * 2.0, lb.witness()))
+}
+
+/// One-round partial shuffle under a weighted or uniform group hash.
+#[derive(Debug)]
+pub(crate) struct HashAggregate {
+    weighted: bool,
+}
+
+impl HashAggregate {
+    /// Distribution-weighted group owners.
+    pub fn weighted() -> Self {
+        HashAggregate { weighted: true }
+    }
+
+    /// Uniform group owners (the MPC baseline).
+    pub fn uniform() -> Self {
+        HashAggregate { weighted: false }
+    }
+}
+
+impl PhysicalStrategy for HashAggregate {
+    fn name(&self) -> &'static str {
+        if self.weighted {
+            "weighted-repartition"
+        } else {
+            "uniform-repartition"
+        }
+    }
+
+    fn operator(&self) -> OperatorKind {
+        OperatorKind::Aggregate
+    }
+
+    fn algorithm(&self) -> Option<&'static str> {
+        self.weighted.then_some("weighted hash group-by")
+    }
+
+    fn estimate(&self, a: &PlanArgs<'_>) -> CostEstimate {
+        // Each node ships at most min(n_v, G) partials of width 2.
+        let partials = groups_per_node(a);
+        let shares = if self.weighted {
+            a.model.proportional_shares(&a.left.counts)
+        } else {
+            a.model.uniform_shares()
+        };
+        CostEstimate {
+            tuple_cost: a.model.repartition_cost(&partials, 2, &shares),
+            rounds: 1,
+        }
+    }
+
+    fn lower_bound(&self, a: &PlanArgs<'_>) -> Option<LowerBound> {
+        agg_lower_bound(a)
+    }
+
+    fn output_shares(&self, a: &PlanArgs<'_>) -> Vec<f64> {
+        if self.weighted {
+            a.model.proportional_shares(&a.left.counts)
+        } else {
+            a.model.uniform_shares()
+        }
+    }
+
+    fn trace(&self, a: &ExecArgs<'_>, input: OpInput) -> Result<OpTrace, QueryError> {
+        let (frags, gi, mi, agg) = agg_input(input);
+        let tree = a.tree;
+        let mut trace = TraceBuilder::default();
+        let router: Box<dyn Fn(u64) -> NodeId> = if self.weighted {
+            let weights = frag_weights(tree, &frags, &empty_frags(tree));
+            match WeightedHash::new(a.seed, &weights) {
+                Some(h) => Box::new(move |g| h.pick(g)),
+                None => {
+                    return Ok(OpTrace {
+                        rounds: trace.into_rounds(),
+                        output: empty_frags(tree),
+                    })
+                }
+            }
+        } else {
+            let vc: Vec<NodeId> = tree.compute_nodes().to_vec();
+            let seed = a.seed;
+            Box::new(move |g| vc[(mix64(g ^ seed) % vc.len() as u64) as usize])
+        };
+        let mut owned: Vec<BTreeMap<u64, u64>> = vec![BTreeMap::new(); tree.num_nodes()];
+        let mut outgoing: Vec<(NodeId, NodeId, Vec<u64>)> = Vec::new();
+        for &v in tree.compute_nodes() {
+            let mut partials: BTreeMap<u64, u64> = BTreeMap::new();
+            for row in &frags[v.index()] {
+                let lifted = agg.lift(row[mi]);
+                partials
+                    .entry(row[gi])
+                    .and_modify(|p| *p = agg.combine(*p, lifted))
+                    .or_insert(lifted);
+            }
+            let mut by_owner: HashMap<NodeId, Vec<Row>> = HashMap::new();
+            for (g, m) in partials {
+                let owner = router(g);
+                if owner == v {
+                    owned[v.index()]
+                        .entry(g)
+                        .and_modify(|p| *p = agg.combine(*p, m))
+                        .or_insert(m);
+                } else {
+                    by_owner.entry(owner).or_default().push(vec![g, m]);
+                }
+            }
+            for (owner, rows) in by_owner {
+                outgoing.push((v, owner, flatten(&rows, 2)));
+                for row in rows {
+                    owned[owner.index()]
+                        .entry(row[0])
+                        .and_modify(|p| *p = agg.combine(*p, row[1]))
+                        .or_insert(row[1]);
+                }
+            }
+        }
+        trace.round(|round| unicast_round(round, outgoing, Rel::S));
+        Ok(OpTrace {
+            rounds: trace.into_rounds(),
+            output: owned
+                .into_iter()
+                .map(|m| m.into_iter().map(|(g, v)| vec![g, v]).collect())
+                .collect(),
+        })
+    }
+}
+
+/// The in-network combining convergecast: partials merge level by level
+/// along the tree toward the first valid-order compute node, one
+/// combiner per subtree.
+#[derive(Debug)]
+pub(crate) struct CombiningTreeAggregate;
+
+impl PhysicalStrategy for CombiningTreeAggregate {
+    fn name(&self) -> &'static str {
+        "combining-tree"
+    }
+
+    fn operator(&self) -> OperatorKind {
+        OperatorKind::Aggregate
+    }
+
+    fn algorithm(&self) -> Option<&'static str> {
+        Some("in-network combining convergecast")
+    }
+
+    fn estimate(&self, a: &PlanArgs<'_>) -> CostEstimate {
+        let tree = a.model.tree();
+        let target = valid_order(tree)[0];
+        let weights: Vec<u64> = a.left.counts.iter().map(|c| c.round() as u64).collect();
+        let schedule = combining_schedule(tree, &weights, target);
+        let mut g: Vec<f64> = groups_per_node(a);
+        let mut cost = 0.0;
+        let rounds = schedule.len();
+        for moves in schedule {
+            let mut load = a.model.zero_load();
+            for &(src, dst) in &moves {
+                a.model.add_path(&mut load, src, dst, g[src.index()] * 2.0);
+            }
+            cost += a.model.round_cost(&load);
+            for (src, dst) in moves {
+                let moved = std::mem::take(&mut g[src.index()]);
+                g[dst.index()] = (g[dst.index()] + moved).min(a.groups);
+            }
+        }
+        CostEstimate {
+            tuple_cost: cost,
+            rounds,
+        }
+    }
+
+    fn lower_bound(&self, a: &PlanArgs<'_>) -> Option<LowerBound> {
+        agg_lower_bound(a)
+    }
+
+    fn output_shares(&self, a: &PlanArgs<'_>) -> Vec<f64> {
+        let target = valid_order(a.model.tree())[0];
+        let mut shares = a.model.zero_counts();
+        shares[target.index()] = 1.0;
+        shares
+    }
+
+    fn trace(&self, a: &ExecArgs<'_>, input: OpInput) -> Result<OpTrace, QueryError> {
+        let (frags, gi, mi, agg) = agg_input(input);
+        let tree = a.tree;
+        let target = valid_order(tree)[0];
+        let weights: Vec<u64> = frags.iter().map(|f| f.len() as u64).collect();
+        let schedule = combining_schedule(tree, &weights, target);
+
+        // Local pre-aggregation seeds each node's running partials.
+        let mut acc: Vec<BTreeMap<u64, u64>> = vec![BTreeMap::new(); tree.num_nodes()];
+        for &v in tree.compute_nodes() {
+            let node_acc = &mut acc[v.index()];
+            for row in &frags[v.index()] {
+                let lifted = agg.lift(row[mi]);
+                node_acc
+                    .entry(row[gi])
+                    .and_modify(|p| *p = agg.combine(*p, lifted))
+                    .or_insert(lifted);
+            }
+        }
+
+        let mut trace = TraceBuilder::default();
+        for moves in schedule {
+            trace.round(|round| {
+                for &(src, dst) in &moves {
+                    let rows: Vec<Row> =
+                        acc[src.index()].iter().map(|(&g, &m)| vec![g, m]).collect();
+                    round.send(src, &[dst], Rel::S, flatten(&rows, 2));
+                }
+            });
+            for (src, dst) in moves {
+                let moved = std::mem::take(&mut acc[src.index()]);
+                let dst_acc = &mut acc[dst.index()];
+                for (g, m) in moved {
+                    dst_acc
+                        .entry(g)
+                        .and_modify(|p| *p = agg.combine(*p, m))
+                        .or_insert(m);
+                }
+            }
+        }
+
+        let mut out = empty_frags(tree);
+        out[target.index()] = std::mem::take(&mut acc[target.index()])
+            .into_iter()
+            .map(|(g, m)| vec![g, m])
+            .collect();
+        Ok(OpTrace {
+            rounds: trace.into_rounds(),
+            output: out,
+        })
+    }
+}

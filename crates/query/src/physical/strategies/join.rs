@@ -1,0 +1,427 @@
+//! Equi-join strategies: the paper's weighted-hash routings and their
+//! topology-agnostic baseline.
+//!
+//! All four execute as *exchange + local probe*; they differ only in how
+//! the exchange routes rows:
+//!
+//! - [`WeightedRepartitionJoin`] — both sides repartition under one hash
+//!   weighted by each node's current data (the Algorithm 2 idea at the
+//!   row level): co-located skew stays put;
+//! - [`TreePartitionJoin`] — the §3 `TreeIntersect` routing: a balanced
+//!   partition (Definition 1 / Algorithm 3) splits the compute nodes into
+//!   blocks each holding at least the small side's weight; small rows
+//!   multicast to every block's weighted-hash pick for their key while
+//!   big rows hash only within their own block, so big-side tuples never
+//!   cross β-edges;
+//! - [`BroadcastSmallJoin`] — replicate the small side to every node
+//!   holding big rows (the `V_β` idea of Algorithm 1);
+//! - [`UniformRepartitionJoin`] — the classic MPC uniform hash, blind to
+//!   both topology and distribution.
+//!
+//! Every strategy's lower bound is Theorem 1 evaluated on the estimated
+//! placement (`tamp_core::intersection::intersection_lower_bound`), so
+//! `EXPLAIN` shows each candidate's Table-1 ratio.
+
+use std::collections::HashMap;
+
+use tamp_core::hashing::{mix64, WeightedHash};
+use tamp_core::intersection::intersection_lower_bound;
+use tamp_core::ratio::LowerBound;
+use tamp_simulator::Rel;
+use tamp_topology::NodeId;
+
+use crate::error::QueryError;
+use crate::physical::strategy::{
+    CostEstimate, ExecArgs, Fragments, OpInput, OpTrace, OperatorKind, PhysicalStrategy, PlanArgs,
+    TraceBuilder,
+};
+use crate::row::{flatten, Row};
+
+use super::{broadcast_small, empty_frags, frag_weights, holders_of, probe_join, shuffle_by_key};
+
+fn join_input(input: OpInput) -> (Fragments, Fragments, usize, usize, usize, usize) {
+    let OpInput::Join {
+        left,
+        right,
+        left_key,
+        right_key,
+        left_width,
+        right_width,
+    } = input
+    else {
+        unreachable!("registered for Join");
+    };
+    (left, right, left_key, right_key, left_width, right_width)
+}
+
+fn join_lower_bound(a: &PlanArgs<'_>) -> Option<LowerBound> {
+    if !a.symmetric() {
+        return None;
+    }
+    Some(intersection_lower_bound(a.model.tree(), &a.value_stats()))
+}
+
+/// Repartition both sides under one distribution-weighted hash.
+#[derive(Debug)]
+pub(crate) struct WeightedRepartitionJoin;
+
+impl PhysicalStrategy for WeightedRepartitionJoin {
+    fn name(&self) -> &'static str {
+        "weighted-repartition"
+    }
+
+    fn operator(&self) -> OperatorKind {
+        OperatorKind::Join
+    }
+
+    fn algorithm(&self) -> Option<&'static str> {
+        Some("Alg 2 weighted hash")
+    }
+
+    fn estimate(&self, a: &PlanArgs<'_>) -> CostEstimate {
+        let right = a.right.as_ref().expect("join has two inputs");
+        let shares = a.model.proportional_shares(&a.combined_counts());
+        CostEstimate {
+            tuple_cost: a
+                .model
+                .repartition_cost(&a.left.counts, a.left.width, &shares)
+                + a.model
+                    .repartition_cost(&right.counts, right.width, &shares),
+            rounds: 2,
+        }
+    }
+
+    fn lower_bound(&self, a: &PlanArgs<'_>) -> Option<LowerBound> {
+        join_lower_bound(a)
+    }
+
+    fn trace(&self, a: &ExecArgs<'_>, input: OpInput) -> Result<OpTrace, QueryError> {
+        let (lfrags, rfrags, li, ri, lw, rw) = join_input(input);
+        let tree = a.tree;
+        let mut trace = TraceBuilder::default();
+        let weights = frag_weights(tree, &lfrags, &rfrags);
+        let Some(hash) = WeightedHash::new(a.seed, &weights) else {
+            // No rows anywhere: the join output is empty.
+            return Ok(OpTrace {
+                rounds: trace.into_rounds(),
+                output: empty_frags(tree),
+            });
+        };
+        let router = |key: u64| hash.pick(key);
+        let l_new = shuffle_by_key(&mut trace, tree, &lfrags, li, lw, Rel::R, &router);
+        let r_new = shuffle_by_key(&mut trace, tree, &rfrags, ri, rw, Rel::S, &router);
+        Ok(OpTrace {
+            rounds: trace.into_rounds(),
+            output: probe_join(tree, &l_new, &r_new, li, ri),
+        })
+    }
+}
+
+/// Repartition both sides under the uniform MPC hash.
+#[derive(Debug)]
+pub(crate) struct UniformRepartitionJoin;
+
+impl PhysicalStrategy for UniformRepartitionJoin {
+    fn name(&self) -> &'static str {
+        "uniform-repartition"
+    }
+
+    fn operator(&self) -> OperatorKind {
+        OperatorKind::Join
+    }
+
+    fn estimate(&self, a: &PlanArgs<'_>) -> CostEstimate {
+        let right = a.right.as_ref().expect("join has two inputs");
+        let shares = a.model.uniform_shares();
+        CostEstimate {
+            tuple_cost: a
+                .model
+                .repartition_cost(&a.left.counts, a.left.width, &shares)
+                + a.model
+                    .repartition_cost(&right.counts, right.width, &shares),
+            rounds: 2,
+        }
+    }
+
+    fn lower_bound(&self, a: &PlanArgs<'_>) -> Option<LowerBound> {
+        join_lower_bound(a)
+    }
+
+    fn output_shares(&self, a: &PlanArgs<'_>) -> Vec<f64> {
+        a.model.uniform_shares()
+    }
+
+    fn trace(&self, a: &ExecArgs<'_>, input: OpInput) -> Result<OpTrace, QueryError> {
+        let (lfrags, rfrags, li, ri, lw, rw) = join_input(input);
+        let tree = a.tree;
+        let mut trace = TraceBuilder::default();
+        let vc: Vec<NodeId> = tree.compute_nodes().to_vec();
+        let seed = a.seed;
+        let router = move |key: u64| vc[(mix64(key ^ seed) % vc.len() as u64) as usize];
+        let l_new = shuffle_by_key(&mut trace, tree, &lfrags, li, lw, Rel::R, &router);
+        let r_new = shuffle_by_key(&mut trace, tree, &rfrags, ri, rw, Rel::S, &router);
+        Ok(OpTrace {
+            rounds: trace.into_rounds(),
+            output: probe_join(tree, &l_new, &r_new, li, ri),
+        })
+    }
+}
+
+/// Replicate the smaller side (by rows) to every node holding rows of the
+/// larger side.
+#[derive(Debug)]
+pub(crate) struct BroadcastSmallJoin;
+
+impl PhysicalStrategy for BroadcastSmallJoin {
+    fn name(&self) -> &'static str {
+        "broadcast-small"
+    }
+
+    fn operator(&self) -> OperatorKind {
+        OperatorKind::Join
+    }
+
+    fn algorithm(&self) -> Option<&'static str> {
+        Some("Alg 1 V_β broadcast")
+    }
+
+    fn estimate(&self, a: &PlanArgs<'_>) -> CostEstimate {
+        let right = a.right.as_ref().expect("join has two inputs");
+        let (small, big) = if a.left.total() <= right.total() {
+            (&a.left, right)
+        } else {
+            (right, &a.left)
+        };
+        let holders: Vec<NodeId> = a
+            .model
+            .tree()
+            .compute_nodes()
+            .iter()
+            .copied()
+            .filter(|&v| big.counts[v.index()] > 0.0)
+            .collect();
+        CostEstimate {
+            tuple_cost: a.model.multicast_cost(&small.counts, small.width, &holders),
+            rounds: 1,
+        }
+    }
+
+    fn lower_bound(&self, a: &PlanArgs<'_>) -> Option<LowerBound> {
+        join_lower_bound(a)
+    }
+
+    fn output_shares(&self, a: &PlanArgs<'_>) -> Vec<f64> {
+        let right = a.right.as_ref().expect("join has two inputs");
+        let big = if a.left.total() <= right.total() {
+            &right.counts
+        } else {
+            &a.left.counts
+        };
+        a.model.proportional_shares(big)
+    }
+
+    fn trace(&self, a: &ExecArgs<'_>, input: OpInput) -> Result<OpTrace, QueryError> {
+        let (lfrags, rfrags, li, ri, lw, rw) = join_input(input);
+        let tree = a.tree;
+        let mut trace = TraceBuilder::default();
+        let l_total: usize = lfrags.iter().map(Vec::len).sum();
+        let r_total: usize = rfrags.iter().map(Vec::len).sum();
+        let left_is_small = l_total <= r_total;
+        let (small_frags, small_w, big_frags) = if left_is_small {
+            (&lfrags, lw, &rfrags)
+        } else {
+            (&rfrags, rw, &lfrags)
+        };
+        // Replicate the small side to every node holding big rows.
+        let holders = holders_of(tree, big_frags);
+        let small_new = broadcast_small(&mut trace, tree, small_frags, small_w, &holders);
+        let (l_new, r_new) = if left_is_small {
+            (small_new, rfrags)
+        } else {
+            (lfrags, small_new)
+        };
+        Ok(OpTrace {
+            rounds: trace.into_rounds(),
+            output: probe_join(tree, &l_new, &r_new, li, ri),
+        })
+    }
+}
+
+/// The §3 `TreeIntersect` routing at the row level: small rows multicast
+/// to every block's weighted-hash pick for their key; big rows hash only
+/// within their own block. Each (small, big) match meets exactly once —
+/// in the big row's block — so a plain local probe emits the join.
+#[derive(Debug)]
+pub(crate) struct TreePartitionJoin;
+
+impl TreePartitionJoin {
+    /// Per-node value weights (`N_v`), the balanced-partition input.
+    fn weights(l: &Fragments, r: &Fragments) -> Vec<u64> {
+        l.iter()
+            .zip(r)
+            .map(|(a, b)| (a.len() + b.len()) as u64)
+            .collect()
+    }
+}
+
+impl PhysicalStrategy for TreePartitionJoin {
+    fn name(&self) -> &'static str {
+        "tree-partition"
+    }
+
+    fn operator(&self) -> OperatorKind {
+        OperatorKind::Join
+    }
+
+    fn algorithm(&self) -> Option<&'static str> {
+        Some("§3 TreeIntersect routing")
+    }
+
+    fn estimate(&self, a: &PlanArgs<'_>) -> CostEstimate {
+        let right = a.right.as_ref().expect("join has two inputs");
+        let (small, big) = if a.left.total() <= right.total() {
+            (&a.left, right)
+        } else {
+            (right, &a.left)
+        };
+        let small_total = small.total().round() as u64;
+        if small_total == 0 {
+            return CostEstimate {
+                tuple_cost: 0.0,
+                rounds: 1,
+            };
+        }
+        let n: Vec<u64> = a
+            .combined_counts()
+            .iter()
+            .map(|c| c.round() as u64)
+            .collect();
+        let (partition, hashes) = tamp_core::intersection::partition::partition_hashes(
+            a.model.tree(),
+            &n,
+            small_total,
+            a.seed,
+        );
+        let mut load = a.model.zero_load();
+        for (block, hash) in partition.blocks.iter().zip(&hashes) {
+            if hash.is_none() {
+                continue;
+            }
+            let block_n: u64 = block.iter().map(|&v| n[v.index()]).sum();
+            if block_n == 0 {
+                continue;
+            }
+            for &u in block {
+                let share = n[u.index()] as f64 / block_n as f64;
+                if share <= 0.0 {
+                    continue;
+                }
+                // Small rows: every source ships its expected share into
+                // this block (one of k multicast legs).
+                for &v in a.model.tree().compute_nodes() {
+                    let amount = small.counts[v.index()] * small.width as f64 * share;
+                    a.model.add_path(&mut load, v, u, amount);
+                }
+                // Big rows: only sources inside the block reshuffle here.
+                for &v in block {
+                    let amount = big.counts[v.index()] * big.width as f64 * share;
+                    a.model.add_path(&mut load, v, u, amount);
+                }
+            }
+        }
+        CostEstimate {
+            tuple_cost: a.model.round_cost(&load),
+            rounds: 1,
+        }
+    }
+
+    fn lower_bound(&self, a: &PlanArgs<'_>) -> Option<LowerBound> {
+        join_lower_bound(a)
+    }
+
+    fn trace(&self, a: &ExecArgs<'_>, input: OpInput) -> Result<OpTrace, QueryError> {
+        let (lfrags, rfrags, li, ri, lw, rw) = join_input(input);
+        let tree = a.tree;
+        let mut trace = TraceBuilder::default();
+        let l_total: usize = lfrags.iter().map(Vec::len).sum();
+        let r_total: usize = rfrags.iter().map(Vec::len).sum();
+        let left_is_small = l_total <= r_total;
+        let small_total = l_total.min(r_total) as u64;
+        if small_total == 0 {
+            return Ok(OpTrace {
+                rounds: trace.into_rounds(),
+                output: empty_frags(tree),
+            });
+        }
+        let n = Self::weights(&lfrags, &rfrags);
+        let (partition, hashes) =
+            tamp_core::intersection::partition::partition_hashes(tree, &n, small_total, a.seed);
+        let block_of = partition.block_of(tree.num_nodes());
+
+        let (small_frags, small_key, small_w, small_rel) = if left_is_small {
+            (&lfrags, li, lw, Rel::R)
+        } else {
+            (&rfrags, ri, rw, Rel::S)
+        };
+        let (big_frags, big_key, big_w, big_rel) = if left_is_small {
+            (&rfrags, ri, rw, Rel::S)
+        } else {
+            (&lfrags, li, lw, Rel::R)
+        };
+
+        let mut small_new = empty_frags(tree);
+        let mut big_new = empty_frags(tree);
+        trace.round(|round| {
+            for &v in tree.compute_nodes() {
+                // Small rows: multicast to {h_i(key)} over all blocks,
+                // one send per distinct destination vector.
+                let mut by_dsts: HashMap<Vec<NodeId>, Vec<Row>> = HashMap::new();
+                for row in &small_frags[v.index()] {
+                    let key = row[small_key];
+                    let mut dsts: Vec<NodeId> =
+                        hashes.iter().flatten().map(|h| h.pick(key)).collect();
+                    dsts.sort_unstable();
+                    dsts.dedup();
+                    by_dsts.entry(dsts).or_default().push(row.clone());
+                }
+                for (dsts, rows) in by_dsts {
+                    for &d in &dsts {
+                        small_new[d.index()].extend(rows.iter().cloned());
+                    }
+                    if dsts != [v] {
+                        round.send(v, &dsts, small_rel, flatten(&rows, small_w));
+                    }
+                }
+                // Big rows: hash within the owner's block only.
+                let bi = block_of[v.index()];
+                if bi == usize::MAX {
+                    continue;
+                }
+                let Some(h) = &hashes[bi] else { continue };
+                let mut by_dst: HashMap<NodeId, Vec<Row>> = HashMap::new();
+                for row in &big_frags[v.index()] {
+                    let dst = h.pick(row[big_key]);
+                    if dst == v {
+                        big_new[v.index()].push(row.clone());
+                    } else {
+                        by_dst.entry(dst).or_default().push(row.clone());
+                    }
+                }
+                for (dst, rows) in by_dst {
+                    big_new[dst.index()].extend(rows.iter().cloned());
+                    round.send(v, &[dst], big_rel, flatten(&rows, big_w));
+                }
+            }
+        });
+
+        let (l_new, r_new) = if left_is_small {
+            (&small_new, &big_new)
+        } else {
+            (&big_new, &small_new)
+        };
+        Ok(OpTrace {
+            rounds: trace.into_rounds(),
+            output: probe_join(tree, l_new, r_new, li, ri),
+        })
+    }
+}

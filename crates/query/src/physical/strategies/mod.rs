@@ -1,0 +1,358 @@
+//! The built-in physical strategies.
+//!
+//! For each pluggable operator the registry's defaults pair the paper's
+//! topology-/distribution-aware algorithm with its topology-agnostic
+//! baseline, so the planner's choice reproduces the paper's "who wins
+//! where" question per query:
+//!
+//! | Operator | Paper algorithm | Baseline(s) |
+//! |----------|-----------------|-------------|
+//! | join | `weighted-repartition` (Alg 2 hash), `tree-partition` (§3 `TreeIntersect` routing), `broadcast-small` (`V_β`, Alg 1) | `uniform-repartition` |
+//! | cross-join | `whc-grid` (§4 wHC / A.1 rectangles) | `broadcast-small`, `uniform-hypercube` |
+//! | sort | `weighted-range-shuffle` (§5.2 wTS splitters) | `uniform-range-shuffle` (classic TeraSort) |
+//! | aggregate | `combining-tree` (in-network convergecast) | `weighted-repartition`, `uniform-repartition` |
+//! | distinct | — | `weighted-repartition` (whole-row hash) |
+//! | limit | — | `gather` |
+//!
+//! All strategies are pure plan/trace pairs: they never touch an engine,
+//! so every one of them runs on the simulator and the pooled cluster with
+//! bit-identical ledgers through the schedule-replay fabric.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use tamp_core::hashing::{mix64, WeightedHash};
+use tamp_core::sorting::valid_order;
+use tamp_simulator::Rel;
+use tamp_topology::{NodeId, Tree};
+
+use crate::error::QueryError;
+use crate::physical::strategy::{
+    CostEstimate, ExecArgs, Fragments, OpInput, OpTrace, OperatorKind, PhysicalStrategy, PlanArgs,
+    RoundSends, TraceBuilder,
+};
+use crate::row::{canonicalize, flatten, Row};
+
+pub(crate) mod aggregate;
+pub(crate) mod cross;
+pub(crate) mod join;
+pub(crate) mod sort;
+
+/// Every built-in strategy, in registration (tie-break) order:
+/// distribution-aware first.
+pub(crate) fn defaults() -> Vec<Arc<dyn PhysicalStrategy>> {
+    vec![
+        // Joins. Tie-break order: the weighted repartition, then the
+        // broadcast (on uniform stars the balanced partition degenerates
+        // to singleton blocks and `tree-partition` ties with it — prefer
+        // the simpler plan), then the §3 routing, then the baseline.
+        Arc::new(join::WeightedRepartitionJoin),
+        Arc::new(join::BroadcastSmallJoin),
+        Arc::new(join::TreePartitionJoin),
+        Arc::new(join::UniformRepartitionJoin),
+        // Cross joins.
+        Arc::new(cross::WhcGridCross),
+        Arc::new(cross::BroadcastSmallCross),
+        Arc::new(cross::UniformHyperCubeCross),
+        // Sorts.
+        Arc::new(sort::RangeShuffleSort::weighted()),
+        Arc::new(sort::RangeShuffleSort::uniform()),
+        // Aggregates.
+        Arc::new(aggregate::HashAggregate::weighted()),
+        Arc::new(aggregate::CombiningTreeAggregate),
+        Arc::new(aggregate::HashAggregate::uniform()),
+        // Fixed-exchange relational operators.
+        Arc::new(WeightedDistinct),
+        Arc::new(GatherLimit),
+    ]
+}
+
+/// Empty fragments for `tree`.
+pub(crate) fn empty_frags(tree: &Tree) -> Fragments {
+    vec![Vec::new(); tree.num_nodes()]
+}
+
+/// Current per-node row counts, as weights for distribution-aware
+/// hashing.
+pub(crate) fn frag_weights(
+    tree: &Tree,
+    frags: &[Vec<Row>],
+    extra: &[Vec<Row>],
+) -> Vec<(NodeId, u64)> {
+    tree.compute_nodes()
+        .iter()
+        .map(|&v| (v, (frags[v.index()].len() + extra[v.index()].len()) as u64))
+        .collect()
+}
+
+/// The nodes holding rows of `frags` — broadcast destinations.
+pub(crate) fn holders_of(tree: &Tree, frags: &Fragments) -> Vec<NodeId> {
+    tree.compute_nodes()
+        .iter()
+        .copied()
+        .filter(|&v| !frags[v.index()].is_empty())
+        .collect()
+}
+
+/// One-round replication of `small_frags` (rows of `small_w` values) to
+/// every holder: records the multicast round and returns the replicated
+/// fragments (every holder ends up with the full small side).
+pub(crate) fn broadcast_small(
+    trace: &mut TraceBuilder,
+    tree: &Tree,
+    small_frags: &Fragments,
+    small_w: usize,
+    holders: &[NodeId],
+) -> Fragments {
+    trace.round(|round| {
+        for &v in tree.compute_nodes() {
+            let local = &small_frags[v.index()];
+            if local.is_empty() || holders.is_empty() {
+                continue;
+            }
+            round.send(v, holders, Rel::R, flatten(local, small_w));
+        }
+    });
+    let mut small_new = empty_frags(tree);
+    for &h in holders {
+        for frag in small_frags.iter() {
+            small_new[h.index()].extend(frag.iter().cloned());
+        }
+    }
+    small_new
+}
+
+/// One-round repartition of row fragments by a key router.
+pub(crate) fn shuffle_by_key(
+    trace: &mut TraceBuilder,
+    tree: &Tree,
+    frags: &Fragments,
+    key_idx: usize,
+    width: usize,
+    rel: Rel,
+    router: &dyn Fn(u64) -> NodeId,
+) -> Fragments {
+    let mut new_frags = empty_frags(tree);
+    let mut outgoing: Vec<(NodeId, NodeId, Vec<u64>)> = Vec::new();
+    for &v in tree.compute_nodes() {
+        let mut by_dst: HashMap<NodeId, Vec<Row>> = HashMap::new();
+        for row in &frags[v.index()] {
+            let dst = router(row[key_idx]);
+            if dst == v {
+                new_frags[v.index()].push(row.clone());
+            } else {
+                by_dst.entry(dst).or_default().push(row.clone());
+            }
+        }
+        for (dst, rows) in by_dst {
+            outgoing.push((v, dst, flatten(&rows, width)));
+            new_frags[dst.index()].extend(rows);
+        }
+    }
+    trace.round(|round| {
+        for (src, dst, buf) in outgoing {
+            round.send(src, &[dst], rel, buf);
+        }
+    });
+    new_frags
+}
+
+/// Local probe join of co-located fragments: `left ⋈ right` on
+/// `left[li] = right[ri]`, output rows `left ++ right`.
+pub(crate) fn probe_join(
+    tree: &Tree,
+    l_new: &Fragments,
+    r_new: &Fragments,
+    li: usize,
+    ri: usize,
+) -> Fragments {
+    let mut out = empty_frags(tree);
+    for &v in tree.compute_nodes() {
+        let mut by_key: HashMap<u64, Vec<&Row>> = HashMap::new();
+        for row in &r_new[v.index()] {
+            by_key.entry(row[ri]).or_default().push(row);
+        }
+        for lrow in &l_new[v.index()] {
+            if let Some(matches) = by_key.get(&lrow[li]) {
+                for rrow in matches {
+                    let mut joined = lrow.clone();
+                    joined.extend_from_slice(rrow);
+                    out[v.index()].push(joined);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Send each `(src, dst, rows)` batch as one unicast in a single round.
+pub(crate) fn unicast_round(
+    round: &mut RoundSends,
+    outgoing: Vec<(NodeId, NodeId, Vec<u64>)>,
+    rel: Rel,
+) {
+    for (src, dst, buf) in outgoing {
+        round.send(src, &[dst], rel, buf);
+    }
+}
+
+/// Duplicate elimination: dedup locally, shuffle under a whole-row hash
+/// weighted by current loads, dedup again at the destination — a
+/// duplicate never travels twice.
+#[derive(Debug)]
+pub(crate) struct WeightedDistinct;
+
+impl PhysicalStrategy for WeightedDistinct {
+    fn name(&self) -> &'static str {
+        "weighted-repartition"
+    }
+
+    fn operator(&self) -> OperatorKind {
+        OperatorKind::Distinct
+    }
+
+    fn estimate(&self, a: &PlanArgs<'_>) -> CostEstimate {
+        // Assume rows are mostly distinct already (upper bound on
+        // traffic): everything shuffles under the weighted hash.
+        let shares = a.model.proportional_shares(&a.left.counts);
+        CostEstimate {
+            tuple_cost: a
+                .model
+                .repartition_cost(&a.left.counts, a.left.width, &shares),
+            rounds: 1,
+        }
+    }
+
+    fn trace(&self, a: &ExecArgs<'_>, input: OpInput) -> Result<OpTrace, QueryError> {
+        let OpInput::Distinct { input, width } = input else {
+            unreachable!("registered for Distinct");
+        };
+        let tree = a.tree;
+        let weights = frag_weights(tree, &input, &empty_frags(tree));
+        let mut trace = TraceBuilder::default();
+        let Some(hash) = WeightedHash::new(a.seed ^ 0xD157, &weights) else {
+            return Ok(OpTrace {
+                rounds: trace.into_rounds(),
+                output: empty_frags(tree),
+            });
+        };
+        let row_key = |row: &Row| {
+            row.iter()
+                .fold(0xCBF29CE484222325u64, |h, &c| mix64(h ^ mix64(c)))
+        };
+        let mut new_frags = empty_frags(tree);
+        let mut outgoing: Vec<(NodeId, NodeId, Vec<u64>)> = Vec::new();
+        for &v in tree.compute_nodes() {
+            let mut by_dst: HashMap<NodeId, Vec<Row>> = HashMap::new();
+            // Dedup locally first: duplicates never need to travel twice.
+            let mut local = input[v.index()].clone();
+            canonicalize(&mut local);
+            local.dedup();
+            for row in local {
+                let dst = hash.pick(row_key(&row));
+                if dst == v {
+                    new_frags[v.index()].push(row);
+                } else {
+                    by_dst.entry(dst).or_default().push(row);
+                }
+            }
+            for (dst, rows) in by_dst {
+                outgoing.push((v, dst, flatten(&rows, width)));
+                new_frags[dst.index()].extend(rows);
+            }
+        }
+        trace.round(|round| unicast_round(round, outgoing, Rel::R));
+        for frag in &mut new_frags {
+            canonicalize(frag);
+            frag.dedup();
+        }
+        Ok(OpTrace {
+            rounds: trace.into_rounds(),
+            output: new_frags,
+        })
+    }
+}
+
+/// Limit: a bounded gather to the first compute node — each node
+/// contributes at most `n` rows, so the gather ships `O(n·|V_C|)` rows
+/// regardless of input size.
+#[derive(Debug)]
+pub(crate) struct GatherLimit;
+
+impl PhysicalStrategy for GatherLimit {
+    fn name(&self) -> &'static str {
+        "gather"
+    }
+
+    fn operator(&self) -> OperatorKind {
+        OperatorKind::Limit
+    }
+
+    fn estimate(&self, a: &PlanArgs<'_>) -> CostEstimate {
+        let target = valid_order(a.model.tree())[0];
+        let contributions: Vec<f64> = a
+            .left
+            .counts
+            .iter()
+            .map(|&c| c.min(a.limit as f64))
+            .collect();
+        CostEstimate {
+            tuple_cost: a.model.gather_cost(&contributions, a.left.width, target),
+            rounds: 1,
+        }
+    }
+
+    fn output_shares(&self, a: &PlanArgs<'_>) -> Vec<f64> {
+        let target = valid_order(a.model.tree())[0];
+        let mut shares = a.model.zero_counts();
+        shares[target.index()] = 1.0;
+        shares
+    }
+
+    fn trace(&self, a: &ExecArgs<'_>, input: OpInput) -> Result<OpTrace, QueryError> {
+        let OpInput::Limit {
+            input,
+            n,
+            width,
+            order_preserving,
+        } = input
+        else {
+            unreachable!("registered for Limit");
+        };
+        let tree = a.tree;
+        let order = valid_order(tree);
+        let target = order[0];
+        // Each node contributes at most n rows (its first n in local
+        // order).
+        let mut contributions: Vec<(NodeId, Vec<Row>)> = Vec::new();
+        for &v in &order {
+            let mut local = input[v.index()].clone();
+            if !order_preserving {
+                canonicalize(&mut local);
+            }
+            local.truncate(n);
+            contributions.push((v, local));
+        }
+        let mut trace = TraceBuilder::default();
+        trace.round(|round| {
+            for (v, rows) in &contributions {
+                if *v != target && !rows.is_empty() {
+                    round.send(*v, &[target], Rel::R, flatten(rows, width));
+                }
+            }
+        });
+        // Concatenate in node order (global order for order-preserving
+        // inputs), else canonicalize, then cut.
+        let mut all: Vec<Row> = contributions.into_iter().flat_map(|(_, r)| r).collect();
+        if !order_preserving {
+            canonicalize(&mut all);
+        }
+        all.truncate(n);
+        let mut out = empty_frags(tree);
+        out[target.index()] = all;
+        Ok(OpTrace {
+            rounds: trace.into_rounds(),
+            output: out,
+        })
+    }
+}

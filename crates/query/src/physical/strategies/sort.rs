@@ -1,0 +1,199 @@
+//! Global-sort strategies: the §5.2 weighted TeraSort range shuffle and
+//! the classic uniform-splitter TeraSort baseline.
+//!
+//! Both run the same three rounds — sample keys to a coordinator,
+//! broadcast `k − 1` splitters, range-shuffle rows into the tree's valid
+//! left-to-right compute order — and differ only in the splitter policy
+//! ([`tamp_core::sorting::splitters`]): proportional splitters keep each
+//! node's share close to its current load (data mostly stays put), while
+//! uniform splitters force every node to `≈ N/k` rows regardless of where
+//! the data started — exactly the topology-blindness the paper's §5
+//! fixes. Lower bound: Theorem 6 on the estimated placement.
+
+use tamp_core::ratio::LowerBound;
+use tamp_core::sorting::{
+    coin, proportional_splitters, sample_rate, sorting_lower_bound, uniform_splitters, valid_order,
+};
+use tamp_simulator::Rel;
+use tamp_topology::NodeId;
+
+use crate::error::QueryError;
+use crate::physical::strategy::{
+    CostEstimate, ExecArgs, OpInput, OpTrace, OperatorKind, PhysicalStrategy, PlanArgs,
+    TraceBuilder,
+};
+use crate::row::Row;
+
+use super::empty_frags;
+
+/// The sample → splitters → shuffle sort, parameterized by splitter
+/// policy.
+#[derive(Debug)]
+pub(crate) struct RangeShuffleSort {
+    weighted: bool,
+}
+
+impl RangeShuffleSort {
+    /// Proportional (wTS, §5.2) splitters.
+    pub fn weighted() -> Self {
+        RangeShuffleSort { weighted: true }
+    }
+
+    /// Uniform (classic TeraSort) splitters.
+    pub fn uniform() -> Self {
+        RangeShuffleSort { weighted: false }
+    }
+}
+
+impl PhysicalStrategy for RangeShuffleSort {
+    fn name(&self) -> &'static str {
+        if self.weighted {
+            "weighted-range-shuffle"
+        } else {
+            "uniform-range-shuffle"
+        }
+    }
+
+    fn operator(&self) -> OperatorKind {
+        OperatorKind::Sort
+    }
+
+    fn algorithm(&self) -> Option<&'static str> {
+        self.weighted.then_some("§5.2 weighted TeraSort")
+    }
+
+    fn estimate(&self, a: &PlanArgs<'_>) -> CostEstimate {
+        let model = a.model;
+        let counts = &a.left.counts;
+        let width = a.left.width;
+        let total: f64 = counts.iter().sum();
+        let order = valid_order(model.tree());
+        let coordinator = order[0];
+        // Sample round: ~ρ·n_v keys (width 1) to the coordinator.
+        let rho = sample_rate(order.len(), total.round() as u64);
+        let samples: Vec<f64> = counts.iter().map(|n| n * rho).collect();
+        let sample_cost = model.gather_cost(&samples, 1, coordinator);
+        // Splitter broadcast: k−1 values from the coordinator.
+        let mut splitters = model.zero_counts();
+        splitters[coordinator.index()] = order.len().saturating_sub(1) as f64;
+        let split_cost = model.multicast_cost(&splitters, 1, &order);
+        // Shuffle: proportional splitters mean each node keeps roughly
+        // its current share; uniform splitters level every node to N/k.
+        let shares = if self.weighted {
+            model.proportional_shares(counts)
+        } else {
+            model.uniform_shares()
+        };
+        let shuffle_cost = model.repartition_cost(counts, width, &shares);
+        CostEstimate {
+            tuple_cost: sample_cost + split_cost + shuffle_cost,
+            rounds: 3,
+        }
+    }
+
+    fn lower_bound(&self, a: &PlanArgs<'_>) -> Option<LowerBound> {
+        if !a.symmetric() {
+            return None;
+        }
+        Some(sorting_lower_bound(a.model.tree(), &a.value_stats()))
+    }
+
+    fn output_shares(&self, a: &PlanArgs<'_>) -> Vec<f64> {
+        if self.weighted {
+            a.model.proportional_shares(&a.left.counts)
+        } else {
+            a.model.uniform_shares()
+        }
+    }
+
+    fn trace(&self, a: &ExecArgs<'_>, input: OpInput) -> Result<OpTrace, QueryError> {
+        let OpInput::Sort {
+            input,
+            key: ki,
+            width,
+        } = input
+        else {
+            unreachable!("registered for Sort");
+        };
+        let tree = a.tree;
+        let frags = input;
+        let order = valid_order(tree);
+        let total: usize = frags.iter().map(Vec::len).sum();
+        if total == 0 {
+            return Ok(OpTrace {
+                rounds: Vec::new(),
+                output: frags,
+            });
+        }
+        let mut trace = TraceBuilder::default();
+        let coordinator = order[0];
+        let rho = sample_rate(order.len(), total as u64);
+
+        // Round 1: sample keys to the coordinator (width-1 messages).
+        let mut all_samples: Vec<u64> = Vec::new();
+        let mut sampled: Vec<(NodeId, Vec<u64>)> = Vec::new();
+        for &v in &order {
+            let samples: Vec<u64> = frags[v.index()]
+                .iter()
+                .map(|r| r[ki])
+                .filter(|&x| coin(a.seed, x, rho))
+                .collect();
+            all_samples.extend_from_slice(&samples);
+            sampled.push((v, samples));
+        }
+        trace.round(|round| {
+            for (v, samples) in sampled {
+                round.send(v, &[coordinator], Rel::S, samples);
+            }
+        });
+
+        // Coordinator picks splitters under the strategy's policy.
+        all_samples.sort_unstable();
+        let splitters = if self.weighted {
+            let weights: Vec<u64> = order
+                .iter()
+                .map(|&v| frags[v.index()].len() as u64)
+                .collect();
+            proportional_splitters(&all_samples, &weights)
+        } else {
+            uniform_splitters(&all_samples, order.len())
+        };
+
+        // Round 2: broadcast splitters.
+        trace.round(|round| round.send(coordinator, &order, Rel::S, splitters.clone()));
+
+        // Round 3: range shuffle by splitter buckets.
+        let mut new_frags = empty_frags(tree);
+        let mut outgoing: Vec<(NodeId, NodeId, Vec<u64>)> = Vec::new();
+        for &v in &order {
+            let mut buckets: Vec<Vec<Row>> = vec![Vec::new(); order.len()];
+            for row in &frags[v.index()] {
+                let b = splitters
+                    .partition_point(|&s| s <= row[ki])
+                    .min(order.len() - 1);
+                buckets[b].push(row.clone());
+            }
+            for (j, bucket) in buckets.into_iter().enumerate() {
+                if bucket.is_empty() {
+                    continue;
+                }
+                if order[j] == v {
+                    new_frags[v.index()].extend(bucket);
+                } else {
+                    outgoing.push((v, order[j], crate::row::flatten(&bucket, width)));
+                    new_frags[order[j].index()].extend(bucket);
+                }
+            }
+        }
+        trace.round(|round| super::unicast_round(round, outgoing, Rel::R));
+        for &v in &order {
+            new_frags[v.index()].sort_by_key(|r| (r[ki], r.clone()));
+        }
+        // Bucket i already lives at order[i], so concatenation by node
+        // order yields the global order.
+        Ok(OpTrace {
+            rounds: trace.into_rounds(),
+            output: new_frags,
+        })
+    }
+}

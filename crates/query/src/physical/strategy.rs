@@ -1,0 +1,574 @@
+//! The pluggable operator-strategy API.
+//!
+//! Every communicating logical operator — equi-join, cross join, sort,
+//! group-by aggregate, distinct, limit — is executed by a
+//! [`PhysicalStrategy`]: one concrete way of moving the operator's rows
+//! across the tree. The planner does not hard-wire a strategy per
+//! operator; it asks the session's [`StrategyRegistry`] for every
+//! registered candidate, prices each one on the §2 functional
+//! ([`PhysicalStrategy::estimate`]), evaluates the task's per-edge lower
+//! bound ([`PhysicalStrategy::lower_bound`], wired to the
+//! `tamp_core::{intersection,cartesian,sorting,aggregate}` theorems), and
+//! keeps the cheapest — recording *every* candidate with its
+//! `estimate / lower bound` ratio (the paper's Table-1 quantity) so
+//! `EXPLAIN` shows the rejected alternatives next to the winner.
+//!
+//! The chosen strategy then *executes* by emitting an exchange trace
+//! ([`PhysicalStrategy::trace`]): the exact multiset of
+//! `(src, dsts, rel, payload)` sends per round, plus the operator's
+//! output fragments. The trace replays through any
+//! [`ExecBackend`](tamp_runtime::backend::ExecBackend) via
+//! [`tamp_runtime::ScheduleJob`], so a strategy written once runs on the
+//! centralized simulator *and* the pooled BSP cluster with bit-identical
+//! metered ledgers — strategies never talk to an engine directly.
+//!
+//! # Registering a third-party strategy
+//!
+//! A strategy is ~4 methods; everything else (candidate pricing, EXPLAIN
+//! rendering, backend replay, cost attribution) is inherited. For
+//! example, a join strategy that gathers both sides onto one node:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tamp_query::physical::cost::CostModel;
+//! use tamp_query::physical::strategy::*;
+//! use tamp_query::prelude::*;
+//! use tamp_query::QueryError;
+//! use tamp_simulator::Rel;
+//! use tamp_topology::builders;
+//!
+//! #[derive(Debug)]
+//! struct AllToOneJoin;
+//!
+//! impl PhysicalStrategy for AllToOneJoin {
+//!     fn name(&self) -> &'static str {
+//!         "all-to-one"
+//!     }
+//!     fn operator(&self) -> OperatorKind {
+//!         OperatorKind::Join
+//!     }
+//!     fn estimate(&self, a: &PlanArgs<'_>) -> CostEstimate {
+//!         let target = a.model.tree().compute_nodes()[0];
+//!         let right = a.right.as_ref().expect("join has two inputs");
+//!         let cost = a.model.gather_cost(&a.left.counts, a.left.width, target)
+//!             + a.model.gather_cost(&right.counts, right.width, target);
+//!         CostEstimate { tuple_cost: cost, rounds: 1 }
+//!     }
+//!     fn trace(&self, a: &ExecArgs<'_>, input: OpInput) -> Result<OpTrace, QueryError> {
+//!         let OpInput::Join { left, right, left_key, right_key, left_width, right_width } =
+//!             input
+//!         else {
+//!             unreachable!("registered for Join");
+//!         };
+//!         let target = a.tree.compute_nodes()[0];
+//!         let mut trace = TraceBuilder::default();
+//!         let mut l_all = Vec::new();
+//!         let mut r_all = Vec::new();
+//!         trace.round(|round| {
+//!             for &v in a.tree.compute_nodes() {
+//!                 for (rel, frags, width, all) in [
+//!                     (Rel::R, &left, left_width, &mut l_all),
+//!                     (Rel::S, &right, right_width, &mut r_all),
+//!                 ] {
+//!                     let rows = &frags[v.index()];
+//!                     all.extend(rows.iter().cloned());
+//!                     if v != target && !rows.is_empty() {
+//!                         round.send(v, &[target], rel, tamp_query::row::flatten(rows, width));
+//!                     }
+//!                 }
+//!             }
+//!         });
+//!         let mut out = vec![Vec::new(); a.tree.num_nodes()];
+//!         for l in &l_all {
+//!             for r in r_all.iter().filter(|r| r[right_key] == l[left_key]) {
+//!                 let mut j = l.clone();
+//!                 j.extend_from_slice(r);
+//!                 out[target.index()].push(j);
+//!             }
+//!         }
+//!         Ok(OpTrace { rounds: trace.into_rounds(), output: out })
+//!     }
+//! }
+//!
+//! let mut ctx = QueryContext::new(builders::star(3, 1.0));
+//! ctx.register_strategy(Arc::new(AllToOneJoin));
+//! // EXPLAIN now prices `all-to-one` against every built-in join
+//! // strategy; force it with `ctx.with_strategy(OperatorKind::Join,
+//! // "all-to-one")`.
+//! # let _ = CostModel::new(ctx.tree());
+//! ```
+
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+use tamp_core::ratio::LowerBound;
+use tamp_runtime::jobs::ScheduleSend;
+use tamp_simulator::{PlacementStats, Rel, Value};
+use tamp_topology::{NodeId, Tree};
+
+use crate::error::QueryError;
+use crate::physical::cost::{CostModel, NodeCounts};
+use crate::plan::AggFunc;
+use crate::row::Row;
+
+/// Output row fragments, indexed by node id.
+pub type Fragments = Vec<Vec<Row>>;
+
+/// The logical operators whose exchanges are strategy-pluggable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OperatorKind {
+    /// Equi-join of two inputs.
+    Join,
+    /// Cartesian product of two inputs.
+    CrossJoin,
+    /// Global sort along the tree's valid compute order.
+    Sort,
+    /// Grouped aggregation.
+    Aggregate,
+    /// Whole-row duplicate elimination.
+    Distinct,
+    /// Bounded collection of the first `n` rows.
+    Limit,
+}
+
+impl OperatorKind {
+    /// Lower-case operator name for error messages and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            OperatorKind::Join => "join",
+            OperatorKind::CrossJoin => "cross-join",
+            OperatorKind::Sort => "sort",
+            OperatorKind::Aggregate => "aggregate",
+            OperatorKind::Distinct => "distinct",
+            OperatorKind::Limit => "limit",
+        }
+    }
+}
+
+impl fmt::Display for OperatorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One plan-time input of an operator: estimated per-node row counts and
+/// the row width in values.
+#[derive(Clone, Debug)]
+pub struct PlanSide {
+    /// Estimated rows per node id (routers 0).
+    pub counts: NodeCounts,
+    /// Row width, in `u64` values.
+    pub width: usize,
+}
+
+impl PlanSide {
+    /// Total estimated rows.
+    pub fn total(&self) -> f64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// Everything a strategy sees at plan time.
+#[derive(Debug)]
+pub struct PlanArgs<'a> {
+    /// The §2 pricing model over the session's tree.
+    pub model: &'a CostModel<'a>,
+    /// The session's hashing/sampling seed.
+    pub seed: u64,
+    /// The (left) input.
+    pub left: PlanSide,
+    /// The right input, for two-input operators.
+    pub right: Option<PlanSide>,
+    /// Estimated distinct groups (aggregate only; 0 elsewhere).
+    pub groups: f64,
+    /// The row budget (limit only; 0 elsewhere).
+    pub limit: usize,
+}
+
+impl PlanArgs<'_> {
+    /// Whether the tree is symmetric — the precondition of the
+    /// `tamp_core` lower-bound theorems. Strategies return `None` from
+    /// [`PhysicalStrategy::lower_bound`] on asymmetric trees.
+    pub fn symmetric(&self) -> bool {
+        self.model.tree().require_symmetric().is_ok()
+    }
+
+    /// The estimated inputs as [`PlacementStats`], in *values* (row
+    /// counts × width, rounded): the left input plays `R`, the right
+    /// plays `S`. Scaling by width keeps the `tamp_core` lower bounds —
+    /// stated in transported tuples — comparable to the value-denominated
+    /// exchange estimates.
+    pub fn value_stats(&self) -> PlacementStats {
+        let n_nodes = self.left.counts.len();
+        let mut r = vec![0u64; n_nodes];
+        let mut s = vec![0u64; n_nodes];
+        for (i, c) in self.left.counts.iter().enumerate() {
+            r[i] = (c * self.left.width as f64).round() as u64;
+        }
+        if let Some(right) = &self.right {
+            for (i, c) in right.counts.iter().enumerate() {
+                s[i] = (c * right.width as f64).round() as u64;
+            }
+        }
+        let n: Vec<u64> = r.iter().zip(&s).map(|(a, b)| a + b).collect();
+        let (total_r, total_s) = (r.iter().sum(), s.iter().sum());
+        PlacementStats {
+            r,
+            s,
+            n,
+            total_r,
+            total_s,
+        }
+    }
+
+    /// Combined per-node row counts of both inputs (weighted-hash
+    /// weights).
+    pub fn combined_counts(&self) -> NodeCounts {
+        match &self.right {
+            Some(right) => self
+                .left
+                .counts
+                .iter()
+                .zip(&right.counts)
+                .map(|(a, b)| a + b)
+                .collect(),
+            None => self.left.counts.clone(),
+        }
+    }
+}
+
+/// A strategy's plan-time price.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostEstimate {
+    /// Estimated `Σ_rounds max_e load(e)/w_e`, in values.
+    pub tuple_cost: f64,
+    /// Communication rounds the strategy will use.
+    pub rounds: usize,
+}
+
+/// One priced candidate, kept in the plan so `EXPLAIN` can show the
+/// rejected alternatives next to the winner.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Candidate {
+    /// Strategy name.
+    pub name: &'static str,
+    /// The paper algorithm the strategy adapts, if any.
+    pub algorithm: Option<&'static str>,
+    /// Estimated cost in values.
+    pub cost: f64,
+    /// Estimated rounds.
+    pub rounds: usize,
+    /// `cost / lower bound` — the Table-1 ratio — or `NaN` when the task
+    /// has no evaluated bound here.
+    pub ratio: f64,
+}
+
+/// Everything a strategy sees at execution time (the catalog-independent
+/// slice of the executor's context).
+#[derive(Debug)]
+pub struct ExecArgs<'a> {
+    /// The session tree.
+    pub tree: &'a Tree,
+    /// The session's hashing/sampling seed.
+    pub seed: u64,
+}
+
+/// The operator-specific execution input: the materialized child
+/// fragments plus the operator's parameters, all in resolved (index)
+/// form.
+#[derive(Debug)]
+pub enum OpInput {
+    /// Equi-join.
+    Join {
+        /// Left fragments.
+        left: Fragments,
+        /// Right fragments.
+        right: Fragments,
+        /// Key column index on the left.
+        left_key: usize,
+        /// Key column index on the right.
+        right_key: usize,
+        /// Left row width.
+        left_width: usize,
+        /// Right row width.
+        right_width: usize,
+    },
+    /// Cartesian product.
+    CrossJoin {
+        /// Left fragments.
+        left: Fragments,
+        /// Right fragments.
+        right: Fragments,
+        /// Left row width.
+        left_width: usize,
+        /// Right row width.
+        right_width: usize,
+    },
+    /// Global sort.
+    Sort {
+        /// Input fragments.
+        input: Fragments,
+        /// Sort column index.
+        key: usize,
+        /// Row width.
+        width: usize,
+    },
+    /// Grouped aggregation.
+    Aggregate {
+        /// Input fragments.
+        input: Fragments,
+        /// Grouping column index.
+        group: usize,
+        /// Measure column index.
+        measure: usize,
+        /// Aggregate function.
+        agg: AggFunc,
+    },
+    /// Duplicate elimination.
+    Distinct {
+        /// Input fragments.
+        input: Fragments,
+        /// Row width.
+        width: usize,
+    },
+    /// First `n` rows.
+    Limit {
+        /// Input fragments.
+        input: Fragments,
+        /// Row budget.
+        n: usize,
+        /// Row width.
+        width: usize,
+        /// Whether fragment order is globally meaningful.
+        order_preserving: bool,
+    },
+}
+
+/// What a strategy's execution produces: its exchange-trace rounds (ready
+/// to replay on any backend) and the operator's output fragments.
+#[derive(Debug)]
+pub struct OpTrace {
+    /// The communication rounds, in order.
+    pub rounds: Vec<Vec<ScheduleSend>>,
+    /// Output fragments by node id.
+    pub output: Fragments,
+}
+
+/// Records the rounds of one operator's exchange.
+#[derive(Debug, Default)]
+pub struct TraceBuilder {
+    rounds: Vec<Vec<ScheduleSend>>,
+}
+
+impl TraceBuilder {
+    /// Record one communication round; `f` queues the round's sends.
+    /// Rounds with no sends are still recorded (silent rounds are
+    /// metered, matching both engines).
+    pub fn round<F: FnOnce(&mut RoundSends)>(&mut self, f: F) {
+        let mut rec = RoundSends { sends: Vec::new() };
+        f(&mut rec);
+        self.rounds.push(rec.sends);
+    }
+
+    /// Finish recording.
+    pub fn into_rounds(self) -> Vec<Vec<ScheduleSend>> {
+        self.rounds
+    }
+}
+
+/// Collects the sends of one round.
+#[derive(Debug)]
+pub struct RoundSends {
+    sends: Vec<ScheduleSend>,
+}
+
+impl RoundSends {
+    /// Queue a multicast; the payload is captured as one shared
+    /// allocation. Empty payloads and destination sets are dropped,
+    /// mirroring both engines.
+    pub fn send(&mut self, src: NodeId, dsts: &[NodeId], rel: Rel, values: Vec<Value>) {
+        if dsts.is_empty() || values.is_empty() {
+            return;
+        }
+        self.sends.push(ScheduleSend {
+            src,
+            dsts: dsts.to_vec(),
+            rel,
+            values: values.into(),
+        });
+    }
+}
+
+/// One pluggable implementation of a physical operator.
+///
+/// See the [module docs](self) for the contract and a worked third-party
+/// example. The estimate/trace pair must price and move traffic on the
+/// same routes: the parity and `x-strategy` suites compare them.
+pub trait PhysicalStrategy: fmt::Debug + Send + Sync {
+    /// Unique (per operator) strategy name; `EXPLAIN` and
+    /// [`QueryContext::with_strategy`](crate::context::QueryContext::with_strategy)
+    /// refer to strategies by this name.
+    fn name(&self) -> &'static str;
+
+    /// The operator this strategy implements.
+    fn operator(&self) -> OperatorKind;
+
+    /// The paper algorithm this strategy adapts (shown in `EXPLAIN`);
+    /// `None` for baselines and generic exchanges.
+    fn algorithm(&self) -> Option<&'static str> {
+        None
+    }
+
+    /// Price the exchange on the §2 functional from estimated per-node
+    /// cardinalities.
+    fn estimate(&self, args: &PlanArgs<'_>) -> CostEstimate;
+
+    /// Evaluate the task's per-edge lower bound on the estimated
+    /// placement, in values ([`tamp_core`]'s Theorems 1/3+4/6 and the
+    /// aggregation bound). `None` when no bound applies (asymmetric
+    /// trees, unbounded tasks).
+    fn lower_bound(&self, _args: &PlanArgs<'_>) -> Option<LowerBound> {
+        None
+    }
+
+    /// Estimated distribution of the operator's *output* rows over nodes.
+    /// Defaults to shares proportional to the combined input counts.
+    fn output_shares(&self, args: &PlanArgs<'_>) -> NodeCounts {
+        args.model.proportional_shares(&args.combined_counts())
+    }
+
+    /// Execute: compute the output fragments and the exchange-trace
+    /// rounds that move them. The returned rounds replay through any
+    /// backend; their metered cost is the strategy's actual cost.
+    fn trace(&self, args: &ExecArgs<'_>, input: OpInput) -> Result<OpTrace, QueryError>;
+}
+
+/// The set of registered strategies, by operator.
+///
+/// A fresh registry ([`StrategyRegistry::with_defaults`]) holds every
+/// built-in strategy; sessions clone it and
+/// [`register`](StrategyRegistry::register) third-party implementations
+/// on top. Registration order is the planner's tie-break: earlier wins on
+/// equal estimates (the defaults register distribution-aware strategies
+/// first, mirroring the paper's preference for topology-aware plans).
+#[derive(Clone, Debug, Default)]
+pub struct StrategyRegistry {
+    strategies: Vec<Arc<dyn PhysicalStrategy>>,
+}
+
+impl StrategyRegistry {
+    /// An empty registry (no operator can be planned until strategies are
+    /// registered).
+    pub fn empty() -> Self {
+        StrategyRegistry::default()
+    }
+
+    /// The built-in strategies: for each operator, the paper algorithm(s)
+    /// and the topology-agnostic baseline(s).
+    pub fn with_defaults() -> Self {
+        let mut r = StrategyRegistry::empty();
+        for s in super::strategies::defaults() {
+            r.register(s);
+        }
+        r
+    }
+
+    /// Register a strategy. A strategy with the same `(operator, name)`
+    /// pair as an existing one *replaces* it in place (keeping its
+    /// tie-break position), so a session can deliberately override a
+    /// built-in; otherwise the strategy is appended to its operator's
+    /// candidate list.
+    pub fn register(&mut self, strategy: Arc<dyn PhysicalStrategy>) {
+        match self
+            .strategies
+            .iter_mut()
+            .find(|s| s.operator() == strategy.operator() && s.name() == strategy.name())
+        {
+            Some(slot) => *slot = strategy,
+            None => self.strategies.push(strategy),
+        }
+    }
+
+    /// The registered candidates for `op`, in registration order.
+    pub fn candidates(&self, op: OperatorKind) -> Vec<&Arc<dyn PhysicalStrategy>> {
+        self.strategies
+            .iter()
+            .filter(|s| s.operator() == op)
+            .collect()
+    }
+
+    /// Look up a strategy by operator and name.
+    pub fn get(&self, op: OperatorKind, name: &str) -> Option<&Arc<dyn PhysicalStrategy>> {
+        self.strategies
+            .iter()
+            .find(|s| s.operator() == op && s.name() == name)
+    }
+
+    /// Price every candidate for `op` and resolve the choice: `forced`
+    /// selects by name (an unknown name is a typed error listing the
+    /// alternatives), otherwise the cheapest estimate wins with
+    /// registration order as the tie-break.
+    pub fn plan(
+        &self,
+        op: OperatorKind,
+        forced: Option<&str>,
+        args: &PlanArgs<'_>,
+    ) -> Result<super::Exchange, QueryError> {
+        let candidates = self.candidates(op);
+        if candidates.is_empty() {
+            return Err(QueryError::UnknownStrategy {
+                operator: op.name(),
+                name: forced.unwrap_or("<auto>").to_string(),
+                available: Vec::new(),
+            });
+        }
+        let lower_bound = candidates.iter().find_map(|s| s.lower_bound(args));
+        let lb = lower_bound.map(|b| b.value());
+        let priced: Vec<(Arc<dyn PhysicalStrategy>, CostEstimate)> = candidates
+            .iter()
+            .map(|s| (Arc::clone(s), s.estimate(args)))
+            .collect();
+        let chosen = match forced {
+            Some(name) => priced
+                .iter()
+                .find(|(s, _)| s.name() == name)
+                .ok_or_else(|| QueryError::UnknownStrategy {
+                    operator: op.name(),
+                    name: name.to_string(),
+                    available: priced.iter().map(|(s, _)| s.name().to_string()).collect(),
+                })?,
+            None => priced
+                .iter()
+                .min_by(|(_, a), (_, b)| {
+                    a.tuple_cost
+                        .partial_cmp(&b.tuple_cost)
+                        .expect("estimates are finite")
+                })
+                .expect("at least one candidate"),
+        };
+        let candidates = priced
+            .iter()
+            .map(|(s, e)| Candidate {
+                name: s.name(),
+                algorithm: s.algorithm(),
+                cost: e.tuple_cost,
+                rounds: e.rounds,
+                ratio: lb.map_or(f64::NAN, |lb| tamp_core::ratio::ratio(e.tuple_cost, lb)),
+            })
+            .collect();
+        Ok(super::Exchange {
+            strategy: Arc::clone(&chosen.0),
+            estimate: chosen.1,
+            lower_bound,
+            candidates,
+        })
+    }
+}
+
+/// The process-wide default registry, for the legacy free-function entry
+/// points ([`execute`](crate::exec::execute)) that have no session to
+/// carry one.
+pub(crate) fn default_registry() -> &'static StrategyRegistry {
+    static DEFAULT: OnceLock<StrategyRegistry> = OnceLock::new();
+    DEFAULT.get_or_init(StrategyRegistry::with_defaults)
+}

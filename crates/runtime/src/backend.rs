@@ -250,18 +250,27 @@ pub fn standard_backends() -> Vec<Box<dyn ExecBackend>> {
 /// - `"pooled-cluster:<N>"` / `"cluster:<N>"` — a pooled cluster with an
 ///   explicit worker count.
 ///
-/// Returns `None` for anything else, letting callers surface their own
-/// error (with the spec in hand).
-pub fn backend_from_spec(spec: &str) -> Option<Box<dyn ExecBackend>> {
+/// Anything else is a typed [`RuntimeError::UnknownBackend`] whose
+/// message names the offending spec and lists every valid one — drivers
+/// propagate it instead of silently falling back to a default engine.
+pub fn backend_from_spec(spec: &str) -> Result<Box<dyn ExecBackend>, RuntimeError> {
+    let unknown = || RuntimeError::UnknownBackend {
+        spec: spec.to_string(),
+    };
     match spec.trim() {
-        "simulator" | "sim" => Some(Box::new(SimulatorBackend)),
-        "pooled-cluster" | "cluster" => Some(Box::new(PooledClusterBackend::default())),
+        "simulator" | "sim" => Ok(Box::new(SimulatorBackend)),
+        "pooled-cluster" | "cluster" => Ok(Box::new(PooledClusterBackend::default())),
         other => {
             let workers = other
                 .strip_prefix("pooled-cluster:")
-                .or_else(|| other.strip_prefix("cluster:"))?;
-            let workers: usize = workers.parse().ok().filter(|&w| w > 0)?;
-            Some(Box::new(PooledClusterBackend::with_workers(workers)))
+                .or_else(|| other.strip_prefix("cluster:"))
+                .ok_or_else(unknown)?;
+            let workers: usize = workers
+                .parse()
+                .ok()
+                .filter(|&w| w > 0)
+                .ok_or_else(unknown)?;
+            Ok(Box::new(PooledClusterBackend::with_workers(workers)))
         }
     }
 }
@@ -433,7 +442,19 @@ mod tests {
             "pooled-cluster(8)"
         );
         for bad in ["", "gpu", "cluster:0", "cluster:x", "pooled-cluster:"] {
-            assert!(backend_from_spec(bad).is_none(), "{bad:?}");
+            let err = backend_from_spec(bad).map(|b| b.name()).unwrap_err();
+            assert_eq!(
+                err,
+                RuntimeError::UnknownBackend { spec: bad.into() },
+                "{bad:?}"
+            );
+            // The message names the spec and lists the valid ones.
+            let msg = err.to_string();
+            assert!(msg.contains(&format!("`{bad}`")), "{msg}");
+            assert!(
+                msg.contains("simulator") && msg.contains("pooled-cluster"),
+                "{msg}"
+            );
         }
     }
 

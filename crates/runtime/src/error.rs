@@ -31,7 +31,17 @@ pub enum RuntimeError {
         /// The rejected job.
         job: String,
     },
+    /// A backend spec string (`TAMP_BACKEND`, CLI flags, …) named no known
+    /// engine. The error message lists every valid spec.
+    UnknownBackend {
+        /// The unrecognized spec, verbatim.
+        spec: String,
+    },
 }
+
+/// The specs [`backend_from_spec`](crate::backend::backend_from_spec)
+/// recognizes, for error messages and `--help` text.
+pub const VALID_BACKEND_SPECS: &[&str] = &["simulator", "sim", "pooled-cluster[:N]", "cluster[:N]"];
 
 impl fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -46,6 +56,17 @@ impl fmt::Display for RuntimeError {
             }
             Self::UnsupportedJob { backend, job } => {
                 write!(f, "backend `{backend}` cannot execute job `{job}`")
+            }
+            Self::UnknownBackend { spec } => {
+                write!(
+                    f,
+                    "unknown backend spec `{spec}` (valid: {})",
+                    VALID_BACKEND_SPECS
+                        .iter()
+                        .map(|s| format!("`{s}`"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
             }
         }
     }

@@ -79,5 +79,6 @@ pub use backend::{
     PooledClusterBackend, ProgramJob, ProtocolJob, SimulatorBackend,
 };
 pub use cluster::{run_cluster, ClusterOptions, NodeCtx, NodeProgram, RuntimeRun};
-pub use error::RuntimeError;
+pub use error::{RuntimeError, VALID_BACKEND_SPECS};
+pub use jobs::{Schedule, ScheduleJob, ScheduleSend};
 pub use message::{Envelope, Outbox, Step};

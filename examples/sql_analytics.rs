@@ -62,10 +62,17 @@ fn main() {
     // Engine selection goes through the runtime's spec hook: run with
     // e.g. `TAMP_BACKEND=pooled-cluster` (or `cluster:4`) to execute the
     // very same plans on the pooled BSP cluster — the metered ledgers are
-    // bit-identical to the simulator's.
+    // bit-identical to the simulator's. A typo'd spec is a typed
+    // `RuntimeError::UnknownBackend` whose message lists the valid specs
+    // — surface it instead of silently falling back to a default engine.
     let spec = std::env::var("TAMP_BACKEND").unwrap_or_else(|_| "simulator".into());
-    let backend = tamp::runtime::backend_from_spec(&spec)
-        .unwrap_or_else(|| panic!("unknown TAMP_BACKEND spec `{spec}`"));
+    let backend = match tamp::runtime::backend_from_spec(&spec) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("TAMP_BACKEND: {e}");
+            std::process::exit(2);
+        }
+    };
     println!("backend: {}", backend.name());
 
     for (label, strategy) in [
@@ -79,6 +86,7 @@ fn main() {
             ExecOptions {
                 join: strategy,
                 seed: 7,
+                ..ExecOptions::default()
             },
             backend.as_ref(),
         )

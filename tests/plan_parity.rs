@@ -112,6 +112,189 @@ proptest! {
     }
 }
 
+/// Every registered strategy name per pluggable operator, with the query
+/// exercising it.
+fn strategy_matrix() -> Vec<(OperatorKind, &'static str, LogicalPlan)> {
+    let join = LogicalPlan::scan("facts").join_on(LogicalPlan::scan("dims"), "g", "g");
+    let cross = LogicalPlan::scan("dims").cross(LogicalPlan::scan("dims"));
+    let sort = LogicalPlan::scan("facts").order_by("x");
+    let agg = LogicalPlan::scan("facts").aggregate("g", AggFunc::Sum, "x");
+    let mut out = Vec::new();
+    for name in [
+        "weighted-repartition",
+        "tree-partition",
+        "broadcast-small",
+        "uniform-repartition",
+    ] {
+        out.push((OperatorKind::Join, name, join.clone()));
+    }
+    for name in ["whc-grid", "broadcast-small", "uniform-hypercube"] {
+        out.push((OperatorKind::CrossJoin, name, cross.clone()));
+    }
+    for name in ["weighted-range-shuffle", "uniform-range-shuffle"] {
+        out.push((OperatorKind::Sort, name, sort.clone()));
+    }
+    for name in [
+        "weighted-repartition",
+        "combining-tree",
+        "uniform-repartition",
+    ] {
+        out.push((OperatorKind::Aggregate, name, agg.clone()));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Every registered strategy — the paper algorithms included —
+    /// produces correct rows and a bit-identical metered ledger on the
+    /// simulator and the pooled cluster, over random trees and catalogs.
+    #[test]
+    fn strategy_executed_plans_are_backend_identical(
+        tree_pick in 0u8..4,
+        fact_rows in 1u64..100,
+        groups in 1u64..10,
+        skew in 0u8..101,
+        seed in 0u64..50,
+    ) {
+        let base = make_context(tree_pick, fact_rows, groups, skew);
+        for (op, name, q) in strategy_matrix() {
+            let ctx = QueryContext::with_catalog(base.catalog().clone())
+                .with_seed(seed)
+                .with_strategy(op, name);
+            let prepared = ctx.prepare(&q).unwrap();
+            // The forced strategy is the one in the plan.
+            let forced_in_plan = plan_uses(prepared.physical_plan(), name);
+            prop_assert!(forced_in_plan, "{op} {name} not in plan:\n{}", prepared.physical_plan());
+
+            let want = reference::evaluate(&q, ctx.catalog()).unwrap();
+            let ord = reference::preserves_order(&q);
+            let sim = prepared.run().unwrap();
+            let cluster = prepared.run_on(&PooledClusterBackend::default()).unwrap();
+            prop_assert_eq!(&sim.rows(ord), &want, "{} {} vs reference", op, name);
+            prop_assert_eq!(&cluster.rows(ord), &want, "{} {} cluster vs reference", op, name);
+            prop_assert_eq!(
+                &sim.cost.edge_totals, &cluster.cost.edge_totals,
+                "{} {} ledgers differ", op, name
+            );
+            prop_assert_eq!(sim.rounds, cluster.rounds);
+        }
+    }
+
+    /// On decisive scenarios — a tiny build side, fully co-located
+    /// inputs, skew parked behind fat links — the registry's cost-based
+    /// winner meters no worse than any forced candidate.
+    #[test]
+    fn registry_winner_is_metered_optimal_on_decisive_scenarios(
+        fact_rows in 200u64..500,
+        dim_rows in 1u64..8,
+        seed in 0u64..50,
+    ) {
+        // Family 1: tiny dimension table on a uniform star (join).
+        let tree = builders::star(5, 1.0);
+        let mut ctx = QueryContext::new(tree).with_seed(seed);
+        ctx.register(DistributedTable::round_robin(
+            "facts",
+            Schema::new(vec!["id", "g", "x"]).unwrap(),
+            (0..fact_rows).map(|i| vec![i, i % dim_rows, i * 3]).collect(),
+            ctx.tree(),
+        )).unwrap();
+        ctx.register(DistributedTable::round_robin(
+            "dims",
+            Schema::new(vec!["g", "tier"]).unwrap(),
+            (0..dim_rows).map(|g| vec![g, g % 3]).collect(),
+            ctx.tree(),
+        )).unwrap();
+        let q = LogicalPlan::scan("facts").join_on(LogicalPlan::scan("dims"), "g", "g");
+        assert_winner_optimal(&ctx, &q, OperatorKind::Join, &[
+            "weighted-repartition", "tree-partition", "broadcast-small", "uniform-repartition",
+        ])?;
+
+        // Family 2: both sides co-located behind a thin link (join).
+        let tree = builders::heterogeneous_star(&[0.5, 4.0, 4.0, 4.0]);
+        let heavy = tree.compute_nodes()[0];
+        let mut ctx = QueryContext::new(tree).with_seed(seed);
+        ctx.register(DistributedTable::single_node(
+            "facts",
+            Schema::new(vec!["id", "g", "x"]).unwrap(),
+            (0..fact_rows).map(|i| vec![i, i % 5, i]).collect(),
+            ctx.tree(),
+            heavy,
+        )).unwrap();
+        ctx.register(DistributedTable::single_node(
+            "dims",
+            Schema::new(vec!["g", "tier"]).unwrap(),
+            (0..40).map(|g| vec![g % 5, g]).collect(),
+            ctx.tree(),
+            heavy,
+        )).unwrap();
+        let q = LogicalPlan::scan("facts").join_on(LogicalPlan::scan("dims"), "g", "g");
+        assert_winner_optimal(&ctx, &q, OperatorKind::Join, &[
+            "weighted-repartition", "tree-partition", "broadcast-small", "uniform-repartition",
+        ])?;
+
+        // Family 3: one tiny cross-join side (broadcast is unbeatable).
+        let q = LogicalPlan::scan("dims").cross(LogicalPlan::scan("dims"));
+        assert_winner_optimal(&ctx, &q, OperatorKind::CrossJoin, &[
+            "whc-grid", "broadcast-small", "uniform-hypercube",
+        ])?;
+
+        // Family 4: sort with data parked behind fat links — uniform
+        // splitters must push ~N/k over the thin link.
+        let tree = builders::heterogeneous_star(&[8.0, 8.0, 8.0, 8.0, 8.0, 8.0, 8.0, 0.25]);
+        let heavy = tree.compute_nodes()[0];
+        let mut ctx = QueryContext::new(tree).with_seed(seed);
+        ctx.register(DistributedTable::skewed(
+            "facts",
+            Schema::new(vec!["id", "g", "x"]).unwrap(),
+            (0..fact_rows).map(|i| vec![i, i % 9, (i * 37) % 4096]).collect(),
+            ctx.tree(),
+            heavy,
+            0.6,
+        )).unwrap();
+        let q = LogicalPlan::scan("facts").order_by("x");
+        assert_winner_optimal(&ctx, &q, OperatorKind::Sort, &[
+            "weighted-range-shuffle", "uniform-range-shuffle",
+        ])?;
+    }
+}
+
+/// Whether any exchange in the plan uses strategy `name`.
+fn plan_uses(plan: &PhysicalPlan, name: &str) -> bool {
+    if plan.exchange().is_some_and(|x| x.name() == name) {
+        return true;
+    }
+    plan.children().iter().any(|c| plan_uses(c, name))
+}
+
+/// The auto-picked strategy's metered cost is ≤ every forced candidate's
+/// metered cost (same seed ⇒ same traffic per strategy).
+fn assert_winner_optimal(
+    ctx: &QueryContext,
+    q: &LogicalPlan,
+    op: OperatorKind,
+    names: &[&'static str],
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let auto = ctx.prepare(q).unwrap().run().unwrap().cost.tuple_cost();
+    for &name in names {
+        let forced = QueryContext::with_catalog(ctx.catalog().clone())
+            .with_seed(ctx.options().seed)
+            .with_strategy(op, name)
+            .prepare(q)
+            .unwrap()
+            .run()
+            .unwrap()
+            .cost
+            .tuple_cost();
+        prop_assert!(
+            auto <= forced + 1e-9,
+            "auto {auto} beats forced {name} {forced}?"
+        );
+    }
+    Ok(())
+}
+
 /// The spec-based backend selection hook resolves engines that execute
 /// prepared queries interchangeably.
 #[test]

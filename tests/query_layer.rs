@@ -79,7 +79,11 @@ proptest! {
             2 => JoinStrategy::Uniform,
             _ => JoinStrategy::BroadcastSmall,
         };
-        let opts = ExecOptions { join, seed };
+        let opts = ExecOptions {
+            join,
+            seed,
+            ..ExecOptions::default()
+        };
         for q in plans(threshold, limit) {
             let res = execute(&c, &q, opts).unwrap();
             let want = reference::evaluate(&q, &c).unwrap();
