@@ -12,8 +12,9 @@
 //!
 //! or a single experiment by id (`t1-si`, `t1-cp`, `t1-sort`, `f1`–`f5`,
 //! `a1`, `x-mpc`, `x-cross`, `x-agg`, `x-groupby`, `x-general`,
-//! `x-runtime`, `x-query`, `x-scale`, `x-uneq-tree`, `abl-partition`, `abl-pow2`,
-//! `abl-splitters`, `abl-treepack`, `abl-drift`).
+//! `x-runtime`, `x-query`, `x-scale`, `x-serve`, `x-uneq-tree`,
+//! `abl-partition`, `abl-pow2`, `abl-splitters`, `abl-treepack`,
+//! `abl-drift`).
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -21,6 +22,7 @@
 pub mod ablation;
 pub mod baseline;
 pub mod extensions;
+pub mod serving;
 pub mod strategies;
 pub mod suite;
 pub mod table;

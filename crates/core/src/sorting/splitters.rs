@@ -21,10 +21,18 @@ use tamp_simulator::Value;
 /// order) gets a sample share proportional to `weights[j]`. Empty sample
 /// vectors degrade to `Value::MAX` splitters (everything lands in the
 /// first non-empty bucket), matching the protocols' behavior on tiny
-/// inputs.
+/// inputs. All-zero weight vectors carry no load information at all, so
+/// they degrade to the uniform rule instead of collapsing every bucket
+/// onto one node.
 pub fn proportional_splitters(sorted_samples: &[Value], weights: &[u64]) -> Vec<Value> {
     let k = weights.len();
     let wsum: u64 = weights.iter().sum();
+    if wsum == 0 && k > 0 {
+        // No weight signal: every `acc * len / wsum` quantile would be
+        // degenerate. Fall back to equally spaced quantiles.
+        let uniform = vec![1u64; k];
+        return proportional_splitters(sorted_samples, &uniform);
+    }
     let mut splitters = Vec::with_capacity(k.saturating_sub(1));
     let mut acc = 0u64;
     for &w in weights.iter().take(k.saturating_sub(1)) {
@@ -33,11 +41,14 @@ pub fn proportional_splitters(sorted_samples: &[Value], weights: &[u64]) -> Vec<
             splitters.push(Value::MAX);
             continue;
         }
-        let idx = ((acc as u128 * sorted_samples.len() as u128) / wsum.max(1) as u128) as usize;
+        // `acc ≤ wsum`, so the quantile index lands in `0..=len`; the
+        // clamp keeps a malformed ratio from indexing past the samples.
+        let idx = (((acc as u128 * sorted_samples.len() as u128) / wsum as u128) as usize)
+            .min(sorted_samples.len());
         splitters.push(if idx == 0 {
             Value::MIN
         } else {
-            sorted_samples.get(idx - 1).copied().unwrap_or(Value::MAX)
+            sorted_samples[idx - 1]
         });
     }
     splitters
@@ -83,5 +94,52 @@ mod tests {
         let samples: Vec<Value> = (0..10).collect();
         let s = proportional_splitters(&samples, &[0, 0, 0]);
         assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn all_zero_weights_degrade_to_the_uniform_rule() {
+        // A zero weight vector carries no information; collapsing every
+        // bucket onto one node (the old behavior) was a bug. The
+        // degenerate case must match uniform splitters exactly.
+        let samples: Vec<Value> = (0..100).collect();
+        for k in 2..=6usize {
+            let zeros = vec![0u64; k];
+            assert_eq!(
+                proportional_splitters(&samples, &zeros),
+                uniform_splitters(&samples, k),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn splitters_are_nondecreasing_for_arbitrary_weights() {
+        // Regression: any weight vector — zeros, huge skew, trailing
+        // zeros, single survivors — must yield nondecreasing splitters
+        // that stay inside the sampled key range.
+        let samples: Vec<Value> = (0..64).map(|i| i * 3 + 7).collect();
+        let weight_sets: &[&[u64]] = &[
+            &[0, 0, 0, 0],
+            &[1, 0, 0, 1],
+            &[0, 5, 0, 0, 9],
+            &[u64::MAX / 4, 1, u64::MAX / 4],
+            &[90, 5, 5],
+            &[0, 0, 1],
+            &[1, 1, 1, 1, 1, 1, 1],
+            &[3],
+        ];
+        for &weights in weight_sets {
+            let s = proportional_splitters(&samples, weights);
+            assert_eq!(s.len(), weights.len().saturating_sub(1), "{weights:?}");
+            for w in s.windows(2) {
+                assert!(w[0] <= w[1], "{weights:?} -> {s:?}");
+            }
+            for &x in &s {
+                assert!(
+                    x == Value::MIN || samples.contains(&x),
+                    "{weights:?} -> splitter {x} outside the sample set"
+                );
+            }
+        }
     }
 }

@@ -221,6 +221,29 @@ pub struct PreparedQuery<'c> {
     schema: Schema,
 }
 
+impl<'c> PreparedQuery<'c> {
+    /// Assemble a prepared query from already-lowered parts — the
+    /// serving layer's plan-cache path
+    /// ([`QueryService`](crate::service::QueryService)), which skips
+    /// re-lowering on a cache hit but still wants the session-layer
+    /// `explain`/`run_on` surface.
+    pub(crate) fn from_parts(
+        catalog: &'c Catalog,
+        options: ExecOptions,
+        logical: LogicalPlan,
+        physical: PhysicalPlan,
+        schema: Schema,
+    ) -> Self {
+        PreparedQuery {
+            catalog,
+            options,
+            logical,
+            physical,
+            schema,
+        }
+    }
+}
+
 impl PreparedQuery<'_> {
     /// The output schema.
     pub fn schema(&self) -> &Schema {

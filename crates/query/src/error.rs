@@ -102,3 +102,11 @@ impl From<tamp_runtime::ExecError> for QueryError {
         }
     }
 }
+
+impl From<tamp_runtime::RuntimeError> for QueryError {
+    fn from(e: tamp_runtime::RuntimeError) -> Self {
+        // Backend selection/config errors (unknown specs, zero-width
+        // pools) surface with their typed runtime message intact.
+        QueryError::Backend(e.to_string())
+    }
+}

@@ -44,7 +44,7 @@ use crate::table::Catalog;
 /// registered strategy by name (including third-party ones) goes through
 /// [`StrategyForce`] /
 /// [`QueryContext::with_strategy`](crate::context::QueryContext::with_strategy).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum JoinStrategy {
     /// Let the planner price every registered join strategy on the §2
     /// cost model and keep the cheapest (see [`crate::physical::lower`]).
@@ -62,7 +62,7 @@ pub enum JoinStrategy {
 /// names resolve against the session's registry at plan time; unknown
 /// names surface as
 /// [`QueryError::UnknownStrategy`](crate::error::QueryError).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub struct StrategyForce {
     /// Force the equi-join strategy (overrides [`JoinStrategy`]).
     pub join: Option<&'static str>,
@@ -75,7 +75,7 @@ pub struct StrategyForce {
 }
 
 /// Execution options.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub struct ExecOptions {
     /// Join strategy shorthand.
     pub join: JoinStrategy,

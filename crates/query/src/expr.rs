@@ -13,7 +13,7 @@ use crate::error::QueryError;
 use crate::schema::Schema;
 
 /// A scalar expression tree.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Expr {
     /// A named column reference (unbound).
     Col(String),

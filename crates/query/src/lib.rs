@@ -19,8 +19,8 @@
 //! 2. **[`PhysicalPlan`]** ([`physical`]) — the same operators with
 //!    every exchange *explicit, strategy-chosen and priced*: each
 //!    operator asks the session's
-//!    [`StrategyRegistry`](physical::strategy::StrategyRegistry) for all
-//!    registered [`PhysicalStrategy`](physical::strategy::PhysicalStrategy)
+//!    [`StrategyRegistry`] for all
+//!    registered [`PhysicalStrategy`]
 //!    candidates — the paper's algorithms (Alg-2 weighted hash, §3
 //!    `TreeIntersect` routing, §4/A.1 wHC rectangles, §5.2
 //!    weighted-TeraSort splitters, in-network combining) next to their
@@ -90,6 +90,7 @@ pub mod plan;
 pub mod reference;
 pub mod row;
 pub mod schema;
+pub mod service;
 pub mod table;
 
 /// Everything needed to build and run queries.
@@ -106,6 +107,7 @@ pub mod prelude {
     pub use crate::physical::{lower, Exchange, PhysicalPlan};
     pub use crate::plan::{AggFunc, LogicalPlan};
     pub use crate::schema::Schema;
+    pub use crate::service::{AdmissionStats, CacheStats, QueryService, ServedQuery, ServiceStats};
     pub use crate::table::{Catalog, DistributedTable};
 }
 
@@ -118,4 +120,5 @@ pub use physical::strategy::{OperatorKind, PhysicalStrategy, StrategyRegistry};
 pub use physical::{Exchange, PhysicalPlan};
 pub use plan::{AggFunc, LogicalPlan};
 pub use schema::Schema;
+pub use service::{AdmissionStats, CacheStats, QueryService, ServedQuery, ServiceStats};
 pub use table::{Catalog, DistributedTable};

@@ -448,9 +448,11 @@ pub trait PhysicalStrategy: fmt::Debug + Send + Sync {
 /// A fresh registry ([`StrategyRegistry::with_defaults`]) holds every
 /// built-in strategy; sessions clone it and
 /// [`register`](StrategyRegistry::register) third-party implementations
-/// on top. Registration order is the planner's tie-break: earlier wins on
-/// equal estimates (the defaults register distribution-aware strategies
-/// first, mirroring the paper's preference for topology-aware plans).
+/// on top. The planner's choice is deterministic: the cheapest estimate
+/// wins, and exact float ties break on the strategy *name* (lexically
+/// smallest), so the winner — and with it EXPLAIN output and the
+/// `x-strategy` tables — is stable across platforms and registration
+/// orders.
 #[derive(Clone, Debug, Default)]
 pub struct StrategyRegistry {
     strategies: Vec<Arc<dyn PhysicalStrategy>>,
@@ -475,9 +477,9 @@ impl StrategyRegistry {
 
     /// Register a strategy. A strategy with the same `(operator, name)`
     /// pair as an existing one *replaces* it in place (keeping its
-    /// tie-break position), so a session can deliberately override a
-    /// built-in; otherwise the strategy is appended to its operator's
-    /// candidate list.
+    /// position in the candidate listing), so a session can deliberately
+    /// override a built-in; otherwise the strategy is appended to its
+    /// operator's candidate list.
     pub fn register(&mut self, strategy: Arc<dyn PhysicalStrategy>) {
         match self
             .strategies
@@ -506,8 +508,8 @@ impl StrategyRegistry {
 
     /// Price every candidate for `op` and resolve the choice: `forced`
     /// selects by name (an unknown name is a typed error listing the
-    /// alternatives), otherwise the cheapest estimate wins with
-    /// registration order as the tie-break.
+    /// alternatives), otherwise the cheapest estimate wins, with exact
+    /// float ties broken deterministically on the strategy name.
     pub fn plan(
         &self,
         op: OperatorKind,
@@ -539,10 +541,16 @@ impl StrategyRegistry {
                 })?,
             None => priced
                 .iter()
-                .min_by(|(_, a), (_, b)| {
+                .min_by(|(sa, a), (sb, b)| {
+                    // Deterministic under float ties: equal estimates
+                    // break on the strategy *name*, not on registration
+                    // order or platform-dependent float quirks, so
+                    // EXPLAIN output and the `x-strategy` tables are
+                    // stable everywhere.
                     a.tuple_cost
                         .partial_cmp(&b.tuple_cost)
                         .expect("estimates are finite")
+                        .then_with(|| sa.name().cmp(sb.name()))
                 })
                 .expect("at least one candidate"),
         };
@@ -571,4 +579,76 @@ impl StrategyRegistry {
 pub(crate) fn default_registry() -> &'static StrategyRegistry {
     static DEFAULT: OnceLock<StrategyRegistry> = OnceLock::new();
     DEFAULT.get_or_init(StrategyRegistry::with_defaults)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamp_topology::builders;
+
+    /// A plan-only stub whose estimate is a fixed constant.
+    #[derive(Debug)]
+    struct FlatCost {
+        name: &'static str,
+        cost: f64,
+    }
+
+    impl PhysicalStrategy for FlatCost {
+        fn name(&self) -> &'static str {
+            self.name
+        }
+        fn operator(&self) -> OperatorKind {
+            OperatorKind::Sort
+        }
+        fn estimate(&self, _args: &PlanArgs<'_>) -> CostEstimate {
+            CostEstimate {
+                tuple_cost: self.cost,
+                rounds: 1,
+            }
+        }
+        fn trace(&self, _args: &ExecArgs<'_>, _input: OpInput) -> Result<OpTrace, QueryError> {
+            unreachable!("plan-only test stub")
+        }
+    }
+
+    #[test]
+    fn equal_cost_ties_break_on_strategy_name_not_registration_order() {
+        let tree = builders::star(3, 1.0);
+        let model = CostModel::new(&tree);
+        let args = PlanArgs {
+            model: &model,
+            seed: 0,
+            left: PlanSide {
+                counts: vec![10.0; tree.num_nodes()],
+                width: 2,
+            },
+            right: None,
+            groups: 0.0,
+            limit: 0,
+        };
+        // Same estimated cost, registered in both orders: the winner must
+        // be the lexically smallest name either way.
+        for names in [["zeta", "alpha"], ["alpha", "zeta"]] {
+            let mut r = StrategyRegistry::empty();
+            for name in names {
+                r.register(Arc::new(FlatCost { name, cost: 42.0 }));
+            }
+            let x = r.plan(OperatorKind::Sort, None, &args).unwrap();
+            assert_eq!(x.name(), "alpha", "registered as {names:?}");
+            assert_eq!(x.candidates.len(), 2);
+        }
+        // A strictly cheaper estimate still beats a lexically smaller
+        // name: the tie-break only applies on exact ties.
+        let mut r = StrategyRegistry::empty();
+        r.register(Arc::new(FlatCost {
+            name: "alpha",
+            cost: 42.0,
+        }));
+        r.register(Arc::new(FlatCost {
+            name: "zeta",
+            cost: 41.0,
+        }));
+        let x = r.plan(OperatorKind::Sort, None, &args).unwrap();
+        assert_eq!(x.name(), "zeta");
+    }
 }

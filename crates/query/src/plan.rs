@@ -76,7 +76,7 @@ impl AggFunc {
 }
 
 /// A tree of relational operators.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum LogicalPlan {
     /// Read a named base table.
     Scan {

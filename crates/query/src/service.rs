@@ -1,0 +1,771 @@
+//! The concurrent serving layer: one [`QueryService`] fronting many
+//! client sessions.
+//!
+//! [`QueryContext`] is a single-session API: one caller prepares one plan
+//! and runs it. A serving deployment looks different — many clients fire
+//! queries at one shared catalog and one shared [`ExecBackend`], most of
+//! the queries are repeats, and planning cost should be paid once, not
+//! per request. `QueryService` is that layer:
+//!
+//! - **Prepared-plan cache.** Plans are cached under a canonical
+//!   fingerprint of `(logical plan, tree topology, catalog version,
+//!   session options)`. A hit skips validation, lowering and candidate
+//!   pricing entirely and goes straight to execution;
+//!   [`register`](QueryService::register) and
+//!   [`register_strategy`](QueryService::register_strategy) bump the
+//!   catalog version and invalidate every entry. Hit/miss/invalidation
+//!   counters are exposed via [`cache_stats`](QueryService::cache_stats).
+//! - **Admission scheduling.** In-flight queries are bounded
+//!   ([`with_max_inflight`](QueryService::with_max_inflight)); waiting
+//!   queries are admitted in strict FIFO ticket order, so a burst cannot
+//!   starve earlier arrivals. Every served query reports queue / plan /
+//!   exec timings in its [`ServiceStats`].
+//! - **Shared backend.** The service holds an
+//!   `Arc<dyn ExecBackend + Send + Sync>`; the pooled cluster backend can
+//!   additionally share one persistent worker crew across all queries
+//!   ([`PooledClusterBackend::with_shared_pool`]).
+//!
+//! Results are **bit-identical to single-session execution**: a query
+//! served concurrently through the cache returns the same rows and the
+//! same metered `edge_totals` as a fresh
+//! [`QueryContext::prepare`]`().run()` — the serving stress suite asserts
+//! exactly that.
+//!
+//! # A multi-threaded session
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tamp_query::prelude::*;
+//! use tamp_query::service::QueryService;
+//! use tamp_runtime::SimulatorBackend;
+//! use tamp_topology::builders;
+//!
+//! let mut ctx = QueryContext::new(builders::star(4, 1.0)).with_seed(7);
+//! let rows: Vec<Vec<u64>> = (0..120).map(|i| vec![i, i % 5, i * 3]).collect();
+//! ctx.register(DistributedTable::round_robin(
+//!     "t",
+//!     Schema::new(vec!["id", "g", "x"]).unwrap(),
+//!     rows,
+//!     ctx.tree(),
+//! ))
+//! .unwrap();
+//!
+//! let service = QueryService::new(ctx, Arc::new(SimulatorBackend)).with_max_inflight(4);
+//! let q = LogicalPlan::scan("t").aggregate("g", AggFunc::Sum, "x");
+//!
+//! // Serial reference, for comparison — and the warm-up serve that
+//! // populates the plan cache.
+//! let want = service.context().prepare(&q).unwrap().run().unwrap().rows(false);
+//! assert!(!service.serve(&q).unwrap().stats.cache_hit);
+//!
+//! // Four client threads hammer the same query through the service.
+//! std::thread::scope(|scope| {
+//!     for _ in 0..4 {
+//!         let (service, q, want) = (&service, &q, &want);
+//!         scope.spawn(move || {
+//!             for _ in 0..8 {
+//!                 let served = service.serve(q).unwrap();
+//!                 assert!(served.stats.cache_hit);
+//!                 assert_eq!(&served.result.rows(false), want);
+//!             }
+//!         });
+//!     }
+//! });
+//!
+//! let stats = service.cache_stats();
+//! assert_eq!((stats.hits, stats.misses), (32, 1));
+//! ```
+//!
+//! [`PooledClusterBackend::with_shared_pool`]:
+//!     tamp_runtime::PooledClusterBackend::with_shared_pool
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+use std::time::{Duration, Instant};
+
+use tamp_runtime::backend::{ExecBackend, SimulatorBackend};
+use tamp_runtime::backend_from_spec;
+use tamp_topology::{DirEdgeId, Tree};
+
+use crate::context::{PreparedQuery, QueryContext};
+use crate::error::QueryError;
+use crate::exec::{self, ExecOptions, QueryResult};
+use crate::physical::strategy::PhysicalStrategy;
+use crate::physical::{lower_full, PhysicalPlan};
+use crate::plan::LogicalPlan;
+use crate::schema::Schema;
+use crate::table::DistributedTable;
+
+/// Recover a guard from a possibly-poisoned mutex: the service must keep
+/// serving after a panicking query thread (the state under these locks is
+/// counters and immutable `Arc`s, never left half-written).
+fn lock_ok<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// One immutable generation of the service's session state. Queries
+/// snapshot the `Arc` once and keep planning/executing against it even if
+/// a concurrent `register` swaps in the next generation.
+struct Snapshot {
+    ctx: Arc<QueryContext>,
+    version: u64,
+}
+
+/// A cached prepared plan: the lowered physical plan plus its inferred
+/// output schema, shared by every query that hits the entry.
+struct CachedPlan {
+    physical: PhysicalPlan,
+    schema: Schema,
+}
+
+/// One plan-cache slot. The fingerprint key is 64 bits, so the entry
+/// keeps the exact logical plan, options and catalog version to rule
+/// out collisions on lookup.
+struct CacheSlot {
+    logical: LogicalPlan,
+    options: ExecOptions,
+    /// The catalog version the plan was lowered against — part of the
+    /// hit guard, so a key collision across versions can never serve a
+    /// plan priced on stale statistics.
+    version: u64,
+    /// Recency tick for eviction at [`PLAN_CACHE_CAPACITY`].
+    last_used: u64,
+    plan: Arc<CachedPlan>,
+}
+
+/// Upper bound on cached prepared plans. A serving workload is
+/// repetition-heavy, so steady state is far below this; the cap only
+/// protects a long-lived service against a stream of never-repeating
+/// ad-hoc plans growing memory without bound. On overflow the
+/// least-recently-used entry is evicted.
+pub const PLAN_CACHE_CAPACITY: usize = 1024;
+
+#[derive(Default)]
+struct PlanCache {
+    entries: HashMap<u64, CacheSlot>,
+    /// Monotonic use counter backing LRU eviction.
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+}
+
+impl PlanCache {
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+}
+
+/// Point-in-time plan-cache counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries served from a cached prepared plan.
+    pub hits: u64,
+    /// Queries that had to lower and price their plan.
+    pub misses: u64,
+    /// Cache invalidation events (`register` / `register_strategy`).
+    pub invalidations: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+}
+
+/// FIFO bounded-admission gate: tickets are issued on arrival and
+/// admitted strictly in ticket order as completions free slots.
+struct Admission {
+    max_inflight: usize,
+    state: Mutex<AdmissionState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct AdmissionState {
+    next_ticket: u64,
+    completed: u64,
+    running: usize,
+    peak_inflight: usize,
+}
+
+impl Admission {
+    fn new(max_inflight: usize) -> Self {
+        Admission {
+            max_inflight: max_inflight.max(1),
+            state: Mutex::new(AdmissionState::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Block until admitted; returns the query's ticket number.
+    fn acquire(&self) -> u64 {
+        let mut s = lock_ok(&self.state);
+        let ticket = s.next_ticket;
+        s.next_ticket += 1;
+        while ticket >= s.completed + self.max_inflight as u64 {
+            s = match self.cv.wait(s) {
+                Ok(s) => s,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+        s.running += 1;
+        s.peak_inflight = s.peak_inflight.max(s.running);
+        ticket
+    }
+
+    fn release(&self) {
+        let mut s = lock_ok(&self.state);
+        s.running -= 1;
+        s.completed += 1;
+        drop(s);
+        self.cv.notify_all();
+    }
+}
+
+/// Releases the admission slot even if the query errors or panics.
+struct Permit<'a>(&'a Admission);
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.0.release();
+    }
+}
+
+/// Admission-gate counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Queries admitted so far (equals issued tickets once the queue
+    /// drains).
+    pub admitted: u64,
+    /// The highest number of queries ever in flight together.
+    pub peak_inflight: usize,
+    /// The configured bound.
+    pub max_inflight: usize,
+}
+
+/// Per-query serving telemetry, returned with every result.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceStats {
+    /// FIFO ticket number (arrival order).
+    pub ticket: u64,
+    /// Time spent waiting for admission.
+    pub queued: Duration,
+    /// Time spent planning (≈0 on a cache hit).
+    pub plan: Duration,
+    /// Time spent computing fragments and replaying the exchange
+    /// schedule on the backend.
+    pub exec: Duration,
+    /// Whether the prepared plan came from the cache.
+    pub cache_hit: bool,
+}
+
+/// A served query: the ordinary [`QueryResult`] plus serving telemetry.
+#[derive(Clone, Debug)]
+pub struct ServedQuery {
+    /// The query's result — bit-identical to single-session execution.
+    pub result: QueryResult,
+    /// Queue/plan/exec timings and cache provenance.
+    pub stats: ServiceStats,
+}
+
+/// A thread-safe query-serving layer: shared catalog, shared backend,
+/// prepared-plan cache, FIFO bounded admission. See the [module
+/// docs](self).
+pub struct QueryService {
+    snapshot: RwLock<Snapshot>,
+    backend: Arc<dyn ExecBackend + Send + Sync>,
+    cache: Mutex<PlanCache>,
+    admission: Admission,
+    tree_fp: u64,
+}
+
+impl std::fmt::Debug for QueryService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryService")
+            .field("backend", &self.backend.name())
+            .field("catalog_version", &self.catalog_version())
+            .field("cache", &self.cache_stats())
+            .finish()
+    }
+}
+
+/// Canonical fingerprint of the topology a service is bound to: node
+/// kinds plus every directed edge's endpoints and bandwidth bits.
+fn tree_fingerprint(tree: &Tree) -> u64 {
+    let mut h = DefaultHasher::new();
+    tree.num_nodes().hash(&mut h);
+    for v in tree.nodes() {
+        tree.is_compute(v).hash(&mut h);
+    }
+    for e in tree.edges() {
+        let (u, v) = tree.endpoints(e);
+        (u.index(), v.index()).hash(&mut h);
+        for reverse in [false, true] {
+            tree.bandwidth(DirEdgeId::new(e, reverse))
+                .get()
+                .to_bits()
+                .hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+impl QueryService {
+    /// Wrap a session into a serving layer over `backend`. The context's
+    /// catalog, options and strategy registry become the service's
+    /// initial (version 0) state.
+    pub fn new(ctx: QueryContext, backend: Arc<dyn ExecBackend + Send + Sync>) -> Self {
+        let tree_fp = tree_fingerprint(ctx.tree());
+        let default_inflight = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .max(2);
+        QueryService {
+            snapshot: RwLock::new(Snapshot {
+                ctx: Arc::new(ctx),
+                version: 0,
+            }),
+            backend,
+            cache: Mutex::new(PlanCache::default()),
+            admission: Admission::new(default_inflight),
+            tree_fp,
+        }
+    }
+
+    /// A service over the default centralized engine.
+    pub fn with_default_backend(ctx: QueryContext) -> Self {
+        QueryService::new(ctx, Arc::new(SimulatorBackend))
+    }
+
+    /// A service whose engine is resolved from a backend spec string
+    /// (`"simulator"`, `"pooled-cluster:8"`, … — see
+    /// [`backend_from_spec`]). Invalid specs surface as typed errors:
+    /// unknown engines and zero-width pools are rejected here, not at
+    /// first query.
+    pub fn from_backend_spec(ctx: QueryContext, spec: &str) -> Result<Self, QueryError> {
+        let backend: Arc<dyn ExecBackend + Send + Sync> = Arc::from(backend_from_spec(spec)?);
+        Ok(QueryService::new(ctx, backend))
+    }
+
+    /// Builder-style: bound concurrent in-flight queries (floored at 1).
+    /// Arrivals beyond the bound queue in FIFO ticket order.
+    pub fn with_max_inflight(mut self, max_inflight: usize) -> Self {
+        self.admission = Admission::new(max_inflight);
+        self
+    }
+
+    /// The shared execution backend.
+    pub fn backend(&self) -> &Arc<dyn ExecBackend + Send + Sync> {
+        &self.backend
+    }
+
+    /// The current session snapshot (catalog + options + registry).
+    /// In-flight queries keep the snapshot they started with; this
+    /// returns the newest generation.
+    pub fn context(&self) -> Arc<QueryContext> {
+        Arc::clone(&self.read_snapshot().0)
+    }
+
+    /// The catalog version: bumped by every
+    /// [`register`](Self::register) /
+    /// [`register_strategy`](Self::register_strategy), part of the plan
+    /// cache key.
+    pub fn catalog_version(&self) -> u64 {
+        self.read_snapshot().1
+    }
+
+    /// Point-in-time plan-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        let c = lock_ok(&self.cache);
+        CacheStats {
+            hits: c.hits,
+            misses: c.misses,
+            invalidations: c.invalidations,
+            entries: c.entries.len(),
+        }
+    }
+
+    /// Point-in-time admission counters.
+    pub fn admission_stats(&self) -> AdmissionStats {
+        let s = lock_ok(&self.admission.state);
+        AdmissionStats {
+            admitted: s.completed + s.running as u64,
+            peak_inflight: s.peak_inflight,
+            max_inflight: self.admission.max_inflight,
+        }
+    }
+
+    /// Register (or replace) a table: copy-on-write the session snapshot,
+    /// bump the catalog version and invalidate the plan cache. In-flight
+    /// queries finish against the snapshot they started with. Returns the
+    /// new catalog version.
+    pub fn register(&self, table: DistributedTable) -> Result<u64, QueryError> {
+        self.update_snapshot(|ctx| ctx.register(table).map(|_| ()))
+    }
+
+    /// Register a custom physical strategy for every subsequent query
+    /// (see [`crate::physical::strategy`]): copy-on-write, version bump
+    /// and cache invalidation, like [`register`](Self::register).
+    /// Returns the new catalog version.
+    pub fn register_strategy(
+        &self,
+        strategy: Arc<dyn PhysicalStrategy>,
+    ) -> Result<u64, QueryError> {
+        self.update_snapshot(|ctx| {
+            ctx.register_strategy(strategy);
+            Ok(())
+        })
+    }
+
+    /// Serve one query: admission → plan (cached) → execute on the shared
+    /// backend. Blocks while the service is at its in-flight bound.
+    ///
+    /// The result is bit-identical (rows **and** metered `edge_totals`)
+    /// to `QueryContext::prepare(plan)?.run_on(backend)` against the same
+    /// catalog generation.
+    pub fn serve(&self, plan: &LogicalPlan) -> Result<ServedQuery, QueryError> {
+        let arrived = Instant::now();
+        let ticket = self.admission.acquire();
+        let _permit = Permit(&self.admission);
+        let queued = arrived.elapsed();
+
+        let planning = Instant::now();
+        let (ctx, version) = self.read_snapshot();
+        let (cached, cache_hit) = self.prepare_cached(&ctx, version, plan)?;
+        let plan_time = planning.elapsed();
+
+        let executing = Instant::now();
+        let result = exec::run_physical(
+            ctx.catalog(),
+            &cached.physical,
+            ctx.options().seed,
+            &self.backend,
+        )?;
+        debug_assert_eq!(result.schema, cached.schema);
+        Ok(ServedQuery {
+            result,
+            stats: ServiceStats {
+                ticket,
+                queued,
+                plan: plan_time,
+                exec: executing.elapsed(),
+                cache_hit,
+            },
+        })
+    }
+
+    /// Serve and return just the result (stats dropped).
+    pub fn execute(&self, plan: &LogicalPlan) -> Result<QueryResult, QueryError> {
+        Ok(self.serve(plan)?.result)
+    }
+
+    /// Render the query's `EXPLAIN` against the current snapshot — the
+    /// session-layer rendering prefixed with the catalog version the plan
+    /// was cached under. Uses (and warms) the plan cache; does not
+    /// consume an admission slot.
+    pub fn explain(&self, plan: &LogicalPlan) -> Result<String, QueryError> {
+        let (ctx, version) = self.read_snapshot();
+        let (cached, _) = self.prepare_cached(&ctx, version, plan)?;
+        let prepared = PreparedQuery::from_parts(
+            ctx.catalog(),
+            ctx.options(),
+            plan.clone(),
+            cached.physical.clone(),
+            cached.schema.clone(),
+        );
+        Ok(format!("catalog v{version}\n{}", prepared.explain()))
+    }
+
+    fn read_snapshot(&self) -> (Arc<QueryContext>, u64) {
+        let s = match self.snapshot.read() {
+            Ok(s) => s,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        (Arc::clone(&s.ctx), s.version)
+    }
+
+    fn update_snapshot(
+        &self,
+        mutate: impl FnOnce(&mut QueryContext) -> Result<(), QueryError>,
+    ) -> Result<u64, QueryError> {
+        let version = {
+            let mut s = match self.snapshot.write() {
+                Ok(s) => s,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            let mut ctx = (*s.ctx).clone();
+            mutate(&mut ctx)?;
+            s.ctx = Arc::new(ctx);
+            s.version += 1;
+            s.version
+        };
+        let mut cache = lock_ok(&self.cache);
+        cache.entries.clear();
+        cache.invalidations += 1;
+        Ok(version)
+    }
+
+    /// Cache key: topology fingerprint ⊕ catalog version ⊕ session
+    /// options ⊕ the canonical (structural) hash of the logical plan.
+    fn fingerprint(&self, plan: &LogicalPlan, version: u64, options: &ExecOptions) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.tree_fp.hash(&mut h);
+        version.hash(&mut h);
+        options.hash(&mut h);
+        plan.hash(&mut h);
+        h.finish()
+    }
+
+    /// Look the plan up in the cache, lowering (and inserting) on a miss.
+    /// Returns the shared prepared plan and whether it was a hit.
+    fn prepare_cached(
+        &self,
+        ctx: &QueryContext,
+        version: u64,
+        plan: &LogicalPlan,
+    ) -> Result<(Arc<CachedPlan>, bool), QueryError> {
+        let options = ctx.options();
+        let key = self.fingerprint(plan, version, &options);
+        {
+            let mut cache = lock_ok(&self.cache);
+            // 64-bit keys can collide; the stored plan + options +
+            // catalog version are the ground truth.
+            let tick = cache.next_tick();
+            let hit = cache.entries.get_mut(&key).and_then(|slot| {
+                (slot.logical == *plan && slot.options == options && slot.version == version).then(
+                    || {
+                        slot.last_used = tick;
+                        Arc::clone(&slot.plan)
+                    },
+                )
+            });
+            if let Some(hit) = hit {
+                cache.hits += 1;
+                return Ok((hit, true));
+            }
+            cache.misses += 1;
+        }
+        // Lower outside the cache lock: planning can be slow, and
+        // concurrent first-time queries should not serialize on it.
+        let (physical, schema) = lower_full(plan, ctx.catalog(), options, ctx.strategies())?;
+        let cached = Arc::new(CachedPlan { physical, schema });
+        let mut cache = lock_ok(&self.cache);
+        // Skip the insert if a register() raced past while we lowered:
+        // the plan is still correct for *this* query (it runs on the
+        // snapshot it was lowered from), but caching it would strand an
+        // unreachable stale-generation entry until the next eviction.
+        if self.read_snapshot().1 == version {
+            if cache.entries.len() >= PLAN_CACHE_CAPACITY && !cache.entries.contains_key(&key) {
+                // Evict the least-recently-used slot.
+                if let Some(&lru) = cache
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, slot)| slot.last_used)
+                    .map(|(k, _)| k)
+                {
+                    cache.entries.remove(&lru);
+                }
+            }
+            // A racing miss may have inserted first (or a collision may
+            // live here): last writer wins, both plans are correct.
+            let tick = cache.next_tick();
+            cache.entries.insert(
+                key,
+                CacheSlot {
+                    logical: plan.clone(),
+                    options,
+                    version,
+                    last_used: tick,
+                    plan: Arc::clone(&cached),
+                },
+            );
+        }
+        Ok((cached, false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use crate::plan::AggFunc;
+    use crate::schema::Schema;
+    use tamp_runtime::PooledClusterBackend;
+    use tamp_topology::builders;
+
+    fn ctx() -> QueryContext {
+        let tree = builders::rack_tree(&[(3, 1.0, 2.0), (2, 2.0, 1.0)], 1.0);
+        let mut ctx = QueryContext::new(tree.clone()).with_seed(11);
+        let rows: Vec<Vec<u64>> = (0..150).map(|i| vec![i, i % 6, (i * 37) % 500]).collect();
+        ctx.register(DistributedTable::round_robin(
+            "facts",
+            Schema::new(vec!["id", "g", "x"]).unwrap(),
+            rows,
+            &tree,
+        ))
+        .unwrap();
+        ctx.register(DistributedTable::round_robin(
+            "dims",
+            Schema::new(vec!["g", "tier"]).unwrap(),
+            (0..6).map(|g| vec![g, g + 10]).collect(),
+            &tree,
+        ))
+        .unwrap();
+        ctx
+    }
+
+    fn queries() -> Vec<LogicalPlan> {
+        vec![
+            LogicalPlan::scan("facts")
+                .filter(col("x").lt(lit(250)))
+                .aggregate("g", AggFunc::Sum, "x"),
+            LogicalPlan::scan("facts").join_on(LogicalPlan::scan("dims"), "g", "g"),
+            LogicalPlan::scan("facts").order_by("x").limit(10),
+        ]
+    }
+
+    #[test]
+    fn serves_bit_identically_to_a_fresh_session() {
+        let service = QueryService::with_default_backend(ctx());
+        for q in queries() {
+            let served = service.serve(&q).unwrap();
+            let fresh = ctx().prepare(&q).unwrap().run().unwrap();
+            assert_eq!(served.result.rows(false), fresh.rows(false), "{q}");
+            assert_eq!(
+                served.result.cost.edge_totals, fresh.cost.edge_totals,
+                "{q}"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_hits_after_warmup_and_invalidates_on_register() {
+        let service = QueryService::with_default_backend(ctx());
+        let q = &queries()[0];
+        let first = service.serve(q).unwrap();
+        assert!(!first.stats.cache_hit);
+        for _ in 0..3 {
+            assert!(service.serve(q).unwrap().stats.cache_hit);
+        }
+        let stats = service.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (3, 1, 1));
+
+        // Re-registering a table invalidates; the next serve replans.
+        let v = service
+            .register(DistributedTable::round_robin(
+                "dims",
+                Schema::new(vec!["g", "tier"]).unwrap(),
+                (0..8).map(|g| vec![g, g + 20]).collect(),
+                service.context().tree(),
+            ))
+            .unwrap();
+        assert_eq!(v, 1);
+        assert_eq!(service.cache_stats().entries, 0);
+        assert_eq!(service.cache_stats().invalidations, 1);
+        let replanned = service.serve(q).unwrap();
+        assert!(!replanned.stats.cache_hit);
+    }
+
+    #[test]
+    fn distinct_options_and_plans_get_distinct_entries() {
+        let service = QueryService::with_default_backend(ctx());
+        for q in queries() {
+            service.serve(&q).unwrap();
+        }
+        let stats = service.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 3, 3));
+    }
+
+    #[test]
+    fn admission_bounds_inflight_and_keeps_results_exact() {
+        let service = Arc::new(
+            QueryService::new(ctx(), Arc::new(PooledClusterBackend::with_shared_pool(2)))
+                .with_max_inflight(3),
+        );
+        let qs = queries();
+        let serial: Vec<_> = qs
+            .iter()
+            .map(|q| ctx().prepare(q).unwrap().run().unwrap())
+            .collect();
+        // Warm the cache serially: the threaded phase then hits
+        // deterministically (a cold start could thundering-herd several
+        // misses for the same plan, since lowering happens outside the
+        // cache lock).
+        for q in &qs {
+            assert!(!service.serve(q).unwrap().stats.cache_hit);
+        }
+        std::thread::scope(|scope| {
+            for t in 0..6 {
+                let (service, qs, serial) = (&service, &qs, &serial);
+                scope.spawn(move || {
+                    for i in 0..6 {
+                        let q = &qs[(t + i) % qs.len()];
+                        let want = &serial[(t + i) % qs.len()];
+                        let served = service.serve(q).unwrap();
+                        assert!(served.stats.cache_hit);
+                        assert_eq!(served.result.rows(false), want.rows(false));
+                        assert_eq!(served.result.cost.edge_totals, want.cost.edge_totals);
+                    }
+                });
+            }
+        });
+        let adm = service.admission_stats();
+        assert_eq!(adm.admitted, 39); // 3 warm-up + 36 threaded
+        assert!(adm.peak_inflight <= 3, "{adm:?}");
+        let cache = service.cache_stats();
+        assert_eq!((cache.hits, cache.misses), (36, 3));
+    }
+
+    #[test]
+    fn cache_is_bounded_with_lru_eviction() {
+        let service = QueryService::with_default_backend(ctx());
+        // A stream of never-repeating plans must not grow the cache past
+        // its capacity.
+        for n in 0..PLAN_CACHE_CAPACITY + 8 {
+            service
+                .explain(&LogicalPlan::scan("facts").limit(n + 1))
+                .unwrap();
+        }
+        let stats = service.cache_stats();
+        assert_eq!(stats.entries, PLAN_CACHE_CAPACITY);
+        assert_eq!(stats.misses, (PLAN_CACHE_CAPACITY + 8) as u64);
+        // The oldest plans were evicted, the newest survive.
+        assert!(
+            !service
+                .serve(&LogicalPlan::scan("facts").limit(1))
+                .unwrap()
+                .stats
+                .cache_hit
+        );
+        assert!(
+            service
+                .serve(&LogicalPlan::scan("facts").limit(PLAN_CACHE_CAPACITY + 8))
+                .unwrap()
+                .stats
+                .cache_hit
+        );
+    }
+
+    #[test]
+    fn explain_names_the_catalog_version_and_warms_the_cache() {
+        let service = QueryService::with_default_backend(ctx());
+        let q = queries()[1].clone();
+        let text = service.explain(&q).unwrap();
+        assert!(text.contains("catalog v0"), "{text}");
+        assert!(text.contains("HashJoin"), "{text}");
+        // The explain warmed the cache: the first serve is a hit.
+        assert!(service.serve(&q).unwrap().stats.cache_hit);
+    }
+
+    #[test]
+    fn backend_specs_resolve_and_zero_width_pools_are_rejected() {
+        let ok = QueryService::from_backend_spec(ctx(), "pooled-cluster:2").unwrap();
+        assert_eq!(ok.backend().name(), "pooled-cluster(2)");
+        let err = QueryService::from_backend_spec(ctx(), "pooled-cluster:0").unwrap_err();
+        assert!(matches!(err, QueryError::Backend(_)), "{err:?}");
+        assert!(err.to_string().contains("zero-width"), "{err}");
+    }
+}

@@ -39,12 +39,15 @@
 //!    [`PooledClusterBackend`] and assert equal `cost.edge_totals` (and
 //!    round counts), like `tests/runtime_parity.rs` does.
 
+use std::sync::Arc;
+
 use tamp_simulator::cost::Cost;
 use tamp_simulator::{NodeState, Placement, Protocol, Session, SimError};
 use tamp_topology::{NodeId, Tree};
 
 use crate::cluster::{run_programs, ClusterOptions, NodeProgram};
 use crate::error::RuntimeError;
+use crate::pool::WorkerPool;
 
 /// Errors from engine-agnostic execution: either engine's failure mode.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -123,6 +126,11 @@ pub trait ExecJob {
 }
 
 /// An execution engine for [`ExecJob`]s.
+///
+/// Backends take `&self` and the shipped engines are stateless (or
+/// internally synchronized), so one backend value can serve many threads:
+/// wrap it in an [`Arc`] — `Arc<B>` is itself an `ExecBackend` — and
+/// share it across sessions, the way the query serving layer does.
 pub trait ExecBackend {
     /// Backend name (for reports).
     fn name(&self) -> String;
@@ -134,6 +142,21 @@ pub trait ExecBackend {
         placement: &Placement,
         job: &dyn ExecJob,
     ) -> Result<ExecOutcome, ExecError>;
+}
+
+impl<B: ExecBackend + ?Sized> ExecBackend for Arc<B> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn execute(
+        &self,
+        tree: &Tree,
+        placement: &Placement,
+        job: &dyn ExecJob,
+    ) -> Result<ExecOutcome, ExecError> {
+        (**self).execute(tree, placement, job)
+    }
 }
 
 fn unsupported(backend: &dyn ExecBackend, job: &dyn ExecJob) -> ExecError {
@@ -177,31 +200,62 @@ impl ExecBackend for SimulatorBackend {
 
 /// The pooled cluster engine: runs a job's distributed view on a bounded
 /// worker pool (see [`crate::cluster`]).
-#[derive(Clone, Copy, Debug, Default)]
+///
+/// By default each execution spawns its own scoped thread crew. For
+/// serving workloads that run many jobs back to back, construct the
+/// backend with [`with_shared_pool`](Self::with_shared_pool): the crew is
+/// spawned once and reused across every `execute` call (jobs serialize on
+/// the pool; results stay bit-identical).
+#[derive(Clone, Debug, Default)]
 pub struct PooledClusterBackend {
     /// Pool and superstep options.
     pub options: ClusterOptions,
+    /// Persistent worker crew reused across executions (`None`: a scoped
+    /// crew per run).
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl PooledClusterBackend {
     /// A pooled backend with explicit options.
     pub fn new(options: ClusterOptions) -> Self {
-        PooledClusterBackend { options }
+        PooledClusterBackend {
+            options,
+            pool: None,
+        }
     }
 
     /// A pooled backend with a fixed worker count.
     pub fn with_workers(workers: usize) -> Self {
         PooledClusterBackend {
             options: ClusterOptions::with_workers(workers),
+            pool: None,
         }
+    }
+
+    /// A pooled backend whose `workers`-thread crew is spawned once and
+    /// reused by every subsequent `execute` call — the pool-reuse mode
+    /// for serving many queries against one shared backend. Clones share
+    /// the same crew.
+    pub fn with_shared_pool(workers: usize) -> Self {
+        PooledClusterBackend {
+            options: ClusterOptions::with_workers(workers.max(1)),
+            pool: Some(Arc::new(WorkerPool::new(workers))),
+        }
+    }
+
+    /// The persistent crew, when this backend was built with
+    /// [`with_shared_pool`](Self::with_shared_pool).
+    pub fn shared_pool(&self) -> Option<&Arc<WorkerPool>> {
+        self.pool.as_ref()
     }
 }
 
 impl ExecBackend for PooledClusterBackend {
     fn name(&self) -> String {
-        match self.options.workers {
-            Some(w) => format!("pooled-cluster({w})"),
-            None => "pooled-cluster".into(),
+        match (&self.pool, self.options.workers) {
+            (Some(p), _) => format!("pooled-cluster(shared {})", p.size()),
+            (None, Some(w)) => format!("pooled-cluster({w})"),
+            (None, None) => "pooled-cluster".into(),
         }
     }
 
@@ -217,7 +271,13 @@ impl ExecBackend for PooledClusterBackend {
             .map(|&v| job.distributed(v))
             .collect();
         let programs = programs.ok_or_else(|| unsupported(self, job))?;
-        let run = run_programs(tree, placement, programs, self.options)?;
+        let run = run_programs(
+            tree,
+            placement,
+            programs,
+            self.options,
+            self.pool.as_deref(),
+        )?;
         Ok(ExecOutcome {
             job: job.name(),
             backend: self.name(),
@@ -252,8 +312,15 @@ pub fn standard_backends() -> Vec<Box<dyn ExecBackend>> {
 ///
 /// Anything else is a typed [`RuntimeError::UnknownBackend`] whose
 /// message names the offending spec and lists every valid one — drivers
-/// propagate it instead of silently falling back to a default engine.
-pub fn backend_from_spec(spec: &str) -> Result<Box<dyn ExecBackend>, RuntimeError> {
+/// propagate it instead of silently falling back to a default engine. A
+/// syntactically valid pool spec with a zero width (`"cluster:0"`) is its
+/// own typed error, [`RuntimeError::InvalidPoolWidth`]: a zero-thread
+/// crew can never execute a superstep, so the spec is rejected up front
+/// instead of handing back a degenerate pool.
+///
+/// The returned backend is `Send + Sync`, so callers may move it behind
+/// an `Arc` and serve many threads from it.
+pub fn backend_from_spec(spec: &str) -> Result<Box<dyn ExecBackend + Send + Sync>, RuntimeError> {
     let unknown = || RuntimeError::UnknownBackend {
         spec: spec.to_string(),
     };
@@ -265,11 +332,12 @@ pub fn backend_from_spec(spec: &str) -> Result<Box<dyn ExecBackend>, RuntimeErro
                 .strip_prefix("pooled-cluster:")
                 .or_else(|| other.strip_prefix("cluster:"))
                 .ok_or_else(unknown)?;
-            let workers: usize = workers
-                .parse()
-                .ok()
-                .filter(|&w| w > 0)
-                .ok_or_else(unknown)?;
+            let workers: usize = workers.parse().map_err(|_| unknown())?;
+            if workers == 0 {
+                return Err(RuntimeError::InvalidPoolWidth {
+                    spec: spec.to_string(),
+                });
+            }
             Ok(Box::new(PooledClusterBackend::with_workers(workers)))
         }
     }
@@ -441,7 +509,7 @@ mod tests {
             backend_from_spec("pooled-cluster:8").unwrap().name(),
             "pooled-cluster(8)"
         );
-        for bad in ["", "gpu", "cluster:0", "cluster:x", "pooled-cluster:"] {
+        for bad in ["", "gpu", "cluster:x", "pooled-cluster:"] {
             let err = backend_from_spec(bad).map(|b| b.name()).unwrap_err();
             assert_eq!(
                 err,
@@ -455,6 +523,46 @@ mod tests {
                 msg.contains("simulator") && msg.contains("pooled-cluster"),
                 "{msg}"
             );
+        }
+    }
+
+    #[test]
+    fn zero_width_pool_specs_are_typed_errors() {
+        // A parseable width of 0 is not an unknown engine — it is an
+        // invalid pool width, and must never construct a degenerate pool.
+        for bad in ["cluster:0", "pooled-cluster:0", " pooled-cluster:0 "] {
+            let err = backend_from_spec(bad).map(|b| b.name()).unwrap_err();
+            assert_eq!(
+                err,
+                RuntimeError::InvalidPoolWidth { spec: bad.into() },
+                "{bad:?}"
+            );
+            let msg = err.to_string();
+            assert!(msg.contains("zero-width"), "{msg}");
+        }
+    }
+
+    #[test]
+    fn shared_pool_backend_is_reusable_and_bit_identical() {
+        let tree = builders::star(5, 1.0);
+        let mut p = Placement::empty(&tree);
+        p.set_r(NodeId(0), (0..12).collect());
+        let job = broadcast_job();
+        let fresh = PooledClusterBackend::default()
+            .execute(&tree, &p, &job)
+            .unwrap();
+        let shared = PooledClusterBackend::with_shared_pool(3);
+        assert!(shared.shared_pool().is_some());
+        assert_eq!(shared.name(), "pooled-cluster(shared 3)");
+        // The same crew executes many jobs — including through an
+        // Arc-shared clone — with ledgers identical to a per-run crew.
+        let shared2 = Arc::new(shared.clone());
+        for backend in [&shared as &dyn ExecBackend, &shared2 as &dyn ExecBackend] {
+            for _ in 0..3 {
+                let run = backend.execute(&tree, &p, &job).unwrap();
+                assert_eq!(run.cost.edge_totals, fresh.cost.edge_totals);
+                assert_eq!(run.rounds, fresh.rounds);
+            }
         }
     }
 

@@ -42,6 +42,7 @@ use tamp_topology::{NodeId, Tree};
 
 use crate::error::RuntimeError;
 use crate::message::{Envelope, OutMsg, Outbox, Step};
+use crate::pool::WorkerPool;
 
 /// Read-only per-round context handed to a program.
 pub struct NodeCtx<'a> {
@@ -187,16 +188,22 @@ where
 {
     let computes: Vec<NodeId> = tree.compute_nodes().to_vec();
     let programs: Vec<Box<dyn NodeProgram>> = computes.iter().map(|&v| make_program(v)).collect();
-    run_programs(tree, placement, programs, options)
+    run_programs(tree, placement, programs, options, None)
 }
 
 /// Run pre-instantiated per-node programs (aligned with
 /// `tree.compute_nodes()`) on the pool.
+///
+/// `pool` selects the thread crew: `None` spawns a scoped crew for this
+/// run (the default), `Some` dispatches the worker loop onto a persistent
+/// [`WorkerPool`] shared across runs (what the serving layer uses).
+/// Results are bit-identical either way.
 pub(crate) fn run_programs(
     tree: &Tree,
     placement: &Placement,
     programs: Vec<Box<dyn NodeProgram>>,
     options: ClusterOptions,
+    pool: Option<&WorkerPool>,
 ) -> Result<RuntimeRun, RuntimeError> {
     let stats = placement.stats();
     let computes: Vec<NodeId> = tree.compute_nodes().to_vec();
@@ -222,7 +229,10 @@ pub(crate) fn run_programs(
         })
         .collect();
 
-    let workers = options.resolved_workers(n);
+    let workers = match pool {
+        Some(p) => p.size(),
+        None => options.resolved_workers(n),
+    };
     // Claim granularity: coarse enough to keep cursor contention low on
     // big topologies, fine enough to balance skewed per-node work.
     let chunk = (n / (workers * 8)).clamp(1, 64);
@@ -243,89 +253,84 @@ pub(crate) fn run_programs(
         round: options.max_supersteps.saturating_sub(1),
     });
 
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let out_tx = out_tx.clone();
-            let slots = &slots;
-            let cursor = &cursor;
-            let gate = &gate;
-            let gate_cv = &gate_cv;
-            let stats = &stats;
-            scope.spawn(move || {
-                let mut seen_generation = 0u64;
-                loop {
-                    // Sleep until the coordinator opens a new superstep.
-                    let round = {
-                        let mut g = gate.lock().unwrap();
-                        while g.generation == seen_generation && !g.stop {
-                            g = gate_cv.wait(g).unwrap();
-                        }
-                        if g.stop {
-                            return;
-                        }
-                        seen_generation = g.generation;
-                        g.round
-                    };
-                    // Claim and run node programs until the queue drains.
-                    loop {
-                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                        if start >= n {
-                            break;
-                        }
-                        for claimed in &slots[start..(start + chunk).min(n)] {
-                            let mut slot = claimed.lock().unwrap();
-                            let Slot {
-                                node,
-                                program,
-                                state,
-                                inbox,
-                            } = &mut *slot;
-                            // Commit deliveries into local state first
-                            // (BSP: data sent in round i is state in i+1).
-                            let arrived = std::mem::take(inbox);
-                            for env in &arrived {
-                                match env.rel {
-                                    Rel::R => state.r.extend_from_slice(&env.values),
-                                    Rel::S => state.s.extend_from_slice(&env.values),
-                                }
-                            }
-                            let ctx = NodeCtx {
-                                node: *node,
-                                round,
-                                tree,
-                                stats,
-                                arrived: &arrived,
-                            };
-                            let mut out = Outbox::default();
-                            let step = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                                program.round(&ctx, state, &mut out)
-                            }));
-                            let report = match step {
-                                Ok(step) => WorkerOut::Round {
-                                    node: *node,
-                                    outbox: out,
-                                    step,
-                                },
-                                Err(payload) => {
-                                    let message = payload
-                                        .downcast_ref::<&str>()
-                                        .map(|s| s.to_string())
-                                        .or_else(|| payload.downcast_ref::<String>().cloned())
-                                        .unwrap_or_else(|| "<non-string panic>".into());
-                                    WorkerOut::Panicked {
-                                        node: *node,
-                                        message,
-                                    }
-                                }
-                            };
-                            let _ = out_tx.send(report);
+    // One worker's whole run: claim node programs superstep by superstep
+    // until the coordinator raises the stop flag. Shared between the
+    // scoped per-run crew and the persistent pool — each pool thread runs
+    // this same closure.
+    let worker_body = |_idx: usize| {
+        let out_tx = out_tx.clone();
+        let mut seen_generation = 0u64;
+        loop {
+            // Sleep until the coordinator opens a new superstep.
+            let round = {
+                let mut g = gate.lock().unwrap();
+                while g.generation == seen_generation && !g.stop {
+                    g = gate_cv.wait(g).unwrap();
+                }
+                if g.stop {
+                    return;
+                }
+                seen_generation = g.generation;
+                g.round
+            };
+            // Claim and run node programs until the queue drains.
+            loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                for claimed in &slots[start..(start + chunk).min(n)] {
+                    let mut slot = claimed.lock().unwrap();
+                    let Slot {
+                        node,
+                        program,
+                        state,
+                        inbox,
+                    } = &mut *slot;
+                    // Commit deliveries into local state first
+                    // (BSP: data sent in round i is state in i+1).
+                    let arrived = std::mem::take(inbox);
+                    for env in &arrived {
+                        match env.rel {
+                            Rel::R => state.r.extend_from_slice(&env.values),
+                            Rel::S => state.s.extend_from_slice(&env.values),
                         }
                     }
-                    let _ = out_tx.send(WorkerOut::Drained);
+                    let ctx = NodeCtx {
+                        node: *node,
+                        round,
+                        tree,
+                        stats: &stats,
+                        arrived: &arrived,
+                    };
+                    let mut out = Outbox::default();
+                    let step = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        program.round(&ctx, state, &mut out)
+                    }));
+                    let report = match step {
+                        Ok(step) => WorkerOut::Round {
+                            node: *node,
+                            outbox: out,
+                            step,
+                        },
+                        Err(payload) => {
+                            let message = crate::error::panic_message(&*payload);
+                            WorkerOut::Panicked {
+                                node: *node,
+                                message,
+                            }
+                        }
+                    };
+                    let _ = out_tx.send(report);
                 }
-            });
+            }
+            let _ = out_tx.send(WorkerOut::Drained);
         }
+    };
 
+    // The coordinator: opens supersteps, gathers reports, meters and
+    // delivers, and finally raises the stop flag that releases the crew.
+    let mut coordinator = || {
         // Coordinator loop.
         'steps: for round in 0..options.max_supersteps {
             // Open the superstep: reset the claim queue, then wake the
@@ -405,13 +410,24 @@ pub(crate) fn run_programs(
             meter.commit_round();
         }
 
-        // Tear down the pool.
+        // Tear down the crew (persistent pool workers go back to sleep;
+        // scoped workers exit).
         {
             let mut g = gate.lock().unwrap();
             g.stop = true;
         }
         gate_cv.notify_all();
-    });
+    };
+
+    match pool {
+        Some(pool) => pool.run_with(&worker_body, coordinator),
+        None => std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| worker_body(0));
+            }
+            coordinator();
+        }),
+    }
 
     let supersteps = outcome?;
     let final_state = {

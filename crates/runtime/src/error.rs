@@ -4,6 +4,16 @@ use std::fmt;
 
 use tamp_topology::NodeId;
 
+/// Render a caught panic payload for error reporting: the `&str` or
+/// `String` message when the panic carried one, a placeholder otherwise.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "<non-string panic>".into())
+}
+
 /// Errors raised while executing node programs on the cluster.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RuntimeError {
@@ -37,6 +47,13 @@ pub enum RuntimeError {
         /// The unrecognized spec, verbatim.
         spec: String,
     },
+    /// A backend spec requested a worker pool of width zero
+    /// (`"cluster:0"`). A zero-thread crew can never run a superstep, so
+    /// the spec is rejected instead of constructing a degenerate pool.
+    InvalidPoolWidth {
+        /// The offending spec, verbatim.
+        spec: String,
+    },
 }
 
 /// The specs [`backend_from_spec`](crate::backend::backend_from_spec)
@@ -66,6 +83,12 @@ impl fmt::Display for RuntimeError {
                         .map(|s| format!("`{s}`"))
                         .collect::<Vec<_>>()
                         .join(", ")
+                )
+            }
+            Self::InvalidPoolWidth { spec } => {
+                write!(
+                    f,
+                    "backend spec `{spec}` requests a zero-width worker pool (need N \u{2265} 1)"
                 )
             }
         }

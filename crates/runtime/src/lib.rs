@@ -72,6 +72,7 @@ pub mod cluster;
 pub mod error;
 pub mod jobs;
 pub mod message;
+pub mod pool;
 pub mod programs;
 
 pub use backend::{
@@ -82,3 +83,4 @@ pub use cluster::{run_cluster, ClusterOptions, NodeCtx, NodeProgram, RuntimeRun}
 pub use error::{RuntimeError, VALID_BACKEND_SPECS};
 pub use jobs::{Schedule, ScheduleJob, ScheduleSend};
 pub use message::{Envelope, Outbox, Step};
+pub use pool::WorkerPool;
