@@ -12,7 +12,7 @@
 //!
 //! or a single experiment by id (`t1-si`, `t1-cp`, `t1-sort`, `f1`–`f5`,
 //! `a1`, `x-mpc`, `x-cross`, `x-agg`, `x-groupby`, `x-general`,
-//! `x-runtime`, `x-query`, `x-scale`, `x-serve`, `x-uneq-tree`,
+//! `x-runtime`, `x-query`, `x-scale`, `x-batch`, `x-serve`, `x-uneq-tree`,
 //! `abl-partition`, `abl-pow2`, `abl-splitters`, `abl-treepack`,
 //! `abl-drift`).
 
@@ -26,6 +26,7 @@ pub mod serving;
 pub mod strategies;
 pub mod suite;
 pub mod table;
+pub mod xbatch;
 pub mod xscale;
 
 pub use table::Table;

@@ -807,6 +807,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "x-plan",
     "x-strategy",
     "x-scale",
+    "x-batch",
     "x-serve",
     "abl-drift",
     "x-uneq-tree",
@@ -838,6 +839,7 @@ pub fn run_experiment(id: &str) -> Option<Vec<Table>> {
         "x-plan" => crate::extensions::x_plan(),
         "x-strategy" => crate::strategies::x_strategy(),
         "x-scale" => crate::xscale::x_scale(),
+        "x-batch" => crate::xbatch::x_batch(),
         "x-serve" => crate::serving::x_serve(),
         "abl-drift" => crate::extensions::abl_drift(),
         "x-uneq-tree" => crate::extensions::x_unequal_tree(),

@@ -1,4 +1,4 @@
-//! X-SCALE — metering throughput at 4096-node scale.
+//! X-SCALE — metering throughput from 4096- to 65,536-node scale.
 //!
 //! The per-round cost functional used to be charged the naive way: every
 //! send walked its full `src → dst` path (memoized per pair), so one
@@ -7,7 +7,9 @@
 //! same ledger through O(1)-LCA subtree deltas and Euler-order virtual
 //! trees (see `tamp_simulator::metering`). This suite drives both
 //! implementations over the same workloads on a 4096-compute fat-tree
-//! and reports wall time and metering throughput; a smaller fat-tree
+//! and a 65,536-compute fat-tree — the latter's 87 381 nodes put every
+//! `commit_round` on the meter's chunked parallel prefix-sum sweep — and
+//! reports wall time and metering throughput; a smaller fat-tree
 //! cross-checks that the two ledgers are bit-identical.
 //!
 //! The baseline here — `NaivePathMeter`, shared with the simulator's
@@ -138,10 +140,12 @@ fn run_naive(tree: &Tree, workload: &Workload, rounds: usize, subsample: usize) 
 /// amortize once, as it did for the seed's repeated-shuffle workloads).
 const ROUNDS: usize = 2;
 
-/// X-SCALE-A: the 4096-compute throughput microbench (wall-clock).
+/// X-SCALE-A: the 4096- and 65,536-compute throughput microbench
+/// (wall-clock).
 fn throughput_table() -> Table {
     let mut t1 = Table::new(
-        "X-SCALE-A: metering throughput, 4096-compute fat-tree (aggregate LCA vs per-path oracle)",
+        "X-SCALE-A: metering throughput, 4096- and 65,536-compute fat-trees \
+         (aggregate LCA vs per-path oracle)",
         &[
             "workload",
             "p",
@@ -154,40 +158,60 @@ fn throughput_table() -> Table {
             "tuple cost",
         ],
     );
-    // 4^6 = 4096 compute leaves, 5461 nodes, leaf-to-leaf paths up to 12
-    // hops in the internal rooting.
-    let tree = builders::fat_tree(6, 4, 1.0);
-    let p = tree.num_compute();
     let rounds = ROUNDS;
-    // The all-to-all runs the aggregate meter over the FULL p² send set
-    // (the acceptance workload); broadcast-join subsamples both sides
-    // symmetrically to keep the suite's wall time in check.
-    for (workload, agg_sub, oracle_sub) in [
-        (Workload::AllToAll { amount: 8 }, 1, 32),
-        (Workload::BroadcastJoin { amount: 4 }, 4, 32),
+    // Tree 1: 4^6 = 4096 compute leaves, 5461 nodes, leaf-to-leaf paths
+    // up to 12 hops in the internal rooting. The all-to-all runs the
+    // aggregate meter over the FULL p² send set (the original acceptance
+    // workload); broadcast-join subsamples both sides symmetrically to
+    // keep the suite's wall time in check.
+    //
+    // Tree 2: 4^8 = 65,536 compute leaves, 87 381 nodes — big enough
+    // that every `commit_round` takes the meter's chunked parallel
+    // prefix-sum sweep. Both meters subsample sources here (the full p²
+    // set is 4.3 × 10⁹ sends); the oracle subsamples harder because its
+    // per-pair path memo alone would be gigabytes at this scale.
+    for (tree, runs) in [
+        (
+            builders::fat_tree(6, 4, 1.0),
+            [
+                (Workload::AllToAll { amount: 8 }, 1, 32),
+                (Workload::BroadcastJoin { amount: 4 }, 4, 32),
+            ],
+        ),
+        (
+            builders::fat_tree(8, 4, 1.0),
+            [
+                (Workload::AllToAll { amount: 8 }, 128, 4096),
+                (Workload::BroadcastJoin { amount: 4 }, 256, 4096),
+            ],
+        ),
     ] {
-        let (agg_ms, agg_sends, cost) = run_aggregate(&tree, &workload, rounds, agg_sub);
-        let (naive_ms, naive_sends) = run_naive(&tree, &workload, rounds, oracle_sub);
-        let agg_rate = agg_sends as f64 / agg_ms.max(1e-9);
-        let naive_rate = naive_sends as f64 / naive_ms.max(1e-9);
-        t1.row(vec![
-            workload.name().into(),
-            p.to_string(),
-            agg_sends.to_string(),
-            fnum(agg_ms),
-            fnum(agg_rate),
-            naive_sends.to_string(),
-            fnum(naive_ms),
-            fnum(agg_rate / naive_rate),
-            fnum(cost.tuple_cost()),
-        ]);
+        let p = tree.num_compute();
+        for (workload, agg_sub, oracle_sub) in runs {
+            let (agg_ms, agg_sends, cost) = run_aggregate(&tree, &workload, rounds, agg_sub);
+            let (naive_ms, naive_sends) = run_naive(&tree, &workload, rounds, oracle_sub);
+            let agg_rate = agg_sends as f64 / agg_ms.max(1e-9);
+            let naive_rate = naive_sends as f64 / naive_ms.max(1e-9);
+            t1.row(vec![
+                workload.name().into(),
+                p.to_string(),
+                agg_sends.to_string(),
+                fnum(agg_ms),
+                fnum(agg_rate),
+                naive_sends.to_string(),
+                fnum(naive_ms),
+                fnum(agg_rate / naive_rate),
+                fnum(cost.tuple_cost()),
+            ]);
+        }
     }
     t1.note(
         "Expected shape: the aggregate meter's throughput is ≥5× the per-path \
-         oracle's on the all-to-all round — O(1) LCA deltas vs O(depth) stamp \
-         walks plus a per-pair hash — and the gap widens with depth. The \
-         oracle runs a subsampled source set; its full p² path memo is the \
-         O(p²·depth) memory this PR deleted.",
+         oracle's on the all-to-all rounds — O(1) LCA deltas vs O(depth) stamp \
+         walks plus a per-pair hash — and the gap widens with depth, so the \
+         65,536-compute rows beat the 4096 ones. The oracle runs a subsampled \
+         source set; its full p² path memo is the O(p²·depth) memory this \
+         repo deleted.",
     );
     t1
 }
@@ -283,5 +307,11 @@ mod tests {
         // The broadcast union decomposition must also win, if less.
         let bspeed: f64 = a.cell(1, 7).parse().unwrap();
         assert!(bspeed >= 1.0, "broadcast-join speedup only {bspeed}×");
+        // The 65,536-compute rows: deeper paths widen the gap, and the
+        // commit path is the parallel sweep.
+        assert_eq!(a.cell(2, 0), "all-to-all");
+        assert_eq!(a.cell(2, 1), "65536");
+        let big: f64 = a.cell(2, 7).parse().unwrap();
+        assert!(big >= 5.0, "65,536-node all-to-all speedup only {big}×");
     }
 }

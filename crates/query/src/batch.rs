@@ -1,0 +1,281 @@
+//! Columnar record batches: the unit of the batch execution engine.
+//!
+//! A [`RecordBatch`] stores a fixed number of columns as shared
+//! `Arc<[Value]>` allocations — the same zero-copy currency the exchange
+//! fabric ships in `ScheduleSend::values` — so replicating a batch to
+//! another node's fragment list is a reference-count bump, not a copy.
+//! Batches convert losslessly to and from the row representation
+//! ([`Row`]): the batch engine and the tuple engine are two views of the
+//! same data, and the parity suites assert their outputs bit-identical.
+//!
+//! A node's fragment under the batch engine is a *list* of batches
+//! ([`BatchFragments`]); the list is read as the concatenation of its
+//! batches, so batch boundaries carry no meaning — only the row sequence
+//! does.
+
+use std::sync::Arc;
+
+use tamp_simulator::Value;
+
+use crate::row::Row;
+
+/// A column-major batch of rows: `width()` columns, each `num_rows()`
+/// values long, individually shared.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecordBatch {
+    cols: Vec<Arc<[Value]>>,
+    rows: usize,
+}
+
+impl RecordBatch {
+    /// An empty batch of the given width.
+    pub fn empty(width: usize) -> Self {
+        RecordBatch {
+            cols: (0..width).map(|_| Arc::from(Vec::new())).collect(),
+            rows: 0,
+        }
+    }
+
+    /// Build a batch from equal-length columns.
+    ///
+    /// # Panics
+    /// If the columns disagree on length.
+    pub fn from_cols(cols: Vec<Arc<[Value]>>) -> Self {
+        let rows = cols.first().map_or(0, |c| c.len());
+        Self::from_cols_rows(cols, rows)
+    }
+
+    /// Build a batch from columns with an explicit row count — required
+    /// for width-0 batches, which cannot otherwise carry their length.
+    ///
+    /// # Panics
+    /// If a column's length differs from `rows`.
+    pub fn from_cols_rows(cols: Vec<Arc<[Value]>>, rows: usize) -> Self {
+        assert!(
+            cols.iter().all(|c| c.len() == rows),
+            "RecordBatch columns must have equal length"
+        );
+        RecordBatch { cols, rows }
+    }
+
+    /// Transpose `width`-wide rows into a batch (lossless; see
+    /// [`RecordBatch::to_rows`] for the inverse).
+    pub fn from_rows(rows: &[Row], width: usize) -> Self {
+        debug_assert!(rows.iter().all(|r| r.len() == width));
+        let cols = (0..width)
+            .map(|c| rows.iter().map(|r| r[c]).collect())
+            .collect();
+        RecordBatch {
+            cols,
+            rows: rows.len(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The values of column `c`.
+    pub fn col(&self, c: usize) -> &[Value] {
+        &self.cols[c]
+    }
+
+    /// The shared allocation of column `c` (a clone is a refcount bump).
+    pub fn col_arc(&self, c: usize) -> &Arc<[Value]> {
+        &self.cols[c]
+    }
+
+    /// Transpose back into rows, appending to `out`.
+    pub fn append_rows(&self, out: &mut Vec<Row>) {
+        out.reserve(self.rows);
+        for i in 0..self.rows {
+            out.push(self.cols.iter().map(|c| c[i]).collect());
+        }
+    }
+
+    /// Transpose back into rows.
+    pub fn to_rows(&self) -> Vec<Row> {
+        let mut out = Vec::new();
+        self.append_rows(&mut out);
+        out
+    }
+
+    /// Select the rows at `idx` (in order, duplicates allowed) into a new
+    /// batch.
+    pub fn gather(&self, idx: &[usize]) -> RecordBatch {
+        let cols = self
+            .cols
+            .iter()
+            .map(|c| idx.iter().map(|&i| c[i]).collect())
+            .collect();
+        RecordBatch {
+            cols,
+            rows: idx.len(),
+        }
+    }
+
+    /// Append this batch's rows `sel` (in order) to a row-major buffer —
+    /// the wire layout of [`crate::row::flatten`].
+    pub fn flatten_into(&self, sel: &[usize], out: &mut Vec<Value>) {
+        out.reserve(sel.len() * self.cols.len());
+        for &i in sel {
+            for c in &self.cols {
+                out.push(c[i]);
+            }
+        }
+    }
+}
+
+/// Per-node batch lists, indexed by node id — the batch engine's
+/// counterpart of [`crate::physical::strategy::Fragments`].
+pub type BatchFragments = Vec<Vec<RecordBatch>>;
+
+/// Total rows across a node's batch list.
+pub fn batch_rows(batches: &[RecordBatch]) -> usize {
+    batches.iter().map(RecordBatch::num_rows).sum()
+}
+
+/// Concatenate a node's batch list into one batch of the given width.
+pub fn concat(batches: &[RecordBatch], width: usize) -> RecordBatch {
+    if batches.len() == 1 {
+        return batches[0].clone();
+    }
+    let rows = batch_rows(batches);
+    let cols = (0..width)
+        .map(|c| {
+            let mut col = Vec::with_capacity(rows);
+            for b in batches {
+                col.extend_from_slice(b.col(c));
+            }
+            Arc::from(col)
+        })
+        .collect();
+    RecordBatch { cols, rows }
+}
+
+/// Chunk `width`-wide rows into batches of at most `batch` rows each.
+pub fn rows_to_batches(rows: &[Row], width: usize, batch: usize) -> Vec<RecordBatch> {
+    if rows.is_empty() {
+        return Vec::new();
+    }
+    rows.chunks(batch.max(1))
+        .map(|chunk| RecordBatch::from_rows(chunk, width))
+        .collect()
+}
+
+/// Convert row fragments into batch fragments, chunking each node's rows
+/// into batches of at most `batch` rows.
+pub fn fragments_to_batches(
+    frags: &crate::physical::strategy::Fragments,
+    width: usize,
+    batch: usize,
+) -> BatchFragments {
+    frags
+        .iter()
+        .map(|rows| rows_to_batches(rows, width, batch))
+        .collect()
+}
+
+/// Convert batch fragments back into row fragments (the inverse of
+/// [`fragments_to_batches`] up to batch boundaries, which carry no
+/// meaning).
+pub fn batches_to_fragments(frags: &BatchFragments) -> crate::physical::strategy::Fragments {
+    frags
+        .iter()
+        .map(|batches| {
+            let mut rows = Vec::with_capacity(batch_rows(batches));
+            for b in batches {
+                b.append_rows(&mut rows);
+            }
+            rows
+        })
+        .collect()
+}
+
+/// Select rows spanning a node's batch list: `idx` holds `(batch, row)`
+/// pairs in output order.
+pub fn gather_multi(batches: &[RecordBatch], idx: &[(u32, u32)], width: usize) -> RecordBatch {
+    let cols = (0..width)
+        .map(|c| {
+            idx.iter()
+                .map(|&(b, i)| batches[b as usize].col(c)[i as usize])
+                .collect()
+        })
+        .collect();
+    RecordBatch {
+        cols,
+        rows: idx.len(),
+    }
+}
+
+/// Row-major flatten of the `(batch, row)` pairs in `idx` — the wire
+/// layout of [`crate::row::flatten`] over the selected rows.
+pub fn flatten_multi(batches: &[RecordBatch], idx: &[(u32, u32)], width: usize) -> Vec<Value> {
+    let mut out = Vec::with_capacity(idx.len() * width);
+    for &(b, i) in idx {
+        let b = &batches[b as usize];
+        for c in 0..width {
+            out.push(b.col(c)[i as usize]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_roundtrip_losslessly() {
+        let rows: Vec<Row> = (0..10u64).map(|i| vec![i, i * 2, i * 3]).collect();
+        let b = RecordBatch::from_rows(&rows, 3);
+        assert_eq!(b.num_rows(), 10);
+        assert_eq!(b.width(), 3);
+        assert_eq!(b.to_rows(), rows);
+        // Chunked conversion concatenates back to the same sequence.
+        let batches = rows_to_batches(&rows, 3, 4);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[2].num_rows(), 2);
+        let mut back = Vec::new();
+        for b in &batches {
+            b.append_rows(&mut back);
+        }
+        assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn empty_and_zero_width_batches() {
+        let b = RecordBatch::empty(4);
+        assert_eq!(b.num_rows(), 0);
+        assert_eq!(b.width(), 4);
+        assert!(b.to_rows().is_empty());
+        assert!(rows_to_batches(&[], 4, 8).is_empty());
+    }
+
+    #[test]
+    fn gather_and_flatten_follow_index_order() {
+        let rows: Vec<Row> = (0..6u64).map(|i| vec![i, 10 + i]).collect();
+        let b = RecordBatch::from_rows(&rows, 2);
+        let g = b.gather(&[4, 1, 1]);
+        assert_eq!(g.to_rows(), vec![vec![4, 14], vec![1, 11], vec![1, 11]]);
+        let mut flat = Vec::new();
+        b.flatten_into(&[2, 0], &mut flat);
+        assert_eq!(flat, vec![2, 12, 0, 10]);
+    }
+
+    #[test]
+    fn multi_batch_gather_spans_boundaries() {
+        let rows: Vec<Row> = (0..7u64).map(|i| vec![i]).collect();
+        let batches = rows_to_batches(&rows, 1, 3);
+        let g = gather_multi(&batches, &[(2, 0), (0, 1), (1, 2)], 1);
+        assert_eq!(g.to_rows(), vec![vec![6], vec![1], vec![5]]);
+        assert_eq!(flatten_multi(&batches, &[(2, 0), (0, 1)], 1), vec![6, 1]);
+        assert_eq!(concat(&batches, 1).to_rows(), rows);
+    }
+}

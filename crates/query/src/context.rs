@@ -45,7 +45,7 @@ use tamp_runtime::backend::{ExecBackend, SimulatorBackend};
 use tamp_topology::Tree;
 
 use crate::error::QueryError;
-use crate::exec::{self, ExecOptions, JoinStrategy, QueryResult};
+use crate::exec::{self, ExecMode, ExecOptions, JoinStrategy, QueryResult};
 use crate::expr::Expr;
 use crate::physical::strategy::{
     default_registry, OperatorKind, PhysicalStrategy, StrategyRegistry,
@@ -95,6 +95,23 @@ impl QueryContext {
     /// [`JoinStrategy::Auto`], the cost-based choice).
     pub fn with_join_strategy(mut self, join: JoinStrategy) -> Self {
         self.options.join = join;
+        self
+    }
+
+    /// Builder-style: set the execution engine (default
+    /// [`ExecMode::Columnar`]; [`ExecMode::Tuple`] keeps the row-at-a-time
+    /// interpreter, bit-identical in rows and metered cost).
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
+        self.options.mode = mode;
+        self
+    }
+
+    /// Builder-style: set the record-batch granularity (rows per batch
+    /// and per metered send). Zero is rejected at plan time with
+    /// [`QueryError::InvalidBatchSize`](crate::error::QueryError); the
+    /// metered cost is invariant in any valid value.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.options.batch_size = batch_size;
         self
     }
 
@@ -298,7 +315,7 @@ impl PreparedQuery<'_> {
     /// derived once from the plan and replayed through the backend, so
     /// every engine moves — and meters — bit-identical traffic.
     pub fn run_on(&self, backend: &dyn ExecBackend) -> Result<QueryResult, QueryError> {
-        exec::run_physical(self.catalog, &self.physical, self.options.seed, backend)
+        exec::run_physical(self.catalog, &self.physical, self.options, backend)
     }
 }
 

@@ -1,0 +1,35 @@
+//! The columnar filter kernel.
+
+use crate::batch::BatchFragments;
+use crate::error::QueryError;
+use crate::exec::columnar::eval::{eval, Sel};
+use crate::expr::Expr;
+use crate::schema::Schema;
+
+/// Keep rows matching `predicate` (bound once against `schema`): one
+/// vectorized predicate evaluation plus one gather per batch. Fully
+/// selected batches pass through untouched (a refcount bump per column).
+pub(crate) fn filter(
+    schema: &Schema,
+    frags: BatchFragments,
+    predicate: &Expr,
+) -> Result<BatchFragments, QueryError> {
+    let bound = predicate.bind(schema)?;
+    let mut out = Vec::with_capacity(frags.len());
+    for node in frags {
+        let mut kept = Vec::new();
+        for b in node {
+            let v = eval(&bound, &b, &Sel::All(b.num_rows()))?;
+            let idx: Vec<usize> = (0..b.num_rows()).filter(|&k| v[k] != 0).collect();
+            if idx.len() == b.num_rows() {
+                if !idx.is_empty() {
+                    kept.push(b);
+                }
+            } else if !idx.is_empty() {
+                kept.push(b.gather(&idx));
+            }
+        }
+        out.push(kept);
+    }
+    Ok(out)
+}

@@ -1,0 +1,175 @@
+//! The columnar batch engine: the default plan walker.
+//!
+//! Fragments flow between operators as per-node lists of
+//! [`RecordBatch`](crate::batch::RecordBatch)es. Local operators run the
+//! per-operator kernels ([`filter`], [`project`]); communicating
+//! operators hand batch fragments to their chosen strategy's
+//! [`trace_batch`](crate::physical::strategy::PhysicalStrategy::trace_batch)
+//! — columnar-native for the hash-join strategies, a lossless row shim
+//! everywhere else — so the exchange schedule and the metered ledgers
+//! are bit-identical to the tuple engine's.
+
+pub(crate) mod eval;
+pub(crate) mod filter;
+pub(crate) mod project;
+
+use crate::batch::BatchFragments;
+use crate::error::QueryError;
+use crate::exec::{local, ExecCtx};
+use crate::physical::strategy::BatchInput;
+use crate::physical::{PhysicalOp, PhysicalPlan};
+use crate::schema::Schema;
+
+/// Execute one physical operator (post-order) on batch fragments,
+/// recording its rounds and mark.
+pub(crate) fn exec_batches(
+    ctx: &mut ExecCtx<'_>,
+    plan: &PhysicalPlan,
+) -> Result<(Schema, BatchFragments), QueryError> {
+    let result = match &plan.op {
+        PhysicalOp::TableScan { table } => {
+            let t = ctx.catalog.table(table)?;
+            // One whole-fragment batch per node, prebuilt at catalog
+            // registration: the scan is a per-node `Arc` clone. Batch
+            // granularity governs *exchange* chunking (`TraceBuilder`
+            // splits every send at `batch_size` rows), not the in-memory
+            // batch extent, so the ledgers are unaffected.
+            (t.schema.clone(), t.scan_batches())
+        }
+        PhysicalOp::Filter { input, predicate } => {
+            let (schema, frags) = exec_batches(ctx, input)?;
+            let frags = filter::filter(&schema, frags, predicate)?;
+            (schema, frags)
+        }
+        PhysicalOp::Project { input, exprs } => {
+            let (schema, frags) = exec_batches(ctx, input)?;
+            project::project(&schema, &frags, exprs)?
+        }
+        PhysicalOp::HashJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+            exchange,
+        } => {
+            let (ls, lfrags) = exec_batches(ctx, left)?;
+            let (rs, rfrags) = exec_batches(ctx, right)?;
+            let li = ls.index_of(left_key)?;
+            let ri = rs.index_of(right_key)?;
+            let out_schema = ls.join(&rs, "r_")?;
+            let frags = ctx.run_strategy_batch(
+                exchange,
+                BatchInput::Join {
+                    left: lfrags,
+                    right: rfrags,
+                    left_key: li,
+                    right_key: ri,
+                    left_width: ls.width(),
+                    right_width: rs.width(),
+                },
+            )?;
+            (out_schema, frags)
+        }
+        PhysicalOp::CrossJoin {
+            left,
+            right,
+            exchange,
+        } => {
+            let (ls, lfrags) = exec_batches(ctx, left)?;
+            let (rs, rfrags) = exec_batches(ctx, right)?;
+            let out_schema = ls.join(&rs, "r_")?;
+            let frags = ctx.run_strategy_batch(
+                exchange,
+                BatchInput::CrossJoin {
+                    left: lfrags,
+                    right: rfrags,
+                    left_width: ls.width(),
+                    right_width: rs.width(),
+                },
+            )?;
+            (out_schema, frags)
+        }
+        PhysicalOp::Sort {
+            input,
+            key,
+            exchange,
+        } => {
+            let (schema, frags) = exec_batches(ctx, input)?;
+            let ki = schema.index_of(key)?;
+            let frags = ctx.run_strategy_batch(
+                exchange,
+                BatchInput::Sort {
+                    input: frags,
+                    key: ki,
+                    width: schema.width(),
+                },
+            )?;
+            (schema, frags)
+        }
+        PhysicalOp::HashAggregate {
+            input,
+            group_by,
+            agg,
+            measure,
+            exchange,
+        } => {
+            let (schema, frags) = exec_batches(ctx, input)?;
+            let gi = schema.index_of(group_by)?;
+            let mi = schema.index_of(measure)?;
+            let frags = ctx.run_strategy_batch(
+                exchange,
+                BatchInput::Aggregate {
+                    input: frags,
+                    group: gi,
+                    measure: mi,
+                    agg: *agg,
+                },
+            )?;
+            let out = Schema::new(vec![
+                group_by.clone(),
+                format!("{}_{}", agg.name(), measure),
+            ])?;
+            (out, frags)
+        }
+        PhysicalOp::Limit {
+            input,
+            n,
+            order_preserving,
+            exchange,
+        } => {
+            let (schema, frags) = exec_batches(ctx, input)?;
+            let frags = ctx.run_strategy_batch(
+                exchange,
+                BatchInput::Limit {
+                    input: frags,
+                    n: *n,
+                    width: schema.width(),
+                    order_preserving: *order_preserving,
+                },
+            )?;
+            (schema, frags)
+        }
+        PhysicalOp::Distinct { input, exchange } => {
+            let (schema, frags) = exec_batches(ctx, input)?;
+            let frags = ctx.run_strategy_batch(
+                exchange,
+                BatchInput::Distinct {
+                    input: frags,
+                    width: schema.width(),
+                },
+            )?;
+            (schema, frags)
+        }
+        PhysicalOp::UnionAll { left, right } => {
+            let (ls, mut lfrags) = exec_batches(ctx, left)?;
+            let (rs, mut rfrags) = exec_batches(ctx, right)?;
+            local::check_union(&ls, &rs)?;
+            for (f, r) in lfrags.iter_mut().zip(rfrags.iter_mut()) {
+                f.append(r);
+            }
+            (ls, lfrags)
+        }
+    };
+    ctx.mark(plan);
+    Ok(result)
+}

@@ -1,0 +1,38 @@
+//! The columnar projection kernel.
+
+use std::sync::Arc;
+
+use tamp_simulator::Value;
+
+use crate::batch::{BatchFragments, RecordBatch};
+use crate::error::QueryError;
+use crate::exec::columnar::eval::{eval, Sel};
+use crate::expr::Expr;
+use crate::schema::Schema;
+
+/// Evaluate named expressions column-at-a-time: each output column is
+/// one vectorized evaluation over the batch — no per-row allocation.
+pub(crate) fn project(
+    schema: &Schema,
+    frags: &BatchFragments,
+    exprs: &[(String, Expr)],
+) -> Result<(Schema, BatchFragments), QueryError> {
+    let bound: Vec<Expr> = exprs
+        .iter()
+        .map(|(_, e)| e.bind(schema))
+        .collect::<Result<_, _>>()?;
+    let mut out = Vec::with_capacity(frags.len());
+    for node in frags {
+        let mut batches = Vec::with_capacity(node.len());
+        for b in node {
+            let cols: Vec<Arc<[Value]>> = bound
+                .iter()
+                .map(|e| eval(e, b, &Sel::All(b.num_rows())).map(Arc::from))
+                .collect::<Result<_, _>>()?;
+            batches.push(RecordBatch::from_cols_rows(cols, b.num_rows()));
+        }
+        out.push(batches);
+    }
+    let out_schema = Schema::new(exprs.iter().map(|(n, _)| n.clone()).collect())?;
+    Ok((out_schema, out))
+}

@@ -52,6 +52,17 @@ pub(crate) fn project(
     Ok((out_schema, out))
 }
 
+/// Reject union inputs with mismatched schemas (shared by both engines
+/// so they surface the identical typed error).
+pub(crate) fn check_union(ls: &Schema, rs: &Schema) -> Result<(), QueryError> {
+    if ls != rs {
+        return Err(QueryError::Plan(format!(
+            "UNION ALL schema mismatch: {ls} vs {rs}"
+        )));
+    }
+    Ok(())
+}
+
 /// Bag union: fragments concatenate in place (free).
 pub(crate) fn union_all(
     ls: &Schema,
@@ -59,11 +70,7 @@ pub(crate) fn union_all(
     mut lfrags: Fragments,
     mut rfrags: Fragments,
 ) -> Result<Fragments, QueryError> {
-    if ls != rs {
-        return Err(QueryError::Plan(format!(
-            "UNION ALL schema mismatch: {ls} vs {rs}"
-        )));
-    }
+    check_union(ls, rs)?;
     for (f, r) in lfrags.iter_mut().zip(rfrags.iter_mut()) {
         f.append(r);
     }

@@ -6,15 +6,25 @@
 //! plan time, which computes the operator's output *and* emits its
 //! communication schedule — per round, the exact `(src, dsts, rel,
 //! payload)` sends (see [`crate::physical::strategy`]). Local operators
-//! (`Filter` / `Project` / `UnionAll`, the `local` submodule) move no
-//! data and record no rounds.
+//! (`Filter` / `Project` / `UnionAll`) move no data and record no rounds.
+//!
+//! Two engines perform the walk, selected by [`ExecMode`]:
+//!
+//! - the **columnar batch engine** (the `columnar` module, the default)
+//!   threads [`RecordBatch`](crate::batch::RecordBatch)es through
+//!   vectorized per-operator kernels — one tight loop per expression
+//!   node, no per-row allocation;
+//! - the **tuple engine** (the `tuple` + `local` modules) interprets
+//!   one `Vec<Value>` row at a time, and serves as the oracle the batch
+//!   kernels are tested against.
 //!
 //! Then the concatenated schedule replays through any
 //! [`ExecBackend`] as a [`tamp_runtime::ScheduleJob`] — the centralized
 //! simulator or the pooled BSP cluster — which meters it on the shared
 //! per-directed-edge ledger. Because the schedule is derived once from
 //! shared model knowledge, both engines move bit-identical traffic; the
-//! parity tests assert equal `edge_totals` across backends.
+//! parity tests assert equal rows and `edge_totals` across backends
+//! *and* across engines, for every batch size.
 //!
 //! This module drives the walk, attributes per-round costs to operators,
 //! and keeps the legacy free-function API ([`execute`], [`execute_on`])
@@ -22,146 +32,27 @@
 //!
 //! [`PhysicalStrategy`]: crate::physical::strategy::PhysicalStrategy
 
+pub(crate) mod columnar;
 pub(crate) mod local;
+mod options;
+mod result;
+pub(crate) mod tuple;
+
+pub use options::{ExecMode, ExecOptions, JoinStrategy, StrategyForce, DEFAULT_BATCH_SIZE};
+pub use result::{OperatorCost, QueryResult};
 
 use tamp_core::sorting::valid_order;
 use tamp_runtime::backend::{ExecBackend, SimulatorBackend};
 use tamp_runtime::jobs::{Schedule, ScheduleJob, ScheduleSend};
-use tamp_simulator::cost::Cost;
 use tamp_simulator::Placement;
-use tamp_topology::{NodeId, Tree};
+use tamp_topology::Tree;
 
+use crate::batch::batches_to_fragments;
 use crate::context::prepare_with;
 use crate::error::QueryError;
-use crate::physical::strategy::{ExecArgs, OpInput};
-use crate::physical::{Exchange, PhysicalOp, PhysicalPlan};
-use crate::row::{canonicalize, Row};
-use crate::schema::Schema;
+use crate::physical::strategy::{BatchInput, ExecArgs, OpInput};
+use crate::physical::{Exchange, PhysicalPlan};
 use crate::table::Catalog;
-
-/// How equi-joins repartition their inputs — the legacy strategy knob,
-/// kept as a shorthand for the common forced choices. Forcing *any*
-/// registered strategy by name (including third-party ones) goes through
-/// [`StrategyForce`] /
-/// [`QueryContext::with_strategy`](crate::context::QueryContext::with_strategy).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
-pub enum JoinStrategy {
-    /// Let the planner price every registered join strategy on the §2
-    /// cost model and keep the cheapest (see [`crate::physical::lower`]).
-    #[default]
-    Auto,
-    /// Force `weighted-repartition` (the distribution-aware choice).
-    Weighted,
-    /// Force `uniform-repartition` (the topology-agnostic MPC baseline).
-    Uniform,
-    /// Force `broadcast-small` (replicate the smaller side).
-    BroadcastSmall,
-}
-
-/// Per-operator forced strategy names (`None` = cost-based choice). The
-/// names resolve against the session's registry at plan time; unknown
-/// names surface as
-/// [`QueryError::UnknownStrategy`](crate::error::QueryError).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
-pub struct StrategyForce {
-    /// Force the equi-join strategy (overrides [`JoinStrategy`]).
-    pub join: Option<&'static str>,
-    /// Force the cross-join strategy.
-    pub cross: Option<&'static str>,
-    /// Force the sort strategy.
-    pub sort: Option<&'static str>,
-    /// Force the aggregate strategy.
-    pub aggregate: Option<&'static str>,
-}
-
-/// Execution options.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
-pub struct ExecOptions {
-    /// Join strategy shorthand.
-    pub join: JoinStrategy,
-    /// Seed for hashing and sampling.
-    pub seed: u64,
-    /// Per-operator forced strategies (by registry name).
-    pub force: StrategyForce,
-}
-
-impl ExecOptions {
-    /// The effective forced join-strategy name: an explicit
-    /// [`StrategyForce::join`] wins over the [`JoinStrategy`] shorthand.
-    pub(crate) fn forced_join(&self) -> Option<&'static str> {
-        self.force.join.or(match self.join {
-            JoinStrategy::Auto => None,
-            JoinStrategy::Weighted => Some("weighted-repartition"),
-            JoinStrategy::Uniform => Some("uniform-repartition"),
-            JoinStrategy::BroadcastSmall => Some("broadcast-small"),
-        })
-    }
-}
-
-/// Estimated-vs-metered cost of one operator, in plan post-order.
-#[derive(Clone, Debug, PartialEq)]
-pub struct OperatorCost {
-    /// Operator label (e.g. `HashJoin g=g`).
-    pub op: String,
-    /// The strategy that executed the operator's exchange (`None` for
-    /// local operators).
-    pub strategy: Option<&'static str>,
-    /// The planner's §2 estimate for the operator's exchange (0 for
-    /// local operators).
-    pub estimated: f64,
-    /// The metered tuple cost actually charged to the operator's rounds.
-    pub actual: f64,
-    /// The task's per-edge lower bound on the estimated placement, when
-    /// evaluated.
-    pub lower_bound: Option<f64>,
-    /// Communication rounds the operator used.
-    pub rounds: usize,
-}
-
-/// The result of a distributed query execution.
-#[derive(Clone, Debug)]
-pub struct QueryResult {
-    /// Output schema.
-    pub schema: Schema,
-    /// Output row fragments, indexed by node id.
-    pub fragments: Vec<Vec<Row>>,
-    /// Total metered cost.
-    pub cost: Cost,
-    /// Per-operator estimated-vs-actual cost, in execution order
-    /// (post-order of the plan); operators with no communication report
-    /// `0`.
-    pub operator_costs: Vec<OperatorCost>,
-    /// The planner's total estimated §2 cost for the plan.
-    pub estimated_cost: f64,
-    /// Communication rounds used.
-    pub rounds: usize,
-    /// The compute-node order along which `OrderBy` range-partitions (the
-    /// tree's valid left-to-right order); order-preserving row collection
-    /// concatenates fragments along it.
-    pub node_order: Vec<NodeId>,
-}
-
-impl QueryResult {
-    /// All output rows. Order-preserving plans (`OrderBy`, `Limit` above
-    /// one) concatenate fragments in execution order; anything else is
-    /// canonicalized for stable comparisons.
-    pub fn rows(&self, order_preserving: bool) -> Vec<Row> {
-        let mut rows: Vec<Row> = self
-            .node_order
-            .iter()
-            .flat_map(|&v| self.fragments[v.index()].iter().cloned())
-            .collect();
-        if !order_preserving {
-            canonicalize(&mut rows);
-        }
-        rows
-    }
-
-    /// Total number of output rows.
-    pub fn num_rows(&self) -> usize {
-        self.fragments.iter().map(Vec::len).sum()
-    }
-}
 
 /// Execute `plan` over `catalog` with `options` on the default engine
 /// (the centralized simulator backend).
@@ -195,12 +86,12 @@ pub fn execute_on(
 
 pub(crate) use crate::physical::strategy::Fragments;
 
-/// Shared state of one plan walk: the catalog, the seed, the schedule
+/// Shared state of one plan walk: the catalog, the options, the schedule
 /// being accumulated, and the operator marks for cost attribution.
 pub(crate) struct ExecCtx<'a> {
     pub catalog: &'a Catalog,
     pub tree: &'a Tree,
-    pub seed: u64,
+    pub options: ExecOptions,
     rounds: Vec<Vec<ScheduleSend>>,
     marks: Vec<Mark>,
 }
@@ -214,24 +105,40 @@ struct Mark {
 }
 
 impl ExecCtx<'_> {
-    /// Run `exchange`'s strategy on `input`, appending its rounds to the
-    /// query's schedule.
-    fn run_strategy(
+    fn exec_args(&self) -> ExecArgs<'_> {
+        ExecArgs {
+            tree: self.tree,
+            seed: self.options.seed,
+            batch: self.options.batch_size,
+        }
+    }
+
+    /// Run `exchange`'s strategy on row-form `input`, appending its
+    /// rounds to the query's schedule.
+    pub(crate) fn run_strategy(
         &mut self,
         exchange: &Exchange,
         input: OpInput,
     ) -> Result<Fragments, QueryError> {
-        let args = ExecArgs {
-            tree: self.tree,
-            seed: self.seed,
-        };
-        let traced = exchange.strategy.trace(&args, input)?;
+        let traced = exchange.strategy.trace(&self.exec_args(), input)?;
+        self.rounds.extend(traced.rounds);
+        Ok(traced.output)
+    }
+
+    /// Run `exchange`'s strategy on batch-form `input`, appending its
+    /// rounds to the query's schedule.
+    pub(crate) fn run_strategy_batch(
+        &mut self,
+        exchange: &Exchange,
+        input: BatchInput,
+    ) -> Result<crate::batch::BatchFragments, QueryError> {
+        let traced = exchange.strategy.trace_batch(&self.exec_args(), input)?;
         self.rounds.extend(traced.rounds);
         Ok(traced.output)
     }
 
     /// Record that `plan`'s operator finished at the current round count.
-    fn mark(&mut self, plan: &PhysicalPlan) {
+    pub(crate) fn mark(&mut self, plan: &PhysicalPlan) {
         self.marks.push(Mark {
             op: plan.label(),
             strategy: plan.exchange().map(|x| x.name()),
@@ -244,22 +151,29 @@ impl ExecCtx<'_> {
     }
 }
 
-/// Execute a physical plan: compute fragments and the exchange schedule,
-/// then replay the schedule through `backend` for metering.
+/// Execute a physical plan: compute fragments and the exchange schedule
+/// on the engine `options.mode` selects, then replay the schedule
+/// through `backend` for metering.
 pub(crate) fn run_physical(
     catalog: &Catalog,
     physical: &PhysicalPlan,
-    seed: u64,
+    options: ExecOptions,
     backend: &dyn ExecBackend,
 ) -> Result<QueryResult, QueryError> {
     let mut ctx = ExecCtx {
         catalog,
         tree: catalog.tree(),
-        seed,
+        options,
         rounds: Vec::new(),
         marks: Vec::new(),
     };
-    let (schema, fragments) = exec_physical(&mut ctx, physical)?;
+    let (schema, fragments) = match options.mode {
+        ExecMode::Columnar => {
+            let (schema, batches) = columnar::exec_batches(&mut ctx, physical)?;
+            (schema, batches_to_fragments(&batches))
+        }
+        ExecMode::Tuple => tuple::exec_physical(&mut ctx, physical)?,
+    };
     let job = ScheduleJob::new(
         "query",
         catalog.tree().num_nodes(),
@@ -298,158 +212,14 @@ pub(crate) fn run_physical(
     })
 }
 
-/// Execute one physical operator (post-order), recording its rounds and
-/// mark.
-fn exec_physical(
-    ctx: &mut ExecCtx<'_>,
-    plan: &PhysicalPlan,
-) -> Result<(Schema, Fragments), QueryError> {
-    let result = match &plan.op {
-        PhysicalOp::TableScan { table } => {
-            let t = ctx.catalog.table(table)?;
-            (t.schema.clone(), t.fragments.clone())
-        }
-        PhysicalOp::Filter { input, predicate } => {
-            let (schema, frags) = exec_physical(ctx, input)?;
-            let frags = local::filter(&schema, frags, predicate)?;
-            (schema, frags)
-        }
-        PhysicalOp::Project { input, exprs } => {
-            let (schema, frags) = exec_physical(ctx, input)?;
-            local::project(&schema, &frags, exprs)?
-        }
-        PhysicalOp::HashJoin {
-            left,
-            right,
-            left_key,
-            right_key,
-            exchange,
-        } => {
-            let (ls, lfrags) = exec_physical(ctx, left)?;
-            let (rs, rfrags) = exec_physical(ctx, right)?;
-            let li = ls.index_of(left_key)?;
-            let ri = rs.index_of(right_key)?;
-            let out_schema = ls.join(&rs, "r_")?;
-            let frags = ctx.run_strategy(
-                exchange,
-                OpInput::Join {
-                    left: lfrags,
-                    right: rfrags,
-                    left_key: li,
-                    right_key: ri,
-                    left_width: ls.width(),
-                    right_width: rs.width(),
-                },
-            )?;
-            (out_schema, frags)
-        }
-        PhysicalOp::CrossJoin {
-            left,
-            right,
-            exchange,
-        } => {
-            let (ls, lfrags) = exec_physical(ctx, left)?;
-            let (rs, rfrags) = exec_physical(ctx, right)?;
-            let out_schema = ls.join(&rs, "r_")?;
-            let frags = ctx.run_strategy(
-                exchange,
-                OpInput::CrossJoin {
-                    left: lfrags,
-                    right: rfrags,
-                    left_width: ls.width(),
-                    right_width: rs.width(),
-                },
-            )?;
-            (out_schema, frags)
-        }
-        PhysicalOp::Sort {
-            input,
-            key,
-            exchange,
-        } => {
-            let (schema, frags) = exec_physical(ctx, input)?;
-            let ki = schema.index_of(key)?;
-            let frags = ctx.run_strategy(
-                exchange,
-                OpInput::Sort {
-                    input: frags,
-                    key: ki,
-                    width: schema.width(),
-                },
-            )?;
-            (schema, frags)
-        }
-        PhysicalOp::HashAggregate {
-            input,
-            group_by,
-            agg,
-            measure,
-            exchange,
-        } => {
-            let (schema, frags) = exec_physical(ctx, input)?;
-            let gi = schema.index_of(group_by)?;
-            let mi = schema.index_of(measure)?;
-            let frags = ctx.run_strategy(
-                exchange,
-                OpInput::Aggregate {
-                    input: frags,
-                    group: gi,
-                    measure: mi,
-                    agg: *agg,
-                },
-            )?;
-            let out = Schema::new(vec![
-                group_by.clone(),
-                format!("{}_{}", agg.name(), measure),
-            ])?;
-            (out, frags)
-        }
-        PhysicalOp::Limit {
-            input,
-            n,
-            order_preserving,
-            exchange,
-        } => {
-            let (schema, frags) = exec_physical(ctx, input)?;
-            let frags = ctx.run_strategy(
-                exchange,
-                OpInput::Limit {
-                    input: frags,
-                    n: *n,
-                    width: schema.width(),
-                    order_preserving: *order_preserving,
-                },
-            )?;
-            (schema, frags)
-        }
-        PhysicalOp::Distinct { input, exchange } => {
-            let (schema, frags) = exec_physical(ctx, input)?;
-            let frags = ctx.run_strategy(
-                exchange,
-                OpInput::Distinct {
-                    input: frags,
-                    width: schema.width(),
-                },
-            )?;
-            (schema, frags)
-        }
-        PhysicalOp::UnionAll { left, right } => {
-            let (ls, lfrags) = exec_physical(ctx, left)?;
-            let (rs, rfrags) = exec_physical(ctx, right)?;
-            let frags = local::union_all(&ls, &rs, lfrags, rfrags)?;
-            (ls, frags)
-        }
-    };
-    ctx.mark(plan);
-    Ok(result)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::expr::{col, lit};
     use crate::plan::{AggFunc, LogicalPlan};
     use crate::reference;
+    use crate::row::Row;
+    use crate::schema::Schema;
     use crate::table::DistributedTable;
     use tamp_core::hashing::mix64;
     use tamp_topology::builders;
@@ -480,6 +250,18 @@ mod tests {
         let got = res.rows(reference::preserves_order(q));
         let want = reference::evaluate(q, c).unwrap();
         assert_eq!(got, want, "plan:\n{q}");
+        // The tuple reference engine agrees bit-for-bit, rows and ledger.
+        let tup = execute(
+            c,
+            q,
+            ExecOptions {
+                mode: ExecMode::Tuple,
+                ..opts
+            },
+        )
+        .unwrap();
+        assert_eq!(tup.rows(reference::preserves_order(q)), got, "plan:\n{q}");
+        assert_eq!(tup.cost.edge_totals, res.cost.edge_totals, "plan:\n{q}");
         res
     }
 
@@ -732,10 +514,54 @@ mod tests {
             Err(QueryError::UnknownTable(_))
         ));
         let q = LogicalPlan::scan("facts").filter(col("id").div(lit(0)).gt(lit(0)));
-        assert_eq!(
-            execute(&c, &q, ExecOptions::default()).unwrap_err(),
-            QueryError::DivideByZero
-        );
+        for mode in [ExecMode::Columnar, ExecMode::Tuple] {
+            assert_eq!(
+                execute(
+                    &c,
+                    &q,
+                    ExecOptions {
+                        mode,
+                        ..ExecOptions::default()
+                    }
+                )
+                .unwrap_err(),
+                QueryError::DivideByZero
+            );
+        }
+    }
+
+    #[test]
+    fn zero_batch_size_is_a_typed_plan_error() {
+        let c = catalog(builders::star(2, 1.0), 10);
+        let q = LogicalPlan::scan("facts");
+        for mode in [ExecMode::Columnar, ExecMode::Tuple] {
+            assert_eq!(
+                execute(
+                    &c,
+                    &q,
+                    ExecOptions {
+                        batch_size: 0,
+                        mode,
+                        ..ExecOptions::default()
+                    }
+                )
+                .unwrap_err(),
+                QueryError::InvalidBatchSize
+            );
+        }
+        // Any positive size runs.
+        for batch_size in [1, 3, usize::MAX] {
+            let res = execute(
+                &c,
+                &q,
+                ExecOptions {
+                    batch_size,
+                    ..ExecOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(res.num_rows(), 10);
+        }
     }
 
     #[test]
@@ -802,6 +628,8 @@ mod distinct_union_tests {
     use crate::expr::{col, lit};
     use crate::plan::LogicalPlan;
     use crate::reference;
+    use crate::row::Row;
+    use crate::schema::Schema;
     use crate::table::DistributedTable;
     use tamp_topology::builders;
 
@@ -869,10 +697,19 @@ mod distinct_union_tests {
         );
         c.register(t).unwrap();
         let q = LogicalPlan::scan("d").union_all(LogicalPlan::scan("other"));
-        assert!(matches!(
-            execute(&c, &q, ExecOptions::default()),
-            Err(QueryError::Plan(_))
-        ));
+        for mode in [ExecMode::Columnar, ExecMode::Tuple] {
+            assert!(matches!(
+                execute(
+                    &c,
+                    &q,
+                    ExecOptions {
+                        mode,
+                        ..ExecOptions::default()
+                    }
+                ),
+                Err(QueryError::Plan(_))
+            ));
+        }
     }
 
     #[test]

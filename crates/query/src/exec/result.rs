@@ -1,0 +1,72 @@
+//! Query results: output fragments plus the metered cost breakdown.
+
+use tamp_simulator::cost::Cost;
+use tamp_topology::NodeId;
+
+use crate::row::{canonicalize, Row};
+use crate::schema::Schema;
+
+/// Estimated-vs-metered cost of one operator, in plan post-order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OperatorCost {
+    /// Operator label (e.g. `HashJoin g=g`).
+    pub op: String,
+    /// The strategy that executed the operator's exchange (`None` for
+    /// local operators).
+    pub strategy: Option<&'static str>,
+    /// The planner's §2 estimate for the operator's exchange (0 for
+    /// local operators).
+    pub estimated: f64,
+    /// The metered tuple cost actually charged to the operator's rounds.
+    pub actual: f64,
+    /// The task's per-edge lower bound on the estimated placement, when
+    /// evaluated.
+    pub lower_bound: Option<f64>,
+    /// Communication rounds the operator used.
+    pub rounds: usize,
+}
+
+/// The result of a distributed query execution.
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    /// Output schema.
+    pub schema: Schema,
+    /// Output row fragments, indexed by node id.
+    pub fragments: Vec<Vec<Row>>,
+    /// Total metered cost.
+    pub cost: Cost,
+    /// Per-operator estimated-vs-actual cost, in execution order
+    /// (post-order of the plan); operators with no communication report
+    /// `0`.
+    pub operator_costs: Vec<OperatorCost>,
+    /// The planner's total estimated §2 cost for the plan.
+    pub estimated_cost: f64,
+    /// Communication rounds used.
+    pub rounds: usize,
+    /// The compute-node order along which `OrderBy` range-partitions (the
+    /// tree's valid left-to-right order); order-preserving row collection
+    /// concatenates fragments along it.
+    pub node_order: Vec<NodeId>,
+}
+
+impl QueryResult {
+    /// All output rows. Order-preserving plans (`OrderBy`, `Limit` above
+    /// one) concatenate fragments in execution order; anything else is
+    /// canonicalized for stable comparisons.
+    pub fn rows(&self, order_preserving: bool) -> Vec<Row> {
+        let mut rows: Vec<Row> = self
+            .node_order
+            .iter()
+            .flat_map(|&v| self.fragments[v.index()].iter().cloned())
+            .collect();
+        if !order_preserving {
+            canonicalize(&mut rows);
+        }
+        rows
+    }
+
+    /// Total number of output rows.
+    pub fn num_rows(&self) -> usize {
+        self.fragments.iter().map(Vec::len).sum()
+    }
+}

@@ -1,0 +1,159 @@
+//! The row-at-a-time reference walker.
+//!
+//! One `Vec<Value>` per row, one interpreter dispatch per row and
+//! expression node. This is the engine the columnar path is tested
+//! against: `ExecMode::Tuple` runs it, and the parity proptests assert
+//! its rows and metered `edge_totals` bit-identical to the batch
+//! kernels'.
+
+use crate::error::QueryError;
+use crate::exec::{local, ExecCtx, Fragments};
+use crate::physical::strategy::OpInput;
+use crate::physical::{PhysicalOp, PhysicalPlan};
+use crate::schema::Schema;
+
+/// Execute one physical operator (post-order), recording its rounds and
+/// mark.
+pub(crate) fn exec_physical(
+    ctx: &mut ExecCtx<'_>,
+    plan: &PhysicalPlan,
+) -> Result<(Schema, Fragments), QueryError> {
+    let result = match &plan.op {
+        PhysicalOp::TableScan { table } => {
+            let t = ctx.catalog.table(table)?;
+            (t.schema.clone(), t.fragments.clone())
+        }
+        PhysicalOp::Filter { input, predicate } => {
+            let (schema, frags) = exec_physical(ctx, input)?;
+            let frags = local::filter(&schema, frags, predicate)?;
+            (schema, frags)
+        }
+        PhysicalOp::Project { input, exprs } => {
+            let (schema, frags) = exec_physical(ctx, input)?;
+            local::project(&schema, &frags, exprs)?
+        }
+        PhysicalOp::HashJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+            exchange,
+        } => {
+            let (ls, lfrags) = exec_physical(ctx, left)?;
+            let (rs, rfrags) = exec_physical(ctx, right)?;
+            let li = ls.index_of(left_key)?;
+            let ri = rs.index_of(right_key)?;
+            let out_schema = ls.join(&rs, "r_")?;
+            let frags = ctx.run_strategy(
+                exchange,
+                OpInput::Join {
+                    left: lfrags,
+                    right: rfrags,
+                    left_key: li,
+                    right_key: ri,
+                    left_width: ls.width(),
+                    right_width: rs.width(),
+                },
+            )?;
+            (out_schema, frags)
+        }
+        PhysicalOp::CrossJoin {
+            left,
+            right,
+            exchange,
+        } => {
+            let (ls, lfrags) = exec_physical(ctx, left)?;
+            let (rs, rfrags) = exec_physical(ctx, right)?;
+            let out_schema = ls.join(&rs, "r_")?;
+            let frags = ctx.run_strategy(
+                exchange,
+                OpInput::CrossJoin {
+                    left: lfrags,
+                    right: rfrags,
+                    left_width: ls.width(),
+                    right_width: rs.width(),
+                },
+            )?;
+            (out_schema, frags)
+        }
+        PhysicalOp::Sort {
+            input,
+            key,
+            exchange,
+        } => {
+            let (schema, frags) = exec_physical(ctx, input)?;
+            let ki = schema.index_of(key)?;
+            let frags = ctx.run_strategy(
+                exchange,
+                OpInput::Sort {
+                    input: frags,
+                    key: ki,
+                    width: schema.width(),
+                },
+            )?;
+            (schema, frags)
+        }
+        PhysicalOp::HashAggregate {
+            input,
+            group_by,
+            agg,
+            measure,
+            exchange,
+        } => {
+            let (schema, frags) = exec_physical(ctx, input)?;
+            let gi = schema.index_of(group_by)?;
+            let mi = schema.index_of(measure)?;
+            let frags = ctx.run_strategy(
+                exchange,
+                OpInput::Aggregate {
+                    input: frags,
+                    group: gi,
+                    measure: mi,
+                    agg: *agg,
+                },
+            )?;
+            let out = Schema::new(vec![
+                group_by.clone(),
+                format!("{}_{}", agg.name(), measure),
+            ])?;
+            (out, frags)
+        }
+        PhysicalOp::Limit {
+            input,
+            n,
+            order_preserving,
+            exchange,
+        } => {
+            let (schema, frags) = exec_physical(ctx, input)?;
+            let frags = ctx.run_strategy(
+                exchange,
+                OpInput::Limit {
+                    input: frags,
+                    n: *n,
+                    width: schema.width(),
+                    order_preserving: *order_preserving,
+                },
+            )?;
+            (schema, frags)
+        }
+        PhysicalOp::Distinct { input, exchange } => {
+            let (schema, frags) = exec_physical(ctx, input)?;
+            let frags = ctx.run_strategy(
+                exchange,
+                OpInput::Distinct {
+                    input: frags,
+                    width: schema.width(),
+                },
+            )?;
+            (schema, frags)
+        }
+        PhysicalOp::UnionAll { left, right } => {
+            let (ls, lfrags) = exec_physical(ctx, left)?;
+            let (rs, rfrags) = exec_physical(ctx, right)?;
+            let frags = local::union_all(&ls, &rs, lfrags, rfrags)?;
+            (ls, frags)
+        }
+    };
+    ctx.mark(plan);
+    Ok(result)
+}

@@ -80,6 +80,7 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod batch;
 pub mod context;
 pub mod error;
 pub mod exec;
@@ -95,9 +96,11 @@ pub mod table;
 
 /// Everything needed to build and run queries.
 pub mod prelude {
+    pub use crate::batch::RecordBatch;
     pub use crate::context::{DataFrame, PreparedQuery, QueryContext};
     pub use crate::exec::{
-        execute, execute_on, ExecOptions, JoinStrategy, OperatorCost, QueryResult, StrategyForce,
+        execute, execute_on, ExecMode, ExecOptions, JoinStrategy, OperatorCost, QueryResult,
+        StrategyForce,
     };
     pub use crate::expr::{col, lit, Expr};
     pub use crate::optimizer::optimize;
@@ -111,10 +114,12 @@ pub mod prelude {
     pub use crate::table::{Catalog, DistributedTable};
 }
 
+pub use batch::RecordBatch;
 pub use context::{DataFrame, PreparedQuery, QueryContext};
 pub use error::QueryError;
 pub use exec::{
-    execute, execute_on, ExecOptions, JoinStrategy, OperatorCost, QueryResult, StrategyForce,
+    execute, execute_on, ExecMode, ExecOptions, JoinStrategy, OperatorCost, QueryResult,
+    StrategyForce,
 };
 pub use physical::strategy::{OperatorKind, PhysicalStrategy, StrategyRegistry};
 pub use physical::{Exchange, PhysicalPlan};

@@ -143,7 +143,7 @@ impl PhysicalStrategy for HashAggregate {
     fn trace(&self, a: &ExecArgs<'_>, input: OpInput) -> Result<OpTrace, QueryError> {
         let (frags, gi, mi, agg) = agg_input(input);
         let tree = a.tree;
-        let mut trace = TraceBuilder::default();
+        let mut trace = TraceBuilder::batched(a.batch);
         let router: Box<dyn Fn(u64) -> NodeId> = if self.weighted {
             let weights = frag_weights(tree, &frags, &empty_frags(tree));
             match WeightedHash::new(a.seed, &weights) {
@@ -193,7 +193,7 @@ impl PhysicalStrategy for HashAggregate {
                 }
             }
         }
-        trace.round(|round| unicast_round(round, outgoing, Rel::S));
+        trace.round(|round| unicast_round(round, outgoing, Rel::S, 2));
         Ok(OpTrace {
             rounds: trace.into_rounds(),
             output: owned
@@ -279,13 +279,13 @@ impl PhysicalStrategy for CombiningTreeAggregate {
             }
         }
 
-        let mut trace = TraceBuilder::default();
+        let mut trace = TraceBuilder::batched(a.batch);
         for moves in schedule {
             trace.round(|round| {
                 for &(src, dst) in &moves {
                     let rows: Vec<Row> =
                         acc[src.index()].iter().map(|(&g, &m)| vec![g, m]).collect();
-                    round.send(src, &[dst], Rel::S, flatten(&rows, 2));
+                    round.send_rows(src, &[dst], Rel::S, flatten(&rows, 2), 2);
                 }
             });
             for (src, dst) in moves {

@@ -1,0 +1,277 @@
+//! Columnar-native exchange kernels for the hash-join strategies.
+//!
+//! These mirror the row helpers in [`super`] (`shuffle_by_key`,
+//! `broadcast_small`, `probe_join`) batch-at-a-time: routing scans one
+//! key column, movement is index gathers over shared column buffers, and
+//! replication is a refcount bump per column. Every helper reproduces the
+//! row helper's fragment order and sends exactly — per destination,
+//! chunks arrive in ascending source order with rows in source scan
+//! order, and the local chunk sits at the source's own position — so the
+//! columnar engine's rows, rounds, and metered ledgers are bit-identical
+//! to the tuple engine's (the `plan_parity` proptests enforce this).
+
+use tamp_core::hashing::mix64;
+use tamp_simulator::{Rel, Value};
+use tamp_topology::{NodeId, Tree};
+
+use crate::batch::{batch_rows, gather_multi, RecordBatch};
+use crate::physical::strategy::TraceBuilder;
+
+/// Per-node batch lists, indexed by node id (the columnar `Fragments`).
+pub(crate) type BatchFragments = Vec<Vec<RecordBatch>>;
+
+/// Empty batch fragments for `tree`.
+pub(crate) fn empty_batch_frags(tree: &Tree) -> BatchFragments {
+    vec![Vec::new(); tree.num_nodes()]
+}
+
+/// Current per-node row counts (identical to the row helper's
+/// `frag_weights`, so weighted hashes route the same).
+pub(crate) fn batch_frag_weights(
+    tree: &Tree,
+    frags: &BatchFragments,
+    extra: &BatchFragments,
+) -> Vec<(NodeId, u64)> {
+    tree.compute_nodes()
+        .iter()
+        .map(|&v| {
+            (
+                v,
+                (batch_rows(&frags[v.index()]) + batch_rows(&extra[v.index()])) as u64,
+            )
+        })
+        .collect()
+}
+
+/// The nodes holding rows of `frags` — broadcast destinations.
+pub(crate) fn batch_holders_of(tree: &Tree, frags: &BatchFragments) -> Vec<NodeId> {
+    tree.compute_nodes()
+        .iter()
+        .copied()
+        .filter(|&v| batch_rows(&frags[v.index()]) > 0)
+        .collect()
+}
+
+/// Row-major flatten of whole batches, in batch then row order.
+fn flatten_batches(batches: &[RecordBatch], width: usize) -> Vec<Value> {
+    let mut out = Vec::with_capacity(batch_rows(batches) * width);
+    for b in batches {
+        for r in 0..b.num_rows() {
+            for c in 0..width {
+                out.push(b.col(c)[r]);
+            }
+        }
+    }
+    out
+}
+
+/// Row-major flatten of `(batch, row)` picks across `batches`.
+fn flatten_picks(batches: &[RecordBatch], picks: &[(u32, u32)], width: usize) -> Vec<Value> {
+    let mut out = Vec::with_capacity(picks.len() * width);
+    for &(bi, ri) in picks {
+        let b = &batches[bi as usize];
+        for c in 0..width {
+            out.push(b.col(c)[ri as usize]);
+        }
+    }
+    out
+}
+
+/// One-round repartition of batch fragments by a key router: one key-column
+/// scan and one gather per destination, one (chunked) send per `(src,
+/// dst)` pair.
+pub(crate) fn shuffle_batches_by_key(
+    trace: &mut TraceBuilder,
+    tree: &Tree,
+    frags: &BatchFragments,
+    key_idx: usize,
+    width: usize,
+    rel: Rel,
+    router: &dyn Fn(u64) -> NodeId,
+) -> BatchFragments {
+    let mut new_frags = empty_batch_frags(tree);
+    let mut outgoing: Vec<(NodeId, NodeId, Vec<Value>)> = Vec::new();
+    // Scratch reused across sources: per-destination pick lists.
+    let mut picks: Vec<Vec<(u32, u32)>> = vec![Vec::new(); tree.num_nodes()];
+    let mut touched: Vec<usize> = Vec::new();
+    for &v in tree.compute_nodes() {
+        let batches = &frags[v.index()];
+        for (bi, b) in batches.iter().enumerate() {
+            let keys = b.col(key_idx);
+            for (ri, &key) in keys.iter().enumerate() {
+                let dst = router(key).index();
+                if picks[dst].is_empty() {
+                    touched.push(dst);
+                }
+                picks[dst].push((bi as u32, ri as u32));
+            }
+        }
+        // Local rows first (the source's own position in the per-dst
+        // chunk order), then one gather + send per remote destination.
+        touched.sort_unstable();
+        for &dst in &touched {
+            let pick = std::mem::take(&mut picks[dst]);
+            if dst == v.index() {
+                new_frags[dst].push(gather_multi(batches, &pick, width));
+            } else {
+                outgoing.push((
+                    v,
+                    NodeId::from_index(dst),
+                    flatten_picks(batches, &pick, width),
+                ));
+                new_frags[dst].push(gather_multi(batches, &pick, width));
+            }
+        }
+        touched.clear();
+    }
+    trace.round(|round| {
+        for (src, dst, buf) in outgoing {
+            round.send_rows(src, &[dst], rel, buf, width);
+        }
+    });
+    new_frags
+}
+
+/// One-round replication of `small_frags` to every holder: the multicast
+/// payload flattens once per source, and the replicated fragments are
+/// refcount bumps on the source columns — no row copies at all.
+pub(crate) fn broadcast_small_batches(
+    trace: &mut TraceBuilder,
+    tree: &Tree,
+    small_frags: &BatchFragments,
+    small_w: usize,
+    holders: &[NodeId],
+) -> BatchFragments {
+    trace.round(|round| {
+        for &v in tree.compute_nodes() {
+            let local = &small_frags[v.index()];
+            if batch_rows(local) == 0 || holders.is_empty() {
+                continue;
+            }
+            round.send_rows(v, holders, Rel::R, flatten_batches(local, small_w), small_w);
+        }
+    });
+    let mut small_new = empty_batch_frags(tree);
+    for &h in holders {
+        for frag in small_frags.iter() {
+            small_new[h.index()].extend(frag.iter().cloned());
+        }
+    }
+    small_new
+}
+
+/// An open-addressing multimap from join key to right-row indices,
+/// preserving insertion order per key. Any correct map yields the same
+/// join output as the row helper's `HashMap` build (the output depends
+/// only on key → index-list, probed in left order), so the faster table
+/// does not disturb parity.
+struct KeyMap {
+    mask: usize,
+    slot_key: Vec<u64>,
+    slot_list: Vec<u32>,
+    lists: Vec<Vec<u32>>,
+}
+
+const EMPTY: u32 = u32::MAX;
+
+impl KeyMap {
+    fn with_capacity(n: usize) -> Self {
+        let cap = (n * 2).next_power_of_two().max(8);
+        KeyMap {
+            mask: cap - 1,
+            slot_key: vec![0; cap],
+            slot_list: vec![EMPTY; cap],
+            lists: Vec::with_capacity(n),
+        }
+    }
+
+    fn insert(&mut self, key: u64, idx: u32) {
+        let mut slot = mix64(key) as usize & self.mask;
+        loop {
+            match self.slot_list[slot] {
+                EMPTY => {
+                    self.slot_key[slot] = key;
+                    self.slot_list[slot] = self.lists.len() as u32;
+                    self.lists.push(vec![idx]);
+                    return;
+                }
+                li if self.slot_key[slot] == key => {
+                    self.lists[li as usize].push(idx);
+                    return;
+                }
+                _ => slot = (slot + 1) & self.mask,
+            }
+        }
+    }
+
+    fn get(&self, key: u64) -> Option<&[u32]> {
+        let mut slot = mix64(key) as usize & self.mask;
+        loop {
+            match self.slot_list[slot] {
+                EMPTY => return None,
+                li if self.slot_key[slot] == key => return Some(&self.lists[li as usize]),
+                _ => slot = (slot + 1) & self.mask,
+            }
+        }
+    }
+}
+
+/// Local probe join of co-located batch fragments: build on the right,
+/// probe in left order, emit one output batch per node as column gathers
+/// — `left ++ right` rows in exactly the row helper's order.
+pub(crate) fn probe_join_batches(
+    tree: &Tree,
+    l_new: &BatchFragments,
+    r_new: &BatchFragments,
+    li: usize,
+    ri: usize,
+    lw: usize,
+    rw: usize,
+) -> BatchFragments {
+    let mut out = empty_batch_frags(tree);
+    for &v in tree.compute_nodes() {
+        let rbatches = &r_new[v.index()];
+        let lbatches = &l_new[v.index()];
+        let r_rows = batch_rows(rbatches);
+        if r_rows == 0 || batch_rows(lbatches) == 0 {
+            continue;
+        }
+        // Build: global right index → (batch, row), keyed map in
+        // insertion (scan) order.
+        let mut map = KeyMap::with_capacity(r_rows);
+        let mut r_loc: Vec<(u32, u32)> = Vec::with_capacity(r_rows);
+        for (bi, b) in rbatches.iter().enumerate() {
+            for (rr, &key) in b.col(ri).iter().enumerate() {
+                map.insert(key, r_loc.len() as u32);
+                r_loc.push((bi as u32, rr as u32));
+            }
+        }
+        // Probe in left scan order.
+        let mut l_picks: Vec<(u32, u32)> = Vec::new();
+        let mut r_picks: Vec<(u32, u32)> = Vec::new();
+        for (bi, b) in lbatches.iter().enumerate() {
+            for (lr, &key) in b.col(li).iter().enumerate() {
+                if let Some(matches) = map.get(key) {
+                    for &j in matches {
+                        l_picks.push((bi as u32, lr as u32));
+                        r_picks.push(r_loc[j as usize]);
+                    }
+                }
+            }
+        }
+        if l_picks.is_empty() {
+            continue;
+        }
+        let left_part = gather_multi(lbatches, &l_picks, lw);
+        let right_part = gather_multi(rbatches, &r_picks, rw);
+        let mut cols = Vec::with_capacity(lw + rw);
+        for c in 0..lw {
+            cols.push(left_part.col_arc(c).clone());
+        }
+        for c in 0..rw {
+            cols.push(right_part.col_arc(c).clone());
+        }
+        out[v.index()].push(RecordBatch::from_cols_rows(cols, l_picks.len()));
+    }
+    out
+}

@@ -125,7 +125,7 @@ impl PhysicalStrategy for BroadcastSmallCross {
     fn trace(&self, a: &ExecArgs<'_>, input: OpInput) -> Result<OpTrace, QueryError> {
         let (lfrags, rfrags, lw, rw) = cross_input(input);
         let tree = a.tree;
-        let mut trace = TraceBuilder::default();
+        let mut trace = TraceBuilder::batched(a.batch);
         let l_total: usize = lfrags.iter().map(Vec::len).sum();
         let r_total: usize = rfrags.iter().map(Vec::len).sum();
         let left_is_small = l_total * lw <= r_total * rw;
@@ -182,8 +182,9 @@ fn rect_cross_trace(
     rfrags: &Fragments,
     lw: usize,
     rw: usize,
+    batch: usize,
 ) -> OpTrace {
-    let mut trace = TraceBuilder::default();
+    let mut trace = TraceBuilder::batched(batch);
     // Global labels: concatenate fragments in compute-node order.
     let order = tree.compute_nodes();
     let mut l_start = vec![0u64; tree.num_nodes()];
@@ -214,7 +215,7 @@ fn rect_cross_trace(
                 {
                     dsts.sort_unstable();
                     dsts.dedup();
-                    round.send(v, &dsts, rel, flatten(&local[sub], width));
+                    round.send_rows(v, &dsts, rel, flatten(&local[sub], width), width);
                 }
             }
         }
@@ -336,7 +337,9 @@ impl PhysicalStrategy for WhcGridCross {
         let l_total: usize = lfrags.iter().map(Vec::len).sum();
         let r_total: usize = rfrags.iter().map(Vec::len).sum();
         let rects = Self::plan(a.tree, l_total as u64, r_total as u64);
-        Ok(rect_cross_trace(a.tree, &rects, &lfrags, &rfrags, lw, rw))
+        Ok(rect_cross_trace(
+            a.tree, &rects, &lfrags, &rfrags, lw, rw, a.batch,
+        ))
     }
 }
 
@@ -405,6 +408,8 @@ impl PhysicalStrategy for UniformHyperCubeCross {
         let l_total: usize = lfrags.iter().map(Vec::len).sum();
         let r_total: usize = rfrags.iter().map(Vec::len).sum();
         let rects = Self::plan(a.tree, l_total as u64, r_total as u64);
-        Ok(rect_cross_trace(a.tree, &rects, &lfrags, &rfrags, lw, rw))
+        Ok(rect_cross_trace(
+            a.tree, &rects, &lfrags, &rfrags, lw, rw, a.batch,
+        ))
     }
 }

@@ -32,12 +32,33 @@ use tamp_topology::NodeId;
 
 use crate::error::QueryError;
 use crate::physical::strategy::{
-    CostEstimate, ExecArgs, Fragments, OpInput, OpTrace, OperatorKind, PhysicalStrategy, PlanArgs,
-    TraceBuilder,
+    BatchInput, BatchTrace, CostEstimate, ExecArgs, Fragments, OpInput, OpTrace, OperatorKind,
+    PhysicalStrategy, PlanArgs, TraceBuilder,
 };
 use crate::row::{flatten, Row};
 
+use super::columnar::{
+    batch_frag_weights, batch_holders_of, broadcast_small_batches, empty_batch_frags,
+    probe_join_batches, shuffle_batches_by_key, BatchFragments,
+};
 use super::{broadcast_small, empty_frags, frag_weights, holders_of, probe_join, shuffle_by_key};
+
+fn join_batch_input(
+    input: BatchInput,
+) -> (BatchFragments, BatchFragments, usize, usize, usize, usize) {
+    let BatchInput::Join {
+        left,
+        right,
+        left_key,
+        right_key,
+        left_width,
+        right_width,
+    } = input
+    else {
+        unreachable!("registered for Join");
+    };
+    (left, right, left_key, right_key, left_width, right_width)
+}
 
 fn join_input(input: OpInput) -> (Fragments, Fragments, usize, usize, usize, usize) {
     let OpInput::Join {
@@ -98,7 +119,7 @@ impl PhysicalStrategy for WeightedRepartitionJoin {
     fn trace(&self, a: &ExecArgs<'_>, input: OpInput) -> Result<OpTrace, QueryError> {
         let (lfrags, rfrags, li, ri, lw, rw) = join_input(input);
         let tree = a.tree;
-        let mut trace = TraceBuilder::default();
+        let mut trace = TraceBuilder::batched(a.batch);
         let weights = frag_weights(tree, &lfrags, &rfrags);
         let Some(hash) = WeightedHash::new(a.seed, &weights) else {
             // No rows anywhere: the join output is empty.
@@ -113,6 +134,26 @@ impl PhysicalStrategy for WeightedRepartitionJoin {
         Ok(OpTrace {
             rounds: trace.into_rounds(),
             output: probe_join(tree, &l_new, &r_new, li, ri),
+        })
+    }
+
+    fn trace_batch(&self, a: &ExecArgs<'_>, input: BatchInput) -> Result<BatchTrace, QueryError> {
+        let (lfrags, rfrags, li, ri, lw, rw) = join_batch_input(input);
+        let tree = a.tree;
+        let mut trace = TraceBuilder::batched(a.batch);
+        let weights = batch_frag_weights(tree, &lfrags, &rfrags);
+        let Some(hash) = WeightedHash::new(a.seed, &weights) else {
+            return Ok(BatchTrace {
+                rounds: trace.into_rounds(),
+                output: empty_batch_frags(tree),
+            });
+        };
+        let router = |key: u64| hash.pick(key);
+        let l_new = shuffle_batches_by_key(&mut trace, tree, &lfrags, li, lw, Rel::R, &router);
+        let r_new = shuffle_batches_by_key(&mut trace, tree, &rfrags, ri, rw, Rel::S, &router);
+        Ok(BatchTrace {
+            rounds: trace.into_rounds(),
+            output: probe_join_batches(tree, &l_new, &r_new, li, ri, lw, rw),
         })
     }
 }
@@ -154,7 +195,7 @@ impl PhysicalStrategy for UniformRepartitionJoin {
     fn trace(&self, a: &ExecArgs<'_>, input: OpInput) -> Result<OpTrace, QueryError> {
         let (lfrags, rfrags, li, ri, lw, rw) = join_input(input);
         let tree = a.tree;
-        let mut trace = TraceBuilder::default();
+        let mut trace = TraceBuilder::batched(a.batch);
         let vc: Vec<NodeId> = tree.compute_nodes().to_vec();
         let seed = a.seed;
         let router = move |key: u64| vc[(mix64(key ^ seed) % vc.len() as u64) as usize];
@@ -163,6 +204,21 @@ impl PhysicalStrategy for UniformRepartitionJoin {
         Ok(OpTrace {
             rounds: trace.into_rounds(),
             output: probe_join(tree, &l_new, &r_new, li, ri),
+        })
+    }
+
+    fn trace_batch(&self, a: &ExecArgs<'_>, input: BatchInput) -> Result<BatchTrace, QueryError> {
+        let (lfrags, rfrags, li, ri, lw, rw) = join_batch_input(input);
+        let tree = a.tree;
+        let mut trace = TraceBuilder::batched(a.batch);
+        let vc: Vec<NodeId> = tree.compute_nodes().to_vec();
+        let seed = a.seed;
+        let router = move |key: u64| vc[(mix64(key ^ seed) % vc.len() as u64) as usize];
+        let l_new = shuffle_batches_by_key(&mut trace, tree, &lfrags, li, lw, Rel::R, &router);
+        let r_new = shuffle_batches_by_key(&mut trace, tree, &rfrags, ri, rw, Rel::S, &router);
+        Ok(BatchTrace {
+            rounds: trace.into_rounds(),
+            output: probe_join_batches(tree, &l_new, &r_new, li, ri, lw, rw),
         })
     }
 }
@@ -223,7 +279,7 @@ impl PhysicalStrategy for BroadcastSmallJoin {
     fn trace(&self, a: &ExecArgs<'_>, input: OpInput) -> Result<OpTrace, QueryError> {
         let (lfrags, rfrags, li, ri, lw, rw) = join_input(input);
         let tree = a.tree;
-        let mut trace = TraceBuilder::default();
+        let mut trace = TraceBuilder::batched(a.batch);
         let l_total: usize = lfrags.iter().map(Vec::len).sum();
         let r_total: usize = rfrags.iter().map(Vec::len).sum();
         let left_is_small = l_total <= r_total;
@@ -243,6 +299,31 @@ impl PhysicalStrategy for BroadcastSmallJoin {
         Ok(OpTrace {
             rounds: trace.into_rounds(),
             output: probe_join(tree, &l_new, &r_new, li, ri),
+        })
+    }
+
+    fn trace_batch(&self, a: &ExecArgs<'_>, input: BatchInput) -> Result<BatchTrace, QueryError> {
+        let (lfrags, rfrags, li, ri, lw, rw) = join_batch_input(input);
+        let tree = a.tree;
+        let mut trace = TraceBuilder::batched(a.batch);
+        let l_total: usize = lfrags.iter().map(|b| crate::batch::batch_rows(b)).sum();
+        let r_total: usize = rfrags.iter().map(|b| crate::batch::batch_rows(b)).sum();
+        let left_is_small = l_total <= r_total;
+        let (small_frags, small_w, big_frags) = if left_is_small {
+            (&lfrags, lw, &rfrags)
+        } else {
+            (&rfrags, rw, &lfrags)
+        };
+        let holders = batch_holders_of(tree, big_frags);
+        let small_new = broadcast_small_batches(&mut trace, tree, small_frags, small_w, &holders);
+        let (l_new, r_new) = if left_is_small {
+            (small_new, rfrags)
+        } else {
+            (lfrags, small_new)
+        };
+        Ok(BatchTrace {
+            rounds: trace.into_rounds(),
+            output: probe_join_batches(tree, &l_new, &r_new, li, ri, lw, rw),
         })
     }
 }
@@ -342,7 +423,7 @@ impl PhysicalStrategy for TreePartitionJoin {
     fn trace(&self, a: &ExecArgs<'_>, input: OpInput) -> Result<OpTrace, QueryError> {
         let (lfrags, rfrags, li, ri, lw, rw) = join_input(input);
         let tree = a.tree;
-        let mut trace = TraceBuilder::default();
+        let mut trace = TraceBuilder::batched(a.batch);
         let l_total: usize = lfrags.iter().map(Vec::len).sum();
         let r_total: usize = rfrags.iter().map(Vec::len).sum();
         let left_is_small = l_total <= r_total;
@@ -389,7 +470,7 @@ impl PhysicalStrategy for TreePartitionJoin {
                         small_new[d.index()].extend(rows.iter().cloned());
                     }
                     if dsts != [v] {
-                        round.send(v, &dsts, small_rel, flatten(&rows, small_w));
+                        round.send_rows(v, &dsts, small_rel, flatten(&rows, small_w), small_w);
                     }
                 }
                 // Big rows: hash within the owner's block only.
@@ -409,7 +490,7 @@ impl PhysicalStrategy for TreePartitionJoin {
                 }
                 for (dst, rows) in by_dst {
                     big_new[dst.index()].extend(rows.iter().cloned());
-                    round.send(v, &[dst], big_rel, flatten(&rows, big_w));
+                    round.send_rows(v, &[dst], big_rel, flatten(&rows, big_w), big_w);
                 }
             }
         });

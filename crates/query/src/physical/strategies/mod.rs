@@ -34,6 +34,7 @@ use crate::physical::strategy::{
 use crate::row::{canonicalize, flatten, Row};
 
 pub(crate) mod aggregate;
+pub(crate) mod columnar;
 pub(crate) mod cross;
 pub(crate) mod join;
 pub(crate) mod sort;
@@ -110,7 +111,7 @@ pub(crate) fn broadcast_small(
             if local.is_empty() || holders.is_empty() {
                 continue;
             }
-            round.send(v, holders, Rel::R, flatten(local, small_w));
+            round.send_rows(v, holders, Rel::R, flatten(local, small_w), small_w);
         }
     });
     let mut small_new = empty_frags(tree);
@@ -151,7 +152,7 @@ pub(crate) fn shuffle_by_key(
     }
     trace.round(|round| {
         for (src, dst, buf) in outgoing {
-            round.send(src, &[dst], rel, buf);
+            round.send_rows(src, &[dst], rel, buf, width);
         }
     });
     new_frags
@@ -185,14 +186,16 @@ pub(crate) fn probe_join(
     out
 }
 
-/// Send each `(src, dst, rows)` batch as one unicast in a single round.
+/// Send each `(src, dst, rows)` payload of `width`-value rows as
+/// batch-chunked unicasts in a single round.
 pub(crate) fn unicast_round(
     round: &mut RoundSends,
     outgoing: Vec<(NodeId, NodeId, Vec<u64>)>,
     rel: Rel,
+    width: usize,
 ) {
     for (src, dst, buf) in outgoing {
-        round.send(src, &[dst], rel, buf);
+        round.send_rows(src, &[dst], rel, buf, width);
     }
 }
 
@@ -229,7 +232,7 @@ impl PhysicalStrategy for WeightedDistinct {
         };
         let tree = a.tree;
         let weights = frag_weights(tree, &input, &empty_frags(tree));
-        let mut trace = TraceBuilder::default();
+        let mut trace = TraceBuilder::batched(a.batch);
         let Some(hash) = WeightedHash::new(a.seed ^ 0xD157, &weights) else {
             return Ok(OpTrace {
                 rounds: trace.into_rounds(),
@@ -261,7 +264,7 @@ impl PhysicalStrategy for WeightedDistinct {
                 new_frags[dst.index()].extend(rows);
             }
         }
-        trace.round(|round| unicast_round(round, outgoing, Rel::R));
+        trace.round(|round| unicast_round(round, outgoing, Rel::R, width));
         for frag in &mut new_frags {
             canonicalize(frag);
             frag.dedup();
@@ -333,11 +336,11 @@ impl PhysicalStrategy for GatherLimit {
             local.truncate(n);
             contributions.push((v, local));
         }
-        let mut trace = TraceBuilder::default();
+        let mut trace = TraceBuilder::batched(a.batch);
         trace.round(|round| {
             for (v, rows) in &contributions {
                 if *v != target && !rows.is_empty() {
-                    round.send(*v, &[target], Rel::R, flatten(rows, width));
+                    round.send_rows(*v, &[target], Rel::R, flatten(rows, width), width);
                 }
             }
         });

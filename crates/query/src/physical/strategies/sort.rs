@@ -125,7 +125,7 @@ impl PhysicalStrategy for RangeShuffleSort {
                 output: frags,
             });
         }
-        let mut trace = TraceBuilder::default();
+        let mut trace = TraceBuilder::batched(a.batch);
         let coordinator = order[0];
         let rho = sample_rate(order.len(), total as u64);
 
@@ -143,7 +143,7 @@ impl PhysicalStrategy for RangeShuffleSort {
         }
         trace.round(|round| {
             for (v, samples) in sampled {
-                round.send(v, &[coordinator], Rel::S, samples);
+                round.send_rows(v, &[coordinator], Rel::S, samples, 1);
             }
         });
 
@@ -160,7 +160,7 @@ impl PhysicalStrategy for RangeShuffleSort {
         };
 
         // Round 2: broadcast splitters.
-        trace.round(|round| round.send(coordinator, &order, Rel::S, splitters.clone()));
+        trace.round(|round| round.send_rows(coordinator, &order, Rel::S, splitters.clone(), 1));
 
         // Round 3: range shuffle by splitter buckets.
         let mut new_frags = empty_frags(tree);
@@ -185,7 +185,7 @@ impl PhysicalStrategy for RangeShuffleSort {
                 }
             }
         }
-        trace.round(|round| super::unicast_round(round, outgoing, Rel::R));
+        trace.round(|round| super::unicast_round(round, outgoing, Rel::R, width));
         for &v in &order {
             new_frags[v.index()].sort_by_key(|r| (r[ki], r.clone()));
         }

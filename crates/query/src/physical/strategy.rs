@@ -106,6 +106,7 @@ use tamp_runtime::jobs::ScheduleSend;
 use tamp_simulator::{PlacementStats, Rel, Value};
 use tamp_topology::{NodeId, Tree};
 
+use crate::batch::{batches_to_fragments, fragments_to_batches, BatchFragments};
 use crate::error::QueryError;
 use crate::physical::cost::{CostModel, NodeCounts};
 use crate::plan::AggFunc;
@@ -271,6 +272,12 @@ pub struct ExecArgs<'a> {
     pub tree: &'a Tree,
     /// The session's hashing/sampling seed.
     pub seed: u64,
+    /// Rows per emitted send: every exchange payload is chunked into
+    /// sends of at most `batch` rows (`usize::MAX` disables chunking).
+    /// Chunking a fixed `(src, dsts)` multicast never changes its metered
+    /// cost — the §2 charge is linear in the amount sent over each edge —
+    /// so `edge_totals` and per-round costs are invariant in this knob.
+    pub batch: usize,
 }
 
 /// The operator-specific execution input: the materialized child
@@ -354,18 +361,204 @@ pub struct OpTrace {
     pub output: Fragments,
 }
 
+/// The operator-specific execution input in columnar form: per-node
+/// [`RecordBatch`](crate::batch::RecordBatch) lists instead of row
+/// vectors, with the same parameters as [`OpInput`].
+#[derive(Debug)]
+pub enum BatchInput {
+    /// Equi-join.
+    Join {
+        /// Left batch fragments.
+        left: BatchFragments,
+        /// Right batch fragments.
+        right: BatchFragments,
+        /// Key column index on the left.
+        left_key: usize,
+        /// Key column index on the right.
+        right_key: usize,
+        /// Left row width.
+        left_width: usize,
+        /// Right row width.
+        right_width: usize,
+    },
+    /// Cartesian product.
+    CrossJoin {
+        /// Left batch fragments.
+        left: BatchFragments,
+        /// Right batch fragments.
+        right: BatchFragments,
+        /// Left row width.
+        left_width: usize,
+        /// Right row width.
+        right_width: usize,
+    },
+    /// Global sort.
+    Sort {
+        /// Input batch fragments.
+        input: BatchFragments,
+        /// Sort column index.
+        key: usize,
+        /// Row width.
+        width: usize,
+    },
+    /// Grouped aggregation.
+    Aggregate {
+        /// Input batch fragments.
+        input: BatchFragments,
+        /// Grouping column index.
+        group: usize,
+        /// Measure column index.
+        measure: usize,
+        /// Aggregate function.
+        agg: AggFunc,
+    },
+    /// Duplicate elimination.
+    Distinct {
+        /// Input batch fragments.
+        input: BatchFragments,
+        /// Row width.
+        width: usize,
+    },
+    /// First `n` rows.
+    Limit {
+        /// Input batch fragments.
+        input: BatchFragments,
+        /// Row budget.
+        n: usize,
+        /// Row width.
+        width: usize,
+        /// Whether fragment order is globally meaningful.
+        order_preserving: bool,
+    },
+}
+
+impl BatchInput {
+    /// Lossless conversion to row form, plus the operator's *output* row
+    /// width (what a row shim must use to re-batch the traced output).
+    pub fn into_rows(self) -> (OpInput, usize) {
+        match self {
+            BatchInput::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+                left_width,
+                right_width,
+            } => (
+                OpInput::Join {
+                    left: batches_to_fragments(&left),
+                    right: batches_to_fragments(&right),
+                    left_key,
+                    right_key,
+                    left_width,
+                    right_width,
+                },
+                left_width + right_width,
+            ),
+            BatchInput::CrossJoin {
+                left,
+                right,
+                left_width,
+                right_width,
+            } => (
+                OpInput::CrossJoin {
+                    left: batches_to_fragments(&left),
+                    right: batches_to_fragments(&right),
+                    left_width,
+                    right_width,
+                },
+                left_width + right_width,
+            ),
+            BatchInput::Sort { input, key, width } => (
+                OpInput::Sort {
+                    input: batches_to_fragments(&input),
+                    key,
+                    width,
+                },
+                width,
+            ),
+            BatchInput::Aggregate {
+                input,
+                group,
+                measure,
+                agg,
+            } => (
+                OpInput::Aggregate {
+                    input: batches_to_fragments(&input),
+                    group,
+                    measure,
+                    agg,
+                },
+                2,
+            ),
+            BatchInput::Distinct { input, width } => (
+                OpInput::Distinct {
+                    input: batches_to_fragments(&input),
+                    width,
+                },
+                width,
+            ),
+            BatchInput::Limit {
+                input,
+                n,
+                width,
+                order_preserving,
+            } => (
+                OpInput::Limit {
+                    input: batches_to_fragments(&input),
+                    n,
+                    width,
+                    order_preserving,
+                },
+                width,
+            ),
+        }
+    }
+}
+
+/// What a strategy's columnar execution produces: the same replayable
+/// rounds as [`OpTrace`], with the output in batch form.
+#[derive(Debug)]
+pub struct BatchTrace {
+    /// The communication rounds, in order.
+    pub rounds: Vec<Vec<ScheduleSend>>,
+    /// Output batch fragments by node id.
+    pub output: BatchFragments,
+}
+
 /// Records the rounds of one operator's exchange.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct TraceBuilder {
     rounds: Vec<Vec<ScheduleSend>>,
+    batch: usize,
+}
+
+impl Default for TraceBuilder {
+    /// An unchunked builder ([`RoundSends::send_rows`] emits one send per
+    /// payload), for strategies that size their sends themselves.
+    fn default() -> Self {
+        TraceBuilder::batched(usize::MAX)
+    }
 }
 
 impl TraceBuilder {
+    /// A builder that chunks every [`RoundSends::send_rows`] payload into
+    /// sends of at most `batch` rows ([`ExecArgs::batch`]).
+    pub fn batched(batch: usize) -> Self {
+        TraceBuilder {
+            rounds: Vec::new(),
+            batch,
+        }
+    }
+
     /// Record one communication round; `f` queues the round's sends.
     /// Rounds with no sends are still recorded (silent rounds are
     /// metered, matching both engines).
     pub fn round<F: FnOnce(&mut RoundSends)>(&mut self, f: F) {
-        let mut rec = RoundSends { sends: Vec::new() };
+        let mut rec = RoundSends {
+            sends: Vec::new(),
+            batch: self.batch,
+        };
         f(&mut rec);
         self.rounds.push(rec.sends);
     }
@@ -380,6 +573,7 @@ impl TraceBuilder {
 #[derive(Debug)]
 pub struct RoundSends {
     sends: Vec<ScheduleSend>,
+    batch: usize,
 }
 
 impl RoundSends {
@@ -396,6 +590,32 @@ impl RoundSends {
             rel,
             values: values.into(),
         });
+    }
+
+    /// Queue a row-major payload of `width`-value rows, chunked into
+    /// sends of at most the builder's batch size (in rows). Chunk
+    /// boundaries never change the metered cost — the per-edge charge is
+    /// linear in the amount sent for a fixed `(src, dsts)` — so the
+    /// ledger is bit-identical for every batch size.
+    pub fn send_rows(
+        &mut self,
+        src: NodeId,
+        dsts: &[NodeId],
+        rel: Rel,
+        values: Vec<Value>,
+        width: usize,
+    ) {
+        if dsts.is_empty() || values.is_empty() {
+            return;
+        }
+        let chunk = self.batch.saturating_mul(width.max(1));
+        if values.len() <= chunk {
+            self.send(src, dsts, rel, values);
+            return;
+        }
+        for piece in values.chunks(chunk) {
+            self.send(src, dsts, rel, piece.to_vec());
+        }
     }
 }
 
@@ -441,6 +661,27 @@ pub trait PhysicalStrategy: fmt::Debug + Send + Sync {
     /// rounds that move them. The returned rounds replay through any
     /// backend; their metered cost is the strategy's actual cost.
     fn trace(&self, args: &ExecArgs<'_>, input: OpInput) -> Result<OpTrace, QueryError>;
+
+    /// Execute on columnar input. The default is a lossless row shim:
+    /// convert to rows, run [`trace`](PhysicalStrategy::trace), re-batch
+    /// the output at [`ExecArgs::batch`] rows — rows, rounds, and ledger
+    /// identical to the tuple engine by construction. Strategies with a
+    /// columnar-native exchange (the repartition and broadcast joins)
+    /// override this to skip row materialization entirely; overrides must
+    /// reproduce the tuple path's sends and fragment order exactly (the
+    /// `plan_parity` proptests hold them to it).
+    fn trace_batch(
+        &self,
+        args: &ExecArgs<'_>,
+        input: BatchInput,
+    ) -> Result<BatchTrace, QueryError> {
+        let (rows, out_width) = input.into_rows();
+        let traced = self.trace(args, rows)?;
+        Ok(BatchTrace {
+            output: fragments_to_batches(&traced.output, out_width, args.batch),
+            rounds: traced.rounds,
+        })
+    }
 }
 
 /// The set of registered strategies, by operator.

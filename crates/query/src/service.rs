@@ -441,7 +441,7 @@ impl QueryService {
         let result = exec::run_physical(
             ctx.catalog(),
             &cached.physical,
-            ctx.options().seed,
+            ctx.options(),
             &self.backend,
         )?;
         debug_assert_eq!(result.schema, cached.schema);

@@ -9,6 +9,7 @@
 use tamp_core::hashing::mix64;
 use tamp_topology::{NodeId, Tree};
 
+use crate::batch::{fragments_to_batches, RecordBatch};
 use crate::error::QueryError;
 use crate::row::Row;
 use crate::schema::Schema;
@@ -22,11 +23,32 @@ pub struct DistributedTable {
     pub schema: Schema,
     /// Row fragments, indexed by node id (router slots stay empty).
     pub fragments: Vec<Vec<Row>>,
+    // Columnar mirror of `fragments` — one whole-fragment record batch
+    // per node, (re)built by `Catalog::register` so the batch engine's
+    // scans are refcount bumps, never per-row transposes. Empty until
+    // registration; `scan_batches` falls back to converting on the fly.
+    columnar: Vec<Vec<RecordBatch>>,
 }
 
 impl DistributedTable {
     fn empty_fragments(tree: &Tree) -> Vec<Vec<Row>> {
         vec![Vec::new(); tree.num_nodes()]
+    }
+
+    /// (Re)build the columnar mirror from the row fragments.
+    pub(crate) fn build_columnar(&mut self) {
+        self.columnar = fragments_to_batches(&self.fragments, self.schema.width(), usize::MAX);
+    }
+
+    /// The table as batch fragments: the prebuilt columnar mirror when
+    /// registration has built one (a per-node `Arc` clone), otherwise a
+    /// fresh conversion.
+    pub(crate) fn scan_batches(&self) -> Vec<Vec<RecordBatch>> {
+        if self.columnar.len() == self.fragments.len() {
+            self.columnar.clone()
+        } else {
+            fragments_to_batches(&self.fragments, self.schema.width(), usize::MAX)
+        }
     }
 
     fn validated(name: &str, schema: Schema, rows: &[Row]) -> Result<(String, Schema), QueryError> {
@@ -54,6 +76,7 @@ impl DistributedTable {
             name,
             schema,
             fragments,
+            columnar: Vec::new(),
         }
     }
 
@@ -79,6 +102,7 @@ impl DistributedTable {
             name,
             schema,
             fragments,
+            columnar: Vec::new(),
         })
     }
 
@@ -114,6 +138,7 @@ impl DistributedTable {
             name,
             schema,
             fragments,
+            columnar: Vec::new(),
         }
     }
 
@@ -178,6 +203,8 @@ impl Catalog {
             }
         }
         self.tables.retain(|t| t.name != table.name);
+        let mut table = table;
+        table.build_columnar();
         self.tables.push(table);
         Ok(())
     }

@@ -49,8 +49,8 @@ impl PlacementStrategy {
                 let vc = tree.compute_nodes();
                 let first = vc[0];
                 let last = vc[vc.len() - 1];
-                placement.set_r(first, workload.r.clone());
-                placement.set_s(last, workload.s.clone());
+                placement.set_r(first, workload.r.to_vec());
+                placement.set_s(last, workload.s.to_vec());
             }
             _ => {
                 scatter(

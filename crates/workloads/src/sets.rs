@@ -1,17 +1,24 @@
 //! Input data generators.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use tamp_simulator::Value;
 
 /// The generated input: the two relations (for sorting, `s` stays empty).
+///
+/// Each relation is a frozen `Arc<[Value]>` column — the same shared
+/// buffer layout the query engine's record batches use — so cloning a
+/// workload (or handing a relation to a batch) bumps a refcount instead
+/// of copying the data.
 #[derive(Clone, Debug, Default)]
 pub struct Workload {
     /// Elements of `R`.
-    pub r: Vec<Value>,
+    pub r: Arc<[Value]>,
     /// Elements of `S`.
-    pub s: Vec<Value>,
+    pub s: Arc<[Value]>,
 }
 
 impl Workload {
@@ -67,7 +74,10 @@ impl SetSpec {
         let mut s: Vec<Value> = shared.into_iter().chain(s_only).collect();
         r.shuffle(&mut rng);
         s.shuffle(&mut rng);
-        Workload { r, s }
+        Workload {
+            r: r.into(),
+            s: s.into(),
+        }
     }
 }
 
@@ -109,7 +119,10 @@ impl SortSpec {
                 r.push(rng.random::<Value>() >> 1);
             }
         }
-        Workload { r, s: Vec::new() }
+        Workload {
+            r: r.into(),
+            s: Arc::from(Vec::new()),
+        }
     }
 }
 

@@ -75,6 +75,24 @@ fn main() {
     };
     println!("backend: {}", backend.name());
 
+    // The columnar engine's batch granularity is tunable the same way:
+    // `TAMP_BATCH_SIZE=256` shrinks each shipped record batch (and each
+    // metered send) to 256 rows. The metered cost is invariant in the
+    // batch size — only trace granularity changes. A non-numeric value is
+    // rejected here; `0` flows through to the planner's typed
+    // `QueryError::InvalidBatchSize`.
+    let batch_size = match std::env::var("TAMP_BATCH_SIZE") {
+        Ok(raw) => match raw.parse::<usize>() {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("TAMP_BATCH_SIZE: {e} (got {raw:?})");
+                std::process::exit(2);
+            }
+        },
+        Err(_) => ExecOptions::default().batch_size,
+    };
+    println!("batch size: {batch_size}");
+
     for (label, strategy) in [
         ("distribution-aware (weighted) join", JoinStrategy::Weighted),
         ("topology-agnostic (uniform) join", JoinStrategy::Uniform),
@@ -86,6 +104,7 @@ fn main() {
             ExecOptions {
                 join: strategy,
                 seed: 7,
+                batch_size,
                 ..ExecOptions::default()
             },
             backend.as_ref(),

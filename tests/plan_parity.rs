@@ -295,6 +295,65 @@ fn assert_winner_optimal(
     Ok(())
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The columnar batch engine is bit-identical to the tuple
+    /// interpreter — same rows, same `edge_totals`, same round count —
+    /// on both backends, for every registered strategy, at batch sizes
+    /// from one row up to "whole table in one batch".
+    #[test]
+    fn batch_engine_is_bit_identical_to_tuple_engine(
+        tree_pick in 0u8..4,
+        fact_rows in 1u64..100,
+        groups in 1u64..10,
+        skew in 0u8..101,
+        seed in 0u64..50,
+    ) {
+        let base = make_context(tree_pick, fact_rows, groups, skew);
+        let sizes = [1, 3, ExecOptions::default().batch_size, usize::MAX];
+        for (op, name, q) in strategy_matrix() {
+            // The tuple interpreter at the default granularity is the
+            // reference ledger for every batch size: chunking a fixed
+            // multicast never changes the metered cost.
+            let tuple_ctx = QueryContext::with_catalog(base.catalog().clone())
+                .with_seed(seed)
+                .with_strategy(op, name)
+                .with_exec_mode(ExecMode::Tuple);
+            let tuple = tuple_ctx.prepare(&q).unwrap().run().unwrap();
+            let ord = reference::preserves_order(&q);
+            for batch_size in sizes {
+                let ctx = QueryContext::with_catalog(base.catalog().clone())
+                    .with_seed(seed)
+                    .with_strategy(op, name)
+                    .with_exec_mode(ExecMode::Columnar)
+                    .with_batch_size(batch_size);
+                let prepared = ctx.prepare(&q).unwrap();
+                let sim = prepared.run().unwrap();
+                let cluster = prepared.run_on(&PooledClusterBackend::default()).unwrap();
+                prop_assert_eq!(
+                    &sim.rows(ord), &tuple.rows(ord),
+                    "{} {} batch={} rows differ", op, name, batch_size
+                );
+                prop_assert_eq!(
+                    &cluster.rows(ord), &tuple.rows(ord),
+                    "{} {} batch={} cluster rows differ", op, name, batch_size
+                );
+                prop_assert_eq!(
+                    &sim.cost.edge_totals, &tuple.cost.edge_totals,
+                    "{} {} batch={} ledgers differ", op, name, batch_size
+                );
+                prop_assert_eq!(
+                    &cluster.cost.edge_totals, &tuple.cost.edge_totals,
+                    "{} {} batch={} cluster ledgers differ", op, name, batch_size
+                );
+                prop_assert_eq!(sim.rounds, tuple.rounds);
+                prop_assert_eq!(cluster.rounds, tuple.rounds);
+            }
+        }
+    }
+}
+
 /// The spec-based backend selection hook resolves engines that execute
 /// prepared queries interchangeably.
 #[test]
