@@ -28,5 +28,6 @@ pub mod suite;
 pub mod table;
 pub mod xbatch;
 pub mod xscale;
+pub mod xtenant;
 
 pub use table::Table;

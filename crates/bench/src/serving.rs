@@ -201,7 +201,8 @@ pub fn measure(tree: &Tree) -> ServeMeasurement {
 
     let backend: Arc<dyn ExecBackend + Send + Sync> = Arc::new(SimulatorBackend);
     let service = QueryService::new(serving_context(tree), Arc::clone(&backend))
-        .with_max_inflight(SERVE_THREADS);
+        .with_max_inflight(SERVE_THREADS)
+        .unwrap();
     // Warm the plan cache so the cached modes measure steady-state
     // serving, not first-arrival planning.
     for q in &queries {

@@ -809,6 +809,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "x-scale",
     "x-batch",
     "x-serve",
+    "x-tenant",
     "abl-drift",
     "x-uneq-tree",
 ];
@@ -841,6 +842,7 @@ pub fn run_experiment(id: &str) -> Option<Vec<Table>> {
         "x-scale" => crate::xscale::x_scale(),
         "x-batch" => crate::xbatch::x_batch(),
         "x-serve" => crate::serving::x_serve(),
+        "x-tenant" => crate::xtenant::x_tenant(),
         "abl-drift" => crate::extensions::abl_drift(),
         "x-uneq-tree" => crate::extensions::x_unequal_tree(),
         _ => return None,

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use tamp_topology::NodeId;
+
 /// Errors raised while building schemas, planning or executing queries.
 #[derive(Debug, Clone, PartialEq)]
 pub enum QueryError {
@@ -49,6 +51,37 @@ pub enum QueryError {
         /// The names that *are* registered for the operator.
         available: Vec<String>,
     },
+    /// `QueryService::with_max_inflight(0)` — a zero-slot admission gate
+    /// can never admit a query, so the limit is rejected at construction
+    /// instead of deadlocking the first submit (mirror of the runtime's
+    /// `InvalidPoolWidth` fix).
+    InvalidAdmissionLimit,
+    /// An injected fault killed the query mid-execution (see
+    /// [`tamp_runtime::FaultPlan`]). The orchestration layer recovers by
+    /// deterministic replay on a healthy crew; this surfaces only when a
+    /// query is served without a recovery layer.
+    FaultInjected {
+        /// The failed compute node.
+        node: NodeId,
+        /// The superstep at which it failed.
+        round: usize,
+    },
+    /// A query named a tenant the orchestrator has no spec for.
+    UnknownTenant(String),
+    /// A tenant is at its quota (max in-flight + queued); the submit is
+    /// rejected instead of queued so one tenant cannot grow the queue
+    /// without bound.
+    TenantQueueFull {
+        /// The tenant at quota.
+        tenant: String,
+        /// The configured quota.
+        quota: usize,
+    },
+    /// A tenant spec is invalid (empty name, duplicate name, zero weight
+    /// or zero quota).
+    InvalidTenantSpec(String),
+    /// A scaling spec is invalid (zero min, min > max).
+    InvalidScalingSpec(String),
 }
 
 impl fmt::Display for QueryError {
@@ -89,6 +122,21 @@ impl fmt::Display for QueryError {
                     }
                 )
             }
+            Self::InvalidAdmissionLimit => {
+                write!(f, "max_inflight must be at least 1 (got 0)")
+            }
+            Self::FaultInjected { node, round } => {
+                write!(
+                    f,
+                    "injected fault: worker on node {node} killed at superstep {round}"
+                )
+            }
+            Self::UnknownTenant(t) => write!(f, "unknown tenant `{t}`"),
+            Self::TenantQueueFull { tenant, quota } => {
+                write!(f, "tenant `{tenant}` is at its quota of {quota} queries")
+            }
+            Self::InvalidTenantSpec(msg) => write!(f, "invalid tenant spec: {msg}"),
+            Self::InvalidScalingSpec(msg) => write!(f, "invalid scaling spec: {msg}"),
         }
     }
 }
@@ -105,6 +153,12 @@ impl From<tamp_runtime::ExecError> for QueryError {
     fn from(e: tamp_runtime::ExecError) -> Self {
         match e {
             tamp_runtime::ExecError::Sim(e) => QueryError::from(e),
+            // Injected faults keep their typed identity: the orchestration
+            // layer matches on this to trigger replay recovery.
+            tamp_runtime::ExecError::Runtime(tamp_runtime::RuntimeError::InjectedFault {
+                node,
+                round,
+            }) => QueryError::FaultInjected { node, round },
             other => QueryError::Backend(other.to_string()),
         }
     }

@@ -80,12 +80,14 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod admission;
 pub mod batch;
 pub mod context;
 pub mod error;
 pub mod exec;
 pub mod expr;
 pub mod optimizer;
+pub mod orchestrator;
 pub mod physical;
 pub mod plan;
 pub mod reference;
@@ -96,6 +98,7 @@ pub mod table;
 
 /// Everything needed to build and run queries.
 pub mod prelude {
+    pub use crate::admission::{Priority, TenantSpec};
     pub use crate::batch::RecordBatch;
     pub use crate::context::{DataFrame, PreparedQuery, QueryContext};
     pub use crate::exec::{
@@ -104,6 +107,7 @@ pub mod prelude {
     };
     pub use crate::expr::{col, lit, Expr};
     pub use crate::optimizer::optimize;
+    pub use crate::orchestrator::{Orchestrator, ScalingSpec, TenantStats};
     pub use crate::physical::strategy::{
         Candidate, CostEstimate, OperatorKind, PhysicalStrategy, StrategyRegistry,
     };
@@ -114,6 +118,7 @@ pub mod prelude {
     pub use crate::table::{Catalog, DistributedTable};
 }
 
+pub use admission::{Priority, TenantSpec};
 pub use batch::RecordBatch;
 pub use context::{DataFrame, PreparedQuery, QueryContext};
 pub use error::QueryError;
@@ -121,6 +126,7 @@ pub use exec::{
     execute, execute_on, ExecMode, ExecOptions, JoinStrategy, OperatorCost, QueryResult,
     StrategyForce,
 };
+pub use orchestrator::{Orchestrator, ScalingSpec, TenantStats};
 pub use physical::strategy::{OperatorKind, PhysicalStrategy, StrategyRegistry};
 pub use physical::{Exchange, PhysicalPlan};
 pub use plan::{AggFunc, LogicalPlan};

@@ -1,0 +1,680 @@
+//! The orchestration layer: elastic autoscaling, weighted-fair
+//! multi-tenant admission, and fault injection with deterministic replay
+//! recovery, in one control plane over [`QueryService`].
+//!
+//! ```text
+//!        submit(tenant, plan)
+//!              │
+//!              ▼
+//!   ┌─────────────────────┐  reject: UnknownTenant / TenantQueueFull
+//!   │  WeightedAdmission   │  grant order: strict priority, then
+//!   │  (DRR over tenants)  │  deficit-weighted round-robin
+//!   └─────────┬───────────┘
+//!             │ grant (ticket, queue time)
+//!             ▼
+//!   ┌─────────────────────┐   observe {queue depth, inflight, width,
+//!   │  scaling tick        │──▶ rolling latency} → decide(spec, obs)
+//!   │  (pure decide())     │   → resize ElasticPool, log ScalingEvent
+//!   └─────────┬───────────┘
+//!             │
+//!             ▼
+//!   ┌─────────────────────┐   FaultInjected error?
+//!   │  QueryService        │──▶ replay the deterministic schedule on
+//!   │  (plan cache + exec) │   the now-healthy crew, log RecoveryEvent
+//!   └─────────┬───────────┘   (rows + edge_totals bit-identical)
+//!             │
+//!             ▼
+//!        ServedQuery + per-tenant stats
+//! ```
+//!
+//! The three guarantees, and where they come from:
+//!
+//! - **No starvation.** Admission is deficit-weighted round-robin within
+//!   strict priority classes ([`crate::admission`]): every backlogged
+//!   tenant is visited once per DRR rotation, so a weight-`w` tenant in
+//!   a system of total weight `W` waits at most ~`W/w` foreign grants
+//!   per queued position — a structural bound, asserted by tests, that
+//!   no adversarial burst can break.
+//! - **Deterministic scaling log.** Every resize records the full
+//!   [`ScalingObservation`] it was decided on, and
+//!   [`decide`] is pure — replaying the log reproduces every decision
+//!   (see [`scaling`]).
+//! - **Bit-identical recovery.** Queries compile to deterministic
+//!   exchange schedules, so after an injected fault
+//!   ([`FaultPlan`] → typed
+//!   [`QueryError::FaultInjected`]) the orchestrator simply re-executes
+//!   the schedule on the (auto-disarmed, hence healthy) crew: rows *and*
+//!   metered `edge_totals` equal the fault-free run by construction.
+//!
+//! # Serving three tenants
+//!
+//! ```
+//! use tamp_query::prelude::*;
+//! use tamp_topology::builders;
+//!
+//! let mut ctx = QueryContext::new(builders::star(4, 1.0)).with_seed(7);
+//! let rows: Vec<Vec<u64>> = (0..90).map(|i| vec![i, i % 4, i * 3]).collect();
+//! ctx.register(DistributedTable::round_robin(
+//!     "t",
+//!     Schema::new(vec!["id", "g", "x"]).unwrap(),
+//!     rows,
+//!     ctx.tree(),
+//! ))
+//! .unwrap();
+//!
+//! let orch = Orchestrator::builder(ctx)
+//!     .tenant(TenantSpec::new("dashboards", 4, 16).with_priority(Priority::Interactive))
+//!     .tenant(TenantSpec::new("analysts", 2, 16))
+//!     .tenant(TenantSpec::new("batch", 1, 16))
+//!     .scaling(ScalingSpec::new(1, 4))
+//!     .build()
+//!     .unwrap();
+//!
+//! let q = LogicalPlan::scan("t").aggregate("g", AggFunc::Sum, "x");
+//! let served = orch.serve_as("analysts", &q).unwrap();
+//! assert!(!served.result.rows(false).is_empty());
+//! let stats = orch.stats();
+//! assert_eq!(stats.len(), 3);
+//! assert_eq!(stats.iter().find(|t| t.tenant == "analysts").unwrap().served, 1);
+//! ```
+
+pub mod scaling;
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+use tamp_runtime::{ElasticPool, FaultEvent, FaultInjector, FaultPlan, PooledClusterBackend};
+
+use crate::admission::{Priority, TenantSpec, WeightedAdmission};
+use crate::context::QueryContext;
+use crate::error::QueryError;
+use crate::plan::LogicalPlan;
+use crate::service::{QueryService, ServedQuery};
+
+pub use scaling::{decide, ScaleDecision, ScalingEvent, ScalingObservation, ScalingSpec};
+
+fn lock_ok<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Recent queue waits feeding the rolling-latency scaling signal.
+const ROLLING_WINDOW: usize = 32;
+
+/// Bound on replay attempts after injected faults, so an adversarial
+/// re-arming loop cannot spin a query forever.
+const MAX_RECOVERIES: u32 = 4;
+
+/// One successful replay recovery, in arrival order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecoveryEvent {
+    /// The tenant whose query was killed.
+    pub tenant: String,
+    /// The query's admission ticket.
+    pub ticket: u64,
+    /// The fault that killed the run (first failed node).
+    pub fault: FaultEvent,
+    /// 1-based replay attempt that this event records.
+    pub attempt: u32,
+}
+
+/// Per-tenant serving report returned by [`Orchestrator::stats`].
+#[derive(Clone, Debug)]
+pub struct TenantStats {
+    /// Tenant name.
+    pub tenant: String,
+    /// Configured DRR weight.
+    pub weight: u32,
+    /// Configured priority class.
+    pub priority: Priority,
+    /// Queries served to completion.
+    pub served: u64,
+    /// Submits rejected at the tenant's quota.
+    pub rejected: u64,
+    /// Queries that needed replay recovery after an injected fault.
+    pub recovered: u64,
+    /// Served queries whose plan came from the cache.
+    pub cache_hits: u64,
+    /// Queries currently queued.
+    pub queued_now: usize,
+    /// Queries currently executing.
+    pub running_now: usize,
+    /// Median queue wait across served queries.
+    pub queue_p50: Duration,
+    /// 99th-percentile queue wait across served queries.
+    pub queue_p99: Duration,
+    /// Total time spent planning (≈0 on cache hits).
+    pub plan_total: Duration,
+    /// Total time spent executing.
+    pub exec_total: Duration,
+    /// Largest number of foreign grants any of this tenant's queries
+    /// waited through — the structural no-starvation bound.
+    pub max_waited_grants: u64,
+}
+
+/// Per-tenant timing accumulators (wall-clock side of [`TenantStats`]).
+#[derive(Default)]
+struct TenantTimings {
+    queue_us: Vec<u64>,
+    plan: Duration,
+    exec: Duration,
+    served: u64,
+    recovered: u64,
+    cache_hits: u64,
+    max_waited_grants: u64,
+}
+
+struct ScalerState {
+    tick: u64,
+    ticks_since_change: u64,
+    rolling: VecDeque<u64>,
+    events: Vec<ScalingEvent>,
+}
+
+/// The orchestration control plane. Build one with
+/// [`Orchestrator::builder`]; see the [module docs](self) for the
+/// control-flow diagram and guarantees.
+pub struct Orchestrator {
+    service: QueryService,
+    admission: WeightedAdmission,
+    pool: Arc<ElasticPool>,
+    injector: Arc<FaultInjector>,
+    scaling: Option<ScalingSpec>,
+    scaler: Mutex<ScalerState>,
+    timings: Mutex<Vec<TenantTimings>>,
+    specs: Vec<TenantSpec>,
+    recoveries: Mutex<Vec<RecoveryEvent>>,
+}
+
+impl std::fmt::Debug for Orchestrator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Orchestrator")
+            .field("tenants", &self.specs.len())
+            .field("capacity", &self.admission.capacity())
+            .field("pool_width", &self.pool.width())
+            .field("scaling", &self.scaling)
+            .finish()
+    }
+}
+
+/// Builder for [`Orchestrator`] — declare tenants, the scaling policy
+/// and the admission capacity, then [`build`](Self::build).
+pub struct OrchestratorBuilder {
+    ctx: QueryContext,
+    tenants: Vec<TenantSpec>,
+    scaling: Option<ScalingSpec>,
+    capacity: Option<usize>,
+}
+
+impl OrchestratorBuilder {
+    /// Declare one tenant (builder-style).
+    pub fn tenant(mut self, spec: TenantSpec) -> Self {
+        self.tenants.push(spec);
+        self
+    }
+
+    /// Declare many tenants at once.
+    pub fn tenants(mut self, specs: impl IntoIterator<Item = TenantSpec>) -> Self {
+        self.tenants.extend(specs);
+        self
+    }
+
+    /// Attach an autoscaling policy for the elastic crew. Without one
+    /// the crew stays at its initial width.
+    pub fn scaling(mut self, spec: ScalingSpec) -> Self {
+        self.scaling = Some(spec);
+        self
+    }
+
+    /// Global concurrent-queries bound across all tenants (defaults to
+    /// the initial crew width, floored at 2).
+    pub fn capacity(mut self, capacity: usize) -> Self {
+        self.capacity = Some(capacity);
+        self
+    }
+
+    /// Validate every spec and assemble the orchestrator: an
+    /// [`ElasticPool`] crew, a [`FaultInjector`], a
+    /// [`PooledClusterBackend`] wired to both, and a [`QueryService`]
+    /// over that backend.
+    pub fn build(self) -> Result<Orchestrator, QueryError> {
+        if self.tenants.is_empty() {
+            return Err(QueryError::InvalidTenantSpec(
+                "an orchestrator needs at least one tenant".into(),
+            ));
+        }
+        for (i, spec) in self.tenants.iter().enumerate() {
+            spec.validate()?;
+            if self.tenants[..i].iter().any(|s| s.name == spec.name) {
+                return Err(QueryError::InvalidTenantSpec(format!(
+                    "duplicate tenant name `{}`",
+                    spec.name
+                )));
+            }
+        }
+        if let Some(scaling) = &self.scaling {
+            scaling.validate()?;
+        }
+        if self.capacity == Some(0) {
+            return Err(QueryError::InvalidAdmissionLimit);
+        }
+        let width = self.scaling.as_ref().map(|s| s.min).unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+        });
+        let capacity = self.capacity.unwrap_or_else(|| width.max(2));
+        let pool = Arc::new(ElasticPool::new(width));
+        let injector = Arc::new(FaultInjector::new());
+        let backend = PooledClusterBackend::with_elastic_pool(Arc::clone(&pool))
+            .with_fault_injector(Arc::clone(&injector));
+        let n_tenants = self.tenants.len();
+        Ok(Orchestrator {
+            service: QueryService::new(self.ctx, Arc::new(backend)),
+            admission: WeightedAdmission::new(capacity, self.tenants.clone()),
+            pool,
+            injector,
+            scaling: self.scaling,
+            scaler: Mutex::new(ScalerState {
+                tick: 0,
+                ticks_since_change: 0,
+                rolling: VecDeque::with_capacity(ROLLING_WINDOW),
+                events: Vec::new(),
+            }),
+            timings: Mutex::new((0..n_tenants).map(|_| TenantTimings::default()).collect()),
+            specs: self.tenants,
+            recoveries: Mutex::new(Vec::new()),
+        })
+    }
+}
+
+/// Releases the tenant's admission slot even if the query errors or the
+/// serving thread panics.
+struct SlotGuard<'a> {
+    admission: &'a WeightedAdmission,
+    tenant: &'a str,
+}
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        self.admission.release(self.tenant);
+    }
+}
+
+impl Orchestrator {
+    /// Start declaring an orchestrator over `ctx` (see
+    /// [`OrchestratorBuilder`]).
+    pub fn builder(ctx: QueryContext) -> OrchestratorBuilder {
+        OrchestratorBuilder {
+            ctx,
+            tenants: Vec::new(),
+            scaling: None,
+            capacity: None,
+        }
+    }
+
+    /// Serve one query on behalf of `tenant`: weighted-fair admission →
+    /// scaling tick → plan (cached) + execute, with replay recovery if
+    /// an injected fault kills the run.
+    ///
+    /// Results are bit-identical (rows **and** metered `edge_totals`) to
+    /// a fault-free single-session execution of the same plan.
+    pub fn serve_as(&self, tenant: &str, plan: &LogicalPlan) -> Result<ServedQuery, QueryError> {
+        let tenant_ix = self
+            .specs
+            .iter()
+            .position(|s| s.name == tenant)
+            .ok_or_else(|| QueryError::UnknownTenant(tenant.to_string()))?;
+        let grant = self.admission.acquire(tenant)?;
+        let _slot = SlotGuard {
+            admission: &self.admission,
+            tenant,
+        };
+        {
+            // The structural fairness metric: grants to other queries
+            // between this one's enqueue and its own grant.
+            let mut timings = lock_ok(&self.timings);
+            let t = &mut timings[tenant_ix];
+            t.max_waited_grants = t.max_waited_grants.max(grant.waited_grants);
+        }
+        self.scale_tick(grant.queued);
+
+        let mut attempt = 0u32;
+        let outcome = loop {
+            match self
+                .service
+                .serve_prepared(plan, grant.ticket, grant.queued)
+            {
+                Err(QueryError::FaultInjected { node, round }) if attempt < MAX_RECOVERIES => {
+                    attempt += 1;
+                    lock_ok(&self.recoveries).push(RecoveryEvent {
+                        tenant: tenant.to_string(),
+                        ticket: grant.ticket,
+                        fault: FaultEvent { node, round },
+                        attempt,
+                    });
+                    // The faulted run consumed the armed plan (one-shot),
+                    // so this replay executes the same deterministic
+                    // schedule on a healthy crew.
+                    continue;
+                }
+                other => break other,
+            }
+        };
+        if let Ok(served) = &outcome {
+            let mut timings = lock_ok(&self.timings);
+            let t = &mut timings[tenant_ix];
+            t.served += 1;
+            t.recovered += u64::from(attempt > 0);
+            t.cache_hits += u64::from(served.stats.cache_hit);
+            t.queue_us.push(served.stats.queued.as_micros() as u64);
+            t.plan += served.stats.plan;
+            t.exec += served.stats.exec;
+        }
+        outcome
+    }
+
+    /// One pass of the autoscaling control loop (runs between a query's
+    /// admission and its execution — never on the execution hot path of
+    /// an already-running query).
+    fn scale_tick(&self, last_queued: Duration) {
+        let Some(spec) = &self.scaling else { return };
+        let mut st = lock_ok(&self.scaler);
+        st.tick += 1;
+        if st.rolling.len() == ROLLING_WINDOW {
+            st.rolling.pop_front();
+        }
+        st.rolling.push_back(last_queued.as_micros() as u64);
+        let rolling_mean = st.rolling.iter().sum::<u64>() / st.rolling.len().max(1) as u64;
+        let observation = ScalingObservation {
+            tick: st.tick,
+            queue_depth: self.admission.queue_depth(),
+            inflight: self.admission.inflight(),
+            width: self.pool.width(),
+            ticks_since_change: st.ticks_since_change,
+            rolling_queue_latency: Duration::from_micros(rolling_mean),
+        };
+        let (decision, reason) = scaling::decide(spec, &observation);
+        match decision {
+            ScaleDecision::Hold => {
+                st.ticks_since_change = st.ticks_since_change.saturating_add(1);
+            }
+            ScaleDecision::Grow(width) | ScaleDecision::Shrink(width) => {
+                self.pool.resize(width);
+                st.ticks_since_change = 0;
+                st.events.push(ScalingEvent {
+                    observation,
+                    decision,
+                    reason,
+                });
+            }
+        }
+    }
+
+    /// Arm a [`FaultPlan`] for the **next** query execution (one-shot:
+    /// the replay recovery automatically runs on a disarmed, healthy
+    /// crew).
+    pub fn inject_faults(&self, plan: FaultPlan) {
+        self.injector.arm(plan);
+    }
+
+    /// Every fault that actually fired, in firing order.
+    pub fn fault_events(&self) -> Vec<FaultEvent> {
+        self.injector.fired()
+    }
+
+    /// Every replay recovery, in arrival order.
+    pub fn recovery_events(&self) -> Vec<RecoveryEvent> {
+        lock_ok(&self.recoveries).clone()
+    }
+
+    /// The resize event log. Deterministic in the sense of the
+    /// [`scaling`] module docs: `decide(spec, event.observation)`
+    /// reproduces every `(decision, reason)` pair.
+    pub fn scaling_events(&self) -> Vec<ScalingEvent> {
+        lock_ok(&self.scaler).events.clone()
+    }
+
+    /// The attached scaling policy, if any.
+    pub fn scaling_spec(&self) -> Option<&ScalingSpec> {
+        self.scaling.as_ref()
+    }
+
+    /// Current elastic crew width.
+    pub fn pool_width(&self) -> usize {
+        self.pool.width()
+    }
+
+    /// Global concurrent-queries bound.
+    pub fn capacity(&self) -> usize {
+        self.admission.capacity()
+    }
+
+    /// Queries currently queued across all tenants.
+    pub fn queue_depth(&self) -> usize {
+        self.admission.queue_depth()
+    }
+
+    /// The underlying serving layer (plan cache, catalog versioning,
+    /// `register` / `register_strategy`).
+    pub fn service(&self) -> &QueryService {
+        &self.service
+    }
+
+    /// Per-tenant serving report, in declaration order: queue/plan/exec
+    /// timings, p50/p99 queue time, fairness and recovery counters.
+    pub fn stats(&self) -> Vec<TenantStats> {
+        let admission = self.admission.tenant_admission();
+        let timings = lock_ok(&self.timings);
+        self.specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let adm = &admission[i].1;
+                let t = &timings[i];
+                let mut sorted = t.queue_us.clone();
+                sorted.sort_unstable();
+                TenantStats {
+                    tenant: spec.name.clone(),
+                    weight: spec.weight,
+                    priority: spec.priority,
+                    served: t.served,
+                    rejected: adm.rejected,
+                    recovered: t.recovered,
+                    cache_hits: t.cache_hits,
+                    queued_now: adm.queued,
+                    running_now: adm.running,
+                    queue_p50: percentile(&sorted, 50),
+                    queue_p99: percentile(&sorted, 99),
+                    plan_total: t.plan,
+                    exec_total: t.exec,
+                    max_waited_grants: t.max_waited_grants,
+                }
+            })
+            .collect()
+    }
+}
+
+/// `p`-th percentile of an ascending-sorted micros sample (nearest-rank
+/// on the inclusive index scale; zero for an empty sample).
+fn percentile(sorted_us: &[u64], p: u32) -> Duration {
+    if sorted_us.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = (sorted_us.len() - 1) * p as usize / 100;
+    Duration::from_micros(sorted_us[rank])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::AggFunc;
+    use crate::schema::Schema;
+    use crate::table::DistributedTable;
+    use tamp_topology::builders;
+
+    fn ctx() -> QueryContext {
+        let tree = builders::star(4, 1.0);
+        let mut ctx = QueryContext::new(tree.clone()).with_seed(5);
+        let rows: Vec<Vec<u64>> = (0..80).map(|i| vec![i, i % 4, i * 7 % 90]).collect();
+        ctx.register(DistributedTable::round_robin(
+            "t",
+            Schema::new(vec!["id", "g", "x"]).unwrap(),
+            rows,
+            &tree,
+        ))
+        .unwrap();
+        ctx
+    }
+
+    fn query() -> LogicalPlan {
+        LogicalPlan::scan("t").aggregate("g", AggFunc::Sum, "x")
+    }
+
+    #[test]
+    fn builder_validates_everything() {
+        let no_tenants = Orchestrator::builder(ctx()).build();
+        assert!(matches!(no_tenants, Err(QueryError::InvalidTenantSpec(_))));
+        let dup = Orchestrator::builder(ctx())
+            .tenant(TenantSpec::new("a", 1, 4))
+            .tenant(TenantSpec::new("a", 2, 4))
+            .build();
+        assert!(matches!(dup, Err(QueryError::InvalidTenantSpec(_))));
+        let bad_scale = Orchestrator::builder(ctx())
+            .tenant(TenantSpec::new("a", 1, 4))
+            .scaling(ScalingSpec::new(8, 2))
+            .build();
+        assert!(matches!(bad_scale, Err(QueryError::InvalidScalingSpec(_))));
+        let zero_cap = Orchestrator::builder(ctx())
+            .tenant(TenantSpec::new("a", 1, 4))
+            .capacity(0)
+            .build();
+        assert!(matches!(zero_cap, Err(QueryError::InvalidAdmissionLimit)));
+    }
+
+    #[test]
+    fn serves_unknown_tenants_a_typed_error_and_known_ones_their_rows() {
+        let orch = Orchestrator::builder(ctx())
+            .tenant(TenantSpec::new("a", 1, 4))
+            .build()
+            .unwrap();
+        assert!(matches!(
+            orch.serve_as("nobody", &query()),
+            Err(QueryError::UnknownTenant(_))
+        ));
+        let want = ctx().prepare(&query()).unwrap().run().unwrap();
+        let served = orch.serve_as("a", &query()).unwrap();
+        assert_eq!(served.result.rows(false), want.rows(false));
+        assert_eq!(served.result.cost.edge_totals, want.cost.edge_totals);
+        let stats = orch.stats();
+        assert_eq!(stats[0].served, 1);
+        assert_eq!(stats[0].recovered, 0);
+    }
+
+    #[test]
+    fn injected_faults_recover_bit_identically_and_are_logged() {
+        let orch = Orchestrator::builder(ctx())
+            .tenant(TenantSpec::new("a", 1, 4))
+            .build()
+            .unwrap();
+        let want = orch.serve_as("a", &query()).unwrap(); // fault-free
+        let victim = orch.service().context().tree().compute_nodes()[1];
+        orch.inject_faults(FaultPlan::new().kill_worker(victim, 0));
+        let recovered = orch.serve_as("a", &query()).unwrap();
+        assert_eq!(recovered.result.rows(false), want.result.rows(false));
+        assert_eq!(
+            recovered.result.cost.edge_totals,
+            want.result.cost.edge_totals
+        );
+        let recs = orch.recovery_events();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].fault.node, victim);
+        assert_eq!(recs[0].attempt, 1);
+        let fired = orch.fault_events();
+        assert_eq!(
+            fired,
+            vec![FaultEvent {
+                node: victim,
+                round: 0
+            }]
+        );
+        assert_eq!(orch.stats()[0].recovered, 1);
+    }
+
+    #[test]
+    fn scaling_events_replay_deterministically() {
+        // min 1, aggressive targets and zero cooldown: a thread burst
+        // must grow the crew, and the drain must shrink it back.
+        let orch = Arc::new(
+            Orchestrator::builder(ctx())
+                .tenant(TenantSpec::new("a", 1, 64))
+                .scaling(
+                    ScalingSpec::new(1, 8)
+                        .with_target_queue_depth(1)
+                        .with_cooldown(0),
+                )
+                .capacity(4)
+                .build()
+                .unwrap(),
+        );
+        std::thread::scope(|scope| {
+            for _ in 0..16 {
+                let orch = Arc::clone(&orch);
+                scope.spawn(move || orch.serve_as("a", &query()).unwrap());
+            }
+        });
+        // Serial tail with an empty queue: gives shrink a chance to fire.
+        for _ in 0..4 {
+            orch.serve_as("a", &query()).unwrap();
+        }
+        let events = orch.scaling_events();
+        assert!(!events.is_empty(), "burst should trigger scaling");
+        let spec = orch.scaling_spec().unwrap();
+        for e in &events {
+            assert_eq!(
+                decide(spec, &e.observation),
+                (e.decision, e.reason),
+                "event log must replay: {e:?}"
+            );
+            let width = match e.decision {
+                ScaleDecision::Grow(w) | ScaleDecision::Shrink(w) => w,
+                ScaleDecision::Hold => unreachable!("only resizes are logged"),
+            };
+            assert!((spec.min..=spec.max).contains(&width));
+        }
+    }
+
+    #[test]
+    fn stats_report_all_tenants_with_percentiles() {
+        let orch = Orchestrator::builder(ctx())
+            .tenant(TenantSpec::new("fast", 4, 8).with_priority(Priority::Interactive))
+            .tenant(TenantSpec::new("slow", 1, 8))
+            .build()
+            .unwrap();
+        for _ in 0..5 {
+            orch.serve_as("fast", &query()).unwrap();
+        }
+        orch.serve_as("slow", &query()).unwrap();
+        let stats = orch.stats();
+        assert_eq!(stats.len(), 2);
+        let fast = &stats[0];
+        assert_eq!((fast.served, fast.weight), (5, 4));
+        assert_eq!(fast.priority, Priority::Interactive);
+        assert!(fast.queue_p50 <= fast.queue_p99);
+        assert_eq!(fast.cache_hits, 4); // first serve was the miss
+        assert_eq!(stats[1].served, 1);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[], 99), Duration::ZERO);
+        let us: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&us, 50), Duration::from_micros(50));
+        assert_eq!(percentile(&us, 99), Duration::from_micros(99));
+        assert_eq!(percentile(&us, 100), Duration::from_micros(100));
+        assert_eq!(percentile(&[7], 99), Duration::from_micros(7));
+    }
+}

@@ -1,0 +1,225 @@
+//! The autoscaling control law: a **pure decision function** over
+//! recorded observations.
+//!
+//! Wall-clock signals (queue latency) are inherently nondeterministic,
+//! so the subsystem's determinism guarantee is placed one level up:
+//! every scaling event records the full [`ScalingObservation`] it was
+//! decided on, and [`decide`] is a pure function of `(spec,
+//! observation)`. Replaying the log through `decide` must reproduce
+//! every logged decision and reason bit for bit — the orchestrator tests
+//! and the `x-tenant` release gate assert exactly that, which is what
+//! "scaling decisions recorded in a deterministic event log" means here.
+
+use std::time::Duration;
+
+use crate::error::QueryError;
+
+/// Declarative autoscaling policy for the elastic worker crew.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScalingSpec {
+    /// Smallest crew the loop will shrink to (≥ 1); also the initial
+    /// width.
+    pub min: usize,
+    /// Largest crew the loop will grow to.
+    pub max: usize,
+    /// Queue depths above this trigger a grow (once cooldown allows).
+    pub target_queue_depth: usize,
+    /// Decision ticks that must pass after a resize before the next
+    /// resize (hysteresis against flapping).
+    pub cooldown: u64,
+    /// Optional rolling-latency target: a rolling mean queue wait above
+    /// it triggers a grow even while the queue depth target holds.
+    pub target_queue_latency: Option<Duration>,
+}
+
+impl ScalingSpec {
+    /// A policy between `min` and `max` workers with a queue-depth
+    /// target of 2 and a cooldown of 4 decision ticks.
+    pub fn new(min: usize, max: usize) -> Self {
+        ScalingSpec {
+            min,
+            max,
+            target_queue_depth: 2,
+            cooldown: 4,
+            target_queue_latency: None,
+        }
+    }
+
+    /// Builder-style: set the queue-depth grow trigger.
+    pub fn with_target_queue_depth(mut self, depth: usize) -> Self {
+        self.target_queue_depth = depth;
+        self
+    }
+
+    /// Builder-style: set the resize cooldown (in decision ticks).
+    pub fn with_cooldown(mut self, ticks: u64) -> Self {
+        self.cooldown = ticks;
+        self
+    }
+
+    /// Builder-style: set the rolling queue-latency grow trigger.
+    pub fn with_target_queue_latency(mut self, target: Duration) -> Self {
+        self.target_queue_latency = Some(target);
+        self
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), QueryError> {
+        if self.min == 0 {
+            return Err(QueryError::InvalidScalingSpec(
+                "min width 0 (need \u{2265} 1)".into(),
+            ));
+        }
+        if self.min > self.max {
+            return Err(QueryError::InvalidScalingSpec(format!(
+                "min width {} exceeds max width {}",
+                self.min, self.max
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Everything a scaling decision was based on — recorded in full so the
+/// decision replays (see the [module docs](self)).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScalingObservation {
+    /// Decision tick (one per served query).
+    pub tick: u64,
+    /// Queries queued across all tenants at decision time.
+    pub queue_depth: usize,
+    /// Queries executing at decision time.
+    pub inflight: usize,
+    /// Current crew width.
+    pub width: usize,
+    /// Decision ticks since the last resize (hysteresis input).
+    pub ticks_since_change: u64,
+    /// Rolling mean queue wait over the recent window.
+    pub rolling_queue_latency: Duration,
+}
+
+/// What the control law decided.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScaleDecision {
+    /// Keep the current width.
+    Hold,
+    /// Grow the crew to this width.
+    Grow(usize),
+    /// Shrink the crew to this width.
+    Shrink(usize),
+}
+
+/// One resize recorded in the orchestrator's event log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScalingEvent {
+    /// The inputs the decision was made on.
+    pub observation: ScalingObservation,
+    /// The decision ([`decide`] of the observation — replayable).
+    pub decision: ScaleDecision,
+    /// Human-readable decision rationale (also replayable).
+    pub reason: &'static str,
+}
+
+/// The pure control law: geometric grow when the queue (or its rolling
+/// latency) is above target, geometric shrink when idle and
+/// under-utilized, hysteresis via `cooldown`. Deterministic in `(spec,
+/// obs)` by construction — no clocks, no state.
+pub fn decide(spec: &ScalingSpec, obs: &ScalingObservation) -> (ScaleDecision, &'static str) {
+    if obs.ticks_since_change < spec.cooldown {
+        return (ScaleDecision::Hold, "cooldown");
+    }
+    let over_depth = obs.queue_depth > spec.target_queue_depth;
+    let over_latency = spec
+        .target_queue_latency
+        .is_some_and(|target| obs.rolling_queue_latency > target);
+    if (over_depth || over_latency) && obs.width < spec.max {
+        let next = obs.width.saturating_mul(2).min(spec.max);
+        let reason = if over_depth {
+            "queue depth above target"
+        } else {
+            "rolling queue latency above target"
+        };
+        return (ScaleDecision::Grow(next), reason);
+    }
+    if obs.queue_depth == 0 && obs.inflight * 2 <= obs.width && obs.width > spec.min {
+        return (
+            ScaleDecision::Shrink((obs.width / 2).max(spec.min)),
+            "idle crew under-utilized",
+        );
+    }
+    (ScaleDecision::Hold, "steady")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(queue: usize, inflight: usize, width: usize, since: u64) -> ScalingObservation {
+        ScalingObservation {
+            tick: 1,
+            queue_depth: queue,
+            inflight,
+            width,
+            ticks_since_change: since,
+            rolling_queue_latency: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn specs_validate() {
+        assert!(ScalingSpec::new(1, 8).validate().is_ok());
+        assert!(matches!(
+            ScalingSpec::new(0, 8).validate(),
+            Err(QueryError::InvalidScalingSpec(_))
+        ));
+        assert!(matches!(
+            ScalingSpec::new(9, 8).validate(),
+            Err(QueryError::InvalidScalingSpec(_))
+        ));
+    }
+
+    #[test]
+    fn control_law_grows_shrinks_and_holds() {
+        let spec = ScalingSpec::new(2, 16).with_cooldown(3);
+        // Cooldown gates everything.
+        assert_eq!(
+            decide(&spec, &obs(100, 2, 2, 2)),
+            (ScaleDecision::Hold, "cooldown")
+        );
+        // Deep queue: geometric grow, capped at max.
+        assert_eq!(decide(&spec, &obs(5, 2, 2, 3)).0, ScaleDecision::Grow(4));
+        assert_eq!(decide(&spec, &obs(5, 2, 12, 3)).0, ScaleDecision::Grow(16));
+        // At max: hold even with a deep queue.
+        assert_eq!(decide(&spec, &obs(50, 16, 16, 9)).0, ScaleDecision::Hold);
+        // Idle + under-utilized: geometric shrink, floored at min.
+        assert_eq!(decide(&spec, &obs(0, 2, 8, 3)).0, ScaleDecision::Shrink(4));
+        assert_eq!(decide(&spec, &obs(0, 0, 3, 3)).0, ScaleDecision::Shrink(2));
+        // Busy crew at target: hold.
+        assert_eq!(decide(&spec, &obs(1, 8, 8, 9)).0, ScaleDecision::Hold);
+    }
+
+    #[test]
+    fn latency_target_triggers_growth_without_queue_depth() {
+        let spec = ScalingSpec::new(2, 8)
+            .with_target_queue_depth(100)
+            .with_target_queue_latency(Duration::from_millis(5));
+        let mut o = obs(1, 2, 2, 9);
+        o.rolling_queue_latency = Duration::from_millis(50);
+        let (d, reason) = decide(&spec, &o);
+        assert_eq!(d, ScaleDecision::Grow(4));
+        assert_eq!(reason, "rolling queue latency above target");
+    }
+
+    #[test]
+    fn decisions_replay_from_recorded_observations() {
+        // The determinism contract: (spec, observation) reproduces the
+        // decision — the property the orchestrator's event-log gate
+        // leans on.
+        let spec = ScalingSpec::new(1, 32);
+        for o in [obs(9, 1, 4, 8), obs(0, 0, 4, 8), obs(2, 4, 4, 8)] {
+            let first = decide(&spec, &o);
+            for _ in 0..3 {
+                assert_eq!(decide(&spec, &o), first);
+            }
+        }
+    }
+}

@@ -50,7 +50,9 @@
 //! ))
 //! .unwrap();
 //!
-//! let service = QueryService::new(ctx, Arc::new(SimulatorBackend)).with_max_inflight(4);
+//! let service = QueryService::new(ctx, Arc::new(SimulatorBackend))
+//!     .with_max_inflight(4)
+//!     .unwrap();
 //! let q = LogicalPlan::scan("t").aggregate("g", AggFunc::Sum, "x");
 //!
 //! // Serial reference, for comparison — and the warm-up serve that
@@ -350,11 +352,18 @@ impl QueryService {
         Ok(QueryService::new(ctx, backend))
     }
 
-    /// Builder-style: bound concurrent in-flight queries (floored at 1).
-    /// Arrivals beyond the bound queue in FIFO ticket order.
-    pub fn with_max_inflight(mut self, max_inflight: usize) -> Self {
+    /// Builder-style: bound concurrent in-flight queries. Arrivals beyond
+    /// the bound queue in FIFO ticket order.
+    ///
+    /// A bound of 0 is a typed [`QueryError::InvalidAdmissionLimit`]: a
+    /// zero-slot gate could never admit a query, so it is rejected here
+    /// instead of deadlocking the first submit.
+    pub fn with_max_inflight(mut self, max_inflight: usize) -> Result<Self, QueryError> {
+        if max_inflight == 0 {
+            return Err(QueryError::InvalidAdmissionLimit);
+        }
         self.admission = Admission::new(max_inflight);
-        self
+        Ok(self)
     }
 
     /// The shared execution backend.
@@ -430,13 +439,28 @@ impl QueryService {
         let arrived = Instant::now();
         let ticket = self.admission.acquire();
         let _permit = Permit(&self.admission);
-        let queued = arrived.elapsed();
+        let admitted = Instant::now();
+        self.serve_prepared(plan, ticket, admitted.saturating_duration_since(arrived))
+    }
 
+    /// The plan-and-execute half of [`serve`](Self::serve), with the
+    /// admission already decided by the caller: the FIFO gate (`serve`)
+    /// or the orchestrator's weighted-fair gate, which supplies its own
+    /// ticket and measured queue time.
+    ///
+    /// The queue → plan → exec timeline is monotone by construction: each
+    /// phase boundary is captured once and durations are taken between
+    /// consecutive boundaries with `saturating_duration_since`, so a
+    /// coarse or non-monotone platform clock can underflow none of them.
+    pub(crate) fn serve_prepared(
+        &self,
+        plan: &LogicalPlan,
+        ticket: u64,
+        queued: Duration,
+    ) -> Result<ServedQuery, QueryError> {
         let planning = Instant::now();
         let (ctx, version) = self.read_snapshot();
         let (cached, cache_hit) = self.prepare_cached(&ctx, version, plan)?;
-        let plan_time = planning.elapsed();
-
         let executing = Instant::now();
         let result = exec::run_physical(
             ctx.catalog(),
@@ -444,14 +468,15 @@ impl QueryService {
             ctx.options(),
             &self.backend,
         )?;
+        let done = Instant::now();
         debug_assert_eq!(result.schema, cached.schema);
         Ok(ServedQuery {
             result,
             stats: ServiceStats {
                 ticket,
                 queued,
-                plan: plan_time,
-                exec: executing.elapsed(),
+                plan: executing.saturating_duration_since(planning),
+                exec: done.saturating_duration_since(executing),
                 cache_hit,
             },
         })
@@ -683,7 +708,8 @@ mod tests {
     fn admission_bounds_inflight_and_keeps_results_exact() {
         let service = Arc::new(
             QueryService::new(ctx(), Arc::new(PooledClusterBackend::with_shared_pool(2)))
-                .with_max_inflight(3),
+                .with_max_inflight(3)
+                .unwrap(),
         );
         let qs = queries();
         let serial: Vec<_> = qs
@@ -758,6 +784,24 @@ mod tests {
         assert!(text.contains("HashJoin"), "{text}");
         // The explain warmed the cache: the first serve is a hit.
         assert!(service.serve(&q).unwrap().stats.cache_hit);
+    }
+
+    #[test]
+    fn zero_max_inflight_is_a_typed_error_not_a_deadlock() {
+        // Regression: a zero-slot gate could never admit a query; reject
+        // it at construction like the runtime rejects zero-width pools.
+        let err = QueryService::with_default_backend(ctx())
+            .with_max_inflight(0)
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(err, QueryError::InvalidAdmissionLimit);
+        assert!(err.to_string().contains("max_inflight"), "{err}");
+        // Every nonzero bound still works, including 1.
+        let service = QueryService::with_default_backend(ctx())
+            .with_max_inflight(1)
+            .unwrap();
+        assert!(service.serve(&queries()[0]).is_ok());
+        assert_eq!(service.admission_stats().max_inflight, 1);
     }
 
     #[test]

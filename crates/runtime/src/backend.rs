@@ -47,7 +47,8 @@ use tamp_topology::{NodeId, Tree};
 
 use crate::cluster::{run_programs, ClusterOptions, NodeProgram};
 use crate::error::RuntimeError;
-use crate::pool::WorkerPool;
+use crate::fault::FaultInjector;
+use crate::pool::{ElasticPool, WorkerPool};
 
 /// Errors from engine-agnostic execution: either engine's failure mode.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -198,6 +199,19 @@ impl ExecBackend for SimulatorBackend {
     }
 }
 
+/// How a [`PooledClusterBackend`] sources its thread crew.
+#[derive(Clone, Debug, Default)]
+enum Crew {
+    /// Spawn a scoped crew per `execute` call (the default).
+    #[default]
+    Scoped,
+    /// A fixed persistent crew, spawned once and reused by every run.
+    Shared(Arc<WorkerPool>),
+    /// An elastic crew whose width a control loop may change between
+    /// runs; each `execute` pins the crew current at its start.
+    Elastic(Arc<ElasticPool>),
+}
+
 /// The pooled cluster engine: runs a job's distributed view on a bounded
 /// worker pool (see [`crate::cluster`]).
 ///
@@ -205,14 +219,21 @@ impl ExecBackend for SimulatorBackend {
 /// serving workloads that run many jobs back to back, construct the
 /// backend with [`with_shared_pool`](Self::with_shared_pool): the crew is
 /// spawned once and reused across every `execute` call (jobs serialize on
-/// the pool; results stay bit-identical).
+/// the pool; results stay bit-identical). An orchestration layer that
+/// wants to *resize* that crew between queries uses
+/// [`with_elastic_pool`](Self::with_elastic_pool) instead, and one that
+/// wants to kill workers mid-query attaches a [`FaultInjector`] with
+/// [`with_fault_injector`](Self::with_fault_injector). Results are
+/// bit-identical across every crew mode and width — only wall-clock
+/// changes — so none of these knobs invalidates cached plans.
 #[derive(Clone, Debug, Default)]
 pub struct PooledClusterBackend {
     /// Pool and superstep options.
     pub options: ClusterOptions,
-    /// Persistent worker crew reused across executions (`None`: a scoped
-    /// crew per run).
-    pool: Option<Arc<WorkerPool>>,
+    /// Where executions get their thread crew.
+    crew: Crew,
+    /// Fault-injection arming point shared with an orchestration layer.
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl PooledClusterBackend {
@@ -220,16 +241,13 @@ impl PooledClusterBackend {
     pub fn new(options: ClusterOptions) -> Self {
         PooledClusterBackend {
             options,
-            pool: None,
+            ..PooledClusterBackend::default()
         }
     }
 
     /// A pooled backend with a fixed worker count.
     pub fn with_workers(workers: usize) -> Self {
-        PooledClusterBackend {
-            options: ClusterOptions::with_workers(workers),
-            pool: None,
-        }
+        PooledClusterBackend::new(ClusterOptions::with_workers(workers))
     }
 
     /// A pooled backend whose `workers`-thread crew is spawned once and
@@ -239,23 +257,62 @@ impl PooledClusterBackend {
     pub fn with_shared_pool(workers: usize) -> Self {
         PooledClusterBackend {
             options: ClusterOptions::with_workers(workers.max(1)),
-            pool: Some(Arc::new(WorkerPool::new(workers))),
+            crew: Crew::Shared(Arc::new(WorkerPool::new(workers))),
+            injector: None,
         }
+    }
+
+    /// A pooled backend executing on an [`ElasticPool`]: each run pins
+    /// the crew current at its start, so a control loop can
+    /// [`resize`](ElasticPool::resize) the pool between queries without
+    /// disturbing in-flight ones. Clones share the same elastic pool.
+    pub fn with_elastic_pool(pool: Arc<ElasticPool>) -> Self {
+        PooledClusterBackend {
+            options: ClusterOptions::default(),
+            crew: Crew::Elastic(pool),
+            injector: None,
+        }
+    }
+
+    /// Attach a [`FaultInjector`]: every subsequent `execute` call checks
+    /// it for an armed [`FaultPlan`](crate::fault::FaultPlan) at run
+    /// start (builder-style; clones share the injector).
+    pub fn with_fault_injector(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.injector = Some(injector);
+        self
     }
 
     /// The persistent crew, when this backend was built with
     /// [`with_shared_pool`](Self::with_shared_pool).
     pub fn shared_pool(&self) -> Option<&Arc<WorkerPool>> {
-        self.pool.as_ref()
+        match &self.crew {
+            Crew::Shared(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// The elastic pool, when this backend was built with
+    /// [`with_elastic_pool`](Self::with_elastic_pool).
+    pub fn elastic_pool(&self) -> Option<&Arc<ElasticPool>> {
+        match &self.crew {
+            Crew::Elastic(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// The attached fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.injector.as_ref()
     }
 }
 
 impl ExecBackend for PooledClusterBackend {
     fn name(&self) -> String {
-        match (&self.pool, self.options.workers) {
-            (Some(p), _) => format!("pooled-cluster(shared {})", p.size()),
-            (None, Some(w)) => format!("pooled-cluster({w})"),
-            (None, None) => "pooled-cluster".into(),
+        match (&self.crew, self.options.workers) {
+            (Crew::Shared(p), _) => format!("pooled-cluster(shared {})", p.size()),
+            (Crew::Elastic(p), _) => format!("pooled-cluster(elastic {})", p.width()),
+            (Crew::Scoped, Some(w)) => format!("pooled-cluster({w})"),
+            (Crew::Scoped, None) => "pooled-cluster".into(),
         }
     }
 
@@ -271,12 +328,20 @@ impl ExecBackend for PooledClusterBackend {
             .map(|&v| job.distributed(v))
             .collect();
         let programs = programs.ok_or_else(|| unsupported(self, job))?;
+        // Pin the crew for this run: an elastic resize after this point
+        // affects the *next* run, never this one.
+        let crew: Option<Arc<WorkerPool>> = match &self.crew {
+            Crew::Scoped => None,
+            Crew::Shared(p) => Some(Arc::clone(p)),
+            Crew::Elastic(p) => Some(p.snapshot()),
+        };
         let run = run_programs(
             tree,
             placement,
             programs,
             self.options,
-            self.pool.as_deref(),
+            crew.as_deref(),
+            self.injector.as_deref(),
         )?;
         Ok(ExecOutcome {
             job: job.name(),

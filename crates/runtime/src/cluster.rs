@@ -41,6 +41,7 @@ use tamp_simulator::{NodeState, Placement, PlacementStats, Rel};
 use tamp_topology::{NodeId, Tree};
 
 use crate::error::RuntimeError;
+use crate::fault::{FaultEvent, FaultInjector};
 use crate::message::{Envelope, OutMsg, Outbox, Step};
 use crate::pool::WorkerPool;
 
@@ -154,6 +155,8 @@ enum WorkerOut {
     },
     /// A node program panicked.
     Panicked { node: NodeId, message: String },
+    /// An injected fault killed this node's program this superstep.
+    Failed { node: NodeId, round: usize },
     /// This worker observed the claim queue exhausted and went back to
     /// the gate. The coordinator must collect one per worker before
     /// reopening the queue for the next superstep — otherwise a straggler
@@ -188,7 +191,7 @@ where
 {
     let computes: Vec<NodeId> = tree.compute_nodes().to_vec();
     let programs: Vec<Box<dyn NodeProgram>> = computes.iter().map(|&v| make_program(v)).collect();
-    run_programs(tree, placement, programs, options, None)
+    run_programs(tree, placement, programs, options, None, None)
 }
 
 /// Run pre-instantiated per-node programs (aligned with
@@ -198,12 +201,20 @@ where
 /// run (the default), `Some` dispatches the worker loop onto a persistent
 /// [`WorkerPool`] shared across runs (what the serving layer uses).
 /// Results are bit-identical either way.
+///
+/// `fault` is the optional [`FaultInjector`] arming point: an armed
+/// [`FaultPlan`](crate::fault::FaultPlan) is consumed (one-shot) at run
+/// start; from each planned fault round on, the affected node programs
+/// stop executing and the run aborts with
+/// [`RuntimeError::InjectedFault`], with the fired faults recorded back
+/// into the injector's event log.
 pub(crate) fn run_programs(
     tree: &Tree,
     placement: &Placement,
     programs: Vec<Box<dyn NodeProgram>>,
     options: ClusterOptions,
     pool: Option<&WorkerPool>,
+    fault: Option<&FaultInjector>,
 ) -> Result<RuntimeRun, RuntimeError> {
     let stats = placement.stats();
     let computes: Vec<NodeId> = tree.compute_nodes().to_vec();
@@ -229,6 +240,14 @@ pub(crate) fn run_programs(
         })
         .collect();
 
+    // Take the armed fault plan (one-shot: the injector is disarmed from
+    // here on, so a recovery re-execution runs on a healthy crew) and
+    // resolve it to a per-node first-dead round.
+    let fail_rounds: Option<Vec<usize>> = fault
+        .and_then(|inj| inj.disarm())
+        .filter(|plan| !plan.is_empty())
+        .map(|plan| plan.fail_rounds(tree));
+
     let workers = match pool {
         Some(p) => p.size(),
         None => options.resolved_workers(n),
@@ -247,6 +266,7 @@ pub(crate) fn run_programs(
     let (out_tx, out_rx): (Sender<WorkerOut>, Receiver<WorkerOut>) = channel();
 
     let mut meter = TrafficMeter::new(tree);
+    let mut fired_events: Vec<FaultEvent> = Vec::new();
     let mut supersteps_done = 0usize;
     let mut outcome: Result<usize, RuntimeError> = Err(RuntimeError::SuperstepLimit {
         limit: options.max_supersteps,
@@ -287,6 +307,14 @@ pub(crate) fn run_programs(
                         state,
                         inbox,
                     } = &mut *slot;
+                    // An injected fault: from its fail round on, this
+                    // node's program is dead and executes nothing.
+                    if let Some(fail) = &fail_rounds {
+                        if round >= fail[node.index()] {
+                            let _ = out_tx.send(WorkerOut::Failed { node: *node, round });
+                            continue;
+                        }
+                    }
                     // Commit deliveries into local state first
                     // (BSP: data sent in round i is state in i+1).
                     let arrived = std::mem::take(inbox);
@@ -348,6 +376,7 @@ pub(crate) fn run_programs(
             let mut all_halt = true;
             let mut round_sends: Vec<(NodeId, OutMsg)> = Vec::new();
             let mut panic_err: Option<RuntimeError> = None;
+            let mut failed: Vec<FaultEvent> = Vec::new();
             let mut reported = 0usize;
             let mut drained = 0usize;
             while reported < n || drained < workers {
@@ -365,11 +394,28 @@ pub(crate) fn run_programs(
                         reported += 1;
                         panic_err = Some(RuntimeError::WorkerPanic { node, message });
                     }
+                    Ok(WorkerOut::Failed { node, round }) => {
+                        reported += 1;
+                        failed.push(FaultEvent { node, round });
+                    }
                     Ok(WorkerOut::Drained) => drained += 1,
                     Err(_) => unreachable!("workers outlive the coordinator loop"),
                 }
             }
             supersteps_done = round + 1;
+            if !failed.is_empty() {
+                // Deterministic error: the lowest-indexed failed node
+                // names the run's outcome regardless of claim order, and
+                // the event log is sorted the same way.
+                failed.sort_by_key(|e| e.node.index());
+                let first = failed[0];
+                fired_events.extend(failed);
+                outcome = Err(RuntimeError::InjectedFault {
+                    node: first.node,
+                    round: first.round,
+                });
+                break 'steps;
+            }
             if let Some(e) = panic_err {
                 outcome = Err(e);
                 break 'steps;
@@ -427,6 +473,12 @@ pub(crate) fn run_programs(
             }
             coordinator();
         }),
+    }
+
+    if !fired_events.is_empty() {
+        if let Some(inj) = fault {
+            inj.record(fired_events);
+        }
     }
 
     let supersteps = outcome?;

@@ -54,6 +54,17 @@ pub enum RuntimeError {
         /// The offending spec, verbatim.
         spec: String,
     },
+    /// An armed [`FaultPlan`](crate::fault::FaultPlan) fired: the worker
+    /// on `node` was killed at superstep `round` and the run aborted.
+    /// Recovery is re-execution on a healthy (disarmed) crew — the
+    /// deterministic schedule makes the retry bit-identical to a
+    /// fault-free run.
+    InjectedFault {
+        /// The first (lowest-indexed) node whose program was killed.
+        node: NodeId,
+        /// The superstep at which it was killed.
+        round: usize,
+    },
 }
 
 /// The specs [`backend_from_spec`](crate::backend::backend_from_spec)
@@ -89,6 +100,12 @@ impl fmt::Display for RuntimeError {
                 write!(
                     f,
                     "backend spec `{spec}` requests a zero-width worker pool (need N \u{2265} 1)"
+                )
+            }
+            Self::InjectedFault { node, round } => {
+                write!(
+                    f,
+                    "injected fault: worker on node {node} killed at superstep {round}"
                 )
             }
         }

@@ -1,0 +1,230 @@
+//! Fault injection for the pooled cluster: kill a worker mid-query,
+//! detach a whole subtree, and observe what fired.
+//!
+//! The serving arc's recovery story rests on a property the trace/replay
+//! split provides *by construction*: every query is a deterministic
+//! exchange [`Schedule`](crate::jobs::Schedule), so re-executing it on a
+//! healthy crew reproduces the fault-free run bit for bit — rows **and**
+//! metered `edge_totals`. What the runtime needs, then, is only the
+//! ability to *make* a crew unhealthy on demand:
+//!
+//! - a [`FaultPlan`] declares faults against logical workers (compute
+//!   nodes): kill worker `k` at superstep `r`
+//!   ([`kill_worker`](FaultPlan::kill_worker)), or detach every compute
+//!   node under a router at superstep `r`
+//!   ([`detach_subtree`](FaultPlan::detach_subtree));
+//! - a [`FaultInjector`] is shared between the orchestration layer and a
+//!   [`PooledClusterBackend`](crate::PooledClusterBackend): the
+//!   orchestrator [`arm`](FaultInjector::arm)s a plan, and the **next**
+//!   cluster execution consumes it (one-shot — the recovery re-execution
+//!   runs on an already-disarmed injector, i.e. a healthy crew);
+//! - when a fault fires, the run aborts with the typed
+//!   [`RuntimeError::InjectedFault`](crate::RuntimeError::InjectedFault)
+//!   and the injector records a [`FaultEvent`] per failed node in its
+//!   [`fired`](FaultInjector::fired) log.
+//!
+//! Faults target *logical* compute nodes, not OS threads: the pool's
+//! work-claiming makes crew threads interchangeable, so killing an OS
+//! thread is unobservable by design — the observable unit of failure is
+//! the node program.
+
+use std::sync::{Mutex, MutexGuard};
+
+use tamp_topology::{NodeId, Tree};
+
+fn lock_ok<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// One declared fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Kill the worker (node program) on `node` at superstep `round`:
+    /// from that superstep on, the node executes nothing and the run
+    /// aborts.
+    KillWorker {
+        /// The compute node whose program dies.
+        node: NodeId,
+        /// First superstep at which the node is dead.
+        round: usize,
+    },
+    /// Detach the subtree rooted at `root` (a router or a compute node)
+    /// at superstep `round`: every compute node inside it fails at once,
+    /// as if the uplink was cut.
+    DetachSubtree {
+        /// Root of the detached subtree (internal rooting at node 0).
+        root: NodeId,
+        /// First superstep at which the subtree is gone.
+        round: usize,
+    },
+}
+
+/// A declarative set of faults to inject into one cluster execution.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The declared faults.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Add a kill-worker fault (builder-style).
+    pub fn kill_worker(mut self, node: NodeId, round: usize) -> Self {
+        self.faults.push(Fault::KillWorker { node, round });
+        self
+    }
+
+    /// Add a detach-subtree fault (builder-style).
+    pub fn detach_subtree(mut self, root: NodeId, round: usize) -> Self {
+        self.faults.push(Fault::DetachSubtree { root, round });
+        self
+    }
+
+    /// `true` if the plan declares no faults.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Resolve the plan against a topology: for every node index, the
+    /// first superstep at which it is dead (`usize::MAX`: never).
+    pub(crate) fn fail_rounds(&self, tree: &Tree) -> Vec<usize> {
+        let mut fail = vec![usize::MAX; tree.num_nodes()];
+        for fault in &self.faults {
+            match *fault {
+                Fault::KillWorker { node, round } => {
+                    let f = &mut fail[node.index()];
+                    *f = (*f).min(round);
+                }
+                Fault::DetachSubtree { root, round } => {
+                    for &v in tree.compute_nodes() {
+                        if tree.in_subtree0(v, root) {
+                            let f = &mut fail[v.index()];
+                            *f = (*f).min(round);
+                        }
+                    }
+                }
+            }
+        }
+        fail
+    }
+}
+
+/// One fault that actually fired during a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// The node whose program failed.
+    pub node: NodeId,
+    /// The superstep at which it failed.
+    pub round: usize,
+}
+
+/// The shared arming point between a fault-planning layer and a
+/// [`PooledClusterBackend`](crate::PooledClusterBackend) (see the
+/// [module docs](self)).
+///
+/// Arming is **one-shot**: the next cluster execution through a backend
+/// holding this injector takes the armed plan at run start, so exactly
+/// one run is affected and the recovery re-execution is clean by
+/// construction.
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    armed: Mutex<Option<FaultPlan>>,
+    fired: Mutex<Vec<FaultEvent>>,
+}
+
+impl FaultInjector {
+    /// A disarmed injector.
+    pub fn new() -> Self {
+        FaultInjector::default()
+    }
+
+    /// Arm `plan` for the next cluster execution (replacing any plan
+    /// armed earlier and not yet consumed).
+    pub fn arm(&self, plan: FaultPlan) {
+        *lock_ok(&self.armed) = Some(plan);
+    }
+
+    /// `true` while a plan is armed and not yet consumed by a run.
+    pub fn is_armed(&self) -> bool {
+        lock_ok(&self.armed).is_some()
+    }
+
+    /// Remove and return the armed plan, if any — called by the cluster
+    /// at run start (this is what makes arming one-shot) and usable by
+    /// callers to cancel an armed plan.
+    pub fn disarm(&self) -> Option<FaultPlan> {
+        lock_ok(&self.armed).take()
+    }
+
+    /// Every fault that has fired through this injector, in firing order.
+    pub fn fired(&self) -> Vec<FaultEvent> {
+        lock_ok(&self.fired).clone()
+    }
+
+    /// Record faults that fired during a run.
+    pub(crate) fn record(&self, events: impl IntoIterator<Item = FaultEvent>) {
+        lock_ok(&self.fired).extend(events);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamp_topology::builders;
+
+    #[test]
+    fn fail_rounds_resolve_kills_and_subtrees() {
+        // rack_tree: racks of computes under routers under a core.
+        let tree = builders::rack_tree(&[(2, 1.0, 1.0), (2, 1.0, 1.0)], 1.0);
+        let computes = tree.compute_nodes().to_vec();
+        let plan = FaultPlan::new().kill_worker(computes[0], 3);
+        let fail = plan.fail_rounds(&tree);
+        assert_eq!(fail[computes[0].index()], 3);
+        assert!(fail
+            .iter()
+            .enumerate()
+            .all(|(i, &r)| i == computes[0].index() || r == usize::MAX));
+
+        // Detaching the subtree rooted at a compute's parent router takes
+        // out its whole rack; earlier rounds win when faults overlap.
+        // (computes[0] is the internal root in rack_tree, so anchor the
+        // rack on the last compute, which always has a parent router.)
+        let inner = *computes.last().unwrap();
+        let (router, _) = tree.parent0(inner).expect("non-root leaf has a parent");
+        let plan = FaultPlan::new()
+            .detach_subtree(router, 2)
+            .kill_worker(inner, 1);
+        let fail = plan.fail_rounds(&tree);
+        assert_eq!(fail[inner.index()], 1, "explicit kill wins (earlier)");
+        for &v in &computes {
+            if v != inner && tree.in_subtree0(v, router) {
+                assert_eq!(fail[v.index()], 2, "rack-mate {v} detaches at 2");
+            }
+        }
+    }
+
+    #[test]
+    fn arming_is_one_shot() {
+        let inj = FaultInjector::new();
+        assert!(!inj.is_armed());
+        inj.arm(FaultPlan::new().kill_worker(NodeId(0), 0));
+        assert!(inj.is_armed());
+        let plan = inj.disarm().unwrap();
+        assert_eq!(plan.faults.len(), 1);
+        assert!(!inj.is_armed());
+        assert!(inj.disarm().is_none());
+
+        inj.record([FaultEvent {
+            node: NodeId(0),
+            round: 0,
+        }]);
+        assert_eq!(inj.fired().len(), 1);
+    }
+}

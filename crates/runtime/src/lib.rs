@@ -70,6 +70,7 @@
 pub mod backend;
 pub mod cluster;
 pub mod error;
+pub mod fault;
 pub mod jobs;
 pub mod message;
 pub mod pool;
@@ -81,6 +82,7 @@ pub use backend::{
 };
 pub use cluster::{run_cluster, ClusterOptions, NodeCtx, NodeProgram, RuntimeRun};
 pub use error::{RuntimeError, VALID_BACKEND_SPECS};
+pub use fault::{Fault, FaultEvent, FaultInjector, FaultPlan};
 pub use jobs::{Schedule, ScheduleJob, ScheduleSend};
 pub use message::{Envelope, Outbox, Step};
-pub use pool::WorkerPool;
+pub use pool::{ElasticPool, WorkerPool};

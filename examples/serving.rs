@@ -97,7 +97,9 @@ fn main() {
     // query) behind one shared service.
     let backend = Arc::new(PooledClusterBackend::with_shared_pool(4));
     println!("shared backend: {}", backend.name());
-    let service = QueryService::new(context(&tree), backend).with_max_inflight(THREADS);
+    let service = QueryService::new(context(&tree), backend)
+        .with_max_inflight(THREADS)
+        .unwrap();
 
     let start = Instant::now();
     std::thread::scope(|scope| {

@@ -64,7 +64,9 @@ fn eight_threads_of_mixed_queries_are_bit_identical_to_serial_execution() {
         .collect();
 
     let backend = Arc::new(PooledClusterBackend::with_shared_pool(4));
-    let service = QueryService::new(serving_context(), backend).with_max_inflight(THREADS);
+    let service = QueryService::new(serving_context(), backend)
+        .with_max_inflight(THREADS)
+        .unwrap();
 
     std::thread::scope(|scope| {
         for t in 0..THREADS {
@@ -154,6 +156,90 @@ fn register_mid_service_invalidates_and_replans_consistently() {
     let fresh = fresh_ctx.prepare(&q).unwrap().run().unwrap();
     assert_eq!(after.result.rows(false), fresh.rows(false));
     assert_eq!(after.result.cost.edge_totals, fresh.cost.edge_totals);
+}
+
+#[test]
+fn concurrent_strategy_registration_keeps_inflight_queries_bit_identical() {
+    use tamp::query::physical::strategy::*;
+    use tamp::query::QueryError;
+
+    // A join candidate that is always priced out: registering it bumps
+    // the catalog version and clears the plan cache, but can never change
+    // the winning plan — so every query, on whatever snapshot generation
+    // it started, must stay bit-identical to the serial ground truth.
+    #[derive(Debug)]
+    struct NeverWinsJoin;
+
+    impl PhysicalStrategy for NeverWinsJoin {
+        fn name(&self) -> &'static str {
+            "never-wins"
+        }
+        fn operator(&self) -> OperatorKind {
+            OperatorKind::Join
+        }
+        fn estimate(&self, _a: &PlanArgs<'_>) -> CostEstimate {
+            CostEstimate {
+                tuple_cost: 1e18,
+                rounds: 1,
+            }
+        }
+        fn trace(&self, _a: &ExecArgs<'_>, _input: OpInput) -> Result<OpTrace, QueryError> {
+            unreachable!("estimate guarantees this candidate never wins")
+        }
+    }
+
+    const REGISTRATIONS: usize = 12;
+    let queries = workload();
+    let serial: Vec<QueryResult> = queries
+        .iter()
+        .map(|q| serving_context().prepare(q).unwrap().run().unwrap())
+        .collect();
+
+    let backend = Arc::new(PooledClusterBackend::with_shared_pool(4));
+    let service = QueryService::new(serving_context(), backend)
+        .with_max_inflight(THREADS)
+        .unwrap();
+
+    std::thread::scope(|scope| {
+        // One registrar thread racing the serving threads: each
+        // register_strategy copy-on-writes the session snapshot, so
+        // queries already planning/executing keep their generation.
+        scope.spawn(|| {
+            for _ in 0..REGISTRATIONS {
+                service.register_strategy(Arc::new(NeverWinsJoin)).unwrap();
+                std::thread::yield_now();
+            }
+        });
+        for t in 0..THREADS {
+            let (service, queries, serial) = (&service, &queries, &serial);
+            scope.spawn(move || {
+                for i in 0..QUERIES_PER_THREAD / 2 {
+                    let k = (t + i) % queries.len();
+                    let served = service.serve(&queries[k]).unwrap();
+                    let want = &serial[k];
+                    assert_eq!(
+                        served.result.rows(false),
+                        want.rows(false),
+                        "thread {t} query {k}: rows diverged during registration race"
+                    );
+                    assert_eq!(
+                        served.result.cost.edge_totals, want.cost.edge_totals,
+                        "thread {t} query {k}: ledgers diverged during registration race"
+                    );
+                }
+            });
+        }
+    });
+
+    assert_eq!(service.catalog_version(), REGISTRATIONS as u64);
+    assert_eq!(service.cache_stats().invalidations, REGISTRATIONS as u64);
+    // Post-race sanity: the strategy is a priced (and losing) candidate.
+    let join = &queries[0];
+    let explain = service.explain(join).unwrap();
+    assert!(explain.contains("never-wins"), "{explain}");
+    let after = service.serve(join).unwrap();
+    assert_eq!(after.result.rows(false), serial[0].rows(false));
+    assert_eq!(after.result.cost.edge_totals, serial[0].cost.edge_totals);
 }
 
 #[test]
