@@ -12,9 +12,9 @@
 //!
 //! or a single experiment by id (`t1-si`, `t1-cp`, `t1-sort`, `f1`–`f5`,
 //! `a1`, `x-mpc`, `x-cross`, `x-agg`, `x-groupby`, `x-general`,
-//! `x-runtime`, `x-query`, `x-scale`, `x-batch`, `x-serve`, `x-uneq-tree`,
-//! `abl-partition`, `abl-pow2`, `abl-splitters`, `abl-treepack`,
-//! `abl-drift`).
+//! `x-runtime`, `x-query`, `x-scale`, `x-batch`, `x-serve`, `x-tenant`,
+//! `x-chaos`, `x-uneq-tree`, `abl-partition`, `abl-pow2`,
+//! `abl-splitters`, `abl-treepack`, `abl-drift`).
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -27,6 +27,7 @@ pub mod strategies;
 pub mod suite;
 pub mod table;
 pub mod xbatch;
+pub mod xchaos;
 pub mod xscale;
 pub mod xtenant;
 

@@ -810,6 +810,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "x-batch",
     "x-serve",
     "x-tenant",
+    "x-chaos",
     "abl-drift",
     "x-uneq-tree",
 ];
@@ -843,6 +844,7 @@ pub fn run_experiment(id: &str) -> Option<Vec<Table>> {
         "x-batch" => crate::xbatch::x_batch(),
         "x-serve" => crate::serving::x_serve(),
         "x-tenant" => crate::xtenant::x_tenant(),
+        "x-chaos" => crate::xchaos::x_chaos(),
         "abl-drift" => crate::extensions::abl_drift(),
         "x-uneq-tree" => crate::extensions::x_unequal_tree(),
         _ => return None,

@@ -42,7 +42,7 @@
 use std::sync::Arc;
 
 use tamp_runtime::backend::{ExecBackend, SimulatorBackend};
-use tamp_topology::Tree;
+use tamp_topology::{EdgeId, Tree};
 
 use crate::error::QueryError;
 use crate::exec::{self, ExecMode, ExecOptions, JoinStrategy, QueryResult};
@@ -166,6 +166,16 @@ impl QueryContext {
     /// The catalog backing this session.
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+
+    /// Degrade one link of the session's topology in place: divide both
+    /// directed bandwidths of `edge` by `factor`. Every subsequent
+    /// `prepare` prices its strategy candidates against the degraded
+    /// network — the plan that wins can genuinely flip (see the serving
+    /// layer's [`degrade_link`](crate::service::QueryService::degrade_link),
+    /// which adds cache invalidation on top).
+    pub fn degrade_link(&mut self, edge: EdgeId, factor: f64) -> Result<(), QueryError> {
+        self.catalog.scale_bandwidth(edge, factor)
     }
 
     /// The topology the session's tables live on.

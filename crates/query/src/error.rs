@@ -1,8 +1,9 @@
 //! Error type for query planning and execution.
 
 use std::fmt;
+use std::time::Duration;
 
-use tamp_topology::NodeId;
+use tamp_topology::{EdgeId, NodeId};
 
 /// Errors raised while building schemas, planning or executing queries.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,6 +66,44 @@ pub enum QueryError {
         node: NodeId,
         /// The superstep at which it failed.
         round: usize,
+    },
+    /// An injected link degradation aborted the query mid-execution. Like
+    /// [`FaultInjected`](Self::FaultInjected) this is recoverable: replay
+    /// (from the last checkpoint, if any) re-executes the deterministic
+    /// schedule. Re-pricing plans for the degraded network is a separate,
+    /// explicit step ([`degrade_link`](crate::service::QueryService::degrade_link)).
+    LinkDegraded {
+        /// The degraded edge.
+        edge: EdgeId,
+        /// The superstep at which the degradation fired.
+        round: usize,
+        /// Bandwidth division factor (> 1 slows the link).
+        factor: f64,
+    },
+    /// A superstep exceeded the configured watchdog deadline. The node is
+    /// the deterministically-attributed straggler (first unreported
+    /// compute node). Recoverable by replay.
+    SuperstepTimeout {
+        /// The straggler.
+        node: NodeId,
+        /// The superstep that timed out.
+        round: usize,
+        /// The configured deadline it exceeded.
+        deadline: Duration,
+    },
+    /// A [`FaultPlan`](tamp_runtime::FaultPlan) named an impossible
+    /// target (router or out-of-range node, unknown edge, non-finite
+    /// degradation factor). Rejected with this typed error instead of
+    /// silently not firing.
+    InvalidFaultTarget(String),
+    /// Replay recovery gave up: every one of the policy's
+    /// `max_attempts` executions failed with a recoverable fault. Carries
+    /// the final attempt's error.
+    RecoveryExhausted {
+        /// Total executions attempted (= `RetryPolicy::max_attempts`).
+        attempts: u32,
+        /// The error that killed the last attempt.
+        last: Box<QueryError>,
     },
     /// A query named a tenant the orchestrator has no spec for.
     UnknownTenant(String),
@@ -131,6 +170,32 @@ impl fmt::Display for QueryError {
                     "injected fault: worker on node {node} killed at superstep {round}"
                 )
             }
+            Self::LinkDegraded {
+                edge,
+                round,
+                factor,
+            } => {
+                write!(
+                    f,
+                    "injected fault: link {} degraded by {factor}x at superstep {round}",
+                    edge.index()
+                )
+            }
+            Self::SuperstepTimeout {
+                node,
+                round,
+                deadline,
+            } => {
+                write!(
+                    f,
+                    "superstep {round} exceeded the {deadline:?} watchdog deadline \
+                     (straggler: node {node})"
+                )
+            }
+            Self::InvalidFaultTarget(msg) => write!(f, "invalid fault target: {msg}"),
+            Self::RecoveryExhausted { attempts, last } => {
+                write!(f, "recovery exhausted after {attempts} attempts: {last}")
+            }
             Self::UnknownTenant(t) => write!(f, "unknown tenant `{t}`"),
             Self::TenantQueueFull { tenant, quota } => {
                 write!(f, "tenant `{tenant}` is at its quota of {quota} queries")
@@ -138,6 +203,20 @@ impl fmt::Display for QueryError {
             Self::InvalidTenantSpec(msg) => write!(f, "invalid tenant spec: {msg}"),
             Self::InvalidScalingSpec(msg) => write!(f, "invalid scaling spec: {msg}"),
         }
+    }
+}
+
+impl QueryError {
+    /// `true` for faults the orchestration layer recovers from by replay:
+    /// injected kills, link degradations and straggler timeouts. Mirrors
+    /// `RuntimeError::is_recoverable`.
+    pub fn is_recoverable(&self) -> bool {
+        matches!(
+            self,
+            QueryError::FaultInjected { .. }
+                | QueryError::LinkDegraded { .. }
+                | QueryError::SuperstepTimeout { .. }
+        )
     }
 }
 
@@ -159,6 +238,27 @@ impl From<tamp_runtime::ExecError> for QueryError {
                 node,
                 round,
             }) => QueryError::FaultInjected { node, round },
+            tamp_runtime::ExecError::Runtime(tamp_runtime::RuntimeError::LinkDegraded {
+                edge,
+                round,
+                factor,
+            }) => QueryError::LinkDegraded {
+                edge,
+                round,
+                factor,
+            },
+            tamp_runtime::ExecError::Runtime(tamp_runtime::RuntimeError::SuperstepTimeout {
+                node,
+                round,
+                deadline,
+            }) => QueryError::SuperstepTimeout {
+                node,
+                round,
+                deadline,
+            },
+            tamp_runtime::ExecError::Runtime(tamp_runtime::RuntimeError::InvalidFaultTarget {
+                fault,
+            }) => QueryError::InvalidFaultTarget(fault),
             other => QueryError::Backend(other.to_string()),
         }
     }

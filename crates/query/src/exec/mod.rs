@@ -208,6 +208,8 @@ pub(crate) fn run_physical(
         operator_costs,
         estimated_cost: physical.estimated_cost(),
         rounds: outcome.rounds,
+        supersteps: outcome.supersteps,
+        resumed_from: outcome.resumed_from,
         node_order: valid_order(catalog.tree()),
     })
 }

@@ -43,6 +43,15 @@ pub struct QueryResult {
     pub estimated_cost: f64,
     /// Communication rounds used.
     pub rounds: usize,
+    /// BSP supersteps the backend executed (the cluster adds a terminal
+    /// silent superstep on top of `rounds`; the simulator reports
+    /// `rounds`). A checkpoint-resumed run counts from superstep 0, so
+    /// the value stays comparable with a fault-free run.
+    pub supersteps: usize,
+    /// `Some(r)` when the execution resumed from a parked checkpoint at
+    /// superstep `r` — supersteps `0..r` were *skipped*, only
+    /// `supersteps - r` were replayed. `None` for a from-scratch run.
+    pub resumed_from: Option<usize>,
     /// The compute-node order along which `OrderBy` range-partitions (the
     /// tree's valid left-to-right order); order-preserving row collection
     /// concatenates fragments along it.

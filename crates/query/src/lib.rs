@@ -107,7 +107,7 @@ pub mod prelude {
     };
     pub use crate::expr::{col, lit, Expr};
     pub use crate::optimizer::optimize;
-    pub use crate::orchestrator::{Orchestrator, ScalingSpec, TenantStats};
+    pub use crate::orchestrator::{Backoff, Orchestrator, RetryPolicy, ScalingSpec, TenantStats};
     pub use crate::physical::strategy::{
         Candidate, CostEstimate, OperatorKind, PhysicalStrategy, StrategyRegistry,
     };
@@ -126,7 +126,9 @@ pub use exec::{
     execute, execute_on, ExecMode, ExecOptions, JoinStrategy, OperatorCost, QueryResult,
     StrategyForce,
 };
-pub use orchestrator::{Orchestrator, ScalingSpec, TenantStats};
+pub use orchestrator::{
+    Backoff, Orchestrator, RecoveryEvent, RetryPolicy, ScalingSpec, TenantStats,
+};
 pub use physical::strategy::{OperatorKind, PhysicalStrategy, StrategyRegistry};
 pub use physical::{Exchange, PhysicalPlan};
 pub use plan::{AggFunc, LogicalPlan};

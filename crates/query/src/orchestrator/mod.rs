@@ -78,13 +78,19 @@
 //! assert_eq!(stats.iter().find(|t| t.tenant == "analysts").unwrap().served, 1);
 //! ```
 
+pub mod chaos;
 pub mod scaling;
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
-use tamp_runtime::{ElasticPool, FaultEvent, FaultInjector, FaultPlan, PooledClusterBackend};
+use tamp_runtime::{
+    CheckpointSpec, CheckpointStats, CheckpointStore, ElasticPool, FaultEvent, FaultInjector,
+    FaultKind, FaultPlan, PooledClusterBackend, RuntimeError,
+};
+use tamp_topology::{EdgeId, Tree};
 
 use crate::admission::{Priority, TenantSpec, WeightedAdmission};
 use crate::context::QueryContext;
@@ -104,21 +110,104 @@ fn lock_ok<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 /// Recent queue waits feeding the rolling-latency scaling signal.
 const ROLLING_WINDOW: usize = 32;
 
-/// Bound on replay attempts after injected faults, so an adversarial
-/// re-arming loop cannot spin a query forever.
-const MAX_RECOVERIES: u32 = 4;
+/// Backoff between recovery attempts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Backoff {
+    /// Retry immediately (the default — replay on the healthy crew is
+    /// the recovery, there is usually nothing to wait out).
+    #[default]
+    None,
+    /// A fixed delay before every retry.
+    Fixed(Duration),
+    /// `base · 2^(attempt-1)`: doubling delays for flaky environments
+    /// where back-to-back retries would hit the same transient fault.
+    Exponential {
+        /// Delay before the first retry.
+        base: Duration,
+    },
+}
 
-/// One successful replay recovery, in arrival order.
-#[derive(Clone, Debug, PartialEq, Eq)]
+impl Backoff {
+    /// Delay before retry number `attempt` (1-based).
+    pub fn delay(&self, attempt: u32) -> Duration {
+        match *self {
+            Backoff::None => Duration::ZERO,
+            Backoff::Fixed(d) => d,
+            Backoff::Exponential { base } => base.saturating_mul(
+                1u32.checked_shl(attempt.saturating_sub(1))
+                    .unwrap_or(u32::MAX),
+            ),
+        }
+    }
+}
+
+/// Bound and pacing for replay recovery — replaces the old hardcoded
+/// four-recovery loop. `max_attempts` counts *total executions* (initial
+/// run included), so an adversarial re-arming loop terminates with a
+/// typed [`QueryError::RecoveryExhausted`] after exactly `max_attempts`
+/// failures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total executions allowed per query (floored at 1).
+    pub max_attempts: u32,
+    /// Delay policy between attempts.
+    pub backoff: Backoff,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        // The historical behavior: one initial run plus four recoveries.
+        RetryPolicy {
+            max_attempts: 5,
+            backoff: Backoff::None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy allowing `max_attempts` total executions (floored at 1),
+    /// with no backoff.
+    pub fn new(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            backoff: Backoff::None,
+        }
+    }
+
+    /// Builder-style: set the backoff between attempts.
+    pub fn with_backoff(mut self, backoff: Backoff) -> Self {
+        self.backoff = backoff;
+        self
+    }
+}
+
+/// One recoverable fault hitting a served query, in arrival order. The
+/// replay bookkeeping fields (`resumed_from`, `replayed_supersteps`,
+/// `skipped_supersteps`) describe the *following* attempt and are filled
+/// in when it succeeds; they stay empty/zero if that attempt also
+/// faulted (the next fault gets its own event) or recovery was
+/// exhausted.
+#[derive(Clone, Debug, PartialEq)]
 pub struct RecoveryEvent {
-    /// The tenant whose query was killed.
+    /// The tenant whose query was hit.
     pub tenant: String,
     /// The query's admission ticket.
     pub ticket: u64,
-    /// The fault that killed the run (first failed node).
+    /// The fault that killed the attempt (kind + attributed node +
+    /// superstep).
     pub fault: FaultEvent,
-    /// 1-based replay attempt that this event records.
+    /// 1-based execution attempt that the fault killed.
     pub attempt: u32,
+    /// Checkpoint superstep the successful replay resumed from (`None`
+    /// for a from-scratch replay).
+    pub resumed_from: Option<usize>,
+    /// Supersteps the successful replay actually executed
+    /// (`total - skipped`); with checkpointing enabled this is strictly
+    /// fewer than a whole-query replay whenever a snapshot existed.
+    pub replayed_supersteps: Option<usize>,
+    /// Supersteps the successful replay skipped thanks to the checkpoint
+    /// (= `resumed_from`, or 0 without one).
+    pub skipped_supersteps: usize,
 }
 
 /// Per-tenant serving report returned by [`Orchestrator::stats`].
@@ -136,6 +225,12 @@ pub struct TenantStats {
     pub rejected: u64,
     /// Queries that needed replay recovery after an injected fault.
     pub recovered: u64,
+    /// Straggler watchdog timeouts hit by this tenant's queries (each
+    /// also counts toward `recovered` when the replay succeeds).
+    pub timeouts: u64,
+    /// Supersteps this tenant's replays skipped thanks to checkpoint
+    /// resume (0 without checkpointing).
+    pub supersteps_skipped: u64,
     /// Served queries whose plan came from the cache.
     pub cache_hits: u64,
     /// Queries currently queued.
@@ -163,6 +258,8 @@ struct TenantTimings {
     exec: Duration,
     served: u64,
     recovered: u64,
+    timeouts: u64,
+    supersteps_skipped: u64,
     cache_hits: u64,
     max_waited_grants: u64,
 }
@@ -182,8 +279,13 @@ pub struct Orchestrator {
     admission: WeightedAdmission,
     pool: Arc<ElasticPool>,
     injector: Arc<FaultInjector>,
+    checkpoints: Option<Arc<CheckpointStore>>,
+    retry: RetryPolicy,
     scaling: Option<ScalingSpec>,
     scaler: Mutex<ScalerState>,
+    /// Straggler timeouts since the last scaling tick — drained into
+    /// `ScalingObservation::recent_timeouts`.
+    pending_timeouts: AtomicUsize,
     timings: Mutex<Vec<TenantTimings>>,
     specs: Vec<TenantSpec>,
     recoveries: Mutex<Vec<RecoveryEvent>>,
@@ -207,6 +309,9 @@ pub struct OrchestratorBuilder {
     tenants: Vec<TenantSpec>,
     scaling: Option<ScalingSpec>,
     capacity: Option<usize>,
+    retry: RetryPolicy,
+    checkpoint_every: Option<usize>,
+    superstep_deadline: Option<Duration>,
 }
 
 impl OrchestratorBuilder {
@@ -233,6 +338,32 @@ impl OrchestratorBuilder {
     /// the initial crew width, floored at 2).
     pub fn capacity(mut self, capacity: usize) -> Self {
         self.capacity = Some(capacity);
+        self
+    }
+
+    /// Replay-recovery bound and backoff (default:
+    /// [`RetryPolicy::default`], five total executions, no backoff).
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Enable superstep checkpointing: snapshot every `every`-th
+    /// superstep boundary so replay recovery resumes from the last
+    /// completed checkpoint instead of superstep 0 (floored at 1; see
+    /// [`tamp_runtime::checkpoint`]).
+    pub fn checkpoints(mut self, every: usize) -> Self {
+        self.checkpoint_every = Some(every);
+        self
+    }
+
+    /// Arm the superstep watchdog: a superstep exceeding `deadline`
+    /// aborts with a recoverable
+    /// [`QueryError::SuperstepTimeout`] naming the straggler, feeding
+    /// both the recovery loop and the scaling observation
+    /// (`recent_timeouts`).
+    pub fn superstep_deadline(mut self, deadline: Duration) -> Self {
+        self.superstep_deadline = Some(deadline);
         self
     }
 
@@ -269,15 +400,31 @@ impl OrchestratorBuilder {
         let capacity = self.capacity.unwrap_or_else(|| width.max(2));
         let pool = Arc::new(ElasticPool::new(width));
         let injector = Arc::new(FaultInjector::new());
-        let backend = PooledClusterBackend::with_elastic_pool(Arc::clone(&pool))
+        let mut backend = PooledClusterBackend::with_elastic_pool(Arc::clone(&pool))
             .with_fault_injector(Arc::clone(&injector));
+        backend.options.superstep_deadline = self.superstep_deadline;
+        let checkpoints = self.checkpoint_every.map(|every| {
+            (
+                Arc::new(CheckpointStore::new()),
+                CheckpointSpec::every(every),
+            )
+        });
+        if let Some((store, spec)) = &checkpoints {
+            backend = backend.with_checkpoints(Arc::clone(store), *spec);
+        }
         let n_tenants = self.tenants.len();
         Ok(Orchestrator {
             service: QueryService::new(self.ctx, Arc::new(backend)),
             admission: WeightedAdmission::new(capacity, self.tenants.clone()),
             pool,
             injector,
+            checkpoints: checkpoints.map(|(store, _)| store),
+            retry: RetryPolicy {
+                max_attempts: self.retry.max_attempts.max(1),
+                ..self.retry
+            },
             scaling: self.scaling,
+            pending_timeouts: AtomicUsize::new(0),
             scaler: Mutex::new(ScalerState {
                 tick: 0,
                 ticks_since_change: 0,
@@ -313,6 +460,9 @@ impl Orchestrator {
             tenants: Vec::new(),
             scaling: None,
             capacity: None,
+            retry: RetryPolicy::default(),
+            checkpoint_every: None,
+            superstep_deadline: None,
         }
     }
 
@@ -342,33 +492,92 @@ impl Orchestrator {
         }
         self.scale_tick(grant.queued);
 
-        let mut attempt = 0u32;
+        // Pin the plan AND the catalog snapshot once: every recovery
+        // attempt replays the exact same deterministic schedule, so
+        // recovered results are bit-identical even if a concurrent
+        // `register`/`degrade_link` swaps the serving generation
+        // mid-recovery.
+        let pinned = match self.service.prepare_pinned(plan) {
+            Ok(p) => p,
+            Err(e) => {
+                // A plan armed for this query would otherwise leak into
+                // the next, unrelated execution: drop it with the query.
+                self.injector.clear_armed();
+                return Err(e);
+            }
+        };
+        let mut attempt = 1u32;
         let outcome = loop {
             match self
                 .service
-                .serve_prepared(plan, grant.ticket, grant.queued)
+                .execute_pinned(&pinned, grant.ticket, grant.queued)
             {
-                Err(QueryError::FaultInjected { node, round }) if attempt < MAX_RECOVERIES => {
-                    attempt += 1;
+                Err(e) if e.is_recoverable() => {
+                    if matches!(e, QueryError::SuperstepTimeout { .. }) {
+                        self.pending_timeouts.fetch_add(1, Ordering::Relaxed);
+                        lock_ok(&self.timings)[tenant_ix].timeouts += 1;
+                    }
                     lock_ok(&self.recoveries).push(RecoveryEvent {
                         tenant: tenant.to_string(),
                         ticket: grant.ticket,
-                        fault: FaultEvent { node, round },
+                        fault: fault_event_of(&e, self.service.context().tree()),
                         attempt,
+                        resumed_from: None,
+                        replayed_supersteps: None,
+                        skipped_supersteps: 0,
                     });
-                    // The faulted run consumed the armed plan (one-shot),
-                    // so this replay executes the same deterministic
-                    // schedule on a healthy crew.
+                    if attempt >= self.retry.max_attempts {
+                        // Total loss (or an adversarial re-arming loop):
+                        // give up with a typed error after exactly
+                        // `max_attempts` executions, dropping any
+                        // still-armed chaos plans with the query.
+                        self.injector.clear_armed();
+                        break Err(QueryError::RecoveryExhausted {
+                            attempts: attempt,
+                            last: Box::new(e),
+                        });
+                    }
+                    let delay = self.retry.backoff.delay(attempt);
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                    // The faulted run consumed its armed plan (FIFO
+                    // one-shot), so this replay sees the next armed plan
+                    // if the chaos schedule re-armed, or a healthy crew.
+                    attempt += 1;
                     continue;
                 }
-                other => break other,
+                Err(e) => {
+                    // Non-recoverable: drop any plan armed for this query
+                    // instead of leaking it into the next execution.
+                    self.injector.clear_armed();
+                    break Err(e);
+                }
+                Ok(served) => break Ok(served),
             }
         };
         if let Ok(served) = &outcome {
+            if attempt > 1 {
+                // Patch the replay bookkeeping onto this query's last
+                // fault event, now that the successful attempt is known.
+                let resumed = served.result.resumed_from;
+                let skipped = resumed.unwrap_or(0);
+                let mut recs = lock_ok(&self.recoveries);
+                if let Some(last) = recs
+                    .iter_mut()
+                    .rev()
+                    .find(|r| r.ticket == grant.ticket && r.tenant == tenant)
+                {
+                    last.resumed_from = resumed;
+                    last.replayed_supersteps = Some(served.result.supersteps - skipped);
+                    last.skipped_supersteps = skipped;
+                }
+                lock_ok(&self.timings)[tenant_ix].supersteps_skipped += skipped as u64;
+            }
             let mut timings = lock_ok(&self.timings);
             let t = &mut timings[tenant_ix];
             t.served += 1;
-            t.recovered += u64::from(attempt > 0);
+            t.recovered += u64::from(attempt > 1);
             t.cache_hits += u64::from(served.stats.cache_hit);
             t.queue_us.push(served.stats.queued.as_micros() as u64);
             t.plan += served.stats.plan;
@@ -396,6 +605,7 @@ impl Orchestrator {
             width: self.pool.width(),
             ticks_since_change: st.ticks_since_change,
             rolling_queue_latency: Duration::from_micros(rolling_mean),
+            recent_timeouts: self.pending_timeouts.swap(0, Ordering::Relaxed),
         };
         let (decision, reason) = scaling::decide(spec, &observation);
         match decision {
@@ -414,11 +624,42 @@ impl Orchestrator {
         }
     }
 
-    /// Arm a [`FaultPlan`] for the **next** query execution (one-shot:
-    /// the replay recovery automatically runs on a disarmed, healthy
-    /// crew).
-    pub fn inject_faults(&self, plan: FaultPlan) {
+    /// Arm a [`FaultPlan`] for the next query execution. Plans queue
+    /// FIFO: arming several queues one per execution attempt, which is
+    /// how the chaos harness re-arms faults across recovery retries.
+    ///
+    /// The plan is validated against the serving topology first — a
+    /// kill/stall naming a router or out-of-range node, or a degrade
+    /// naming an unknown edge, is a typed
+    /// [`QueryError::InvalidFaultTarget`], never a silent no-op.
+    pub fn inject_faults(&self, plan: FaultPlan) -> Result<(), QueryError> {
+        plan.validate(self.service.context().tree())
+            .map_err(|e| match e {
+                RuntimeError::InvalidFaultTarget { fault } => QueryError::InvalidFaultTarget(fault),
+                other => QueryError::Backend(other.to_string()),
+            })?;
         self.injector.arm(plan);
+        Ok(())
+    }
+
+    /// Degrade one link of the serving topology (divide both directed
+    /// bandwidths of `edge` by `factor`): plan-cache invalidation via the
+    /// topology fingerprint, catalog version bump, re-pricing on every
+    /// subsequent query — see
+    /// [`QueryService::degrade_link`]. Returns the new catalog version.
+    pub fn degrade_link(&self, edge: EdgeId, factor: f64) -> Result<u64, QueryError> {
+        self.service.degrade_link(edge, factor)
+    }
+
+    /// Checkpoint counters (saved/resumed/retained), when checkpointing
+    /// is enabled via [`OrchestratorBuilder::checkpoints`].
+    pub fn checkpoint_stats(&self) -> Option<CheckpointStats> {
+        self.checkpoints.as_ref().map(|store| store.stats())
+    }
+
+    /// The configured replay-recovery policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// Every fault that actually fired, in firing order.
@@ -484,6 +725,8 @@ impl Orchestrator {
                     served: t.served,
                     rejected: adm.rejected,
                     recovered: t.recovered,
+                    timeouts: t.timeouts,
+                    supersteps_skipped: t.supersteps_skipped,
                     cache_hits: t.cache_hits,
                     queued_now: adm.queued,
                     running_now: adm.running,
@@ -495,6 +738,34 @@ impl Orchestrator {
                 }
             })
             .collect()
+    }
+}
+
+/// Translate a recoverable [`QueryError`] into the [`FaultEvent`]
+/// recorded on its [`RecoveryEvent`]. Degradations attribute the deeper
+/// endpoint of the edge, matching the runtime's own fired-event log.
+fn fault_event_of(e: &QueryError, tree: &Tree) -> FaultEvent {
+    match *e {
+        QueryError::FaultInjected { node, round } => FaultEvent {
+            node,
+            round,
+            kind: FaultKind::WorkerKilled,
+        },
+        QueryError::LinkDegraded {
+            edge,
+            round,
+            factor,
+        } => FaultEvent {
+            node: tree.deeper_endpoint(edge),
+            round,
+            kind: FaultKind::LinkDegraded { edge, factor },
+        },
+        QueryError::SuperstepTimeout { node, round, .. } => FaultEvent {
+            node,
+            round,
+            kind: FaultKind::Straggler,
+        },
+        _ => unreachable!("fault_event_of is only called on recoverable errors"),
     }
 }
 
@@ -582,7 +853,8 @@ mod tests {
             .unwrap();
         let want = orch.serve_as("a", &query()).unwrap(); // fault-free
         let victim = orch.service().context().tree().compute_nodes()[1];
-        orch.inject_faults(FaultPlan::new().kill_worker(victim, 0));
+        orch.inject_faults(FaultPlan::new().kill_worker(victim, 0))
+            .unwrap();
         let recovered = orch.serve_as("a", &query()).unwrap();
         assert_eq!(recovered.result.rows(false), want.result.rows(false));
         assert_eq!(
@@ -593,15 +865,165 @@ mod tests {
         assert_eq!(recs.len(), 1);
         assert_eq!(recs[0].fault.node, victim);
         assert_eq!(recs[0].attempt, 1);
+        // No checkpointing configured: the successful replay ran from
+        // scratch and the bookkeeping says so.
+        assert_eq!(recs[0].resumed_from, None);
+        assert_eq!(recs[0].skipped_supersteps, 0);
+        assert_eq!(
+            recs[0].replayed_supersteps,
+            Some(recovered.result.supersteps)
+        );
         let fired = orch.fault_events();
         assert_eq!(
             fired,
             vec![FaultEvent {
                 node: victim,
-                round: 0
+                round: 0,
+                kind: FaultKind::WorkerKilled
             }]
         );
         assert_eq!(orch.stats()[0].recovered, 1);
+    }
+
+    #[test]
+    fn invalid_fault_targets_are_typed_errors_not_silent_noops() {
+        let orch = Orchestrator::builder(ctx())
+            .tenant(TenantSpec::new("a", 1, 4))
+            .build()
+            .unwrap();
+        // star(4): node 4 is the hub — a router with no program to kill.
+        let hub = tamp_topology::NodeId(4);
+        let err = orch
+            .inject_faults(FaultPlan::new().kill_worker(hub, 0))
+            .unwrap_err();
+        assert!(matches!(err, QueryError::InvalidFaultTarget(_)), "{err}");
+        assert!(err.to_string().contains("router"), "{err}");
+        // Nothing was armed: the next serve runs fault-free.
+        let served = orch.serve_as("a", &query()).unwrap();
+        assert!(orch.fault_events().is_empty());
+        assert!(!served.result.rows(false).is_empty());
+    }
+
+    #[test]
+    fn recovery_exhausts_after_exactly_max_attempts() {
+        let orch = Orchestrator::builder(ctx())
+            .tenant(TenantSpec::new("a", 1, 4))
+            .retry(RetryPolicy::new(3))
+            .build()
+            .unwrap();
+        let victim = orch.service().context().tree().compute_nodes()[0];
+        // Queue more kill plans than the policy allows attempts: the
+        // query must give up after exactly 3 executions, leaving no
+        // armed plan behind to poison the next query.
+        for _ in 0..5 {
+            orch.inject_faults(FaultPlan::new().kill_worker(victim, 0))
+                .unwrap();
+        }
+        let err = orch.serve_as("a", &query()).unwrap_err();
+        match err {
+            QueryError::RecoveryExhausted { attempts, last } => {
+                assert_eq!(attempts, 3);
+                assert!(matches!(*last, QueryError::FaultInjected { .. }));
+            }
+            other => panic!("expected RecoveryExhausted, got {other:?}"),
+        }
+        assert_eq!(orch.recovery_events().len(), 3);
+        assert_eq!(orch.fault_events().len(), 3);
+        // The two surplus plans were dropped with the failed query.
+        let served = orch.serve_as("a", &query()).unwrap();
+        assert!(!served.result.rows(false).is_empty());
+        assert_eq!(orch.fault_events().len(), 3, "no leaked fault plans");
+    }
+
+    #[test]
+    fn checkpointed_recovery_replays_strictly_fewer_supersteps() {
+        // A multi-round query (aggregate + order_by) with checkpoints
+        // every superstep: a kill late in the schedule must resume from
+        // the last boundary and replay strictly fewer supersteps than a
+        // whole-query replay — asserted from the RecoveryEvent, with rows
+        // and edge_totals bit-identical to the fault-free run.
+        let q = LogicalPlan::scan("t")
+            .aggregate("g", AggFunc::Sum, "x")
+            .order_by("sum_x");
+        let orch = Orchestrator::builder(ctx())
+            .tenant(TenantSpec::new("a", 1, 4))
+            .checkpoints(1)
+            .build()
+            .unwrap();
+        let want = orch.serve_as("a", &q).unwrap();
+        let total = want.result.supersteps;
+        assert!(total >= 3, "need a multi-superstep schedule, got {total}");
+
+        let victim = orch.service().context().tree().compute_nodes()[2];
+        let kill_round = total - 2; // late: several boundaries behind it
+        orch.inject_faults(FaultPlan::new().kill_worker(victim, kill_round))
+            .unwrap();
+        let recovered = orch.serve_as("a", &q).unwrap();
+        assert_eq!(recovered.result.rows(false), want.result.rows(false));
+        assert_eq!(
+            recovered.result.cost.edge_totals,
+            want.result.cost.edge_totals
+        );
+        let recs = orch.recovery_events();
+        assert_eq!(recs.len(), 1);
+        let rec = &recs[0];
+        assert_eq!(rec.resumed_from, Some(kill_round));
+        assert_eq!(rec.skipped_supersteps, kill_round);
+        assert_eq!(rec.replayed_supersteps, Some(total - kill_round));
+        assert!(
+            rec.replayed_supersteps.unwrap() < total,
+            "partial restart must replay strictly fewer supersteps than full replay"
+        );
+        let cp = orch.checkpoint_stats().unwrap();
+        assert_eq!((cp.saved, cp.resumed, cp.retained), (1, 1, 0));
+        assert_eq!(orch.stats()[0].supersteps_skipped, kill_round as u64);
+    }
+
+    #[test]
+    fn checkpoint_resume_is_deterministic_across_strategy_paths() {
+        // Exchange emission must be byte-identical across executions of
+        // the same pinned plan (`drain_sorted` in the strategies):
+        // otherwise the schedule-content checkpoint token differs per
+        // attempt and the retry can never consume the snapshot its own
+        // faulted run parked. A self-join and a grouped aggregate cover
+        // the map-grouped emission paths; each must *resume*, not
+        // merely recover.
+        let plans = [
+            LogicalPlan::scan("t").join_on(LogicalPlan::scan("t"), "id", "id"),
+            LogicalPlan::scan("t")
+                .aggregate("g", AggFunc::Sum, "x")
+                .order_by("sum_x"),
+        ];
+        for q in plans {
+            let orch = Orchestrator::builder(ctx())
+                .tenant(TenantSpec::new("a", 1, 4))
+                .checkpoints(1)
+                .build()
+                .unwrap();
+            let want = orch.serve_as("a", &q).unwrap();
+            let total = want.result.supersteps;
+            if total < 2 {
+                continue; // no boundary can sit behind the kill
+            }
+            let victim = orch.service().context().tree().compute_nodes()[0];
+            orch.inject_faults(FaultPlan::new().kill_worker(victim, total - 1))
+                .unwrap();
+            let recovered = orch.serve_as("a", &q).unwrap();
+            assert_eq!(recovered.result.rows(false), want.result.rows(false));
+            assert_eq!(
+                recovered.result.cost.edge_totals,
+                want.result.cost.edge_totals
+            );
+            let recs = orch.recovery_events();
+            let rec = recs.last().unwrap();
+            assert_eq!(
+                rec.resumed_from,
+                Some(total - 1),
+                "retry must hit the parked snapshot (token-stable schedule) for {q:?}"
+            );
+            let cp = orch.checkpoint_stats().unwrap();
+            assert_eq!((cp.saved, cp.resumed, cp.retained), (1, 1, 0));
+        }
     }
 
     #[test]

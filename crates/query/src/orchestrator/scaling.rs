@@ -95,6 +95,10 @@ pub struct ScalingObservation {
     pub ticks_since_change: u64,
     /// Rolling mean queue wait over the recent window.
     pub rolling_queue_latency: Duration,
+    /// Straggler (superstep-watchdog) timeouts observed since the last
+    /// decision tick — a degraded-mode pressure signal: a crew that keeps
+    /// missing deadlines needs more parallel slack, not less.
+    pub recent_timeouts: usize,
 }
 
 /// What the control law decided.
@@ -131,12 +135,15 @@ pub fn decide(spec: &ScalingSpec, obs: &ScalingObservation) -> (ScaleDecision, &
     let over_latency = spec
         .target_queue_latency
         .is_some_and(|target| obs.rolling_queue_latency > target);
-    if (over_depth || over_latency) && obs.width < spec.max {
+    let stragglers = obs.recent_timeouts > 0;
+    if (over_depth || over_latency || stragglers) && obs.width < spec.max {
         let next = obs.width.saturating_mul(2).min(spec.max);
         let reason = if over_depth {
             "queue depth above target"
-        } else {
+        } else if over_latency {
             "rolling queue latency above target"
+        } else {
+            "straggler timeouts"
         };
         return (ScaleDecision::Grow(next), reason);
     }
@@ -161,6 +168,7 @@ mod tests {
             width,
             ticks_since_change: since,
             rolling_queue_latency: Duration::ZERO,
+            recent_timeouts: 0,
         }
     }
 
@@ -207,6 +215,21 @@ mod tests {
         let (d, reason) = decide(&spec, &o);
         assert_eq!(d, ScaleDecision::Grow(4));
         assert_eq!(reason, "rolling queue latency above target");
+    }
+
+    #[test]
+    fn straggler_timeouts_trigger_growth() {
+        let spec = ScalingSpec::new(2, 8);
+        let mut o = obs(0, 2, 2, 9); // empty queue, would otherwise hold
+        o.recent_timeouts = 1;
+        assert_eq!(
+            decide(&spec, &o),
+            (ScaleDecision::Grow(4), "straggler timeouts")
+        );
+        // At max width the signal cannot act (busy crew: no shrink either).
+        o.width = 8;
+        o.inflight = 8;
+        assert_eq!(decide(&spec, &o).0, ScaleDecision::Hold);
     }
 
     #[test]

@@ -37,7 +37,7 @@ use crate::physical::strategy::{
 use crate::plan::AggFunc;
 use crate::row::{flatten, Row};
 
-use super::{empty_frags, frag_weights, unicast_round};
+use super::{drain_sorted, empty_frags, frag_weights, unicast_round};
 
 fn agg_input(input: OpInput) -> (Fragments, usize, usize, AggFunc) {
     let OpInput::Aggregate {
@@ -183,7 +183,7 @@ impl PhysicalStrategy for HashAggregate {
                     by_owner.entry(owner).or_default().push(vec![g, m]);
                 }
             }
-            for (owner, rows) in by_owner {
+            for (owner, rows) in drain_sorted(by_owner) {
                 outgoing.push((v, owner, flatten(&rows, 2)));
                 for row in rows {
                     owned[owner.index()]

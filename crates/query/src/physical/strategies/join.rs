@@ -41,7 +41,10 @@ use super::columnar::{
     batch_frag_weights, batch_holders_of, broadcast_small_batches, empty_batch_frags,
     probe_join_batches, shuffle_batches_by_key, BatchFragments,
 };
-use super::{broadcast_small, empty_frags, frag_weights, holders_of, probe_join, shuffle_by_key};
+use super::{
+    broadcast_small, drain_sorted, empty_frags, frag_weights, holders_of, probe_join,
+    shuffle_by_key,
+};
 
 fn join_batch_input(
     input: BatchInput,
@@ -465,7 +468,7 @@ impl PhysicalStrategy for TreePartitionJoin {
                     dsts.dedup();
                     by_dsts.entry(dsts).or_default().push(row.clone());
                 }
-                for (dsts, rows) in by_dsts {
+                for (dsts, rows) in drain_sorted(by_dsts) {
                     for &d in &dsts {
                         small_new[d.index()].extend(rows.iter().cloned());
                     }
@@ -488,7 +491,7 @@ impl PhysicalStrategy for TreePartitionJoin {
                         by_dst.entry(dst).or_default().push(row.clone());
                     }
                 }
-                for (dst, rows) in by_dst {
+                for (dst, rows) in drain_sorted(by_dst) {
                     big_new[dst.index()].extend(rows.iter().cloned());
                     round.send_rows(v, &[dst], big_rel, flatten(&rows, big_w), big_w);
                 }

@@ -123,6 +123,21 @@ pub(crate) fn broadcast_small(
     small_new
 }
 
+/// Drain a grouping map in ascending key order.
+///
+/// Exchange emission must be *deterministic*, not merely correct: the
+/// schedule's content hash doubles as the checkpoint-resume token, so
+/// two executions of the same pinned plan must produce byte-identical
+/// schedules — the same sends in the same order — or a faulted run's
+/// parked snapshot can never match its own retry. Iterating the
+/// `HashMap` directly would emit sends in `RandomState` order, which
+/// differs per map instance.
+pub(crate) fn drain_sorted<K: Ord, V>(map: HashMap<K, V>) -> Vec<(K, V)> {
+    let mut entries: Vec<(K, V)> = map.into_iter().collect();
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    entries
+}
+
 /// One-round repartition of row fragments by a key router.
 pub(crate) fn shuffle_by_key(
     trace: &mut TraceBuilder,
@@ -145,7 +160,7 @@ pub(crate) fn shuffle_by_key(
                 by_dst.entry(dst).or_default().push(row.clone());
             }
         }
-        for (dst, rows) in by_dst {
+        for (dst, rows) in drain_sorted(by_dst) {
             outgoing.push((v, dst, flatten(&rows, width)));
             new_frags[dst.index()].extend(rows);
         }
@@ -259,7 +274,7 @@ impl PhysicalStrategy for WeightedDistinct {
                     by_dst.entry(dst).or_default().push(row);
                 }
             }
-            for (dst, rows) in by_dst {
+            for (dst, rows) in drain_sorted(by_dst) {
                 outgoing.push((v, dst, flatten(&rows, width)));
                 new_frags[dst.index()].extend(rows);
             }

@@ -89,7 +89,7 @@ use std::time::{Duration, Instant};
 
 use tamp_runtime::backend::{ExecBackend, SimulatorBackend};
 use tamp_runtime::backend_from_spec;
-use tamp_topology::{DirEdgeId, Tree};
+use tamp_topology::{EdgeId, Tree};
 
 use crate::context::{PreparedQuery, QueryContext};
 use crate::error::QueryError;
@@ -116,6 +116,11 @@ fn lock_ok<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 struct Snapshot {
     ctx: Arc<QueryContext>,
     version: u64,
+    /// Fingerprint of the snapshot's topology (weights included): part
+    /// of the plan-cache key, so an in-place bandwidth mutation
+    /// ([`QueryService::degrade_link`]) can never serve a plan priced on
+    /// the healthy network.
+    tree_fp: u64,
 }
 
 /// A cached prepared plan: the lowered physical plan plus its inferred
@@ -123,6 +128,15 @@ struct Snapshot {
 struct CachedPlan {
     physical: PhysicalPlan,
     schema: Schema,
+}
+
+/// A query pinned to one catalog snapshot and one prepared plan — see
+/// [`QueryService::prepare_pinned`].
+pub(crate) struct PinnedQuery {
+    ctx: Arc<QueryContext>,
+    plan: Arc<CachedPlan>,
+    cache_hit: bool,
+    plan_time: Duration,
 }
 
 /// One plan-cache slot. The fingerprint key is 64 bits, so the entry
@@ -281,7 +295,6 @@ pub struct QueryService {
     backend: Arc<dyn ExecBackend + Send + Sync>,
     cache: Mutex<PlanCache>,
     admission: Admission,
-    tree_fp: u64,
 }
 
 impl std::fmt::Debug for QueryService {
@@ -294,25 +307,11 @@ impl std::fmt::Debug for QueryService {
     }
 }
 
-/// Canonical fingerprint of the topology a service is bound to: node
-/// kinds plus every directed edge's endpoints and bandwidth bits.
+/// Canonical fingerprint of the topology a snapshot is bound to: node
+/// kinds plus every edge's endpoints and exact bandwidth bits
+/// ([`Tree::fingerprint`]).
 fn tree_fingerprint(tree: &Tree) -> u64 {
-    let mut h = DefaultHasher::new();
-    tree.num_nodes().hash(&mut h);
-    for v in tree.nodes() {
-        tree.is_compute(v).hash(&mut h);
-    }
-    for e in tree.edges() {
-        let (u, v) = tree.endpoints(e);
-        (u.index(), v.index()).hash(&mut h);
-        for reverse in [false, true] {
-            tree.bandwidth(DirEdgeId::new(e, reverse))
-                .get()
-                .to_bits()
-                .hash(&mut h);
-        }
-    }
-    h.finish()
+    tree.fingerprint()
 }
 
 impl QueryService {
@@ -329,11 +328,11 @@ impl QueryService {
             snapshot: RwLock::new(Snapshot {
                 ctx: Arc::new(ctx),
                 version: 0,
+                tree_fp,
             }),
             backend,
             cache: Mutex::new(PlanCache::default()),
             admission: Admission::new(default_inflight),
-            tree_fp,
         }
     }
 
@@ -429,6 +428,20 @@ impl QueryService {
         })
     }
 
+    /// Degrade one link of the serving topology: divide both directed
+    /// bandwidths of `edge` by `factor`, copy-on-write like
+    /// [`register`](Self::register) — catalog version bump, plan-cache
+    /// invalidation (the topology fingerprint in the cache key moves, so
+    /// even a colliding entry can never serve a stale-priced plan), and
+    /// in-flight queries finishing on the snapshot they started with.
+    ///
+    /// Every subsequent query re-prices its strategy candidates against
+    /// the degraded network; `EXPLAIN` shows the (possibly flipped)
+    /// winner. Returns the new catalog version.
+    pub fn degrade_link(&self, edge: EdgeId, factor: f64) -> Result<u64, QueryError> {
+        self.update_snapshot(|ctx| ctx.degrade_link(edge, factor))
+    }
+
     /// Serve one query: admission → plan (cached) → execute on the shared
     /// backend. Blocks while the service is at its in-flight bound.
     ///
@@ -458,26 +471,56 @@ impl QueryService {
         ticket: u64,
         queued: Duration,
     ) -> Result<ServedQuery, QueryError> {
+        let pinned = self.prepare_pinned(plan)?;
+        self.execute_pinned(&pinned, ticket, queued)
+    }
+
+    /// Plan (against the current snapshot, through the cache) and pin the
+    /// result: the returned [`PinnedQuery`] holds the snapshot `Arc` and
+    /// the shared prepared plan, so the caller can execute it any number
+    /// of times — the orchestrator's recovery loop replays the *same*
+    /// plan on the *same* catalog generation even if a concurrent
+    /// `register` or [`degrade_link`](Self::degrade_link) swaps the
+    /// service to a new generation mid-recovery. That pinning is what
+    /// makes recovered results bit-identical by construction.
+    pub(crate) fn prepare_pinned(&self, plan: &LogicalPlan) -> Result<PinnedQuery, QueryError> {
         let planning = Instant::now();
-        let (ctx, version) = self.read_snapshot();
-        let (cached, cache_hit) = self.prepare_cached(&ctx, version, plan)?;
+        let (ctx, version, tree_fp) = self.read_snapshot();
+        let (cached, cache_hit) = self.prepare_cached(&ctx, version, tree_fp, plan)?;
+        Ok(PinnedQuery {
+            ctx,
+            plan: cached,
+            cache_hit,
+            plan_time: Instant::now().saturating_duration_since(planning),
+        })
+    }
+
+    /// Execute a pinned plan on the shared backend, stamping the serving
+    /// telemetry. Pure with respect to the service's snapshot: only the
+    /// pinned generation is read.
+    pub(crate) fn execute_pinned(
+        &self,
+        pinned: &PinnedQuery,
+        ticket: u64,
+        queued: Duration,
+    ) -> Result<ServedQuery, QueryError> {
         let executing = Instant::now();
         let result = exec::run_physical(
-            ctx.catalog(),
-            &cached.physical,
-            ctx.options(),
+            pinned.ctx.catalog(),
+            &pinned.plan.physical,
+            pinned.ctx.options(),
             &self.backend,
         )?;
         let done = Instant::now();
-        debug_assert_eq!(result.schema, cached.schema);
+        debug_assert_eq!(result.schema, pinned.plan.schema);
         Ok(ServedQuery {
             result,
             stats: ServiceStats {
                 ticket,
                 queued,
-                plan: executing.saturating_duration_since(planning),
+                plan: pinned.plan_time,
                 exec: done.saturating_duration_since(executing),
-                cache_hit,
+                cache_hit: pinned.cache_hit,
             },
         })
     }
@@ -492,8 +535,8 @@ impl QueryService {
     /// was cached under. Uses (and warms) the plan cache; does not
     /// consume an admission slot.
     pub fn explain(&self, plan: &LogicalPlan) -> Result<String, QueryError> {
-        let (ctx, version) = self.read_snapshot();
-        let (cached, _) = self.prepare_cached(&ctx, version, plan)?;
+        let (ctx, version, tree_fp) = self.read_snapshot();
+        let (cached, _) = self.prepare_cached(&ctx, version, tree_fp, plan)?;
         let prepared = PreparedQuery::from_parts(
             ctx.catalog(),
             ctx.options(),
@@ -504,12 +547,12 @@ impl QueryService {
         Ok(format!("catalog v{version}\n{}", prepared.explain()))
     }
 
-    fn read_snapshot(&self) -> (Arc<QueryContext>, u64) {
+    fn read_snapshot(&self) -> (Arc<QueryContext>, u64, u64) {
         let s = match self.snapshot.read() {
             Ok(s) => s,
             Err(poisoned) => poisoned.into_inner(),
         };
-        (Arc::clone(&s.ctx), s.version)
+        (Arc::clone(&s.ctx), s.version, s.tree_fp)
     }
 
     fn update_snapshot(
@@ -523,6 +566,9 @@ impl QueryService {
             };
             let mut ctx = (*s.ctx).clone();
             mutate(&mut ctx)?;
+            // The mutation may have re-weighted the topology in place
+            // (degrade_link): refresh the fingerprint with the version.
+            s.tree_fp = tree_fingerprint(ctx.tree());
             s.ctx = Arc::new(ctx);
             s.version += 1;
             s.version
@@ -535,9 +581,9 @@ impl QueryService {
 
     /// Cache key: topology fingerprint ⊕ catalog version ⊕ session
     /// options ⊕ the canonical (structural) hash of the logical plan.
-    fn fingerprint(&self, plan: &LogicalPlan, version: u64, options: &ExecOptions) -> u64 {
+    fn fingerprint(tree_fp: u64, plan: &LogicalPlan, version: u64, options: &ExecOptions) -> u64 {
         let mut h = DefaultHasher::new();
-        self.tree_fp.hash(&mut h);
+        tree_fp.hash(&mut h);
         version.hash(&mut h);
         options.hash(&mut h);
         plan.hash(&mut h);
@@ -550,10 +596,11 @@ impl QueryService {
         &self,
         ctx: &QueryContext,
         version: u64,
+        tree_fp: u64,
         plan: &LogicalPlan,
     ) -> Result<(Arc<CachedPlan>, bool), QueryError> {
         let options = ctx.options();
-        let key = self.fingerprint(plan, version, &options);
+        let key = QueryService::fingerprint(tree_fp, plan, version, &options);
         {
             let mut cache = lock_ok(&self.cache);
             // 64-bit keys can collide; the stored plan + options +
@@ -811,5 +858,64 @@ mod tests {
         let err = QueryService::from_backend_spec(ctx(), "pooled-cluster:0").unwrap_err();
         assert!(matches!(err, QueryError::Backend(_)), "{err:?}");
         assert!(err.to_string().contains("zero-width"), "{err}");
+    }
+
+    #[test]
+    fn degrading_an_uplink_invalidates_the_cache_and_flips_the_explain_winner() {
+        // Two racks (4 + 2 computes) behind a fat core. Healthy, the
+        // one-round partial repartition wins the aggregate. Degrade the
+        // big rack's core uplink 16x and the repartition pays
+        // per-(node, group) partials across the now-thin link while the
+        // combining convergecast ships one partial set per level — the
+        // winner must flip, which requires the degrade to move the
+        // topology fingerprint and so invalidate the cached plan.
+        let tree = builders::rack_tree(&[(4, 4.0, 8.0), (2, 4.0, 8.0)], 16.0);
+        let mut ctx = QueryContext::new(tree.clone()).with_seed(7);
+        let rows: Vec<Vec<u64>> = (0..600).map(|i| vec![i, i % 4, (i * 31) % 997]).collect();
+        ctx.register(DistributedTable::round_robin(
+            "facts",
+            Schema::new(vec!["id", "g", "x"]).unwrap(),
+            rows,
+            &tree,
+        ))
+        .unwrap();
+        let service = QueryService::with_default_backend(ctx);
+        let q = LogicalPlan::scan("facts").aggregate("g", AggFunc::Sum, "x");
+
+        let healthy = service.serve(&q).unwrap();
+        assert!(!healthy.stats.cache_hit);
+        assert!(service.serve(&q).unwrap().stats.cache_hit);
+        let before = service.explain(&q).unwrap();
+        assert!(before.contains("-repartition"), "{before}");
+        assert!(!before.contains("via combining-tree"), "{before}");
+
+        // The big rack's core uplink is EdgeId(0) in rack_tree order.
+        let version = service.degrade_link(EdgeId(0), 16.0).unwrap();
+        assert!(version > 0, "degrade must publish a new catalog version");
+        assert_eq!(service.cache_stats().invalidations, 1);
+
+        let repriced = service.serve(&q).unwrap();
+        assert!(
+            !repriced.stats.cache_hit,
+            "degraded topology must invalidate the cached plan"
+        );
+        let after = service.explain(&q).unwrap();
+        assert!(after.contains("via combining-tree"), "{after}");
+        // Re-pricing changes the exchange schedule, never the answer.
+        assert_eq!(healthy.result.rows(false), repriced.result.rows(false));
+
+        // Bad degrades stay typed and leave the snapshot untouched.
+        let fp_err = service.degrade_link(EdgeId(99), 2.0).unwrap_err();
+        assert!(
+            matches!(fp_err, QueryError::InvalidFaultTarget(_)),
+            "{fp_err:?}"
+        );
+        let bw_err = service.degrade_link(EdgeId(0), 0.0).unwrap_err();
+        assert!(
+            matches!(bw_err, QueryError::InvalidFaultTarget(_)),
+            "{bw_err:?}"
+        );
+        assert_eq!(service.cache_stats().invalidations, 1);
+        assert!(service.serve(&q).unwrap().stats.cache_hit);
     }
 }

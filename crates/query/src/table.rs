@@ -7,7 +7,7 @@
 //! single-node (maximally lopsided).
 
 use tamp_core::hashing::mix64;
-use tamp_topology::{NodeId, Tree};
+use tamp_topology::{EdgeId, NodeId, Tree};
 
 use crate::batch::{fragments_to_batches, RecordBatch};
 use crate::error::QueryError;
@@ -182,6 +182,18 @@ impl Catalog {
     /// The topology this catalog's tables live on.
     pub fn tree(&self) -> &Tree {
         &self.tree
+    }
+
+    /// Re-weight edge `e` of the bound topology in place, dividing both
+    /// directed bandwidths by `factor` — the degraded-link serving
+    /// mutation. Table fragments are untouched (rows do not move when a
+    /// link slows down); only subsequent plan pricing observes the new
+    /// weights. Invalid targets (unknown edge, non-finite or non-positive
+    /// factor) surface as [`QueryError::InvalidFaultTarget`].
+    pub fn scale_bandwidth(&mut self, e: EdgeId, factor: f64) -> Result<(), QueryError> {
+        self.tree
+            .scale_bandwidth(e, factor)
+            .map_err(|err| QueryError::InvalidFaultTarget(err.to_string()))
     }
 
     /// Register a table. Replaces any table with the same name.

@@ -45,13 +45,17 @@ use tamp_simulator::cost::Cost;
 use tamp_simulator::{NodeState, Placement, Protocol, Session, SimError};
 use tamp_topology::{NodeId, Tree};
 
-use crate::cluster::{run_programs, ClusterOptions, NodeProgram};
+use crate::checkpoint::{CheckpointSpec, CheckpointStore};
+use crate::cluster::{run_programs, CheckpointHook, ClusterOptions, NodeProgram, RunHooks};
 use crate::error::RuntimeError;
 use crate::fault::FaultInjector;
 use crate::pool::{ElasticPool, WorkerPool};
 
 /// Errors from engine-agnostic execution: either engine's failure mode.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Eq` is deliberately absent: [`RuntimeError`]'s link-degradation
+/// variant carries an `f64` factor.
+#[derive(Debug, Clone, PartialEq)]
 pub enum ExecError {
     /// The centralized engine failed.
     Sim(SimError),
@@ -95,8 +99,13 @@ pub struct ExecOutcome {
     pub rounds: usize,
     /// BSP supersteps executed. For the simulator this equals `rounds`;
     /// the cluster adds the terminal silent superstep in which
-    /// termination was detected.
+    /// termination was detected. A checkpoint-resumed run counts from
+    /// superstep 0, so the total stays comparable with a fault-free run.
     pub supersteps: usize,
+    /// `Some(r)` when the cluster resumed this run from a parked
+    /// checkpoint at superstep `r` (supersteps `0..r` were skipped, not
+    /// replayed); `None` for a from-scratch run and for the simulator.
+    pub resumed_from: Option<usize>,
     /// Final per-node states, indexed by node id.
     pub final_state: Vec<NodeState>,
 }
@@ -122,6 +131,19 @@ pub trait ExecJob {
     /// The distributed view: the program for compute node `v`, if the job
     /// has one. Implementations must be all-or-nothing across nodes.
     fn distributed(&self, _v: NodeId) -> Option<Box<dyn NodeProgram>> {
+        None
+    }
+
+    /// Superstep-checkpointing opt-in. `Some(token)` declares the job
+    /// **resumable**: its per-node programs are stateless per round
+    /// (behavior a function of `ctx.round`, node state, and arrived
+    /// messages alone), so fresh program instances can continue a run
+    /// restored from a mid-run snapshot. The token must be a content
+    /// hash of the job's deterministic behavior — two jobs share a token
+    /// only if their runs are interchangeable superstep for superstep.
+    /// The default `None` opts out: jobs with hidden program-local state
+    /// are never checkpointed.
+    fn checkpoint_token(&self) -> Option<u64> {
         None
     }
 }
@@ -193,6 +215,7 @@ impl ExecBackend for SimulatorBackend {
             backend: self.name(),
             rounds,
             supersteps: rounds,
+            resumed_from: None,
             cost,
             final_state,
         })
@@ -234,6 +257,10 @@ pub struct PooledClusterBackend {
     crew: Crew,
     /// Fault-injection arming point shared with an orchestration layer.
     injector: Option<Arc<FaultInjector>>,
+    /// Superstep checkpointing: the shared snapshot store and cadence.
+    /// Only attached to runs whose job opts in via
+    /// [`ExecJob::checkpoint_token`].
+    checkpoints: Option<(Arc<CheckpointStore>, CheckpointSpec)>,
 }
 
 impl PooledClusterBackend {
@@ -258,7 +285,7 @@ impl PooledClusterBackend {
         PooledClusterBackend {
             options: ClusterOptions::with_workers(workers.max(1)),
             crew: Crew::Shared(Arc::new(WorkerPool::new(workers))),
-            injector: None,
+            ..PooledClusterBackend::default()
         }
     }
 
@@ -268,9 +295,8 @@ impl PooledClusterBackend {
     /// disturbing in-flight ones. Clones share the same elastic pool.
     pub fn with_elastic_pool(pool: Arc<ElasticPool>) -> Self {
         PooledClusterBackend {
-            options: ClusterOptions::default(),
             crew: Crew::Elastic(pool),
-            injector: None,
+            ..PooledClusterBackend::default()
         }
     }
 
@@ -279,6 +305,16 @@ impl PooledClusterBackend {
     /// start (builder-style; clones share the injector).
     pub fn with_fault_injector(mut self, injector: Arc<FaultInjector>) -> Self {
         self.injector = Some(injector);
+        self
+    }
+
+    /// Attach superstep checkpointing (builder-style; clones share the
+    /// store): runs of jobs that opt in via
+    /// [`ExecJob::checkpoint_token`] snapshot at every `spec.every`
+    /// superstep boundary, park the latest snapshot on a recoverable
+    /// fault, and resume from a parked snapshot on retry.
+    pub fn with_checkpoints(mut self, store: Arc<CheckpointStore>, spec: CheckpointSpec) -> Self {
+        self.checkpoints = Some((store, spec));
         self
     }
 
@@ -303,6 +339,11 @@ impl PooledClusterBackend {
     /// The attached fault injector, if any.
     pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
         self.injector.as_ref()
+    }
+
+    /// The attached checkpoint store, if any.
+    pub fn checkpoint_store(&self) -> Option<&Arc<CheckpointStore>> {
+        self.checkpoints.as_ref().map(|(store, _)| store)
     }
 }
 
@@ -335,19 +376,33 @@ impl ExecBackend for PooledClusterBackend {
             Crew::Shared(p) => Some(Arc::clone(p)),
             Crew::Elastic(p) => Some(p.snapshot()),
         };
+        // Checkpointing needs both the backend's store and the job's
+        // opt-in token — resumability is a property of the job.
+        let checkpoint = match (&self.checkpoints, job.checkpoint_token()) {
+            (Some((store, spec)), Some(token)) => Some(CheckpointHook {
+                store,
+                spec: *spec,
+                token,
+            }),
+            _ => None,
+        };
         let run = run_programs(
             tree,
             placement,
             programs,
             self.options,
-            crew.as_deref(),
-            self.injector.as_deref(),
+            RunHooks {
+                pool: crew.as_deref(),
+                fault: self.injector.as_deref(),
+                checkpoint,
+            },
         )?;
         Ok(ExecOutcome {
             job: job.name(),
             backend: self.name(),
             rounds: run.cost.per_round.len(),
             supersteps: run.supersteps,
+            resumed_from: run.resumed_from,
             cost: run.cost,
             final_state: run.final_state,
         })

@@ -34,14 +34,16 @@ use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use tamp_simulator::cost::Cost;
 use tamp_simulator::metering::TrafficMeter;
 use tamp_simulator::{NodeState, Placement, PlacementStats, Rel};
 use tamp_topology::{NodeId, Tree};
 
+use crate::checkpoint::{Checkpoint, CheckpointSpec, CheckpointStore};
 use crate::error::RuntimeError;
-use crate::fault::{FaultEvent, FaultInjector};
+use crate::fault::{FaultEvent, FaultInjector, FaultKind, ResolvedFaults};
 use crate::message::{Envelope, OutMsg, Outbox, Step};
 use crate::pool::WorkerPool;
 
@@ -89,7 +91,13 @@ pub struct RuntimeRun {
     /// all-silent superstep is not metered.
     pub cost: Cost,
     /// Number of supersteps executed (including the final silent one).
+    /// A run resumed from a checkpoint still counts from superstep 0, so
+    /// the total is comparable with a fault-free run's.
     pub supersteps: usize,
+    /// `Some(r)`: the run resumed from a checkpoint at superstep `r`
+    /// (supersteps `0..r` were *skipped*, not replayed). `None`: the run
+    /// started from superstep 0.
+    pub resumed_from: Option<usize>,
 }
 
 /// Execution options.
@@ -102,6 +110,12 @@ pub struct ClusterOptions {
     /// machine's available parallelism. The pool never exceeds the number
     /// of compute nodes.
     pub workers: Option<usize>,
+    /// Straggler watchdog: abort a superstep that has not gathered every
+    /// node report within this wall-clock deadline, with the typed
+    /// [`RuntimeError::SuperstepTimeout`]. `None` (the default) waits
+    /// forever — results are then bit-identical no matter how slow a
+    /// worker is.
+    pub superstep_deadline: Option<Duration>,
 }
 
 impl Default for ClusterOptions {
@@ -109,6 +123,7 @@ impl Default for ClusterOptions {
         ClusterOptions {
             max_supersteps: 64,
             workers: None,
+            superstep_deadline: None,
         }
     }
 }
@@ -120,6 +135,12 @@ impl ClusterOptions {
             workers: Some(workers),
             ..ClusterOptions::default()
         }
+    }
+
+    /// Builder-style: set the straggler watchdog deadline.
+    pub fn with_superstep_deadline(mut self, deadline: Duration) -> Self {
+        self.superstep_deadline = Some(deadline);
+        self
     }
 
     /// The pool size this configuration resolves to for `n_nodes` compute
@@ -174,6 +195,32 @@ struct Gate {
     stop: bool,
 }
 
+/// Checkpointing configuration for one run: where snapshots park, how
+/// often they are taken, and the job token they are keyed by.
+pub(crate) struct CheckpointHook<'a> {
+    /// The shared parking lot.
+    pub store: &'a CheckpointStore,
+    /// Snapshot cadence.
+    pub spec: CheckpointSpec,
+    /// The job's checkpoint token (a schedule-content hash).
+    pub token: u64,
+}
+
+/// The optional attachments of one cluster execution: a persistent
+/// worker crew, a fault-injection arming point, and a checkpoint store.
+#[derive(Default)]
+pub(crate) struct RunHooks<'a> {
+    /// `None` spawns a scoped crew for this run; `Some` dispatches onto
+    /// a persistent [`WorkerPool`]. Results are bit-identical either way.
+    pub pool: Option<&'a WorkerPool>,
+    /// The fault-injection arming point: the front armed plan is
+    /// consumed at run start.
+    pub fault: Option<&'a FaultInjector>,
+    /// Superstep checkpointing (only attached for resumable jobs — see
+    /// [`ExecJob::checkpoint_token`](crate::backend::ExecJob::checkpoint_token)).
+    pub checkpoint: Option<CheckpointHook<'a>>,
+}
+
 /// Run `make_program(v)` on every compute node `v` of `tree`, starting
 /// from `placement`, until all programs halt.
 ///
@@ -191,30 +238,36 @@ where
 {
     let computes: Vec<NodeId> = tree.compute_nodes().to_vec();
     let programs: Vec<Box<dyn NodeProgram>> = computes.iter().map(|&v| make_program(v)).collect();
-    run_programs(tree, placement, programs, options, None, None)
+    run_programs(tree, placement, programs, options, RunHooks::default())
 }
 
 /// Run pre-instantiated per-node programs (aligned with
 /// `tree.compute_nodes()`) on the pool.
 ///
-/// `pool` selects the thread crew: `None` spawns a scoped crew for this
-/// run (the default), `Some` dispatches the worker loop onto a persistent
-/// [`WorkerPool`] shared across runs (what the serving layer uses).
-/// Results are bit-identical either way.
+/// `hooks` attaches the optional machinery of the serving layer:
 ///
-/// `fault` is the optional [`FaultInjector`] arming point: an armed
-/// [`FaultPlan`](crate::fault::FaultPlan) is consumed (one-shot) at run
-/// start; from each planned fault round on, the affected node programs
-/// stop executing and the run aborts with
-/// [`RuntimeError::InjectedFault`], with the fired faults recorded back
-/// into the injector's event log.
+/// - [`RunHooks::pool`]: `None` spawns a scoped crew for this run (the
+///   default), `Some` dispatches the worker loop onto a persistent
+///   [`WorkerPool`] shared across runs. Results are bit-identical either
+///   way.
+/// - [`RunHooks::fault`]: the [`FaultInjector`] arming point. The front
+///   armed [`FaultPlan`](crate::fault::FaultPlan) is consumed at run
+///   start (validated against `tree` first); planned kills stop the
+///   affected node programs and abort the run with
+///   [`RuntimeError::InjectedFault`], planned degradations abort with
+///   [`RuntimeError::LinkDegraded`], planned stalls delay a worker (and
+///   trip the watchdog when a deadline is configured). Fired faults are
+///   recorded back into the injector's event log.
+/// - [`RunHooks::checkpoint`]: snapshot the cluster at every `spec.every`
+///   superstep boundary; on a *recoverable* abort the latest snapshot is
+///   parked in the store, and the next run with the same token resumes
+///   from it instead of superstep 0.
 pub(crate) fn run_programs(
     tree: &Tree,
     placement: &Placement,
     programs: Vec<Box<dyn NodeProgram>>,
     options: ClusterOptions,
-    pool: Option<&WorkerPool>,
-    fault: Option<&FaultInjector>,
+    hooks: RunHooks<'_>,
 ) -> Result<RuntimeRun, RuntimeError> {
     let stats = placement.stats();
     let computes: Vec<NodeId> = tree.compute_nodes().to_vec();
@@ -227,7 +280,7 @@ pub(crate) fn run_programs(
         slot_of[v.index()] = i;
     }
 
-    let slots: Vec<Mutex<Slot>> = computes
+    let mut slots: Vec<Mutex<Slot>> = computes
         .iter()
         .zip(programs)
         .map(|(&v, program)| {
@@ -240,15 +293,44 @@ pub(crate) fn run_programs(
         })
         .collect();
 
-    // Take the armed fault plan (one-shot: the injector is disarmed from
-    // here on, so a recovery re-execution runs on a healthy crew) and
-    // resolve it to a per-node first-dead round.
-    let fail_rounds: Option<Vec<usize>> = fault
+    // Take the front armed fault plan (one-shot per plan: the queue pops,
+    // so a retry runs clean unless the chaos layer armed more plans),
+    // validate it against the topology — a bad target is a typed error,
+    // never a silent no-op — and resolve it into trigger tables.
+    let resolved: Option<ResolvedFaults> = match hooks
+        .fault
         .and_then(|inj| inj.disarm())
         .filter(|plan| !plan.is_empty())
-        .map(|plan| plan.fail_rounds(tree));
+    {
+        Some(plan) => {
+            plan.validate(tree)?;
+            Some(plan.resolve(tree))
+        }
+        None => None,
+    };
 
-    let workers = match pool {
+    // Partial restart: pop the snapshot a previous faulted run of this
+    // same schedule parked, restore states/inboxes/meter from it, and
+    // start the superstep loop where it left off.
+    let mut latest_cp: Option<Checkpoint> = hooks
+        .checkpoint
+        .as_ref()
+        .and_then(|h| h.store.take(h.token));
+    let resume_round = latest_cp.as_ref().map_or(0, |cp| cp.resume_round);
+    let resumed_from = latest_cp.as_ref().map(|cp| cp.resume_round);
+    let mut meter = match &latest_cp {
+        Some(cp) => {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                let s = slot.get_mut().unwrap();
+                s.state = cp.states[i].clone();
+                s.inbox = cp.inboxes[i].clone();
+            }
+            cp.meter.clone()
+        }
+        None => TrafficMeter::new(tree),
+    };
+
+    let workers = match hooks.pool {
         Some(p) => p.size(),
         None => options.resolved_workers(n),
     };
@@ -265,7 +347,6 @@ pub(crate) fn run_programs(
     let gate_cv = Condvar::new();
     let (out_tx, out_rx): (Sender<WorkerOut>, Receiver<WorkerOut>) = channel();
 
-    let mut meter = TrafficMeter::new(tree);
     let mut fired_events: Vec<FaultEvent> = Vec::new();
     let mut supersteps_done = 0usize;
     let mut outcome: Result<usize, RuntimeError> = Err(RuntimeError::SuperstepLimit {
@@ -308,11 +389,19 @@ pub(crate) fn run_programs(
                         inbox,
                     } = &mut *slot;
                     // An injected fault: from its fail round on, this
-                    // node's program is dead and executes nothing.
-                    if let Some(fail) = &fail_rounds {
-                        if round >= fail[node.index()] {
+                    // node's program is dead and executes nothing. A
+                    // stalled (straggling) program sleeps through its
+                    // stall round before executing — harmless without a
+                    // watchdog deadline, fatal with one.
+                    if let Some(res) = &resolved {
+                        if round >= res.fail[node.index()] {
                             let _ = out_tx.send(WorkerOut::Failed { node: *node, round });
                             continue;
+                        }
+                        if let Some((stall_round, delay)) = res.stall[node.index()] {
+                            if round == stall_round {
+                                std::thread::sleep(delay);
+                            }
                         }
                     }
                     // Commit deliveries into local state first
@@ -360,7 +449,30 @@ pub(crate) fn run_programs(
     // delivers, and finally raises the stop flag that releases the crew.
     let mut coordinator = || {
         // Coordinator loop.
-        'steps: for round in 0..options.max_supersteps {
+        'steps: for round in resume_round..options.max_supersteps {
+            // A planned link degradation fires *before* its superstep
+            // executes: the run aborts with the typed error so the
+            // serving layer can re-weight the topology and re-price,
+            // while the latest checkpoint covers every superstep up to
+            // the degradation point.
+            if let Some(res) = &resolved {
+                if let Some(&(edge, fault_round, factor)) =
+                    res.degrades.iter().find(|&&(_, r, _)| r <= round)
+                {
+                    fired_events.push(FaultEvent {
+                        node: tree.deeper_endpoint(edge),
+                        round: fault_round,
+                        kind: FaultKind::LinkDegraded { edge, factor },
+                    });
+                    outcome = Err(RuntimeError::LinkDegraded {
+                        edge,
+                        round: fault_round,
+                        factor,
+                    });
+                    break 'steps;
+                }
+            }
+
             // Open the superstep: reset the claim queue, then wake the
             // pool. The store is ordered before the wake by the gate lock.
             cursor.store(0, Ordering::Relaxed);
@@ -373,16 +485,54 @@ pub(crate) fn run_programs(
 
             // Gather: one report per compute node, plus one Drained per
             // worker (the barrier that makes reopening the queue safe).
+            // With a watchdog deadline, the whole gather must land within
+            // it — a straggler turns into the typed timeout error.
+            let round_started = Instant::now();
             let mut all_halt = true;
             let mut round_sends: Vec<(NodeId, OutMsg)> = Vec::new();
             let mut panic_err: Option<RuntimeError> = None;
             let mut failed: Vec<FaultEvent> = Vec::new();
+            let mut reported_slots = vec![false; n];
             let mut reported = 0usize;
             let mut drained = 0usize;
+            let mut timed_out = false;
             while reported < n || drained < workers {
-                match out_rx.recv() {
-                    Ok(WorkerOut::Round { node, outbox, step }) => {
+                let received = match options.superstep_deadline {
+                    None => out_rx.recv().ok(),
+                    Some(deadline) => deadline
+                        .checked_sub(round_started.elapsed())
+                        .and_then(|remaining| out_rx.recv_timeout(remaining).ok()),
+                };
+                let Some(out) = received else {
+                    // The watchdog fired. The straggler is attributed
+                    // deterministically: the lowest-indexed node that had
+                    // not reported when the deadline expired.
+                    let deadline = options
+                        .superstep_deadline
+                        .expect("timeouts require a deadline");
+                    let straggler = computes
+                        .iter()
+                        .enumerate()
+                        .find(|&(i, _)| !reported_slots[i])
+                        .map(|(_, &v)| v)
+                        .unwrap_or(computes[0]);
+                    fired_events.push(FaultEvent {
+                        node: straggler,
+                        round,
+                        kind: FaultKind::Straggler,
+                    });
+                    outcome = Err(RuntimeError::SuperstepTimeout {
+                        node: straggler,
+                        round,
+                        deadline,
+                    });
+                    timed_out = true;
+                    break;
+                };
+                match out {
+                    WorkerOut::Round { node, outbox, step } => {
                         reported += 1;
+                        reported_slots[slot_of[node.index()]] = true;
                         if step == Step::Continue {
                             all_halt = false;
                         }
@@ -390,17 +540,25 @@ pub(crate) fn run_programs(
                             round_sends.push((node, msg));
                         }
                     }
-                    Ok(WorkerOut::Panicked { node, message }) => {
+                    WorkerOut::Panicked { node, message } => {
                         reported += 1;
+                        reported_slots[slot_of[node.index()]] = true;
                         panic_err = Some(RuntimeError::WorkerPanic { node, message });
                     }
-                    Ok(WorkerOut::Failed { node, round }) => {
+                    WorkerOut::Failed { node, round } => {
                         reported += 1;
-                        failed.push(FaultEvent { node, round });
+                        reported_slots[slot_of[node.index()]] = true;
+                        failed.push(FaultEvent {
+                            node,
+                            round,
+                            kind: FaultKind::WorkerKilled,
+                        });
                     }
-                    Ok(WorkerOut::Drained) => drained += 1,
-                    Err(_) => unreachable!("workers outlive the coordinator loop"),
+                    WorkerOut::Drained => drained += 1,
                 }
+            }
+            if timed_out {
+                break 'steps;
             }
             supersteps_done = round + 1;
             if !failed.is_empty() {
@@ -454,6 +612,27 @@ pub(crate) fn run_programs(
                 }
             }
             meter.commit_round();
+
+            // Superstep boundary: every worker is parked at the gate
+            // (one Drained per worker was gathered), so the slots form a
+            // consistent cut — snapshot them if the cadence says so.
+            if let Some(h) = &hooks.checkpoint {
+                if (round + 1) % h.spec.every == 0 {
+                    let mut states = Vec::with_capacity(n);
+                    let mut inboxes = Vec::with_capacity(n);
+                    for slot in &slots {
+                        let s = slot.lock().unwrap();
+                        states.push(s.state.clone());
+                        inboxes.push(s.inbox.clone());
+                    }
+                    latest_cp = Some(Checkpoint {
+                        resume_round: round + 1,
+                        states,
+                        inboxes,
+                        meter: meter.clone(),
+                    });
+                }
+            }
         }
 
         // Tear down the crew (persistent pool workers go back to sleep;
@@ -465,7 +644,7 @@ pub(crate) fn run_programs(
         gate_cv.notify_all();
     };
 
-    match pool {
+    match hooks.pool {
         Some(pool) => pool.run_with(&worker_body, coordinator),
         None => std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -476,8 +655,19 @@ pub(crate) fn run_programs(
     }
 
     if !fired_events.is_empty() {
-        if let Some(inj) = fault {
+        if let Some(inj) = hooks.fault {
             inj.record(fired_events);
+        }
+    }
+
+    // Park the latest snapshot for the retry — but only on a
+    // *recoverable* abort. A successful run (or a hard error) drops it,
+    // so nothing leaks into unrelated executions.
+    if let (Some(h), Err(e)) = (&hooks.checkpoint, &outcome) {
+        if e.is_recoverable() {
+            if let Some(cp) = latest_cp.take() {
+                h.store.put(h.token, cp);
+            }
         }
     }
 
@@ -494,12 +684,14 @@ pub(crate) fn run_programs(
         final_state,
         cost: meter.finish(),
         supersteps,
+        resumed_from,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
     use tamp_topology::builders;
 
     fn opts(max: usize) -> ClusterOptions {
@@ -507,6 +699,258 @@ mod tests {
             max_supersteps: max,
             ..ClusterOptions::default()
         }
+    }
+
+    /// Stateless-per-round ring programs (the shape checkpoint resume
+    /// requires): node `v` sends `[v*100 + round]` to its ring successor
+    /// for `rounds` supersteps, then halts.
+    fn ring_programs(n: u32, rounds: usize) -> Vec<Box<dyn NodeProgram>> {
+        (0..n)
+            .map(|v| {
+                Box::new(
+                    move |ctx: &NodeCtx<'_>, _state: &mut NodeState, out: &mut Outbox| {
+                        if ctx.round < rounds {
+                            out.send_to(
+                                NodeId((v + 1) % n),
+                                Rel::R,
+                                vec![u64::from(v) * 100 + ctx.round as u64],
+                            );
+                            Step::Continue
+                        } else {
+                            Step::Halt
+                        }
+                    },
+                ) as Box<dyn NodeProgram>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn checkpointed_recovery_resumes_and_is_bit_identical() {
+        let tree = builders::star(4, 1.0);
+        let p = Placement::empty(&tree);
+        let healthy = run_programs(
+            &tree,
+            &p,
+            ring_programs(4, 6),
+            ClusterOptions::default(),
+            RunHooks::default(),
+        )
+        .unwrap();
+        assert_eq!(healthy.supersteps, 7);
+        assert_eq!(healthy.resumed_from, None);
+
+        // Faulted run: kill node 2 at superstep 4 with checkpoints every
+        // 2 supersteps — the barrier after superstep 3 parks a snapshot.
+        let store = CheckpointStore::new();
+        let inj = FaultInjector::new();
+        inj.arm(FaultPlan::new().kill_worker(NodeId(2), 4));
+        let mk_hooks = || RunHooks {
+            pool: None,
+            fault: Some(&inj),
+            checkpoint: Some(CheckpointHook {
+                store: &store,
+                spec: CheckpointSpec::every(2),
+                token: 42,
+            }),
+        };
+        let err = run_programs(
+            &tree,
+            &p,
+            ring_programs(4, 6),
+            ClusterOptions::default(),
+            mk_hooks(),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            RuntimeError::InjectedFault {
+                node: NodeId(2),
+                round: 4
+            }
+        );
+        assert_eq!(store.stats().saved, 1);
+        assert_eq!(store.stats().retained, 1);
+
+        // Retry (injector now empty): resumes from superstep 4, skipping
+        // 0..4, and reproduces the healthy run bit for bit.
+        let resumed = run_programs(
+            &tree,
+            &p,
+            ring_programs(4, 6),
+            ClusterOptions::default(),
+            mk_hooks(),
+        )
+        .unwrap();
+        assert_eq!(resumed.resumed_from, Some(4));
+        assert_eq!(resumed.supersteps, healthy.supersteps);
+        assert_eq!(resumed.cost.edge_totals, healthy.cost.edge_totals);
+        assert_eq!(resumed.cost.per_round.len(), healthy.cost.per_round.len());
+        for v in tree.nodes() {
+            assert_eq!(
+                resumed.final_state[v.index()],
+                healthy.final_state[v.index()],
+                "node {v}"
+            );
+        }
+        assert_eq!(store.stats().resumed, 1);
+        assert_eq!(store.stats().retained, 0, "success drops the snapshot");
+    }
+
+    #[test]
+    fn degrade_fault_aborts_typed_and_recovers_from_checkpoint() {
+        let tree = builders::star(4, 1.0);
+        let p = Placement::empty(&tree);
+        let healthy = run_programs(
+            &tree,
+            &p,
+            ring_programs(4, 4),
+            ClusterOptions::default(),
+            RunHooks::default(),
+        )
+        .unwrap();
+
+        let store = CheckpointStore::new();
+        let inj = FaultInjector::new();
+        let (_, uplink) = tree.parent0(NodeId(2)).expect("leaf has uplink");
+        inj.arm(FaultPlan::new().degrade_edge(uplink, 2, 8.0));
+        let mk_hooks = || RunHooks {
+            pool: None,
+            fault: Some(&inj),
+            checkpoint: Some(CheckpointHook {
+                store: &store,
+                spec: CheckpointSpec::every(1),
+                token: 7,
+            }),
+        };
+        let err = run_programs(
+            &tree,
+            &p,
+            ring_programs(4, 4),
+            ClusterOptions::default(),
+            mk_hooks(),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            RuntimeError::LinkDegraded {
+                edge: uplink,
+                round: 2,
+                factor: 8.0
+            }
+        );
+        assert!(err.is_recoverable());
+        let fired = inj.fired();
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].node, tree.deeper_endpoint(uplink));
+        assert_eq!(fired[0].round, 2);
+        assert_eq!(
+            fired[0].kind,
+            FaultKind::LinkDegraded {
+                edge: uplink,
+                factor: 8.0
+            }
+        );
+
+        // The degradation fired before superstep 2 executed, so the
+        // parked snapshot resumes exactly there.
+        let resumed = run_programs(
+            &tree,
+            &p,
+            ring_programs(4, 4),
+            ClusterOptions::default(),
+            mk_hooks(),
+        )
+        .unwrap();
+        assert_eq!(resumed.resumed_from, Some(2));
+        assert_eq!(resumed.cost.edge_totals, healthy.cost.edge_totals);
+        for v in tree.nodes() {
+            assert_eq!(
+                resumed.final_state[v.index()],
+                healthy.final_state[v.index()]
+            );
+        }
+    }
+
+    #[test]
+    fn stalls_are_harmless_without_a_deadline_and_typed_with_one() {
+        let tree = builders::star(2, 1.0);
+        let p = Placement::empty(&tree);
+        let healthy = run_programs(
+            &tree,
+            &p,
+            ring_programs(2, 2),
+            ClusterOptions::default(),
+            RunHooks::default(),
+        )
+        .unwrap();
+
+        // Stall without a watchdog: slower, but bit-identical.
+        let inj = FaultInjector::new();
+        inj.arm(FaultPlan::new().stall_worker(NodeId(1), 0, Duration::from_millis(20)));
+        let slow = run_programs(
+            &tree,
+            &p,
+            ring_programs(2, 2),
+            ClusterOptions::default(),
+            RunHooks {
+                fault: Some(&inj),
+                ..RunHooks::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(slow.cost.edge_totals, healthy.cost.edge_totals);
+        assert!(inj.fired().is_empty(), "a mere slowdown is not a fault");
+
+        // The same stall against a much tighter deadline trips the
+        // watchdog, which attributes the straggler deterministically.
+        inj.arm(FaultPlan::new().stall_worker(NodeId(1), 1, Duration::from_millis(500)));
+        let deadline = Duration::from_millis(40);
+        let err = run_programs(
+            &tree,
+            &p,
+            ring_programs(2, 2),
+            ClusterOptions::default().with_superstep_deadline(deadline),
+            RunHooks {
+                fault: Some(&inj),
+                ..RunHooks::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            RuntimeError::SuperstepTimeout {
+                node: NodeId(1),
+                round: 1,
+                deadline
+            }
+        );
+        assert!(err.is_recoverable());
+        let fired = inj.fired();
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].kind, FaultKind::Straggler);
+        assert_eq!(fired[0].node, NodeId(1));
+    }
+
+    #[test]
+    fn invalid_fault_plans_error_instead_of_silently_running() {
+        let tree = builders::star(2, 1.0); // node 2 is the hub (a router)
+        let p = Placement::empty(&tree);
+        let inj = FaultInjector::new();
+        inj.arm(FaultPlan::new().kill_worker(NodeId(2), 0));
+        let err = run_programs(
+            &tree,
+            &p,
+            ring_programs(2, 2),
+            ClusterOptions::default(),
+            RunHooks {
+                fault: Some(&inj),
+                ..RunHooks::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, RuntimeError::InvalidFaultTarget { .. }));
+        assert!(!err.is_recoverable());
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! Error type for cluster execution.
 
 use std::fmt;
+use std::time::Duration;
 
-use tamp_topology::NodeId;
+use tamp_topology::{EdgeId, NodeId};
 
 /// Render a caught panic payload for error reporting: the `&str` or
 /// `String` message when the panic carried one, a placeholder otherwise.
@@ -15,7 +16,10 @@ pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 /// Errors raised while executing node programs on the cluster.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Eq` is deliberately absent: the link-degradation variant carries the
+/// `f64` degradation factor.
+#[derive(Debug, Clone, PartialEq)]
 pub enum RuntimeError {
     /// The programs did not all quiesce within the superstep limit.
     SuperstepLimit {
@@ -65,6 +69,56 @@ pub enum RuntimeError {
         /// The superstep at which it was killed.
         round: usize,
     },
+    /// An armed [`FaultPlan`](crate::fault::FaultPlan) degraded a link:
+    /// the edge lost bandwidth mid-run and the run aborted so the
+    /// serving layer can re-price plans against the degraded topology.
+    /// Recovery replays the pinned (pre-degradation) schedule, which is
+    /// bit-identical by construction; *new* queries see the re-weighted
+    /// tree.
+    LinkDegraded {
+        /// The degraded edge.
+        edge: EdgeId,
+        /// The superstep at which the degradation fired.
+        round: usize,
+        /// Bandwidth divisor (2.0 = the link halved).
+        factor: f64,
+    },
+    /// A superstep did not complete within the configured watchdog
+    /// deadline
+    /// ([`ClusterOptions::superstep_deadline`](crate::cluster::ClusterOptions)).
+    /// The straggling node is the
+    /// lowest-indexed compute node that had not reported when the
+    /// deadline expired.
+    SuperstepTimeout {
+        /// The slowest (lowest unreported) node when the watchdog fired.
+        node: NodeId,
+        /// The superstep that timed out.
+        round: usize,
+        /// The deadline it missed.
+        deadline: Duration,
+    },
+    /// A [`FaultPlan`](crate::fault::FaultPlan) named an invalid target:
+    /// a kill or stall on a routing-only or out-of-range node, a detach
+    /// of an out-of-range root, or a degradation of an out-of-range edge
+    /// or with a non-finite/non-positive factor. Raised eagerly when the
+    /// plan is armed (or at run start), never silently ignored.
+    InvalidFaultTarget {
+        /// Human-readable description of the offending fault.
+        fault: String,
+    },
+}
+
+impl RuntimeError {
+    /// Whether the orchestrator's recovery loop may retry after this
+    /// error. Injected kills, link degradations, and straggler timeouts
+    /// are recoverable (the deterministic schedule replays bit-identically
+    /// on a healthy crew); everything else is a hard error.
+    pub fn is_recoverable(&self) -> bool {
+        matches!(
+            self,
+            Self::InjectedFault { .. } | Self::LinkDegraded { .. } | Self::SuperstepTimeout { .. }
+        )
+    }
 }
 
 /// The specs [`backend_from_spec`](crate::backend::backend_from_spec)
@@ -107,6 +161,30 @@ impl fmt::Display for RuntimeError {
                     f,
                     "injected fault: worker on node {node} killed at superstep {round}"
                 )
+            }
+            Self::LinkDegraded {
+                edge,
+                round,
+                factor,
+            } => {
+                write!(
+                    f,
+                    "injected fault: link {} degraded by {factor}x at superstep {round}",
+                    edge.index()
+                )
+            }
+            Self::SuperstepTimeout {
+                node,
+                round,
+                deadline,
+            } => {
+                write!(
+                    f,
+                    "superstep {round} exceeded the {deadline:?} watchdog deadline (straggler: node {node})"
+                )
+            }
+            Self::InvalidFaultTarget { fault } => {
+                write!(f, "invalid fault target: {fault}")
             }
         }
     }

@@ -1,5 +1,6 @@
 //! Fault injection for the pooled cluster: kill a worker mid-query,
-//! detach a whole subtree, and observe what fired.
+//! detach a whole subtree, degrade a link's bandwidth, stall a worker
+//! past a deadline — and observe what fired.
 //!
 //! The serving arc's recovery story rests on a property the trace/replay
 //! split provides *by construction*: every query is a deterministic
@@ -9,28 +10,46 @@
 //! ability to *make* a crew unhealthy on demand:
 //!
 //! - a [`FaultPlan`] declares faults against logical workers (compute
-//!   nodes): kill worker `k` at superstep `r`
-//!   ([`kill_worker`](FaultPlan::kill_worker)), or detach every compute
+//!   nodes) and links: kill worker `k` at superstep `r`
+//!   ([`kill_worker`](FaultPlan::kill_worker)), detach every compute
 //!   node under a router at superstep `r`
-//!   ([`detach_subtree`](FaultPlan::detach_subtree));
+//!   ([`detach_subtree`](FaultPlan::detach_subtree)), degrade an edge's
+//!   bandwidth by a factor at superstep `r`
+//!   ([`degrade_edge`](FaultPlan::degrade_edge)), or stall a worker for
+//!   a wall-clock delay at superstep `r`
+//!   ([`stall_worker`](FaultPlan::stall_worker), which trips the
+//!   superstep watchdog when one is configured);
 //! - a [`FaultInjector`] is shared between the orchestration layer and a
 //!   [`PooledClusterBackend`](crate::PooledClusterBackend): the
-//!   orchestrator [`arm`](FaultInjector::arm)s a plan, and the **next**
-//!   cluster execution consumes it (one-shot — the recovery re-execution
-//!   runs on an already-disarmed injector, i.e. a healthy crew);
-//! - when a fault fires, the run aborts with the typed
-//!   [`RuntimeError::InjectedFault`](crate::RuntimeError::InjectedFault)
-//!   and the injector records a [`FaultEvent`] per failed node in its
+//!   orchestrator [`arm`](FaultInjector::arm)s plans (a FIFO queue, so a
+//!   chaos schedule can re-arm faults across recovery retries), and each
+//!   cluster execution consumes the front plan at run start;
+//! - when a fault fires, the run aborts with a typed recoverable error
+//!   ([`InjectedFault`](crate::RuntimeError::InjectedFault),
+//!   [`LinkDegraded`](crate::RuntimeError::LinkDegraded), or
+//!   [`SuperstepTimeout`](crate::RuntimeError::SuperstepTimeout)) and
+//!   the injector records a [`FaultEvent`] per failed node in its
 //!   [`fired`](FaultInjector::fired) log.
 //!
 //! Faults target *logical* compute nodes, not OS threads: the pool's
 //! work-claiming makes crew threads interchangeable, so killing an OS
 //! thread is unobservable by design — the observable unit of failure is
 //! the node program.
+//!
+//! Plans are **validated** against the topology before they can affect a
+//! run: a kill or stall on a router or out-of-range node, a detach of an
+//! out-of-range root, or a degradation of an out-of-range edge or with a
+//! non-finite/non-positive factor is a typed
+//! [`InvalidFaultTarget`](crate::RuntimeError::InvalidFaultTarget), never
+//! a silent no-op.
 
+use std::collections::VecDeque;
 use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
 
-use tamp_topology::{NodeId, Tree};
+use tamp_topology::{EdgeId, NodeId, Tree};
+
+use crate::error::RuntimeError;
 
 fn lock_ok<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     match m.lock() {
@@ -40,7 +59,9 @@ fn lock_ok<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 /// One declared fault.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// `Eq` is deliberately absent: the degradation factor is an `f64`.
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Fault {
     /// Kill the worker (node program) on `node` at superstep `round`:
     /// from that superstep on, the node executes nothing and the run
@@ -60,10 +81,50 @@ pub enum Fault {
         /// First superstep at which the subtree is gone.
         round: usize,
     },
+    /// Degrade edge `edge` — divide its bandwidth (both directions) by
+    /// `factor` — at superstep `round`. The run aborts with the typed
+    /// [`LinkDegraded`](crate::RuntimeError::LinkDegraded) error so the
+    /// serving layer can re-weight the topology and re-price plans; the
+    /// aborted query itself recovers by replaying its pinned
+    /// (pre-degradation) schedule bit-identically.
+    DegradeEdge {
+        /// The degraded edge.
+        edge: EdgeId,
+        /// The superstep at which the degradation fires.
+        round: usize,
+        /// Bandwidth divisor (must be finite and > 0; 2.0 halves the link).
+        factor: f64,
+    },
+    /// Stall the worker on `node` for `delay` of wall-clock time at
+    /// superstep `round` (a straggler). Without a configured
+    /// [`superstep_deadline`](crate::ClusterOptions::superstep_deadline)
+    /// the run merely slows down and stays bit-identical; with one, the
+    /// watchdog fires
+    /// [`SuperstepTimeout`](crate::RuntimeError::SuperstepTimeout).
+    StallWorker {
+        /// The compute node whose program straggles.
+        node: NodeId,
+        /// The superstep at which it stalls.
+        round: usize,
+        /// How long it stalls.
+        delay: Duration,
+    },
+}
+
+impl Fault {
+    /// The superstep at which this fault triggers.
+    pub fn round(&self) -> usize {
+        match *self {
+            Fault::KillWorker { round, .. }
+            | Fault::DetachSubtree { round, .. }
+            | Fault::DegradeEdge { round, .. }
+            | Fault::StallWorker { round, .. } => round,
+        }
+    }
 }
 
 /// A declarative set of faults to inject into one cluster execution.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct FaultPlan {
     /// The declared faults.
     pub faults: Vec<Fault>,
@@ -87,15 +148,92 @@ impl FaultPlan {
         self
     }
 
+    /// Add a link-degradation fault (builder-style).
+    pub fn degrade_edge(mut self, edge: EdgeId, round: usize, factor: f64) -> Self {
+        self.faults.push(Fault::DegradeEdge {
+            edge,
+            round,
+            factor,
+        });
+        self
+    }
+
+    /// Add a straggler fault (builder-style).
+    pub fn stall_worker(mut self, node: NodeId, round: usize, delay: Duration) -> Self {
+        self.faults.push(Fault::StallWorker { node, round, delay });
+        self
+    }
+
     /// `true` if the plan declares no faults.
     pub fn is_empty(&self) -> bool {
         self.faults.is_empty()
     }
 
-    /// Resolve the plan against a topology: for every node index, the
-    /// first superstep at which it is dead (`usize::MAX`: never).
-    pub(crate) fn fail_rounds(&self, tree: &Tree) -> Vec<usize> {
-        let mut fail = vec![usize::MAX; tree.num_nodes()];
+    /// Check every declared fault against a topology. Kills and stalls
+    /// must target in-range *compute* nodes, detach roots must be in
+    /// range, degradations must name an in-range edge and carry a
+    /// finite, positive factor.
+    pub fn validate(&self, tree: &Tree) -> Result<(), RuntimeError> {
+        let bad = |fault: String| Err(RuntimeError::InvalidFaultTarget { fault });
+        for fault in &self.faults {
+            match *fault {
+                Fault::KillWorker { node, round } => {
+                    if node.index() >= tree.num_nodes() {
+                        return bad(format!("kill_worker({node}, {round}): node out of range"));
+                    }
+                    if !tree.is_compute(node) {
+                        return bad(format!(
+                            "kill_worker({node}, {round}): node is a router (no program to kill)"
+                        ));
+                    }
+                }
+                Fault::StallWorker { node, round, .. } => {
+                    if node.index() >= tree.num_nodes() {
+                        return bad(format!("stall_worker({node}, {round}): node out of range"));
+                    }
+                    if !tree.is_compute(node) {
+                        return bad(format!(
+                            "stall_worker({node}, {round}): node is a router (no program to stall)"
+                        ));
+                    }
+                }
+                Fault::DetachSubtree { root, round } => {
+                    if root.index() >= tree.num_nodes() {
+                        return bad(format!(
+                            "detach_subtree({root}, {round}): root out of range"
+                        ));
+                    }
+                }
+                Fault::DegradeEdge {
+                    edge,
+                    round,
+                    factor,
+                } => {
+                    if edge.index() >= tree.num_edges() {
+                        return bad(format!(
+                            "degrade_edge({}, {round}, {factor}): edge out of range",
+                            edge.index()
+                        ));
+                    }
+                    if !factor.is_finite() || factor <= 0.0 {
+                        return bad(format!(
+                            "degrade_edge({}, {round}, {factor}): factor must be finite and > 0",
+                            edge.index()
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolve a *validated* plan against a topology into per-node and
+    /// per-edge trigger tables the coordinator can consult cheaply.
+    pub(crate) fn resolve(&self, tree: &Tree) -> ResolvedFaults {
+        let n = tree.num_nodes();
+        let mut fail = vec![usize::MAX; n];
+        let mut stall: Vec<Option<(usize, Duration)>> = vec![None; n];
+        let mut degrades = Vec::new();
         for fault in &self.faults {
             match *fault {
                 Fault::KillWorker { node, round } => {
@@ -110,32 +248,83 @@ impl FaultPlan {
                         }
                     }
                 }
+                Fault::DegradeEdge {
+                    edge,
+                    round,
+                    factor,
+                } => degrades.push((edge, round, factor)),
+                Fault::StallWorker { node, round, delay } => {
+                    let s = &mut stall[node.index()];
+                    if s.is_none_or(|(r, _)| round < r) {
+                        *s = Some((round, delay));
+                    }
+                }
             }
         }
-        fail
+        // Earliest degradation first; ties broken by edge id so the
+        // firing choice is deterministic.
+        degrades.sort_by_key(|d| (d.1, d.0.index()));
+        ResolvedFaults {
+            fail,
+            stall,
+            degrades,
+        }
     }
 }
 
+/// A validated [`FaultPlan`] resolved into trigger tables.
+pub(crate) struct ResolvedFaults {
+    /// Per node index: first superstep at which it is dead (`usize::MAX`:
+    /// never).
+    pub fail: Vec<usize>,
+    /// Per node index: the earliest `(round, delay)` stall, if any.
+    pub stall: Vec<Option<(usize, Duration)>>,
+    /// Degradations as `(edge, round, factor)`, sorted by `(round, edge)`.
+    pub degrades: Vec<(EdgeId, usize, f64)>,
+}
+
+/// What kind of fault fired.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultKind {
+    /// A worker program was killed ([`Fault::KillWorker`] or
+    /// [`Fault::DetachSubtree`]).
+    WorkerKilled,
+    /// A link lost bandwidth ([`Fault::DegradeEdge`]).
+    LinkDegraded {
+        /// The degraded edge.
+        edge: EdgeId,
+        /// The bandwidth divisor.
+        factor: f64,
+    },
+    /// A worker straggled past the superstep watchdog deadline.
+    Straggler,
+}
+
 /// One fault that actually fired during a run.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FaultEvent {
-    /// The node whose program failed.
+    /// The node attributed to the fault: the failed worker for kills and
+    /// stragglers, the deeper (subtree-side) endpoint for degraded links.
     pub node: NodeId,
-    /// The superstep at which it failed.
+    /// The superstep at which the fault fired.
     pub round: usize,
+    /// What kind of fault fired.
+    pub kind: FaultKind,
 }
 
 /// The shared arming point between a fault-planning layer and a
 /// [`PooledClusterBackend`](crate::PooledClusterBackend) (see the
 /// [module docs](self)).
 ///
-/// Arming is **one-shot**: the next cluster execution through a backend
-/// holding this injector takes the armed plan at run start, so exactly
-/// one run is affected and the recovery re-execution is clean by
-/// construction.
+/// Armed plans form a **FIFO queue**: each cluster execution through a
+/// backend holding this injector pops the front plan at run start, so a
+/// chaos schedule can queue several plans and have faults re-fire across
+/// the orchestrator's recovery retries. With a single armed plan this
+/// degenerates to the classic one-shot behavior: exactly one run is
+/// affected and the recovery re-execution is clean by construction.
 #[derive(Debug, Default)]
 pub struct FaultInjector {
-    armed: Mutex<Option<FaultPlan>>,
+    armed: Mutex<VecDeque<FaultPlan>>,
     fired: Mutex<Vec<FaultEvent>>,
 }
 
@@ -145,22 +334,36 @@ impl FaultInjector {
         FaultInjector::default()
     }
 
-    /// Arm `plan` for the next cluster execution (replacing any plan
-    /// armed earlier and not yet consumed).
+    /// Queue `plan` behind any plans armed earlier and not yet consumed.
     pub fn arm(&self, plan: FaultPlan) {
-        *lock_ok(&self.armed) = Some(plan);
+        lock_ok(&self.armed).push_back(plan);
     }
 
-    /// `true` while a plan is armed and not yet consumed by a run.
+    /// `true` while at least one plan is armed and not yet consumed.
     pub fn is_armed(&self) -> bool {
-        lock_ok(&self.armed).is_some()
+        !lock_ok(&self.armed).is_empty()
     }
 
-    /// Remove and return the armed plan, if any — called by the cluster
-    /// at run start (this is what makes arming one-shot) and usable by
-    /// callers to cancel an armed plan.
+    /// Number of armed plans not yet consumed.
+    pub fn armed_len(&self) -> usize {
+        lock_ok(&self.armed).len()
+    }
+
+    /// Remove and return the front armed plan, if any — called by the
+    /// cluster at run start (this is what makes each plan one-shot).
     pub fn disarm(&self) -> Option<FaultPlan> {
-        lock_ok(&self.armed).take()
+        lock_ok(&self.armed).pop_front()
+    }
+
+    /// Drop every armed plan and return how many were dropped. The
+    /// orchestrator calls this when an execution errors out *before* any
+    /// armed fault could fire (or recovery gives up), so a stale plan
+    /// never leaks into the next, unrelated query.
+    pub fn clear_armed(&self) -> usize {
+        let mut q = lock_ok(&self.armed);
+        let n = q.len();
+        q.clear();
+        n
     }
 
     /// Every fault that has fired through this injector, in firing order.
@@ -180,12 +383,13 @@ mod tests {
     use tamp_topology::builders;
 
     #[test]
-    fn fail_rounds_resolve_kills_and_subtrees() {
+    fn resolve_handles_kills_subtrees_stalls_and_degrades() {
         // rack_tree: racks of computes under routers under a core.
         let tree = builders::rack_tree(&[(2, 1.0, 1.0), (2, 1.0, 1.0)], 1.0);
         let computes = tree.compute_nodes().to_vec();
         let plan = FaultPlan::new().kill_worker(computes[0], 3);
-        let fail = plan.fail_rounds(&tree);
+        plan.validate(&tree).unwrap();
+        let fail = plan.resolve(&tree).fail;
         assert_eq!(fail[computes[0].index()], 3);
         assert!(fail
             .iter()
@@ -197,33 +401,96 @@ mod tests {
         // (computes[0] is the internal root in rack_tree, so anchor the
         // rack on the last compute, which always has a parent router.)
         let inner = *computes.last().unwrap();
-        let (router, _) = tree.parent0(inner).expect("non-root leaf has a parent");
+        let (router, uplink) = tree.parent0(inner).expect("non-root leaf has a parent");
         let plan = FaultPlan::new()
             .detach_subtree(router, 2)
-            .kill_worker(inner, 1);
-        let fail = plan.fail_rounds(&tree);
-        assert_eq!(fail[inner.index()], 1, "explicit kill wins (earlier)");
+            .kill_worker(inner, 1)
+            .degrade_edge(uplink, 4, 8.0)
+            .degrade_edge(uplink, 1, 2.0)
+            .stall_worker(inner, 2, Duration::from_millis(5))
+            .stall_worker(inner, 1, Duration::from_millis(9));
+        plan.validate(&tree).unwrap();
+        let resolved = plan.resolve(&tree);
+        assert_eq!(
+            resolved.fail[inner.index()],
+            1,
+            "explicit kill wins (earlier)"
+        );
         for &v in &computes {
             if v != inner && tree.in_subtree0(v, router) {
-                assert_eq!(fail[v.index()], 2, "rack-mate {v} detaches at 2");
+                assert_eq!(resolved.fail[v.index()], 2, "rack-mate {v} detaches at 2");
             }
         }
+        // Earliest stall wins; degradations sort by round.
+        assert_eq!(
+            resolved.stall[inner.index()],
+            Some((1, Duration::from_millis(9)))
+        );
+        assert_eq!(resolved.degrades, vec![(uplink, 1, 2.0), (uplink, 4, 8.0)]);
     }
 
     #[test]
-    fn arming_is_one_shot() {
+    fn validation_rejects_bad_targets() {
+        let tree = builders::rack_tree(&[(2, 1.0, 1.0)], 1.0);
+        let router = tree
+            .nodes()
+            .find(|&v| !tree.is_compute(v))
+            .expect("rack tree has a router");
+        let out_of_range = NodeId::from_index(tree.num_nodes());
+        let bad_edge = EdgeId(tree.num_edges() as u32);
+        for plan in [
+            FaultPlan::new().kill_worker(router, 0),
+            FaultPlan::new().kill_worker(out_of_range, 0),
+            FaultPlan::new().stall_worker(router, 0, Duration::from_millis(1)),
+            FaultPlan::new().detach_subtree(out_of_range, 0),
+            FaultPlan::new().degrade_edge(bad_edge, 0, 2.0),
+            FaultPlan::new().degrade_edge(EdgeId(0), 0, 0.0),
+            FaultPlan::new().degrade_edge(EdgeId(0), 0, f64::NAN),
+        ] {
+            assert!(
+                matches!(
+                    plan.validate(&tree),
+                    Err(RuntimeError::InvalidFaultTarget { .. })
+                ),
+                "{plan:?} should be rejected"
+            );
+        }
+        // Valid plans pass.
+        let compute = tree.compute_nodes()[0];
+        FaultPlan::new()
+            .kill_worker(compute, 0)
+            .detach_subtree(router, 1)
+            .degrade_edge(EdgeId(0), 0, 16.0)
+            .validate(&tree)
+            .unwrap();
+    }
+
+    #[test]
+    fn arming_is_a_fifo_queue() {
         let inj = FaultInjector::new();
         assert!(!inj.is_armed());
         inj.arm(FaultPlan::new().kill_worker(NodeId(0), 0));
+        inj.arm(FaultPlan::new().kill_worker(NodeId(1), 2));
         assert!(inj.is_armed());
-        let plan = inj.disarm().unwrap();
-        assert_eq!(plan.faults.len(), 1);
+        assert_eq!(inj.armed_len(), 2);
+        let first = inj.disarm().unwrap();
+        assert_eq!(
+            first.faults,
+            vec![Fault::KillWorker {
+                node: NodeId(0),
+                round: 0
+            }],
+            "plans pop in arming order"
+        );
+        assert_eq!(inj.armed_len(), 1);
+        assert_eq!(inj.clear_armed(), 1, "clear drops the leftover plan");
         assert!(!inj.is_armed());
         assert!(inj.disarm().is_none());
 
         inj.record([FaultEvent {
             node: NodeId(0),
             round: 0,
+            kind: FaultKind::WorkerKilled,
         }]);
         assert_eq!(inj.fired().len(), 1);
     }

@@ -115,6 +115,33 @@ pub struct ScheduleJob {
     name: String,
     schedule: Arc<Schedule>,
     by_src: Arc<SrcIndex>,
+    /// Content hash of the schedule — the checkpoint token (see
+    /// [`ExecJob::checkpoint_token`]).
+    token: u64,
+}
+
+/// Hash a schedule's full content (round structure, sources,
+/// destinations, relation tags, payloads). Two schedules share a token
+/// only if their replays are interchangeable superstep for superstep —
+/// exactly the property checkpoint resume needs.
+fn schedule_token(num_nodes: usize, schedule: &Schedule) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    num_nodes.hash(&mut h);
+    schedule.rounds.len().hash(&mut h);
+    for round in &schedule.rounds {
+        round.len().hash(&mut h);
+        for send in round {
+            send.src.index().hash(&mut h);
+            send.dsts.len().hash(&mut h);
+            for d in &send.dsts {
+                d.index().hash(&mut h);
+            }
+            send.rel.hash(&mut h);
+            send.values.hash(&mut h);
+        }
+    }
+    h.finish()
 }
 
 impl ScheduleJob {
@@ -122,10 +149,12 @@ impl ScheduleJob {
     /// `name`.
     pub fn new(name: impl Into<String>, num_nodes: usize, schedule: Schedule) -> Self {
         let by_src = SrcIndex::build(num_nodes, &schedule);
+        let token = schedule_token(num_nodes, &schedule);
         ScheduleJob {
             name: name.into(),
             schedule: Arc::new(schedule),
             by_src: Arc::new(by_src),
+            token,
         }
     }
 
@@ -150,6 +179,13 @@ impl ExecJob for ScheduleJob {
             by_src: Arc::clone(&self.by_src),
             node: v,
         }))
+    }
+
+    /// Schedule replay is stateless per round (the replaying node
+    /// program reads only `ctx.round`), so it is resumable: the token is
+    /// the schedule's content hash.
+    fn checkpoint_token(&self) -> Option<u64> {
+        Some(self.token)
     }
 }
 

@@ -68,6 +68,7 @@
 #![warn(clippy::all)]
 
 pub mod backend;
+pub mod checkpoint;
 pub mod cluster;
 pub mod error;
 pub mod fault;
@@ -80,9 +81,10 @@ pub use backend::{
     backend_from_spec, standard_backends, ExecBackend, ExecError, ExecJob, ExecOutcome, PairedJob,
     PooledClusterBackend, ProgramJob, ProtocolJob, SimulatorBackend,
 };
+pub use checkpoint::{CheckpointSpec, CheckpointStats, CheckpointStore};
 pub use cluster::{run_cluster, ClusterOptions, NodeCtx, NodeProgram, RuntimeRun};
 pub use error::{RuntimeError, VALID_BACKEND_SPECS};
-pub use fault::{Fault, FaultEvent, FaultInjector, FaultPlan};
+pub use fault::{Fault, FaultEvent, FaultInjector, FaultKind, FaultPlan};
 pub use jobs::{Schedule, ScheduleJob, ScheduleSend};
 pub use message::{Envelope, Outbox, Step};
 pub use pool::{ElasticPool, WorkerPool};

@@ -11,6 +11,8 @@ pub enum TopologyError {
     NotATree,
     /// An edge references a node id that does not exist.
     UnknownNode(usize),
+    /// An operation references an edge id that does not exist.
+    UnknownEdge(usize),
     /// A self-loop `(v, v)` was supplied.
     SelfLoop(usize),
     /// A bandwidth was zero, negative or NaN.
@@ -34,6 +36,7 @@ impl fmt::Display for TopologyError {
             Self::Disconnected => write!(f, "edge set does not form a connected graph"),
             Self::NotATree => write!(f, "edge set is not a tree (cycle or duplicate edge)"),
             Self::UnknownNode(v) => write!(f, "edge references unknown node {v}"),
+            Self::UnknownEdge(e) => write!(f, "unknown edge {e}"),
             Self::SelfLoop(v) => write!(f, "self loop on node {v}"),
             Self::InvalidBandwidth(w) => write!(f, "invalid bandwidth {w} (must be > 0, not NaN)"),
             Self::NoComputeNodes => write!(f, "topology has no compute nodes"),

@@ -200,6 +200,34 @@ mod tests {
     }
 
     #[test]
+    fn hoist_preserves_degraded_asymmetric_bandwidths() {
+        // Degrade the a-m uplink of an internal-compute chain, then hoist:
+        // the surviving real edge must carry the degraded weights, and the
+        // fingerprint must have moved from the healthy tree's.
+        let build = || {
+            let mut b = TreeBuilder::new();
+            let a = b.compute();
+            let m = b.compute();
+            let c = b.compute();
+            b.link_asym(a, m, 6.0, 3.0).unwrap();
+            b.link(m, c, 5.0).unwrap();
+            (b.build().unwrap(), a, m)
+        };
+        let (healthy, a, m) = build();
+        let (mut t, _, _) = build();
+        let e = t.dir_edge_between(a, m).unwrap().edge();
+        t.scale_bandwidth(e, 3.0).unwrap();
+        assert_ne!(t.fingerprint(), healthy.fingerprint());
+
+        let norm = hoist_compute_leaves(&t);
+        assert!(norm.tree.compute_nodes_are_leaves());
+        let d = norm.tree.dir_edge_between(a, m).unwrap();
+        let back = norm.tree.dir_edge_between(m, a).unwrap();
+        assert_eq!(norm.tree.bandwidth(d).get(), 2.0);
+        assert_eq!(norm.tree.bandwidth(back).get(), 1.0);
+    }
+
+    #[test]
     fn contracts_router_chains() {
         // a - r1 - r2 - r3 - c with decreasing bandwidths: contraction must
         // keep the min.

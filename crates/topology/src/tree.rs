@@ -373,6 +373,56 @@ impl Tree {
         ed.w_uv
     }
 
+    /// Re-weight edge `e` in place, dividing both directed bandwidths by
+    /// `factor` — the degraded-link mutation of the serving arc
+    /// (`factor > 1` slows the link; `factor < 1` restores it).
+    ///
+    /// Only the stored bandwidths change: the structural caches (DFS
+    /// order, depths, parents, subtree intervals) are bandwidth-independent,
+    /// so every routing query stays valid. Costs, plan prices, and
+    /// [`fingerprint`](Self::fingerprint) all observe the new weights
+    /// immediately.
+    pub fn scale_bandwidth(&mut self, e: EdgeId, factor: f64) -> Result<(), TopologyError> {
+        if e.index() >= self.edges.len() {
+            return Err(TopologyError::UnknownEdge(e.index()));
+        }
+        if !factor.is_finite() || factor <= 0.0 {
+            return Err(TopologyError::InvalidBandwidth(factor));
+        }
+        let ed = &self.edges[e.index()];
+        let w_uv = Bandwidth::new(ed.w_uv.get() / factor)?;
+        let w_vu = Bandwidth::new(ed.w_vu.get() / factor)?;
+        let ed = &mut self.edges[e.index()];
+        ed.w_uv = w_uv;
+        ed.w_vu = w_vu;
+        Ok(())
+    }
+
+    /// Canonical content fingerprint of the topology: node kinds, edge
+    /// endpoints, and the exact bits of every directed bandwidth.
+    ///
+    /// Two trees hash equal iff they are the same labeled topology with
+    /// identical weights, so any in-place mutation (notably
+    /// [`scale_bandwidth`](Self::scale_bandwidth)) changes the value.
+    /// Plan caches key on this to invalidate priced plans when the
+    /// network degrades.
+    pub fn fingerprint(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        self.num_nodes().hash(&mut h);
+        for kind in &self.kinds {
+            kind.is_compute().hash(&mut h);
+        }
+        for ed in &self.edges {
+            ed.u.index().hash(&mut h);
+            ed.v.index().hash(&mut h);
+            ed.w_uv.get().to_bits().hash(&mut h);
+            ed.w_vu.get().to_bits().hash(&mut h);
+        }
+        h.finish()
+    }
+
     /// The directed edge from `a` to `b`, which must be adjacent.
     pub fn dir_edge_between(&self, a: NodeId, b: NodeId) -> Option<DirEdgeId> {
         self.adj[a.index()]
@@ -574,6 +624,39 @@ mod tests {
         assert_eq!(t.num_compute(), 3);
         assert!(t.is_symmetric());
         assert!(t.compute_nodes_are_leaves());
+    }
+
+    #[test]
+    fn scale_bandwidth_reweights_and_moves_the_fingerprint() {
+        let mut t = tiny_tree();
+        let fp0 = t.fingerprint();
+        assert_eq!(fp0, tiny_tree().fingerprint(), "fingerprint is canonical");
+
+        let e = EdgeId(2); // the r2 - r3 trunk, weight 4.0
+        t.scale_bandwidth(e, 4.0).unwrap();
+        assert_eq!(t.sym_bandwidth(e).get(), 1.0);
+        assert_ne!(t.fingerprint(), fp0, "degradation must invalidate caches");
+        // Structural caches are untouched by re-weighting.
+        assert!(t.compute_nodes_are_leaves());
+        assert_eq!(t.num_edges(), 4);
+
+        // Restoring the link restores the exact fingerprint.
+        t.scale_bandwidth(e, 0.25).unwrap();
+        assert_eq!(t.fingerprint(), fp0);
+
+        assert_eq!(
+            t.scale_bandwidth(EdgeId(99), 2.0),
+            Err(TopologyError::UnknownEdge(99))
+        );
+        assert_eq!(
+            t.scale_bandwidth(e, 0.0),
+            Err(TopologyError::InvalidBandwidth(0.0))
+        );
+        assert_eq!(
+            t.scale_bandwidth(e, f64::INFINITY),
+            Err(TopologyError::InvalidBandwidth(f64::INFINITY))
+        );
+        assert_eq!(t.fingerprint(), fp0, "failed mutations change nothing");
     }
 
     #[test]

@@ -12,8 +12,10 @@
 //!    minimum and the control loop grows it as the queue builds, logging
 //!    every resize with the full observation it was decided on;
 //! 3. **fault injection + recovery** — a `FaultPlan` kills a worker at
-//!    superstep 1 mid-query; the orchestrator replays the prepared plan
-//!    on the healthy crew and the answer stays bit-identical.
+//!    superstep 1 mid-query; the orchestrator resumes the prepared plan
+//!    from the last superstep checkpoint on the healthy crew and the
+//!    answer stays bit-identical, with the recovery log recording how
+//!    many supersteps were replayed vs skipped.
 //!
 //! ```text
 //! cargo run --release --example orchestrator
@@ -66,6 +68,7 @@ fn main() {
                 .with_target_queue_depth(3)
                 .with_cooldown(2),
         )
+        .checkpoints(1)
         .build()
         .unwrap();
     println!(
@@ -85,7 +88,8 @@ fn main() {
     // Kill the worker on the first compute node at superstep 1, armed
     // before the streams start: some in-flight query will hit it.
     let victim = orch.service().context().tree().compute_nodes()[0];
-    orch.inject_faults(FaultPlan::new().kill_worker(victim, 1));
+    orch.inject_faults(FaultPlan::new().kill_worker(victim, 1))
+        .unwrap();
     println!("armed fault: kill worker on node {victim} at superstep 1\n");
 
     let start = Instant::now();
@@ -118,16 +122,33 @@ fn main() {
         wall.as_secs_f64() * 1e3
     );
 
-    // The fault + recovery log: every fired kill triggered one replay.
+    // The fault + recovery log: every fired kill triggered one replay,
+    // and the recovery event records the partial restart — which
+    // checkpointed superstep it resumed from, and how many supersteps
+    // were replayed vs skipped.
     for (fault, rec) in orch.fault_events().iter().zip(orch.recovery_events()) {
+        let restart = match rec.resumed_from {
+            Some(r) => format!(
+                "resumed from checkpointed superstep {r} ({} replayed, {} skipped)",
+                rec.replayed_supersteps.unwrap_or(0),
+                rec.skipped_supersteps
+            ),
+            None => "replayed from superstep 0".to_string(),
+        };
         println!(
-            "fault fired: node {} killed at superstep {} -> replayed for tenant '{}' \
-             (ticket #{}, attempt {}), recovered bit-identical",
+            "fault fired: node {} killed at superstep {} -> tenant '{}' \
+             (ticket #{}, attempt {}): {restart}, recovered bit-identical",
             fault.node, fault.round, rec.tenant, rec.ticket, rec.attempt
         );
     }
     if orch.fault_events().is_empty() {
         println!("(fault did not fire: every query finished before superstep 1)");
+    }
+    if let Some(cp) = orch.checkpoint_stats() {
+        println!(
+            "checkpoints: {} saved, {} resumed, {} still parked",
+            cp.saved, cp.resumed, cp.retained
+        );
     }
 
     // The scaling event log, replayed through the pure control law.
@@ -155,12 +176,20 @@ fn main() {
     // separation; the interactive tenant pre-empts both classes.
     println!("\nper-tenant serving stats:");
     println!(
-        "  {:<10} {:>6} {:>5} {:>6} {:>9} {:>11} {:>11} {:>10}",
-        "tenant", "weight", "prio", "served", "recovered", "p50 queue", "p99 queue", "waited_max"
+        "  {:<10} {:>6} {:>5} {:>6} {:>9} {:>7} {:>11} {:>11} {:>10}",
+        "tenant",
+        "weight",
+        "prio",
+        "served",
+        "recovered",
+        "skipped",
+        "p50 queue",
+        "p99 queue",
+        "waited_max"
     );
     for t in orch.stats() {
         println!(
-            "  {:<10} {:>6} {:>5} {:>6} {:>9} {:>11} {:>11} {:>10}",
+            "  {:<10} {:>6} {:>5} {:>6} {:>9} {:>7} {:>11} {:>11} {:>10}",
             t.tenant,
             t.weight,
             format!("{:?}", t.priority)
@@ -169,6 +198,7 @@ fn main() {
                 .collect::<String>(),
             t.served,
             t.recovered,
+            t.supersteps_skipped,
             format!("{:?}", t.queue_p50),
             format!("{:?}", t.queue_p99),
             t.max_waited_grants

@@ -8,8 +8,27 @@ use std::sync::Arc;
 use tamp::query::orchestrator::{decide, Orchestrator, ScaleDecision, ScalingSpec};
 use tamp::query::prelude::*;
 use tamp::query::service::QueryService;
+use tamp::query::QueryError;
 use tamp::runtime::{ElasticPool, FaultPlan, PooledClusterBackend};
 use tamp::topology::builders;
+
+/// Serve while a chaos thread arms plans concurrently. Armed plans queue
+/// FIFO in the injector, so a burst of arms can exhaust one query's
+/// retry budget; the exhausting serve drains the queue, so retrying is
+/// bounded and lands on a healthy crew.
+fn serve_tolerating_exhaustion(
+    orch: &Orchestrator,
+    tenant: &str,
+    plan: &LogicalPlan,
+) -> tamp::query::ServedQuery {
+    loop {
+        match orch.serve_as(tenant, plan) {
+            Ok(served) => return served,
+            Err(QueryError::RecoveryExhausted { .. }) => continue,
+            Err(e) => panic!("serve_as failed non-recoverably: {e}"),
+        }
+    }
+}
 
 fn orch_context() -> QueryContext {
     let tree = builders::star(6, 1.0);
@@ -152,7 +171,7 @@ fn injected_faults_mid_stream_recover_bit_identically() {
             scope.spawn(move || {
                 for i in 0..24 {
                     let k = (ti + i) % queries.len();
-                    let served = orch.serve_as(tenant, &queries[k]).unwrap();
+                    let served = serve_tolerating_exhaustion(orch, tenant, &queries[k]);
                     assert_eq!(
                         served.result.rows(false),
                         serial[k].rows(false),
@@ -165,14 +184,17 @@ fn injected_faults_mid_stream_recover_bit_identically() {
                 }
             });
         }
-        // The chaos monkey: keep arming kill-worker and detach-subtree
-        // plans while queries stream. Every armed plan is one-shot, so
-        // each affects at most one run, which then replays cleanly.
+        // The chaos monkey: keep arming kill-worker plans while queries
+        // stream. Plans queue FIFO in the injector — one consumed per
+        // execution attempt — so a burst of arms can fell several
+        // consecutive attempts of one run; the serving threads tolerate
+        // retry exhaustion above.
         let (orch, computes) = (&orch, &computes);
         scope.spawn(move || {
             for round in 0..12 {
                 let victim = computes[round % computes.len()];
-                orch.inject_faults(FaultPlan::new().kill_worker(victim, round % 2));
+                orch.inject_faults(FaultPlan::new().kill_worker(victim, round % 2))
+                    .unwrap();
                 std::thread::yield_now();
             }
         });
@@ -181,8 +203,9 @@ fn injected_faults_mid_stream_recover_bit_identically() {
     // Drain any plan still armed after the streams stopped, then verify
     // one guaranteed fault → recovery cycle end to end.
     let victim = computes[1];
-    orch.inject_faults(FaultPlan::new().kill_worker(victim, 0));
-    let served = orch.serve_as("a", &queries[0]).unwrap();
+    orch.inject_faults(FaultPlan::new().kill_worker(victim, 0))
+        .unwrap();
+    let served = serve_tolerating_exhaustion(&orch, "a", &queries[0]);
     assert_eq!(served.result.rows(false), serial[0].rows(false));
     assert_eq!(served.result.cost.edge_totals, serial[0].cost.edge_totals);
 
