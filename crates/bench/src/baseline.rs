@@ -38,6 +38,16 @@ fn is_cost_header(h: &str) -> bool {
         .any(|k| h.contains(k))
 }
 
+/// `true` for column headers that carry wall-clock measurements —
+/// machine-dependent, so they must never feed the deterministic cost
+/// median (the `wall_ms` field tracks timing separately).
+fn is_timing_header(h: &str) -> bool {
+    let h = h.to_ascii_lowercase();
+    ["wall", "_ms", "_us", "/s", "sec"]
+        .iter()
+        .any(|k| h.contains(k))
+}
+
 /// Distill one finished suite (its tables plus measured wall time) into
 /// a baseline entry.
 pub fn summarize(id: &str, tables: &[crate::table::Table], wall_ms: f64) -> SuiteBaseline {
@@ -47,10 +57,11 @@ pub fn summarize(id: &str, tables: &[crate::table::Table], wall_ms: f64) -> Suit
     for t in tables {
         rows += t.num_rows();
         cost_cells.extend(t.numeric_cells_in_columns(is_cost_header));
-        all_cells.extend(t.numeric_cells());
+        all_cells.extend(t.numeric_cells_in_columns(|h| !is_timing_header(h)));
     }
     // Median over the cost-like columns keeps the regression signal
-    // undiluted; tables with no such column fall back to all numbers.
+    // undiluted; tables with no such column fall back to all
+    // *deterministic* numbers (every column except wall-clock ones).
     let mut cells = if cost_cells.is_empty() {
         all_cells
     } else {

@@ -813,6 +813,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "x-chaos",
     "abl-drift",
     "x-uneq-tree",
+    "x-iter",
 ];
 
 /// Run one experiment by id.
@@ -847,6 +848,7 @@ pub fn run_experiment(id: &str) -> Option<Vec<Table>> {
         "x-chaos" => crate::xchaos::x_chaos(),
         "abl-drift" => crate::extensions::abl_drift(),
         "x-uneq-tree" => crate::extensions::x_unequal_tree(),
+        "x-iter" => crate::xiter::x_iter(),
         _ => return None,
     })
 }

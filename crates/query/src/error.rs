@@ -121,6 +121,21 @@ pub enum QueryError {
     InvalidTenantSpec(String),
     /// A scaling spec is invalid (zero min, min > max).
     InvalidScalingSpec(String),
+    /// An iterative fixpoint (see [`crate::iterative`]) failed to
+    /// converge within its iteration budget. Carries the budget, the
+    /// iterations actually run, and the final residual so callers can
+    /// re-submit with a larger budget or loosened tolerance. *Not*
+    /// recoverable by replay — the fixpoint is deterministic, so a
+    /// replay would fail identically; the orchestrator rolls these up
+    /// per tenant instead of retrying.
+    IterationLimit {
+        /// The configured `IterativeSpec::max_iters`.
+        limit: usize,
+        /// Iterations completed before giving up.
+        completed: usize,
+        /// The convergence residual after the last completed iteration.
+        residual: f64,
+    },
 }
 
 impl fmt::Display for QueryError {
@@ -202,6 +217,17 @@ impl fmt::Display for QueryError {
             }
             Self::InvalidTenantSpec(msg) => write!(f, "invalid tenant spec: {msg}"),
             Self::InvalidScalingSpec(msg) => write!(f, "invalid scaling spec: {msg}"),
+            Self::IterationLimit {
+                limit,
+                completed,
+                residual,
+            } => {
+                write!(
+                    f,
+                    "fixpoint did not converge within {limit} iterations \
+                     ({completed} completed, residual {residual:.3e})"
+                )
+            }
         }
     }
 }

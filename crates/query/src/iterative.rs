@@ -1,0 +1,1114 @@
+//! Iterative graph analytics: a convergence-driven fixpoint driver over
+//! the exchange fabric.
+//!
+//! Everything the engine could run before this module was one-shot — a
+//! relational query or a single §2 protocol. Iterative analytics
+//! (PageRank, BFS, connected components) run the *same* per-iteration
+//! plan many times: scatter values along graph edges (the weighted
+//! repartition shape), then combine a convergence aggregate up the tree
+//! (the combining-tree convergecast shape). This module packages that
+//! loop so it runs on any [`ExecBackend`] with bit-identical results:
+//!
+//! - [`IterativeJob`] describes the fixpoint: an edge relation, a vertex
+//!   → owner map (see `tamp_workloads::graphs` for generators), an
+//!   algorithm, and an [`IterativeSpec`] (iteration budget, tolerance,
+//!   [`IterMode`]).
+//! - [`IterativeJob::prepare`] runs the whole fixpoint *locally and
+//!   deterministically*, emitting one width-invariant
+//!   [`Schedule`] slice per iteration: a scatter round of per-owner-pair
+//!   pre-combined width-2 rows, followed by the combining-tree rounds
+//!   that convergecast the iteration's residual to the valid-order
+//!   target. Convergence is decided **only from the returned aggregate**
+//!   — the residual the convergecast actually delivers at the target —
+//!   so every backend replays the identical schedule and the fixpoint
+//!   never depends on who executes it.
+//! - [`PreparedIterative::run_on`] replays the schedule on a backend via
+//!   [`ScheduleJob`] (so the cluster's checkpoint/recovery machinery
+//!   applies: with [`PreparedIterative::checkpoint_spec`] the snapshot
+//!   cadence lands exactly on iteration barriers), slices the metered
+//!   ledger back into per-iteration costs, and returns an
+//!   [`IterativeOutcome`] whose
+//!   [`explain_analyze`](IterativeOutcome::explain_analyze) prints the
+//!   per-iteration table: estimated vs metered vs the per-cut lower
+//!   bound, plus the convergence residual.
+//!
+//! # Estimated vs metered feedback
+//!
+//! [`IterMode::Jacobi`] runs dense rounds: every vertex contributes every
+//! iteration, and the a-priori estimate (each cross-owner arc priced
+//! individually, before per-destination combining) is reused for every
+//! iteration — the gap between it and the metered cost is the combining
+//! benefit. [`IterMode::FrontierDelta`] runs shrinking rounds: only the
+//! active frontier sends, and iteration `i + 1` is re-priced from
+//! iteration `i`'s *metered* cardinalities — the exchange the fabric
+//! actually carried — making this the first consumer of the
+//! estimated-vs-metered feedback loop. The per-iteration lower bound is a
+//! per-cut counting argument: every destination vertex with cross-owner
+//! senders forces at least one combined width-2 row across each edge of
+//! the Steiner tree spanning its fan-in, priced on the same
+//! [`CostModel`] ledger.
+//!
+//! A fixpoint that fails to converge within `max_iters` surfaces as the
+//! typed [`QueryError::IterationLimit`] from `prepare` — nothing is
+//! scheduled, and the orchestrator rolls the failure up per tenant.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use tamp_core::aggregate::protocols::combining_schedule;
+use tamp_core::sorting::valid_order;
+use tamp_runtime::SimulatorBackend;
+use tamp_runtime::{CheckpointSpec, ExecBackend, Schedule, ScheduleJob, ScheduleSend};
+use tamp_simulator::cost::Cost;
+use tamp_simulator::{Placement, Rel};
+use tamp_topology::{NodeId, Tree};
+
+use crate::error::QueryError;
+use crate::physical::cost::CostModel;
+
+/// How each iteration selects its senders.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum IterMode {
+    /// Dense rounds: every vertex contributes every iteration, and every
+    /// iteration's exchange has the same shape. The classic synchronous
+    /// PageRank / dense label propagation.
+    #[default]
+    Jacobi,
+    /// Sparse rounds: only the active frontier (vertices whose value
+    /// changed, or whose pending delta exceeds the threshold) sends, so
+    /// per-iteration exchange volume shrinks as the fixpoint settles.
+    /// Each iteration's estimate is re-priced from the previous
+    /// iteration's metered cardinalities.
+    FrontierDelta,
+}
+
+/// The fixpoint budget: iteration cap, convergence tolerance, and
+/// [`IterMode`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IterativeSpec {
+    /// Hard iteration cap; exceeding it is
+    /// [`QueryError::IterationLimit`].
+    pub max_iters: usize,
+    /// Convergence tolerance on the residual aggregate (total absolute
+    /// rank change for PageRank; ignored by BFS/components, which
+    /// converge exactly when no vertex changes).
+    pub tolerance: f64,
+    /// Dense or frontier iteration shape.
+    pub mode: IterMode,
+}
+
+impl IterativeSpec {
+    /// Dense Jacobi rounds.
+    pub fn jacobi(max_iters: usize, tolerance: f64) -> Self {
+        IterativeSpec {
+            max_iters,
+            tolerance,
+            mode: IterMode::Jacobi,
+        }
+    }
+
+    /// Shrinking frontier/delta rounds.
+    pub fn frontier(max_iters: usize, tolerance: f64) -> Self {
+        IterativeSpec {
+            max_iters,
+            tolerance,
+            mode: IterMode::FrontierDelta,
+        }
+    }
+}
+
+/// Which fixpoint the job runs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Algo {
+    /// Damped PageRank over the out-edges.
+    PageRank { damping: f64 },
+    /// Single-source shortest hop counts.
+    Bfs { source: u64 },
+    /// Min-label propagation connected components.
+    Components,
+}
+
+/// A fixpoint job: an edge relation over vertices `0..owners.len()`,
+/// each vertex pinned to an owning compute node, plus the algorithm and
+/// its [`IterativeSpec`].
+///
+/// The job is plain data — it does not depend on any workload crate, so
+/// edges can come from `tamp_workloads::graphs`, a `DistributedTable`,
+/// or by hand. [`prepare`](Self::prepare) turns it into a replayable
+/// [`PreparedIterative`].
+#[derive(Clone, Debug)]
+pub struct IterativeJob {
+    name: String,
+    arcs: Vec<(u64, u64)>,
+    owners: Vec<NodeId>,
+    spec: IterativeSpec,
+    algo: Algo,
+}
+
+impl IterativeJob {
+    /// Damped PageRank. `arcs` are directed `(src, dst)` pairs; a
+    /// vertex's rank mass splits evenly over its out-arcs, dangling mass
+    /// redistributes uniformly.
+    pub fn pagerank(
+        arcs: Vec<(u64, u64)>,
+        owners: Vec<NodeId>,
+        damping: f64,
+        spec: IterativeSpec,
+    ) -> Self {
+        IterativeJob {
+            name: "pagerank".into(),
+            arcs,
+            owners,
+            spec,
+            algo: Algo::PageRank { damping },
+        }
+    }
+
+    /// Breadth-first hop counts from `source` (unreached vertices keep
+    /// `u64::MAX`).
+    pub fn bfs(
+        arcs: Vec<(u64, u64)>,
+        owners: Vec<NodeId>,
+        source: u64,
+        spec: IterativeSpec,
+    ) -> Self {
+        IterativeJob {
+            name: "bfs".into(),
+            arcs,
+            owners,
+            spec,
+            algo: Algo::Bfs { source },
+        }
+    }
+
+    /// Connected components by min-label propagation (labels are vertex
+    /// ids; arcs should be symmetric for the undirected reading).
+    pub fn connected_components(
+        arcs: Vec<(u64, u64)>,
+        owners: Vec<NodeId>,
+        spec: IterativeSpec,
+    ) -> Self {
+        IterativeJob {
+            name: "components".into(),
+            arcs,
+            owners,
+            spec,
+            algo: Algo::Components,
+        }
+    }
+
+    /// Job name (`pagerank`, `bfs`, `components`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The fixpoint budget.
+    pub fn spec(&self) -> IterativeSpec {
+        self.spec
+    }
+
+    /// Number of vertices (`owners.len()`).
+    pub fn num_vertices(&self) -> usize {
+        self.owners.len()
+    }
+
+    fn validate(&self, tree: &Tree) -> Result<(), QueryError> {
+        let n = self.owners.len();
+        if n == 0 {
+            return Err(QueryError::Plan("iterative job has no vertices".into()));
+        }
+        if self.spec.max_iters == 0 {
+            return Err(QueryError::Plan("max_iters must be at least 1".into()));
+        }
+        if !self.spec.tolerance.is_finite() || self.spec.tolerance < 0.0 {
+            return Err(QueryError::Plan(format!(
+                "tolerance must be finite and non-negative (got {})",
+                self.spec.tolerance
+            )));
+        }
+        for &o in &self.owners {
+            if o.index() >= tree.num_nodes() || !tree.is_compute(o) {
+                return Err(QueryError::Plan(format!(
+                    "vertex owner {o} is not a compute node of the tree"
+                )));
+            }
+        }
+        for &(u, v) in &self.arcs {
+            if u as usize >= n || v as usize >= n {
+                return Err(QueryError::Plan(format!(
+                    "arc ({u}, {v}) references a vertex outside 0..{n}"
+                )));
+            }
+        }
+        match self.algo {
+            Algo::PageRank { damping } => {
+                if !(0.0..1.0).contains(&damping) {
+                    return Err(QueryError::Plan(format!(
+                        "PageRank damping must be in [0, 1) (got {damping})"
+                    )));
+                }
+            }
+            Algo::Bfs { source } => {
+                if source as usize >= n {
+                    return Err(QueryError::Plan(format!(
+                        "BFS source {source} outside 0..{n}"
+                    )));
+                }
+            }
+            Algo::Components => {}
+        }
+        Ok(())
+    }
+
+    /// Run the whole fixpoint locally and deterministically, emitting the
+    /// width-invariant per-iteration schedule. Fails with
+    /// [`QueryError::IterationLimit`] if the fixpoint does not converge
+    /// within `max_iters`, and with [`QueryError::Plan`] on malformed
+    /// input (owners off the tree, out-of-range arcs, bad damping).
+    pub fn prepare(&self, tree: &Tree) -> Result<PreparedIterative, QueryError> {
+        self.validate(tree)?;
+        let n = self.owners.len();
+        let model = CostModel::new(tree);
+
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(u, v) in &self.arcs {
+            adj[u as usize].push(v as usize);
+        }
+
+        // The combining convergecast over constant per-node weights (the
+        // owned-vertex counts): its shape never depends on iteration
+        // values, which is what keeps the per-iteration plan
+        // width-invariant.
+        let mut owned = vec![0u64; tree.num_nodes()];
+        for &o in &self.owners {
+            owned[o.index()] += 1;
+        }
+        let target = valid_order(tree)[0];
+        let combine = combining_schedule(tree, &owned, target);
+        let rounds_per_iteration = 1 + combine.len();
+
+        // Constant estimate of the convergecast: one width-2 row per move
+        // per level.
+        let mut combine_est = 0.0;
+        for moves in &combine {
+            let mut load = model.zero_load();
+            for &(src, dst) in moves {
+                model.add_path(&mut load, src, dst, 2.0);
+            }
+            combine_est += model.round_cost(&load);
+        }
+
+        // The a-priori scatter estimate: every cross-owner arc priced
+        // individually (no per-destination combining) — what a planner
+        // knows before any iteration runs.
+        let apriori = {
+            let mut load = model.zero_load();
+            for &(u, v) in &self.arcs {
+                let (su, sv) = (self.owners[u as usize], self.owners[v as usize]);
+                if su != sv {
+                    model.add_path(&mut load, su, sv, 2.0);
+                }
+            }
+            model.round_cost(&load) + combine_est
+        };
+
+        let mut fx = Fixpoint {
+            owners: &self.owners,
+            adj: &adj,
+            model: &model,
+            combine: &combine,
+            target,
+            spec: self.spec,
+            apriori,
+            combine_est,
+            schedule: Schedule::default(),
+            plans: Vec::new(),
+            prev_price: None,
+        };
+
+        let values = match self.algo {
+            Algo::PageRank { damping } => fx.pagerank(damping)?,
+            Algo::Bfs { source } => {
+                let mut init = vec![u64::MAX; n];
+                init[source as usize] = 0;
+                let mut active = vec![false; n];
+                active[source as usize] = true;
+                IterValues::Levels(fx.min_propagation(init, active, 1)?)
+            }
+            Algo::Components => {
+                let init: Vec<u64> = (0..n as u64).collect();
+                IterValues::Components(fx.min_propagation(init, vec![true; n], 0)?)
+            }
+        };
+
+        Ok(PreparedIterative {
+            name: self.name.clone(),
+            num_nodes: tree.num_nodes(),
+            rounds_per_iteration,
+            schedule: fx.schedule,
+            plans: fx.plans,
+            values,
+        })
+    }
+}
+
+/// Planned per-iteration figures, fixed at prepare time.
+#[derive(Clone, Copy, Debug)]
+struct IterPlan {
+    /// One past this iteration's last schedule round.
+    upto: usize,
+    /// Combined width-2 rows actually scattered.
+    exchanged_rows: u64,
+    /// The planner's estimate for this iteration (a-priori for Jacobi
+    /// and the first frontier round, previous metered cardinalities
+    /// after).
+    estimated: f64,
+    /// The per-cut counting lower bound on this iteration's scatter.
+    lower_bound: f64,
+    /// The convergence residual the convergecast delivered.
+    residual: f64,
+}
+
+/// Shared fixpoint-driver state: schedule under construction plus the
+/// constant pricing inputs.
+struct Fixpoint<'a> {
+    owners: &'a [NodeId],
+    adj: &'a [Vec<usize>],
+    model: &'a CostModel<'a>,
+    combine: &'a [Vec<(NodeId, NodeId)>],
+    target: NodeId,
+    spec: IterativeSpec,
+    apriori: f64,
+    combine_est: f64,
+    schedule: Schedule,
+    plans: Vec<IterPlan>,
+    prev_price: Option<f64>,
+}
+
+impl Fixpoint<'_> {
+    /// This iteration's estimate: a-priori for Jacobi; for frontier
+    /// rounds, the previous iteration's metered cardinalities re-priced
+    /// on the same ledger ("yesterday's weather").
+    fn estimate(&self) -> f64 {
+        match self.spec.mode {
+            IterMode::Jacobi => self.apriori,
+            IterMode::FrontierDelta => self.prev_price.unwrap_or(self.apriori),
+        }
+    }
+
+    /// Price a combined pair-exchange on the model's ledger (the figure
+    /// that, fed forward, becomes the next frontier estimate).
+    fn price(&self, pairs: &BTreeMap<(NodeId, NodeId), Vec<u64>>) -> f64 {
+        let mut load = self.model.zero_load();
+        for (&(src, dst), values) in pairs {
+            self.model
+                .add_path(&mut load, src, dst, values.len() as f64);
+        }
+        self.model.round_cost(&load) + self.combine_est
+    }
+
+    /// Per-cut counting bound: each destination vertex with cross-owner
+    /// fan-in forces one combined width-2 row across every edge of the
+    /// Steiner tree spanning `{owner(v)} ∪ senders(v)` — priced as a
+    /// multicast, whose union-of-paths charge is exactly that Steiner
+    /// tree.
+    fn cut_lower_bound(&self, fanin: &BTreeMap<u64, BTreeSet<NodeId>>) -> f64 {
+        let mut load = self.model.zero_load();
+        for (&v, srcs) in fanin {
+            let dsts: Vec<NodeId> = srcs.iter().copied().collect();
+            self.model
+                .add_multicast(&mut load, self.owners[v as usize], &dsts, 2.0);
+        }
+        self.model.round_cost(&load)
+    }
+
+    /// Emit one scatter round (sorted owner-pair order) followed by the
+    /// constant convergecast of `partials`, record the iteration's plan
+    /// row, and return the residual the convergecast delivered at the
+    /// target — the only value convergence may consult.
+    fn finish_iteration(
+        &mut self,
+        iter: usize,
+        pairs: BTreeMap<(NodeId, NodeId), Vec<u64>>,
+        fanin: &BTreeMap<u64, BTreeSet<NodeId>>,
+        mut partials: Vec<f64>,
+    ) -> f64 {
+        let estimated = self.estimate();
+        let lower_bound = self.cut_lower_bound(fanin);
+        self.prev_price = Some(self.price(&pairs));
+
+        let mut rows = 0u64;
+        let mut sends = Vec::with_capacity(pairs.len());
+        for ((src, dst), values) in pairs {
+            rows += values.len() as u64 / 2;
+            sends.push(ScheduleSend {
+                src,
+                dsts: vec![dst],
+                rel: Rel::R,
+                values: values.into(),
+            });
+        }
+        self.schedule.rounds.push(sends);
+
+        for moves in self.combine {
+            let mut sends = Vec::with_capacity(moves.len());
+            for &(src, dst) in moves {
+                sends.push(ScheduleSend {
+                    src,
+                    dsts: vec![dst],
+                    rel: Rel::S,
+                    values: vec![iter as u64, partials[src.index()].to_bits()].into(),
+                });
+            }
+            self.schedule.rounds.push(sends);
+            for &(src, dst) in moves {
+                let moved = std::mem::take(&mut partials[src.index()]);
+                partials[dst.index()] += moved;
+            }
+        }
+        let residual = partials[self.target.index()];
+        self.plans.push(IterPlan {
+            upto: self.schedule.rounds.len(),
+            exchanged_rows: rows,
+            estimated,
+            lower_bound,
+            residual,
+        });
+        residual
+    }
+
+    fn limit_error(&self) -> QueryError {
+        QueryError::IterationLimit {
+            limit: self.spec.max_iters,
+            completed: self.plans.len(),
+            residual: self.plans.last().map_or(f64::INFINITY, |p| p.residual),
+        }
+    }
+
+    /// Damped PageRank. Jacobi mode iterates the dense power method;
+    /// frontier mode runs delta-push (pending increments propagate only
+    /// while above `tolerance / n`). Dangling mass redistributes
+    /// uniformly, handled analytically so it never ships.
+    fn pagerank(&mut self, damping: f64) -> Result<IterValues, QueryError> {
+        let n = self.owners.len();
+        let nf = n as f64;
+        let outdeg: Vec<f64> = self.adj.iter().map(|a| a.len() as f64).collect();
+        let frontier = self.spec.mode == IterMode::FrontierDelta;
+
+        // Jacobi iterates `rank` directly; delta-push accumulates into
+        // `rank` while propagating pending `delta` mass.
+        let mut rank = if frontier {
+            vec![0.0; n]
+        } else {
+            vec![1.0 / nf; n]
+        };
+        let mut delta = vec![(1.0 - damping) / nf; n];
+        let thresh = self.spec.tolerance / nf;
+
+        for it in 0..self.spec.max_iters {
+            let mut incoming = vec![0.0f64; n];
+            let mut dangling = 0.0f64;
+            let mut pairs: BTreeMap<(NodeId, NodeId), BTreeMap<u64, f64>> = BTreeMap::new();
+            let mut fanin: BTreeMap<u64, BTreeSet<NodeId>> = BTreeMap::new();
+            for u in 0..n {
+                let mass = if frontier {
+                    if delta[u].abs() <= thresh {
+                        continue;
+                    }
+                    damping * delta[u]
+                } else {
+                    damping * rank[u]
+                };
+                if self.adj[u].is_empty() {
+                    dangling += mass;
+                    continue;
+                }
+                let share = mass / outdeg[u];
+                for &v in &self.adj[u] {
+                    incoming[v] += share;
+                    let (su, sv) = (self.owners[u], self.owners[v]);
+                    if su != sv {
+                        *pairs
+                            .entry((su, sv))
+                            .or_default()
+                            .entry(v as u64)
+                            .or_insert(0.0) += share;
+                        fanin.entry(v as u64).or_default().insert(su);
+                    }
+                }
+            }
+
+            // Combined per-destination rows: [dst_vertex, share_bits].
+            let flat: BTreeMap<(NodeId, NodeId), Vec<u64>> = pairs
+                .into_iter()
+                .map(|(k, m)| {
+                    (
+                        k,
+                        m.into_iter().flat_map(|(v, s)| [v, s.to_bits()]).collect(),
+                    )
+                })
+                .collect();
+
+            // Apply, accumulating per-owner residual partials (vertex
+            // order, so the sum order is fixed).
+            let mut partials = vec![0.0f64; self.model.tree().num_nodes()];
+            if frontier {
+                let mut next = vec![0.0f64; n];
+                for v in 0..n {
+                    rank[v] += delta[v];
+                    next[v] = incoming[v] + dangling / nf;
+                    partials[self.owners[v].index()] += next[v].abs();
+                }
+                delta = next;
+            } else {
+                for v in 0..n {
+                    let new = (1.0 - damping) / nf + incoming[v] + dangling / nf;
+                    partials[self.owners[v].index()] += (new - rank[v]).abs();
+                    rank[v] = new;
+                }
+            }
+
+            let residual = self.finish_iteration(it, flat, &fanin, partials);
+            if residual <= self.spec.tolerance {
+                if frontier {
+                    // Absorb the sub-tolerance remainder.
+                    for v in 0..n {
+                        rank[v] += delta[v];
+                    }
+                }
+                return Ok(IterValues::Ranks(rank));
+            }
+        }
+        Err(self.limit_error())
+    }
+
+    /// Min-label propagation: BFS (`bump = 1`, level counting from the
+    /// source) and connected components (`bump = 0`, labels are vertex
+    /// ids). The residual is the number of vertices whose value changed,
+    /// so convergence (`residual == 0`) is exact. Jacobi mode sends
+    /// dense rounds (every settled vertex re-sends to all neighbors);
+    /// frontier mode ships only productive proposals from the changed
+    /// set — the prepared plan holds the whole fixpoint, so it emits
+    /// exactly the information-bearing frontier traffic.
+    fn min_propagation(
+        &mut self,
+        init: Vec<u64>,
+        init_active: Vec<bool>,
+        bump: u64,
+    ) -> Result<Vec<u64>, QueryError> {
+        let n = self.owners.len();
+        let mut val = init;
+        let mut active = init_active;
+        let frontier = self.spec.mode == IterMode::FrontierDelta;
+
+        for it in 0..self.spec.max_iters {
+            let mut best: BTreeMap<usize, u64> = BTreeMap::new();
+            let mut pairs: BTreeMap<(NodeId, NodeId), BTreeMap<u64, u64>> = BTreeMap::new();
+            let mut fanin: BTreeMap<u64, BTreeSet<NodeId>> = BTreeMap::new();
+            for u in 0..n {
+                let sends = if frontier {
+                    active[u]
+                } else {
+                    val[u] != u64::MAX
+                };
+                if !sends {
+                    continue;
+                }
+                let cand = val[u].saturating_add(bump);
+                for &v in &self.adj[u] {
+                    let productive = cand < val[v];
+                    if frontier && !productive {
+                        continue;
+                    }
+                    if productive {
+                        best.entry(v)
+                            .and_modify(|b| *b = (*b).min(cand))
+                            .or_insert(cand);
+                    }
+                    let (su, sv) = (self.owners[u], self.owners[v]);
+                    if su != sv {
+                        pairs
+                            .entry((su, sv))
+                            .or_default()
+                            .entry(v as u64)
+                            .and_modify(|b| *b = (*b).min(cand))
+                            .or_insert(cand);
+                        fanin.entry(v as u64).or_default().insert(su);
+                    }
+                }
+            }
+
+            let flat: BTreeMap<(NodeId, NodeId), Vec<u64>> = pairs
+                .into_iter()
+                .map(|(k, m)| (k, m.into_iter().flat_map(|(v, c)| [v, c]).collect()))
+                .collect();
+
+            let mut partials = vec![0.0f64; self.model.tree().num_nodes()];
+            let mut changed = vec![false; n];
+            for (&v, &cand) in &best {
+                if cand < val[v] {
+                    val[v] = cand;
+                    changed[v] = true;
+                    partials[self.owners[v].index()] += 1.0;
+                }
+            }
+
+            let residual = self.finish_iteration(it, flat, &fanin, partials);
+            active = changed;
+            if residual == 0.0 {
+                return Ok(val);
+            }
+        }
+        Err(self.limit_error())
+    }
+}
+
+/// Final per-vertex values of a converged fixpoint.
+#[derive(Clone, Debug, PartialEq)]
+pub enum IterValues {
+    /// PageRank scores (sum ≈ 1).
+    Ranks(Vec<f64>),
+    /// BFS hop counts (`u64::MAX` = unreachable).
+    Levels(Vec<u64>),
+    /// Connected-component labels (the minimum vertex id of each
+    /// component).
+    Components(Vec<u64>),
+}
+
+impl IterValues {
+    /// PageRank scores, if this is a rank vector.
+    pub fn ranks(&self) -> Option<&[f64]> {
+        match self {
+            IterValues::Ranks(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Integer labels (BFS levels or component ids), if any.
+    pub fn labels(&self) -> Option<&[u64]> {
+        match self {
+            IterValues::Levels(l) | IterValues::Components(l) => Some(l),
+            IterValues::Ranks(_) => None,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        match self {
+            IterValues::Ranks(r) => r.len(),
+            IterValues::Levels(l) | IterValues::Components(l) => l.len(),
+        }
+    }
+
+    /// `true` when the fixpoint had no vertices (never produced by
+    /// `prepare`, which rejects empty jobs).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A converged, fully planned fixpoint: the width-invariant schedule
+/// plus the per-iteration plan rows and final values. Replay it on any
+/// backend with [`run`](Self::run) / [`run_on`](Self::run_on).
+#[derive(Clone, Debug)]
+pub struct PreparedIterative {
+    name: String,
+    num_nodes: usize,
+    rounds_per_iteration: usize,
+    schedule: Schedule,
+    plans: Vec<IterPlan>,
+    values: IterValues,
+}
+
+impl PreparedIterative {
+    /// Iterations until convergence.
+    pub fn iterations(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Schedule rounds per iteration (one scatter + the combining-tree
+    /// levels) — constant across iterations by construction.
+    pub fn rounds_per_iteration(&self) -> usize {
+        self.rounds_per_iteration
+    }
+
+    /// The converged per-vertex values (identical to what any backend
+    /// replay yields).
+    pub fn values(&self) -> &IterValues {
+        &self.values
+    }
+
+    /// The residual after the final iteration.
+    pub fn final_residual(&self) -> f64 {
+        self.plans.last().map_or(0.0, |p| p.residual)
+    }
+
+    /// The checkpoint cadence that lands snapshots exactly on iteration
+    /// barriers, so a chaos-killed run resumes mid-fixpoint from the
+    /// last completed iteration (see
+    /// [`CheckpointSpec::at_iteration_barriers`]).
+    pub fn checkpoint_spec(&self) -> CheckpointSpec {
+        CheckpointSpec::at_iteration_barriers(self.rounds_per_iteration)
+    }
+
+    /// Replay on the centralized simulator.
+    pub fn run(&self, tree: &Tree) -> Result<IterativeOutcome, QueryError> {
+        self.run_on(tree, &SimulatorBackend)
+    }
+
+    /// Replay the prepared schedule on `backend` and slice the metered
+    /// ledger into per-iteration costs. Results — values, per-iteration
+    /// metered costs, `edge_totals` — are bit-identical across backends
+    /// because the schedule is fixed at prepare time.
+    pub fn run_on(
+        &self,
+        tree: &Tree,
+        backend: &dyn ExecBackend,
+    ) -> Result<IterativeOutcome, QueryError> {
+        let job = ScheduleJob::new(self.name.clone(), self.num_nodes, self.schedule.clone());
+        let outcome = backend.execute(tree, &Placement::empty(tree), &job)?;
+        let mut iterations = Vec::with_capacity(self.plans.len());
+        let mut prev = 0usize;
+        let mut cumulative = 0.0;
+        for (i, p) in self.plans.iter().enumerate() {
+            let metered: f64 = outcome.cost.per_round[prev..p.upto]
+                .iter()
+                .map(|r| r.tuple_cost)
+                .sum();
+            cumulative += metered;
+            iterations.push(IterationCost {
+                iter: i,
+                exchanged_rows: p.exchanged_rows,
+                estimated: p.estimated,
+                metered,
+                cumulative,
+                lower_bound: p.lower_bound,
+                residual: p.residual,
+            });
+            prev = p.upto;
+        }
+        Ok(IterativeOutcome {
+            name: self.name.clone(),
+            values: self.values.clone(),
+            iterations,
+            rounds_per_iteration: self.rounds_per_iteration,
+            cost: outcome.cost,
+            rounds: outcome.rounds,
+            supersteps: outcome.supersteps,
+            resumed_from: outcome.resumed_from,
+        })
+    }
+}
+
+/// One row of the per-iteration cost table.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IterationCost {
+    /// Iteration index.
+    pub iter: usize,
+    /// Combined width-2 rows scattered cross-owner.
+    pub exchanged_rows: u64,
+    /// The planner's estimate (a-priori, or re-priced from the previous
+    /// iteration's metered cardinalities in frontier mode).
+    pub estimated: f64,
+    /// The metered cost of this iteration's rounds.
+    pub metered: f64,
+    /// Running metered total through this iteration.
+    pub cumulative: f64,
+    /// The per-cut counting lower bound on this iteration's scatter.
+    pub lower_bound: f64,
+    /// The convergence residual the convergecast delivered.
+    pub residual: f64,
+}
+
+/// The result of replaying a prepared fixpoint on a backend.
+#[derive(Clone, Debug)]
+pub struct IterativeOutcome {
+    /// Job name.
+    pub name: String,
+    /// Converged per-vertex values.
+    pub values: IterValues,
+    /// Per-iteration cost table (estimated vs metered vs lower bound).
+    pub iterations: Vec<IterationCost>,
+    /// Schedule rounds per iteration.
+    pub rounds_per_iteration: usize,
+    /// The full metered ledger (per-round costs + `edge_totals`).
+    pub cost: Cost,
+    /// Metered communication rounds.
+    pub rounds: usize,
+    /// BSP supersteps executed (cluster adds the terminal silent one).
+    pub supersteps: usize,
+    /// `Some(r)` when the cluster resumed from a checkpoint at superstep
+    /// `r`.
+    pub resumed_from: Option<usize>,
+}
+
+impl IterativeOutcome {
+    /// Total metered cost across all iterations.
+    pub fn total_metered(&self) -> f64 {
+        self.cost.tuple_cost()
+    }
+
+    /// Total combined rows scattered across all iterations (the exchange
+    /// volume the frontier gate watches).
+    pub fn total_exchanged_rows(&self) -> u64 {
+        self.iterations.iter().map(|i| i.exchanged_rows).sum()
+    }
+
+    /// The per-iteration EXPLAIN ANALYZE table: estimated vs metered
+    /// cost, cumulative metered vs cumulative per-cut lower bound, and
+    /// the convergence residual.
+    pub fn explain_analyze(&self) -> String {
+        let mut out = format!(
+            "ITERATIVE ANALYZE {} — {} iterations × {} rounds/iteration, final residual {:.3e}\n",
+            self.name,
+            self.iterations.len(),
+            self.rounds_per_iteration,
+            self.iterations.last().map_or(0.0, |i| i.residual),
+        );
+        out.push_str(&format!(
+            "{:>5} {:>10} {:>12} {:>12} {:>12} {:>10} {:>10} {:>12}\n",
+            "iter", "rows", "estimated", "metered", "cumulative", "cut lb", "cum lb", "residual"
+        ));
+        let mut cum_lb = 0.0;
+        for i in &self.iterations {
+            cum_lb += i.lower_bound;
+            out.push_str(&format!(
+                "{:>5} {:>10} {:>12.2} {:>12.2} {:>12.2} {:>10.2} {:>10.2} {:>12.3e}\n",
+                i.iter,
+                i.exchanged_rows,
+                i.estimated,
+                i.metered,
+                i.cumulative,
+                i.lower_bound,
+                cum_lb,
+                i.residual
+            ));
+        }
+        out.push_str(&format!(
+            "total metered {:.2}, cumulative lower bound {:.2}{}\n",
+            self.total_metered(),
+            cum_lb,
+            if cum_lb > 0.0 {
+                format!(" (ratio {:.2})", self.total_metered() / cum_lb)
+            } else {
+                String::new()
+            }
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamp_runtime::PooledClusterBackend;
+    use tamp_topology::builders;
+
+    /// A 6-cycle split over a 3-leaf star: deterministic, every owner
+    /// pair exercised.
+    fn cycle_job() -> (Tree, Vec<(u64, u64)>, Vec<NodeId>) {
+        let tree = builders::star(3, 1.0);
+        let vc = tree.compute_nodes().to_vec();
+        let n = 6u64;
+        let mut arcs = Vec::new();
+        for u in 0..n {
+            let v = (u + 1) % n;
+            arcs.push((u, v));
+            arcs.push((v, u));
+        }
+        let owners: Vec<NodeId> = (0..n).map(|u| vc[(u / 2) as usize]).collect();
+        (tree, arcs, owners)
+    }
+
+    #[test]
+    fn pagerank_converges_and_sums_to_one() {
+        let (tree, arcs, owners) = cycle_job();
+        let prepared = IterativeJob::pagerank(arcs, owners, 0.5, IterativeSpec::jacobi(50, 1e-9))
+            .prepare(&tree)
+            .unwrap();
+        let ranks = prepared.values().ranks().unwrap();
+        let sum: f64 = ranks.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "ranks sum to 1, got {sum}");
+        // Symmetric cycle: uniform ranks.
+        for &r in ranks {
+            assert!((r - 1.0 / 6.0).abs() < 1e-6);
+        }
+        assert!(prepared.final_residual() <= 1e-9);
+    }
+
+    #[test]
+    fn frontier_pagerank_matches_jacobi() {
+        let (tree, arcs, owners) = cycle_job();
+        let j = IterativeJob::pagerank(
+            arcs.clone(),
+            owners.clone(),
+            0.5,
+            IterativeSpec::jacobi(60, 1e-10),
+        )
+        .prepare(&tree)
+        .unwrap();
+        let f = IterativeJob::pagerank(arcs, owners, 0.5, IterativeSpec::frontier(60, 1e-10))
+            .prepare(&tree)
+            .unwrap();
+        for (a, b) in j
+            .values()
+            .ranks()
+            .unwrap()
+            .iter()
+            .zip(f.values().ranks().unwrap())
+        {
+            assert!((a - b).abs() < 1e-8, "jacobi {a} vs frontier {b}");
+        }
+    }
+
+    #[test]
+    fn bfs_levels_are_cycle_distances() {
+        let (tree, arcs, owners) = cycle_job();
+        let prepared = IterativeJob::bfs(arcs, owners, 0, IterativeSpec::frontier(10, 0.0))
+            .prepare(&tree)
+            .unwrap();
+        assert_eq!(
+            prepared.values().labels().unwrap(),
+            &[0, 1, 2, 3, 2, 1],
+            "hop counts around the 6-cycle"
+        );
+    }
+
+    #[test]
+    fn components_find_two_islands() {
+        let tree = builders::star(2, 1.0);
+        let vc = tree.compute_nodes().to_vec();
+        // Two triangles: {0,1,2} and {3,4,5}, owners split across leaves.
+        let mut arcs = Vec::new();
+        for base in [0u64, 3] {
+            for i in 0..3 {
+                let (u, v) = (base + i, base + (i + 1) % 3);
+                arcs.push((u, v));
+                arcs.push((v, u));
+            }
+        }
+        let owners: Vec<NodeId> = (0..6).map(|u| vc[(u % 2) as usize]).collect();
+        let prepared =
+            IterativeJob::connected_components(arcs, owners, IterativeSpec::frontier(10, 0.0))
+                .prepare(&tree)
+                .unwrap();
+        assert_eq!(prepared.values().labels().unwrap(), &[0, 0, 0, 3, 3, 3]);
+    }
+
+    #[test]
+    fn backends_agree_bit_for_bit() {
+        let (tree, arcs, owners) = cycle_job();
+        let prepared = IterativeJob::pagerank(arcs, owners, 0.5, IterativeSpec::jacobi(50, 1e-6))
+            .prepare(&tree)
+            .unwrap();
+        let sim = prepared.run(&tree).unwrap();
+        let cluster = prepared
+            .run_on(&tree, &PooledClusterBackend::default())
+            .unwrap();
+        assert_eq!(sim.cost.edge_totals, cluster.cost.edge_totals);
+        assert_eq!(sim.values, cluster.values);
+        assert_eq!(sim.iterations.len(), cluster.iterations.len());
+        for (a, b) in sim.iterations.iter().zip(&cluster.iterations) {
+            assert_eq!(a, b, "per-iteration tables match to the bit");
+        }
+        // The cluster's terminal silent superstep is the only delta.
+        assert_eq!(cluster.supersteps, sim.supersteps + 1);
+    }
+
+    #[test]
+    fn metered_between_bound_and_estimate_for_jacobi_pagerank() {
+        let (tree, arcs, owners) = cycle_job();
+        let prepared = IterativeJob::pagerank(arcs, owners, 0.5, IterativeSpec::jacobi(50, 1e-6))
+            .prepare(&tree)
+            .unwrap();
+        let out = prepared.run(&tree).unwrap();
+        for i in &out.iterations {
+            assert!(
+                i.lower_bound <= i.metered + 1e-9,
+                "iter {}: lb {} > metered {}",
+                i.iter,
+                i.lower_bound,
+                i.metered
+            );
+            assert!(
+                i.metered <= i.estimated + 1e-9,
+                "iter {}: metered {} > a-priori estimate {}",
+                i.iter,
+                i.metered,
+                i.estimated
+            );
+        }
+    }
+
+    #[test]
+    fn frontier_estimates_track_previous_metered() {
+        let (tree, arcs, owners) = cycle_job();
+        let prepared = IterativeJob::bfs(arcs, owners, 0, IterativeSpec::frontier(10, 0.0))
+            .prepare(&tree)
+            .unwrap();
+        let out = prepared.run(&tree).unwrap();
+        // From iteration 1 on, the estimate is iteration i-1's exchange
+        // re-priced on the same ledger — with the constant convergecast
+        // added to both sides.
+        for w in out.iterations.windows(2) {
+            assert!(
+                (w[1].estimated - w[0].metered).abs() < 1e-9,
+                "frontier estimate {} re-priced from previous metered {}",
+                w[1].estimated,
+                w[0].metered
+            );
+        }
+    }
+
+    #[test]
+    fn nonconvergence_is_the_typed_error() {
+        // BFS around the 6-cycle needs 4 iterations (3 levels + the
+        // confirming empty one); cap at 2.
+        let (tree, arcs, owners) = cycle_job();
+        let err = IterativeJob::bfs(arcs, owners, 0, IterativeSpec::frontier(2, 0.0))
+            .prepare(&tree)
+            .unwrap_err();
+        match err {
+            QueryError::IterationLimit {
+                limit,
+                completed,
+                residual,
+            } => {
+                assert_eq!(limit, 2);
+                assert_eq!(completed, 2);
+                assert!(residual > 0.0, "vertices were still changing");
+            }
+            other => panic!("expected IterationLimit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_jobs_are_plan_errors() {
+        let (tree, arcs, mut owners) = cycle_job();
+        let bad = IterativeJob::bfs(
+            arcs.clone(),
+            owners.clone(),
+            99,
+            IterativeSpec::jacobi(5, 0.0),
+        );
+        assert!(matches!(bad.prepare(&tree), Err(QueryError::Plan(_))));
+        owners[0] = NodeId(tree.num_nodes() as u32 - 1); // the root: not a compute node
+        let bad = IterativeJob::connected_components(arcs, owners, IterativeSpec::jacobi(5, 0.0));
+        assert!(matches!(bad.prepare(&tree), Err(QueryError::Plan(_))));
+    }
+
+    #[test]
+    fn checkpoint_spec_lands_on_iteration_barriers() {
+        let (tree, arcs, owners) = cycle_job();
+        let prepared = IterativeJob::pagerank(arcs, owners, 0.5, IterativeSpec::jacobi(50, 1e-6))
+            .prepare(&tree)
+            .unwrap();
+        assert_eq!(
+            prepared.checkpoint_spec().every,
+            prepared.rounds_per_iteration()
+        );
+        assert!(
+            prepared.rounds_per_iteration() >= 2,
+            "scatter + convergecast"
+        );
+    }
+}

@@ -86,6 +86,7 @@ pub mod context;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod iterative;
 pub mod optimizer;
 pub mod orchestrator;
 pub mod physical;
@@ -106,8 +107,14 @@ pub mod prelude {
         StrategyForce,
     };
     pub use crate::expr::{col, lit, Expr};
+    pub use crate::iterative::{
+        IterMode, IterValues, IterationCost, IterativeJob, IterativeOutcome, IterativeSpec,
+        PreparedIterative,
+    };
     pub use crate::optimizer::optimize;
-    pub use crate::orchestrator::{Backoff, Orchestrator, RetryPolicy, ScalingSpec, TenantStats};
+    pub use crate::orchestrator::{
+        Backoff, Orchestrator, RetryPolicy, ScalingSpec, ServedIterative, TenantStats,
+    };
     pub use crate::physical::strategy::{
         Candidate, CostEstimate, OperatorKind, PhysicalStrategy, StrategyRegistry,
     };
@@ -126,8 +133,12 @@ pub use exec::{
     execute, execute_on, ExecMode, ExecOptions, JoinStrategy, OperatorCost, QueryResult,
     StrategyForce,
 };
+pub use iterative::{
+    IterMode, IterValues, IterationCost, IterativeJob, IterativeOutcome, IterativeSpec,
+    PreparedIterative,
+};
 pub use orchestrator::{
-    Backoff, Orchestrator, RecoveryEvent, RetryPolicy, ScalingSpec, TenantStats,
+    Backoff, Orchestrator, RecoveryEvent, RetryPolicy, ScalingSpec, ServedIterative, TenantStats,
 };
 pub use physical::strategy::{OperatorKind, PhysicalStrategy, StrategyRegistry};
 pub use physical::{Exchange, PhysicalPlan};

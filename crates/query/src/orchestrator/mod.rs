@@ -84,7 +84,7 @@ pub mod scaling;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use tamp_runtime::{
     CheckpointSpec, CheckpointStats, CheckpointStore, ElasticPool, FaultEvent, FaultInjector,
@@ -95,8 +95,9 @@ use tamp_topology::{EdgeId, Tree};
 use crate::admission::{Priority, TenantSpec, WeightedAdmission};
 use crate::context::QueryContext;
 use crate::error::QueryError;
+use crate::iterative::{IterativeJob, IterativeOutcome};
 use crate::plan::LogicalPlan;
-use crate::service::{QueryService, ServedQuery};
+use crate::service::{QueryService, ServedQuery, ServiceStats};
 
 pub use scaling::{decide, ScaleDecision, ScalingEvent, ScalingObservation, ScalingSpec};
 
@@ -210,6 +211,22 @@ pub struct RecoveryEvent {
     pub skipped_supersteps: usize,
 }
 
+/// A served iterative fixpoint job: the [`IterativeOutcome`] (values,
+/// per-iteration cost table, metered ledger) plus the same serving
+/// telemetry a relational query gets. Iterative jobs are long
+/// multi-round batch work — declare their tenant with
+/// [`Priority::Batch`] so the weighted-fair admission keeps interactive
+/// queries ahead of them.
+#[derive(Clone, Debug)]
+pub struct ServedIterative {
+    /// The fixpoint result — bit-identical to a standalone
+    /// `PreparedIterative::run_on` of the same job.
+    pub outcome: IterativeOutcome,
+    /// Queue/plan/exec timings (`plan` covers the local fixpoint
+    /// preparation; iterative plans are never cached).
+    pub stats: ServiceStats,
+}
+
 /// Per-tenant serving report returned by [`Orchestrator::stats`].
 #[derive(Clone, Debug)]
 pub struct TenantStats {
@@ -233,6 +250,11 @@ pub struct TenantStats {
     pub supersteps_skipped: u64,
     /// Served queries whose plan came from the cache.
     pub cache_hits: u64,
+    /// Iterative jobs rejected because their fixpoint failed to converge
+    /// within `max_iters` ([`QueryError::IterationLimit`]). These are
+    /// deterministic non-convergences, not faults: they are never
+    /// retried.
+    pub iteration_limits: u64,
     /// Queries currently queued.
     pub queued_now: usize,
     /// Queries currently executing.
@@ -261,6 +283,7 @@ struct TenantTimings {
     timeouts: u64,
     supersteps_skipped: u64,
     cache_hits: u64,
+    iteration_limits: u64,
     max_waited_grants: u64,
 }
 
@@ -586,6 +609,141 @@ impl Orchestrator {
         outcome
     }
 
+    /// Serve one iterative fixpoint job (see [`crate::iterative`]) on
+    /// behalf of `tenant`, through the same control plane as relational
+    /// queries: weighted-fair admission → scaling tick → local fixpoint
+    /// preparation → schedule replay on the serving backend, with replay
+    /// recovery if an injected fault kills the run. With checkpointing
+    /// enabled (`OrchestratorBuilder::checkpoints` at the job's
+    /// `rounds_per_iteration`), a killed fixpoint resumes from the last
+    /// iteration barrier instead of round 0.
+    ///
+    /// Iterative jobs are multi-round batch work: admit them under a
+    /// [`Priority::Batch`] tenant so interactive queries keep jumping
+    /// the queue. A fixpoint that does not converge surfaces as
+    /// [`QueryError::IterationLimit`] — counted in the tenant's
+    /// [`TenantStats::iteration_limits`], never retried (replay would
+    /// re-diverge identically).
+    pub fn serve_iterative(
+        &self,
+        tenant: &str,
+        job: &IterativeJob,
+    ) -> Result<ServedIterative, QueryError> {
+        let tenant_ix = self
+            .specs
+            .iter()
+            .position(|s| s.name == tenant)
+            .ok_or_else(|| QueryError::UnknownTenant(tenant.to_string()))?;
+        let grant = self.admission.acquire(tenant)?;
+        let _slot = SlotGuard {
+            admission: &self.admission,
+            tenant,
+        };
+        {
+            let mut timings = lock_ok(&self.timings);
+            let t = &mut timings[tenant_ix];
+            t.max_waited_grants = t.max_waited_grants.max(grant.waited_grants);
+        }
+        self.scale_tick(grant.queued);
+
+        // Prepare once: the whole fixpoint is computed locally and
+        // deterministically, so every recovery attempt replays the exact
+        // same schedule (the same pinning argument as `serve_as`).
+        let plan_start = Instant::now();
+        let prepared = match job.prepare(self.service.context().tree()) {
+            Ok(p) => p,
+            Err(e) => {
+                if matches!(e, QueryError::IterationLimit { .. }) {
+                    lock_ok(&self.timings)[tenant_ix].iteration_limits += 1;
+                }
+                // Drop any chaos plan armed for this job with the job.
+                self.injector.clear_armed();
+                return Err(e);
+            }
+        };
+        let plan_time = plan_start.elapsed();
+
+        let backend = self.service.backend();
+        let mut attempt = 1u32;
+        let exec_start = Instant::now();
+        let outcome = loop {
+            match prepared.run_on(self.service.context().tree(), backend) {
+                Err(e) if e.is_recoverable() => {
+                    if matches!(e, QueryError::SuperstepTimeout { .. }) {
+                        self.pending_timeouts.fetch_add(1, Ordering::Relaxed);
+                        lock_ok(&self.timings)[tenant_ix].timeouts += 1;
+                    }
+                    lock_ok(&self.recoveries).push(RecoveryEvent {
+                        tenant: tenant.to_string(),
+                        ticket: grant.ticket,
+                        fault: fault_event_of(&e, self.service.context().tree()),
+                        attempt,
+                        resumed_from: None,
+                        replayed_supersteps: None,
+                        skipped_supersteps: 0,
+                    });
+                    if attempt >= self.retry.max_attempts {
+                        self.injector.clear_armed();
+                        break Err(QueryError::RecoveryExhausted {
+                            attempts: attempt,
+                            last: Box::new(e),
+                        });
+                    }
+                    let delay = self.retry.backoff.delay(attempt);
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                    attempt += 1;
+                    continue;
+                }
+                Err(e) => {
+                    self.injector.clear_armed();
+                    break Err(e);
+                }
+                Ok(outcome) => break Ok(outcome),
+            }
+        };
+        let exec_time = exec_start.elapsed();
+
+        match outcome {
+            Ok(outcome) => {
+                if attempt > 1 {
+                    let resumed = outcome.resumed_from;
+                    let skipped = resumed.unwrap_or(0);
+                    let mut recs = lock_ok(&self.recoveries);
+                    if let Some(last) = recs
+                        .iter_mut()
+                        .rev()
+                        .find(|r| r.ticket == grant.ticket && r.tenant == tenant)
+                    {
+                        last.resumed_from = resumed;
+                        last.replayed_supersteps = Some(outcome.supersteps - skipped);
+                        last.skipped_supersteps = skipped;
+                    }
+                    lock_ok(&self.timings)[tenant_ix].supersteps_skipped += skipped as u64;
+                }
+                let mut timings = lock_ok(&self.timings);
+                let t = &mut timings[tenant_ix];
+                t.served += 1;
+                t.recovered += u64::from(attempt > 1);
+                t.queue_us.push(grant.queued.as_micros() as u64);
+                t.plan += plan_time;
+                t.exec += exec_time;
+                Ok(ServedIterative {
+                    outcome,
+                    stats: ServiceStats {
+                        ticket: grant.ticket,
+                        queued: grant.queued,
+                        plan: plan_time,
+                        exec: exec_time,
+                        cache_hit: false,
+                    },
+                })
+            }
+            Err(e) => Err(e),
+        }
+    }
+
     /// One pass of the autoscaling control loop (runs between a query's
     /// admission and its execution — never on the execution hot path of
     /// an already-running query).
@@ -728,6 +886,7 @@ impl Orchestrator {
                     timeouts: t.timeouts,
                     supersteps_skipped: t.supersteps_skipped,
                     cache_hits: t.cache_hits,
+                    iteration_limits: t.iteration_limits,
                     queued_now: adm.queued,
                     running_now: adm.running,
                     queue_p50: percentile(&sorted, 50),
@@ -785,7 +944,7 @@ mod tests {
     use crate::plan::AggFunc;
     use crate::schema::Schema;
     use crate::table::DistributedTable;
-    use tamp_topology::builders;
+    use tamp_topology::{builders, NodeId};
 
     fn ctx() -> QueryContext {
         let tree = builders::star(4, 1.0);
@@ -1098,5 +1257,80 @@ mod tests {
         assert_eq!(percentile(&us, 99), Duration::from_micros(99));
         assert_eq!(percentile(&us, 100), Duration::from_micros(100));
         assert_eq!(percentile(&[7], 99), Duration::from_micros(7));
+    }
+
+    /// A 6-cycle over the star's leaves (every vertex pair of adjacent
+    /// owners exchanges), usable against the `ctx()` topology.
+    fn cycle_graph(ctx: &QueryContext) -> (Vec<(u64, u64)>, Vec<NodeId>) {
+        let vc = ctx.tree().compute_nodes().to_vec();
+        let n = 6u64;
+        let mut arcs = Vec::new();
+        for u in 0..n {
+            arcs.push((u, (u + 1) % n));
+            arcs.push(((u + 1) % n, u));
+        }
+        let owners = (0..n).map(|u| vc[(u % 3) as usize]).collect();
+        (arcs, owners)
+    }
+
+    #[test]
+    fn serves_iterative_jobs_as_batch_sessions() {
+        let c = ctx();
+        let (arcs, owners) = cycle_graph(&c);
+        let job = IterativeJob::bfs(
+            arcs,
+            owners,
+            0,
+            crate::iterative::IterativeSpec::frontier(10, 0.0),
+        );
+        let want = job.prepare(c.tree()).unwrap();
+
+        let orch = Orchestrator::builder(ctx())
+            .tenant(TenantSpec::new("graphs", 1, 4).with_priority(Priority::Batch))
+            .build()
+            .unwrap();
+        assert!(matches!(
+            orch.serve_iterative("nobody", &job),
+            Err(QueryError::UnknownTenant(_))
+        ));
+        let served = orch.serve_iterative("graphs", &job).unwrap();
+        // Bit-identical to a standalone run of the same prepared job.
+        let standalone = want.run(c.tree()).unwrap();
+        assert_eq!(served.outcome.values, standalone.values);
+        assert_eq!(served.outcome.cost.edge_totals, standalone.cost.edge_totals);
+        assert!(!served.stats.cache_hit, "iterative plans are never cached");
+        let stats = orch.stats();
+        assert_eq!(stats[0].served, 1);
+        assert_eq!(stats[0].priority, Priority::Batch);
+        assert_eq!(stats[0].iteration_limits, 0);
+    }
+
+    #[test]
+    fn iteration_limits_roll_up_per_tenant() {
+        let c = ctx();
+        let (arcs, owners) = cycle_graph(&c);
+        // BFS around the cycle needs 4 iterations; cap at 1.
+        let job = IterativeJob::bfs(
+            arcs,
+            owners,
+            0,
+            crate::iterative::IterativeSpec::frontier(1, 0.0),
+        );
+        let orch = Orchestrator::builder(ctx())
+            .tenant(TenantSpec::new("graphs", 1, 4).with_priority(Priority::Batch))
+            .build()
+            .unwrap();
+        let err = orch.serve_iterative("graphs", &job).unwrap_err();
+        assert!(matches!(err, QueryError::IterationLimit { limit: 1, .. }));
+        let err = orch.serve_iterative("graphs", &job).unwrap_err();
+        assert!(matches!(err, QueryError::IterationLimit { .. }));
+        let stats = orch.stats();
+        assert_eq!(stats[0].iteration_limits, 2);
+        assert_eq!(stats[0].served, 0, "non-converged jobs are not served");
+        assert_eq!(
+            orch.recovery_events().len(),
+            0,
+            "non-convergence is not a fault and is never retried"
+        );
     }
 }

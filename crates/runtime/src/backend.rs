@@ -146,6 +146,16 @@ pub trait ExecJob {
     fn checkpoint_token(&self) -> Option<u64> {
         None
     }
+
+    /// The job's statically known superstep count, if it has one.
+    /// Schedule-replay jobs run exactly their schedule's length, so the
+    /// cluster backend raises its runaway cap
+    /// ([`ClusterOptions::max_supersteps`]) to cover the declared replay
+    /// — a long prepared fixpoint is not a non-halting program. The
+    /// default `None` leaves the cap as configured.
+    fn superstep_hint(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// An execution engine for [`ExecJob`]s.
@@ -386,11 +396,19 @@ impl ExecBackend for PooledClusterBackend {
             }),
             _ => None,
         };
+        // A job that declares its superstep count gets room for it: the
+        // runaway cap protects against non-halting programs, not against
+        // legitimately long declared-finite replays. +1 covers the
+        // terminal silent superstep that detects quiescence.
+        let mut options = self.options;
+        if let Some(hint) = job.superstep_hint() {
+            options.max_supersteps = options.max_supersteps.max(hint + 1);
+        }
         let run = run_programs(
             tree,
             placement,
             programs,
-            self.options,
+            options,
             RunHooks {
                 pool: crew.as_deref(),
                 fault: self.injector.as_deref(),

@@ -62,6 +62,17 @@ impl CheckpointSpec {
             every: every.max(1),
         }
     }
+
+    /// Snapshot cadence for fixpoint jobs whose schedule repeats a
+    /// constant block of `rounds_per_iteration` rounds per iteration
+    /// (the iterative driver's shape): with `every =
+    /// rounds_per_iteration`, every snapshot lands exactly on an
+    /// iteration barrier, so a killed run resumes from the last
+    /// *completed iteration* — never mid-iteration — and the resume
+    /// superstep is always a multiple of the iteration length.
+    pub fn at_iteration_barriers(rounds_per_iteration: usize) -> Self {
+        CheckpointSpec::every(rounds_per_iteration)
+    }
 }
 
 /// A consistent cut of one cluster run at a superstep barrier.

@@ -187,6 +187,12 @@ impl ExecJob for ScheduleJob {
     fn checkpoint_token(&self) -> Option<u64> {
         Some(self.token)
     }
+
+    /// A replay halts after exactly one superstep per schedule round
+    /// (plus the engine's terminal barrier).
+    fn superstep_hint(&self) -> Option<usize> {
+        Some(self.schedule.rounds.len())
+    }
 }
 
 /// Centralized replay: one [`Session`] round per schedule round.
@@ -341,5 +347,27 @@ mod tests {
             );
         }
         check_parity(&tree, &p, &weighted_terasort(7));
+    }
+
+    #[test]
+    fn long_schedule_replay_outlives_the_default_runaway_cap() {
+        // A declared-finite replay longer than the cluster's default
+        // `max_supersteps` (64) must run to completion, not be aborted
+        // as non-halting: `superstep_hint` raises the cap for it.
+        let tree = builders::star(3, 1.0);
+        let vc = tree.compute_nodes().to_vec();
+        let rounds: Vec<Vec<ScheduleSend>> = (0..80u64)
+            .map(|r| {
+                vec![ScheduleSend {
+                    src: vc[(r % 3) as usize],
+                    dsts: vec![vc[((r + 1) % 3) as usize]],
+                    rel: Rel::R,
+                    values: vec![r].into(),
+                }]
+            })
+            .collect();
+        let job = ScheduleJob::new("long-replay", tree.num_nodes(), Schedule { rounds });
+        assert_eq!(job.superstep_hint(), Some(80));
+        check_parity(&tree, &Placement::empty(&tree), &job);
     }
 }

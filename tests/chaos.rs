@@ -20,6 +20,7 @@ use tamp::query::prelude::*;
 use tamp::query::QueryError;
 use tamp::runtime::FaultPlan;
 use tamp::topology::builders;
+use tamp::workloads::{GraphSpec, PlacementStrategy, VertexPartition};
 
 fn chaos_context() -> QueryContext {
     let tree = builders::star(6, 1.0);
@@ -145,6 +146,66 @@ proptest! {
         );
         prop_assert_eq!(orch.fault_events().len(), fired);
     }
+}
+
+#[test]
+fn killed_pagerank_resumes_from_the_last_iteration_checkpoint() {
+    // An iterative job checkpointed at its iteration barriers
+    // (`checkpoints(rounds_per_iteration)` ≡
+    // `CheckpointSpec::at_iteration_barriers`): a worker killed
+    // mid-fixpoint resumes from the last completed iteration, replays
+    // strictly fewer supersteps than a from-scratch run, and still lands
+    // on bit-identical final ranks and ledger.
+    let c = chaos_context();
+    let tree = c.tree().clone();
+    let g = GraphSpec::power_law(80, 420, 1.0).generate(9);
+    let owners = VertexPartition::Blocked(PlacementStrategy::Uniform).owners(&tree, &g, 9);
+    let job = IterativeJob::pagerank(
+        g.arcs().to_vec(),
+        owners,
+        0.5,
+        IterativeSpec::jacobi(30, 1e-3),
+    );
+
+    // Fault-free reference, and the job's iteration geometry.
+    let prepared = job.prepare(&tree).unwrap();
+    let rpi = prepared.rounds_per_iteration();
+    assert!(prepared.iterations() >= 3, "scenario needs a real fixpoint");
+    let reference = prepared.run(&tree).unwrap();
+
+    let orch = Orchestrator::builder(chaos_context())
+        .tenant(TenantSpec::new("graphs", 1, 4).with_priority(Priority::Batch))
+        .checkpoints(rpi)
+        .build()
+        .unwrap();
+    // Kill mid-second-iteration: the first iteration barrier is already
+    // snapshotted when the worker dies.
+    let victim = tree.compute_nodes()[1];
+    orch.inject_faults(FaultPlan::new().kill_worker(victim, rpi + 1))
+        .unwrap();
+
+    let served = orch.serve_iterative("graphs", &job).unwrap();
+    assert_eq!(served.outcome.values, reference.values, "ranks diverged");
+    assert_eq!(served.outcome.cost.edge_totals, reference.cost.edge_totals);
+    assert_eq!(served.outcome.iterations, reference.iterations);
+
+    // Exactly one recovery, resumed from an iteration barrier.
+    let recs = orch.recovery_events();
+    assert_eq!(recs.len(), 1);
+    let from = recs[0].resumed_from.expect("resumed from a checkpoint");
+    assert!(
+        from > 0 && from.is_multiple_of(rpi),
+        "resume superstep {from} is not an iteration barrier (rpi {rpi})"
+    );
+    assert_eq!(recs[0].skipped_supersteps, from);
+    let replayed = recs[0].replayed_supersteps.expect("successful replay");
+    assert!(
+        replayed < served.outcome.supersteps,
+        "replay must skip the checkpointed prefix ({replayed} vs {})",
+        served.outcome.supersteps
+    );
+    let cp = orch.checkpoint_stats().unwrap();
+    assert_eq!((cp.saved, cp.resumed, cp.retained), (1, 1, 0));
 }
 
 #[test]

@@ -11,7 +11,8 @@ use proptest::prelude::*;
 use tamp::query::prelude::*;
 use tamp::query::reference;
 use tamp::runtime::{backend_from_spec, PooledClusterBackend};
-use tamp::topology::builders;
+use tamp::topology::{builders, Tree};
+use tamp::workloads::{GraphSpec, PlacementStrategy, VertexPartition};
 
 fn make_context(tree_pick: u8, fact_rows: u64, groups: u64, skew_percent: u8) -> QueryContext {
     let tree = match tree_pick % 4 {
@@ -351,6 +352,68 @@ proptest! {
                 prop_assert_eq!(cluster.rounds, tuple.rounds);
             }
         }
+    }
+}
+
+fn parity_tree(tree_pick: u8) -> Tree {
+    match tree_pick % 4 {
+        0 => builders::star(4, 1.0),
+        1 => builders::heterogeneous_star(&[0.5, 2.0, 4.0, 4.0, 8.0]),
+        2 => builders::rack_tree(&[(3, 1.0, 2.0), (2, 2.0, 1.0)], 1.0),
+        _ => builders::caterpillar(3, 2, 1.5),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Iterative fixpoint jobs — PageRank (Jacobi), BFS and connected
+    /// components (frontier/delta) — replay their prepared
+    /// width-invariant schedule bit-identically on both backends: same
+    /// `edge_totals`, same per-iteration metered costs, same converged
+    /// values. The cluster adds exactly its one terminal barrier
+    /// superstep.
+    #[test]
+    fn iterative_jobs_are_backend_identical(
+        tree_pick in 0u8..4,
+        graph_pick in 0u8..3,
+        part_pick in 0u8..3,
+        algo_pick in 0u8..3,
+        seed in 0u64..100,
+    ) {
+        let tree = parity_tree(tree_pick);
+        let spec = match graph_pick % 3 {
+            0 => GraphSpec::uniform(40, 140),
+            1 => GraphSpec::power_law(48, 200, 1.1),
+            _ => GraphSpec::grid(6, 7),
+        };
+        let g = spec.generate(seed);
+        let part = match part_pick % 3 {
+            0 => VertexPartition::Hash,
+            1 => VertexPartition::Blocked(PlacementStrategy::Uniform),
+            _ => VertexPartition::Blocked(PlacementStrategy::ProportionalToBandwidth),
+        };
+        let owners = part.owners(&tree, &g, seed);
+        let job = match algo_pick % 3 {
+            0 => IterativeJob::pagerank(
+                g.arcs().to_vec(), owners, 0.5, IterativeSpec::jacobi(30, 1e-3),
+            ),
+            1 => IterativeJob::bfs(
+                g.arcs().to_vec(), owners, 0, IterativeSpec::frontier(64, 0.0),
+            ),
+            _ => IterativeJob::connected_components(
+                g.arcs().to_vec(), owners, IterativeSpec::frontier(64, 0.0),
+            ),
+        };
+        let prepared = job.prepare(&tree).unwrap();
+        let sim = prepared.run(&tree).unwrap();
+        let cluster = prepared.run_on(&tree, &PooledClusterBackend::default()).unwrap();
+
+        prop_assert_eq!(&sim.cost.edge_totals, &cluster.cost.edge_totals);
+        prop_assert_eq!(&sim.iterations, &cluster.iterations);
+        prop_assert_eq!(&sim.values, &cluster.values);
+        prop_assert_eq!(sim.rounds, cluster.rounds);
+        prop_assert_eq!(cluster.supersteps, sim.supersteps + 1);
     }
 }
 
