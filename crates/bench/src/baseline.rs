@@ -81,7 +81,8 @@ fn median(xs: &mut [f64]) -> f64 {
     if xs.is_empty() {
         return f64::NAN;
     }
-    xs.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+    // Total order (lint rule F1): a NaN cell must not panic the sort.
+    xs.sort_unstable_by(|a, b| a.total_cmp(b));
     let n = xs.len();
     if n % 2 == 1 {
         xs[n / 2]

@@ -814,6 +814,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "abl-drift",
     "x-uneq-tree",
     "x-iter",
+    "x-lint",
 ];
 
 /// Run one experiment by id.
@@ -849,6 +850,7 @@ pub fn run_experiment(id: &str) -> Option<Vec<Table>> {
         "abl-drift" => crate::extensions::abl_drift(),
         "x-uneq-tree" => crate::extensions::x_unequal_tree(),
         "x-iter" => crate::xiter::x_iter(),
+        "x-lint" => crate::xlint::x_lint(),
         _ => return None,
     })
 }

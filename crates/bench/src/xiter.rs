@@ -23,7 +23,7 @@
 //!    arcs ship.
 //!
 //! Plus the frontier axis: BFS from the power-law hub in
-//! [`IterMode::FrontierDelta`] must show **strictly decreasing**
+//! [`IterMode::FrontierDelta`](tamp_query::iterative::IterMode::FrontierDelta) must show **strictly decreasing**
 //! per-iteration exchange volume — the level sets shrink, and each
 //! iteration's estimate is re-priced from the previous iteration's
 //! metered cardinalities. Both gates run on the simulator backend;

@@ -1,0 +1,34 @@
+// Fixture: D1 — unordered hash iteration in a schedule-emission module.
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+fn emit(sends: &HashMap<u32, Vec<u64>>) {
+    for (dst, rows) in sends.iter() {
+        send(*dst, rows.len());
+    }
+    for dst in sends.keys() {
+        send(*dst, 0);
+    }
+}
+
+fn emit_direct(pending: HashSet<u32>) {
+    // The bare for-loop form (no explicit `.iter()`) must fire too.
+    for dst in pending {
+        send(dst, 0);
+    }
+}
+
+fn sanctioned(sends: HashMap<u32, Vec<u64>>) -> Vec<(u32, usize)> {
+    // Routing through a sorted collect in the same statement is the fix.
+    let ordered: BTreeMap<u32, Vec<u64>> = sends.into_iter().collect();
+    let turbofish = ordered
+        .iter()
+        .map(|(d, r)| (*d, r.len()))
+        .collect::<Vec<_>>();
+    turbofish
+}
+
+fn also_sanctioned(sends: HashMap<u32, u64>) -> usize {
+    sends.into_iter().collect::<BTreeMap<_, _>>().len()
+}
+
+fn send(_dst: u32, _n: usize) {}

@@ -1,0 +1,24 @@
+// Fixture: D2 — wall-clock, thread-identity, and env reads in a
+// result-affecting module. Every one of these can change an answer
+// between two replays of the same prepared schedule.
+
+fn observe() -> u64 {
+    let t = std::time::Instant::now();
+    let _ = t.elapsed();
+    let s = std::time::SystemTime::now();
+    let _ = s;
+    7
+}
+
+fn who_am_i() -> String {
+    format!("{:?}", std::thread::current().id())
+}
+
+fn config_from_env() -> Option<String> {
+    std::env::var("TAMP_SEED").ok()
+}
+
+fn deterministic_ok(steps: u64) -> u64 {
+    // Logical time derived from the schedule itself is fine.
+    steps * 2
+}

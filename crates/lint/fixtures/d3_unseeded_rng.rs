@@ -1,0 +1,20 @@
+// Fixture: D3 — unseeded randomness outside compat/test code.
+
+fn jitter() -> u64 {
+    let mut r = rand::thread_rng();
+    r.next_u64()
+}
+
+fn fresh() -> StdRng {
+    StdRng::from_entropy()
+}
+
+fn os_backed() -> StdRng {
+    let src = OsRng;
+    StdRng::from_rng(src)
+}
+
+fn seeded_ok(seed: u64) -> StdRng {
+    // Explicit seeds keep every replay on the same stream.
+    StdRng::seed_from_u64(seed)
+}

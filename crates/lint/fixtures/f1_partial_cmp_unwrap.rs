@@ -1,0 +1,23 @@
+// Fixture: F1 — `.partial_cmp(..).unwrap()` on float costs panics the
+// first time a NaN sneaks into an estimate; use `total_cmp`.
+
+fn pick_worst(costs: &mut [f64]) -> f64 {
+    costs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    costs[0]
+}
+
+fn pick_best(costs: &mut [f64]) -> f64 {
+    costs.sort_by(|a, b| b.partial_cmp(a).expect("finite costs"));
+    costs[0]
+}
+
+fn pick_total(costs: &mut [f64]) -> f64 {
+    // The fix: a total order that sorts NaN instead of panicking.
+    costs.sort_by(|a, b| a.total_cmp(b));
+    costs[0]
+}
+
+fn defaulted(a: f64, b: f64) -> std::cmp::Ordering {
+    // Explicitly handling the None case is fine.
+    a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal)
+}

@@ -1,0 +1,33 @@
+//! Fixture: lexer edge cases — every marker below sits inside a string,
+//! comment, or attribute, so nothing may fire. `Instant::now()`,
+//! `HashMap::iter()`, and `thread_rng()` in doc comments are prose.
+
+// A plain comment mentioning SystemTime::now() and std::env::var("X").
+
+#[doc = "Attribute strings: Instant::now(), thread_rng(), unsafe { }"]
+fn strings_and_comments() -> usize {
+    let plain = "Instant::now() and sends.iter() inside a string";
+    let escaped = "a \"quoted\" partial_cmp(x).unwrap() marker";
+    let raw = r#"thread_rng() and "nested quotes" and OsRng"#;
+    let deep = r##"raw with # inside: SystemTime::now() r#"not a start"#"##;
+    let bytes = b"env::var bytes with from_entropy()";
+    let byte_raw = br#"unsafe { *p } in a byte-raw string"#;
+    /* block comment: StdRng::from_entropy()
+       /* nested block: for (k, v) in sends.iter() {} */
+       still inside the outer comment: Instant::now() */
+    let ch = '"';
+    let hash_char = '#';
+    let lifetime: &'static str = "SystemTime in a plain string";
+    let multi = "a string
+        that spans lines and mentions thread::current().id()";
+    plain.len()
+        + escaped.len()
+        + raw.len()
+        + deep.len()
+        + bytes.len()
+        + byte_raw.len()
+        + multi.len()
+        + (ch as usize)
+        + (hash_char as usize)
+        + lifetime.len()
+}

@@ -1,0 +1,25 @@
+// Fixture: S1 — every `unsafe` block or impl carries a `// SAFETY:`
+// rationale on the preceding comment block (or the same line).
+
+fn deref_bad(p: *const u64) -> u64 {
+    unsafe { *p }
+}
+
+struct Handle(*mut u8);
+
+unsafe impl Send for Handle {}
+
+fn deref_ok(p: *const u64) -> u64 {
+    // SAFETY: callers hand us a pointer into the arena, which outlives
+    // this call by construction.
+    unsafe { *p }
+}
+
+struct Token(u64);
+
+// SAFETY: Token is a plain integer id; no thread affinity.
+unsafe impl Sync for Token {}
+
+fn trailing_ok(p: *const u64) -> u64 {
+    unsafe { *p } // SAFETY: p is checked non-null by the caller.
+}

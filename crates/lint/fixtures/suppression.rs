@@ -1,0 +1,26 @@
+// Fixture: the suppression grammar — a live allow with a reason, a
+// reasonless allow (A0), an unknown rule id (A0), and an allow that
+// suppresses nothing (A1).
+use std::collections::HashMap;
+
+fn good_allow(m: &HashMap<u32, u32>) -> u32 {
+    // lint: allow(D1) — fixture: the caller folds with a commutative
+    // sum, so emission order cannot reach the answer.
+    m.values().sum()
+}
+
+fn reasonless(m: &HashMap<u32, u32>) -> u32 {
+    // lint: allow(D1)
+    m.values().sum()
+}
+
+fn unknown_rule() -> u32 {
+    // lint: allow(Q9) — no such rule.
+    42
+}
+
+fn unused_allow() -> u64 {
+    // lint: allow(D2) — nothing below reads a clock.
+    let steps = 7;
+    steps * 2
+}

@@ -1,0 +1,35 @@
+// Fixture: rules D1–F1 are muted inside `#[cfg(test)]` modules; S1 is
+// not (an unjustified unsafe block in a test is still unjustified).
+use std::collections::HashMap;
+
+fn live(m: &HashMap<u32, u32>) -> u32 {
+    let mut total = 0;
+    for v in m.values() {
+        total += v;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_free_sum() {
+        let mut m = HashMap::new();
+        m.insert(1u32, 2u32);
+        // Unordered iteration in a test asserting an order-free fold.
+        let total: u32 = m.values().sum();
+        assert_eq!(total, 2);
+        let t = std::time::Instant::now();
+        assert!(t.elapsed().as_secs() < 60);
+    }
+
+    #[test]
+    fn still_needs_safety() {
+        let x = 5u64;
+        let p = &x as *const u64;
+        let y = unsafe { *p };
+        assert_eq!(y, 5);
+    }
+}

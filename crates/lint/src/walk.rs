@@ -1,0 +1,35 @@
+//! Deterministic workspace file discovery (std-only).
+
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 3] = ["target", ".git", "fixtures"];
+
+/// Every `.rs` file under `root`, in sorted order (so reports and the
+/// tier-1 test are byte-stable across filesystems). Skips build output
+/// (`target/`), VCS internals, and the lint's own known-bad `fixtures/`
+/// corpus.
+pub fn rust_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    collect(root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if entry.file_type()?.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

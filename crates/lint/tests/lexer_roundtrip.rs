@@ -1,0 +1,214 @@
+//! Lexer coverage: edge-case unit tests plus a lex-then-rejoin
+//! roundtrip property. The lexer is *total-cover* — every byte of the
+//! source lands in exactly one token — so `rejoin()` must reproduce the
+//! input byte-for-byte on any input, including pathological ones.
+
+use proptest::prelude::*;
+use tamp_lint::lexer::{Lexed, Tok, TokKind};
+
+fn roundtrip(src: &str) -> Lexed<'_> {
+    let lexed = Lexed::lex(src);
+    assert_eq!(lexed.rejoin(), src, "rejoin diverged for {src:?}");
+    // Total cover: contiguous, in-order spans from 0 to len.
+    let toks: &[Tok] = lexed.toks();
+    let mut cursor = 0usize;
+    for t in toks {
+        assert_eq!(
+            t.start, cursor,
+            "gap before token at {} in {src:?}",
+            t.start
+        );
+        assert!(t.end >= t.start);
+        cursor = t.end;
+    }
+    assert_eq!(cursor, src.len(), "tokens do not cover {src:?}");
+    lexed
+}
+
+fn kinds(lexed: &Lexed<'_>) -> Vec<TokKind> {
+    lexed
+        .toks()
+        .iter()
+        .filter(|t| t.kind != TokKind::Whitespace)
+        .map(|t| t.kind)
+        .collect()
+}
+
+#[test]
+fn nested_block_comments_are_one_token() {
+    let src = "a /* outer /* inner */ still outer */ b";
+    let lexed = roundtrip(src);
+    assert_eq!(
+        kinds(&lexed),
+        vec![TokKind::Ident, TokKind::BlockComment, TokKind::Ident]
+    );
+}
+
+#[test]
+fn raw_strings_any_hash_depth() {
+    for src in [
+        r####"let x = r"plain raw";"####,
+        r####"let x = r#"one "quoted" hash"#;"####,
+        r####"let x = r##"r#"inner opener ignored"# still"##;"####,
+        "let x = br#\"byte raw\"#;",
+    ] {
+        let lexed = roundtrip(src);
+        assert!(
+            lexed.toks().iter().any(|t| t.kind == TokKind::RawStrLit),
+            "no raw string token in {src:?}"
+        );
+        // Nothing inside the raw string leaks out as an ident.
+        assert!(
+            !lexed
+                .toks()
+                .iter()
+                .any(|t| t.kind == TokKind::Ident && lexed.text(t) == "inner"),
+            "raw string body leaked into idents for {src:?}"
+        );
+    }
+}
+
+#[test]
+fn lifetimes_are_not_char_literals() {
+    let src = "fn f<'a>(x: &'a str, c: char) -> &'static str { let y = 'q'; x }";
+    let lexed = roundtrip(src);
+    let lifetimes: Vec<&str> = lexed
+        .toks()
+        .iter()
+        .filter(|t| t.kind == TokKind::Lifetime)
+        .map(|t| lexed.text(t))
+        .collect();
+    assert_eq!(lifetimes, vec!["'a", "'a", "'static"]);
+    let chars: Vec<&str> = lexed
+        .toks()
+        .iter()
+        .filter(|t| t.kind == TokKind::CharLit)
+        .map(|t| lexed.text(t))
+        .collect();
+    assert_eq!(chars, vec!["'q'"]);
+}
+
+#[test]
+fn escapes_and_quotes_in_literals() {
+    for src in [
+        r#"let s = "escaped \" quote and \\ backslash";"#,
+        r#"let c = '\''; let d = '"'; let e = '\\';"#,
+        r#"let b = b"bytes \" here";"#,
+        "let s = \"multi\nline\nstring\"; let after = 1;",
+    ] {
+        roundtrip(src);
+    }
+}
+
+#[test]
+fn multiline_string_line_numbers_keep_counting() {
+    let src = "let s = \"a\nb\nc\";\nlet t = 1;";
+    let lexed = roundtrip(src);
+    let t_tok = lexed
+        .toks()
+        .iter()
+        .find(|t| t.kind == TokKind::Ident && lexed.text(t) == "t")
+        .expect("ident t");
+    // The string spans lines 1-3, so `let t` sits on line 4.
+    assert_eq!(t_tok.line, 4);
+    assert_eq!(lexed.line_text(4), "let t = 1;");
+}
+
+#[test]
+fn doc_comments_and_attributes_lex_cleanly() {
+    let src = "//! inner doc\n/// outer doc with \"quote\n#[doc = \"attr string\"]\nfn f() {}\n";
+    let lexed = roundtrip(src);
+    let comments = lexed
+        .toks()
+        .iter()
+        .filter(|t| t.kind == TokKind::LineComment)
+        .count();
+    assert_eq!(comments, 2);
+}
+
+#[test]
+fn raw_identifiers_and_numbers() {
+    for src in [
+        "let r#match = 5; let x = r#match + 1;",
+        "let a = 1.5e-3; let b = 0xFF; let c = 1_000_000u64; let d = 1..2;",
+        "let tricky = 1.f64_method_not_a_float;",
+    ] {
+        roundtrip(src);
+    }
+}
+
+#[test]
+fn unterminated_constructs_still_cover_source() {
+    // Malformed input must not panic or drop bytes: the open construct
+    // just runs to end-of-file.
+    for src in [
+        "let s = \"never closed",
+        "let r = r#\"never closed",
+        "/* never closed /* nested",
+        "let c = '",
+        "r#",
+    ] {
+        roundtrip(src);
+    }
+}
+
+#[test]
+fn every_workspace_file_roundtrips() {
+    // The strongest corpus we have is the codebase itself.
+    let root = tamp_lint::workspace_root();
+    let files = tamp_lint::walk::rust_files(&root).expect("walk workspace");
+    assert!(files.len() > 100, "workspace walk found too few files");
+    for path in files {
+        let src = std::fs::read_to_string(&path).expect("read source");
+        let lexed = Lexed::lex(&src);
+        assert_eq!(lexed.rejoin(), src, "rejoin diverged for {path:?}");
+    }
+}
+
+/// Vocabulary of source fragments for the random-composition property.
+/// Deliberately adversarial: quote-bearing comments, comment-bearing
+/// strings, raw strings with hashes, lifetimes next to chars.
+const FRAGMENTS: &[&str] = &[
+    "fn f() {}",
+    "let x = 1;",
+    "// line comment with \" quote and /* opener\n",
+    "/* block /* nested */ with \"quote\" */",
+    "\"string with // comment and /* block */ inside\"",
+    "r#\"raw with \" and # inside\"#",
+    "r##\"deeper \"# raw\"##",
+    "b\"bytes\"",
+    "br#\"raw bytes\"#",
+    "'x'",
+    "'\\''",
+    "'a",
+    "&'static str",
+    "1.5e-3",
+    "0xDEAD_BEEF",
+    "#[derive(Debug)]",
+    "#[doc = \"Instant::now()\"]",
+    "r#match",
+    "ident_with_underscores",
+    "::<>{}[]()",
+    ".partial_cmp(x).unwrap()",
+    "\n\n    ",
+    "\t",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn random_fragment_compositions_roundtrip(
+        picks in proptest::collection::vec(0usize..23, 0..12),
+        sep in 0usize..3,
+    ) {
+        let sep = [" ", "\n", ""][sep];
+        let src: String = picks
+            .iter()
+            .map(|&i| FRAGMENTS[i])
+            .collect::<Vec<_>>()
+            .join(sep);
+        let lexed = Lexed::lex(&src);
+        prop_assert_eq!(lexed.rejoin(), src);
+    }
+}

@@ -133,6 +133,8 @@ pub(crate) fn broadcast_small(
 /// `HashMap` directly would emit sends in `RandomState` order, which
 /// differs per map instance.
 pub(crate) fn drain_sorted<K: Ord, V>(map: HashMap<K, V>) -> Vec<(K, V)> {
+    // lint: allow(D1) — this IS the sanctioned route: the unordered
+    // drain is re-sorted on the next line, which is the whole contract.
     let mut entries: Vec<(K, V)> = map.into_iter().collect();
     entries.sort_by(|a, b| a.0.cmp(&b.0));
     entries

@@ -787,10 +787,10 @@ impl StrategyRegistry {
                     // break on the strategy *name*, not on registration
                     // order or platform-dependent float quirks, so
                     // EXPLAIN output and the `x-strategy` tables are
-                    // stable everywhere.
+                    // stable everywhere. `total_cmp` (lint rule F1)
+                    // keeps a NaN estimate from panicking mid-plan.
                     a.tuple_cost
-                        .partial_cmp(&b.tuple_cost)
-                        .expect("estimates are finite")
+                        .total_cmp(&b.tuple_cost)
                         .then_with(|| sa.name().cmp(sb.name()))
                 })
                 .expect("at least one candidate"),

@@ -261,9 +261,11 @@ impl Graph {
         impl Eq for Item {}
         impl Ord for Item {
             fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                // Bandwidths are validated positive and finite, so the
+                // F1 total order agrees with partial_cmp here — but it
+                // can never panic or silently equate on a stray NaN.
                 self.bottleneck
-                    .partial_cmp(&other.bottleneck)
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .total_cmp(&other.bottleneck)
                     .then_with(|| other.hops.cmp(&self.hops))
             }
         }
@@ -351,9 +353,7 @@ impl Graph {
         order.sort_by(|&i, &j| {
             let wi = self.sym_bandwidth(EdgeId(i as u32)).get();
             let wj = self.sym_bandwidth(EdgeId(j as u32)).get();
-            wj.partial_cmp(&wi)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(i.cmp(&j))
+            wj.total_cmp(&wi).then(i.cmp(&j))
         });
         self.spanning_tree_from_edge_order(&order)
     }

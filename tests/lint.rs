@@ -1,0 +1,38 @@
+//! Tier-1 gate: the workspace must be lint-clean.
+//!
+//! `tamp-lint` enforces the determinism and safety invariants the whole
+//! reproduction rests on (no unordered hash iteration in
+//! schedule-emitting code, no wall clocks or unseeded RNG in
+//! result-affecting modules, justified `unsafe`, total-order float
+//! comparisons). Any violation fails this test with the full
+//! `file:line:rule` report; suppressions need a
+//! `// lint: allow(<rule>) — <reason>` annotation and show up in the
+//! allow inventory below the diagnostics.
+
+use tamp_lint::{scan_workspace, workspace_root};
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = workspace_root();
+    let report = scan_workspace(&root).expect("scan workspace sources");
+    assert!(
+        report.files > 100,
+        "suspiciously few files scanned ({}) — is the walk broken?",
+        report.files
+    );
+    assert!(
+        report.is_clean(),
+        "tamp-lint found violations:\n{}",
+        report.render_text()
+    );
+    // Every live suppression must carry a reason (A0 enforces this at
+    // scan time; keep the invariant visible here too).
+    for a in &report.allows {
+        assert!(
+            !a.reason.is_empty(),
+            "allow at {}:{} has no reason",
+            a.file,
+            a.line
+        );
+    }
+}
